@@ -1,0 +1,235 @@
+(* rpromote — command-line driver for the register promotion pipeline.
+
+     rpromote run FILE            interpret a MiniC program
+     rpromote promote FILE        run the full pipeline, report counts
+     rpromote dump FILE           print the IR at each pipeline stage
+     rpromote workloads           list the built-in benchmark programs
+
+   A FILE of "-" reads from stdin; built-in workload names (go, li,
+   ijpeg, ...) are accepted wherever a file is. *)
+
+module P = Rp_core.Pipeline
+module I = Rp_interp.Interp
+open Rp_ir
+
+let read_source path =
+  match Rp_workloads.Registry.find path with
+  | Some w -> w.Rp_workloads.Registry.source
+  | None ->
+      if path = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text path In_channel.input_all
+
+(* run a command body, mapping the pipeline's exceptions to clean
+   one-line diagnostics and exit code 1 *)
+let guarded f =
+  try f () with
+  | Rp_minic.Lexer.Error m
+  | Rp_minic.Parser.Error m
+  | Rp_minic.Sema.Error m
+  | Rp_minic.Lower.Error m ->
+      Printf.eprintf "rpromote: %s\n" m;
+      1
+  | Rp_interp.Interp.Runtime_error m ->
+      Printf.eprintf "rpromote: runtime error: %s\n" m;
+      1
+  | Sys_error m ->
+      Printf.eprintf "rpromote: %s\n" m;
+      1
+  | Invalid_argument m ->
+      Printf.eprintf "rpromote: %s\n" m;
+      1
+
+let engine_of_string = function
+  | "cytron" -> Rp_ssa.Incremental.Cytron
+  | "sreedhar-gao" | "sg" -> Rp_ssa.Incremental.Sreedhar_gao
+  | s -> raise (Invalid_argument ("unknown IDF engine: " ^ s))
+
+(* ------------------------------------------------------------------ *)
+
+let cmd_run path fuel =
+ guarded @@ fun () ->
+  let src = read_source path in
+  let prog = Rp_minic.Lower.compile src in
+  let r = I.run ~fuel prog in
+  List.iter (fun v -> Printf.printf "%d\n" v) r.I.output;
+  Printf.printf "exit value: %d\n" r.I.exit_value;
+  Printf.printf "dynamic loads: %d  stores: %d  aliased: %d/%d  instrs: %d\n"
+    r.I.counters.I.loads r.I.counters.I.stores r.I.counters.I.aliased_loads
+    r.I.counters.I.aliased_stores r.I.counters.I.instrs;
+  0
+
+let cmd_promote path fuel static_profile no_store_removal singleton_deref
+    engine min_profit =
+ guarded @@ fun () ->
+  let src = read_source path in
+  let cfg =
+    {
+      Rp_core.Promote.engine = engine_of_string engine;
+      allow_store_removal = not no_store_removal;
+      min_profit;
+      insert_dummies = true;
+    }
+  in
+  let profile = if static_profile then P.Static_estimate else P.Measured in
+  let report = P.run ~cfg ~profile ~opt_singleton_deref:singleton_deref ~fuel src in
+  let b = report.P.dynamic_before and a = report.P.dynamic_after in
+  Printf.printf "behaviour preserved : %b\n" report.P.behaviour_ok;
+  Printf.printf "static loads        : %d -> %d\n"
+    report.P.static_before.Rp_core.Stats.loads
+    report.P.static_after.Rp_core.Stats.loads;
+  Printf.printf "static stores       : %d -> %d\n"
+    report.P.static_before.Rp_core.Stats.stores
+    report.P.static_after.Rp_core.Stats.stores;
+  Printf.printf "dynamic loads       : %d -> %d\n" b.I.loads a.I.loads;
+  Printf.printf "dynamic stores      : %d -> %d\n" b.I.stores a.I.stores;
+  let s = report.P.promote_stats in
+  Printf.printf
+    "webs                : %d seen, %d promoted (%d no-defs, %d with store \
+     removal),\n\
+    \                      %d skipped on profit, %d malformed\n"
+    s.Rp_core.Promote.webs_seen s.Rp_core.Promote.webs_promoted
+    s.Rp_core.Promote.webs_promoted_no_defs
+    s.Rp_core.Promote.webs_store_removal
+    s.Rp_core.Promote.webs_skipped_profit
+    s.Rp_core.Promote.webs_skipped_malformed;
+  Printf.printf
+    "edits               : %d loads replaced, %d loads inserted, %d stores \
+     inserted,\n\
+    \                      %d stores deleted, %d register phis added\n"
+    s.Rp_core.Promote.loads_replaced s.Rp_core.Promote.loads_inserted
+    s.Rp_core.Promote.stores_inserted s.Rp_core.Promote.stores_deleted
+    s.Rp_core.Promote.reg_phis_added;
+  if report.P.behaviour_ok then 0 else 1
+
+let cmd_baseline path fuel =
+ guarded @@ fun () ->
+  let src = read_source path in
+  let prog, trees = P.prepare src in
+  let before = I.run ~fuel prog in
+  I.apply_profile prog before;
+  ignore (Rp_baselines.Loop_promotion.promote_prog prog trees);
+  Rp_opt.Cleanup.run_prog prog;
+  let after = I.run ~fuel prog in
+  Printf.printf "behaviour preserved : %b\n" (I.same_behaviour before after);
+  Printf.printf "dynamic loads       : %d -> %d\n" before.I.counters.I.loads
+    after.I.counters.I.loads;
+  Printf.printf "dynamic stores      : %d -> %d\n" before.I.counters.I.stores
+    after.I.counters.I.stores;
+  if I.same_behaviour before after then 0 else 1
+
+let cmd_dump path stage =
+ guarded @@ fun () ->
+  let src = read_source path in
+  let dump prog =
+    print_string (Pp.prog_to_string prog);
+    0
+  in
+  match stage with
+  | "lowered" -> dump (Rp_minic.Lower.compile src)
+  | "normalised" ->
+      let prog = Rp_minic.Lower.compile src in
+      List.iter
+        (fun f -> ignore (Rp_analysis.Intervals.normalise f))
+        prog.Func.funcs;
+      dump prog
+  | "ssa" ->
+      let prog, _ = P.prepare src in
+      dump prog
+  | "promoted" ->
+      let report = P.run src in
+      dump report.P.prog
+  | s ->
+      prerr_endline
+        ("unknown stage " ^ s ^ " (want lowered|normalised|ssa|promoted)");
+      2
+
+let cmd_workloads () =
+  List.iter
+    (fun (w : Rp_workloads.Registry.workload) ->
+      Printf.printf "%-8s %s\n" w.Rp_workloads.Registry.name
+        w.Rp_workloads.Registry.description)
+    Rp_workloads.Registry.all;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner plumbing *)
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"MiniC source file, '-' for stdin, or a built-in workload name.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt int 50_000_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter instruction budget.")
+
+let run_cmd =
+  let doc = "interpret a MiniC program and print its output" in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const cmd_run $ file_arg $ fuel_arg)
+
+let promote_cmd =
+  let doc = "run the full register promotion pipeline and report counts" in
+  let static_profile =
+    Arg.(
+      value & flag
+      & info [ "static-profile" ]
+          ~doc:"Use the static loop-depth frequency estimate instead of a profiling run.")
+  in
+  let no_store_removal =
+    Arg.(
+      value & flag
+      & info [ "no-store-removal" ] ~doc:"Disable store removal (ablation).")
+  in
+  let singleton_deref =
+    Arg.(
+      value & flag
+      & info [ "singleton-deref" ]
+          ~doc:"Lower unambiguous pointer dereferences as singleton accesses.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "cytron"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"IDF engine for the SSA updater: cytron or sreedhar-gao.")
+  in
+  let min_profit =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-profit" ] ~docv:"X"
+          ~doc:"Minimum profit (weighted operation count) to promote a web.")
+  in
+  Cmd.v
+    (Cmd.info "promote" ~doc)
+    Term.(
+      const cmd_promote $ file_arg $ fuel_arg $ static_profile
+      $ no_store_removal $ singleton_deref $ engine $ min_profit)
+
+let dump_cmd =
+  let doc = "print the IR at a pipeline stage" in
+  let stage =
+    Arg.(
+      value & opt string "promoted"
+      & info [ "stage" ] ~docv:"STAGE"
+          ~doc:"One of lowered, normalised, ssa, promoted.")
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const cmd_dump $ file_arg $ stage)
+
+let baseline_cmd =
+  let doc = "run the Lu-Cooper-style loop-based baseline instead" in
+  Cmd.v (Cmd.info "baseline" ~doc) Term.(const cmd_baseline $ file_arg $ fuel_arg)
+
+let workloads_cmd =
+  let doc = "list the built-in benchmark workloads" in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const cmd_workloads $ const ())
+
+let main_cmd =
+  let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in
+  Cmd.group (Cmd.info "rpromote" ~doc)
+    [ run_cmd; promote_cmd; baseline_cmd; dump_cmd; workloads_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

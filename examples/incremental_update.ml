@@ -1,0 +1,100 @@
+(* The incremental SSA updater on the paper's Example 2 (Figures 9/10).
+
+   A hand-built six-block interval has one definition of x (in b1) and
+   three uses (in b3, b4, b5).  Cloning two definitions — one in b2,
+   one in b3, as register promotion would — requires repairing SSA
+   form.  The paper's batch algorithm:
+
+   1. places phis at the iterated dominance frontier of all definition
+      blocks (b1, b5, b6 here),
+   2. renames each use to its new reaching definition,
+   3. fills in the live phis' operands with a worklist,
+   4. deletes every definition and phi left without uses —
+      in the figure, the phis at b1 and b6 and the original store.
+
+   Run with:  dune exec examples/incremental_update.exe *)
+
+open Rp_ir
+open Rp_ssa
+
+let res v n = { Resource.base = v; ver = n }
+
+let build () =
+  let prog = Func.create_prog () in
+  let x =
+    Resource.add_var prog.Func.vartab ~name:"x" ~kind:Resource.Global ~init:0
+  in
+  let f = Func.create_func ~name:"example2" in
+  Func.add_func prog f;
+  let cond = Func.fresh_reg ~name:"c" f in
+  f.Func.params <- [ cond ];
+  let b = Array.init 8 (fun _ -> Func.add_block f) in
+  f.Func.entry <- b.(0).Block.bid;
+  let jmp i j = b.(i).Block.term <- Block.Jmp b.(j).Block.bid in
+  let br i j k =
+    b.(i).Block.term <-
+      Block.Br
+        { cond = Instr.Reg cond; t = b.(j).Block.bid; f = b.(k).Block.bid }
+  in
+  jmp 0 1;
+  br 1 2 3;
+  br 2 4 5;
+  jmp 3 5;
+  jmp 4 6;
+  jmp 5 6;
+  br 6 1 7;
+  b.(7).Block.term <- Block.Ret None;
+  Hashtbl.replace f.Func.mver x 1;
+  Block.insert_at_end b.(1)
+    (Func.mk_instr f (Instr.Store { dst = res x 1; src = Imm 7 }));
+  let mk_load () =
+    Func.mk_instr f (Instr.Load { dst = Func.fresh_reg f; src = res x 1 })
+  in
+  let u3 = mk_load () and u4 = mk_load () and u5 = mk_load () in
+  Block.insert_at_end b.(3) u3;
+  Block.insert_at_end b.(4) u4;
+  Block.insert_at_end b.(5) u5;
+  Cfg.recompute_preds f;
+  (prog, f, x, u3)
+
+let () =
+  let prog, f, x, u3 = build () in
+  print_endline "=== before the update (paper Figure 9) ===";
+  print_string (Pp.func_to_string prog.Func.vartab f);
+  (* clone two definitions, as promotion would: x1 in b2, x2 in b3 *)
+  let clone2 = Func.fresh_ver f x in
+  let clone3 = Func.fresh_ver f x in
+  Block.insert_at_start (Func.block f 2)
+    (Func.mk_instr f (Instr.Store { dst = clone2; src = Imm 7 }));
+  Block.insert_before (Func.block f 3) ~iid:u3.Instr.iid
+    (Func.mk_instr f (Instr.Store { dst = clone3; src = Imm 7 }));
+  Printf.printf
+    "\ncloned definitions inserted: x_%d in b2, x_%d in b3\n\n"
+    clone2.Resource.ver clone3.Resource.ver;
+  Incremental.update_for_cloned_resources f
+    ~cloned_res:(Resource.ResSet.of_list [ clone2; clone3 ]);
+  Verify.assert_ok prog.Func.vartab f;
+  print_endline "=== after the update (paper Figure 10, dead code removed) ===";
+  print_string (Pp.func_to_string prog.Func.vartab f);
+  print_endline
+    "\nNote: the use in b3 reads the b3 clone, the use in b4 reads the b2\n\
+     clone, the use in b5 reads a new phi joining both, and the original\n\
+     definition in b1 plus the phis the IDF placed at b1/b6 are gone —\n\
+     exactly the paper's Figure 10 after dead-phi removal.";
+  (* demonstrate the general-tool claim: run the same update one cloned
+     definition at a time (the CSS96 baseline) and compare *)
+  let prog2, f2, x2, u3' = build () in
+  let c2 = Func.fresh_ver f2 x2 in
+  let c3 = Func.fresh_ver f2 x2 in
+  Block.insert_at_start (Func.block f2 2)
+    (Func.mk_instr f2 (Instr.Store { dst = c2; src = Imm 7 }));
+  Block.insert_before (Func.block f2 3) ~iid:u3'.Instr.iid
+    (Func.mk_instr f2 (Instr.Store { dst = c3; src = Imm 7 }));
+  Per_def_update.update_one_at_a_time f2
+    ~cloned_res:(Resource.ResSet.of_list [ c2; c3 ]);
+  Verify.assert_ok prog2.Func.vartab f2;
+  print_endline
+    "\nThe per-definition baseline [CSS96] produces the same SSA form,\n\
+     but recomputes the iterated dominance frontier once per cloned\n\
+     definition — the compile-time difference is measured in\n\
+     bench/main.exe (ablation A2)."

@@ -1,0 +1,74 @@
+(* Interval-tree promotion through a loop nest.
+
+   The paper's algorithm is bottom-up over the interval tree: the inner
+   loop promotes its counters first and leaves boundary loads/stores in
+   the outer loop, which absorbs them on its own pass, which leaves
+   them to the function root.  This example shows the cascade on a
+   matrix-flavoured nest and contrasts register pressure before and
+   after (the paper's Table 3 effect).
+
+   Run with:  dune exec examples/loop_nest.exe *)
+
+module P = Rp_core.Pipeline
+module I = Rp_interp.Interp
+module RA = Rp_regalloc
+
+let source =
+  {|
+int sum = 0;
+int weight = 3;
+int cells = 0;
+int overflow_events = 0;
+
+void note_overflow() {
+  overflow_events++;
+  sum = sum % 100000;
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 40; i++) {
+    for (j = 0; j < 40; j++) {
+      sum = sum + (i * 40 + j) * weight;   // hot global traffic
+      cells++;
+      if (sum > 90000) {
+        note_overflow();                    // cold call path
+      }
+    }
+  }
+  print(sum); print(cells); print(overflow_events);
+  return 0;
+}
+|}
+
+let () =
+  print_endline "=== promotion across a loop nest ===";
+  print_endline source;
+  (* register pressure before promotion *)
+  let before_prog, _ = P.prepare source in
+  let pressure_before =
+    RA.Color.colors_for_func
+      (List.find
+         (fun (f : Rp_ir.Func.t) -> f.Rp_ir.Func.fname = "main")
+         before_prog.Rp_ir.Func.funcs)
+  in
+  let report = P.run source in
+  let b = report.P.dynamic_before and a = report.P.dynamic_after in
+  let pressure_after =
+    RA.Color.colors_for_func
+      (List.find
+         (fun (f : Rp_ir.Func.t) -> f.Rp_ir.Func.fname = "main")
+         report.P.prog.Rp_ir.Func.funcs)
+  in
+  Printf.printf "behaviour preserved : %b\n" report.P.behaviour_ok;
+  Printf.printf "dynamic loads       : %d -> %d\n" b.I.loads a.I.loads;
+  Printf.printf "dynamic stores      : %d -> %d\n" b.I.stores a.I.stores;
+  Printf.printf "register pressure   : %d -> %d colors (paper Table 3: it rises)\n"
+    pressure_before pressure_after;
+  let s = report.P.promote_stats in
+  Printf.printf
+    "webs: %d seen, %d promoted (%d with store removal), %d skipped\n"
+    s.Rp_core.Promote.webs_seen s.Rp_core.Promote.webs_promoted
+    s.Rp_core.Promote.webs_store_removal
+    s.Rp_core.Promote.webs_skipped_profit

@@ -1,0 +1,74 @@
+(* Partial promotion on cold paths — the paper's Figures 7 and 8.
+
+   The loop increments x every iteration but calls foo() only while
+   x < 30, i.e. on a path that quickly goes cold.  A loop-based
+   promoter (Lu–Cooper) gives up: there is a call in the loop.  The
+   paper's profile-driven algorithm instead:
+   - replaces the hot load/store of x with register operations,
+   - inserts a compensation store of x *before the call* (cold block),
+   - inserts a reload of x *after the call* (same cold block),
+   - stores the final value once in the loop tail.
+
+   This example runs both algorithms on the same program and prints the
+   dynamic counts side by side.
+
+   Run with:  dune exec examples/partial_promotion.exe *)
+
+module P = Rp_core.Pipeline
+module I = Rp_interp.Interp
+
+let source =
+  {|
+int x = 0;
+int calls = 0;
+
+void foo() {
+  calls++;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 1000; i++) {
+    x++;
+    if (x < 30) {
+      foo();      // executed 29 times out of 1000: cold
+    }
+  }
+  print(x);
+  print(calls);
+  return 0;
+}
+|}
+
+let run_loop_baseline src =
+  let prog, trees = P.prepare src in
+  let before = I.run prog in
+  I.apply_profile prog before;
+  ignore (Rp_baselines.Loop_promotion.promote_prog prog trees);
+  Rp_opt.Cleanup.run_prog prog;
+  let after = I.run prog in
+  (before, after)
+
+let () =
+  print_endline "=== paper Figures 7/8: a call on a cold path ===";
+  print_endline source;
+  let report = P.run source in
+  let b = report.P.dynamic_before and a = report.P.dynamic_after in
+  let _, base_after = run_loop_baseline source in
+  Printf.printf "behaviour preserved          : %b\n" report.P.behaviour_ok;
+  Printf.printf "%-28s loads %6s stores %6s\n" "" "" "";
+  Printf.printf "%-28s %6d %13d\n" "before promotion" b.I.loads b.I.stores;
+  Printf.printf "%-28s %6d %13d\n" "loop-based baseline [LuC97]"
+    base_after.I.counters.I.loads base_after.I.counters.I.stores;
+  Printf.printf "%-28s %6d %13d\n" "profile-driven SSA (paper)" a.I.loads
+    a.I.stores;
+  print_endline
+    "\nThe baseline cannot promote x at all (a call occurs in the loop);\n\
+     the paper's algorithm moves x's traffic onto the 29 cold iterations.";
+  print_endline "\n=== main() after promotion (compare to paper Figure 8) ===";
+  let main =
+    List.find
+      (fun f -> f.Rp_ir.Func.fname = "main")
+      report.P.prog.Rp_ir.Func.funcs
+  in
+  print_string (Rp_ir.Pp.func_to_string report.P.prog.Rp_ir.Func.vartab main)

@@ -1,0 +1,94 @@
+(* Linear-time iterated-dominance-frontier computation on the DJ-graph,
+   after Sreedhar and Gao, "A Linear Time Algorithm for Placing phi-nodes"
+   (POPL 1995) — the algorithm the paper cites ([SrG95]) for efficient
+   batch phi placement in the incremental SSA updater.
+
+   The DJ-graph is the dominator tree (D-edges) plus the CFG edges that
+   are not dominator-tree edges (J-edges).  IDF(S) is computed by
+   processing requested nodes from the deepest dominator-tree level
+   upward ("piggybank"), visiting each dominator subtree at most once,
+   and adding the target z of a J-edge y->z whenever
+   level(z) <= level(current root). *)
+
+open Rp_ir
+
+type t = {
+  dom : Dom.t;
+  level : int array;  (** dominator tree depth per block *)
+  jedges : (Ids.bid * Ids.bid list) array;  (** J-edge successors per block *)
+  max_level : int;
+}
+
+let build (f : Func.t) (dom : Dom.t) : t =
+  let n = Func.num_blocks f in
+  let level = Array.make n 0 in
+  let rec set_levels b d =
+    level.(b) <- d;
+    List.iter (fun c -> set_levels c (d + 1)) (Dom.children dom b)
+  in
+  set_levels (Dom.entry dom) 0;
+  let jedges = Array.make n (0, []) in
+  Func.iter_blocks
+    (fun b ->
+      let js =
+        List.filter
+          (fun s ->
+            (* a CFG edge b->s is a J-edge iff b is not the idom of s;
+               the entry has no tree parent, so every edge into it
+               (a back edge of a loop containing the entry) is a
+               J-edge *)
+            match Dom.idom dom s with
+            | Some i -> i <> b.Block.bid
+            | None -> true)
+          (Block.succs b)
+      in
+      jedges.(b.bid) <- (b.bid, js))
+    f;
+  let max_level = Array.fold_left max 0 level in
+  { dom; level; jedges; max_level }
+
+(* Iterated dominance frontier of [init]. *)
+let idf (t : t) (init : Ids.IntSet.t) : Ids.IntSet.t =
+  let n = Array.length t.level in
+  let in_idf = Array.make n false in
+  let visited = Array.make n false in
+  let in_bank = Array.make n false in
+  (* piggybank: one bucket of nodes per dominator-tree level *)
+  let bank = Array.make (t.max_level + 1) [] in
+  let insert b =
+    if not in_bank.(b) then begin
+      in_bank.(b) <- true;
+      bank.(t.level.(b)) <- b :: bank.(t.level.(b))
+    end
+  in
+  Ids.IntSet.iter insert init;
+  let current_level = ref t.max_level in
+  let current_root_level = ref 0 in
+  let rec visit y =
+    if not visited.(y) then begin
+      visited.(y) <- true;
+      let _, js = t.jedges.(y) in
+      List.iter
+        (fun z ->
+          if t.level.(z) <= !current_root_level && not in_idf.(z) then begin
+            in_idf.(z) <- true;
+            insert z
+          end)
+        js;
+      (* only descend into dominator-tree children deeper than the root *)
+      List.iter
+        (fun c -> if t.level.(c) > !current_root_level then visit c)
+        (Dom.children t.dom y)
+    end
+  in
+  while !current_level >= 0 do
+    match bank.(!current_level) with
+    | [] -> decr current_level
+    | x :: rest ->
+        bank.(!current_level) <- rest;
+        current_root_level := t.level.(x);
+        visit x
+  done;
+  let result = ref Ids.IntSet.empty in
+  Array.iteri (fun b v -> if v then result := Ids.IntSet.add b !result) in_idf;
+  !result

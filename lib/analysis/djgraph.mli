@@ -1,0 +1,12 @@
+(** Linear-time iterated-dominance-frontier computation on the
+    DJ-graph, after Sreedhar and Gao [SrG95] — the algorithm the paper
+    cites for efficient batch phi placement. Agrees with
+    {!Domfront.iterated} on every graph (property-tested). *)
+
+open Rp_ir
+
+type t
+
+val build : Func.t -> Dom.t -> t
+
+val idf : t -> Ids.IntSet.t -> Ids.IntSet.t

@@ -1,0 +1,35 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm,
+    with preorder timestamps for O(1) dominance queries. *)
+
+open Rp_ir
+
+type t
+
+val compute : Func.t -> t
+
+(** The entry block the tree was computed from. *)
+val entry : t -> Ids.bid
+
+(** Immediate dominator; [None] for the entry. *)
+val idom : t -> Ids.bid -> Ids.bid option
+
+(** Dominator-tree children. *)
+val children : t -> Ids.bid -> Ids.bid list
+
+val reachable : t -> Ids.bid -> bool
+
+(** Reflexive dominance, O(1). *)
+val dominates : t -> a:Ids.bid -> b:Ids.bid -> bool
+
+val strictly_dominates : t -> a:Ids.bid -> b:Ids.bid -> bool
+
+(** Depth in the dominator tree; the entry has depth 0. *)
+val depth : t -> Ids.bid -> int
+
+(** Least common ancestor in the dominator tree — the paper's "least
+    common dominator", used as the preheader of improper intervals.
+    @raise Invalid_argument on an empty list. *)
+val least_common_dominator : t -> Ids.bid list -> Ids.bid
+
+(** Apply [f] at every block from [b] up to the entry, inclusive. *)
+val iter_dom_path : t -> Ids.bid -> f:(Ids.bid -> unit) -> unit

@@ -1,0 +1,71 @@
+(* Dominance frontiers and iterated dominance frontiers, following
+   Cytron et al. [CFR+91] with the standard Cooper–Harvey–Kennedy
+   frontier computation.
+
+   The iterated dominance frontier (IDF) is where phi instructions go:
+   both during initial SSA construction and in the paper's incremental
+   update for cloned definitions (Figure 11, step 1). *)
+
+open Rp_ir
+
+type t = { df : Ids.IntSet.t array }
+
+let compute (f : Func.t) (dom : Dom.t) : t =
+  let n = Func.num_blocks f in
+  let df = Array.make n Ids.IntSet.empty in
+  Func.iter_blocks
+    (fun b ->
+      if Dom.reachable dom b.bid then
+        let preds = List.filter (Dom.reachable dom) b.Block.preds in
+        (* joins have >= 2 predecessors; the entry is special: even with
+           a single (back-edge) predecessor it lies in the frontier of
+           everything dominating that predecessor, itself included *)
+        if List.length preds >= 2 || (b.bid = f.entry && preds <> []) then
+          List.iter
+            (fun p ->
+              (* walk up from each predecessor to the idom of b,
+                 exclusive; when b is the entry (it has no idom — the
+                 predecessors are loop back edges) the walk runs to the
+                 root inclusive *)
+              let stop =
+                match Dom.idom dom b.bid with Some i -> i | None -> -1
+              in
+              let rec walk runner =
+                if runner <> stop then begin
+                  df.(runner) <- Ids.IntSet.add b.bid df.(runner);
+                  match Dom.idom dom runner with
+                  | Some i -> walk i
+                  | None -> ()
+                end
+              in
+              walk p)
+            preds)
+    f;
+  { df }
+
+let frontier t b = t.df.(b)
+
+(* Iterated dominance frontier of a set of blocks: the limit of
+   DF(S), DF(S ∪ DF(S)), ... *)
+let iterated t (init : Ids.IntSet.t) : Ids.IntSet.t =
+  let result = ref Ids.IntSet.empty in
+  let worklist = Queue.create () in
+  let enqueued = Hashtbl.create 16 in
+  let push b =
+    if not (Hashtbl.mem enqueued b) then begin
+      Hashtbl.add enqueued b ();
+      Queue.add b worklist
+    end
+  in
+  Ids.IntSet.iter push init;
+  while not (Queue.is_empty worklist) do
+    let b = Queue.pop worklist in
+    Ids.IntSet.iter
+      (fun d ->
+        if not (Ids.IntSet.mem d !result) then begin
+          result := Ids.IntSet.add d !result;
+          push d
+        end)
+      t.df.(b)
+  done;
+  !result

@@ -1,0 +1,14 @@
+(** Dominance frontiers and iterated dominance frontiers (Cytron et
+    al. [CFR+91]) — where phi instructions go, both during SSA
+    construction and in the paper's incremental updater. *)
+
+open Rp_ir
+
+type t
+
+val compute : Func.t -> Dom.t -> t
+
+val frontier : t -> Ids.bid -> Ids.IntSet.t
+
+(** Iterated dominance frontier: the limit of DF(S), DF(S ∪ DF(S)), … *)
+val iterated : t -> Ids.IntSet.t -> Ids.IntSet.t

@@ -1,0 +1,38 @@
+(* Static execution-frequency estimation.
+
+   A fallback profile for when no measured profile is available: every
+   interval (loop) level multiplies the expected execution count by
+   [loop_multiplier], and conditional branches split their block's
+   frequency evenly.  The real experiments use interpreter-measured
+   profiles ({!Rp_interp}); this estimator exists for the ablation that
+   shows how much the profile contributes, and as the default for code
+   never executed during profiling. *)
+
+open Rp_ir
+
+let loop_multiplier = 10.0
+
+(* Attach estimated block and edge frequencies to [f] in place. *)
+let estimate (f : Func.t) (tree : Intervals.tree) : unit =
+  Hashtbl.reset f.freq;
+  Hashtbl.reset f.efreq;
+  Func.iter_blocks
+    (fun b ->
+      let d = Intervals.loop_depth tree b.bid in
+      Func.set_block_freq f b.bid (loop_multiplier ** float_of_int d))
+    f;
+  Func.iter_blocks
+    (fun b ->
+      let succs = Block.succs b in
+      let share =
+        match succs with
+        | [] -> 0.0
+        | _ :: _ -> Func.block_freq f b.bid /. float_of_int (List.length succs)
+      in
+      List.iter (fun s -> Func.set_edge_freq f ~src:b.bid ~dst:s share) succs)
+    f
+
+(* True when the function carries a (non-trivially-zero) profile. *)
+let has_profile (f : Func.t) =
+  Hashtbl.length f.freq > 0
+  && Hashtbl.fold (fun _ v acc -> acc || v > 0.0) f.freq false

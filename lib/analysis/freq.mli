@@ -1,0 +1,13 @@
+(** Static execution-frequency estimation: a fallback profile when no
+    measured one is available. Each loop level multiplies the expected
+    count by {!loop_multiplier}; branches split evenly. *)
+
+open Rp_ir
+
+val loop_multiplier : float
+
+(** Overwrite the function's profile with the estimate. *)
+val estimate : Func.t -> Intervals.tree -> unit
+
+(** True when the function carries a non-trivially-zero profile. *)
+val has_profile : Func.t -> bool

@@ -1,0 +1,310 @@
+(* Interval tree construction and normalisation (paper section 4.1).
+
+   "An interval is a strongly connected component of a control flow
+   graph."  The tree is built by SCC condensation: the non-trivial SCCs
+   of the function are the outermost intervals; inside a component we
+   delete the edges that enter its entry blocks (the back edges) and
+   recompute SCCs to find the nested intervals.
+
+   A {e proper} interval has a single entry block; its preheader is the
+   unique outside predecessor.  An {e improper} interval has several
+   entries; its preheader is the least common dominator of the entries
+   (walked further up if that lands inside the interval).
+
+   The {e root} of the tree is a pseudo-interval covering the whole
+   function, so promotion also runs at the outermost scope and absorbs
+   the loads/stores that inner intervals push into it.
+
+   [normalise] establishes the structural preconditions the promoter
+   relies on:
+   - no critical edges anywhere,
+   - the function entry is a dedicated empty preheader block,
+   - every proper interval has a dedicated preheader (single outside
+     predecessor whose only successor is the interval entry),
+   - the target of every interval exit edge is a dedicated tail block
+     with exactly one predecessor. *)
+
+open Rp_ir
+
+type t = {
+  id : int;
+  entries : Ids.IntSet.t;
+  blocks : Ids.IntSet.t;  (** all member blocks, nested intervals included *)
+  mutable children : t list;
+  mutable preheader : Ids.bid;
+      (** block at whose end preheader loads / dummy aliased loads go *)
+  mutable exit_edges : (Ids.bid * Ids.bid) list;
+      (** (src in interval, dst outside); dst is the tail block *)
+  proper : bool;
+  is_root : bool;
+  depth : int;  (** nesting depth; root = 0 *)
+}
+
+type tree = {
+  root : t;
+  all : t list;  (** every interval, bottom-up (children before parents) *)
+  innermost : int array;  (** innermost interval id per block; -1 = dead *)
+}
+
+let mem_block (iv : t) bid = Ids.IntSet.mem bid iv.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Tree construction *)
+
+let build (f : Func.t) (dom : Dom.t) : tree =
+  Cfg.recompute_preds f;
+  let live =
+    Func.fold_blocks
+      (fun acc b ->
+        if Dom.reachable dom b.Block.bid then Ids.IntSet.add b.Block.bid acc
+        else acc)
+      Ids.IntSet.empty f
+  in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  let all = ref [] in
+  (* [removed] is the set of edges deleted at the current nesting level
+     (edges into the entries of the enclosing component). *)
+  let rec components ~(nodes : Ids.IntSet.t) ~(removed : Ids.PairSet.t)
+      ~(depth : int) : t list =
+    let succs b =
+      List.filter
+        (fun s ->
+          Ids.IntSet.mem s nodes && not (Ids.PairSet.mem (b, s) removed))
+        (Block.succs (Func.block f b))
+    in
+    let sccs = Scc.compute ~nodes ~succs in
+    List.filter_map
+      (fun (c : Scc.component) ->
+        if not (Scc.non_trivial c) then None
+        else begin
+          let blocks = c.nodes in
+          (* entries: blocks with a predecessor outside the component in
+             the full CFG *)
+          let entries =
+            Ids.IntSet.filter
+              (fun b ->
+                List.exists
+                  (fun p ->
+                    Ids.IntSet.mem p live && not (Ids.IntSet.mem p blocks))
+                  (Func.block f b).Block.preds)
+              blocks
+          in
+          (* guard against a component unreachable except through itself *)
+          let entries =
+            if Ids.IntSet.is_empty entries then
+              Ids.IntSet.singleton (Ids.IntSet.min_elt blocks)
+            else entries
+          in
+          let removed' =
+            Ids.IntSet.fold
+              (fun e acc ->
+                List.fold_left
+                  (fun acc p ->
+                    if Ids.IntSet.mem p blocks then Ids.PairSet.add (p, e) acc
+                    else acc)
+                  acc (Func.block f e).Block.preds)
+              entries removed
+          in
+          let children =
+            components ~nodes:blocks ~removed:removed' ~depth:(depth + 1)
+          in
+          let exit_edges =
+            Ids.IntSet.fold
+              (fun b acc ->
+                List.fold_left
+                  (fun acc s ->
+                    if Ids.IntSet.mem s blocks then acc else (b, s) :: acc)
+                  acc
+                  (Block.succs (Func.block f b)))
+              blocks []
+          in
+          (* preheader: unique outside pred of a proper interval, or the
+             least common dominator of the entries, lifted out of the
+             interval if needed *)
+          let proper = Ids.IntSet.cardinal entries = 1 in
+          let preheader =
+            if proper then begin
+              let h = Ids.IntSet.min_elt entries in
+              let outside =
+                List.filter
+                  (fun p -> not (Ids.IntSet.mem p blocks))
+                  (Func.block f h).Block.preds
+              in
+              match outside with [ p ] -> p | _ :: _ | [] -> -1
+              (* -1 = not normalised yet *)
+            end
+            else begin
+              let lcd =
+                Dom.least_common_dominator dom (Ids.IntSet.elements entries)
+              in
+              let rec lift b =
+                if Ids.IntSet.mem b blocks then
+                  match Dom.idom dom b with Some i -> lift i | None -> b
+                else b
+              in
+              lift lcd
+            end
+          in
+          let iv =
+            {
+              id = fresh_id ();
+              entries;
+              blocks;
+              children;
+              preheader;
+              exit_edges;
+              proper;
+              is_root = false;
+              depth = depth + 1;
+            }
+          in
+          all := iv :: !all;
+          Some iv
+        end)
+      sccs
+  in
+  let children = components ~nodes:live ~removed:Ids.PairSet.empty ~depth:0 in
+  let root =
+    {
+      id = fresh_id ();
+      entries = Ids.IntSet.singleton f.entry;
+      blocks = live;
+      children;
+      preheader = f.entry;
+      exit_edges = [];
+      proper = true;
+      is_root = true;
+      depth = 0;
+    }
+  in
+  all := root :: !all;
+  (* innermost interval per block: deepest interval containing it *)
+  let innermost = Array.make (Func.num_blocks f) (-1) in
+  let rec mark iv =
+    Ids.IntSet.iter (fun b -> innermost.(b) <- iv.id) iv.blocks;
+    List.iter mark iv.children
+  in
+  mark root;
+  (* bottom-up order: children strictly before parents *)
+  let rec collect iv = List.concat_map collect iv.children @ [ iv ] in
+  { root; all = collect root; innermost }
+
+(* ------------------------------------------------------------------ *)
+(* Normalisation *)
+
+type edit =
+  | Need_preheader of { entry : Ids.bid; outside_preds : Ids.bid list }
+  | Need_tail of { src : Ids.bid; dst : Ids.bid }
+  | Need_entry_block
+
+let collect_edits (f : Func.t) (tree : tree) : edit list =
+  let edits = ref [] in
+  (* dedicated function entry: no body, no preds, single successor *)
+  let e = Func.block f f.entry in
+  let entry_ok =
+    e.body = [] && e.preds = []
+    && match e.term with Jmp _ -> true | Br _ | Ret _ -> false
+  in
+  if not entry_ok then edits := Need_entry_block :: !edits;
+  List.iter
+    (fun iv ->
+      if not iv.is_root then begin
+        if iv.proper then begin
+          let h = Ids.IntSet.min_elt iv.entries in
+          let outside =
+            List.filter
+              (fun p -> not (Ids.IntSet.mem p iv.blocks))
+              (Func.block f h).Block.preds
+          in
+          let ok =
+            match outside with
+            | [ p ] -> Block.succs (Func.block f p) = [ h ]
+            | [] | _ :: _ -> false
+          in
+          (* outside = [] means the function entry sits inside this
+             component; the Need_entry_block edit emitted above creates
+             an outside predecessor first, and the preheader edit is
+             regenerated on a later round. *)
+          if (not ok) && outside <> [] then
+            edits := Need_preheader { entry = h; outside_preds = outside } :: !edits
+        end;
+        List.iter
+          (fun (src, dst) ->
+            if (Func.block f dst).Block.preds <> [ src ] then
+              edits := Need_tail { src; dst } :: !edits)
+          iv.exit_edges
+      end)
+    tree.all;
+  !edits
+
+let apply_edit (f : Func.t) = function
+  | Need_entry_block ->
+      let old_entry = f.entry in
+      let p = Func.add_block f in
+      p.term <- Jmp old_entry;
+      f.entry <- p.bid;
+      Func.set_block_freq f p.bid (Func.block_freq f old_entry);
+      Func.set_edge_freq f ~src:p.bid ~dst:old_entry
+        (Func.block_freq f old_entry);
+      Cfg.recompute_preds f
+  | Need_preheader { outside_preds = []; _ } ->
+      (* the entry is only reachable through the interval itself; the
+         Need_entry_block edit of the same round makes an outside
+         predecessor appear, so this edit is regenerated and applied in
+         a later round *)
+      ()
+  | Need_preheader { entry; outside_preds } ->
+      let p = Func.add_block f in
+      p.term <- Jmp entry;
+      let total = ref 0.0 in
+      List.iter
+        (fun pr ->
+          let ef = Func.edge_freq f ~src:pr ~dst:entry in
+          total := !total +. ef;
+          Block.retarget (Func.block f pr) ~old_t:entry ~new_t:p.bid;
+          Hashtbl.remove f.efreq (pr, entry);
+          Func.set_edge_freq f ~src:pr ~dst:p.bid ef)
+        outside_preds;
+      Func.set_block_freq f p.bid !total;
+      Func.set_edge_freq f ~src:p.bid ~dst:entry !total;
+      Cfg.recompute_preds f
+  | Need_tail { src; dst } -> ignore (Cfg.split_edge f ~src ~dst)
+
+(* Normalise the CFG for promotion and return the final interval tree.
+   Pre-SSA only: edits do not fix up phi instructions beyond what
+   [Cfg.split_edge] handles. *)
+let normalise (f : Func.t) : tree =
+  (* One edit per round: applying an edit can invalidate the
+     preconditions of the others computed against the old tree, so the
+     tree is rebuilt after every change.  Each edit adds one dedicated
+     block that never needs editing again, so the number of rounds is
+     bounded by the number of blocks the final CFG has.  Critical edges
+     are re-split every round because an edit can create one (a new
+     dedicated entry gives the old entry a second predecessor, turning
+     a back edge into the old entry critical). *)
+  let rec fix budget =
+    if budget = 0 then failwith "Intervals.normalise: did not converge";
+    Cfg.split_critical_edges f;
+    let dom = Dom.compute f in
+    let tree = build f dom in
+    match collect_edits f tree with
+    | [] -> tree
+    | edit :: _ ->
+        apply_edit f edit;
+        fix (budget - 1)
+  in
+  fix ((Func.num_blocks f * 8) + 32)
+
+(* Innermost interval containing block [b]. *)
+let interval_of (tree : tree) (bid : Ids.bid) : t option =
+  if bid >= Array.length tree.innermost || tree.innermost.(bid) < 0 then None
+  else List.find_opt (fun iv -> iv.id = tree.innermost.(bid)) tree.all
+
+(* Loop nesting depth of a block = depth of its innermost interval. *)
+let loop_depth (tree : tree) (bid : Ids.bid) : int =
+  match interval_of tree bid with Some iv -> iv.depth | None -> 0

@@ -1,0 +1,50 @@
+(** Interval tree construction and normalisation (paper section 4.1).
+
+    "An interval is a strongly connected component of a control flow
+    graph": the tree is built by SCC condensation, recursing into each
+    component with its entry edges removed. A {e proper} interval has a
+    single entry; an improper one takes the least common dominator of
+    its entries as preheader. The whole function is the root
+    pseudo-interval, so promotion also runs at the outermost scope.
+
+    {!normalise} establishes what the promoter relies on: no critical
+    edges, a dedicated empty entry block, a dedicated preheader for
+    every proper interval, and a dedicated single-predecessor tail
+    block on every interval exit edge. *)
+
+open Rp_ir
+
+type t = {
+  id : int;
+  entries : Ids.IntSet.t;
+  blocks : Ids.IntSet.t;  (** all member blocks, nested intervals included *)
+  mutable children : t list;
+  mutable preheader : Ids.bid;
+      (** block at whose end preheader loads / dummy aliased loads go *)
+  mutable exit_edges : (Ids.bid * Ids.bid) list;
+      (** (src in interval, dst outside); dst is the tail block *)
+  proper : bool;
+  is_root : bool;
+  depth : int;  (** nesting depth; root = 0 *)
+}
+
+type tree = {
+  root : t;
+  all : t list;  (** bottom-up: children strictly before parents *)
+  innermost : int array;  (** innermost interval id per block; -1 = dead *)
+}
+
+val mem_block : t -> Ids.bid -> bool
+
+(** Build the tree for an already-normalised function. *)
+val build : Func.t -> Dom.t -> tree
+
+(** Normalise the CFG for promotion (pre-SSA only) and return the final
+    interval tree. *)
+val normalise : Func.t -> tree
+
+(** Innermost interval containing a block. *)
+val interval_of : tree -> Ids.bid -> t option
+
+(** Loop nesting depth of a block = depth of its innermost interval. *)
+val loop_depth : tree -> Ids.bid -> int

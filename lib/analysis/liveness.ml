@@ -1,0 +1,119 @@
+(* Register liveness by backward dataflow.
+
+   Phi instructions get the standard SSA treatment: a phi's target is
+   defined at the top of its block, and a phi's source operand is a use
+   at the end of the corresponding predecessor.  This is the liveness
+   notion under which the SSA interference graph is chordal, which
+   {!Rp_regalloc} relies on. *)
+
+open Rp_ir
+
+type t = {
+  live_in : Ids.IntSet.t array;  (** per block: registers live on entry *)
+  live_out : Ids.IntSet.t array;  (** per block: registers live on exit *)
+}
+
+(* Registers defined anywhere in block [b], including phi targets. *)
+let block_defs (b : Block.t) : Ids.IntSet.t =
+  List.fold_left
+    (fun acc (i : Instr.t) ->
+      match Instr.reg_def i.op with
+      | Some r -> Ids.IntSet.add r acc
+      | None -> acc)
+    Ids.IntSet.empty (Block.instrs b)
+
+(* Upward-exposed register uses in [b]: used before any local def.
+   Phi sources are not local uses (they belong to the predecessors). *)
+let upward_exposed (b : Block.t) : Ids.IntSet.t =
+  let defined = ref Ids.IntSet.empty in
+  let exposed = ref Ids.IntSet.empty in
+  List.iter
+    (fun (i : Instr.t) ->
+      List.iter
+        (fun r ->
+          if not (Ids.IntSet.mem r !defined) then
+            exposed := Ids.IntSet.add r !exposed)
+        (Instr.reg_uses i.op);
+      match Instr.reg_def i.op with
+      | Some r -> defined := Ids.IntSet.add r !defined
+      | None -> ())
+    b.body;
+  List.iter
+    (fun r ->
+      if not (Ids.IntSet.mem r !defined) then exposed := Ids.IntSet.add r !exposed)
+    (Block.term_uses b);
+  !exposed
+
+(* Phi targets of block [b]. *)
+let phi_defs (b : Block.t) : Ids.IntSet.t =
+  List.fold_left
+    (fun acc (i : Instr.t) ->
+      match i.op with
+      | Rphi { dst; _ } -> Ids.IntSet.add dst acc
+      | _ -> acc)
+    Ids.IntSet.empty b.phis
+
+(* Phi sources flowing along the edge [pred] -> [b]. *)
+let phi_uses_from (b : Block.t) ~(pred : Ids.bid) : Ids.IntSet.t =
+  List.fold_left
+    (fun acc (i : Instr.t) ->
+      match i.op with
+      | Rphi { srcs; _ } ->
+          List.fold_left
+            (fun acc (p, r) -> if p = pred then Ids.IntSet.add r acc else acc)
+            acc srcs
+      | _ -> acc)
+    Ids.IntSet.empty b.phis
+
+let compute (f : Func.t) : t =
+  Cfg.recompute_preds f;
+  let n = Func.num_blocks f in
+  let live_in = Array.make n Ids.IntSet.empty in
+  let live_out = Array.make n Ids.IntSet.empty in
+  let gen = Array.make n Ids.IntSet.empty in
+  let kill = Array.make n Ids.IntSet.empty in
+  Func.iter_blocks
+    (fun b ->
+      gen.(b.bid) <- upward_exposed b;
+      kill.(b.bid) <- block_defs b)
+    f;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* postorder gives fastest convergence for a backward problem *)
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              let sb = Func.block f s in
+              let from_s =
+                Ids.IntSet.union
+                  (Ids.IntSet.diff live_in.(s) (phi_defs sb))
+                  (phi_uses_from sb ~pred:bid)
+              in
+              Ids.IntSet.union acc from_s)
+            Ids.IntSet.empty (Block.succs b)
+        in
+        (* a phi target is live-in of its own block *)
+        let inn =
+          Ids.IntSet.union
+            (phi_defs b)
+            (Ids.IntSet.union gen.(bid) (Ids.IntSet.diff out kill.(bid)))
+        in
+        if
+          (not (Ids.IntSet.equal out live_out.(bid)))
+          || not (Ids.IntSet.equal inn live_in.(bid))
+        then begin
+          live_out.(bid) <- out;
+          live_in.(bid) <- inn;
+          changed := true
+        end)
+      (Cfg.postorder f)
+  done;
+  { live_in; live_out }
+
+let live_in t bid = t.live_in.(bid)
+
+let live_out t bid = t.live_out.(bid)

@@ -1,0 +1,23 @@
+(** Register liveness by backward dataflow, with the standard SSA phi
+    treatment: a phi target is defined at the top of its block, a phi
+    source is a use at the end of the corresponding predecessor. *)
+
+open Rp_ir
+
+type t
+
+val compute : Func.t -> t
+
+val live_in : t -> Ids.bid -> Ids.IntSet.t
+
+val live_out : t -> Ids.bid -> Ids.IntSet.t
+
+(** {2 Helpers exposed for the interference builder} *)
+
+val block_defs : Block.t -> Ids.IntSet.t
+
+val upward_exposed : Block.t -> Ids.IntSet.t
+
+val phi_defs : Block.t -> Ids.IntSet.t
+
+val phi_uses_from : Block.t -> pred:Ids.bid -> Ids.IntSet.t

@@ -1,0 +1,82 @@
+(* Tarjan's strongly-connected-components algorithm, iterative so deep
+   CFGs from the property-based tests cannot overflow the OCaml stack.
+
+   Operates on an arbitrary integer-labelled subgraph: the caller passes
+   the node set and a successor function already restricted to the
+   subgraph.  Returns the components in reverse topological order
+   (callees before callers along the condensation). *)
+
+open Rp_ir
+
+type component = { nodes : Ids.IntSet.t; has_self_loop : bool }
+
+(* A component is a non-trivial SCC (an interval candidate) if it has
+   more than one node or a self loop. *)
+let non_trivial c = Ids.IntSet.cardinal c.nodes > 1 || c.has_self_loop
+
+let compute ~(nodes : Ids.IntSet.t) ~(succs : int -> int list) :
+    component list =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let components = ref [] in
+  let in_graph v = Ids.IntSet.mem v nodes in
+  (* explicit DFS machine: each frame is (node, remaining successors) *)
+  let strongconnect v0 =
+    let frames = ref [] in
+    let push_node v =
+      Hashtbl.replace index v !next_index;
+      Hashtbl.replace lowlink v !next_index;
+      incr next_index;
+      stack := v :: !stack;
+      Hashtbl.replace on_stack v true;
+      frames := (v, ref (List.filter in_graph (succs v))) :: !frames
+    in
+    push_node v0;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (v, rem) :: rest -> (
+          match !rem with
+          | w :: ws ->
+              rem := ws;
+              if not (Hashtbl.mem index w) then push_node w
+              else if Hashtbl.mem on_stack w then
+                Hashtbl.replace lowlink v
+                  (min (Hashtbl.find lowlink v) (Hashtbl.find index w))
+          | [] ->
+              (* finish v *)
+              if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+                let comp = ref Ids.IntSet.empty in
+                let continue = ref true in
+                while !continue do
+                  match !stack with
+                  | [] -> continue := false
+                  | w :: tl ->
+                      stack := tl;
+                      Hashtbl.remove on_stack w;
+                      comp := Ids.IntSet.add w !comp;
+                      if w = v then continue := false
+                done;
+                let has_self_loop =
+                  Ids.IntSet.exists
+                    (fun x -> List.exists (fun s -> s = x) (succs x))
+                    !comp
+                in
+                components := { nodes = !comp; has_self_loop } :: !components
+              end;
+              frames := rest;
+              (* propagate lowlink into the parent *)
+              (match rest with
+              | (p, _) :: _ ->
+                  Hashtbl.replace lowlink p
+                    (min (Hashtbl.find lowlink p) (Hashtbl.find lowlink v))
+              | [] -> ()))
+    done
+  in
+  Ids.IntSet.iter
+    (fun v -> if not (Hashtbl.mem index v) then strongconnect v)
+    nodes;
+  !components

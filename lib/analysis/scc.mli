@@ -1,0 +1,15 @@
+(** Tarjan's strongly-connected components over an arbitrary
+    integer-labelled subgraph, iterative (no stack overflow on deep
+    CFGs). Components are returned in reverse topological order. *)
+
+open Rp_ir
+
+type component = { nodes : Ids.IntSet.t; has_self_loop : bool }
+
+(** More than one node, or a self loop: an interval candidate. *)
+val non_trivial : component -> bool
+
+(** [compute ~nodes ~succs] — [succs] need not be restricted to
+    [nodes]; out-of-set successors are ignored. *)
+val compute :
+  nodes:Ids.IntSet.t -> succs:(int -> int list) -> component list

@@ -1,0 +1,109 @@
+(* The end-to-end compilation pipeline:
+
+     MiniC --frontend--> IR --normalise--> interval trees
+           --SSA--> pruned SSA over registers and memory resources
+           --clean--> fair baseline (copy propagation + DCE)
+           --interpret--> baseline dynamic counts + execution profile
+           --promote--> the paper's algorithm, bottom-up per interval
+           --clean--> remove promotion copies and dead code
+           --interpret--> dynamic counts after promotion + oracle check
+
+   Everything is measured on the same program object; the [report]
+   captures before/after static and dynamic counts plus the behaviour
+   check (printed output and exit value must be unchanged). *)
+
+open Rp_ir
+open Rp_analysis
+open Rp_ssa
+module Interp = Rp_interp.Interp
+module Lower = Rp_minic.Lower
+
+type profile_source = Measured | Static_estimate
+
+type report = {
+  prog : Func.prog;
+  trees : (string * Intervals.tree) list;
+  static_before : Stats.counts;
+  static_after : Stats.counts;
+  dynamic_before : Interp.counters;
+  dynamic_after : Interp.counters;
+  promote_stats : Promote.stats;
+  behaviour_ok : bool;
+  baseline : Interp.result;
+  final : Interp.result;
+}
+
+(* Compile and normalise, build SSA, clean.  Returns the program and
+   the interval tree per function. *)
+let prepare ?(opt_singleton_deref = false) ?(engine = Construct.Cytron)
+    (src : string) : Func.prog * (string * Intervals.tree) list =
+  let prog = Lower.compile ~opt_singleton_deref src in
+  let trees =
+    List.map
+      (fun (f : Func.t) -> (f.Func.fname, Intervals.normalise f))
+      prog.Func.funcs
+  in
+  List.iter (Construct.run ~engine) prog.Func.funcs;
+  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
+  Rp_opt.Cleanup.run_prog prog;
+  (prog, trees)
+
+(* Attach a profile: run the program and feed back measured counts, or
+   fall back to the static estimator for functions never executed. *)
+let attach_profile ?(source = Measured) ?(fuel = 50_000_000)
+    (prog : Func.prog) (trees : (string * Intervals.tree) list) :
+    Interp.result =
+  let r = Interp.run ~fuel prog in
+  (match source with
+  | Measured ->
+      Interp.apply_profile prog r;
+      (* unexecuted functions keep a static estimate *)
+      List.iter
+        (fun (f : Func.t) ->
+          if not (Freq.has_profile f) then
+            match List.assoc_opt f.Func.fname trees with
+            | Some tree -> Freq.estimate f tree
+            | None -> ())
+        prog.Func.funcs
+  | Static_estimate ->
+      List.iter
+        (fun (f : Func.t) ->
+          match List.assoc_opt f.Func.fname trees with
+          | Some tree -> Freq.estimate f tree
+          | None -> ())
+        prog.Func.funcs);
+  r
+
+(* Full pipeline on a MiniC source string. *)
+let run ?(cfg = Promote.default_config) ?(profile = Measured)
+    ?(opt_singleton_deref = false) ?(fuel = 50_000_000) (src : string) :
+    report =
+  let prog, trees = prepare ~opt_singleton_deref src in
+  let baseline = attach_profile ~source:profile ~fuel prog trees in
+  let static_before = Stats.of_prog prog in
+  let stats = Promote.empty_stats () in
+  List.iter
+    (fun (f : Func.t) ->
+      match List.assoc_opt f.Func.fname trees with
+      | Some tree ->
+          Promote.accumulate stats
+            (Promote.promote_function ~cfg f prog.Func.vartab tree)
+      | None -> ())
+    prog.Func.funcs;
+  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
+  Rp_opt.Cleanup.run_prog prog;
+  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
+  let static_after = Stats.of_prog prog in
+  let final = Interp.run ~fuel prog in
+  {
+    prog;
+    trees;
+    static_before;
+    static_after;
+    dynamic_before = baseline.Interp.counters;
+    dynamic_after = final.Interp.counters;
+    promote_stats = stats;
+    behaviour_ok = Interp.same_behaviour baseline final;
+    baseline;
+    final;
+  }

@@ -1,0 +1,53 @@
+(** The end-to-end pipeline: MiniC → IR → normalisation → SSA →
+    baseline cleanup → profiling run → promotion → cleanup → measuring
+    run, with the before/after counts and the behaviour oracle in the
+    report. *)
+
+open Rp_ir
+open Rp_analysis
+module Interp = Rp_interp.Interp
+
+type profile_source =
+  | Measured  (** run the interpreter and feed the counts back *)
+  | Static_estimate  (** loop-depth heuristic, no execution *)
+
+type report = {
+  prog : Func.prog;  (** the transformed program *)
+  trees : (string * Intervals.tree) list;
+  static_before : Stats.counts;
+  static_after : Stats.counts;
+  dynamic_before : Interp.counters;
+  dynamic_after : Interp.counters;
+  promote_stats : Promote.stats;
+  behaviour_ok : bool;
+      (** the print trace and exit value were unchanged *)
+  baseline : Interp.result;
+  final : Interp.result;
+}
+
+(** Compile, normalise, build SSA and clean; returns the program and
+    the interval tree per function. *)
+val prepare :
+  ?opt_singleton_deref:bool ->
+  ?engine:Rp_ssa.Construct.idf_engine ->
+  string ->
+  Func.prog * (string * Intervals.tree) list
+
+(** Attach a profile (measured or estimated) and return the profiling
+    run's result. *)
+val attach_profile :
+  ?source:profile_source ->
+  ?fuel:int ->
+  Func.prog ->
+  (string * Intervals.tree) list ->
+  Interp.result
+
+(** Full pipeline on a MiniC source string.
+    @raise Interp.Runtime_error when the program itself traps. *)
+val run :
+  ?cfg:Promote.config ->
+  ?profile:profile_source ->
+  ?opt_singleton_deref:bool ->
+  ?fuel:int ->
+  string ->
+  report

@@ -1,0 +1,616 @@
+(* The register promotion algorithm (paper section 4, Figures 2/4/5/6).
+
+   Driver: promote bottom-up over the interval tree.  Within each
+   interval, build the memory SSA webs, and promote each web
+   independently:
+
+   - a web with no definitions gets one load in the interval preheader
+     and every load in the web becomes a copy;
+   - a web with definitions gets the full treatment: a copy after every
+     store records the stored value in a virtual register (initVRMap),
+     loads are inserted at the phi leaves, loads of phi/store-defined
+     resources are replaced by copies of the materialised value
+     (materializeStoreValue builds the mirroring register phis), and —
+     when the profile says it pays — the original stores are deleted
+     after compensation stores are placed before the aliased loads that
+     depend on them and in the interval tails for live-out values, with
+     the incremental SSA updater repairing the memory SSA form;
+   - a dummy aliased load summarising the web is left in the interval
+     preheader for the parent interval, and removed by cleanup.
+
+   Profitability (section 4.3) is evaluated against the block execution
+   frequencies stored on the function, which the pipeline fills from an
+   interpreter profile (or the static estimator). *)
+
+open Rp_ir
+open Rp_analysis
+open Rp_ssa
+
+type config = {
+  engine : Incremental.engine;  (** IDF engine for the SSA updater *)
+  allow_store_removal : bool;  (** master switch, for the ablation *)
+  min_profit : float;  (** promote when profit >= min_profit; paper: 0 *)
+  insert_dummies : bool;
+      (** leave dummy aliased loads for the parent interval; off for the
+          loop-based baseline, which has no parent cooperation *)
+}
+
+let default_config =
+  {
+    engine = Incremental.Cytron;
+    allow_store_removal = true;
+    min_profit = 0.0;
+    insert_dummies = true;
+  }
+
+type stats = {
+  mutable webs_seen : int;
+  mutable webs_promoted : int;
+  mutable webs_promoted_no_defs : int;
+  mutable webs_store_removal : int;
+  mutable webs_skipped_profit : int;
+  mutable webs_skipped_malformed : int;
+  mutable loads_replaced : int;
+  mutable loads_inserted : int;
+  mutable stores_inserted : int;
+  mutable stores_deleted : int;
+  mutable dummies_added : int;
+  mutable reg_phis_added : int;
+}
+
+let empty_stats () =
+  {
+    webs_seen = 0;
+    webs_promoted = 0;
+    webs_promoted_no_defs = 0;
+    webs_store_removal = 0;
+    webs_skipped_profit = 0;
+    webs_skipped_malformed = 0;
+    loads_replaced = 0;
+    loads_inserted = 0;
+    stores_inserted = 0;
+    stores_deleted = 0;
+    dummies_added = 0;
+    reg_phis_added = 0;
+  }
+
+(* Fold [src] into [acc], field by field. *)
+let accumulate (acc : stats) (src : stats) : unit =
+  acc.webs_seen <- acc.webs_seen + src.webs_seen;
+  acc.webs_promoted <- acc.webs_promoted + src.webs_promoted;
+  acc.webs_promoted_no_defs <-
+    acc.webs_promoted_no_defs + src.webs_promoted_no_defs;
+  acc.webs_store_removal <- acc.webs_store_removal + src.webs_store_removal;
+  acc.webs_skipped_profit <- acc.webs_skipped_profit + src.webs_skipped_profit;
+  acc.webs_skipped_malformed <-
+    acc.webs_skipped_malformed + src.webs_skipped_malformed;
+  acc.loads_replaced <- acc.loads_replaced + src.loads_replaced;
+  acc.loads_inserted <- acc.loads_inserted + src.loads_inserted;
+  acc.stores_inserted <- acc.stores_inserted + src.stores_inserted;
+  acc.stores_deleted <- acc.stores_deleted + src.stores_deleted;
+  acc.dummies_added <- acc.dummies_added + src.dummies_added;
+  acc.reg_phis_added <- acc.reg_phis_added + src.reg_phis_added
+
+(* ------------------------------------------------------------------ *)
+(* loads_added / stores_added (section 4.3) *)
+
+module PointSet = Set.Make (struct
+  type t = Resource.t * Ids.bid
+
+  let compare (r1, b1) (r2, b2) =
+    let c = Resource.compare r1 r2 in
+    if c <> 0 then c else Int.compare b1 b2
+end)
+
+(* Leaves of the web's phis that are not defined by a store of the web:
+   a load of each must be inserted at the end of the corresponding
+   predecessor block. *)
+let loads_added (w : Web_info.t) : PointSet.t =
+  List.fold_left
+    (fun acc ((site : Web_info.ref_site), _) ->
+      List.fold_left
+        (fun acc (l, x) ->
+          if
+            Resource.ResSet.mem x w.Web_info.resources
+            && Web_info.is_leaf w x
+            && not (Web_info.store_defined w x)
+          then PointSet.add (x, l) acc
+          else acc)
+        acc
+        (Instr.mphi_srcs site.instr.Instr.op))
+    PointSet.empty w.Web_info.phis
+
+(* The phis an aliased load transitively depends on: backward closure
+   from the aliased loads' used resources through phi operands. *)
+let dependent_phis (w : Web_info.t) : Resource.ResSet.t =
+  let phi_of : (Resource.t, Instr.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ((site : Web_info.ref_site), dst) ->
+      Hashtbl.replace phi_of dst site.instr)
+    w.Web_info.phis;
+  let needed = ref Resource.ResSet.empty in
+  let rec need r =
+    if Web_info.phi_defined w r && not (Resource.ResSet.mem r !needed) then begin
+      needed := Resource.ResSet.add r !needed;
+      match Hashtbl.find_opt phi_of r with
+      | Some phi -> List.iter (fun (_, x) -> need x) (Instr.mphi_srcs phi.Instr.op)
+      | None -> ()
+    end
+  in
+  List.iter (fun (_, r) -> need r) w.Web_info.aliased_uses;
+  !needed
+
+(* stores_added: a pair (x, point) means "insert a store of x before
+   point".  Set 1: store-defined operands of phis an aliased load
+   depends on, at the end of the operand's predecessor.  Set 2: stores
+   used directly by an aliased load, before that instruction.  Then the
+   dominance pruning from the paper. *)
+let stores_added (f : Func.t) (dom : Dom.t) (w : Web_info.t) :
+    (Resource.t * Web_info.point) list =
+  let needed = dependent_phis w in
+  let set1 =
+    List.fold_left
+      (fun acc ((site : Web_info.ref_site), dst) ->
+        if Resource.ResSet.mem dst needed then
+          List.fold_left
+            (fun acc (l, x) ->
+              if Web_info.store_defined w x then
+                (x, Web_info.At_block_end l) :: acc
+              else acc)
+            acc
+            (Instr.mphi_srcs site.instr.Instr.op)
+        else acc)
+      [] w.Web_info.phis
+  in
+  let set2 =
+    List.filter_map
+      (fun ((site : Web_info.ref_site), r) ->
+        if Web_info.store_defined w r then
+          Some (r, Web_info.Before_instr (site.bid, site.instr))
+        else None)
+      w.Web_info.aliased_uses
+  in
+  (* dedupe *)
+  let all =
+    List.sort_uniq
+      (fun (r1, p1) (r2, p2) ->
+        let c = Resource.compare r1 r2 in
+        if c <> 0 then c
+        else
+          match (p1, p2) with
+          | Web_info.At_block_end b1, Web_info.At_block_end b2 ->
+              Int.compare b1 b2
+          | Web_info.Before_instr (_, i1), Web_info.Before_instr (_, i2) ->
+              Int.compare i1.Instr.iid i2.Instr.iid
+          | Web_info.At_block_end _, Web_info.Before_instr _ -> -1
+          | Web_info.Before_instr _, Web_info.At_block_end _ -> 1)
+      (set1 @ set2)
+  in
+  (* positions for same-block comparisons *)
+  let pos_in_block : (Ids.iid, int) Hashtbl.t = Hashtbl.create 32 in
+  Func.iter_blocks
+    (fun b ->
+      List.iteri
+        (fun k (i : Instr.t) -> Hashtbl.replace pos_in_block i.iid k)
+        b.body)
+    f;
+  let point_pos = function
+    | Web_info.At_block_end _ -> max_int
+    | Web_info.Before_instr (_, i) -> (
+        match Hashtbl.find_opt pos_in_block i.Instr.iid with
+        | Some p -> p
+        | None -> max_int)
+  in
+  let dominates p1 p2 =
+    let b1 = Web_info.point_bid p1 and b2 = Web_info.point_bid p2 in
+    if b1 = b2 then point_pos p1 < point_pos p2
+    else Dom.strictly_dominates dom ~a:b1 ~b:b2
+  in
+  List.filter
+    (fun (x, p) ->
+      not
+        (List.exists
+           (fun (x', p') ->
+             Resource.equal x x' && p' <> p && dominates p' p)
+           all))
+    all
+
+(* ------------------------------------------------------------------ *)
+(* Profitability (section 4.3) *)
+
+type decision = {
+  promote : bool;
+  remove_stores : bool;
+  profit : float;
+  la : PointSet.t;
+  sa : (Resource.t * Web_info.point) list;
+}
+
+let decide (cfg : config) (f : Func.t) (dom : Dom.t) (iv : Intervals.t)
+    (w : Web_info.t) : decision =
+  let freq bid = Func.block_freq f bid in
+  if not (Web_info.has_defs w) then begin
+    (* one load in the preheader replaces every load of the web *)
+    let benefit =
+      List.fold_left
+        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
+        0.0 w.Web_info.loads
+    in
+    let cost = freq iv.Intervals.preheader in
+    let profit = benefit -. cost in
+    {
+      promote = profit >= cfg.min_profit && w.Web_info.loads <> [];
+      remove_stores = false;
+      profit;
+      la = PointSet.empty;
+      sa = [];
+    }
+  end
+  else begin
+    let la = loads_added w in
+    let sa = stores_added f dom w in
+    let removable_loads =
+      List.filter
+        (fun (_, r) -> Web_info.store_defined w r || Web_info.phi_defined w r)
+        w.Web_info.loads
+    in
+    let load_benefit =
+      List.fold_left
+        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
+        0.0 removable_loads
+    in
+    let load_cost =
+      PointSet.fold (fun (_, l) acc -> acc +. freq l) la 0.0
+    in
+    let store_benefit =
+      List.fold_left
+        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
+        0.0 w.Web_info.stores
+    in
+    let store_cost =
+      List.fold_left
+        (fun acc (_, p) -> acc +. freq (Web_info.point_bid p))
+        0.0 sa
+    in
+    (* tail stores also cost; count them for honesty even though the
+       paper's formula omits them (they sit on cold exit edges) *)
+    let remove_stores =
+      cfg.allow_store_removal
+      && w.Web_info.stores <> []
+      && store_benefit -. store_cost > 0.0
+    in
+    let profit =
+      load_benefit -. load_cost
+      +. (if remove_stores then store_benefit -. store_cost else 0.0)
+    in
+    let any_effect = removable_loads <> [] || remove_stores in
+    {
+      promote = profit >= cfg.min_profit && any_effect;
+      remove_stores;
+      profit;
+      la;
+      sa;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Web promotion (section 4.4) *)
+
+exception Promotion_bug of string
+
+let bug fmt = Format.kasprintf (fun m -> raise (Promotion_bug m)) fmt
+
+type web_ctx = {
+  f : Func.t;
+  w : Web_info.t;
+  stats : stats;
+  vr_map : (Resource.t, Ids.reg) Hashtbl.t;
+  leaf_loads : (Resource.t * Ids.bid, Ids.reg) Hashtbl.t;
+  phi_of : (Resource.t, Instr.t * Ids.bid) Hashtbl.t;
+}
+
+(* initVRMap: after every store st [x] = v, insert t = v and record
+   x -> t. *)
+let init_vr_map (ctx : web_ctx) =
+  List.iter
+    (fun ((site : Web_info.ref_site), dst) ->
+      match site.instr.Instr.op with
+      | Instr.Store { src; _ } ->
+          let t = Func.fresh_reg ctx.f in
+          let copy = Func.mk_instr ctx.f (Instr.Copy { dst = t; src }) in
+          Block.insert_after
+            (Func.block ctx.f site.bid)
+            ~iid:site.instr.Instr.iid copy;
+          Hashtbl.replace ctx.vr_map dst t
+      | _ -> bug "store reference is not a store")
+    ctx.w.Web_info.stores
+
+(* insertLoadsAtPhiLeaves: a load of x at the end of block l for every
+   (x, l) in loads_added. *)
+let insert_loads_at_phi_leaves (ctx : web_ctx) (la : PointSet.t) =
+  PointSet.iter
+    (fun (x, l) ->
+      let t = Func.fresh_reg ctx.f in
+      let load = Func.mk_instr ctx.f (Instr.Load { dst = t; src = x }) in
+      Block.insert_at_end (Func.block ctx.f l) load;
+      Hashtbl.replace ctx.leaf_loads (x, l) t;
+      ctx.stats.loads_inserted <- ctx.stats.loads_inserted + 1)
+    la
+
+(* materializeStoreValue (Figure 6): the virtual register holding the
+   value of resource [x], creating mirroring register phis on demand. *)
+let rec materialize (ctx : web_ctx) (x : Resource.t) : Ids.reg =
+  match Hashtbl.find_opt ctx.vr_map x with
+  | Some t -> t
+  | None -> (
+      match Hashtbl.find_opt ctx.phi_of x with
+      | None ->
+          bug "materialize: %a is neither in vrMap nor phi-defined"
+            Resource.pp_raw x
+      | Some (phi, bid) ->
+          let srcs = Instr.mphi_srcs phi.Instr.op in
+          (* reserve the target now: a loop phi references itself through
+             the back edge *)
+          let t0 = Func.fresh_reg ctx.f in
+          Hashtbl.replace ctx.vr_map x t0;
+          let reg_srcs =
+            List.map
+              (fun (l, xi) ->
+                if
+                  Web_info.is_leaf ctx.w xi
+                  && not (Web_info.store_defined ctx.w xi)
+                then
+                  match Hashtbl.find_opt ctx.leaf_loads (xi, l) with
+                  | Some t -> (l, t)
+                  | None ->
+                      bug "materialize: missing leaf load for %a at b%d"
+                        Resource.pp_raw xi l
+                else (l, materialize ctx xi))
+              srcs
+          in
+          let rphi =
+            Func.mk_instr ctx.f (Instr.Rphi { dst = t0; srcs = reg_srcs })
+          in
+          Block.insert_phi_after (Func.block ctx.f bid) ~iid:phi.Instr.iid
+            rphi;
+          ctx.stats.reg_phis_added <- ctx.stats.reg_phis_added + 1;
+          t0)
+
+(* replaceLoadsByCopies (Figure 5). *)
+let replace_loads_by_copies (ctx : web_ctx) =
+  List.iter
+    (fun ((site : Web_info.ref_site), r) ->
+      if Web_info.store_defined ctx.w r || Web_info.phi_defined ctx.w r then begin
+        let v = materialize ctx r in
+        (match site.instr.Instr.op with
+        | Instr.Load { dst; _ } ->
+            site.instr.Instr.op <- Instr.Copy { dst; src = Instr.Reg v }
+        | _ -> bug "load reference is not a load");
+        ctx.stats.loads_replaced <- ctx.stats.loads_replaced + 1
+      end)
+    ctx.w.Web_info.loads
+
+(* insertStoresForAliasedLoads: a cloned store of x's register value at
+   each stores_added point.  Returns the cloned resources. *)
+let insert_stores (ctx : web_ctx) (sa : (Resource.t * Web_info.point) list) :
+    Resource.ResSet.t =
+  List.fold_left
+    (fun acc (x, point) ->
+      let v = materialize ctx x in
+      let clone = Func.fresh_ver ctx.f x.Resource.base in
+      let store =
+        Func.mk_instr ctx.f (Instr.Store { dst = clone; src = Instr.Reg v })
+      in
+      (match point with
+      | Web_info.At_block_end l -> Block.insert_at_end (Func.block ctx.f l) store
+      | Web_info.Before_instr (bid, i) ->
+          Block.insert_before (Func.block ctx.f bid) ~iid:i.Instr.iid store);
+      ctx.stats.stores_inserted <- ctx.stats.stores_inserted + 1;
+      Resource.ResSet.add clone acc)
+    Resource.ResSet.empty sa
+
+(* The definition of [base] reaching the end of block [bid]: last
+   definition in the block, else walk up the dominator tree. *)
+let reaching_def_at_end (f : Func.t) (dom : Dom.t) ~(base : Ids.vid)
+    (bid : Ids.bid) : Resource.t option =
+  let last_def_in b =
+    let bl = Func.block f b in
+    let found = ref None in
+    List.iter
+      (fun (i : Instr.t) ->
+        List.iter
+          (fun (r : Resource.t) -> if r.base = base then found := Some r)
+          (Instr.mem_defs i.op))
+      (Block.instrs bl);
+    !found
+  in
+  let rec walk b =
+    match last_def_in b with
+    | Some r -> Some r
+    | None -> (
+        match Dom.idom dom b with Some p -> walk p | None -> None)
+  in
+  walk bid
+
+(* insertStoresAtIntervalTails: for each exit edge whose reaching
+   definition is a store/phi-defined web resource with uses outside the
+   interval, store the materialised value at the head of the tail
+   block. *)
+let insert_stores_at_tails (ctx : web_ctx) (dom : Dom.t) (iv : Intervals.t) :
+    Resource.ResSet.t =
+  let index = Ssa_index.build ctx.f in
+  let live_outside (r : Resource.t) =
+    List.exists
+      (fun u ->
+        not (Ids.IntSet.mem (Ssa_index.use_block u) iv.Intervals.blocks))
+      (Ssa_index.uses_of index r)
+  in
+  List.fold_left
+    (fun acc (src, tail) ->
+      match reaching_def_at_end ctx.f dom ~base:ctx.w.Web_info.base src with
+      | Some r
+        when (Web_info.store_defined ctx.w r || Web_info.phi_defined ctx.w r)
+             && live_outside r ->
+          let v = materialize ctx r in
+          let clone = Func.fresh_ver ctx.f r.Resource.base in
+          let store =
+            Func.mk_instr ctx.f
+              (Instr.Store { dst = clone; src = Instr.Reg v })
+          in
+          Block.insert_at_start (Func.block ctx.f tail) store;
+          ctx.stats.stores_inserted <- ctx.stats.stores_inserted + 1;
+          Resource.ResSet.add clone acc
+      | Some _ | None -> acc)
+    Resource.ResSet.empty iv.Intervals.exit_edges
+
+(* deleteStores: remove the web's original stores whose resource has no
+   remaining uses (the incremental updater normally already did). *)
+let delete_dead_stores (ctx : web_ctx) =
+  let index = Ssa_index.build ctx.f in
+  List.iter
+    (fun ((site : Web_info.ref_site), dst) ->
+      let b = Func.block ctx.f site.bid in
+      let still_there =
+        Block.find_instr b ~iid:site.instr.Instr.iid <> None
+      in
+      if not still_there then
+        (* the incremental updater's step 4 already removed it *)
+        ctx.stats.stores_deleted <- ctx.stats.stores_deleted + 1
+      else if not (Ssa_index.has_uses index dst) then begin
+        Block.remove_instr b ~iid:site.instr.Instr.iid;
+        ctx.stats.stores_deleted <- ctx.stats.stores_deleted + 1
+      end)
+    ctx.w.Web_info.stores
+
+(* dummy aliased load in the interval preheader, summarising this web
+   for the parent interval *)
+let add_dummy (ctx : web_ctx) (cfg : config) (iv : Intervals.t) =
+  if not cfg.insert_dummies then ()
+  else
+    match ctx.w.Web_info.live_in with
+    | Some r ->
+        let d = Func.mk_instr ctx.f (Instr.Dummy_aload { muses = [ r ] }) in
+        Block.insert_at_end (Func.block ctx.f iv.Intervals.preheader) d;
+        ctx.stats.dummies_added <- ctx.stats.dummies_added + 1
+    | None ->
+        (* no live-in: the web is entirely local to the interval (e.g.
+           versions created and consumed between two calls); nothing to
+           keep alive for the parent *)
+        ()
+
+(* ------------------------------------------------------------------ *)
+
+let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
+    (iv : Intervals.t) (stats : stats) (resources : Resource.ResSet.t) : unit
+    =
+  let w = Web_info.compute f iv resources in
+  stats.webs_seen <- stats.webs_seen + 1;
+  if w.Web_info.multiple_live_in then
+    stats.webs_skipped_malformed <- stats.webs_skipped_malformed + 1
+  else begin
+    let d = decide cfg f dom iv w in
+    let ctx =
+      {
+        f;
+        w;
+        stats;
+        vr_map = Hashtbl.create 8;
+        leaf_loads = Hashtbl.create 8;
+        phi_of =
+          (let h = Hashtbl.create 8 in
+           List.iter
+             (fun ((s : Web_info.ref_site), dst) ->
+               Hashtbl.replace h dst (s.instr, s.bid))
+             w.Web_info.phis;
+           h);
+      }
+    in
+    if not d.promote then begin
+      stats.webs_skipped_profit <- stats.webs_skipped_profit + 1;
+      (* paper fig 4: unpromoted webs with references get a dummy; with
+         inclusive interval scanning the parent sees the remaining
+         loads/stores directly, so the dummy only matters (and only
+         helps hoist compensation stores to the preheader) when the web
+         contains aliased loads *)
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+    end
+    else if not (Web_info.has_defs w) then begin
+      (* no definitions: load once in the preheader *)
+      let live_in =
+        match w.Web_info.live_in with
+        | Some r -> r
+        | None -> bug "web with loads has no live-in and no defs"
+      in
+      let t = Func.fresh_reg f in
+      let load = Func.mk_instr f (Instr.Load { dst = t; src = live_in }) in
+      Block.insert_at_end (Func.block f iv.Intervals.preheader) load;
+      stats.loads_inserted <- stats.loads_inserted + 1;
+      List.iter
+        (fun ((site : Web_info.ref_site), _) ->
+          match site.instr.Instr.op with
+          | Instr.Load { dst; _ } ->
+              site.instr.Instr.op <- Instr.Copy { dst; src = Instr.Reg t };
+              stats.loads_replaced <- stats.loads_replaced + 1
+          | _ -> bug "load reference is not a load")
+        w.Web_info.loads;
+      stats.webs_promoted <- stats.webs_promoted + 1;
+      stats.webs_promoted_no_defs <- stats.webs_promoted_no_defs + 1;
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+    end
+    else begin
+      init_vr_map ctx;
+      insert_loads_at_phi_leaves ctx d.la;
+      replace_loads_by_copies ctx;
+      if d.remove_stores then begin
+        let cloned1 = insert_stores ctx d.sa in
+        let cloned2 = insert_stores_at_tails ctx dom iv in
+        let cloned = Resource.ResSet.union cloned1 cloned2 in
+        Incremental.update_for_cloned_resources ~engine:cfg.engine f
+          ~cloned_res:cloned;
+        delete_dead_stores ctx;
+        stats.webs_store_removal <- stats.webs_store_removal + 1
+      end;
+      stats.webs_promoted <- stats.webs_promoted + 1;
+      (* "if there are aliased loads in web, add a dummy aliased load
+         in the preheader that aliases the live-in resource" *)
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+    end
+  end
+
+(* cleanup (Figure 2): remove the dummy aliased loads inside the
+   interval, i.e. the summaries its children left in their preheaders,
+   which have served their purpose now that this interval is done. *)
+let cleanup_dummies (f : Func.t) (blocks : Ids.IntSet.t) =
+  Ids.IntSet.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      b.body <- List.filter (fun (i : Instr.t) -> not (Instr.is_dummy i)) b.body)
+    blocks
+
+let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
+    (stats : stats) (iv : Intervals.t) : unit =
+  (* children were already processed (the traversal is bottom-up) *)
+  let dom = Dom.compute f in
+  let webs = Webs.in_blocks tab f iv.Intervals.blocks in
+  List.iter
+    (fun web ->
+      let resources = Resource.ResSet.of_list web in
+      promote_in_web cfg f dom iv stats resources)
+    webs;
+  cleanup_dummies f iv.Intervals.blocks
+
+(* Promote one function.  Expects [f] normalised (no critical edges,
+   dedicated preheaders/tails) and in SSA form, with a profile. *)
+let promote_function ?(cfg = default_config) (f : Func.t)
+    (tab : Resource.table) (tree : Intervals.tree) : stats =
+  let stats = empty_stats () in
+  List.iter (promote_in_interval cfg f tab stats) tree.Intervals.all;
+  (* the root's own dummies sit in its preheader (the entry block),
+     which is inside the root's block set, so cleanup already removed
+     every dummy; sweep defensively anyway *)
+  Func.iter_blocks
+    (fun b ->
+      b.body <-
+        List.filter (fun (i : Instr.t) -> not (Instr.is_dummy i)) b.body)
+    f;
+  stats

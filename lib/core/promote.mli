@@ -1,0 +1,79 @@
+(** The register promotion algorithm (paper section 4): bottom-up over
+    the interval tree, one SSA web at a time, profile-driven, with
+    partial promotion around aliased references and the incremental SSA
+    updater repairing memory SSA form after stores are cloned. *)
+
+open Rp_ir
+open Rp_analysis
+open Rp_ssa
+
+type config = {
+  engine : Incremental.engine;  (** IDF engine for the SSA updater *)
+  allow_store_removal : bool;  (** master switch, for the ablation *)
+  min_profit : float;  (** promote when profit ≥ this; the paper uses 0 *)
+  insert_dummies : bool;
+      (** leave dummy aliased loads for the parent interval; off for
+          the loop-based baseline *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable webs_seen : int;
+  mutable webs_promoted : int;
+  mutable webs_promoted_no_defs : int;
+  mutable webs_store_removal : int;
+  mutable webs_skipped_profit : int;
+  mutable webs_skipped_malformed : int;
+  mutable loads_replaced : int;
+  mutable loads_inserted : int;
+  mutable stores_inserted : int;
+  mutable stores_deleted : int;
+  mutable dummies_added : int;
+  mutable reg_phis_added : int;
+}
+
+val empty_stats : unit -> stats
+
+(** Fold the second stats record into the first, field by field. *)
+val accumulate : stats -> stats -> unit
+
+(** {2 The section 4.3 sets, exposed for tests and inspection} *)
+
+module PointSet : Set.S with type elt = Resource.t * Ids.bid
+
+(** loads_added: for each pair (x, l), a load of x goes at the end of
+    block l — the phi leaves not defined by a store of the web. *)
+val loads_added : Web_info.t -> PointSet.t
+
+(** The phi targets an aliased load transitively depends on. *)
+val dependent_phis : Web_info.t -> Resource.ResSet.t
+
+(** stores_added after the dominance pruning: insert a store of the
+    resource before each point. *)
+val stores_added :
+  Func.t -> Dom.t -> Web_info.t -> (Resource.t * Web_info.point) list
+
+exception Promotion_bug of string
+(** An internal invariant of the transformation failed. *)
+
+(** Promote one web; exposed for the loop-based baseline, which drives
+    it with its own legality filter. *)
+val promote_in_web :
+  config ->
+  Func.t ->
+  Dom.t ->
+  Intervals.t ->
+  stats ->
+  Resource.ResSet.t ->
+  unit
+
+(** promoteInInterval (paper Figure 2) for one interval whose children
+    were already processed. *)
+val promote_in_interval :
+  config -> Func.t -> Resource.table -> stats -> Intervals.t -> unit
+
+(** Promote a whole function. Expects it normalised (no critical edges,
+    dedicated preheaders/tails), in SSA form, carrying a profile. *)
+val promote_function :
+  ?cfg:config -> Func.t -> Resource.table -> Intervals.tree -> stats

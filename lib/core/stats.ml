@@ -1,0 +1,30 @@
+(* Static operation counts — the paper's Table 1 metric. *)
+
+open Rp_ir
+
+type counts = { loads : int; stores : int }
+
+let zero = { loads = 0; stores = 0 }
+
+let add a b = { loads = a.loads + b.loads; stores = a.stores + b.stores }
+
+let of_func (f : Func.t) : counts =
+  Func.fold_blocks
+    (fun acc b ->
+      List.fold_left
+        (fun acc (i : Instr.t) ->
+          match i.Instr.op with
+          | Instr.Load _ -> { acc with loads = acc.loads + 1 }
+          | Instr.Store _ -> { acc with stores = acc.stores + 1 }
+          | _ -> acc)
+        acc b.Block.body)
+    zero f
+
+let of_prog (p : Func.prog) : counts =
+  List.fold_left (fun acc f -> add acc (of_func f)) zero p.Func.funcs
+
+(* The paper reports improvement as (before - after) / before * 100;
+   static counts typically get worse (negative improvement). *)
+let improvement ~before ~after =
+  if before = 0 then 0.0
+  else float_of_int (before - after) /. float_of_int before *. 100.0

@@ -1,0 +1,17 @@
+(** Static operation counts — the paper's Table 1 metric. *)
+
+open Rp_ir
+
+type counts = { loads : int; stores : int }
+
+val zero : counts
+
+val add : counts -> counts -> counts
+
+val of_func : Func.t -> counts
+
+val of_prog : Func.prog -> counts
+
+(** (before − after) / before × 100, the paper's improvement
+    percentage; negative means the count got worse. *)
+val improvement : before:int -> after:int -> float

@@ -1,0 +1,114 @@
+(* Per-web reference sets (paper section 4.2).
+
+   For one SSA web inside one interval, collect the sets the promotion
+   algorithm works from: the load/store references, the aliased
+   references, the resources defined in the interval (split by defining
+   instruction kind), the phi structure, and the unique live-in
+   resource. *)
+
+open Rp_ir
+open Rp_analysis
+
+type point = At_block_end of Ids.bid | Before_instr of Ids.bid * Instr.t
+
+let point_bid = function At_block_end b -> b | Before_instr (b, _) -> b
+
+type ref_site = { instr : Instr.t; bid : Ids.bid }
+
+type t = {
+  base : Ids.vid;
+  resources : Resource.ResSet.t;
+  loads : (ref_site * Resource.t) list;  (** singleton loads of the web *)
+  stores : (ref_site * Resource.t) list;  (** singleton stores of the web *)
+  aliased_uses : (ref_site * Resource.t) list;
+      (** aliased loads (calls, pointer loads, dummies, exit uses) using
+          a web resource *)
+  phis : (ref_site * Resource.t) list;  (** memory phis of the web *)
+  def_res : Resource.ResSet.t;  (** resources defined in the interval *)
+  store_res : Resource.ResSet.t;  (** subset defined by singleton stores *)
+  phi_res : Resource.ResSet.t;  (** subset defined by interval phis *)
+  live_in : Resource.t option;  (** unique resource defined outside *)
+  multiple_live_in : bool;  (** malformed web: promotion is skipped *)
+}
+
+(* Scan the interval blocks and build the reference sets for the web
+   holding [resources]. *)
+let compute (f : Func.t) (iv : Intervals.t) (resources : Resource.ResSet.t) :
+    t =
+  let base =
+    match Resource.ResSet.choose_opt resources with
+    | Some r -> r.Resource.base
+    | None -> invalid_arg "Web_info.compute: empty web"
+  in
+  let in_web r = Resource.ResSet.mem r resources in
+  let loads = ref [] in
+  let stores = ref [] in
+  let aliased = ref [] in
+  let phis = ref [] in
+  let def_res = ref Resource.ResSet.empty in
+  let store_res = ref Resource.ResSet.empty in
+  let phi_res = ref Resource.ResSet.empty in
+  let used = ref Resource.ResSet.empty in
+  Ids.IntSet.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      Block.iter_instrs
+        (fun (i : Instr.t) ->
+          let site = { instr = i; bid } in
+          (match i.op with
+          | Instr.Load { src; _ } when in_web src ->
+              loads := (site, src) :: !loads;
+              used := Resource.ResSet.add src !used
+          | Instr.Store { dst; _ } when in_web dst ->
+              stores := (site, dst) :: !stores;
+              def_res := Resource.ResSet.add dst !def_res;
+              store_res := Resource.ResSet.add dst !store_res
+          | Instr.Mphi { dst; srcs } when in_web dst ->
+              phis := (site, dst) :: !phis;
+              def_res := Resource.ResSet.add dst !def_res;
+              phi_res := Resource.ResSet.add dst !phi_res;
+              List.iter
+                (fun (_, r) ->
+                  if in_web r then used := Resource.ResSet.add r !used)
+                srcs
+          | _ -> ());
+          (* aliased defs (calls, pointer stores) and aliased uses *)
+          if Instr.is_aliased_store i.op then
+            List.iter
+              (fun r ->
+                if in_web r then def_res := Resource.ResSet.add r !def_res)
+              (Instr.mem_defs i.op);
+          if Instr.is_aliased_load i.op then
+            List.iter
+              (fun r ->
+                if in_web r then begin
+                  aliased := (site, r) :: !aliased;
+                  used := Resource.ResSet.add r !used
+                end)
+              (Instr.mem_uses i.op))
+        b)
+    iv.Intervals.blocks;
+  let outside = Resource.ResSet.diff !used !def_res in
+  let live_in = Resource.ResSet.choose_opt outside in
+  {
+    base;
+    resources;
+    loads = !loads;
+    stores = !stores;
+    aliased_uses = !aliased;
+    phis = !phis;
+    def_res = !def_res;
+    store_res = !store_res;
+    phi_res = !phi_res;
+    live_in;
+    multiple_live_in = Resource.ResSet.cardinal outside > 1;
+  }
+
+let has_defs w = not (Resource.ResSet.is_empty w.def_res)
+
+let store_defined w r = Resource.ResSet.mem r w.store_res
+
+let phi_defined w r = Resource.ResSet.mem r w.phi_res
+
+(* A leaf operand: not defined by a phi instruction of this interval. *)
+let is_leaf w r = not (phi_defined w r)

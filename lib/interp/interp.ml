@@ -1,0 +1,353 @@
+(* IR interpreter.
+
+   Three jobs:
+   1. measure the paper's dynamic metric — executed singleton loads and
+      stores (Table 2) — by counting them while running the program;
+   2. produce the execution profile (block and edge frequencies) that
+      drives the profitability test, exactly as the paper's
+      profile-driven compiler would obtain from a training run;
+   3. serve as the correctness oracle: the observable output (the
+      [print] trace and exit value) of a program must be identical
+      before and after promotion.
+
+   The interpreter executes both SSA and non-SSA IR: phi instructions
+   are evaluated as parallel assignments on block entry using the
+   incoming edge; memory phis, [Exit_use] and dummy aliased loads are
+   analysis fictions and execute as no-ops.  Memory reads/writes go to
+   a concrete store indexed by memory variable, so the conservative
+   may-def/may-use annotations have no influence on behaviour — which
+   is precisely why differential testing against the promoter works.
+
+   Address-taken locals live in one cell per variable with saved/
+   restored values across calls, giving proper stack semantics under
+   recursion. *)
+
+open Rp_ir
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type value = VInt of int | VPtr of { v : Ids.vid; off : int }
+
+let as_int = function
+  | VInt n -> n
+  | VPtr _ -> fail "pointer used as an integer"
+
+type counters = {
+  mutable loads : int;  (** singleton loads executed *)
+  mutable stores : int;  (** singleton stores executed *)
+  mutable aliased_loads : int;  (** pointer loads + calls *)
+  mutable aliased_stores : int;  (** pointer stores + calls *)
+  mutable instrs : int;  (** every instruction executed *)
+}
+
+type result = {
+  exit_value : int;
+  output : int list;
+  counters : counters;
+  block_counts : (string * Ids.bid, int) Hashtbl.t;
+  edge_counts : (string * Ids.bid * Ids.bid, int) Hashtbl.t;
+  call_counts : (string, int) Hashtbl.t;
+}
+
+type state = {
+  prog : Func.prog;
+  mem : value array;  (** one cell per scalar memory variable *)
+  arrays : (Ids.vid, value array) Hashtbl.t;
+  mutable fuel : int;
+  counters : counters;
+  block_counts : (string * Ids.bid, int) Hashtbl.t;
+  edge_counts : (string * Ids.bid * Ids.bid, int) Hashtbl.t;
+  call_counts : (string, int) Hashtbl.t;
+  mutable output_rev : int list;
+  mutable depth : int;
+  locals_of : (string, Ids.vid list) Hashtbl.t;
+      (** address-taken locals per function, for save/restore *)
+  mutable extern_counter : int;
+}
+
+let bump tbl key =
+  let c = match Hashtbl.find_opt tbl key with Some c -> c | None -> 0 in
+  Hashtbl.replace tbl key (c + 1)
+
+let init_state (prog : Func.prog) ~fuel : state =
+  let tab = prog.Func.vartab in
+  let n = Resource.num_vars tab in
+  let mem = Array.make (max n 1) (VInt 0) in
+  let arrays = Hashtbl.create 8 in
+  let locals_of = Hashtbl.create 8 in
+  Resource.iter_vars
+    (fun v ->
+      match v.Resource.vkind with
+      | Resource.Array len ->
+          Hashtbl.replace arrays v.Resource.vid (Array.make len (VInt 0))
+      | Resource.Global | Resource.Struct_field _ ->
+          mem.(v.Resource.vid) <- VInt v.Resource.vinit
+      | Resource.Addr_local fn ->
+          let cur =
+            match Hashtbl.find_opt locals_of fn with Some l -> l | None -> []
+          in
+          Hashtbl.replace locals_of fn (v.Resource.vid :: cur)
+      | Resource.Heap -> ())
+    tab;
+  {
+    prog;
+    mem;
+    arrays;
+    fuel;
+    counters =
+      { loads = 0; stores = 0; aliased_loads = 0; aliased_stores = 0; instrs = 0 };
+    block_counts = Hashtbl.create 64;
+    edge_counts = Hashtbl.create 64;
+    call_counts = Hashtbl.create 8;
+    output_rev = [];
+    depth = 0;
+    locals_of;
+    extern_counter = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let read_mem st (vid : Ids.vid) = st.mem.(vid)
+
+let write_mem st (vid : Ids.vid) v = st.mem.(vid) <- v
+
+let read_ptr st = function
+  | VPtr { v; off } -> (
+      match Hashtbl.find_opt st.arrays v with
+      | Some arr ->
+          if off < 0 || off >= Array.length arr then
+            fail "array index %d out of bounds for array of %d" off
+              (Array.length arr)
+          else arr.(off)
+      | None ->
+          if off <> 0 then fail "scalar pointer with non-zero offset"
+          else read_mem st v)
+  | VInt 0 -> fail "null pointer dereference"
+  | VInt _ -> fail "integer used as a pointer"
+
+let write_ptr st p v =
+  match p with
+  | VPtr { v = vid; off } -> (
+      match Hashtbl.find_opt st.arrays vid with
+      | Some arr ->
+          if off < 0 || off >= Array.length arr then
+            fail "array index %d out of bounds for array of %d" off
+              (Array.length arr)
+          else arr.(off) <- v
+      | None ->
+          if off <> 0 then fail "scalar pointer with non-zero offset"
+          else write_mem st vid v)
+  | VInt 0 -> fail "null pointer dereference"
+  | VInt _ -> fail "integer used as a pointer"
+
+let eval_binop op a b =
+  let bool_to_int p = if p then 1 else 0 in
+  match (op, a, b) with
+  | Instr.Add, VPtr { v; off }, VInt n -> VPtr { v; off = off + n }
+  | Instr.Add, VInt n, VPtr { v; off } -> VPtr { v; off = off + n }
+  | Instr.Sub, VPtr { v; off }, VInt n -> VPtr { v; off = off - n }
+  | Instr.Eq, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (v1 = v2 && o1 = o2))
+  | Instr.Ne, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (not (v1 = v2 && o1 = o2)))
+  | Instr.Lt, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (v1 = v2 && o1 < o2))
+  | Instr.Le, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (v1 = v2 && o1 <= o2))
+  | Instr.Gt, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (v1 = v2 && o1 > o2))
+  | Instr.Ge, VPtr { v = v1; off = o1 }, VPtr { v = v2; off = o2 } ->
+      VInt (bool_to_int (v1 = v2 && o1 >= o2))
+  | _, a, b -> (
+      let x = as_int a and y = as_int b in
+      match op with
+      | Instr.Add -> VInt (x + y)
+      | Instr.Sub -> VInt (x - y)
+      | Instr.Mul -> VInt (x * y)
+      | Instr.Div -> if y = 0 then fail "division by zero" else VInt (x / y)
+      | Instr.Rem -> if y = 0 then fail "division by zero" else VInt (x mod y)
+      | Instr.Lt -> VInt (bool_to_int (x < y))
+      | Instr.Le -> VInt (bool_to_int (x <= y))
+      | Instr.Gt -> VInt (bool_to_int (x > y))
+      | Instr.Ge -> VInt (bool_to_int (x >= y))
+      | Instr.Eq -> VInt (bool_to_int (x = y))
+      | Instr.Ne -> VInt (bool_to_int (x <> y))
+      | Instr.Band -> VInt (x land y)
+      | Instr.Bor -> VInt (x lor y)
+      | Instr.Bxor -> VInt (x lxor y)
+      | Instr.Shl -> VInt (x lsl (y land 63))
+      | Instr.Shr -> VInt (x asr (y land 63)))
+
+let eval_unop op a =
+  match op with
+  | Instr.Neg -> VInt (-as_int a)
+  | Instr.Lnot -> VInt (if as_int a = 0 then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+
+let rec call st (f : Func.t) (args : value list) : value option =
+  if st.depth > 500 then fail "call stack exhausted (depth 500)";
+  st.depth <- st.depth + 1;
+  bump st.call_counts f.Func.fname;
+  (* fresh storage for this activation's address-taken locals *)
+  let saved =
+    match Hashtbl.find_opt st.locals_of f.Func.fname with
+    | Some vids ->
+        let s = List.map (fun v -> (v, st.mem.(v))) vids in
+        List.iter (fun v -> st.mem.(v) <- VInt 0) vids;
+        s
+    | None -> []
+  in
+  let regs : (Ids.reg, value) Hashtbl.t = Hashtbl.create 64 in
+  (try List.iter2 (fun r v -> Hashtbl.replace regs r v) f.Func.params args
+   with Invalid_argument _ -> fail "arity mismatch calling %s" f.Func.fname);
+  let get r =
+    match Hashtbl.find_opt regs r with
+    | Some v -> v
+    | None -> fail "%s: register t%d read before it was written" f.Func.fname r
+  in
+  let operand = function Instr.Reg r -> get r | Instr.Imm n -> VInt n in
+  let set r v = Hashtbl.replace regs r v in
+  let ret_value = ref None in
+  let rec exec_block (prev : Ids.bid option) (bid : Ids.bid) : unit =
+    bump st.block_counts (f.Func.fname, bid);
+    (match prev with
+    | Some p -> bump st.edge_counts (f.Func.fname, p, bid)
+    | None -> ());
+    let b = Func.block f bid in
+    (* phis: parallel reads of the incoming values *)
+    (match prev with
+    | Some p ->
+        let updates =
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match i.op with
+              | Instr.Rphi { dst; srcs } -> (
+                  match List.assoc_opt p srcs with
+                  | Some r -> Some (dst, get r)
+                  | None ->
+                      fail "%s/b%d: phi has no source for pred b%d"
+                        f.Func.fname bid p)
+              | _ -> None)
+            b.phis
+        in
+        List.iter (fun (d, v) -> set d v) updates
+    | None -> ());
+    List.iter (exec_instr bid) b.body;
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
+    match b.term with
+    | Block.Jmp l -> exec_block (Some bid) l
+    | Block.Br { cond; t; f = fl } ->
+        let c = as_int (operand cond) in
+        exec_block (Some bid) (if c <> 0 then t else fl)
+    | Block.Ret op -> ret_value := Option.map operand op
+  and exec_instr bid (i : Instr.t) : unit =
+    ignore bid;
+    st.counters.instrs <- st.counters.instrs + 1;
+    st.fuel <- st.fuel - 1;
+    if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
+    match i.op with
+    | Instr.Bin { dst; op; l; r } -> set dst (eval_binop op (operand l) (operand r))
+    | Instr.Un { dst; op; src } -> set dst (eval_unop op (operand src))
+    | Instr.Copy { dst; src } -> set dst (operand src)
+    | Instr.Load { dst; src } ->
+        st.counters.loads <- st.counters.loads + 1;
+        set dst (read_mem st src.Resource.base)
+    | Instr.Store { dst; src } ->
+        st.counters.stores <- st.counters.stores + 1;
+        write_mem st dst.Resource.base (operand src)
+    | Instr.Addr_of { dst; var; off } ->
+        set dst (VPtr { v = var; off = as_int (operand off) })
+    | Instr.Ptr_load { dst; addr; muses = _ } ->
+        st.counters.aliased_loads <- st.counters.aliased_loads + 1;
+        set dst (read_ptr st (operand addr))
+    | Instr.Ptr_store { addr; src; mdefs = _; muses = _ } ->
+        st.counters.aliased_stores <- st.counters.aliased_stores + 1;
+        write_ptr st (operand addr) (operand src)
+    | Instr.Call { dst; callee; args; mdefs = _; muses = _ } -> (
+        st.counters.aliased_loads <- st.counters.aliased_loads + 1;
+        st.counters.aliased_stores <- st.counters.aliased_stores + 1;
+        let argv = List.map operand args in
+        match callee with
+        | Instr.User name -> (
+            match Func.find_func st.prog name with
+            | Some callee_f -> (
+                let r = call st callee_f argv in
+                match (dst, r) with
+                | Some d, Some v -> set d v
+                | Some d, None -> set d (VInt 0)
+                | None, _ -> ())
+            | None -> fail "call to unknown function %s" name)
+        | Instr.Extern _ -> (
+            (* deterministic pseudo-external: pure, returns a value
+               derived from a counter *)
+            st.extern_counter <- st.extern_counter + 1;
+            match dst with
+            | Some d -> set d (VInt (st.extern_counter * 7919 mod 104729))
+            | None -> ()))
+    | Instr.Dummy_aload _ | Instr.Exit_use _ | Instr.Mphi _ -> ()
+    | Instr.Rphi _ -> fail "register phi outside the phi section"
+    | Instr.Print { src } ->
+        st.output_rev <- as_int (operand src) :: st.output_rev
+  in
+  exec_block None f.Func.entry;
+  List.iter (fun (v, x) -> st.mem.(v) <- x) saved;
+  st.depth <- st.depth - 1;
+  !ret_value
+
+(* Run [prog] from its main function. *)
+let run ?(fuel = 50_000_000) (prog : Func.prog) : result =
+  let st = init_state prog ~fuel in
+  let main =
+    match Func.find_func prog "main" with
+    | Some f -> f
+    | None -> fail "program has no main function"
+  in
+  let r = call st main [] in
+  {
+    exit_value = (match r with Some v -> as_int v | None -> 0);
+    output = List.rev st.output_rev;
+    counters = st.counters;
+    block_counts = st.block_counts;
+    edge_counts = st.edge_counts;
+    call_counts = st.call_counts;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(* Copy measured execution counts into the functions' profile fields.
+   Functions never executed keep whatever estimate they had. *)
+let apply_profile (prog : Func.prog) (r : result) : unit =
+  List.iter
+    (fun (f : Func.t) ->
+      let touched =
+        Hashtbl.fold
+          (fun (fn, _) _ acc -> acc || fn = f.Func.fname)
+          r.block_counts false
+      in
+      if touched then begin
+        Hashtbl.reset f.Func.freq;
+        Hashtbl.reset f.Func.efreq;
+        Func.iter_blocks
+          (fun b ->
+            let c =
+              match Hashtbl.find_opt r.block_counts (f.Func.fname, b.Block.bid) with
+              | Some c -> c
+              | None -> 0
+            in
+            Func.set_block_freq f b.Block.bid (float_of_int c))
+          f;
+        Hashtbl.iter
+          (fun (fn, src, dst) c ->
+            if fn = f.Func.fname then
+              Func.set_edge_freq f ~src ~dst (float_of_int c))
+          r.edge_counts
+      end)
+    prog.Func.funcs
+
+(* Observable behaviour equality: output trace and exit value. *)
+let same_behaviour (a : result) (b : result) : bool =
+  a.exit_value = b.exit_value && a.output = b.output

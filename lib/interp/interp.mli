@@ -1,0 +1,45 @@
+(** IR interpreter: measures the paper's dynamic metric (executed
+    singleton loads/stores), produces the execution profile that drives
+    the profitability test, and serves as the correctness oracle
+    (observable behaviour must be identical before and after
+    promotion).
+
+    Executes SSA and non-SSA IR alike; memory phis, dummy aliased loads
+    and [Exit_use] are no-ops at run time. Address-taken locals get
+    proper stack semantics under recursion (save/restore per
+    activation). External calls are deterministic pseudo-functions. *)
+
+open Rp_ir
+
+exception Runtime_error of string
+
+type value = VInt of int | VPtr of { v : Ids.vid; off : int }
+
+type counters = {
+  mutable loads : int;  (** singleton loads executed *)
+  mutable stores : int;  (** singleton stores executed *)
+  mutable aliased_loads : int;  (** pointer loads + calls *)
+  mutable aliased_stores : int;  (** pointer stores + calls *)
+  mutable instrs : int;
+}
+
+type result = {
+  exit_value : int;
+  output : int list;  (** the print trace *)
+  counters : counters;
+  block_counts : (string * Ids.bid, int) Hashtbl.t;
+  edge_counts : (string * Ids.bid * Ids.bid, int) Hashtbl.t;
+  call_counts : (string, int) Hashtbl.t;
+}
+
+(** Run from [main].
+    @raise Runtime_error on traps (division by zero, null dereference,
+    out-of-bounds, stack or fuel exhaustion). *)
+val run : ?fuel:int -> Func.prog -> result
+
+(** Copy measured execution counts into the functions' profile fields;
+    functions never executed keep their previous estimate. *)
+val apply_profile : Func.prog -> result -> unit
+
+(** Observable-behaviour equality: output trace and exit value. *)
+val same_behaviour : result -> result -> bool

@@ -1,0 +1,98 @@
+(* Basic blocks.
+
+   A block holds its phi instructions separately from its body (phis are
+   conceptually parallel assignments at block entry), plus a single
+   terminator.  The predecessor list is a cache maintained by {!Cfg}.
+
+   "The last instruction of a basic block" in the paper is its branch;
+   inserting a load "before the last instruction of L" therefore means
+   appending to the body, before the terminator. *)
+
+type term =
+  | Jmp of Ids.bid
+  | Br of { cond : Instr.operand; t : Ids.bid; f : Ids.bid }
+  | Ret of Instr.operand option
+
+type t = {
+  bid : Ids.bid;
+  mutable phis : Instr.t list;
+  mutable body : Instr.t list;
+  mutable term : term;
+  mutable preds : Ids.bid list;  (** cache; recomputed by {!Cfg.recompute_preds} *)
+  mutable dead : bool;  (** unreachable blocks are marked, not removed *)
+}
+
+let succs (b : t) =
+  match b.term with
+  | Jmp l -> [ l ]
+  | Br { t; f; _ } -> if t = f then [ t ] else [ t; f ]
+  | Ret _ -> []
+
+let term_uses (b : t) =
+  match b.term with
+  | Br { cond; _ } -> Instr.regs_of_operand cond
+  | Ret (Some o) -> Instr.regs_of_operand o
+  | Jmp _ | Ret None -> []
+
+(* Replace every branch target [old_t] with [new_t]. *)
+let retarget (b : t) ~(old_t : Ids.bid) ~(new_t : Ids.bid) =
+  match b.term with
+  | Jmp l -> if l = old_t then b.term <- Jmp new_t
+  | Br { cond; t; f } ->
+      let t = if t = old_t then new_t else t in
+      let f = if f = old_t then new_t else f in
+      b.term <- Br { cond; t; f }
+  | Ret _ -> ()
+
+(* All instructions of the block in order, phis first. *)
+let instrs (b : t) = b.phis @ b.body
+
+let iter_instrs f (b : t) =
+  List.iter f b.phis;
+  List.iter f b.body
+
+(* Insert [i] in the body immediately before the instruction with id
+   [iid].  Raises [Not_found] if no such instruction is in the body. *)
+let insert_before (b : t) ~(iid : Ids.iid) (i : Instr.t) =
+  let rec go = function
+    | [] -> raise Not_found
+    | x :: rest when x.Instr.iid = iid -> i :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  b.body <- go b.body
+
+(* Insert [i] immediately after the instruction with id [iid]. *)
+let insert_after (b : t) ~(iid : Ids.iid) (i : Instr.t) =
+  let rec go = function
+    | [] -> raise Not_found
+    | x :: rest when x.Instr.iid = iid -> x :: i :: rest
+    | x :: rest -> x :: go rest
+  in
+  b.body <- go b.body
+
+(* Insert at the end of the body (i.e. just before the terminator). *)
+let insert_at_end (b : t) (i : Instr.t) = b.body <- b.body @ [ i ]
+
+(* Insert at the beginning of the body (after the phis). *)
+let insert_at_start (b : t) (i : Instr.t) = b.body <- i :: b.body
+
+let add_phi (b : t) (i : Instr.t) = b.phis <- i :: b.phis
+
+(* Insert a phi [i] immediately after the phi with instruction id [iid];
+   used by materializeStoreValue to keep the register phi adjacent to
+   the memory phi it mirrors. *)
+let insert_phi_after (b : t) ~(iid : Ids.iid) (i : Instr.t) =
+  let rec go = function
+    | [] -> raise Not_found
+    | x :: rest when x.Instr.iid = iid -> x :: i :: rest
+    | x :: rest -> x :: go rest
+  in
+  b.phis <- go b.phis
+
+let remove_instr (b : t) ~(iid : Ids.iid) =
+  let keep (x : Instr.t) = x.iid <> iid in
+  b.phis <- List.filter keep b.phis;
+  b.body <- List.filter keep b.body
+
+let find_instr (b : t) ~(iid : Ids.iid) =
+  List.find_opt (fun (x : Instr.t) -> x.iid = iid) (instrs b)

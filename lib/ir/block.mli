@@ -1,0 +1,64 @@
+(** Basic blocks: a phi section, a body, and one terminator.
+
+    "The last instruction of a basic block" in the paper is its branch,
+    so inserting "before the last instruction of L" is
+    {!insert_at_end}. *)
+
+type term =
+  | Jmp of Ids.bid
+  | Br of { cond : Instr.operand; t : Ids.bid; f : Ids.bid }
+      (** two-way branch: taken when the condition is non-zero *)
+  | Ret of Instr.operand option
+
+type t = {
+  bid : Ids.bid;
+  mutable phis : Instr.t list;  (** parallel assignments at block entry *)
+  mutable body : Instr.t list;
+  mutable term : term;
+  mutable preds : Ids.bid list;
+      (** cache; maintained by {!Cfg.recompute_preds} *)
+  mutable dead : bool;  (** unreachable blocks are marked, not removed *)
+}
+
+val succs : t -> Ids.bid list
+
+(** Registers read by the terminator. *)
+val term_uses : t -> Ids.reg list
+
+(** Replace every branch target [old_t] with [new_t]. *)
+val retarget : t -> old_t:Ids.bid -> new_t:Ids.bid -> unit
+
+(** All instructions in order, phis first. *)
+val instrs : t -> Instr.t list
+
+val iter_instrs : (Instr.t -> unit) -> t -> unit
+
+(** Insert in the body immediately before the instruction with id
+    [iid].
+    @raise Not_found when no such instruction is in the body. *)
+val insert_before : t -> iid:Ids.iid -> Instr.t -> unit
+
+(** Insert in the body immediately after the instruction with id [iid].
+    @raise Not_found when no such instruction is in the body. *)
+val insert_after : t -> iid:Ids.iid -> Instr.t -> unit
+
+(** Append to the body (just before the terminator). *)
+val insert_at_end : t -> Instr.t -> unit
+
+(** Prepend to the body (after the phis). *)
+val insert_at_start : t -> Instr.t -> unit
+
+(** Prepend to the phi section. *)
+val add_phi : t -> Instr.t -> unit
+
+(** Insert a phi immediately after the phi with id [iid]; used by
+    materializeStoreValue to keep a register phi adjacent to the memory
+    phi it mirrors.
+    @raise Not_found when no such phi exists. *)
+val insert_phi_after : t -> iid:Ids.iid -> Instr.t -> unit
+
+(** Remove the instruction with the given id from the phi section or
+    body; no-op when absent. *)
+val remove_instr : t -> iid:Ids.iid -> unit
+
+val find_instr : t -> iid:Ids.iid -> Instr.t option

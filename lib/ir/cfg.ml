@@ -1,0 +1,121 @@
+(* CFG utilities: predecessor maintenance, traversal orders, reachability
+   and edge splitting.
+
+   The promotion algorithm requires that no interval entry or exit edge
+   is critical (paper section 4.1); [split_critical_edges] establishes
+   the stronger invariant that no edge in the function is critical. *)
+
+let succs = Block.succs
+
+let recompute_preds (f : Func.t) =
+  Func.iter_blocks (fun b -> b.preds <- []) f;
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun s ->
+          let sb = Func.block f s in
+          if not (List.mem b.bid sb.preds) then sb.preds <- sb.preds @ [ b.bid ])
+        (succs b))
+    f
+
+(* Mark blocks not reachable from the entry as dead and drop their phi
+   entries from still-live successors. *)
+let remove_unreachable (f : Func.t) =
+  let n = Func.num_blocks f in
+  let seen = Array.make n false in
+  let rec dfs bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter dfs (succs (Func.block f bid))
+    end
+  in
+  dfs f.entry;
+  Func.iter_blocks (fun b -> if not seen.(b.bid) then b.dead <- true) f;
+  (* prune phi sources coming from dead predecessors *)
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Rphi { srcs; _ } ->
+              Instr.set_rphi_srcs i
+                (List.filter (fun (p, _) -> not (Func.block f p).Block.dead) srcs)
+          | Mphi { srcs; _ } ->
+              Instr.set_mphi_srcs i
+                (List.filter (fun (p, _) -> not (Func.block f p).Block.dead) srcs)
+          | _ -> ())
+        b.phis)
+    f;
+  recompute_preds f
+
+(* Reverse postorder over live blocks, starting at the entry. *)
+let rpo (f : Func.t) : Ids.bid list =
+  let n = Func.num_blocks f in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs bid =
+    if not seen.(bid) then begin
+      seen.(bid) <- true;
+      List.iter dfs (succs (Func.block f bid));
+      order := bid :: !order
+    end
+  in
+  dfs f.entry;
+  !order
+
+let postorder (f : Func.t) : Ids.bid list = List.rev (rpo f)
+
+(* ------------------------------------------------------------------ *)
+(* Edge splitting *)
+
+(* Insert a fresh block on the edge [src] -> [dst] and return it.  Phi
+   sources in [dst] and the profile are updated; the new block inherits
+   the edge frequency. *)
+let split_edge (f : Func.t) ~(src : Ids.bid) ~(dst : Ids.bid) : Block.t =
+  let m = Func.add_block f in
+  let sb = Func.block f src and db = Func.block f dst in
+  Block.retarget sb ~old_t:dst ~new_t:m.bid;
+  m.term <- Jmp dst;
+  (* phi sources of dst that named src now come through m *)
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.op with
+      | Rphi { srcs; _ } ->
+          Instr.set_rphi_srcs i
+            (List.map (fun (p, x) -> if p = src then (m.bid, x) else (p, x)) srcs)
+      | Mphi { srcs; _ } ->
+          Instr.set_mphi_srcs i
+            (List.map (fun (p, x) -> if p = src then (m.bid, x) else (p, x)) srcs)
+      | _ -> ())
+    db.phis;
+  (* profile: the new block executes as often as the edge did *)
+  let ef = Func.edge_freq f ~src ~dst in
+  Func.set_block_freq f m.bid ef;
+  Hashtbl.remove f.efreq (src, dst);
+  Func.set_edge_freq f ~src:src ~dst:m.bid ef;
+  Func.set_edge_freq f ~src:m.bid ~dst ef;
+  recompute_preds f;
+  m
+
+let is_critical (f : Func.t) ~(src : Ids.bid) ~(dst : Ids.bid) =
+  let sb = Func.block f src and db = Func.block f dst in
+  List.length (succs sb) > 1 && List.length db.preds > 1
+
+(* Split every critical edge in the function. *)
+let split_critical_edges (f : Func.t) =
+  recompute_preds f;
+  let edges =
+    Func.fold_blocks
+      (fun acc b -> List.map (fun s -> (b.Block.bid, s)) (succs b) @ acc)
+      [] f
+  in
+  List.iter
+    (fun (src, dst) ->
+      if is_critical f ~src ~dst then ignore (split_edge f ~src ~dst))
+    edges
+
+(* All edges of the live CFG. *)
+let edges (f : Func.t) : (Ids.bid * Ids.bid) list =
+  Func.fold_blocks
+    (fun acc b -> List.map (fun s -> (b.Block.bid, s)) (succs b) @ acc)
+    [] f

@@ -1,0 +1,34 @@
+(** CFG utilities: predecessor maintenance, traversal orders,
+    reachability and edge splitting.
+
+    The promotion algorithm requires that no interval entry or exit
+    edge is critical (paper section 4.1); {!split_critical_edges}
+    establishes the stronger invariant that no edge at all is. *)
+
+val succs : Block.t -> Ids.bid list
+
+(** Rebuild every block's predecessor cache from the terminators. *)
+val recompute_preds : Func.t -> unit
+
+(** Mark blocks unreachable from the entry as dead and drop their phi
+    entries from still-live successors. *)
+val remove_unreachable : Func.t -> unit
+
+(** Reverse postorder over live blocks, starting at the entry. *)
+val rpo : Func.t -> Ids.bid list
+
+val postorder : Func.t -> Ids.bid list
+
+(** Insert a fresh block on the edge [src -> dst] and return it. Phi
+    sources in [dst] and the profile are updated; the new block
+    inherits the edge frequency. *)
+val split_edge : Func.t -> src:Ids.bid -> dst:Ids.bid -> Block.t
+
+(** An edge is critical when its source has several successors and its
+    target several predecessors. *)
+val is_critical : Func.t -> src:Ids.bid -> dst:Ids.bid -> bool
+
+val split_critical_edges : Func.t -> unit
+
+(** All edges of the live CFG. *)
+val edges : Func.t -> (Ids.bid * Ids.bid) list

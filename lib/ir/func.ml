@@ -1,0 +1,134 @@
+(* Functions and whole programs.
+
+   A function owns its blocks (indexed densely by [bid]), fresh-id
+   counters for registers, instructions and memory-resource versions,
+   and an execution profile (block and edge frequencies).
+
+   The program owns the memory-variable table, which is shared across
+   functions: globals are visible everywhere, and address-exposed locals
+   get their own entries tagged with the owning function. *)
+
+type t = {
+  fname : string;
+  mutable params : Ids.reg list;
+  blocks : Block.t Vec.t;
+  mutable entry : Ids.bid;
+  mutable next_reg : int;
+  mutable next_iid : int;
+  reg_names : (Ids.reg, string) Hashtbl.t;
+      (** optional name hints for registers, for readable dumps *)
+  mver : (Ids.vid, int) Hashtbl.t;
+      (** highest SSA version handed out per memory variable *)
+  mutable freq : (Ids.bid, float) Hashtbl.t;  (** block execution frequency *)
+  efreq : (Ids.bid * Ids.bid, float) Hashtbl.t;  (** edge frequency *)
+}
+
+type prog = {
+  mutable funcs : t list;
+  vartab : Resource.table;
+}
+
+let dummy_block : Block.t =
+  { bid = -1; phis = []; body = []; term = Ret None; preds = []; dead = true }
+
+let create_func ~name =
+  {
+    fname = name;
+    params = [];
+    blocks = Vec.create ~dummy:dummy_block;
+    entry = 0;
+    next_reg = 0;
+    next_iid = 0;
+    reg_names = Hashtbl.create 16;
+    mver = Hashtbl.create 16;
+    freq = Hashtbl.create 16;
+    efreq = Hashtbl.create 16;
+  }
+
+let create_prog () = { funcs = []; vartab = Resource.create_table () }
+
+let add_func prog f = prog.funcs <- prog.funcs @ [ f ]
+
+let find_func prog name =
+  List.find_opt (fun f -> f.fname = name) prog.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Fresh ids *)
+
+let fresh_reg ?name f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  (match name with
+  | Some n -> Hashtbl.replace f.reg_names r n
+  | None -> ());
+  r
+
+let reg_name f r =
+  match Hashtbl.find_opt f.reg_names r with
+  | Some n -> Printf.sprintf "%s.%d" n r
+  | None -> Printf.sprintf "t%d" r
+
+let fresh_iid f =
+  let i = f.next_iid in
+  f.next_iid <- i + 1;
+  i
+
+let mk_instr f op : Instr.t = { iid = fresh_iid f; op }
+
+(* Fresh SSA version for memory variable [vid]. *)
+let fresh_ver f vid =
+  let v = (match Hashtbl.find_opt f.mver vid with Some v -> v | None -> 0) + 1 in
+  Hashtbl.replace f.mver vid v;
+  { Resource.base = vid; ver = v }
+
+(* ------------------------------------------------------------------ *)
+(* Blocks *)
+
+let add_block f : Block.t =
+  let bid = Vec.length f.blocks in
+  let b : Block.t =
+    { bid; phis = []; body = []; term = Ret None; preds = []; dead = false }
+  in
+  Vec.push f.blocks b;
+  b
+
+let block f bid : Block.t = Vec.get f.blocks bid
+
+let num_blocks f = Vec.length f.blocks
+
+let iter_blocks fn f =
+  Vec.iter (fun (b : Block.t) -> if not b.dead then fn b) f.blocks
+
+let fold_blocks fn acc f =
+  Vec.fold_left (fun acc (b : Block.t) -> if b.dead then acc else fn acc b) acc f.blocks
+
+let live_blocks f =
+  List.filter (fun (b : Block.t) -> not b.dead) (Vec.to_list f.blocks)
+
+let iter_instrs fn f =
+  iter_blocks (fun b -> Block.iter_instrs (fun i -> fn b i) b) f
+
+(* Find the block and instruction for a given iid.  O(n); used by tests
+   and error reporting only. *)
+let find_instr f ~iid =
+  let found = ref None in
+  iter_blocks
+    (fun b ->
+      match Block.find_instr b ~iid with
+      | Some i -> found := Some (b, i)
+      | None -> ())
+    f;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Profile accessors *)
+
+let block_freq f bid =
+  match Hashtbl.find_opt f.freq bid with Some x -> x | None -> 0.0
+
+let set_block_freq f bid x = Hashtbl.replace f.freq bid x
+
+let edge_freq f ~src ~dst =
+  match Hashtbl.find_opt f.efreq (src, dst) with Some x -> x | None -> 0.0
+
+let set_edge_freq f ~src ~dst x = Hashtbl.replace f.efreq (src, dst) x

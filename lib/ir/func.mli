@@ -1,0 +1,78 @@
+(** Functions and whole programs.
+
+    A function owns its blocks (indexed densely by [bid]), fresh-id
+    counters for registers, instructions and memory-resource versions,
+    and an execution profile (block and edge frequencies). The program
+    owns the memory-variable table, shared across functions. *)
+
+type t = {
+  fname : string;
+  mutable params : Ids.reg list;
+  blocks : Block.t Vec.t;
+  mutable entry : Ids.bid;
+  mutable next_reg : int;
+  mutable next_iid : int;
+  reg_names : (Ids.reg, string) Hashtbl.t;
+      (** optional name hints for readable dumps *)
+  mver : (Ids.vid, int) Hashtbl.t;
+      (** highest SSA version handed out per memory variable *)
+  mutable freq : (Ids.bid, float) Hashtbl.t;  (** block execution frequency *)
+  efreq : (Ids.bid * Ids.bid, float) Hashtbl.t;  (** edge frequency *)
+}
+
+type prog = { mutable funcs : t list; vartab : Resource.table }
+
+val dummy_block : Block.t
+
+val create_func : name:string -> t
+
+val create_prog : unit -> prog
+
+val add_func : prog -> t -> unit
+
+val find_func : prog -> string -> t option
+
+(** {2 Fresh ids} *)
+
+val fresh_reg : ?name:string -> t -> Ids.reg
+
+(** [reg_name f r] is the dump name, e.g. ["x.12"] or ["t12"]. *)
+val reg_name : t -> Ids.reg -> string
+
+val fresh_iid : t -> Ids.iid
+
+val mk_instr : t -> Instr.opcode -> Instr.t
+
+(** Fresh SSA version for a memory variable (starting from 1). *)
+val fresh_ver : t -> Ids.vid -> Resource.t
+
+(** {2 Blocks} *)
+
+val add_block : t -> Block.t
+
+(** @raise Invalid_argument when the id is out of range. *)
+val block : t -> Ids.bid -> Block.t
+
+val num_blocks : t -> int
+
+(** Iterate over live (non-dead) blocks. *)
+val iter_blocks : (Block.t -> unit) -> t -> unit
+
+val fold_blocks : ('a -> Block.t -> 'a) -> 'a -> t -> 'a
+
+val live_blocks : t -> Block.t list
+
+val iter_instrs : (Block.t -> Instr.t -> unit) -> t -> unit
+
+(** Linear search; tests and error reporting only. *)
+val find_instr : t -> iid:Ids.iid -> (Block.t * Instr.t) option
+
+(** {2 Profile accessors} *)
+
+val block_freq : t -> Ids.bid -> float
+
+val set_block_freq : t -> Ids.bid -> float -> unit
+
+val edge_freq : t -> src:Ids.bid -> dst:Ids.bid -> float
+
+val set_edge_freq : t -> src:Ids.bid -> dst:Ids.bid -> float -> unit

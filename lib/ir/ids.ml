@@ -1,0 +1,30 @@
+(* Shared id aliases and integer collections.
+
+   All IR entities are identified by dense integers:
+   - [reg]  virtual register id (per function)
+   - [bid]  basic block id (per function)
+   - [vid]  memory variable id (per program; see {!Resource})
+   - [iid]  instruction id (per function) *)
+
+type reg = int
+type bid = int
+type vid = int
+type iid = int
+
+module IntMap = Map.Make (Int)
+module IntSet = Set.Make (Int)
+
+module IntPair = struct
+  type t = int * int
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Int.compare a1 a2 in
+    if c <> 0 then c else Int.compare b1 b2
+end
+
+module PairMap = Map.Make (IntPair)
+module PairSet = Set.Make (IntPair)
+
+let pp_intset fmt s =
+  Format.fprintf fmt "{%s}"
+    (String.concat "," (List.map string_of_int (IntSet.elements s)))

@@ -1,0 +1,31 @@
+(** Shared id aliases and integer collections.
+
+    All IR entities are identified by dense integers:
+    - [reg]: virtual register id (per function),
+    - [bid]: basic block id (per function),
+    - [vid]: memory variable id (per program, see {!Resource}),
+    - [iid]: instruction id (per function). *)
+
+type reg = int
+
+type bid = int
+
+type vid = int
+
+type iid = int
+
+module IntMap : Map.S with type key = int
+
+module IntSet : Set.S with type elt = int
+
+module IntPair : sig
+  type t = int * int
+
+  val compare : t -> t -> int
+end
+
+module PairMap : Map.S with type key = int * int
+
+module PairSet : Set.S with type elt = int * int
+
+val pp_intset : Format.formatter -> IntSet.t -> unit

@@ -1,0 +1,22 @@
+(** Textual IR printer. The syntax mirrors the paper's examples:
+    [t3 = ld [x_2]], [st [x_3] = t4], [x_2 = mphi(x_0:b0, x_3:b2)]. *)
+
+val pp_operand : Func.t -> Format.formatter -> Instr.operand -> unit
+
+val pp_res : Resource.table -> Format.formatter -> Resource.t -> unit
+
+val pp_instr : Resource.table -> Func.t -> Format.formatter -> Instr.t -> unit
+
+val pp_term : Func.t -> Format.formatter -> Block.term -> unit
+
+val pp_block : Resource.table -> Func.t -> Format.formatter -> Block.t -> unit
+
+val pp_func : Resource.table -> Format.formatter -> Func.t -> unit
+
+val func_to_string : Resource.table -> Func.t -> string
+
+val instr_to_string : Resource.table -> Func.t -> Instr.t -> string
+
+val pp_prog : Format.formatter -> Func.prog -> unit
+
+val prog_to_string : Func.prog -> string

@@ -1,0 +1,115 @@
+(* Structural well-formedness checks for the IR.
+
+   These are cheap invariants that must hold at every pipeline stage,
+   SSA or not:
+   - branch targets are live blocks,
+   - the predecessor cache is consistent with the terminators,
+   - each phi has exactly one source per predecessor, keyed by it,
+   - phis appear only in the phi section,
+   - instruction ids are unique within the function.
+
+   SSA-specific invariants (single assignment, dominance of uses) live
+   in [Rp_ssa.Verify]. *)
+
+type error = { where : string; what : string }
+
+let err where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+
+let check_func (tab : Resource.table) (f : Func.t) : error list =
+  ignore tab;
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  let live bid =
+    bid >= 0 && bid < Func.num_blocks f && not (Func.block f bid).Block.dead
+  in
+  if not (live f.entry) then
+    add (err f.fname "entry block b%d is dead or out of range" f.entry);
+  (* compute fresh preds to compare against the cache *)
+  let fresh_preds = Hashtbl.create 16 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur =
+            match Hashtbl.find_opt fresh_preds s with
+            | Some l -> l
+            | None -> []
+          in
+          if not (List.mem b.Block.bid cur) then
+            Hashtbl.replace fresh_preds s (b.Block.bid :: cur))
+        (Block.succs b))
+    f;
+  let seen_iids = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      let where = Printf.sprintf "%s/b%d" f.fname b.bid in
+      (* targets live *)
+      List.iter
+        (fun s ->
+          if not (live s) then add (err where "branch target b%d is dead" s))
+        (Block.succs b);
+      (* preds cache *)
+      let expect =
+        match Hashtbl.find_opt fresh_preds b.bid with
+        | Some l -> List.sort Int.compare l
+        | None -> []
+      in
+      let got = List.sort Int.compare b.preds in
+      if expect <> got then
+        add
+          (err where "stale predecessor cache: cached {%s} actual {%s}"
+             (String.concat "," (List.map string_of_int got))
+             (String.concat "," (List.map string_of_int expect)));
+      (* phi placement and arity *)
+      List.iter
+        (fun (i : Instr.t) ->
+          if not (Instr.is_phi i) then
+            add (err where "non-phi instruction in phi section (iid %d)" i.iid))
+        b.phis;
+      List.iter
+        (fun (i : Instr.t) ->
+          if Instr.is_phi i then
+            add (err where "phi instruction in body (iid %d)" i.iid))
+        b.body;
+      let check_phi_srcs srcs =
+        let src_bids = List.map fst srcs in
+        let sorted = List.sort Int.compare src_bids in
+        let preds = List.sort Int.compare b.preds in
+        if sorted <> preds then
+          add
+            (err where "phi sources {%s} do not match preds {%s}"
+               (String.concat "," (List.map string_of_int sorted))
+               (String.concat "," (List.map string_of_int preds)))
+      in
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Rphi { srcs; _ } -> check_phi_srcs srcs
+          | Mphi { srcs; _ } -> check_phi_srcs srcs
+          | _ -> ())
+        b.phis;
+      (* iid uniqueness *)
+      Block.iter_instrs
+        (fun (i : Instr.t) ->
+          if Hashtbl.mem seen_iids i.iid then
+            add (err where "duplicate instruction id %d" i.iid)
+          else Hashtbl.add seen_iids i.iid ())
+        b)
+    f;
+  List.rev !errors
+
+let check_prog (p : Func.prog) : error list =
+  List.concat_map (check_func p.vartab) p.funcs
+
+let errors_to_string errs =
+  String.concat "\n"
+    (List.map (fun e -> Printf.sprintf "%s: %s" e.where e.what) errs)
+
+exception Invalid of string
+
+(* Raise if the function is structurally broken; used as an internal
+   assertion between pipeline stages. *)
+let assert_ok tab f =
+  match check_func tab f with
+  | [] -> ()
+  | errs -> raise (Invalid (errors_to_string errs))

@@ -1,0 +1,18 @@
+(** Structural well-formedness checks, valid at every pipeline stage
+    (SSA or not): live branch targets, consistent predecessor caches,
+    phis only in the phi section with one source per predecessor,
+    unique instruction ids. SSA-specific invariants live in
+    [Rp_ssa.Verify]. *)
+
+type error = { where : string; what : string }
+
+val check_func : Resource.table -> Func.t -> error list
+
+val check_prog : Func.prog -> error list
+
+val errors_to_string : error list -> string
+
+exception Invalid of string
+
+(** @raise Invalid when the function is structurally broken. *)
+val assert_ok : Resource.table -> Func.t -> unit

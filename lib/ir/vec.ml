@@ -1,0 +1,75 @@
+(* Growable array. The IR stores blocks and side tables in vectors indexed
+   by dense integer ids, so we need amortised O(1) push and O(1) random
+   access with in-place update. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a; (* used to fill unused slots so they don't leak *)
+}
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let ensure_capacity v n =
+  if n > Array.length v.data then begin
+    let cap = max n (max 8 (2 * Array.length v.data)) in
+    let data = Array.make cap v.dummy in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  ensure_capacity v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+(* Push and return the index the element landed at. *)
+let push_idx v x =
+  push v x;
+  v.len - 1
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.len - 1) []
+
+let of_list ~dummy xs =
+  let v = create ~dummy in
+  List.iter (push v) xs;
+  v
+
+let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
+
+let clear v = v.len <- 0

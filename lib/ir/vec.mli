@@ -1,0 +1,42 @@
+(** Growable arrays with O(1) indexed access, used for dense id-indexed
+    tables (blocks by [bid], variables by [vid]). *)
+
+type 'a t
+
+(** [create ~dummy] makes an empty vector; [dummy] fills unused
+    capacity so stale values are never retained. *)
+val create : dummy:'a -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Amortised O(1). *)
+val push : 'a t -> 'a -> unit
+
+(** [push_idx v x] pushes [x] and returns the index it landed at. *)
+val push_idx : 'a t -> 'a -> int
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument when the index is out of bounds. *)
+val set : 'a t -> int -> 'a -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+(** Shallow copy; subsequent mutations are independent. *)
+val copy : 'a t -> 'a t
+
+(** Drop all elements (capacity is retained). *)
+val clear : 'a t -> unit

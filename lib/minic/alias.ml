@@ -1,0 +1,291 @@
+(* Flow-insensitive points-to analysis for MiniC.
+
+   MiniC's type discipline (no pointer-to-pointer, arrays and struct
+   fields hold ints) means pointer values only ever flow through
+   *named* slots: local pointer variables, pointer parameters and
+   global pointer variables.  Andersen's analysis therefore reduces to
+   a base-and-copy constraint graph over those slots — no dereference
+   constraints — solved by worklist propagation.
+
+   Outputs used by lowering:
+   - [targets] of any pointer-valued expression: the memory variables a
+     dereference through it may touch (the paper's aggregate resource);
+   - [escaped f]: the address-taken locals of [f] that may be reachable
+     by a callee, so calls inside [f] must be treated as aliased
+     loads/stores of them (plus of every global). *)
+
+module StrSet = Set.Make (String)
+module StrMap = Map.Make (String)
+
+type node =
+  | Nglobal_ptr of string  (** a global pointer variable *)
+  | Nlocal of string * string  (** (function, local or parameter name) *)
+  | Nescape of string  (** everything reachable by calls made in function *)
+
+module NodeMap = Map.Make (struct
+  type t = node
+
+  let compare = compare
+end)
+
+(* Target: a memory variable, identified by the same names lowering
+   uses to create [Resource] variables. *)
+type target =
+  | Tglobal of string
+  | Tarray of string
+  | Tfield of string * string  (** (struct var, field) *)
+  | Tlocal of string * string  (** (function, local) — address-taken *)
+
+module TargetSet = Set.Make (struct
+  type t = target
+
+  let compare = compare
+end)
+
+type t = {
+  pts : TargetSet.t NodeMap.t;
+  sema : Sema.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Constraint generation *)
+
+type constraints = {
+  mutable bases : (node * target) list;
+  mutable copies : (node * node) list;  (** (dst, src): pts dst ⊇ pts src *)
+}
+
+(* Evaluate a pointer-valued expression to (base targets, source
+   nodes).  [fn] is the enclosing function, [lp] its pointer locals. *)
+let rec eval_ptr (sema : Sema.t) ~fn ~(lp : StrSet.t) (e : Ast.expr) :
+    target list * node list =
+  match e.e with
+  | Ast.Int _ -> ([], []) (* null or literal address: points nowhere *)
+  | Ast.Lval (Ast.Lid name) ->
+      if StrSet.mem name lp then ([], [ Nlocal (fn, name) ])
+      else (
+        match Sema.StrMap.find_opt name sema.Sema.global_kinds with
+        | Some Sema.Gk_ptr -> ([], [ Nglobal_ptr name ])
+        | Some Sema.Gk_array -> ([ Tarray name ], [])
+        | Some (Sema.Gk_scalar | Sema.Gk_struct _) | None -> ([], []))
+  | Ast.Addr (Ast.Lid name) ->
+      if Sema.StrMap.mem name sema.Sema.global_kinds then
+        ([ Tglobal name ], [])
+      else ([ Tlocal (fn, name) ], [])
+  | Ast.Addr (Ast.Lfield (s, f)) -> ([ Tfield (s, f) ], [])
+  | Ast.Addr (Ast.Lindex (base, _)) -> eval_ptr sema ~fn ~lp base
+  | Ast.Addr (Ast.Lderef inner) -> eval_ptr sema ~fn ~lp inner
+  | Ast.Bin ((Ast.Add | Ast.Sub), l, r) ->
+      (* pointer arithmetic: the pointer side carries the targets *)
+      let bl, nl = eval_ptr sema ~fn ~lp l in
+      let br, nr = eval_ptr sema ~fn ~lp r in
+      (bl @ br, nl @ nr)
+  | Ast.Assign (_, rhs) -> eval_ptr sema ~fn ~lp rhs
+  | Ast.Op_assign (_, lv, _)
+  | Ast.Pre_incr lv
+  | Ast.Pre_decr lv
+  | Ast.Post_incr lv
+  | Ast.Post_decr lv ->
+      eval_ptr sema ~fn ~lp { e with e = Ast.Lval lv }
+  | Ast.Bin _ | Ast.Un _ | Ast.And _ | Ast.Or _ | Ast.Call _
+  | Ast.Lval (Ast.Lindex _ | Ast.Lderef _ | Ast.Lfield _) ->
+      ([], [])
+
+let constrain_assign cs targets nodes ~(dst : node) =
+  List.iter (fun t -> cs.bases <- (dst, t) :: cs.bases) targets;
+  List.iter (fun n -> cs.copies <- (dst, n) :: cs.copies) nodes
+
+let rec gen_expr (sema : Sema.t) cs ~fn ~lp (e : Ast.expr) : unit =
+  let ptr_local name = StrSet.mem name lp in
+  let pointer_dst (lv : Ast.lvalue) : node option =
+    match lv with
+    | Ast.Lid name ->
+        if ptr_local name then Some (Nlocal (fn, name))
+        else (
+          match Sema.StrMap.find_opt name sema.Sema.global_kinds with
+          | Some Sema.Gk_ptr -> Some (Nglobal_ptr name)
+          | Some (Sema.Gk_scalar | Sema.Gk_array | Sema.Gk_struct _) | None ->
+              None)
+    | Ast.Lindex _ | Ast.Lderef _ | Ast.Lfield _ -> None
+  in
+  let gen_lval (lv : Ast.lvalue) =
+    match lv with
+    | Ast.Lid _ | Ast.Lfield _ -> ()
+    | Ast.Lindex (b, i) ->
+        gen_expr sema cs ~fn ~lp b;
+        gen_expr sema cs ~fn ~lp i
+    | Ast.Lderef x -> gen_expr sema cs ~fn ~lp x
+  in
+  match e.e with
+  | Ast.Int _ -> ()
+  | Ast.Lval lv | Ast.Addr lv -> gen_lval lv
+  | Ast.Bin (_, l, r) | Ast.And (l, r) | Ast.Or (l, r) ->
+      gen_expr sema cs ~fn ~lp l;
+      gen_expr sema cs ~fn ~lp r
+  | Ast.Un (_, x) -> gen_expr sema cs ~fn ~lp x
+  | Ast.Call (callee, args) ->
+      List.iter (gen_expr sema cs ~fn ~lp) args;
+      (* bind pointer arguments to parameter nodes; everything passed to
+         a call escapes from the caller *)
+      let params =
+        match
+          List.find_opt
+            (fun (f : Ast.func) -> f.fname = callee)
+            sema.Sema.prog.Ast.funcs
+        with
+        | Some f -> List.map (fun (p : Ast.param) -> Some p) f.fparams
+        | None -> List.map (fun _ -> None) args (* extern *)
+      in
+      List.iter2
+        (fun param arg ->
+          let targets, nodes = eval_ptr sema ~fn ~lp arg in
+          if targets <> [] || nodes <> [] then begin
+            (match param with
+            | Some (p : Ast.param) when p.pis_ptr ->
+                constrain_assign cs targets nodes
+                  ~dst:(Nlocal (callee, p.pname))
+            | Some _ | None -> ());
+            constrain_assign cs targets nodes ~dst:(Nescape fn)
+          end)
+        params args
+  | Ast.Assign (lv, rhs) -> (
+      gen_lval lv;
+      gen_expr sema cs ~fn ~lp rhs;
+      match pointer_dst lv with
+      | Some dst ->
+          let targets, nodes = eval_ptr sema ~fn ~lp rhs in
+          constrain_assign cs targets nodes ~dst
+      | None -> ())
+  | Ast.Op_assign (_, lv, rhs) -> (
+      gen_lval lv;
+      gen_expr sema cs ~fn ~lp rhs;
+      match pointer_dst lv with
+      | Some dst ->
+          (* p += k keeps pointing into the same objects *)
+          ignore dst;
+          ()
+      | None -> ())
+  | Ast.Pre_incr lv | Ast.Pre_decr lv | Ast.Post_incr lv | Ast.Post_decr lv
+    ->
+      gen_lval lv
+
+let rec gen_stmt sema cs ~fn ~lp (s : Ast.stmt) : unit =
+  match s.s with
+  | Ast.Expr e -> gen_expr sema cs ~fn ~lp e
+  | Ast.Decl { name; is_ptr; init } -> (
+      match init with
+      | Some e ->
+          gen_expr sema cs ~fn ~lp e;
+          if is_ptr then begin
+            let targets, nodes = eval_ptr sema ~fn ~lp e in
+            constrain_assign cs targets nodes ~dst:(Nlocal (fn, name))
+          end
+      | None -> ())
+  | Ast.If (c, t, e) ->
+      gen_expr sema cs ~fn ~lp c;
+      gen_stmt sema cs ~fn ~lp t;
+      Option.iter (gen_stmt sema cs ~fn ~lp) e
+  | Ast.While (c, body) ->
+      gen_expr sema cs ~fn ~lp c;
+      gen_stmt sema cs ~fn ~lp body
+  | Ast.Do_while (body, c) ->
+      gen_stmt sema cs ~fn ~lp body;
+      gen_expr sema cs ~fn ~lp c
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (gen_expr sema cs ~fn ~lp) init;
+      Option.iter (gen_expr sema cs ~fn ~lp) cond;
+      Option.iter (gen_expr sema cs ~fn ~lp) step;
+      gen_stmt sema cs ~fn ~lp body
+  | Ast.Return (Some e) -> gen_expr sema cs ~fn ~lp e
+  | Ast.Return None | Ast.Break | Ast.Continue -> ()
+  | Ast.Print e -> gen_expr sema cs ~fn ~lp e
+  | Ast.Block stmts -> List.iter (gen_stmt sema cs ~fn ~lp) stmts
+
+(* pointer-typed locals and parameters of a function *)
+let ptr_locals (sema : Sema.t) (f : Ast.func) : StrSet.t =
+  let info = Sema.func_info sema f.fname in
+  let from_locals =
+    List.fold_left
+      (fun acc (name, is_ptr) -> if is_ptr then StrSet.add name acc else acc)
+      StrSet.empty info.Sema.locals
+  in
+  List.fold_left
+    (fun acc (p : Ast.param) ->
+      if p.pis_ptr then StrSet.add p.pname acc else acc)
+    from_locals f.fparams
+
+(* ------------------------------------------------------------------ *)
+(* Solving *)
+
+let analyse (sema : Sema.t) : t =
+  let cs = { bases = []; copies = [] } in
+  List.iter
+    (fun (f : Ast.func) ->
+      let lp = ptr_locals sema f in
+      List.iter (gen_stmt sema cs ~fn:f.fname ~lp) f.Ast.fbody)
+    sema.Sema.prog.Ast.funcs;
+  (* whatever a global pointer may hold is reachable from every call in
+     every function: merge global pointer contents into each escape *)
+  List.iter
+    (fun (g : Ast.global) ->
+      match g with
+      | Ast.Gptr { gname } ->
+          List.iter
+            (fun (f : Ast.func) ->
+              cs.copies <- (Nescape f.Ast.fname, Nglobal_ptr gname) :: cs.copies)
+            sema.Sema.prog.Ast.funcs
+      | Ast.Gscalar _ | Ast.Garray _ | Ast.Gstruct_var _ -> ())
+    sema.Sema.prog.Ast.globals;
+  (* worklist propagation over the copy graph *)
+  let pts = ref NodeMap.empty in
+  let get n =
+    match NodeMap.find_opt n !pts with
+    | Some s -> s
+    | None -> TargetSet.empty
+  in
+  List.iter
+    (fun (n, t) -> pts := NodeMap.add n (TargetSet.add t (get n)) !pts)
+    cs.bases;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (dst, src) ->
+        let s = get src and d = get dst in
+        if not (TargetSet.subset s d) then begin
+          pts := NodeMap.add dst (TargetSet.union d s) !pts;
+          changed := true
+        end)
+      cs.copies
+  done;
+  { pts = !pts; sema }
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let node_pts t n =
+  match NodeMap.find_opt n t.pts with
+  | Some s -> s
+  | None -> TargetSet.empty
+
+(* Memory variables a dereference through [e] (evaluated in function
+   [fn]) may touch. *)
+let targets_of_expr (t : t) ~(fn : string) (e : Ast.expr) : TargetSet.t =
+  let f =
+    List.find
+      (fun (f : Ast.func) -> f.Ast.fname = fn)
+      t.sema.Sema.prog.Ast.funcs
+  in
+  let lp = ptr_locals t.sema f in
+  let targets, nodes = eval_ptr t.sema ~fn ~lp e in
+  List.fold_left
+    (fun acc n -> TargetSet.union acc (node_pts t n))
+    (TargetSet.of_list targets)
+    nodes
+
+(* Address-taken locals of [fn] that a call made inside [fn] may read
+   or write. *)
+let escaped (t : t) ~(fn : string) : TargetSet.t =
+  TargetSet.filter
+    (fun tg -> match tg with Tlocal (f, _) -> f = fn | _ -> false)
+    (node_pts t (Nescape fn))

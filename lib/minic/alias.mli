@@ -1,0 +1,33 @@
+(** Flow-insensitive points-to analysis. MiniC's type discipline (no
+    pointer-to-pointer; arrays and struct fields hold ints) reduces
+    Andersen's analysis to a base-and-copy constraint graph over named
+    slots, solved by propagation. *)
+
+type node =
+  | Nglobal_ptr of string  (** a global pointer variable *)
+  | Nlocal of string * string  (** (function, local or parameter name) *)
+  | Nescape of string
+      (** everything reachable by calls made inside the function *)
+
+(** A memory variable a pointer may target, by source-level name. *)
+type target =
+  | Tglobal of string
+  | Tarray of string
+  | Tfield of string * string  (** (struct var, field) *)
+  | Tlocal of string * string  (** (function, local) — address-taken *)
+
+module TargetSet : Set.S with type elt = target
+
+type t
+
+val analyse : Sema.t -> t
+
+val node_pts : t -> node -> TargetSet.t
+
+(** Memory variables a dereference through the expression (evaluated in
+    function [fn]) may touch — the paper's aggregate resource. *)
+val targets_of_expr : t -> fn:string -> Ast.expr -> TargetSet.t
+
+(** Address-taken locals of [fn] that a call made inside [fn] may read
+    or write. *)
+val escaped : t -> fn:string -> TargetSet.t

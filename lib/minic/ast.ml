@@ -1,0 +1,93 @@
+(* Abstract syntax of MiniC.
+
+   MiniC is the C subset sufficient to express the paper's workloads:
+   global scalars, global arrays, global structs with scalar fields,
+   pointers, address-of, functions, loops, and an observable [print].
+   Everything is an [int] or a pointer to int. *)
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type unop = Neg | Not
+
+(* Lvalues: things that denote a storage location. *)
+type lvalue =
+  | Lid of string  (** variable by name *)
+  | Lindex of expr * expr  (** a[e] or p[e] *)
+  | Lderef of expr  (** *e *)
+  | Lfield of string * string  (** s.f on a global struct *)
+
+and expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Int of int
+  | Lval of lvalue
+  | Addr of lvalue  (** &lv *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | And of expr * expr  (** short-circuit && *)
+  | Or of expr * expr  (** short-circuit || *)
+  | Call of string * expr list
+  | Assign of lvalue * expr
+  | Op_assign of binop * lvalue * expr  (** lv op= e *)
+  | Pre_incr of lvalue
+  | Pre_decr of lvalue
+  | Post_incr of lvalue
+  | Post_decr of lvalue
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | Expr of expr
+  | Decl of { name : string; is_ptr : bool; init : expr option }
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | For of expr option * expr option * expr option * stmt
+  | Return of expr option
+  | Break
+  | Continue
+  | Print of expr
+  | Block of stmt list
+
+type param = { pname : string; pis_ptr : bool }
+
+type func = {
+  fname : string;
+  fparams : param list;
+  freturns : bool;  (** int vs void *)
+  fbody : stmt list;
+  fpos : pos;
+}
+
+type global =
+  | Gscalar of { gname : string; ginit : int }
+  | Garray of { gname : string; gsize : int }
+  | Gstruct_var of { gname : string; gstruct : string }
+  | Gptr of { gname : string }  (** global pointer to int, initially null *)
+
+type struct_def = { sname : string; sfields : string list }
+
+type program = {
+  structs : struct_def list;
+  globals : global list;
+  externs : string list;  (** declared external functions *)
+  funcs : func list;
+}

@@ -1,0 +1,7 @@
+(** Hand-written lexer for MiniC; supports [//] and C block comments. *)
+
+exception Error of string
+(** Message carries ["line:col: description"]. *)
+
+val tokenize : string -> Token.spanned list
+(** @raise Error on malformed input; the token list ends with [EOF]. *)

@@ -1,0 +1,476 @@
+(* Recursive-descent parser for MiniC.
+
+   Menhir is not available in this environment, and the grammar is
+   small enough that hand-written descent with one token of lookahead
+   stays readable.  Precedence climbing handles binary operators. *)
+
+exception Error of string
+
+type state = { toks : Token.spanned array; mutable pos : int }
+
+let error (st : state) fmt =
+  let t = st.toks.(st.pos) in
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Error
+           (Printf.sprintf "%d:%d: %s (at '%s')" t.line t.col msg
+              (Token.to_string t.tok))))
+    fmt
+
+let peek st = st.toks.(st.pos).Token.tok
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Token.tok
+  else Token.EOF
+
+let cur_pos st : Ast.pos =
+  let t = st.toks.(st.pos) in
+  { line = t.line; col = t.col }
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st "expected '%s'" (Token.to_string tok)
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | _ -> error st "expected identifier"
+
+let expect_int st =
+  match peek st with
+  | Token.INT_LIT n ->
+      advance st;
+      n
+  | Token.MINUS -> (
+      advance st;
+      match peek st with
+      | Token.INT_LIT n ->
+          advance st;
+          -n
+      | _ -> error st "expected integer literal")
+  | _ -> error st "expected integer literal"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let binop_of_token = function
+  | Token.PLUS -> Some Ast.Add
+  | Token.MINUS -> Some Ast.Sub
+  | Token.STAR -> Some Ast.Mul
+  | Token.SLASH -> Some Ast.Div
+  | Token.PERCENT -> Some Ast.Rem
+  | Token.LT -> Some Ast.Lt
+  | Token.LE -> Some Ast.Le
+  | Token.GT -> Some Ast.Gt
+  | Token.GE -> Some Ast.Ge
+  | Token.EQ_EQ -> Some Ast.Eq
+  | Token.BANG_EQ -> Some Ast.Ne
+  | Token.BAR -> Some Ast.Bor
+  | Token.CARET -> Some Ast.Bxor
+  | Token.SHL -> Some Ast.Shl
+  | Token.SHR -> Some Ast.Shr
+  | _ -> None
+
+(* Precedence levels; higher binds tighter.  && and || are handled
+   separately because they short-circuit. *)
+let precedence = function
+  | Ast.Bor -> 3
+  | Ast.Bxor -> 4
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 7
+  | Ast.Shl | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Rem -> 10
+  | Ast.Band -> 5
+
+let as_lvalue st (e : Ast.expr) : Ast.lvalue =
+  match e.e with
+  | Ast.Lval lv -> lv
+  | _ -> error st "expression is not assignable"
+
+let rec parse_expr st : Ast.expr = parse_assign st
+
+and parse_assign st : Ast.expr =
+  let pos = cur_pos st in
+  let lhs = parse_or st in
+  let mk e = { Ast.e; epos = pos } in
+  match peek st with
+  | Token.ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Assign (lv, parse_assign st))
+  | Token.PLUS_ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Op_assign (Ast.Add, lv, parse_assign st))
+  | Token.MINUS_ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Op_assign (Ast.Sub, lv, parse_assign st))
+  | Token.STAR_ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Op_assign (Ast.Mul, lv, parse_assign st))
+  | Token.SLASH_ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Op_assign (Ast.Div, lv, parse_assign st))
+  | Token.PERCENT_ASSIGN ->
+      let lv = as_lvalue st lhs in
+      advance st;
+      mk (Ast.Op_assign (Ast.Rem, lv, parse_assign st))
+  | _ -> lhs
+
+and parse_or st : Ast.expr =
+  let pos = cur_pos st in
+  let lhs = ref (parse_and st) in
+  while peek st = Token.BAR_BAR do
+    advance st;
+    let rhs = parse_and st in
+    lhs := { Ast.e = Ast.Or (!lhs, rhs); epos = pos }
+  done;
+  !lhs
+
+and parse_and st : Ast.expr =
+  let pos = cur_pos st in
+  let lhs = ref (parse_binary st 3) in
+  while peek st = Token.AMP_AMP do
+    advance st;
+    let rhs = parse_binary st 3 in
+    lhs := { Ast.e = Ast.And (!lhs, rhs); epos = pos }
+  done;
+  !lhs
+
+and parse_binary st min_prec : Ast.expr =
+  let pos = cur_pos st in
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    let tok = peek st in
+    let op =
+      match tok with
+      | Token.AMP when peek2 st <> Token.AMP -> Some Ast.Band
+      | _ -> binop_of_token tok
+    in
+    match op with
+    | Some op when precedence op >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (precedence op + 1) in
+        lhs := { Ast.e = Ast.Bin (op, !lhs, rhs); epos = pos }
+    | Some _ | None -> continue := false
+  done;
+  !lhs
+
+and parse_unary st : Ast.expr =
+  let pos = cur_pos st in
+  let mk e = { Ast.e; epos = pos } in
+  match peek st with
+  | Token.MINUS ->
+      advance st;
+      mk (Ast.Un (Ast.Neg, parse_unary st))
+  | Token.BANG ->
+      advance st;
+      mk (Ast.Un (Ast.Not, parse_unary st))
+  | Token.STAR ->
+      advance st;
+      mk (Ast.Lval (Ast.Lderef (parse_unary st)))
+  | Token.AMP ->
+      advance st;
+      let e = parse_unary st in
+      mk (Ast.Addr (as_lvalue st e))
+  | Token.PLUS_PLUS ->
+      advance st;
+      let e = parse_unary st in
+      mk (Ast.Pre_incr (as_lvalue st e))
+  | Token.MINUS_MINUS ->
+      advance st;
+      let e = parse_unary st in
+      mk (Ast.Pre_decr (as_lvalue st e))
+  | _ -> parse_postfix st
+
+and parse_postfix st : Ast.expr =
+  let pos = cur_pos st in
+  let mk e = { Ast.e; epos = pos } in
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr st in
+        expect st Token.RBRACKET;
+        e := mk (Ast.Lval (Ast.Lindex (!e, idx)))
+    | Token.DOT ->
+        advance st;
+        let field = expect_ident st in
+        let base =
+          match !e with
+          | { Ast.e = Ast.Lval (Ast.Lid s); _ } -> s
+          | _ -> error st "field access requires a named struct variable"
+        in
+        e := mk (Ast.Lval (Ast.Lfield (base, field)))
+    | Token.PLUS_PLUS ->
+        advance st;
+        e := mk (Ast.Post_incr (as_lvalue st !e))
+    | Token.MINUS_MINUS ->
+        advance st;
+        e := mk (Ast.Post_decr (as_lvalue st !e))
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_primary st : Ast.expr =
+  let pos = cur_pos st in
+  let mk e = { Ast.e; epos = pos } in
+  match peek st with
+  | Token.INT_LIT n ->
+      advance st;
+      mk (Ast.Int n)
+  | Token.IDENT name ->
+      advance st;
+      if peek st = Token.LPAREN then begin
+        advance st;
+        let args = ref [] in
+        if peek st <> Token.RPAREN then begin
+          args := [ parse_expr st ];
+          while peek st = Token.COMMA do
+            advance st;
+            args := parse_expr st :: !args
+          done
+        end;
+        expect st Token.RPAREN;
+        mk (Ast.Call (name, List.rev !args))
+      end
+      else mk (Ast.Lval (Ast.Lid name))
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let rec parse_stmt st : Ast.stmt =
+  let pos = cur_pos st in
+  let mk s = { Ast.s; spos = pos } in
+  match peek st with
+  | Token.KW_INT ->
+      advance st;
+      let is_ptr = peek st = Token.STAR in
+      if is_ptr then advance st;
+      let name = expect_ident st in
+      let init =
+        if peek st = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      expect st Token.SEMI;
+      mk (Ast.Decl { name; is_ptr; init })
+  | Token.KW_IF ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      let then_ = parse_stmt st in
+      let else_ =
+        if peek st = Token.KW_ELSE then begin
+          advance st;
+          Some (parse_stmt st)
+        end
+        else None
+      in
+      mk (Ast.If (cond, then_, else_))
+  | Token.KW_WHILE ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      mk (Ast.While (cond, parse_stmt st))
+  | Token.KW_DO ->
+      advance st;
+      let body = parse_stmt st in
+      expect st Token.KW_WHILE;
+      expect st Token.LPAREN;
+      let cond = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      mk (Ast.Do_while (body, cond))
+  | Token.KW_FOR ->
+      advance st;
+      expect st Token.LPAREN;
+      let init =
+        if peek st = Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      let cond =
+        if peek st = Token.SEMI then None else Some (parse_expr st)
+      in
+      expect st Token.SEMI;
+      let step =
+        if peek st = Token.RPAREN then None else Some (parse_expr st)
+      in
+      expect st Token.RPAREN;
+      mk (Ast.For (init, cond, step, parse_stmt st))
+  | Token.KW_RETURN ->
+      advance st;
+      let e = if peek st = Token.SEMI then None else Some (parse_expr st) in
+      expect st Token.SEMI;
+      mk (Ast.Return e)
+  | Token.KW_BREAK ->
+      advance st;
+      expect st Token.SEMI;
+      mk Ast.Break
+  | Token.KW_CONTINUE ->
+      advance st;
+      expect st Token.SEMI;
+      mk Ast.Continue
+  | Token.KW_PRINT ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      expect st Token.SEMI;
+      mk (Ast.Print e)
+  | Token.LBRACE ->
+      advance st;
+      let stmts = ref [] in
+      while peek st <> Token.RBRACE do
+        stmts := parse_stmt st :: !stmts
+      done;
+      advance st;
+      mk (Ast.Block (List.rev !stmts))
+  | _ ->
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      mk (Ast.Expr e)
+
+(* ------------------------------------------------------------------ *)
+(* Top level *)
+
+let parse_params st : Ast.param list =
+  expect st Token.LPAREN;
+  let params = ref [] in
+  if peek st <> Token.RPAREN then begin
+    let parse_param () =
+      expect st Token.KW_INT;
+      let pis_ptr = peek st = Token.STAR in
+      if pis_ptr then advance st;
+      let pname = expect_ident st in
+      { Ast.pname; pis_ptr }
+    in
+    params := [ parse_param () ];
+    while peek st = Token.COMMA do
+      advance st;
+      params := parse_param () :: !params
+    done
+  end;
+  expect st Token.RPAREN;
+  List.rev !params
+
+let parse_program (src : string) : Ast.program =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0 } in
+  let structs = ref [] in
+  let globals = ref [] in
+  let externs = ref [] in
+  let funcs = ref [] in
+  let parse_func_body () =
+    expect st Token.LBRACE;
+    let stmts = ref [] in
+    while peek st <> Token.RBRACE do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  in
+  while peek st <> Token.EOF do
+    match peek st with
+    | Token.KW_EXTERN ->
+        advance st;
+        (match peek st with
+        | Token.KW_INT | Token.KW_VOID -> advance st
+        | _ -> error st "expected 'int' or 'void' after 'extern'");
+        let name = expect_ident st in
+        expect st Token.LPAREN;
+        expect st Token.RPAREN;
+        expect st Token.SEMI;
+        externs := name :: !externs
+    | Token.KW_STRUCT when peek2 st <> Token.EOF -> (
+        advance st;
+        let sname = expect_ident st in
+        match peek st with
+        | Token.LBRACE ->
+            advance st;
+            let fields = ref [] in
+            while peek st <> Token.RBRACE do
+              expect st Token.KW_INT;
+              fields := expect_ident st :: !fields;
+              expect st Token.SEMI
+            done;
+            advance st;
+            expect st Token.SEMI;
+            structs :=
+              { Ast.sname; sfields = List.rev !fields } :: !structs
+        | Token.IDENT gname ->
+            advance st;
+            expect st Token.SEMI;
+            globals := Ast.Gstruct_var { gname; gstruct = sname } :: !globals
+        | _ -> error st "expected struct body or variable name")
+    | Token.KW_VOID ->
+        advance st;
+        let fname = expect_ident st in
+        let fpos = cur_pos st in
+        let fparams = parse_params st in
+        let fbody = parse_func_body () in
+        funcs := { Ast.fname; fparams; freturns = false; fbody; fpos } :: !funcs
+    | Token.KW_INT -> (
+        advance st;
+        if peek st = Token.STAR then begin
+          (* global pointer *)
+          advance st;
+          let gname = expect_ident st in
+          expect st Token.SEMI;
+          globals := Ast.Gptr { gname } :: !globals
+        end
+        else
+          let name = expect_ident st in
+          match peek st with
+          | Token.LPAREN ->
+              let fpos = cur_pos st in
+              let fparams = parse_params st in
+              let fbody = parse_func_body () in
+              funcs :=
+                { Ast.fname = name; fparams; freturns = true; fbody; fpos }
+                :: !funcs
+          | Token.LBRACKET ->
+              advance st;
+              let gsize = expect_int st in
+              expect st Token.RBRACKET;
+              expect st Token.SEMI;
+              globals := Ast.Garray { gname = name; gsize } :: !globals
+          | Token.ASSIGN ->
+              advance st;
+              let ginit = expect_int st in
+              expect st Token.SEMI;
+              globals := Ast.Gscalar { gname = name; ginit } :: !globals
+          | Token.SEMI ->
+              advance st;
+              globals := Ast.Gscalar { gname = name; ginit = 0 } :: !globals
+          | _ -> error st "expected global declaration")
+    | _ -> error st "expected top-level declaration"
+  done;
+  {
+    Ast.structs = List.rev !structs;
+    globals = List.rev !globals;
+    externs = List.rev !externs;
+    funcs = List.rev !funcs;
+  }

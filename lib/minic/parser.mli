@@ -1,0 +1,10 @@
+(** Recursive-descent parser for MiniC (one token of lookahead,
+    precedence climbing for binary operators). The grammar is the one
+    documented in {!Ast}. *)
+
+exception Error of string
+(** Message carries ["line:col: description (at 'token')"]. *)
+
+val parse_program : string -> Ast.program
+(** @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)

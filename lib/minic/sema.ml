@@ -1,0 +1,323 @@
+(* Semantic analysis for MiniC: symbol resolution, a small type system
+   (int vs pointer), and the address-taken analysis that decides which
+   locals must live in memory.
+
+   Results feed the alias analysis and the lowering pass:
+   - [addr_taken f] — locals of [f] whose address is taken anywhere;
+     these become address-exposed local memory variables, all other
+     locals become virtual registers;
+   - the checked AST guarantees lowering meets no name errors. *)
+
+exception Error of string
+
+let error (pos : Ast.pos) fmt =
+  Format.kasprintf
+    (fun msg -> raise (Error (Printf.sprintf "%d:%d: %s" pos.line pos.col msg)))
+    fmt
+
+type ty = Tint | Tptr
+
+type global_kind = Gk_scalar | Gk_array | Gk_struct of string | Gk_ptr
+
+module StrSet = Set.Make (String)
+module StrMap = Map.Make (String)
+
+type func_info = {
+  locals : (string * bool) list;  (** (name, is_ptr) in declaration order *)
+  addr_taken : StrSet.t;  (** locals whose address is taken *)
+}
+
+type t = {
+  prog : Ast.program;
+  struct_fields : string list StrMap.t;
+  global_kinds : global_kind StrMap.t;
+  func_sigs : (int * bool) StrMap.t;  (** arity, returns-int *)
+  extern_names : StrSet.t;
+  finfo : func_info StrMap.t;
+}
+
+let func_info t name = StrMap.find name t.finfo
+
+(* ------------------------------------------------------------------ *)
+
+type check_env = {
+  sema : t ref;  (* being built; global tables are complete *)
+  mutable locals : (string * bool) list;  (* reverse declaration order *)
+  mutable local_tys : ty StrMap.t;
+  mutable taken : StrSet.t;
+  returns : bool;
+  mutable loop_depth : int;
+  fname : string;
+}
+
+let global_kind env name = StrMap.find_opt name (!(env.sema)).global_kinds
+
+let rec check_expr env (e : Ast.expr) : ty =
+  match e.e with
+  | Ast.Int _ -> Tint
+  | Ast.Lval lv -> check_lval_read env e.epos lv
+  | Ast.Addr lv -> (
+      match lv with
+      | Ast.Lid name -> (
+          match StrMap.find_opt name env.local_tys with
+          | Some Tint ->
+              env.taken <- StrSet.add name env.taken;
+              Tptr
+          | Some Tptr -> error e.epos "cannot take the address of a pointer"
+          | None -> (
+              match global_kind env name with
+              | Some Gk_scalar -> Tptr
+              | Some Gk_array ->
+                  error e.epos "array %s already denotes an address" name
+              | Some (Gk_struct _) ->
+                  error e.epos "cannot take the address of a whole struct"
+              | Some Gk_ptr ->
+                  error e.epos "cannot take the address of a pointer"
+              | None -> error e.epos "unknown variable %s" name))
+      | Ast.Lindex (base, idx) ->
+          let bt = check_expr env base in
+          if bt <> Tptr then error e.epos "indexing a non-pointer";
+          if check_expr env idx <> Tint then
+            error e.epos "array index must be an int";
+          Tptr
+      | Ast.Lfield (s, f) ->
+          check_field env e.epos s f;
+          Tptr
+      | Ast.Lderef inner ->
+          (* &*p is just p *)
+          check_expr env inner)
+  | Ast.Bin (op, l, r) -> (
+      let lt = check_expr env l and rt = check_expr env r in
+      match (op, lt, rt) with
+      | (Ast.Add | Ast.Sub), Tptr, Tint -> Tptr
+      | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), Tptr, Tptr ->
+          Tint
+      | _, Tint, Tint -> Tint
+      | _, _, _ -> error e.epos "pointer used where an int is required")
+  | Ast.Un (_, x) ->
+      if check_expr env x <> Tint then
+        error e.epos "unary operator requires an int";
+      Tint
+  | Ast.And (l, r) | Ast.Or (l, r) ->
+      if check_expr env l <> Tint || check_expr env r <> Tint then
+        error e.epos "logical operator requires ints";
+      Tint
+  | Ast.Call (name, args) -> (
+      List.iter (fun a -> ignore (check_expr env a)) args;
+      match StrMap.find_opt name (!(env.sema)).func_sigs with
+      | Some (arity, returns) ->
+          if List.length args <> arity then
+            error e.epos "%s expects %d arguments" name arity;
+          if returns then Tint
+          else error e.epos "void function %s used as a value" name
+      | None ->
+          if StrSet.mem name (!(env.sema)).extern_names then Tint
+          else error e.epos "unknown function %s" name)
+  | Ast.Assign (lv, rhs) ->
+      let lt = check_lval_write env e.epos lv in
+      let rt = check_expr env rhs in
+      if lt <> rt then error e.epos "assignment mixes int and pointer";
+      lt
+  | Ast.Op_assign (op, lv, rhs) -> (
+      let lt = check_lval_write env e.epos lv in
+      let rt = check_expr env rhs in
+      match (op, lt, rt) with
+      | (Ast.Add | Ast.Sub), Tptr, Tint -> Tptr
+      | _, Tint, Tint -> Tint
+      | _, _, _ -> error e.epos "compound assignment mixes int and pointer")
+  | Ast.Pre_incr lv | Ast.Pre_decr lv | Ast.Post_incr lv | Ast.Post_decr lv
+    ->
+      let t = check_lval_write env e.epos lv in
+      (* ++ on a pointer is pointer arithmetic; both are allowed *)
+      t
+
+and check_field env pos s f =
+  match global_kind env s with
+  | Some (Gk_struct sname) -> (
+      match StrMap.find_opt sname (!(env.sema)).struct_fields with
+      | Some fields ->
+          if not (List.mem f fields) then
+            error pos "struct %s has no field %s" sname f
+      | None -> error pos "unknown struct type %s" sname)
+  | Some (Gk_scalar | Gk_array | Gk_ptr) ->
+      error pos "%s is not a struct variable" s
+  | None -> error pos "unknown variable %s" s
+
+and check_lval_read env pos (lv : Ast.lvalue) : ty =
+  match lv with
+  | Ast.Lid name -> (
+      match StrMap.find_opt name env.local_tys with
+      | Some t -> t
+      | None -> (
+          match global_kind env name with
+          | Some Gk_scalar -> Tint
+          | Some Gk_array -> Tptr (* array decays to a pointer *)
+          | Some Gk_ptr -> Tptr
+          | Some (Gk_struct _) ->
+              error pos "struct variable %s cannot be used as a value" name
+          | None -> error pos "unknown variable %s" name))
+  | Ast.Lindex (base, idx) ->
+      if check_expr env base <> Tptr then error pos "indexing a non-pointer";
+      if check_expr env idx <> Tint then error pos "index must be an int";
+      Tint
+  | Ast.Lderef e ->
+      if check_expr env e <> Tptr then error pos "dereferencing a non-pointer";
+      Tint
+  | Ast.Lfield (s, f) ->
+      check_field env pos s f;
+      Tint
+
+and check_lval_write env pos lv : ty =
+  match lv with
+  | Ast.Lid name -> (
+      match StrMap.find_opt name env.local_tys with
+      | Some t -> t
+      | None -> (
+          match global_kind env name with
+          | Some Gk_scalar -> Tint
+          | Some Gk_ptr -> Tptr
+          | Some Gk_array -> error pos "cannot assign to an array"
+          | Some (Gk_struct _) -> error pos "cannot assign to a whole struct"
+          | None -> error pos "unknown variable %s" name))
+  | Ast.Lindex _ | Ast.Lderef _ | Ast.Lfield _ -> check_lval_read env pos lv
+
+let rec check_stmt env (s : Ast.stmt) : unit =
+  match s.s with
+  | Ast.Expr { e = Ast.Call (name, args); epos } -> (
+      (* expression statement: a void call result may be discarded *)
+      List.iter (fun a -> ignore (check_expr env a)) args;
+      match StrMap.find_opt name (!(env.sema)).func_sigs with
+      | Some (arity, _returns) ->
+          if List.length args <> arity then
+            error epos "%s expects %d arguments" name arity
+      | None ->
+          if not (StrSet.mem name (!(env.sema)).extern_names) then
+            error epos "unknown function %s" name)
+  | Ast.Expr e -> ignore (check_expr env e)
+  | Ast.Decl { name; is_ptr; init } ->
+      if StrMap.mem name env.local_tys then
+        error s.spos "local %s redeclared (MiniC locals are function-scoped)"
+          name;
+      (match init with
+      | Some e ->
+          let it = check_expr env e in
+          let want = if is_ptr then Tptr else Tint in
+          if it <> want then
+            error s.spos "initialiser of %s mixes int and pointer" name
+      | None -> ());
+      env.locals <- (name, is_ptr) :: env.locals;
+      env.local_tys <-
+        StrMap.add name (if is_ptr then Tptr else Tint) env.local_tys
+  | Ast.If (c, t, e) ->
+      if check_expr env c <> Tint then error s.spos "condition must be an int";
+      check_stmt env t;
+      Option.iter (check_stmt env) e
+  | Ast.While (c, body) ->
+      if check_expr env c <> Tint then error s.spos "condition must be an int";
+      env.loop_depth <- env.loop_depth + 1;
+      check_stmt env body;
+      env.loop_depth <- env.loop_depth - 1
+  | Ast.Do_while (body, c) ->
+      env.loop_depth <- env.loop_depth + 1;
+      check_stmt env body;
+      env.loop_depth <- env.loop_depth - 1;
+      if check_expr env c <> Tint then error s.spos "condition must be an int"
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (fun e -> ignore (check_expr env e)) init;
+      Option.iter
+        (fun e ->
+          if check_expr env e <> Tint then
+            error s.spos "for condition must be an int")
+        cond;
+      Option.iter (fun e -> ignore (check_expr env e)) step;
+      env.loop_depth <- env.loop_depth + 1;
+      check_stmt env body;
+      env.loop_depth <- env.loop_depth - 1
+  | Ast.Return e -> (
+      match (e, env.returns) with
+      | Some e, true ->
+          if check_expr env e <> Tint then
+            error s.spos "can only return ints"
+      | None, false -> ()
+      | Some _, false -> error s.spos "void function %s returns a value" env.fname
+      | None, true -> error s.spos "function %s must return a value" env.fname)
+  | Ast.Break | Ast.Continue ->
+      if env.loop_depth = 0 then error s.spos "break/continue outside a loop"
+  | Ast.Print e ->
+      if check_expr env e <> Tint then error s.spos "print takes an int"
+  | Ast.Block stmts -> List.iter (check_stmt env) stmts
+
+(* ------------------------------------------------------------------ *)
+
+let analyse (prog : Ast.program) : t =
+  let struct_fields =
+    List.fold_left
+      (fun acc (s : Ast.struct_def) ->
+        if StrMap.mem s.sname acc then
+          error { line = 0; col = 0 } "struct %s redefined" s.sname;
+        StrMap.add s.sname s.sfields acc)
+      StrMap.empty prog.structs
+  in
+  let global_kinds =
+    List.fold_left
+      (fun acc g ->
+        let name, kind =
+          match g with
+          | Ast.Gscalar { gname; _ } -> (gname, Gk_scalar)
+          | Ast.Garray { gname; _ } -> (gname, Gk_array)
+          | Ast.Gstruct_var { gname; gstruct } -> (gname, Gk_struct gstruct)
+          | Ast.Gptr { gname } -> (gname, Gk_ptr)
+        in
+        if StrMap.mem name acc then
+          error { line = 0; col = 0 } "global %s redefined" name;
+        StrMap.add name kind acc)
+      StrMap.empty prog.globals
+  in
+  let func_sigs =
+    List.fold_left
+      (fun acc (f : Ast.func) ->
+        if StrMap.mem f.fname acc then
+          error f.fpos "function %s redefined" f.fname;
+        StrMap.add f.fname (List.length f.fparams, f.freturns) acc)
+      StrMap.empty prog.funcs
+  in
+  let extern_names = StrSet.of_list prog.externs in
+  let sema =
+    ref
+      {
+        prog;
+        struct_fields;
+        global_kinds;
+        func_sigs;
+        extern_names;
+        finfo = StrMap.empty;
+      }
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      let env =
+        {
+          sema;
+          locals = [];
+          local_tys =
+            List.fold_left
+              (fun acc (p : Ast.param) ->
+                if StrMap.mem p.pname acc then
+                  error f.fpos "parameter %s duplicated" p.pname;
+                StrMap.add p.pname (if p.pis_ptr then Tptr else Tint) acc)
+              StrMap.empty f.fparams;
+          taken = StrSet.empty;
+          returns = f.freturns;
+          loop_depth = 0;
+          fname = f.fname;
+        }
+      in
+      List.iter (check_stmt env) f.fbody;
+      let info =
+        { locals = List.rev env.locals; addr_taken = env.taken }
+      in
+      sema := { !sema with finfo = StrMap.add f.fname info !sema.finfo })
+    prog.funcs;
+  if not (StrMap.mem "main" func_sigs) then
+    error { line = 0; col = 0 } "program has no main function";
+  !sema

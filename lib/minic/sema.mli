@@ -1,0 +1,34 @@
+(** Semantic analysis: symbol resolution, the int/pointer type system,
+    and the address-taken analysis that decides which locals must live
+    in memory. *)
+
+exception Error of string
+
+type ty = Tint | Tptr
+
+type global_kind = Gk_scalar | Gk_array | Gk_struct of string | Gk_ptr
+
+module StrSet : Set.S with type elt = string
+
+module StrMap : Map.S with type key = string
+
+type func_info = {
+  locals : (string * bool) list;  (** (name, is_ptr) in declaration order *)
+  addr_taken : StrSet.t;  (** locals whose address is taken anywhere *)
+}
+
+type t = {
+  prog : Ast.program;
+  struct_fields : string list StrMap.t;
+  global_kinds : global_kind StrMap.t;
+  func_sigs : (int * bool) StrMap.t;  (** arity, returns-int *)
+  extern_names : StrSet.t;
+  finfo : func_info StrMap.t;
+}
+
+val func_info : t -> string -> func_info
+
+(** Check the whole program (types, names, arity, control-flow
+    placement, presence of [main]).
+    @raise Error on the first violation. *)
+val analyse : Ast.program -> t

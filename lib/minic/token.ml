@@ -1,0 +1,114 @@
+(* Tokens of MiniC, the C subset the workloads are written in. *)
+
+type t =
+  | INT_LIT of int
+  | IDENT of string
+  (* keywords *)
+  | KW_INT
+  | KW_VOID
+  | KW_STRUCT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_DO
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | KW_PRINT
+  | KW_EXTERN
+  (* punctuation *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | DOT
+  (* operators *)
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | PLUS_PLUS
+  | MINUS_MINUS
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | AMP_AMP
+  | BAR_BAR
+  | BANG
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ_EQ
+  | BANG_EQ
+  | SHL
+  | SHR
+  | CARET
+  | BAR
+  | EOF
+
+type spanned = { tok : t; line : int; col : int }
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_VOID -> "void"
+  | KW_STRUCT -> "struct"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_DO -> "do"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | KW_PRINT -> "print"
+  | KW_EXTERN -> "extern"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PERCENT_ASSIGN -> "%="
+  | PLUS_PLUS -> "++"
+  | MINUS_MINUS -> "--"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | AMP_AMP -> "&&"
+  | BAR_BAR -> "||"
+  | BANG -> "!"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQ_EQ -> "=="
+  | BANG_EQ -> "!="
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | CARET -> "^"
+  | BAR -> "|"
+  | EOF -> "<eof>"

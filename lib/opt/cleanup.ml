@@ -1,0 +1,17 @@
+(* The standard clean-up bundle: copy propagation then DCE, iterated to
+   a fixed point (propagating a copy can make its definition dead,
+   removing a dead phi can expose another copy chain). *)
+
+open Rp_ir
+
+let run (f : Func.t) : unit =
+  let budget = ref 16 in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    decr budget;
+    let a = Copyprop.run f in
+    let b = Dce.run f in
+    continue := a + b > 0
+  done
+
+let run_prog (p : Func.prog) : unit = List.iter run p.Func.funcs

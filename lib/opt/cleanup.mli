@@ -1,0 +1,6 @@
+(** The standard clean-up bundle: copy propagation then DCE, iterated
+    to a fixed point. *)
+
+val run : Rp_ir.Func.t -> unit
+
+val run_prog : Rp_ir.Func.prog -> unit

@@ -1,0 +1,82 @@
+(* Copy propagation on SSA form.
+
+   The promoter replaces loads by copies from the promoted register
+   ("These copy instructions are eliminated later" — paper 4.4); this
+   pass is the "later".  Every use of the target of [t = copy s] is
+   rewritten to [s], chasing chains, including phi sources and
+   terminator operands.  The now-dead copies are swept by {!Dce}. *)
+
+open Rp_ir
+
+let run (f : Func.t) : int =
+  (* copy map: reg -> operand it copies *)
+  let copy_of : (Ids.reg, Instr.operand) Hashtbl.t = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          match i.op with
+          | Instr.Copy { dst; src } -> Hashtbl.replace copy_of dst src
+          | _ -> ())
+        b)
+    f;
+  if Hashtbl.length copy_of = 0 then 0
+  else begin
+    (* resolve chains; cycles are impossible in valid SSA, but guard
+       against broken input with a depth bound *)
+    let rec resolve depth (o : Instr.operand) : Instr.operand =
+      match o with
+      | Instr.Imm _ -> o
+      | Instr.Reg r -> (
+          if depth > 1000 then o
+          else
+            match Hashtbl.find_opt copy_of r with
+            | Some o' -> resolve (depth + 1) o'
+            | None -> o)
+    in
+    let rewrites = ref 0 in
+    let subst_reg r =
+      match resolve 0 (Instr.Reg r) with
+      | Instr.Reg r' ->
+          if r' <> r then incr rewrites;
+          r'
+      | Instr.Imm _ -> r (* handled by subst_operand where immediates fit *)
+    in
+    let subst_operand o =
+      let o' = resolve 0 o in
+      if o' <> o then incr rewrites;
+      o'
+    in
+    Func.iter_blocks
+      (fun b ->
+        Block.iter_instrs
+          (fun i ->
+            (match i.op with
+            | Instr.Bin x -> i.op <- Instr.Bin { x with l = subst_operand x.l; r = subst_operand x.r }
+            | Instr.Un x -> i.op <- Instr.Un { x with src = subst_operand x.src }
+            | Instr.Copy x -> i.op <- Instr.Copy { x with src = subst_operand x.src }
+            | Instr.Store x -> i.op <- Instr.Store { x with src = subst_operand x.src }
+            | Instr.Addr_of x -> i.op <- Instr.Addr_of { x with off = subst_operand x.off }
+            | Instr.Ptr_load x -> i.op <- Instr.Ptr_load { x with addr = subst_operand x.addr }
+            | Instr.Ptr_store x ->
+                i.op <-
+                  Instr.Ptr_store
+                    { x with addr = subst_operand x.addr; src = subst_operand x.src }
+            | Instr.Call x -> i.op <- Instr.Call { x with args = List.map subst_operand x.args }
+            | Instr.Print x -> i.op <- Instr.Print { src = subst_operand x.src }
+            | Instr.Rphi x ->
+                i.op <-
+                  Instr.Rphi
+                    { x with srcs = List.map (fun (p, r) -> (p, subst_reg r)) x.srcs }
+            | Instr.Load _ | Instr.Mphi _ | Instr.Dummy_aload _
+            | Instr.Exit_use _ ->
+                ()))
+          b;
+        match b.term with
+        | Block.Br { cond; t; f = fl } ->
+            b.term <- Block.Br { cond = subst_operand cond; t; f = fl }
+        | Block.Ret (Some o) -> b.term <- Block.Ret (Some (subst_operand o))
+        | Block.Jmp _ | Block.Ret None -> ())
+      f;
+    !rewrites
+  end

@@ -1,0 +1,6 @@
+(** Copy propagation on SSA form: every use of the target of
+    [t = copy s] is rewritten to [s], chasing chains, including phi
+    sources and terminator operands. The promoter's copies are swept by
+    {!Dce} afterwards. Returns the number of rewrites. *)
+
+val run : Rp_ir.Func.t -> int

@@ -1,0 +1,6 @@
+(** Dead code elimination on SSA form: mark-and-sweep over the register
+    dataflow from effectful roots. Pure instructions (arithmetic,
+    copies, loads, address-of, register phis) with unread results are
+    removed. Returns the number of removed instructions. *)
+
+val run : Rp_ir.Func.t -> int

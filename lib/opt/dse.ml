@@ -1,0 +1,44 @@
+(* Dead store elimination on memory SSA form — cited by the paper
+   ([CFR+91]) as another optimization that falls out of having memory
+   resources under SSA.
+
+   A store whose resource has no uses is unobservable, because in this
+   IR every observation of memory is an explicit use: singleton loads,
+   aliased loads (calls, pointer loads), and the [Exit_use] at each
+   return which stands for the caller's view of the globals.  Removing
+   a dead store can make a memory phi dead, which can make further
+   stores dead, so the sweep cascades (the same argument as step 4 of
+   the incremental SSA updater, applied to every variable at once). *)
+
+open Rp_ir
+open Rp_ssa
+
+let run (f : Func.t) : int =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let index = Ssa_index.build f in
+    Func.iter_blocks
+      (fun b ->
+        let doomed =
+          List.filter
+            (fun (i : Instr.t) ->
+              match i.op with
+              | Instr.Store { dst; _ } | Instr.Mphi { dst; _ } ->
+                  not (Ssa_index.has_uses index dst)
+              | _ -> false)
+            (Block.instrs b)
+        in
+        List.iter
+          (fun (i : Instr.t) ->
+            Block.remove_instr b ~iid:i.iid;
+            incr removed;
+            changed := true)
+          doomed)
+      f
+  done;
+  !removed
+
+let run_prog (p : Func.prog) : int =
+  List.fold_left (fun acc f -> acc + run f) 0 p.Func.funcs

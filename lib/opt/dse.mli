@@ -1,0 +1,9 @@
+(** Dead store elimination on memory SSA form: a store whose resource
+    has no uses is unobservable (every observation of memory is an
+    explicit use, including the [Exit_use] at returns), so it is
+    removed; the sweep cascades through memory phis. Returns the number
+    of removed instructions. *)
+
+val run : Rp_ir.Func.t -> int
+
+val run_prog : Rp_ir.Func.prog -> int

@@ -1,0 +1,130 @@
+(* Dominator-based global value numbering, in the spirit of
+   Rosen–Wegman–Zadeck [RWZ88], which the paper cites as one of the
+   optimizations that putting memory resources into SSA form enables:
+   because a singleton load carries the SSA name of the memory value it
+   reads, two loads of the *same resource version* provably see the
+   same value and the second can reuse the first's register.
+
+   The pass walks the dominator tree with a scoped hash table mapping
+   canonical expression keys to the register holding their value.  A
+   later instruction with a known key becomes a copy of the leader
+   (swept by {!Dce} after {!Copyprop}).  Value-numbered expressions:
+
+   - pure arithmetic ([Bin]/[Un]), with commutative normalisation,
+   - address computations ([Addr_of]),
+   - singleton loads, keyed by their resource version,
+   - copies, folded into the leader map directly.
+
+   Aliased operations, stores, calls and phis are never numbered. *)
+
+open Rp_ir
+open Rp_analysis
+
+type operand_key = KImm of int | KReg of Ids.reg
+
+type key =
+  | KBin of Instr.binop * operand_key * operand_key
+  | KUn of Instr.unop * operand_key
+  | KAddr of Ids.vid * operand_key
+  | KLoad of Resource.t
+
+let commutative = function
+  | Instr.Add | Instr.Mul | Instr.Eq | Instr.Ne | Instr.Band | Instr.Bor
+  | Instr.Bxor ->
+      true
+  | Instr.Sub | Instr.Div | Instr.Rem | Instr.Lt | Instr.Le | Instr.Gt
+  | Instr.Ge | Instr.Shl | Instr.Shr ->
+      false
+
+let run (f : Func.t) : int =
+  let dom = Dom.compute f in
+  (* leader map: register -> the canonical operand holding its value *)
+  let leader : (Ids.reg, Instr.operand) Hashtbl.t = Hashtbl.create 64 in
+  let resolve (o : Instr.operand) : Instr.operand =
+    match o with
+    | Instr.Imm _ -> o
+    | Instr.Reg r -> (
+        match Hashtbl.find_opt leader r with Some o' -> o' | None -> o)
+  in
+  let key_of_operand (o : Instr.operand) : operand_key =
+    match resolve o with Instr.Imm n -> KImm n | Instr.Reg r -> KReg r
+  in
+  (* scoped value table *)
+  let table : (key, Instr.operand) Hashtbl.t = Hashtbl.create 64 in
+  let replaced = ref 0 in
+  let rec visit bid (scope : key list ref) =
+    let b = Func.block f bid in
+    List.iter
+      (fun (i : Instr.t) ->
+        let number dst key =
+          match Hashtbl.find_opt table key with
+          | Some l ->
+              (* reuse the dominating leader *)
+              i.op <- Instr.Copy { dst; src = l };
+              Hashtbl.replace leader dst l;
+              incr replaced
+          | None ->
+              Hashtbl.add table key (Instr.Reg dst);
+              scope := key :: !scope
+        in
+        match i.op with
+        | Instr.Bin { dst; op; l; r } ->
+            let kl = key_of_operand l and kr = key_of_operand r in
+            let kl, kr =
+              if commutative op && kl > kr then (kr, kl) else (kl, kr)
+            in
+            (* also canonicalise the instruction's own operands *)
+            i.op <- Instr.Bin { dst; op; l = resolve l; r = resolve r };
+            number dst (KBin (op, kl, kr))
+        | Instr.Un { dst; op; src } ->
+            i.op <- Instr.Un { dst; op; src = resolve src };
+            number dst (KUn (op, key_of_operand src))
+        | Instr.Addr_of { dst; var; off } ->
+            i.op <- Instr.Addr_of { dst; var; off = resolve off };
+            number dst (KAddr (var, key_of_operand off))
+        | Instr.Load { dst; src } -> number dst (KLoad src)
+        | Instr.Copy { dst; src } ->
+            let l = resolve src in
+            i.op <- Instr.Copy { dst; src = l };
+            Hashtbl.replace leader dst l
+        | Instr.Store x -> i.op <- Instr.Store { x with src = resolve x.src }
+        | Instr.Ptr_load x ->
+            i.op <- Instr.Ptr_load { x with addr = resolve x.addr }
+        | Instr.Ptr_store x ->
+            i.op <-
+              Instr.Ptr_store
+                { x with addr = resolve x.addr; src = resolve x.src }
+        | Instr.Call x ->
+            i.op <- Instr.Call { x with args = List.map resolve x.args }
+        | Instr.Print x -> i.op <- Instr.Print { src = resolve x.src }
+        | Instr.Rphi { dst; srcs } ->
+            i.op <-
+              Instr.Rphi
+                {
+                  dst;
+                  srcs =
+                    List.map
+                      (fun (p, r) ->
+                        match resolve (Instr.Reg r) with
+                        | Instr.Reg r' -> (p, r')
+                        | Instr.Imm _ -> (p, r))
+                      srcs;
+                }
+        | Instr.Mphi _ | Instr.Dummy_aload _ | Instr.Exit_use _ -> ())
+      (Block.instrs b);
+    (match b.term with
+    | Block.Br { cond; t; f = fl } ->
+        b.term <- Block.Br { cond = resolve cond; t; f = fl }
+    | Block.Ret (Some o) -> b.term <- Block.Ret (Some (resolve o))
+    | Block.Jmp _ | Block.Ret None -> ());
+    (* children in the dominator tree see this scope *)
+    List.iter
+      (fun c ->
+        let child_scope = ref [] in
+        visit c child_scope;
+        List.iter (Hashtbl.remove table) !child_scope)
+      (Dom.children dom bid)
+  in
+  let top_scope = ref [] in
+  visit f.entry top_scope;
+  !replaced

@@ -1,0 +1,7 @@
+(** Dominator-based global value numbering ([RWZ88]), extended to
+    memory as the paper suggests: a singleton load is keyed by the SSA
+    resource version it reads, so two loads of the same version reuse
+    one register. Redundant pure computations become copies (swept by
+    {!Dce} after {!Copyprop}). Returns the number of replacements. *)
+
+val run : Rp_ir.Func.t -> int

@@ -1,0 +1,301 @@
+(* Sparse conditional constant propagation (Wegman–Zadeck [WeZ91]) —
+   one of the SSA optimizations the paper cites as context for putting
+   memory resources into SSA form.
+
+   Standard two-worklist formulation: lattice values per register
+   (Top / Const / Bottom), executable-edge tracking, phi evaluation
+   over executable incoming edges only, branch folding when the
+   condition is a known constant.  Memory values are not tracked:
+   loads, calls and pointer reads go straight to Bottom.
+
+   Division by a known zero is NOT folded — the runtime trap is
+   observable behaviour and must be preserved — the result simply
+   stays Bottom.
+
+   The transformation rewrites constant register uses to immediates,
+   turns conditional branches on constants into jumps, removes the
+   now-unreachable blocks, and prunes phi sources; the dead constant
+   definitions themselves are left to {!Dce}. *)
+
+open Rp_ir
+
+type lat = Top | Const of int | Bot
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Const x, Const y -> if x = y then Const x else Bot
+  | Bot, _ | _, Bot -> Bot
+
+(* Fold an integer binop, mirroring the interpreter's semantics;
+   [None] when the result must stay symbolic (traps). *)
+let fold_binop op x y =
+  match op with
+  | Instr.Add -> Some (x + y)
+  | Instr.Sub -> Some (x - y)
+  | Instr.Mul -> Some (x * y)
+  | Instr.Div -> if y = 0 then None else Some (x / y)
+  | Instr.Rem -> if y = 0 then None else Some (x mod y)
+  | Instr.Lt -> Some (if x < y then 1 else 0)
+  | Instr.Le -> Some (if x <= y then 1 else 0)
+  | Instr.Gt -> Some (if x > y then 1 else 0)
+  | Instr.Ge -> Some (if x >= y then 1 else 0)
+  | Instr.Eq -> Some (if x = y then 1 else 0)
+  | Instr.Ne -> Some (if x <> y then 1 else 0)
+  | Instr.Band -> Some (x land y)
+  | Instr.Bor -> Some (x lor y)
+  | Instr.Bxor -> Some (x lxor y)
+  | Instr.Shl -> Some (x lsl (y land 63))
+  | Instr.Shr -> Some (x asr (y land 63))
+
+let fold_unop op x =
+  match op with
+  | Instr.Neg -> -x
+  | Instr.Lnot -> if x = 0 then 1 else 0
+
+type state = {
+  f : Func.t;
+  value : lat array;  (** per register *)
+  mutable exec_edges : Ids.PairSet.t;
+  mutable exec_blocks : Ids.IntSet.t;
+  flow_wl : (Ids.bid * Ids.bid) Queue.t;
+  ssa_wl : Ids.reg Queue.t;
+  uses_of : (Ids.reg, Instr.t list) Hashtbl.t;
+      (** instructions whose evaluation depends on the register,
+          including phis and the (virtual) terminator of its block *)
+  block_of : (Ids.iid, Ids.bid) Hashtbl.t;
+  term_users : (Ids.reg, Ids.bid list) Hashtbl.t;
+}
+
+let lat_of st = function
+  | Instr.Imm n -> Const n
+  | Instr.Reg r -> st.value.(r)
+
+let raise_to st r v =
+  let v' = meet st.value.(r) v in
+  if v' <> st.value.(r) then begin
+    st.value.(r) <- v';
+    Queue.add r st.ssa_wl
+  end
+
+(* Evaluate one instruction's definition under the current lattice. *)
+let eval_instr st (i : Instr.t) =
+  match i.op with
+  | Instr.Bin { dst; op; l; r } ->
+      let v =
+        match (lat_of st l, lat_of st r) with
+        | Const x, Const y -> (
+            match fold_binop op x y with Some z -> Const z | None -> Bot)
+        | Top, _ | _, Top -> Top
+        | _ -> Bot
+      in
+      raise_to st dst v
+  | Instr.Un { dst; op; src } ->
+      let v =
+        match lat_of st src with
+        | Const x -> Const (fold_unop op x)
+        | Top -> Top
+        | Bot -> Bot
+      in
+      raise_to st dst v
+  | Instr.Copy { dst; src } -> raise_to st dst (lat_of st src)
+  | Instr.Rphi { dst; srcs } ->
+      let bid = Hashtbl.find st.block_of i.iid in
+      let v =
+        List.fold_left
+          (fun acc (p, r) ->
+            if Ids.PairSet.mem (p, bid) st.exec_edges then
+              meet acc st.value.(r)
+            else acc)
+          Top srcs
+      in
+      raise_to st dst v
+  | Instr.Load { dst; _ }
+  | Instr.Addr_of { dst; _ }
+  | Instr.Ptr_load { dst; _ } ->
+      raise_to st dst Bot
+  | Instr.Call { dst = Some dst; _ } -> raise_to st dst Bot
+  | Instr.Call { dst = None; _ }
+  | Instr.Store _ | Instr.Ptr_store _ | Instr.Dummy_aload _
+  | Instr.Exit_use _ | Instr.Mphi _ | Instr.Print _ ->
+      ()
+
+let mark_edge st (src, dst) =
+  if not (Ids.PairSet.mem (src, dst) st.exec_edges) then begin
+    st.exec_edges <- Ids.PairSet.add (src, dst) st.exec_edges;
+    Queue.add (src, dst) st.flow_wl
+  end
+
+let eval_term st (b : Block.t) =
+  match b.term with
+  | Block.Jmp l -> mark_edge st (b.bid, l)
+  | Block.Br { cond; t; f = fl } -> (
+      match lat_of st cond with
+      | Const c -> mark_edge st (b.bid, if c <> 0 then t else fl)
+      | Bot ->
+          mark_edge st (b.bid, t);
+          mark_edge st (b.bid, fl)
+      | Top -> ())
+  | Block.Ret _ -> ()
+
+let analyse (f : Func.t) : state =
+  Cfg.recompute_preds f;
+  let st =
+    {
+      f;
+      value = Array.make (max f.next_reg 1) Top;
+      exec_edges = Ids.PairSet.empty;
+      exec_blocks = Ids.IntSet.empty;
+      flow_wl = Queue.create ();
+      ssa_wl = Queue.create ();
+      uses_of = Hashtbl.create 64;
+      block_of = Hashtbl.create 64;
+      term_users = Hashtbl.create 16;
+    }
+  in
+  (* parameters are runtime inputs *)
+  List.iter (fun r -> st.value.(r) <- Bot) f.params;
+  let add_use r i =
+    let cur =
+      match Hashtbl.find_opt st.uses_of r with Some l -> l | None -> []
+    in
+    Hashtbl.replace st.uses_of r (i :: cur)
+  in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          Hashtbl.replace st.block_of i.Instr.iid b.bid;
+          List.iter (fun r -> add_use r i) (Instr.reg_uses i.Instr.op);
+          List.iter
+            (fun (_, r) -> add_use r i)
+            (Instr.rphi_srcs i.Instr.op))
+        b;
+      List.iter
+        (fun r ->
+          let cur =
+            match Hashtbl.find_opt st.term_users r with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace st.term_users r (b.bid :: cur))
+        (Block.term_uses b))
+    f;
+  (* seed: the entry is executable *)
+  st.exec_blocks <- Ids.IntSet.add f.entry st.exec_blocks;
+  let visit_block bid =
+    let b = Func.block f bid in
+    Block.iter_instrs (eval_instr st) b;
+    eval_term st b
+  in
+  visit_block f.entry;
+  let continue = ref true in
+  while !continue do
+    if not (Queue.is_empty st.flow_wl) then begin
+      let _, dst = Queue.pop st.flow_wl in
+      if not (Ids.IntSet.mem dst st.exec_blocks) then begin
+        st.exec_blocks <- Ids.IntSet.add dst st.exec_blocks;
+        visit_block dst
+      end
+      else
+        (* re-evaluate the phis: a new incoming edge became executable *)
+        List.iter (eval_instr st) (Func.block f dst).Block.phis
+    end
+    else if not (Queue.is_empty st.ssa_wl) then begin
+      let r = Queue.pop st.ssa_wl in
+      (match Hashtbl.find_opt st.uses_of r with
+      | Some users ->
+          List.iter
+            (fun (i : Instr.t) ->
+              match Hashtbl.find_opt st.block_of i.iid with
+              | Some bid when Ids.IntSet.mem bid st.exec_blocks ->
+                  eval_instr st i
+              | Some _ | None -> ())
+            users
+      | None -> ());
+      match Hashtbl.find_opt st.term_users r with
+      | Some bids ->
+          List.iter
+            (fun bid ->
+              if Ids.IntSet.mem bid st.exec_blocks then
+                eval_term st (Func.block f bid))
+            bids
+      | None -> ()
+    end
+    else continue := false
+  done;
+  st
+
+(* Apply the analysis: returns the number of rewrites performed. *)
+let run (f : Func.t) : int =
+  let st = analyse f in
+  let rewrites = ref 0 in
+  let subst (o : Instr.operand) =
+    match o with
+    | Instr.Reg r -> (
+        match st.value.(r) with
+        | Const c ->
+            incr rewrites;
+            Instr.Imm c
+        | Top | Bot -> o)
+    | Instr.Imm _ -> o
+  in
+  Func.iter_blocks
+    (fun b ->
+      if Ids.IntSet.mem b.bid st.exec_blocks then begin
+        List.iter
+          (fun (i : Instr.t) ->
+            (* keep the defining instructions; rewrite their uses *)
+            match i.op with
+            | Instr.Bin x ->
+                i.op <- Instr.Bin { x with l = subst x.l; r = subst x.r }
+            | Instr.Un x -> i.op <- Instr.Un { x with src = subst x.src }
+            | Instr.Copy x -> i.op <- Instr.Copy { x with src = subst x.src }
+            | Instr.Store x -> i.op <- Instr.Store { x with src = subst x.src }
+            | Instr.Addr_of x ->
+                i.op <- Instr.Addr_of { x with off = subst x.off }
+            | Instr.Ptr_load x ->
+                i.op <- Instr.Ptr_load { x with addr = subst x.addr }
+            | Instr.Ptr_store x ->
+                i.op <-
+                  Instr.Ptr_store
+                    { x with addr = subst x.addr; src = subst x.src }
+            | Instr.Call x ->
+                i.op <- Instr.Call { x with args = List.map subst x.args }
+            | Instr.Print x -> i.op <- Instr.Print { src = subst x.src }
+            | Instr.Rphi _ | Instr.Mphi _ | Instr.Load _
+            | Instr.Dummy_aload _ | Instr.Exit_use _ ->
+                ())
+          (Block.instrs b);
+        (* fold branches decided by the analysis *)
+        match b.term with
+        | Block.Br { cond; t; f = fl } -> (
+            match lat_of st cond with
+            | Const c ->
+                incr rewrites;
+                b.term <- Block.Jmp (if c <> 0 then t else fl)
+            | Top | Bot -> b.term <- Block.Br { cond = subst cond; t; f = fl })
+        | Block.Ret (Some o) -> b.term <- Block.Ret (Some (subst o))
+        | Block.Jmp _ | Block.Ret None -> ()
+      end)
+    f;
+  if !rewrites > 0 then begin
+    (* branch folding may have removed edges: recompute, prune phi
+       sources to the surviving predecessors, drop dead blocks *)
+    Cfg.remove_unreachable f;
+    Func.iter_blocks
+      (fun b ->
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Rphi { srcs; _ } ->
+                Instr.set_rphi_srcs i
+                  (List.filter (fun (p, _) -> List.mem p b.preds) srcs)
+            | Instr.Mphi { srcs; _ } ->
+                Instr.set_mphi_srcs i
+                  (List.filter (fun (p, _) -> List.mem p b.preds) srcs)
+            | _ -> ())
+          b.phis)
+      f
+  end;
+  !rewrites

@@ -1,0 +1,7 @@
+(** Sparse conditional constant propagation (Wegman–Zadeck [WeZ91]).
+    Rewrites constant register uses to immediates and folds conditional
+    branches on known constants; unreachable blocks are removed and phi
+    sources pruned. Traps (division by a known zero) are never folded.
+    Returns the number of rewrites. *)
+
+val run : Rp_ir.Func.t -> int

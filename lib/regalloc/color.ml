@@ -1,0 +1,159 @@
+(* Graph coloring: how many colors does the interference graph need?
+
+   The scheme is Chaitin-style iterated simplification with optimistic
+   color assignment: repeatedly remove a minimum-degree node, then pop
+   the stack assigning each node the smallest color free among its
+   already-colored neighbours.  On a chordal graph (SSA interference
+   graphs are chordal) minimum-degree elimination is a perfect
+   elimination scheme, so the count is the chromatic number; on
+   arbitrary graphs it is an upper bound.
+
+   Table 3 of the paper reports exactly this count per routine, before
+   and after promotion. *)
+
+open Rp_ir
+
+type result = {
+  colors : int;  (** number of distinct colors used *)
+  assignment : (Ids.reg, int) Hashtbl.t;
+}
+
+let color (g : Interference.t) (nodes : Ids.IntSet.t) : result =
+  (* simplification order: repeatedly take the minimum-degree node of
+     the remaining subgraph *)
+  let remaining = ref nodes in
+  let degree = Hashtbl.create 64 in
+  Ids.IntSet.iter
+    (fun r ->
+      Hashtbl.replace degree r
+        (Ids.IntSet.cardinal (Ids.IntSet.inter g.Interference.adj.(r) nodes)))
+    nodes;
+  let stack = ref [] in
+  while not (Ids.IntSet.is_empty !remaining) do
+    let best =
+      Ids.IntSet.fold
+        (fun r acc ->
+          match acc with
+          | None -> Some r
+          | Some b ->
+              if Hashtbl.find degree r < Hashtbl.find degree b then Some r
+              else acc)
+        !remaining None
+    in
+    match best with
+    | None -> ()
+    | Some r ->
+        stack := r :: !stack;
+        remaining := Ids.IntSet.remove r !remaining;
+        Ids.IntSet.iter
+          (fun n ->
+            if Ids.IntSet.mem n !remaining then
+              Hashtbl.replace degree n (Hashtbl.find degree n - 1))
+          g.Interference.adj.(r)
+  done;
+  (* assign colors popping the stack (last removed = first colored) *)
+  let assignment = Hashtbl.create 64 in
+  let max_color = ref (-1) in
+  List.iter
+    (fun r ->
+      let taken =
+        Ids.IntSet.fold
+          (fun n acc ->
+            match Hashtbl.find_opt assignment n with
+            | Some c -> Ids.IntSet.add c acc
+            | None -> acc)
+          g.Interference.adj.(r) Ids.IntSet.empty
+      in
+      let rec first_free c =
+        if Ids.IntSet.mem c taken then first_free (c + 1) else c
+      in
+      let c = first_free 0 in
+      Hashtbl.replace assignment r c;
+      if c > !max_color then max_color := c)
+    !stack;
+  { colors = !max_color + 1; assignment }
+
+(* Colors needed for one function. *)
+let colors_for_func (f : Func.t) : int =
+  let g = Interference.build f in
+  (color g (Interference.occurring f)).colors
+
+(* Chaitin-style spill estimation for a machine with [k] registers:
+   simplify nodes with degree < k; when stuck, mark the highest-degree
+   node as a potential spill and remove it.  The count of marked nodes
+   approximates how many live ranges need memory homes — the cost side
+   of the paper's Table 3 pressure observation, made concrete. *)
+let count_spills (g : Interference.t) (nodes : Ids.IntSet.t) ~(k : int) : int
+    =
+  let remaining = ref nodes in
+  let degree = Hashtbl.create 64 in
+  Ids.IntSet.iter
+    (fun r ->
+      Hashtbl.replace degree r
+        (Ids.IntSet.cardinal (Ids.IntSet.inter g.Interference.adj.(r) nodes)))
+    nodes;
+  let spills = ref 0 in
+  let remove r =
+    remaining := Ids.IntSet.remove r !remaining;
+    Ids.IntSet.iter
+      (fun n ->
+        if Ids.IntSet.mem n !remaining then
+          Hashtbl.replace degree n (Hashtbl.find degree n - 1))
+      g.Interference.adj.(r)
+  in
+  while not (Ids.IntSet.is_empty !remaining) do
+    let low =
+      Ids.IntSet.fold
+        (fun r acc ->
+          if Hashtbl.find degree r < k then
+            match acc with
+            | None -> Some r
+            | Some b ->
+                if Hashtbl.find degree r < Hashtbl.find degree b then Some r
+                else acc
+          else acc)
+        !remaining None
+    in
+    match low with
+    | Some r -> remove r
+    | None ->
+        (* everything has degree >= k: spill the busiest node *)
+        let victim =
+          Ids.IntSet.fold
+            (fun r acc ->
+              match acc with
+              | None -> Some r
+              | Some b ->
+                  if Hashtbl.find degree r > Hashtbl.find degree b then Some r
+                  else acc)
+            !remaining None
+        in
+        (match victim with
+        | Some r ->
+            incr spills;
+            remove r
+        | None -> ())
+  done;
+  !spills
+
+let spills_for_func (f : Func.t) ~k : int =
+  let g = Interference.build f in
+  count_spills g (Interference.occurring f) ~k
+
+(* Sanity: a coloring is proper when no interfering pair shares a
+   color.  Exposed for the property tests. *)
+let proper (g : Interference.t) (r : result) : bool =
+  let ok = ref true in
+  Array.iteri
+    (fun a neigh ->
+      match Hashtbl.find_opt r.assignment a with
+      | None -> ()
+      | Some ca ->
+          Ids.IntSet.iter
+            (fun b ->
+              match Hashtbl.find_opt r.assignment b with
+              | Some cb -> if a <> b && ca = cb then ok := false
+              | None -> ())
+            neigh)
+    g.Interference.adj;
+  !ok

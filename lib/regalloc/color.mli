@@ -1,0 +1,29 @@
+(** Chaitin-style iterated simplification with optimistic color
+    assignment. On chordal graphs (SSA interference) the count equals
+    the chromatic number; in general it is an upper bound — and always
+    at most max-live on SSA-derived graphs. This is the "number of
+    colors needed to color the register interference graph" of the
+    paper's Table 3. *)
+
+open Rp_ir
+
+type result = {
+  colors : int;  (** number of distinct colors used *)
+  assignment : (Ids.reg, int) Hashtbl.t;
+}
+
+val color : Interference.t -> Ids.IntSet.t -> result
+
+(** Convenience: build the graph and count colors for one function. *)
+val colors_for_func : Func.t -> int
+
+(** Chaitin-style spill estimation for a machine with [k] registers:
+    the number of live ranges that cannot be simplified — the concrete
+    cost of the pressure increase Table 3 reports. *)
+val count_spills : Interference.t -> Rp_ir.Ids.IntSet.t -> k:int -> int
+
+val spills_for_func : Func.t -> k:int -> int
+
+(** No interfering pair shares a color; exposed for the property
+    tests. *)
+val proper : Interference.t -> result -> bool

@@ -1,0 +1,133 @@
+(* Register interference graph.
+
+   Built from liveness: two registers interfere when one is defined at
+   a point where the other is live (the classic Chaitin condition).
+   Copies get the usual slack: the source of a copy does not interfere
+   with its target just because of the copy itself.
+
+   On SSA form the graph is chordal, which {!Color} exploits: the
+   number of colors a simplicial elimination scheme needs equals the
+   chromatic number, and both equal the maximum number of
+   simultaneously live registers.  This is the "number of colors needed
+   to color the register interference graph" that the paper's Table 3
+   reports. *)
+
+open Rp_ir
+open Rp_analysis
+
+type t = {
+  nregs : int;
+  adj : Ids.IntSet.t array;  (** adjacency; indexed by register id *)
+}
+
+let interfere t a b = a <> b && Ids.IntSet.mem b t.adj.(a)
+
+let degree t r = Ids.IntSet.cardinal t.adj.(r)
+
+let num_nodes t = t.nregs
+
+(* Registers that actually occur in the function (not every id below
+   next_reg is in use after renaming). *)
+let occurring (f : Func.t) : Ids.IntSet.t =
+  let s = ref Ids.IntSet.empty in
+  let touch r = s := Ids.IntSet.add r !s in
+  List.iter touch f.Func.params;
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          (match Instr.reg_def i.op with Some r -> touch r | None -> ());
+          List.iter touch (Instr.reg_uses i.op);
+          List.iter (fun (_, r) -> touch r) (Instr.rphi_srcs i.op))
+        b;
+      List.iter touch (Block.term_uses b))
+    f;
+  !s
+
+let build (f : Func.t) : t =
+  let live = Liveness.compute f in
+  let n = f.Func.next_reg in
+  let adj = Array.make (max n 1) Ids.IntSet.empty in
+  let add_edge a b =
+    if a <> b then begin
+      adj.(a) <- Ids.IntSet.add b adj.(a);
+      adj.(b) <- Ids.IntSet.add a adj.(b)
+    end
+  in
+  Func.iter_blocks
+    (fun b ->
+      (* walk the block backwards keeping the live set; registers read
+         by the terminator are live between the last instruction and
+         the branch *)
+      let live_now =
+        ref
+          (List.fold_left
+             (fun acc r -> Ids.IntSet.add r acc)
+             (Liveness.live_out live b.bid)
+             (Block.term_uses b))
+      in
+      let step (i : Instr.t) =
+        (match Instr.reg_def i.op with
+        | Some d ->
+            let against =
+              match i.op with
+              | Instr.Copy { src = Instr.Reg s; _ } ->
+                  Ids.IntSet.remove s !live_now
+              | _ -> !live_now
+            in
+            Ids.IntSet.iter (fun l -> add_edge d l) against;
+            live_now := Ids.IntSet.remove d !live_now
+        | None -> ());
+        List.iter
+          (fun u -> live_now := Ids.IntSet.add u !live_now)
+          (Instr.reg_uses i.op)
+      in
+      List.iter step (List.rev b.body);
+      (* phi defs: all defined in parallel at block entry; they
+         interfere with each other and with everything live there *)
+      let phi_ds =
+        List.filter_map (fun (i : Instr.t) -> Instr.reg_def i.op) b.phis
+      in
+      List.iter
+        (fun d ->
+          Ids.IntSet.iter (fun l -> add_edge d l) !live_now;
+          List.iter (fun d' -> add_edge d d') phi_ds)
+        phi_ds)
+    f;
+  { nregs = n; adj }
+
+(* Maximum number of simultaneously live registers anywhere in the
+   function — the lower bound any allocation needs, and on SSA form the
+   exact chromatic number. *)
+let max_live (f : Func.t) : int =
+  let live = Liveness.compute f in
+  let best = ref 0 in
+  Func.iter_blocks
+    (fun b ->
+      let live_now =
+        ref
+          (List.fold_left
+             (fun acc r -> Ids.IntSet.add r acc)
+             (Liveness.live_out live b.bid)
+             (Block.term_uses b))
+      in
+      best := max !best (Ids.IntSet.cardinal !live_now);
+      let step (i : Instr.t) =
+        (match Instr.reg_def i.op with
+        | Some d -> live_now := Ids.IntSet.remove d !live_now
+        | None -> ());
+        List.iter
+          (fun u -> live_now := Ids.IntSet.add u !live_now)
+          (Instr.reg_uses i.op);
+        best := max !best (Ids.IntSet.cardinal !live_now)
+      in
+      List.iter step (List.rev b.body);
+      let phi_ds =
+        List.filter_map (fun (i : Instr.t) -> Instr.reg_def i.op) b.phis
+      in
+      let with_phis =
+        List.fold_left (fun acc d -> Ids.IntSet.add d acc) !live_now phi_ds
+      in
+      best := max !best (Ids.IntSet.cardinal with_phis))
+    f;
+  !best

@@ -1,0 +1,27 @@
+(** Register interference graph from liveness (Chaitin's condition,
+    with copy slack: a copy's source and target do not interfere
+    through the copy itself). On SSA form the slack-free graph is
+    chordal. *)
+
+open Rp_ir
+
+type t = {
+  nregs : int;
+  adj : Ids.IntSet.t array;  (** adjacency, indexed by register id *)
+}
+
+val interfere : t -> Ids.reg -> Ids.reg -> bool
+
+val degree : t -> Ids.reg -> int
+
+val num_nodes : t -> int
+
+(** Registers that actually occur in the function. *)
+val occurring : Func.t -> Ids.IntSet.t
+
+val build : Func.t -> t
+
+(** Maximum number of simultaneously live registers — the lower bound
+    any allocation needs; on SSA form (without copy slack) the exact
+    chromatic number. *)
+val max_live : Func.t -> int

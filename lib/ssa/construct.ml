@@ -1,0 +1,271 @@
+(* Pruned SSA construction over both name spaces, following Cytron et
+   al. [CFR+91]:
+
+   - virtual registers are renamed to fresh registers,
+   - memory variables are renamed to versioned resources (section 3 of
+     the paper: "We put singleton resources in SSA form in order to
+     treat them uniformly with register resources"),
+   - phi instructions ([Rphi]/[Mphi]) are placed at the iterated
+     dominance frontier of the definition sites, pruned by a pre-SSA
+     liveness analysis so no dead phi is created (dead memory phis
+     would otherwise join unrelated names into one SSA web and make the
+     promoter insert pointless compensation code).
+
+   An aliased store (call, pointer store) is a definition of every
+   resource it may touch: each gets a fresh version, exactly like the
+   paper's "x4 = foo()".  Every memory variable receives an implicit
+   entry definition (version 1) so uses before any store refer to the
+   value the function was entered with. *)
+
+open Rp_ir
+open Rp_analysis
+
+(* Locations unify the two name spaces for placement and pruning:
+   even = register, odd = memory variable. *)
+let loc_of_reg r = 2 * r
+
+let loc_of_var v = (2 * v) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Pre-SSA location liveness (no phis exist yet) *)
+
+let location_liveness (f : Func.t) =
+  let n = Func.num_blocks f in
+  let gen = Array.make n Ids.IntSet.empty in
+  let kill = Array.make n Ids.IntSet.empty in
+  Func.iter_blocks
+    (fun b ->
+      let g = ref Ids.IntSet.empty and k = ref Ids.IntSet.empty in
+      let use l = if not (Ids.IntSet.mem l !k) then g := Ids.IntSet.add l !g in
+      let def l = k := Ids.IntSet.add l !k in
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter (fun r -> use (loc_of_reg r)) (Instr.reg_uses i.op);
+          List.iter (fun r -> use (loc_of_var r.Resource.base)) (Instr.mem_uses i.op);
+          (match Instr.reg_def i.op with
+          | Some r -> def (loc_of_reg r)
+          | None -> ());
+          (* only strong definitions kill: an aliased may-def does not
+             guarantee the old value is gone *)
+          match i.op with
+          | Store { dst; _ } -> def (loc_of_var dst.Resource.base)
+          | Bin _ | Un _ | Copy _ | Load _ | Addr_of _ | Ptr_load _
+          | Ptr_store _ | Call _ | Dummy_aload _ | Exit_use _ | Rphi _
+          | Mphi _ | Print _ ->
+              ())
+        b.body;
+      List.iter (fun r -> use (loc_of_reg r)) (Block.term_uses b);
+      gen.(b.bid) <- !g;
+      kill.(b.bid) <- !k)
+    f;
+  let live_in = Array.make n Ids.IntSet.empty in
+  let live_out = Array.make n Ids.IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        let out =
+          List.fold_left
+            (fun acc s -> Ids.IntSet.union acc live_in.(s))
+            Ids.IntSet.empty (Block.succs b)
+        in
+        let inn =
+          Ids.IntSet.union gen.(bid) (Ids.IntSet.diff out kill.(bid))
+        in
+        if
+          (not (Ids.IntSet.equal out live_out.(bid)))
+          || not (Ids.IntSet.equal inn live_in.(bid))
+        then begin
+          live_out.(bid) <- out;
+          live_in.(bid) <- inn;
+          changed := true
+        end)
+      (Cfg.postorder f)
+  done;
+  live_in
+
+(* ------------------------------------------------------------------ *)
+
+type idf_engine = Cytron | Sreedhar_gao
+
+(* Convert [f] (which must not already contain phi instructions) into
+   pruned SSA form.  Returns the set of memory variables that occur in
+   the function. *)
+let run ?(engine = Cytron) (f : Func.t) : unit =
+  Cfg.recompute_preds f;
+  let dom = Dom.compute f in
+  Hashtbl.reset f.mver;
+  let live_in = location_liveness f in
+  (* 1. definition sites per location *)
+  let def_blocks : (int, Ids.IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_def l bid =
+    let cur =
+      match Hashtbl.find_opt def_blocks l with
+      | Some s -> s
+      | None -> Ids.IntSet.empty
+    in
+    Hashtbl.replace def_blocks l (Ids.IntSet.add bid cur)
+  in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          (match Instr.reg_def i.op with
+          | Some r -> add_def (loc_of_reg r) b.bid
+          | None -> ());
+          List.iter
+            (fun r -> add_def (loc_of_var r.Resource.base) b.bid)
+            (Instr.mem_defs i.op))
+        b.body)
+    f;
+  (* parameters are defined at the entry block *)
+  List.iter (fun r -> add_def (loc_of_reg r) f.entry) f.params;
+  (* 2. phi placement at the pruned iterated dominance frontier *)
+  let idf =
+    match engine with
+    | Cytron ->
+        let df = Domfront.compute f dom in
+        fun init -> Domfront.iterated df init
+    | Sreedhar_gao ->
+        let dj = Djgraph.build f dom in
+        fun init -> Djgraph.idf dj init
+  in
+  (* remember which location each placed phi stands for: once the
+     target is renamed the original location is no longer recoverable
+     from the instruction itself *)
+  let phi_origin : (Ids.iid, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l blocks ->
+      let targets = idf blocks in
+      Ids.IntSet.iter
+        (fun bid ->
+          if Ids.IntSet.mem l live_in.(bid) then begin
+            let b = Func.block f bid in
+            let op =
+              if l land 1 = 0 then
+                Instr.Rphi { dst = l / 2; srcs = [] }
+              else
+                Instr.Mphi { dst = Resource.unversioned (l / 2); srcs = [] }
+            in
+            let i = Func.mk_instr f op in
+            Hashtbl.replace phi_origin i.iid l;
+            Block.add_phi b i
+          end)
+        targets)
+    def_blocks;
+  (* 3. renaming along the dominator tree *)
+  let reg_stack : (int, Ids.reg list) Hashtbl.t = Hashtbl.create 64 in
+  let mem_stack : (int, Resource.t list) Hashtbl.t = Hashtbl.create 64 in
+  let top_reg r =
+    match Hashtbl.find_opt reg_stack r with
+    | Some (x :: _) -> x
+    | Some [] | None -> r (* use without def: leave; Verify will flag it *)
+  in
+  let push_reg r x =
+    let cur =
+      match Hashtbl.find_opt reg_stack r with Some l -> l | None -> []
+    in
+    Hashtbl.replace reg_stack r (x :: cur)
+  in
+  let pop_reg r =
+    match Hashtbl.find_opt reg_stack r with
+    | Some (_ :: rest) -> Hashtbl.replace reg_stack r rest
+    | Some [] | None -> ()
+  in
+  let top_mem v =
+    match Hashtbl.find_opt mem_stack v with
+    | Some (x :: _) -> x
+    | Some [] | None ->
+        (* first touch: the implicit entry definition *)
+        let r = Func.fresh_ver f v in
+        Hashtbl.replace mem_stack v [ r ];
+        r
+  in
+  let push_mem v x =
+    let cur =
+      match Hashtbl.find_opt mem_stack v with
+      | Some l -> l
+      | None -> [ top_mem v ] (* materialise the entry version below it *)
+    in
+    Hashtbl.replace mem_stack v (x :: cur)
+  in
+  let pop_mem v =
+    match Hashtbl.find_opt mem_stack v with
+    | Some (_ :: rest) -> Hashtbl.replace mem_stack v rest
+    | Some [] | None -> ()
+  in
+  (* parameters keep their register ids and act as entry definitions *)
+  List.iter (fun r -> push_reg r r) f.params;
+  let rec visit bid =
+    let b = Func.block f bid in
+    let pushed_regs = ref [] and pushed_mems = ref [] in
+    let def_reg r =
+      let fresh =
+        Func.fresh_reg ?name:(Hashtbl.find_opt f.reg_names r) f
+      in
+      push_reg r fresh;
+      pushed_regs := r :: !pushed_regs;
+      fresh
+    in
+    let def_mem v =
+      let fresh = Func.fresh_ver f v in
+      push_mem v fresh;
+      pushed_mems := v :: !pushed_mems;
+      fresh
+    in
+    (* phi targets *)
+    List.iter
+      (fun (i : Instr.t) ->
+        match i.op with
+        | Rphi { dst; srcs } -> i.op <- Rphi { dst = def_reg dst; srcs }
+        | Mphi { dst; srcs } ->
+            i.op <- Mphi { dst = def_mem dst.Resource.base; srcs }
+        | _ -> ())
+      b.phis;
+    (* body: uses then defs, in instruction order *)
+    List.iter
+      (fun (i : Instr.t) ->
+        let op = Instr.map_reg_uses top_reg i.op in
+        let op = Instr.map_mem_uses (fun r -> top_mem r.Resource.base) op in
+        let op =
+          match Instr.reg_def op with
+          | Some r -> Instr.map_reg_def (fun _ -> def_reg r) op
+          | None -> op
+        in
+        let op = Instr.map_mem_defs (fun r -> def_mem r.Resource.base) op in
+        i.op <- op)
+      b.body;
+    (* terminator uses *)
+    (match b.term with
+    | Br { cond; t; f = fl } ->
+        b.term <- Br { cond = Instr.map_operand top_reg cond; t; f = fl }
+    | Ret (Some o) -> b.term <- Ret (Some (Instr.map_operand top_reg o))
+    | Jmp _ | Ret None -> ());
+    (* fill phi sources of successors with the names live at the end of
+       this block *)
+    List.iter
+      (fun s ->
+        let sb = Func.block f s in
+        List.iter
+          (fun (i : Instr.t) ->
+            match Hashtbl.find_opt phi_origin i.iid with
+            | None -> () (* pre-existing phi: none exist before SSA *)
+            | Some l -> (
+                match i.op with
+                | Rphi { dst; srcs } ->
+                    i.op <- Rphi { dst; srcs = srcs @ [ (bid, top_reg (l / 2)) ] }
+                | Mphi { dst; srcs } ->
+                    i.op <- Mphi { dst; srcs = srcs @ [ (bid, top_mem (l / 2)) ] }
+                | _ -> ()))
+          sb.phis)
+      (Block.succs b);
+    List.iter visit (Dom.children dom bid);
+    List.iter pop_reg !pushed_regs;
+    List.iter pop_mem !pushed_mems
+  in
+  visit f.entry;
+  (* entry versions for variables only ever used in unreachable-from-
+     entry positions do not exist; nothing else to do *)
+  Cfg.recompute_preds f

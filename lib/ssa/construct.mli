@@ -1,0 +1,14 @@
+(** Pruned SSA construction over both name spaces (Cytron et al.):
+    registers are renamed to fresh registers, memory variables to
+    versioned resources, with [Rphi]/[Mphi] placed at the pruned
+    iterated dominance frontier. Every memory variable gets an implicit
+    entry definition; aliased stores define fresh versions of
+    everything they may touch (the paper's "x4 = foo()"). *)
+
+open Rp_ir
+
+type idf_engine = Cytron | Sreedhar_gao
+
+(** Convert a function that contains no phi instructions into pruned
+    SSA form, in place. *)
+val run : ?engine:idf_engine -> Func.t -> unit

@@ -1,0 +1,108 @@
+(* Out-of-SSA translation.
+
+   Register phis are replaced by copies at the end of each predecessor.
+   All phis of a block form one parallel assignment, so the per-pred
+   copy groups are sequentialised with temporaries when they form
+   cycles (the classic "parallel move" problem).
+
+   Memory phis are simply dropped and every singleton resource is
+   rewritten to version 0 — this is the paper's "when we leave SSA
+   form, all of the singleton memory resources that refer to the same
+   memory location must be replaced by one unique name".  It is sound
+   because SSA guarantees at most one name per location is live at any
+   point, so collapsing the names cannot merge live ranges.
+
+   The function assumes no critical edges (established by the pipeline
+   before SSA construction), so inserting copies at the end of a
+   predecessor only affects the one edge carrying the phi value. *)
+
+open Rp_ir
+
+(* Sequentialise the parallel assignment [moves] = [(dst, src); ...].
+   Emits a minimal sequence of sequential copies, using one fresh
+   temporary per cycle. *)
+let sequentialise (f : Func.t) (moves : (Ids.reg * Instr.operand) list) :
+    (Ids.reg * Instr.operand) list =
+  (* drop self-moves *)
+  let moves =
+    List.filter (fun (d, s) -> s <> Instr.Reg d) moves
+  in
+  let pending = ref moves in
+  let out = ref [] in
+  let emit d s = out := (d, s) :: !out in
+  let is_source r =
+    List.exists (fun (_, s) -> s = Instr.Reg r) !pending
+  in
+  (* every round either emits all ready moves or breaks one cycle, so
+     [pending] strictly shrinks and the loop terminates *)
+  while !pending <> [] do
+    let ready, blocked =
+      List.partition (fun (d, _) -> not (is_source d)) !pending
+    in
+    if ready <> [] then begin
+      List.iter (fun (d, s) -> emit d s) ready;
+      pending := blocked
+    end
+    else
+      match blocked with
+      | [] -> ()
+      | (d, s) :: rest ->
+          (* a cycle: break it by copying one destination to a temp *)
+          let tmp = Func.fresh_reg ~name:"swap" f in
+          emit tmp (Instr.Reg d);
+          (* uses of d as a source now read the temp *)
+          let rest =
+            List.map
+              (fun (d', s') ->
+                if s' = Instr.Reg d then (d', Instr.Reg tmp) else (d', s'))
+              rest
+          in
+          let s = if s = Instr.Reg d then Instr.Reg tmp else s in
+          emit d s;
+          pending := rest
+  done;
+  List.rev !out
+
+let run (f : Func.t) : unit =
+  Cfg.recompute_preds f;
+  (* collect per-pred copy groups from register phis *)
+  let copies : (Ids.bid, (Ids.reg * Instr.operand) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i.op with
+          | Instr.Rphi { dst; srcs } ->
+              List.iter
+                (fun (p, r) ->
+                  let cur =
+                    match Hashtbl.find_opt copies p with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Hashtbl.replace copies p ((dst, Instr.Reg r) :: cur))
+                srcs
+          | _ -> ())
+        b.phis)
+    f;
+  Hashtbl.iter
+    (fun pred moves ->
+      let b = Func.block f pred in
+      List.iter
+        (fun (d, s) ->
+          Block.insert_at_end b (Func.mk_instr f (Instr.Copy { dst = d; src = s })))
+        (sequentialise f moves))
+    copies;
+  (* drop all phis, unversion all resources *)
+  let unversion (r : Resource.t) = Resource.unversioned r.Resource.base in
+  Func.iter_blocks
+    (fun b ->
+      b.phis <- [];
+      List.iter
+        (fun (i : Instr.t) ->
+          i.op <- Instr.map_mem_uses unversion i.op;
+          i.op <- Instr.map_mem_defs unversion i.op)
+        b.body)
+    f

@@ -1,0 +1,15 @@
+(** Out-of-SSA translation: register phis become sequentialised copies
+    at the end of each predecessor (cycles broken with temporaries),
+    memory phis are dropped and all resources rewritten to version 0 —
+    the paper's "all of the singleton memory resources that refer to
+    the same memory location must be replaced by one unique name".
+    Assumes no critical edges. *)
+
+open Rp_ir
+
+(** Sequentialise one parallel assignment; exposed for the property
+    tests. *)
+val sequentialise :
+  Func.t -> (Ids.reg * Instr.operand) list -> (Ids.reg * Instr.operand) list
+
+val run : Func.t -> unit

@@ -1,0 +1,383 @@
+(* Incremental SSA update for cloned definitions (paper section 4.5,
+   Figure 11).
+
+   When register promotion inserts stores cloned from existing
+   definitions of a variable, SSA form must be repaired: new phi
+   instructions placed, uses renamed to the new reaching definitions,
+   and definitions made dead by the renaming deleted.  The paper's
+   algorithm handles all cloned definitions in one batch:
+
+   Step 1  collect the definition blocks of the old and cloned
+           resources, compute their iterated dominance frontier, and
+           place an (empty) phi at the head of each IDF block;
+   Step 2  rename every use of an old resource to the definition that
+           reaches it, found by walking up the dominator tree
+           (computeReachingDef);
+   Step 3  propagate liveness into the placed phis with a worklist,
+           filling their source operands from the reaching definition
+           at the end of each predecessor;
+   Step 4  delete every definition (old store, cloned store, or placed
+           phi) whose resource ends up with no uses, cascading through
+           phi operands, so the transformation leaves no dead code.
+
+   The IDF engine is pluggable — Cytron's iterated dominance frontier
+   or the Sreedhar–Gao DJ-graph algorithm the paper cites [SrG95] — so
+   the compile-time ablation can compare them.
+
+   Deleting a dead store is sound in this IR because every observation
+   of memory is an explicit use: loads, aliased loads (calls, pointer
+   loads), and the [Exit_use] placed at each return.  A store whose
+   resource has no use is therefore unobservable.  Definitions that are
+   side effects of aliased instructions (call / pointer-store may-defs)
+   are never deleted, only singleton stores and phis.
+
+   The caller passes the cloned resources; the old set is completed
+   internally to every resource of the same base variable occurring in
+   the function, which is what the paper's oldResSet ("resources
+   originally renamed from the same variable") amounts to. *)
+
+open Rp_ir
+open Rp_analysis
+
+type engine = Cytron | Sreedhar_gao
+
+(* Positions within a block: the entry definition of a variable is at
+   -infinity (represented -max_int), phis occupy negative positions in
+   list order so a later phi shadows an earlier one, body instructions
+   count 0,1,2,...  A virtual use at the end of a block has position
+   max_int. *)
+
+type def_info = { dpos : int; dres : Resource.t; dinstr : Instr.t option }
+
+type ctx = {
+  dom : Dom.t;
+  block_defs : (Ids.bid, def_info list) Hashtbl.t;
+      (** per block: defs of the variable, sorted by decreasing pos *)
+}
+
+let add_block_def ctx bid info =
+  let cur =
+    match Hashtbl.find_opt ctx.block_defs bid with Some l -> l | None -> []
+  in
+  let rec ins = function
+    | [] -> [ info ]
+    | x :: rest when x.dpos <= info.dpos -> info :: x :: rest
+    | x :: rest -> x :: ins rest
+  in
+  Hashtbl.replace ctx.block_defs bid (ins cur)
+
+let compute_reaching_def ctx ~(bid : Ids.bid) ~(pos : int) :
+    Resource.t option =
+  let find_in b ~before =
+    match Hashtbl.find_opt ctx.block_defs b with
+    | None -> None
+    | Some defs -> (
+        match List.find_opt (fun d -> d.dpos < before) defs with
+        | Some d -> Some d.dres
+        | None -> None)
+  in
+  match find_in bid ~before:pos with
+  | Some r -> Some r
+  | None ->
+      let rec walk b =
+        match Dom.idom ctx.dom b with
+        | None -> None
+        | Some p -> (
+            match find_in p ~before:max_int with
+            | Some r -> Some r
+            | None -> walk p)
+      in
+      walk bid
+
+let use_counts (f : Func.t) : (Resource.t, int) Hashtbl.t =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    let c = match Hashtbl.find_opt counts r with Some c -> c | None -> 0 in
+    Hashtbl.replace counts r (c + 1)
+  in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          List.iter bump (Instr.mem_uses i.op);
+          List.iter (fun (_, r) -> bump r) (Instr.mphi_srcs i.op))
+        b)
+    f;
+  counts
+
+(* [protect] lists resources whose definitions must survive step 4 even
+   when they currently have no uses — the per-definition baseline
+   updater processes cloned definitions one at a time and must not let
+   an early call garbage-collect the definitions a later call is about
+   to wire up. *)
+let update_for_cloned_resources ?(engine = Cytron)
+    ?(protect = Resource.ResSet.empty) (f : Func.t)
+    ~(cloned_res : Resource.ResSet.t) : unit =
+  if not (Resource.ResSet.is_empty cloned_res) then begin
+    let dom = Dom.compute f in
+    let base =
+      match Resource.ResSet.choose_opt cloned_res with
+      | Some r -> r.Resource.base
+      | None -> assert false
+    in
+    assert (
+      Resource.ResSet.for_all
+        (fun (r : Resource.t) -> r.base = base)
+        cloned_res);
+    (* complete the old set: every resource of this variable in [f] *)
+    let old_res = ref Resource.ResSet.empty in
+    let note (r : Resource.t) =
+      if r.base = base && not (Resource.ResSet.mem r cloned_res) then
+        old_res := Resource.ResSet.add r !old_res
+    in
+    Func.iter_blocks
+      (fun b ->
+        Block.iter_instrs
+          (fun i ->
+            List.iter note (Instr.mem_defs i.op);
+            List.iter note (Instr.mem_uses i.op);
+            List.iter (fun (_, r) -> note r) (Instr.mphi_srcs i.op))
+          b)
+      f;
+    let old_res = !old_res in
+    (* --- Step 1: place phis at the IDF of all definition blocks --- *)
+    let index = Ssa_index.build f in
+    let def_bb r =
+      match Ssa_index.def_of index r with
+      | Ssa_index.Def_entry -> f.entry
+      | Ssa_index.Def_at { bid; _ } -> bid
+    in
+    let init_def_bbs =
+      Resource.ResSet.fold
+        (fun r acc -> Ids.IntSet.add (def_bb r) acc)
+        (Resource.ResSet.union old_res cloned_res)
+        Ids.IntSet.empty
+    in
+    let idf_set =
+      match engine with
+      | Cytron ->
+          let df = Domfront.compute f dom in
+          Domfront.iterated df init_def_bbs
+      | Sreedhar_gao ->
+          let dj = Djgraph.build f dom in
+          Djgraph.idf dj init_def_bbs
+    in
+    let phi_targets = ref Resource.ResSet.empty in
+    (* placed phi lookup: by target resource and by iid *)
+    let placed_by_res : (Resource.t, Instr.t * Ids.bid) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let placed : (Ids.iid, Ids.bid) Hashtbl.t = Hashtbl.create 16 in
+    Ids.IntSet.iter
+      (fun bid ->
+        let b = Func.block f bid in
+        let dst = Func.fresh_ver f base in
+        let i = Func.mk_instr f (Instr.Mphi { dst; srcs = [] }) in
+        (* prepended: an existing phi of the same variable in this block
+           comes later in scan order and shadows the new one, which then
+           dies in step 4 — the paper's "inserted redundant phi" *)
+        Block.add_phi b i;
+        Hashtbl.replace placed_by_res dst (i, bid);
+        Hashtbl.replace placed i.iid bid;
+        phi_targets := Resource.ResSet.add dst !phi_targets)
+      idf_set;
+    let all_def =
+      Resource.ResSet.union
+        (Resource.ResSet.union old_res cloned_res)
+        !phi_targets
+    in
+    (* positions and per-block def lists *)
+    let ctx = { dom; block_defs = Hashtbl.create 32 } in
+    let pos_of : (Ids.iid, int) Hashtbl.t = Hashtbl.create 64 in
+    Func.iter_blocks
+      (fun b ->
+        let nphis = List.length b.phis in
+        List.iteri
+          (fun k (i : Instr.t) -> Hashtbl.replace pos_of i.iid (k - nphis))
+          b.phis;
+        List.iteri
+          (fun k (i : Instr.t) -> Hashtbl.replace pos_of i.iid k)
+          b.body)
+      f;
+    Func.iter_blocks
+      (fun b ->
+        Block.iter_instrs
+          (fun i ->
+            List.iter
+              (fun r ->
+                if Resource.ResSet.mem r all_def then
+                  add_block_def ctx b.bid
+                    {
+                      dpos = Hashtbl.find pos_of i.iid;
+                      dres = r;
+                      dinstr = Some i;
+                    })
+              (Instr.mem_defs i.op))
+          b)
+      f;
+    (* the entry definition, if this variable has one.  Only the old
+       resources can be entry-defined: the index predates phi placement,
+       so the placed phi targets (and any cloned resource) would look
+       "entry-defined" to it — their real definitions are picked up by
+       the instruction scan above. *)
+    Resource.ResSet.iter
+      (fun r ->
+        match Ssa_index.def_of index r with
+        | Ssa_index.Def_entry ->
+            add_block_def ctx f.entry
+              { dpos = -max_int; dres = r; dinstr = None }
+        | Ssa_index.Def_at _ -> ())
+      old_res;
+    (* --- Step 2: rename uses of old resources --- *)
+    let phi_work : Instr.t Queue.t = Queue.create () in
+    let in_work : (Ids.iid, unit) Hashtbl.t = Hashtbl.create 16 in
+    let live_phi : (Ids.iid, unit) Hashtbl.t = Hashtbl.create 16 in
+    let enqueue_if_placed_phi (r : Resource.t) =
+      match Hashtbl.find_opt placed_by_res r with
+      | Some (i, _) ->
+          if not (Hashtbl.mem in_work i.iid) then begin
+            Hashtbl.add in_work i.iid ();
+            Queue.add i phi_work
+          end
+      | None -> ()
+    in
+    let reach ~bid ~pos (r : Resource.t) =
+      match compute_reaching_def ctx ~bid ~pos with
+      | Some rd ->
+          enqueue_if_placed_phi rd;
+          rd
+      | None ->
+          (* cannot happen on a path that could observe the value: the
+             pre-update SSA form was valid, so some definition (at
+             minimum the entry version) reaches every real use *)
+          r
+    in
+    Func.iter_blocks
+      (fun b ->
+        List.iter
+          (fun (i : Instr.t) ->
+            let p = Hashtbl.find pos_of i.iid in
+            i.op <-
+              Instr.map_mem_uses
+                (fun r ->
+                  if Resource.ResSet.mem r old_res then
+                    reach ~bid:b.bid ~pos:p r
+                  else r)
+                i.op)
+          b.body;
+        (* phi-source uses of pre-existing phis: virtual use at the end
+           of the predecessor *)
+        List.iter
+          (fun (i : Instr.t) ->
+            match i.op with
+            | Instr.Mphi { dst; srcs } when not (Hashtbl.mem placed i.iid) ->
+                let srcs =
+                  List.map
+                    (fun (p, r) ->
+                      if Resource.ResSet.mem r old_res then
+                        (p, reach ~bid:p ~pos:max_int r)
+                      else (p, r))
+                    srcs
+                in
+                i.op <- Instr.Mphi { dst; srcs }
+            | _ -> ())
+          b.phis)
+      f;
+    (* --- Step 3: fill in the sources of live placed phis --- *)
+    while not (Queue.is_empty phi_work) do
+      let phi = Queue.pop phi_work in
+      Hashtbl.replace live_phi phi.iid ();
+      let bid = Hashtbl.find placed phi.iid in
+      let b = Func.block f bid in
+      let srcs =
+        List.map
+          (fun p ->
+            let rd =
+              match compute_reaching_def ctx ~bid:p ~pos:max_int with
+              | Some rd -> rd
+              | None ->
+                  invalid_arg
+                    "Incremental.update: no definition reaches a live phi \
+                     source"
+            in
+            enqueue_if_placed_phi rd;
+            (p, rd))
+          b.preds
+      in
+      match phi.op with
+      | Instr.Mphi { dst; _ } -> phi.op <- Instr.Mphi { dst; srcs }
+      | _ -> assert false
+    done;
+    (* delete placed phis that never became live (they still have empty
+       source lists and would be structurally invalid) *)
+    Hashtbl.iter
+      (fun iid bid ->
+        if not (Hashtbl.mem live_phi iid) then
+          Block.remove_instr (Func.block f bid) ~iid)
+      placed;
+    (* --- Step 4: delete definitions with no uses, cascading --- *)
+    let counts = use_counts f in
+    let uses_of r =
+      match Hashtbl.find_opt counts r with Some c -> c | None -> 0
+    in
+    let dec r =
+      match Hashtbl.find_opt counts r with
+      | Some c -> Hashtbl.replace counts r (c - 1)
+      | None -> ()
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Func.iter_blocks
+        (fun b ->
+          let deletable (i : Instr.t) =
+            match i.op with
+            | Instr.Store { dst; _ } | Instr.Mphi { dst; _ } ->
+                Resource.ResSet.mem dst all_def
+                && uses_of dst = 0
+                && not (Resource.ResSet.mem dst protect)
+            | _ -> false
+          in
+          let doomed = List.filter deletable (Block.instrs b) in
+          List.iter
+            (fun (i : Instr.t) ->
+              List.iter (fun (_, r) -> dec r) (Instr.mphi_srcs i.op);
+              Block.remove_instr b ~iid:i.iid;
+              changed := true)
+            doomed)
+        f
+    done
+  end
+
+(* The paper also positions the updater as a general tool "for
+   incrementally converting resources to SSA form: when a compiler
+   phase adds a new resource with multiple definitions and uses to the
+   code stream".  This wrapper does exactly that: the variable's
+   stores are given fresh versions (becoming the "cloned" set), its
+   uses are pointed at a pseudo entry version, and one batch update
+   computes the phis and the renaming. *)
+let convert_new_variable ?engine (f : Func.t) (vid : Ids.vid) : unit =
+  (* the entry version all uses start from *)
+  let entry = Func.fresh_ver f vid in
+  let clones = ref Resource.ResSet.empty in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          i.op <-
+            Instr.map_mem_uses
+              (fun (r : Resource.t) -> if r.base = vid then entry else r)
+              i.op;
+          i.op <-
+            Instr.map_mem_defs
+              (fun (r : Resource.t) ->
+                if r.base = vid then begin
+                  let c = Func.fresh_ver f vid in
+                  clones := Resource.ResSet.add c !clones;
+                  c
+                end
+                else r)
+              i.op)
+        b)
+    f;
+  update_for_cloned_resources ?engine f ~cloned_res:!clones

@@ -1,0 +1,38 @@
+(** Incremental SSA update for cloned definitions (paper section 4.5,
+    Figure 11): one batch iterated-dominance-frontier computation
+    places phis for all cloned definitions at once, uses are renamed to
+    their new reaching definitions by dominator-tree walks, phi
+    liveness is propagated by a worklist, and definitions left without
+    uses are deleted (cascading), so the transformation introduces no
+    dead code.
+
+    Deleting a dead store is sound in this IR because every observation
+    of memory is an explicit use (loads, aliased loads, the [Exit_use]
+    at each return). Definitions that are side effects of aliased
+    instructions are never deleted. *)
+
+open Rp_ir
+
+type engine = Cytron | Sreedhar_gao
+
+(** [update_for_cloned_resources f ~cloned_res] repairs SSA form after
+    the definitions of [cloned_res] (all of one base variable) were
+    inserted. The paper's oldResSet is completed internally to every
+    resource of that variable.
+
+    [protect] lists resources whose definitions must survive the
+    dead-code step even while unused — the per-definition baseline
+    updater needs it for the clones it has not wired up yet. *)
+val update_for_cloned_resources :
+  ?engine:engine ->
+  ?protect:Resource.ResSet.t ->
+  Func.t ->
+  cloned_res:Resource.ResSet.t ->
+  unit
+
+(** Incrementally convert a variable whose references are still
+    unversioned (a resource "a compiler phase adds ... with multiple
+    definitions and uses") into SSA form — the paper's other advertised
+    use of the updater. Stores get fresh versions, uses are renamed to
+    their reaching definitions, phis are placed where needed. *)
+val convert_new_variable : ?engine:engine -> Func.t -> Ids.vid -> unit

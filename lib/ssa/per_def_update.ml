@@ -1,0 +1,27 @@
+(* Per-definition incremental SSA update, in the style of
+   Choi–Sarkar–Schonberg [CSS96], used as the compile-time baseline the
+   paper argues against in section 4.5.
+
+   Where the paper's batch algorithm computes one iterated dominance
+   frontier for all m cloned definitions, this baseline processes them
+   one at a time, recomputing dominators and the IDF for every single
+   definition — the O(m * n) behaviour the paper's complexity argument
+   is about.  The final result is the same SSA form (both are verified
+   against each other in the tests); only the work differs. *)
+
+open Rp_ir
+
+let update_one_at_a_time ?(engine = Incremental.Cytron) (f : Func.t)
+    ~(cloned_res : Resource.ResSet.t) : unit =
+  let rec go pending =
+    match Resource.ResSet.choose_opt pending with
+    | None -> ()
+    | Some r ->
+        let rest = Resource.ResSet.remove r pending in
+        (* definitions of still-pending clones have no uses yet; they
+           must not be deleted as dead by this round *)
+        Incremental.update_for_cloned_resources ~engine ~protect:rest f
+          ~cloned_res:(Resource.ResSet.singleton r);
+        go rest
+  in
+  go cloned_res

@@ -1,0 +1,13 @@
+(** Per-definition incremental SSA update in the style of
+    Choi–Sarkar–Schonberg [CSS96]: the compile-time baseline the paper
+    argues against. Produces the same SSA form as the batch algorithm
+    (property-tested) but recomputes the IDF once per cloned
+    definition — the O(m·n) behaviour measured in ablation A2. *)
+
+open Rp_ir
+
+val update_one_at_a_time :
+  ?engine:Incremental.engine ->
+  Func.t ->
+  cloned_res:Resource.ResSet.t ->
+  unit

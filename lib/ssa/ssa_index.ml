@@ -1,0 +1,85 @@
+(* Def/use index over memory resources of a function in SSA form.
+
+   Promotion and the incremental updater constantly ask "where is this
+   resource defined?" and "who uses it?".  The index is rebuilt by a
+   single scan whenever the code has been transformed; at our scales a
+   rescan is cheaper than keeping the index incrementally consistent
+   through every surgical edit. *)
+
+open Rp_ir
+
+type def_site =
+  | Def_entry  (** the implicit definition of a variable at function entry *)
+  | Def_at of { bid : Ids.bid; instr : Instr.t }
+
+type use_site =
+  | Use_at of { bid : Ids.bid; instr : Instr.t }
+      (** ordinary use by an instruction in [bid] *)
+  | Use_phi_src of { phi_bid : Ids.bid; pred : Ids.bid; instr : Instr.t }
+      (** source of a memory phi in [phi_bid], flowing in from [pred];
+          for dominance purposes this use happens at the end of [pred] *)
+
+type t = {
+  defs : def_site Resource.ResMap.t;
+  uses : use_site list Resource.ResMap.t;
+}
+
+let build (f : Func.t) : t =
+  let defs = ref Resource.ResMap.empty in
+  let uses = ref Resource.ResMap.empty in
+  let add_use r u =
+    let cur =
+      match Resource.ResMap.find_opt r !uses with Some l -> l | None -> []
+    in
+    uses := Resource.ResMap.add r (u :: cur) !uses
+  in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun r -> defs := Resource.ResMap.add r (Def_at { bid = b.bid; instr = i }) !defs)
+            (Instr.mem_defs i.op);
+          List.iter (fun r -> add_use r (Use_at { bid = b.bid; instr = i })) (Instr.mem_uses i.op);
+          List.iter
+            (fun (pred, r) ->
+              add_use r (Use_phi_src { phi_bid = b.bid; pred; instr = i }))
+            (Instr.mphi_srcs i.op))
+        b)
+    f;
+  { defs = !defs; uses = !uses }
+
+(* Definition site; a resource never stored to is defined at entry. *)
+let def_of t r =
+  match Resource.ResMap.find_opt r t.defs with
+  | Some d -> d
+  | None -> Def_entry
+
+let uses_of t r =
+  match Resource.ResMap.find_opt r t.uses with Some l -> l | None -> []
+
+let has_uses t r = uses_of t r <> []
+
+(* The block a use occurs in, for dominance checks: a phi-source use
+   belongs to the end of the predecessor it flows from. *)
+let use_block = function
+  | Use_at { bid; _ } -> bid
+  | Use_phi_src { pred; _ } -> pred
+
+(* Is the resource defined by a singleton store? *)
+let defined_by_store t r =
+  match def_of t r with
+  | Def_at { instr = { op = Instr.Store _; _ }; _ } -> true
+  | Def_at _ | Def_entry -> false
+
+(* Is the resource defined by a memory phi? *)
+let defined_by_phi t r =
+  match def_of t r with
+  | Def_at { instr = { op = Instr.Mphi _; _ }; _ } -> true
+  | Def_at _ | Def_entry -> false
+
+(* Is the resource defined by an aliased store (call / pointer store)? *)
+let defined_by_aliased_store t r =
+  match def_of t r with
+  | Def_at { instr; _ } -> Instr.is_aliased_store instr.op
+  | Def_entry -> false

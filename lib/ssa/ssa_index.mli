@@ -1,0 +1,33 @@
+(** Def/use index over the memory resources of a function in SSA form.
+    Rebuilt by a single scan wherever the code has been transformed. *)
+
+open Rp_ir
+
+type def_site =
+  | Def_entry  (** implicit definition of the variable at function entry *)
+  | Def_at of { bid : Ids.bid; instr : Instr.t }
+
+type use_site =
+  | Use_at of { bid : Ids.bid; instr : Instr.t }
+  | Use_phi_src of { phi_bid : Ids.bid; pred : Ids.bid; instr : Instr.t }
+      (** for dominance purposes this use happens at the end of [pred] *)
+
+type t
+
+val build : Func.t -> t
+
+(** A resource never stored to is defined at entry. *)
+val def_of : t -> Resource.t -> def_site
+
+val uses_of : t -> Resource.t -> use_site list
+
+val has_uses : t -> Resource.t -> bool
+
+(** The block a use occurs in for dominance checks. *)
+val use_block : use_site -> Ids.bid
+
+val defined_by_store : t -> Resource.t -> bool
+
+val defined_by_phi : t -> Resource.t -> bool
+
+val defined_by_aliased_store : t -> Resource.t -> bool

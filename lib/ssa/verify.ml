@@ -1,0 +1,163 @@
+(* SSA invariant checker.
+
+   Run between pipeline stages (and after every promotion step in the
+   tests) to catch a transformation that broke SSA form:
+
+   - every register has at most one definition (parameters count),
+   - every memory resource (base, version) has at most one definition;
+     version 0 (unrenamed) must not appear,
+   - at most one SSA name per memory location is live at any point
+     is implied by the def/use dominance checks below,
+   - every use is dominated by its definition; a phi source must be
+     dominated at the end of the corresponding predecessor,
+   - phi sources correspond 1:1 with predecessors (delegated to
+     {!Rp_ir.Validate}). *)
+
+open Rp_ir
+open Rp_analysis
+
+type error = { where : string; what : string }
+
+let err where fmt = Format.kasprintf (fun what -> { where; what }) fmt
+
+let check (tab : Resource.table) (f : Func.t) : error list =
+  let errors = ref [] in
+  let add e = errors := e :: !errors in
+  (match Validate.check_func tab f with
+  | [] -> ()
+  | es ->
+      List.iter
+        (fun (e : Validate.error) ->
+          add { where = e.Validate.where; what = e.Validate.what })
+        es);
+  let dom = Dom.compute f in
+  (* instruction positions within their block: phis all at -1 (they are
+     parallel), body instructions at 0,1,2,... *)
+  let pos : (Ids.iid, int) Hashtbl.t = Hashtbl.create 64 in
+  let block_of : (Ids.iid, Ids.bid) Hashtbl.t = Hashtbl.create 64 in
+  Func.iter_blocks
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          Hashtbl.replace pos i.iid (-1);
+          Hashtbl.replace block_of i.iid b.bid)
+        b.phis;
+      List.iteri
+        (fun k (i : Instr.t) ->
+          Hashtbl.replace pos i.iid k;
+          Hashtbl.replace block_of i.iid b.bid)
+        b.body)
+    f;
+  (* single assignment for registers *)
+  let reg_def_site : (Ids.reg, Ids.iid) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace reg_def_site r (-1)) f.params;
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          match Instr.reg_def i.op with
+          | Some r ->
+              if Hashtbl.mem reg_def_site r then
+                add (err f.fname "register %s defined more than once" (Func.reg_name f r))
+              else Hashtbl.replace reg_def_site r i.iid
+          | None -> ())
+        b)
+    f;
+  (* single assignment for memory resources; no version 0 *)
+  let mem_def_site : (Resource.t, Ids.iid) Hashtbl.t = Hashtbl.create 64 in
+  let check_ver where (r : Resource.t) =
+    if r.ver = 0 then
+      add (err where "unversioned resource %s" (Format.asprintf "%a" (Resource.pp tab) r))
+  in
+  Func.iter_blocks
+    (fun b ->
+      Block.iter_instrs
+        (fun i ->
+          List.iter
+            (fun r ->
+              check_ver f.fname r;
+              if Hashtbl.mem mem_def_site r then
+                add
+                  (err f.fname "resource %s defined more than once"
+                     (Format.asprintf "%a" (Resource.pp tab) r))
+              else Hashtbl.replace mem_def_site r i.iid)
+            (Instr.mem_defs i.op);
+          List.iter (check_ver f.fname) (Instr.mem_uses i.op);
+          List.iter (fun (_, r) -> check_ver f.fname r) (Instr.mphi_srcs i.op))
+        b)
+    f;
+  (* dominance of uses.  A definition at (db, dpos) reaches an ordinary
+     use at (ub, upos) iff db strictly dominates ub, or db = ub and
+     dpos < upos.  Entry definitions (parameters, entry versions of
+     memory variables) dominate everything. *)
+  let dominates_use ~def_iid ~use_bid ~use_pos =
+    match def_iid with
+    | -1 -> true (* entry definition *)
+    | iid ->
+        let db = Hashtbl.find block_of iid in
+        let dpos = Hashtbl.find pos iid in
+        if db = use_bid then dpos < use_pos
+        else Dom.strictly_dominates dom ~a:db ~b:use_bid
+  in
+  let check_reg_use where r ~use_bid ~use_pos =
+    match Hashtbl.find_opt reg_def_site r with
+    | None -> add (err where "register %s used but never defined" (Func.reg_name f r))
+    | Some iid ->
+        if not (dominates_use ~def_iid:iid ~use_bid ~use_pos) then
+          add
+            (err where "use of %s not dominated by its definition"
+               (Func.reg_name f r))
+  in
+  let check_mem_use where (r : Resource.t) ~use_bid ~use_pos =
+    match Hashtbl.find_opt mem_def_site r with
+    | None ->
+        (* entry version: fine, defined at entry *)
+        ()
+    | Some iid ->
+        if not (dominates_use ~def_iid:iid ~use_bid ~use_pos) then
+          add
+            (err where "use of %s not dominated by its definition"
+               (Format.asprintf "%a" (Resource.pp tab) r))
+  in
+  let max_pos = max_int in
+  Func.iter_blocks
+    (fun b ->
+      let where = Printf.sprintf "%s/b%d" f.fname b.bid in
+      List.iteri
+        (fun k (i : Instr.t) ->
+          List.iter
+            (fun r -> check_reg_use where r ~use_bid:b.bid ~use_pos:k)
+            (Instr.reg_uses i.op);
+          List.iter
+            (fun r -> check_mem_use where r ~use_bid:b.bid ~use_pos:k)
+            (Instr.mem_uses i.op))
+        b.body;
+      List.iter
+        (fun r -> check_reg_use where r ~use_bid:b.bid ~use_pos:max_pos)
+        (Block.term_uses b);
+      (* phi sources: uses at the end of the predecessor *)
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter
+            (fun (p, r) -> check_reg_use where r ~use_bid:p ~use_pos:max_pos)
+            (Instr.rphi_srcs i.op);
+          List.iter
+            (fun (p, r) -> check_mem_use where r ~use_bid:p ~use_pos:max_pos)
+            (Instr.mphi_srcs i.op))
+        b.phis)
+    f;
+  List.rev !errors
+
+let errors_to_string errs =
+  String.concat "\n"
+    (List.map (fun e -> Printf.sprintf "%s: %s" e.where e.what) errs)
+
+exception Broken of string
+
+let assert_ok tab f =
+  match check tab f with
+  | [] -> ()
+  | errs -> raise (Broken (errors_to_string errs))
+
+let check_prog (p : Func.prog) : error list =
+  List.concat_map (check p.vartab) p.funcs

@@ -1,0 +1,44 @@
+(* Memory SSA web construction (paper section 4.2, Figure 3).
+
+   A web inside an interval is an equivalence class of singleton memory
+   resources under the relation "x and y are operands/target of the
+   same phi instruction located in the interval", closed transitively.
+   The union-find formulation is exactly the paper's.
+
+   Resources that appear in the interval but touch no phi form
+   singleton webs — e.g. the distinct names "x1, x2, x3" created by two
+   consecutive calls in straight-line code each promote independently,
+   which is the finer granularity the paper advertises. *)
+
+open Rp_ir
+
+(* All webs of the blocks in [blocks].  Each web is the list of its
+   member resources.  Only resources of promotable variables are
+   considered; arrays and heap names never form webs. *)
+let in_blocks (tab : Resource.table) (f : Func.t) (blocks : Ids.IntSet.t) :
+    Resource.t list list =
+  let uf : Resource.t Union_find.t = Union_find.create () in
+  let touch (r : Resource.t) =
+    if Resource.promotable tab r.base then Union_find.add uf r
+  in
+  Ids.IntSet.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      Block.iter_instrs
+        (fun (i : Instr.t) ->
+          List.iter touch (Instr.mem_defs i.op);
+          List.iter touch (Instr.mem_uses i.op);
+          match i.op with
+          | Mphi { dst; srcs } ->
+              if Resource.promotable tab dst.Resource.base then begin
+                Union_find.add uf dst;
+                List.iter
+                  (fun (_, s) ->
+                    Union_find.add uf s;
+                    Union_find.union uf dst s)
+                  srcs
+              end
+          | _ -> ())
+        b)
+    blocks;
+  Union_find.classes uf

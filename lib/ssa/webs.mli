@@ -1,0 +1,12 @@
+(** Memory SSA web construction (paper section 4.2, Figure 3): the
+    equivalence classes of singleton resources under "operands/target
+    of the same phi instruction in the interval", closed transitively.
+    Resources touching no phi form singleton webs — the finer
+    granularity the paper advertises. *)
+
+open Rp_ir
+
+(** All webs of the given block set; each web is its member list. Only
+    resources of promotable variables are considered. *)
+val in_blocks :
+  Resource.table -> Func.t -> Ids.IntSet.t -> Resource.t list list

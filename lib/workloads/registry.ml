@@ -1,0 +1,92 @@
+(* The benchmark suite: eight MiniC programs named after the SPECInt95
+   benchmarks of the paper's evaluation, each engineered to echo the
+   published opportunity profile (see each module's header and
+   DESIGN.md for the correspondence). *)
+
+type workload = {
+  name : string;
+  description : string;
+  source : string;
+}
+
+(* The distinctive main-loop bound of each workload, so experiments can
+   derive a smaller "training input" of the same program (classic PGO
+   methodology: profile on train, measure on ref). *)
+let scale_patterns =
+  [
+    ("go", "round < 40");
+    ("li", "round < 60");
+    ("ijpeg", "round < 12");
+    ("perl", "round < 25");
+    ("m88k", "n < 6000");
+    ("sc", "round < 30");
+    ("compr", "n < 12000");
+    ("vortex", "n < 2500");
+  ]
+
+(* Replace the first occurrence of [pat] in [s] with [rep]. *)
+let replace_once s pat rep =
+  match String.index_opt s pat.[0] with
+  | None -> s
+  | Some _ ->
+      let plen = String.length pat in
+      let n = String.length s in
+      let rec find i =
+        if i + plen > n then None
+        else if String.sub s i plen = pat then Some i
+        else find (i + 1)
+      in
+      (match find 0 with
+      | None -> s
+      | Some i ->
+          String.sub s 0 i ^ rep ^ String.sub s (i + plen) (n - i - plen))
+
+let all : workload list =
+  [
+    { name = W_go.name; description = W_go.description; source = W_go.source };
+    { name = W_li.name; description = W_li.description; source = W_li.source };
+    {
+      name = W_ijpeg.name;
+      description = W_ijpeg.description;
+      source = W_ijpeg.source;
+    };
+    {
+      name = W_perl.name;
+      description = W_perl.description;
+      source = W_perl.source;
+    };
+    {
+      name = W_m88k.name;
+      description = W_m88k.description;
+      source = W_m88k.source;
+    };
+    { name = W_sc.name; description = W_sc.description; source = W_sc.source };
+    {
+      name = W_compr.name;
+      description = W_compr.description;
+      source = W_compr.source;
+    };
+    {
+      name = W_vortex.name;
+      description = W_vortex.description;
+      source = W_vortex.source;
+    };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+(* The same program with its main loop bound divided by [factor] — a
+   smaller training input.  The CFG (and so every block id) is
+   identical to the full program's: only one immediate differs. *)
+let train_source (w : workload) ~(factor : int) : string =
+  match List.assoc_opt w.name scale_patterns with
+  | None -> w.source
+  | Some pat -> (
+      (* pat looks like "var < N" *)
+      match String.rindex_opt pat ' ' with
+      | None -> w.source
+      | Some i ->
+          let prefix = String.sub pat 0 (i + 1) in
+          let n = int_of_string (String.sub pat (i + 1) (String.length pat - i - 1)) in
+          let small = max 1 (n / factor) in
+          replace_once w.source pat (prefix ^ string_of_int small))

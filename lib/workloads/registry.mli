@@ -1,0 +1,15 @@
+(** The benchmark suite: eight MiniC programs named after the
+    SPECInt95 benchmarks of the paper's evaluation, each engineered to
+    echo the published opportunity profile (see the per-module headers
+    and DESIGN.md). *)
+
+type workload = { name : string; description : string; source : string }
+
+val all : workload list
+
+val find : string -> workload option
+
+(** The same program with its main loop bound divided by [factor] — a
+    smaller "training input" with an identical CFG, for the classic
+    profile-on-train / measure-on-ref methodology. *)
+val train_source : workload -> factor:int -> string

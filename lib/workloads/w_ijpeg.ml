@@ -1,0 +1,122 @@
+(* "ijpeg" — image transform kernels echoing SPECInt95's ijpeg.
+
+   The paper notes "ijpeg shows a significant reduction in loads even
+   though only few stores could be eliminated" (25.7% loads, 0.1%
+   stores in Table 2).  The shape that produces it: hot loops *read*
+   many global scalar parameters (dimensions, quantisation constants,
+   clamp bounds) while the *writes* go through arrays and pointers —
+   aliased stores promotion cannot remove.  So load promotion wins big
+   and store counts barely move. *)
+
+let name = "ijpeg"
+
+let description =
+  "image transform kernels; hot loops read global parameters, writes go to \
+   arrays (aliased), so loads promote and stores do not"
+
+let source =
+  {|
+// ijpeg: parameter-heavy image kernels.
+int image[1024];        // 32x32 "pixels"
+int out[1024];
+int width = 32;
+int height = 32;
+int quant = 7;
+int bias = 3;
+int clamp_lo = 0;
+int clamp_hi = 255;
+int checksum = 0;
+int passes = 0;
+
+void load_image() {
+  int i;
+  int v = 91;
+  for (i = 0; i < 1024; i++) {
+    v = (v * 13 + 41) % 256;
+    image[i] = v;
+  }
+}
+
+// quantise: reads quant/bias/clamp bounds every pixel (promotable
+// loads); stores to out[] (aliased, not promotable)
+void quantise() {
+  int y;
+  for (y = 0; y < height; y++) {
+    int x;
+    for (x = 0; x < width; x++) {
+      int idx = y * width + x;
+      int v = (image[idx] + bias) / quant * quant;
+      if (v < clamp_lo) { v = clamp_lo; }
+      if (v > clamp_hi) { v = clamp_hi; }
+      out[idx] = v;
+    }
+  }
+  passes++;
+}
+
+// 3-tap horizontal smooth, same structure
+void smooth() {
+  int y;
+  for (y = 0; y < height; y++) {
+    int x;
+    for (x = 1; x < width - 1; x++) {
+      int idx = y * width + x;
+      int v = (out[idx - 1] + out[idx] * 2 + out[idx + 1] + bias) / 4;
+      if (v > clamp_hi) { v = clamp_hi; }
+      image[idx] = v;
+    }
+  }
+  passes++;
+}
+
+int mix(int v) {
+  return v * 31 % 65521;
+}
+
+int bitcount = 0;
+int overflow = 0;
+
+int emit(int v) {
+  return v % 7 + 1;
+}
+
+// entropy coding: the per-symbol emit() call precedes the counter
+// updates, so their loads reload after the call and never promote
+void encode() {
+  int i;
+  for (i = 0; i < 1024; i++) {
+    int c = emit(out[i]);
+    bitcount = bitcount + c;
+    overflow = overflow + bitcount / 4096;
+  }
+}
+
+// the checksum pass calls mix() per element, so its loads and stores
+// of checksum stay in memory (a call may touch any global)
+void accumulate() {
+  int i;
+  for (i = 0; i < 1024; i++) {
+    checksum = (checksum + mix(image[i]) + out[i]) % 65521;
+  }
+}
+
+int main() {
+  int round;
+  load_image();
+  for (round = 0; round < 12; round++) {
+    quant = 3 + round % 5;
+    bias = round % 4;
+    quantise();
+    smooth();
+    accumulate();
+    encode();
+  }
+  print(checksum);
+  print(passes);
+  print(quant);
+  print(bias);
+  print(bitcount);
+  print(overflow);
+  return 0;
+}
+|}

@@ -1,0 +1,121 @@
+(* "li" — a tiny lisp-machine-style evaluator echoing SPECInt95's li.
+
+   Cons cells live in global arrays managed through a global free list
+   (li's famously hot "freelist" scalar); evaluation is recursive, and
+   allocation touches the free-list head on every cons.  Garbage
+   collection is the rare cold call, checked once per round.  Table 2
+   shape: a solid dynamic load reduction (16.5%) with store reduction
+   too. *)
+
+let name = "li"
+
+let description =
+  "lisp-style recursive evaluator; global free list head hot on every \
+   allocation, GC is the cold call"
+
+let source =
+  {|
+// li: cons-cell evaluator with a global free list.
+int car[2048];
+int cdr[2048];
+int freelist = 0;
+int free_count = 0;
+int allocs = 0;
+int gcs = 0;
+int evals = 0;
+int depth_max = 0;
+
+void init_heap() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    car[i] = 0;
+    cdr[i] = i + 1;        // free list threading
+  }
+  cdr[2047] = 0 - 1;       // end marker
+  freelist = 0;
+  free_count = 2048;
+}
+
+void collect() {
+  // fake gc: rethread everything; rare and expensive
+  gcs++;
+  init_heap();
+}
+
+// intern: a called slow path taken for some symbols
+int intern(int a) {
+  allocs++;
+  return a % 17;
+}
+
+// build a list of n numbers; allocation is inlined so the free-list
+// head and counters are hot in this loop.  The symbol-table call sits
+// on a cold path AFTER the stores — the paper's Figure 7 pattern — so
+// the promoter can push the compensation stores into the cold block.
+int build(int n) {
+  int lst = 0 - 1;
+  int i;
+  for (i = 0; i < n; i++) {
+    int a = i * 3 % 17;
+    int cell = freelist;          // hot global traffic
+    freelist = cdr[cell];
+    car[cell] = a;
+    cdr[cell] = lst;
+    lst = cell;
+    if (a % 11 == 0) {
+      intern(a);                  // cold call after the hot stores
+    }
+  }
+  free_count = free_count - n;
+  allocs = allocs + n;
+  return lst;
+}
+
+// recursive walks over a list, tracking recursion depth; per-call
+// global traffic that intraprocedural promotion cannot touch
+int sum_list(int lst, int depth) {
+  evals++;
+  if (depth > depth_max) { depth_max = depth; }
+  if (lst < 0) { return 0; }
+  return car[lst] + sum_list(cdr[lst], depth + 1);
+}
+
+int max_list(int lst, int depth) {
+  evals++;
+  if (depth > depth_max) { depth_max = depth; }
+  if (lst < 0) { return 0 - 1000; }
+  int rest = max_list(cdr[lst], depth + 1);
+  if (car[lst] > rest) { return car[lst]; }
+  return rest;
+}
+
+int count_list(int lst, int depth) {
+  evals++;
+  if (depth > depth_max) { depth_max = depth; }
+  if (lst < 0) { return 0; }
+  return 1 + count_list(cdr[lst], depth + 1);
+}
+
+int main() {
+  int total = 0;
+  int round;
+  init_heap();
+  for (round = 0; round < 60; round++) {
+    // cold path: reclaim between rounds when the heap runs low
+    if (free_count < 100) {
+      collect();
+    }
+    int lst = build(40 + round % 13);
+    total = total + sum_list(lst, 0);
+    total = (total + max_list(lst, 0)) % 1000000;
+    total = total + count_list(lst, 0);
+  }
+  print(total);
+  print(allocs);
+  print(gcs);
+  print(evals);
+  print(depth_max);
+  print(free_count);
+  return 0;
+}
+|}

@@ -1,0 +1,87 @@
+(* "m88k" — a CPU simulator echoing SPECInt95's m88ksim.
+
+   The fetch-decode-execute loop keeps architectural state in globals:
+   the pc, cycle counter and condition flags are scalars (promotable
+   through straight-line decode), the register file is an array
+   (aliased).  A service routine runs on a timer — a call on a path
+   taken every 64 cycles.  Table 2 shape: 13.1% loads. *)
+
+let name = "m88k"
+
+let description =
+  "CPU simulator; global pc/cycles/flags hot in the decode loop, timer \
+   interrupt call on a 1/64 path"
+
+let source =
+  {|
+// m88k: fetch/decode/execute with a register file and rare interrupts.
+int regs[32];
+int mem[512];
+int pc = 0;
+int cycles = 0;
+int cond_flag = 0;
+int interrupts = 0;
+
+void service_interrupt() {
+  interrupts++;
+  regs[31] = pc;            // save return address
+}
+
+void exec_add(int rd, int rs) {
+  regs[rd] = regs[rs] + rd;
+  cycles++;
+}
+
+void exec_mul(int rd, int rs) {
+  regs[rd] = regs[rs] * 3 % 251;
+  cycles++;
+}
+
+void exec_cmp(int rd, int rs) {
+  cond_flag = regs[rd] > regs[rs];
+  cycles++;
+}
+
+void boot() {
+  int i;
+  int v = 17;
+  for (i = 0; i < 512; i++) {
+    v = (v * 23 + 3) % 211;
+    mem[i] = v;
+  }
+  for (i = 0; i < 32; i++) { regs[i] = i; }
+}
+
+int main() {
+  int n;
+  boot();
+  for (n = 0; n < 6000; n++) {
+    int here = pc;                    // one load of pc per cycle
+    int instr = mem[here % 512];      // fetch (aliased array read)
+    int opc = instr % 4;
+    int rd = instr / 4 % 32;
+    int rs = instr / 128 % 32;
+    int c = cycles + 1;               // one load of cycles per cycle
+    cycles = c;
+    if (opc == 0) { exec_add(rd, rs); }      // handler call
+    if (opc == 1) { exec_mul(rd, rs); }      // handler call
+    if (opc == 2) { exec_cmp(rd, rs); }      // handler call
+    if (opc == 3) {
+      if (cond_flag != 0) { here = here + rd; }
+    }
+    pc = here + 1;
+    if (c % 64 == 0) {
+      service_interrupt();            // cold-ish path: 1 in 64
+    }
+  }
+  int sum = 0;
+  int i;
+  for (i = 0; i < 32; i++) { sum = (sum + regs[i] * 7) % 99991; }
+  print(sum);
+  print(pc);
+  print(cycles);
+  print(cond_flag);
+  print(interrupts);
+  return 0;
+}
+|}

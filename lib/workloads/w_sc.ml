@@ -1,0 +1,97 @@
+(* "sc" — a spreadsheet recalculation engine echoing SPECInt95's sc.
+
+   Cell recalculation walks the sheet calling an evaluation routine for
+   every non-empty cell, so globals are clobbered at high frequency;
+   the dirty-tracking scalars between calls are the only promotable
+   stretch.  Table 2 shape: small improvement (4.9% loads). *)
+
+let name = "sc"
+
+let description =
+  "spreadsheet recalculation; per-cell evaluation calls leave only short \
+   promotable stretches"
+
+let source =
+  {|
+// sc: sheet recalculation with per-cell calls.
+int sheet[400];          // 20x20 values
+int formula[400];        // 0 = literal, else dependency offset
+int dirty = 0;
+int recalcs = 0;
+int errors = 0;
+int cursor = 0;
+int stat_min = 0;
+int stat_max = 0;
+int stat_sum = 0;
+
+int eval_cell(int idx) {
+  recalcs++;
+  int f = formula[idx];
+  if (f == 0) { return sheet[idx]; }
+  int src = (idx + f) % 400;
+  int v = sheet[src] + f % 9;
+  if (v > 10000) {
+    errors++;
+    v = 10000;
+  }
+  return v;
+}
+
+void setup() {
+  int i;
+  int v = 3;
+  for (i = 0; i < 400; i++) {
+    v = (v * 19 + 5) % 83;
+    sheet[i] = v;
+    if (v % 3 == 0) { formula[i] = v % 7 + 1; }
+    else { formula[i] = 0; }
+  }
+}
+
+// call-free statistics pass over the status-line window: the one
+// stretch promotion can use
+void refresh_stats() {
+  int i;
+  stat_min = 100000;
+  stat_max = 0 - 100000;
+  stat_sum = 0;
+  for (i = 0; i < 100; i++) {
+    int v = sheet[i];
+    if (v < stat_min) { stat_min = v; }
+    if (v > stat_max) { stat_max = v; }
+    stat_sum = (stat_sum + v) % 65521;
+  }
+}
+
+int main() {
+  int round;
+  setup();
+  for (round = 0; round < 30; round++) {
+    int i;
+    dirty = 0;
+    for (i = 0; i < 400; i++) {
+      cursor = i;                     // hot global, but calls intervene
+      int nv = eval_cell(i);          // call in the hot loop
+      if (nv != sheet[i]) {
+        sheet[i] = nv;
+        dirty++;
+      }
+    }
+    if (round % 8 == 0) {
+      refresh_stats();
+    }
+  }
+  int sum = 0;
+  int j;
+  for (j = 0; j < 400; j++) { sum = (sum + sheet[j]) % 65521; }
+  print(sum);
+  print(dirty);
+  print(recalcs);
+  print(errors);
+  print(cursor);
+  print(stat_min);
+  print(stat_max);
+  print(stat_sum);
+  return 0;
+}
+|}

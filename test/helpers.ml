@@ -1,0 +1,52 @@
+(* Shared test utilities. *)
+
+open Rp_ir
+
+(* Build a function whose CFG has the given shape: [edges] over blocks
+   0..n-1, block 0 is the entry.  Blocks with two successors branch on
+   a dummy parameter register, with one successor they jump, with none
+   they return.  Used by the CFG/dominator/interval tests that only
+   care about shape. *)
+let func_of_edges ~(n : int) (edges : (int * int) list) : Func.t =
+  let f = Func.create_func ~name:"g" in
+  let cond = Func.fresh_reg ~name:"c" f in
+  f.params <- [ cond ];
+  let blocks = Array.init n (fun _ -> Func.add_block f) in
+  Array.iteri
+    (fun i b ->
+      let succs = List.filter_map (fun (s, d) -> if s = i then Some d else None) edges in
+      match succs with
+      | [] -> b.Block.term <- Block.Ret None
+      | [ d ] -> b.Block.term <- Block.Jmp blocks.(d).Block.bid
+      | [ t; fl ] ->
+          b.Block.term <-
+            Block.Br
+              { cond = Instr.Reg cond; t = blocks.(t).Block.bid; f = blocks.(fl).Block.bid }
+      | _ -> invalid_arg "func_of_edges: more than two successors")
+    blocks;
+  f.entry <- blocks.(0).Block.bid;
+  Cfg.recompute_preds f;
+  f
+
+(* Compile a MiniC source and run it, returning the interpreter result. *)
+let run_source ?(fuel = 10_000_000) (src : string) : Rp_interp.Interp.result =
+  let prog = Rp_minic.Lower.compile src in
+  Rp_interp.Interp.run ~fuel prog
+
+(* Run the full pipeline on a source. *)
+let pipeline ?cfg ?profile (src : string) : Rp_core.Pipeline.report =
+  Rp_core.Pipeline.run ?cfg ?profile src
+
+let check_output msg expected (r : Rp_interp.Interp.result) =
+  Alcotest.(check (list int)) msg expected r.Rp_interp.Interp.output
+
+(* Assert that promotion preserved behaviour and return the report. *)
+let check_pipeline ?cfg ?profile msg src =
+  let report = pipeline ?cfg ?profile src in
+  Alcotest.(check bool) (msg ^ ": behaviour preserved") true
+    report.Rp_core.Pipeline.behaviour_ok;
+  report
+
+let dynamic_loads (c : Rp_interp.Interp.counters) = c.Rp_interp.Interp.loads
+
+let dynamic_stores (c : Rp_interp.Interp.counters) = c.Rp_interp.Interp.stores

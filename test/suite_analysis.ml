@@ -1,0 +1,344 @@
+(* Tests for dominators, dominance frontiers, the DJ-graph IDF, SCCs,
+   interval trees and liveness. *)
+
+open Rp_ir
+open Rp_analysis
+
+let iset = Ids.IntSet.of_list
+
+let check_iset msg expected actual =
+  Alcotest.(check (list int)) msg (List.sort compare expected)
+    (Ids.IntSet.elements actual)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators *)
+
+let diamond () = Helpers.func_of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_dom_diamond () =
+  let f = diamond () in
+  let d = Dom.compute f in
+  Alcotest.(check (option int)) "idom 1" (Some 0) (Dom.idom d 1);
+  Alcotest.(check (option int)) "idom 2" (Some 0) (Dom.idom d 2);
+  Alcotest.(check (option int)) "idom 3" (Some 0) (Dom.idom d 3);
+  Alcotest.(check (option int)) "idom entry" None (Dom.idom d 0);
+  Alcotest.(check bool) "0 dom 3" true (Dom.dominates d ~a:0 ~b:3);
+  Alcotest.(check bool) "1 !dom 3" false (Dom.dominates d ~a:1 ~b:3);
+  Alcotest.(check bool) "reflexive" true (Dom.dominates d ~a:2 ~b:2);
+  Alcotest.(check bool) "strict excludes self" false
+    (Dom.strictly_dominates d ~a:2 ~b:2)
+
+let test_dom_loop () =
+  (* 0 -> 1 -> 2 -> 1, 1 -> 3 *)
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (1, 2); (2, 1); (1, 3) ] in
+  let d = Dom.compute f in
+  Alcotest.(check (option int)) "idom 2" (Some 1) (Dom.idom d 2);
+  Alcotest.(check (option int)) "idom 3" (Some 1) (Dom.idom d 3);
+  Alcotest.(check int) "depth of 2" 2 (Dom.depth d 2);
+  Alcotest.(check int) "lcd(2,3)" 1 (Dom.least_common_dominator d [ 2; 3 ]);
+  Alcotest.(check int) "lcd singleton" 2 (Dom.least_common_dominator d [ 2 ])
+
+let test_dom_unreachable () =
+  let f = Helpers.func_of_edges ~n:3 [ (0, 1) ] in
+  let d = Dom.compute f in
+  Alcotest.(check bool) "unreachable" false (Dom.reachable d 2);
+  Alcotest.(check bool) "reachable" true (Dom.reachable d 1)
+
+let test_dom_path () =
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let d = Dom.compute f in
+  let visited = ref [] in
+  Dom.iter_dom_path d 3 ~f:(fun b -> visited := b :: !visited);
+  Alcotest.(check (list int)) "path bottom-up" [ 0; 1; 2; 3 ] !visited
+
+(* ------------------------------------------------------------------ *)
+(* Dominance frontiers *)
+
+let test_df_diamond () =
+  let f = diamond () in
+  let d = Dom.compute f in
+  let df = Domfront.compute f d in
+  check_iset "df 1" [ 3 ] (Domfront.frontier df 1);
+  check_iset "df 2" [ 3 ] (Domfront.frontier df 2);
+  check_iset "df 0" [] (Domfront.frontier df 0);
+  check_iset "df 3" [] (Domfront.frontier df 3)
+
+let test_df_loop () =
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (1, 2); (2, 1); (1, 3) ] in
+  let d = Dom.compute f in
+  let df = Domfront.compute f d in
+  (* the loop body's frontier is the header *)
+  check_iset "df 2" [ 1 ] (Domfront.frontier df 2);
+  (* header's frontier contains itself (back edge) *)
+  check_iset "df 1" [ 1 ] (Domfront.frontier df 1)
+
+let test_idf_iterated () =
+  (* two chained diamonds; 3 dominates the second one *)
+  let f =
+    Helpers.func_of_edges ~n:7
+      [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]
+  in
+  let d = Dom.compute f in
+  let df = Domfront.compute f d in
+  check_iset "idf of {1}" [ 3 ] (Domfront.iterated df (iset [ 1 ]));
+  check_iset "idf of {4}" [ 6 ] (Domfront.iterated df (iset [ 4 ]));
+  check_iset "idf of {1,4}" [ 3; 6 ] (Domfront.iterated df (iset [ 1; 4 ]));
+  (* the iteration matters in a loop: a def in the body forces a phi at
+     the header, whose own frontier includes the header again *)
+  let f2 = Helpers.func_of_edges ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 1); (1, 4) ] in
+  let d2 = Dom.compute f2 in
+  let df2 = Domfront.compute f2 d2 in
+  check_iset "idf of body def" [ 1 ] (Domfront.iterated df2 (iset [ 2 ]))
+
+(* The Sreedhar–Gao DJ-graph IDF must agree with Cytron's on every
+   graph; spot-check here, property-tested over random CFGs in
+   suite_qcheck. *)
+let test_djgraph_matches_cytron () =
+  let graphs =
+    [
+      (4, [ (0, 1); (0, 2); (1, 3); (2, 3) ]);
+      (4, [ (0, 1); (1, 2); (2, 1); (1, 3) ]);
+      (7, [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]);
+      (6, [ (0, 1); (1, 2); (2, 3); (3, 1); (1, 4); (4, 5); (5, 4); (4, 0) ]);
+    ]
+  in
+  List.iter
+    (fun (n, edges) ->
+      let f = Helpers.func_of_edges ~n edges in
+      let d = Dom.compute f in
+      let df = Domfront.compute f d in
+      let dj = Djgraph.build f d in
+      for v = 0 to n - 1 do
+        if Dom.reachable d v then begin
+          let a = Domfront.iterated df (iset [ v ]) in
+          let b = Djgraph.idf dj (iset [ v ]) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "idf {%d} on %d-node graph" v n)
+            (Ids.IntSet.elements a) (Ids.IntSet.elements b)
+        end
+      done)
+    graphs
+
+(* ------------------------------------------------------------------ *)
+(* SCC *)
+
+let test_scc_basic () =
+  let succs_of edges v = List.filter_map (fun (s, d) -> if s = v then Some d else None) edges in
+  let edges = [ (0, 1); (1, 2); (2, 1); (1, 3); (3, 3) ] in
+  let comps =
+    Scc.compute ~nodes:(iset [ 0; 1; 2; 3 ]) ~succs:(succs_of edges)
+  in
+  let nontrivial =
+    List.filter Scc.non_trivial comps
+    |> List.map (fun (c : Scc.component) -> Ids.IntSet.elements c.nodes)
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "two sccs" [ [ 1; 2 ]; [ 3 ] ] nontrivial;
+  (* self loop detection *)
+  let self =
+    List.find
+      (fun (c : Scc.component) -> Ids.IntSet.mem 3 c.Scc.nodes)
+      comps
+  in
+  Alcotest.(check bool) "self loop" true self.Scc.has_self_loop
+
+let test_scc_restricted () =
+  (* restricting the node set hides part of the cycle *)
+  let succs v = List.filter_map (fun (s, d) -> if s = v then Some d else None)
+      [ (0, 1); (1, 2); (2, 0) ]
+  in
+  let comps = Scc.compute ~nodes:(iset [ 0; 1 ]) ~succs in
+  Alcotest.(check int) "no nontrivial scc" 0
+    (List.length (List.filter Scc.non_trivial comps))
+
+(* ------------------------------------------------------------------ *)
+(* Intervals *)
+
+let test_intervals_nested () =
+  (* outer loop 1..4 with inner loop 2..3:
+     0 -> 1 -> 2 -> 3 -> 2, 3 -> 4 -> 1, 4 -> 5 *)
+  let f =
+    Helpers.func_of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 3); (3, 2); (3, 4); (4, 1); (4, 5) ]
+  in
+  let tree = Intervals.normalise f in
+  Alcotest.(check bool) "root is root" true tree.Intervals.root.Intervals.is_root;
+  (* one outer interval with one child *)
+  let outer =
+    List.filter
+      (fun (iv : Intervals.t) -> not iv.Intervals.is_root)
+      tree.Intervals.root.Intervals.children
+  in
+  Alcotest.(check int) "one outer interval" 1 (List.length outer);
+  let outer = List.hd tree.Intervals.root.Intervals.children in
+  Alcotest.(check int) "outer has one child" 1 (List.length outer.Intervals.children);
+  let inner = List.hd outer.Intervals.children in
+  Alcotest.(check bool) "inner nested in outer" true
+    (Ids.IntSet.subset inner.Intervals.blocks outer.Intervals.blocks);
+  Alcotest.(check int) "inner depth" 2 inner.Intervals.depth;
+  (* bottom-up order: children before parents, root last *)
+  let order = List.map (fun (iv : Intervals.t) -> iv.Intervals.id) tree.Intervals.all in
+  Alcotest.(check int) "root last" tree.Intervals.root.Intervals.id
+    (List.nth order (List.length order - 1))
+
+let test_intervals_normalised_invariants () =
+  let graphs =
+    [
+      (6, [ (0, 1); (1, 2); (2, 3); (3, 2); (3, 4); (4, 1); (4, 5) ]);
+      (4, [ (0, 1); (1, 2); (2, 1); (1, 3) ]);
+      (5, [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 1); (3, 4) ]);
+      (* irreducible: two entries into the cycle {2,3} *)
+      (5, [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 2); (3, 4) ]);
+    ]
+  in
+  List.iter
+    (fun (n, edges) ->
+      let f = Helpers.func_of_edges ~n edges in
+      let tree = Intervals.normalise f in
+      (* no critical edges anywhere *)
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%d->%d not critical" s d)
+            false (Cfg.is_critical f ~src:s ~dst:d))
+        (Cfg.edges f);
+      (* entry block is dedicated *)
+      let e = Func.block f f.Func.entry in
+      Alcotest.(check bool) "entry has no preds" true (e.Block.preds = []);
+      Alcotest.(check bool) "entry body empty" true (e.Block.body = []);
+      List.iter
+        (fun (iv : Intervals.t) ->
+          if not iv.Intervals.is_root then begin
+            (* preheader lies outside the interval *)
+            Alcotest.(check bool) "preheader outside" false
+              (Ids.IntSet.mem iv.Intervals.preheader iv.Intervals.blocks);
+            (* every exit tail is dedicated: single pred *)
+            List.iter
+              (fun (src, dst) ->
+                Alcotest.(check (list int))
+                  (Printf.sprintf "tail b%d dedicated" dst)
+                  [ src ]
+                  (Func.block f dst).Block.preds)
+              iv.Intervals.exit_edges;
+            (* proper intervals have a dedicated preheader *)
+            if iv.Intervals.proper then begin
+              let h = Ids.IntSet.min_elt iv.Intervals.entries in
+              Alcotest.(check (list int)) "preheader single succ" [ h ]
+                (Block.succs (Func.block f iv.Intervals.preheader))
+            end
+          end)
+        tree.Intervals.all)
+    graphs
+
+let test_improper_interval () =
+  (* cycle {2,3} entered at both 2 and 3 *)
+  let f =
+    Helpers.func_of_edges ~n:5
+      [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 2); (3, 4) ]
+  in
+  let tree = Intervals.normalise f in
+  let ivs =
+    List.filter (fun (iv : Intervals.t) -> not iv.Intervals.is_root) tree.Intervals.all
+  in
+  Alcotest.(check int) "one interval" 1 (List.length ivs);
+  let iv = List.hd ivs in
+  Alcotest.(check bool) "improper" false iv.Intervals.proper;
+  Alcotest.(check int) "two entries" 2 (Ids.IntSet.cardinal iv.Intervals.entries);
+  (* preheader = least common dominator of the entries, outside *)
+  Alcotest.(check bool) "preheader outside" false
+    (Ids.IntSet.mem iv.Intervals.preheader iv.Intervals.blocks);
+  let d = Dom.compute f in
+  Ids.IntSet.iter
+    (fun e ->
+      Alcotest.(check bool) "preheader dominates entries" true
+        (Dom.dominates d ~a:iv.Intervals.preheader ~b:e))
+    iv.Intervals.entries
+
+let test_loop_depth () =
+  let f =
+    Helpers.func_of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 3); (3, 2); (3, 4); (4, 1); (4, 5) ]
+  in
+  let tree = Intervals.normalise f in
+  Alcotest.(check int) "outside depth 0" 0 (Intervals.loop_depth tree f.Func.entry);
+  Alcotest.(check int) "inner depth 2" 2 (Intervals.loop_depth tree 2);
+  Alcotest.(check int) "outer depth 1" 1 (Intervals.loop_depth tree 1)
+
+(* ------------------------------------------------------------------ *)
+(* Liveness *)
+
+let test_liveness_straightline () =
+  let f = Func.create_func ~name:"t" in
+  let b0 = Func.add_block f in
+  let b1 = Func.add_block f in
+  f.Func.entry <- b0.Block.bid;
+  b0.Block.term <- Block.Jmp b1.Block.bid;
+  (* b0: t0 = 1; t1 = t0 + 2   b1: ret t1 *)
+  Block.insert_at_end b0 (Func.mk_instr f (Instr.Copy { dst = 0; src = Imm 1 }));
+  Block.insert_at_end b0
+    (Func.mk_instr f (Instr.Bin { dst = 1; op = Instr.Add; l = Reg 0; r = Imm 2 }));
+  b1.Block.term <- Block.Ret (Some (Reg 1));
+  Cfg.recompute_preds f;
+  let lv = Liveness.compute f in
+  Alcotest.(check (list int)) "live out of b0" [ 1 ]
+    (Ids.IntSet.elements (Liveness.live_out lv b0.Block.bid));
+  Alcotest.(check (list int)) "live in of b1" [ 1 ]
+    (Ids.IntSet.elements (Liveness.live_in lv b1.Block.bid));
+  Alcotest.(check (list int)) "live in of b0" []
+    (Ids.IntSet.elements (Liveness.live_in lv b0.Block.bid))
+
+let test_liveness_phi () =
+  (* 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 with a phi at 3 merging r1/r2 *)
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let b1 = Func.block f 1 and b2 = Func.block f 2 and b3 = Func.block f 3 in
+  Block.insert_at_end b1 (Func.mk_instr f (Instr.Copy { dst = 1; src = Imm 1 }));
+  Block.insert_at_end b2 (Func.mk_instr f (Instr.Copy { dst = 2; src = Imm 2 }));
+  Block.add_phi b3 (Func.mk_instr f (Instr.Rphi { dst = 3; srcs = [ (1, 1); (2, 2) ] }));
+  b3.Block.term <- Block.Ret (Some (Reg 3));
+  Cfg.recompute_preds f;
+  let lv = Liveness.compute f in
+  Alcotest.(check (list int)) "phi source live out of pred 1" [ 1 ]
+    (Ids.IntSet.elements (Liveness.live_out lv 1));
+  Alcotest.(check (list int)) "phi source live out of pred 2" [ 2 ]
+    (Ids.IntSet.elements (Liveness.live_out lv 2));
+  Alcotest.(check bool) "phi srcs not live into 3" true
+    (not (Ids.IntSet.mem 1 (Liveness.live_in lv 3)));
+  Alcotest.(check bool) "phi target live in 3" true
+    (Ids.IntSet.mem 3 (Liveness.live_in lv 3))
+
+(* ------------------------------------------------------------------ *)
+(* Static frequency estimation *)
+
+let test_freq_estimate () =
+  let f =
+    Helpers.func_of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 3); (3, 2); (3, 4); (4, 1); (4, 5) ]
+  in
+  let tree = Intervals.normalise f in
+  Freq.estimate f tree;
+  Alcotest.(check (float 0.001)) "entry freq 1" 1.0
+    (Func.block_freq f f.Func.entry);
+  Alcotest.(check (float 0.001)) "inner loop freq 100" 100.0
+    (Func.block_freq f 2);
+  Alcotest.(check bool) "has profile" true (Freq.has_profile f)
+
+let suite =
+  [
+    Alcotest.test_case "dom diamond" `Quick test_dom_diamond;
+    Alcotest.test_case "dom loop + lcd" `Quick test_dom_loop;
+    Alcotest.test_case "dom unreachable" `Quick test_dom_unreachable;
+    Alcotest.test_case "dom path" `Quick test_dom_path;
+    Alcotest.test_case "df diamond" `Quick test_df_diamond;
+    Alcotest.test_case "df loop" `Quick test_df_loop;
+    Alcotest.test_case "iterated df" `Quick test_idf_iterated;
+    Alcotest.test_case "djgraph = cytron" `Quick test_djgraph_matches_cytron;
+    Alcotest.test_case "scc basic" `Quick test_scc_basic;
+    Alcotest.test_case "scc restricted" `Quick test_scc_restricted;
+    Alcotest.test_case "intervals nested" `Quick test_intervals_nested;
+    Alcotest.test_case "normalise invariants" `Quick test_intervals_normalised_invariants;
+    Alcotest.test_case "improper interval" `Quick test_improper_interval;
+    Alcotest.test_case "loop depth" `Quick test_loop_depth;
+    Alcotest.test_case "liveness straight line" `Quick test_liveness_straightline;
+    Alcotest.test_case "liveness phi" `Quick test_liveness_phi;
+    Alcotest.test_case "freq estimate" `Quick test_freq_estimate;
+  ]

@@ -1,0 +1,206 @@
+(* Tests for the incremental SSA updater — including an exact
+   reproduction of the paper's Example 2 (Figures 9 and 10). *)
+
+open Rp_ir
+open Rp_ssa
+
+let res v n = { Resource.base = v; ver = n }
+
+(* Build the paper's Example 2 CFG:
+
+     b0 (entry) -> b1
+     b1 -> b2, b3         x0 defined in b1
+     b2 -> b4, b5         (critical edge b2->b5 deliberately unsplit,
+     b3 -> b5              exactly as in the paper's figure)
+     b4 -> b6             uses of x0 in b3, b4, b5
+     b5 -> b6
+     b6 -> b1, b7         back edge: the six blocks form an interval
+
+   Returns (prog, f, use instructions in b3/b4/b5, the x0 store). *)
+let build_example2 () =
+  let prog = Func.create_prog () in
+  let x = Resource.add_var prog.Func.vartab ~name:"x" ~kind:Resource.Global ~init:0 in
+  let f = Func.create_func ~name:"ex2" in
+  Func.add_func prog f;
+  let cond = Func.fresh_reg ~name:"c" f in
+  f.Func.params <- [ cond ];
+  let b = Array.init 8 (fun _ -> Func.add_block f) in
+  f.Func.entry <- b.(0).Block.bid;
+  let jmp i j = b.(i).Block.term <- Block.Jmp b.(j).Block.bid in
+  let br i j k =
+    b.(i).Block.term <-
+      Block.Br { cond = Instr.Reg cond; t = b.(j).Block.bid; f = b.(k).Block.bid }
+  in
+  jmp 0 1;
+  br 1 2 3;
+  br 2 4 5;
+  jmp 3 5;
+  jmp 4 6;
+  jmp 5 6;
+  br 6 1 7;
+  b.(7).Block.term <- Block.Ret None;
+  (* x0 (version 1 here) defined in b1; loads in b3, b4, b5 *)
+  ignore (Hashtbl.replace f.Func.mver x 1);
+  let store_x0 = Func.mk_instr f (Instr.Store { dst = res x 1; src = Imm 7 }) in
+  Block.insert_at_end b.(1) store_x0;
+  let mk_load () =
+    Func.mk_instr f (Instr.Load { dst = Func.fresh_reg f; src = res x 1 })
+  in
+  let u3 = mk_load () and u4 = mk_load () and u5 = mk_load () in
+  Block.insert_at_end b.(3) u3;
+  Block.insert_at_end b.(4) u4;
+  Block.insert_at_end b.(5) u5;
+  Cfg.recompute_preds f;
+  Verify.assert_ok prog.Func.vartab f;
+  (prog, f, x, (u3, u4, u5), store_x0)
+
+let load_res (i : Instr.t) =
+  match i.Instr.op with
+  | Instr.Load { src; _ } -> src
+  | _ -> Alcotest.fail "not a load"
+
+let run_example2 engine =
+  let prog, f, x, (u3, u4, u5), store_x0 = build_example2 () in
+  (* promotion clones two stores: one in b2, one in b3 (before the
+     use), per the paper's scenario *)
+  let clone2 = Func.fresh_ver f x in
+  let clone3 = Func.fresh_ver f x in
+  Block.insert_at_start (Func.block f 2)
+    (Func.mk_instr f (Instr.Store { dst = clone2; src = Imm 7 }));
+  Block.insert_before (Func.block f 3) ~iid:u3.Instr.iid
+    (Func.mk_instr f (Instr.Store { dst = clone3; src = Imm 7 }));
+  Incremental.update_for_cloned_resources ~engine f
+    ~cloned_res:(Resource.ResSet.of_list [ clone2; clone3 ]);
+  Verify.assert_ok prog.Func.vartab f;
+  (prog, f, x, (u3, u4, u5), store_x0, clone2, clone3)
+
+let test_example2 engine () =
+  let _prog, f, x, (u3, u4, u5), store_x0, clone2, clone3 =
+    run_example2 engine
+  in
+  (* "the use at b3 is renamed x2" (the clone in b3) *)
+  Alcotest.(check bool) "b3 use renamed to b3 clone" true
+    (Resource.equal (load_res u3) clone3);
+  (* "the use at b4 renamed x1" (the clone in b2) *)
+  Alcotest.(check bool) "b4 use renamed to b2 clone" true
+    (Resource.equal (load_res u4) clone2);
+  (* "the use at b5 renamed x3" — the target of a new phi at b5 joining
+     the two clones *)
+  let b5 = Func.block f 5 in
+  (match b5.Block.phis with
+  | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
+      Alcotest.(check bool) "b5 use is the phi target" true
+        (Resource.equal (load_res u5) dst);
+      let srcs = List.sort compare srcs in
+      Alcotest.(check bool) "phi sources are the two clones" true
+        (srcs = List.sort compare [ (2, clone2); (3, clone3) ])
+  | _ -> Alcotest.fail "expected exactly one memory phi at b5");
+  (* "the phi instruction at b6 is dead and can be eliminated"; same
+     for the phi at b1 (x5), and x0's original definition *)
+  Alcotest.(check (list int)) "no phi at b6" []
+    (List.map (fun (i : Instr.t) -> i.Instr.iid) (Func.block f 6).Block.phis);
+  Alcotest.(check (list int)) "no phi at b1" []
+    (List.map (fun (i : Instr.t) -> i.Instr.iid) (Func.block f 1).Block.phis);
+  Alcotest.(check bool) "dead x0 store deleted" true
+    (Block.find_instr (Func.block f 1) ~iid:store_x0.Instr.iid = None);
+  ignore x
+
+(* When the original definition still has a use the updater must keep
+   it: drop the b3 clone so the b3 use keeps reaching x0. *)
+let test_example2_store_stays_live () =
+  let prog, f, x, (u3, u4, u5), store_x0 = build_example2 () in
+  let clone2 = Func.fresh_ver f x in
+  Block.insert_at_start (Func.block f 2)
+    (Func.mk_instr f (Instr.Store { dst = clone2; src = Imm 7 }));
+  Incremental.update_for_cloned_resources f
+    ~cloned_res:(Resource.ResSet.singleton clone2);
+  Verify.assert_ok prog.Func.vartab f;
+  (* b3's use still reads x0, so the store in b1 must survive *)
+  Alcotest.(check bool) "x0 store kept" true
+    (Block.find_instr (Func.block f 1) ~iid:store_x0.Instr.iid <> None);
+  Alcotest.(check bool) "b3 use unchanged" true
+    (Resource.equal (load_res u3) (res x 1));
+  Alcotest.(check bool) "b4 use renamed" true
+    (Resource.equal (load_res u4) clone2);
+  (* b5 joins x0 (via b3) and the clone (via b2) *)
+  match (Func.block f 5).Block.phis with
+  | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
+      Alcotest.(check bool) "b5 use is phi target" true
+        (Resource.equal (load_res u5) dst);
+      Alcotest.(check bool) "phi joins clone and x0" true
+        (List.sort compare srcs
+        = List.sort compare [ (2, clone2); (3, res x 1) ])
+  | _ -> Alcotest.fail "expected one memory phi at b5"
+
+(* The per-definition baseline must compute the same final SSA form. *)
+let test_per_def_equivalent () =
+  let run_with update =
+    let _prog, _f, x, (u3, u4, u5), _store, clone2, clone3 =
+      let prog, f, x, us, store_x0 = build_example2 () in
+      let clone2 = Func.fresh_ver f x in
+      let clone3 = Func.fresh_ver f x in
+      let u3, _, _ = us in
+      Block.insert_at_start (Func.block f 2)
+        (Func.mk_instr f (Instr.Store { dst = clone2; src = Imm 7 }));
+      Block.insert_before (Func.block f 3) ~iid:u3.Instr.iid
+        (Func.mk_instr f (Instr.Store { dst = clone3; src = Imm 7 }));
+      update f (Resource.ResSet.of_list [ clone2; clone3 ]);
+      Verify.assert_ok prog.Func.vartab f;
+      (prog, f, x, us, store_x0, clone2, clone3)
+    in
+    ignore clone3;
+    ignore clone2;
+    ignore x;
+    (* summarise: the resources each use ends at *)
+    (load_res u3, load_res u4, (load_res u5).Resource.base)
+  in
+  let batch =
+    run_with (fun f cloned -> Incremental.update_for_cloned_resources f ~cloned_res:cloned)
+  in
+  let per_def =
+    run_with (fun f cloned -> Per_def_update.update_one_at_a_time f ~cloned_res:cloned)
+  in
+  Alcotest.(check bool) "same renaming" true (batch = per_def)
+
+(* Using the updater as a general tool: clone a definition into a
+   straight-line successor and check the simple renaming. *)
+let test_straightline_clone () =
+  let prog = Func.create_prog () in
+  let x = Resource.add_var prog.Func.vartab ~name:"x" ~kind:Resource.Global ~init:0 in
+  let f = Func.create_func ~name:"s" in
+  Func.add_func prog f;
+  let b0 = Func.add_block f and b1 = Func.add_block f in
+  f.Func.entry <- b0.Block.bid;
+  b0.Block.term <- Block.Jmp b1.Block.bid;
+  b1.Block.term <- Block.Ret None;
+  Hashtbl.replace f.Func.mver x 1;
+  Block.insert_at_end b0 (Func.mk_instr f (Instr.Store { dst = res x 1; src = Imm 1 }));
+  let u = Func.mk_instr f (Instr.Load { dst = Func.fresh_reg f; src = res x 1 }) in
+  Block.insert_at_end b1 u;
+  Cfg.recompute_preds f;
+  let clone = Func.fresh_ver f x in
+  Block.insert_at_start b1 (Func.mk_instr f (Instr.Store { dst = clone; src = Imm 2 }));
+  Incremental.update_for_cloned_resources f ~cloned_res:(Resource.ResSet.singleton clone);
+  Verify.assert_ok prog.Func.vartab f;
+  Alcotest.(check bool) "use renamed to clone" true
+    (Resource.equal (load_res u) clone);
+  (* original store is dead now *)
+  Alcotest.(check int) "b0 store removed" 0 (List.length b0.Block.body)
+
+let test_empty_cloned_set () =
+  let prog, f, _, _, _ = build_example2 () in
+  Incremental.update_for_cloned_resources f ~cloned_res:Resource.ResSet.empty;
+  Verify.assert_ok prog.Func.vartab f
+
+let suite =
+  [
+    Alcotest.test_case "paper example 2 (Cytron IDF)" `Quick
+      (test_example2 Incremental.Cytron);
+    Alcotest.test_case "paper example 2 (Sreedhar-Gao IDF)" `Quick
+      (test_example2 Incremental.Sreedhar_gao);
+    Alcotest.test_case "live original definition kept" `Quick
+      test_example2_store_stays_live;
+    Alcotest.test_case "per-def baseline equivalent" `Quick test_per_def_equivalent;
+    Alcotest.test_case "straight-line clone" `Quick test_straightline_clone;
+    Alcotest.test_case "empty cloned set" `Quick test_empty_cloned_set;
+  ]

@@ -1,0 +1,272 @@
+(* Interpreter tests: language semantics, counters, profiles, errors. *)
+
+module I = Rp_interp.Interp
+
+let run = Helpers.run_source
+
+let test_arith () =
+  let r =
+    run
+      {|
+int main() {
+  print(2 + 3 * 4);
+  print(10 / 3);
+  print(10 % 3);
+  print(0 - 7);
+  print(1 << 4);
+  print(256 >> 3);
+  print(6 & 3);
+  print(6 | 3);
+  print(6 ^ 3);
+  print(!0);
+  print(!42);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "arith" [ 14; 3; 1; -7; 16; 32; 2; 7; 5; 1; 0 ] r
+
+let test_comparisons () =
+  let r =
+    run
+      {|
+int main() {
+  print(1 < 2); print(2 <= 2); print(3 > 4); print(4 >= 4);
+  print(5 == 5); print(5 != 5);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "cmp" [ 1; 1; 0; 1; 1; 0 ] r
+
+let test_short_circuit () =
+  let r =
+    run
+      {|
+int g = 0;
+int bump() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && bump();     // bump not called
+  int b = 1 || bump();     // bump not called
+  int c = 1 && bump();     // called
+  int d = 0 || bump();     // called
+  print(a); print(b); print(c); print(d); print(g);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "short circuit" [ 0; 1; 1; 1; 2 ] r
+
+let test_control_flow () =
+  let r =
+    run
+      {|
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 10; i++) {
+    if (i == 3) { continue; }
+    if (i == 7) { break; }
+    s = s + i;
+  }
+  int j = 0;
+  do { j++; } while (j < 5);
+  int k = 0;
+  while (k < 3) { k++; }
+  print(s); print(j); print(k);
+  return 0;
+}
+|}
+  in
+  (* 0+1+2+4+5+6 = 18 *)
+  Helpers.check_output "control flow" [ 18; 5; 3 ] r
+
+let test_incr_decr () =
+  let r =
+    run
+      {|
+int g = 10;
+int main() {
+  print(g++);   // 10, g = 11
+  print(++g);   // 12
+  print(g--);   // 12, g = 11
+  print(--g);   // 10
+  int x = 5;
+  x += 3; print(x);
+  x -= 2; print(x);
+  x *= 4; print(x);
+  x /= 3; print(x);
+  x %= 5; print(x);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "incr/decr" [ 10; 12; 12; 10; 8; 6; 24; 8; 3 ] r
+
+let test_pointers_arrays () =
+  let r =
+    run
+      {|
+int a[5];
+int g = 7;
+int main() {
+  int i;
+  for (i = 0; i < 5; i++) { a[i] = i * i; }
+  int *p = a;
+  p = p + 2;
+  print(*p);        // a[2] = 4
+  *p = 99;
+  print(a[2]);      // 99
+  int *q = &g;
+  *q = *q + 1;
+  print(g);         // 8
+  print(p == &a[2]);// 1
+  print(p != a);    // 1
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "pointers" [ 4; 99; 8; 1; 1 ] r
+
+let test_recursion () =
+  let r =
+    run
+      {|
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  print(fib(15));
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "fib" [ 610 ] r
+
+let test_addr_local_recursion () =
+  (* each activation must get its own cell for an address-taken local *)
+  let r =
+    run
+      {|
+void set(int *p, int v) { *p = v; }
+int depth(int n) {
+  int slot = 0;
+  set(&slot, n);
+  if (n > 0) {
+    int sub = depth(n - 1);
+    return slot + sub;       // slot must survive the recursive call
+  }
+  return slot;
+}
+int main() {
+  print(depth(4));   // 4+3+2+1+0 = 10
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "recursion with addr-taken locals" [ 10 ] r
+
+let test_global_struct () =
+  let r =
+    run
+      {|
+struct Point { int x; int y; };
+struct Point p;
+int main() {
+  p.x = 3;
+  p.y = 4;
+  int *q = &p.x;
+  *q = *q + 10;
+  print(p.x * p.x + p.y * p.y);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "struct fields" [ (13 * 13) + 16 ] r
+
+let test_counters () =
+  let r = run "int g = 1; int main() { g = g + g; return g; }" in
+  Alcotest.(check int) "loads" 3 (Helpers.dynamic_loads r.I.counters);
+  Alcotest.(check int) "stores" 1 (Helpers.dynamic_stores r.I.counters);
+  Alcotest.(check int) "exit value" 2 r.I.exit_value
+
+let test_block_counts () =
+  let r =
+    run
+      {|
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 7; i++) { s = s + i; }
+  return s;
+}
+|}
+  in
+  (* some block must have executed exactly 7 times (the body) *)
+  let has_seven = Hashtbl.fold (fun _ c acc -> acc || c = 7) r.I.block_counts false in
+  Alcotest.(check bool) "body counted 7" true has_seven
+
+let expect_runtime_error src =
+  match Helpers.run_source ~fuel:200_000 src with
+  | exception I.Runtime_error _ -> ()
+  | _ -> Alcotest.fail ("no runtime error for: " ^ src)
+
+let test_runtime_errors () =
+  expect_runtime_error "int main() { return 1 / 0; }";
+  expect_runtime_error "int main() { return 5 % 0; }";
+  expect_runtime_error "int a[2]; int main() { return a[5]; }";
+  expect_runtime_error "int a[2]; int main() { return a[0-1]; }";
+  expect_runtime_error "int main() { int *p; return *p; }" (* null deref *);
+  expect_runtime_error "int r(int n) { return r(n); } int main() { return r(1); }"
+    (* unbounded recursion *);
+  expect_runtime_error "int main() { while (1) { } return 0; }" (* fuel *)
+
+let test_extern_deterministic () =
+  let src =
+    {|
+extern int mystery();
+int main() { print(mystery()); print(mystery()); return 0; }
+|}
+  in
+  let a = run src and b = run src in
+  Alcotest.(check bool) "externs deterministic" true (I.same_behaviour a b)
+
+let test_apply_profile () =
+  let prog = Rp_minic.Lower.compile
+    {|
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 9; i++) { s = s + 1; }
+  return s;
+}
+|} in
+  let r = I.run prog in
+  I.apply_profile prog r;
+  let main = Option.get (Rp_ir.Func.find_func prog "main") in
+  let max_freq =
+    Rp_ir.Func.fold_blocks
+      (fun acc b -> max acc (Rp_ir.Func.block_freq main b.Rp_ir.Block.bid))
+      0.0 main
+  in
+  (* the loop header runs one extra time for the final test *)
+  Alcotest.(check (float 0.001)) "hottest block ran 10 times" 10.0 max_freq
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "short circuit" `Quick test_short_circuit;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "incr/decr/compound" `Quick test_incr_decr;
+    Alcotest.test_case "pointers and arrays" `Quick test_pointers_arrays;
+    Alcotest.test_case "recursion" `Quick test_recursion;
+    Alcotest.test_case "addr-taken local stack" `Quick test_addr_local_recursion;
+    Alcotest.test_case "global struct" `Quick test_global_struct;
+    Alcotest.test_case "counters" `Quick test_counters;
+    Alcotest.test_case "block counts" `Quick test_block_counts;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "extern deterministic" `Quick test_extern_deterministic;
+    Alcotest.test_case "apply profile" `Quick test_apply_profile;
+  ]

@@ -1,0 +1,166 @@
+(* Second batch of interpreter semantics tests: pointer identity across
+   objects, address arithmetic edge cases, and call-boundary state. *)
+
+module I = Rp_interp.Interp
+
+let run = Helpers.run_source
+
+let test_cross_object_pointer_compare () =
+  let r =
+    run
+      {|
+int a = 1;
+int b = 2;
+int main() {
+  int *p = &a;
+  int *q = &b;
+  print(p == q);      // different objects: 0
+  print(p != q);      // 1
+  print(p == &a);     // same object: 1
+  q = &a;
+  print(p == q);      // now equal: 1
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "cross-object compares" [ 0; 1; 1; 1 ] r
+
+let test_array_pointer_walk_boundaries () =
+  let r =
+    run
+      {|
+int a[4];
+int main() {
+  int *p = &a[3];
+  *p = 7;
+  p = p - 3;          // back to a[0]
+  *p = 1;
+  print(a[0] + a[3]);
+  print(&a[2] == a + 2);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "pointer walk" [ 8; 1 ] r
+
+let test_pointer_order_within_object () =
+  let r =
+    run
+      {|
+int a[5];
+int main() {
+  int *lo = &a[1];
+  int *hi = &a[4];
+  print(lo < hi); print(hi <= lo); print(hi > lo); print(lo >= lo);
+  return 0;
+}
+|}
+  in
+  Helpers.check_output "pointer order" [ 1; 0; 1; 1 ] r
+
+let test_globals_shared_across_calls () =
+  let r =
+    run
+      {|
+int depth = 0;
+int peak = 0;
+void down(int n) {
+  depth++;
+  if (depth > peak) { peak = depth; }
+  if (n > 0) { down(n - 1); }
+  depth--;
+}
+int main() {
+  down(5);
+  print(depth); print(peak);
+  return 0;
+}
+|}
+  in
+  (* globals are shared (not saved/restored like address-taken locals) *)
+  Helpers.check_output "globals across recursion" [ 0; 6 ] r
+
+let test_param_shadowing_addr_local () =
+  (* an address-taken parameter gets a memory home initialised from the
+     register argument; mutations through the pointer must be visible *)
+  let r =
+    run
+      {|
+int twice(int v) {
+  int *p = &v;
+  *p = *p * 2;
+  return v;
+}
+int main() { print(twice(21)); return 0; }
+|}
+  in
+  Helpers.check_output "addr-taken parameter" [ 42 ] r
+
+let test_negative_modulo_matches_ocaml () =
+  (* document the semantics: Rem truncates toward zero like C and
+     OCaml's mod *)
+  let r = run "int main() { print((0-7) % 3); print(7 % (0-3)); return 0; }" in
+  Helpers.check_output "negative rem" [ -7 mod 3; 7 mod -3 ] r
+
+let test_shift_bounds_deterministic () =
+  (* shifts are masked to the platform width: same result every run *)
+  let src = "int main() { print(1 << 70); print((0-8) >> 1); return 0; }" in
+  let a = run src and b = run src in
+  Alcotest.(check bool) "deterministic" true (I.same_behaviour a b);
+  Alcotest.(check int) "arithmetic shift right" (-4) (List.nth a.I.output 1)
+
+let test_promotion_on_these () =
+  (* each of the semantic corner programs must survive the pipeline *)
+  List.iter
+    (fun src -> ignore (Helpers.check_pipeline "semantics corner" src))
+    [
+      {|
+int a = 1;
+int b = 2;
+int main() {
+  int *p = &a;
+  int i;
+  int s = 0;
+  for (i = 0; i < 30; i++) {
+    a = a + 1;
+    if (i == 20) { p = &b; }
+    s = s + *p;
+  }
+  print(s); print(a); print(b);
+  return 0;
+}
+|};
+      {|
+int depth = 0;
+int peak = 0;
+void down(int n) {
+  depth++;
+  if (depth > peak) { peak = depth; }
+  if (n > 0) { down(n - 1); }
+  depth--;
+}
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) { down(i); }
+  print(depth); print(peak);
+  return 0;
+}
+|};
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "cross-object pointer compare" `Quick
+      test_cross_object_pointer_compare;
+    Alcotest.test_case "array pointer walk" `Quick
+      test_array_pointer_walk_boundaries;
+    Alcotest.test_case "pointer order" `Quick test_pointer_order_within_object;
+    Alcotest.test_case "globals across recursion" `Quick
+      test_globals_shared_across_calls;
+    Alcotest.test_case "addr-taken parameter" `Quick
+      test_param_shadowing_addr_local;
+    Alcotest.test_case "negative rem" `Quick test_negative_modulo_matches_ocaml;
+    Alcotest.test_case "shift bounds" `Quick test_shift_bounds_deterministic;
+    Alcotest.test_case "pipeline on semantic corners" `Quick
+      test_promotion_on_these;
+  ]

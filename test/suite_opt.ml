@@ -1,0 +1,114 @@
+(* Tests for DCE and copy propagation. *)
+
+open Rp_ir
+open Rp_analysis
+open Rp_ssa
+
+let prep src =
+  let prog = Rp_minic.Lower.compile src in
+  List.iter (fun f -> ignore (Intervals.normalise f)) prog.Func.funcs;
+  List.iter Construct.run prog.Func.funcs;
+  prog
+
+let count pred prog =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      Func.fold_blocks
+        (fun acc b ->
+          List.fold_left
+            (fun acc (i : Instr.t) -> if pred i.Instr.op then acc + 1 else acc)
+            acc
+            (Block.instrs b))
+        acc f)
+    0 prog.Func.funcs
+
+let is_load = function Instr.Load _ -> true | _ -> false
+
+let is_copy = function Instr.Copy _ -> true | _ -> false
+
+let test_dce_removes_dead_load () =
+  let prog = prep "int g = 1; int main() { int dead = g; return 0; }" in
+  Alcotest.(check int) "load present" 1 (count is_load prog);
+  Rp_opt.Cleanup.run_prog prog;
+  Alcotest.(check int) "dead load gone" 0 (count is_load prog);
+  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs
+
+let test_dce_keeps_stores_and_calls () =
+  let prog =
+    prep
+      {|
+int g = 1;
+void touch() { g = 2; }
+int main() { touch(); return 0; }
+|}
+  in
+  let stores_before = count (function Instr.Store _ -> true | _ -> false) prog in
+  let calls_before = count (function Instr.Call _ -> true | _ -> false) prog in
+  Rp_opt.Cleanup.run_prog prog;
+  Alcotest.(check int) "stores kept"
+    stores_before
+    (count (function Instr.Store _ -> true | _ -> false) prog);
+  Alcotest.(check int) "calls kept" calls_before
+    (count (function Instr.Call _ -> true | _ -> false) prog)
+
+let test_copyprop_chains () =
+  (* build t0 = 5; t1 = t0; t2 = t1; print t2 *)
+  let prog = Func.create_prog () in
+  let f = Func.create_func ~name:"main" in
+  Func.add_func prog f;
+  let b = Func.add_block f in
+  f.Func.entry <- b.Block.bid;
+  Block.insert_at_end b (Func.mk_instr f (Instr.Copy { dst = 0; src = Imm 5 }));
+  Block.insert_at_end b (Func.mk_instr f (Instr.Copy { dst = 1; src = Reg 0 }));
+  Block.insert_at_end b (Func.mk_instr f (Instr.Copy { dst = 2; src = Reg 1 }));
+  Block.insert_at_end b (Func.mk_instr f (Instr.Print { src = Reg 2 }));
+  b.Block.term <- Block.Ret None;
+  f.Func.next_reg <- 3;
+  Cfg.recompute_preds f;
+  Rp_opt.Cleanup.run f;
+  (* everything should fold to print 5 *)
+  Alcotest.(check int) "copies swept" 0 (count is_copy prog);
+  match b.Block.body with
+  | [ { Instr.op = Instr.Print { src = Imm 5 }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single print of the constant"
+
+let test_copyprop_through_phi_sources () =
+  let prog =
+    prep
+      {|
+int g = 0;
+int main() {
+  int x = 1;
+  int i;
+  for (i = 0; i < 3; i++) { g = g + x; }
+  return g;
+}
+|}
+  in
+  Rp_opt.Cleanup.run_prog prog;
+  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
+  let before = Rp_interp.Interp.run prog in
+  Alcotest.(check int) "behaviour after cleanup" 3 before.Rp_interp.Interp.exit_value
+
+let test_cleanup_preserves_behaviour () =
+  List.iter
+    (fun (w : Rp_workloads.Registry.workload) ->
+      let prog = prep w.Rp_workloads.Registry.source in
+      let before = Rp_interp.Interp.run ~fuel:20_000_000 prog in
+      Rp_opt.Cleanup.run_prog prog;
+      let after = Rp_interp.Interp.run ~fuel:20_000_000 prog in
+      Alcotest.(check bool)
+        (w.Rp_workloads.Registry.name ^ ": cleanup preserves behaviour")
+        true
+        (Rp_interp.Interp.same_behaviour before after))
+    [ List.hd Rp_workloads.Registry.all ]
+
+let suite =
+  [
+    Alcotest.test_case "dce removes dead load" `Quick test_dce_removes_dead_load;
+    Alcotest.test_case "dce keeps effects" `Quick test_dce_keeps_stores_and_calls;
+    Alcotest.test_case "copyprop chains" `Quick test_copyprop_chains;
+    Alcotest.test_case "copyprop + phis" `Quick test_copyprop_through_phi_sources;
+    Alcotest.test_case "cleanup preserves workload behaviour" `Quick
+      test_cleanup_preserves_behaviour;
+  ]

@@ -1,0 +1,77 @@
+(* Unit tests for the growable array. *)
+
+open Rp_ir
+
+let test_push_get () =
+  let v = Vec.create ~dummy:0 in
+  Alcotest.(check int) "empty length" 0 (Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  for i = 0 to 99 do
+    Vec.push v (i * 2)
+  done;
+  Alcotest.(check int) "length after pushes" 100 (Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Vec.get v 0);
+  Alcotest.(check int) "get 99" 198 (Vec.get v 99);
+  Alcotest.(check bool) "not empty" false (Vec.is_empty v)
+
+let test_push_idx () =
+  let v = Vec.create ~dummy:"" in
+  Alcotest.(check int) "first index" 0 (Vec.push_idx v "a");
+  Alcotest.(check int) "second index" 1 (Vec.push_idx v "b");
+  Alcotest.(check string) "get by returned index" "b" (Vec.get v 1)
+
+let test_set () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "after set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list ~dummy:0 [ 1 ] in
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Vec.set")
+    (fun () -> Vec.set v (-1) 0)
+
+let test_iter_fold () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  Alcotest.(check int) "iter sum" 10 !sum;
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let idx_sum = ref 0 in
+  Vec.iteri (fun i _ -> idx_sum := !idx_sum + i) v;
+  Alcotest.(check int) "iteri indices" 6 !idx_sum
+
+let test_exists () =
+  let v = Vec.of_list ~dummy:0 [ 1; 3; 5 ] in
+  Alcotest.(check bool) "exists odd" true (Vec.exists (fun x -> x = 5) v);
+  Alcotest.(check bool) "exists even" false (Vec.exists (fun x -> x mod 2 = 0) v)
+
+let test_copy_clear () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2 ] in
+  let w = Vec.copy v in
+  Vec.set w 0 9;
+  Alcotest.(check int) "copy is independent" 1 (Vec.get v 0);
+  Vec.clear v;
+  Alcotest.(check int) "clear" 0 (Vec.length v);
+  Alcotest.(check int) "copy survives clear" 2 (Vec.length w)
+
+let test_growth () =
+  let v = Vec.create ~dummy:(-1) in
+  for i = 0 to 10_000 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "large growth" 10_001 (Vec.length v);
+  Alcotest.(check int) "spot check" 7777 (Vec.get v 7777)
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "push_idx" `Quick test_push_idx;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "iter/fold" `Quick test_iter_fold;
+    Alcotest.test_case "exists" `Quick test_exists;
+    Alcotest.test_case "copy/clear" `Quick test_copy_clear;
+    Alcotest.test_case "growth" `Quick test_growth;
+  ]

@@ -1,0 +1,148 @@
+(* End-to-end checks over the benchmark suite: behaviour preservation,
+   SSA validity after promotion, and the expected improvement bands
+   (the Table 2 "shape"). *)
+
+module P = Rp_core.Pipeline
+module R = Rp_workloads.Registry
+
+let improvement before after =
+  if before = 0 then 0.0
+  else float_of_int (before - after) /. float_of_int before *. 100.0
+
+let report_for =
+  (* compile each workload once; the suite asserts several properties
+     against the same run *)
+  let cache : (string, P.report) Hashtbl.t = Hashtbl.create 8 in
+  fun (w : R.workload) ->
+    match Hashtbl.find_opt cache w.R.name with
+    | Some r -> r
+    | None ->
+        let r = P.run ~fuel:60_000_000 w.R.source in
+        Hashtbl.replace cache w.R.name r;
+        r
+
+let test_behaviour (w : R.workload) () =
+  let r = report_for w in
+  Alcotest.(check bool) (w.R.name ^ " behaviour") true r.P.behaviour_ok
+
+let test_ssa_valid (w : R.workload) () =
+  let r = report_for w in
+  List.iter (Rp_ssa.Verify.assert_ok r.P.prog.Rp_ir.Func.vartab)
+    r.P.prog.Rp_ir.Func.funcs
+
+(* Expected dynamic-load improvement bands, wide enough to be robust
+   to tuning but tight enough to pin the paper's shape:
+   ijpeg >> go > perl/li/m88k/sc > compr/vortex ~= 0. *)
+let load_bands =
+  [
+    ("go", 10.0, 45.0);
+    ("li", 5.0, 35.0);
+    ("ijpeg", 60.0, 100.0);
+    ("perl", 5.0, 30.0);
+    ("m88k", 15.0, 60.0);
+    ("sc", 2.0, 20.0);
+    ("compr", -1.0, 5.0);
+    ("vortex", -1.0, 5.0);
+  ]
+
+let test_load_band (w : R.workload) () =
+  let r = report_for w in
+  let _, lo, hi = List.find (fun (n, _, _) -> n = w.R.name) load_bands in
+  let imp =
+    improvement r.P.dynamic_before.Rp_interp.Interp.loads
+      r.P.dynamic_after.Rp_interp.Interp.loads
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s load improvement %.1f%% in [%.0f, %.0f]" w.R.name imp lo hi)
+    true
+    (imp >= lo && imp <= hi)
+
+(* ijpeg's signature (paper: 25.7% loads, 0.1% stores): loads improve a
+   lot, stores essentially not at all. *)
+let test_ijpeg_stores_flat () =
+  let w = Option.get (R.find "ijpeg") in
+  let r = report_for w in
+  let imp =
+    improvement r.P.dynamic_before.Rp_interp.Interp.stores
+      r.P.dynamic_after.Rp_interp.Interp.stores
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ijpeg store improvement %.1f%% is ~0" imp)
+    true
+    (imp >= -1.0 && imp <= 3.0)
+
+(* vortex's signature: nothing promotes. *)
+let test_vortex_flat () =
+  let w = Option.get (R.find "vortex") in
+  let r = report_for w in
+  Alcotest.(check int) "vortex loads unchanged"
+    r.P.dynamic_before.Rp_interp.Interp.loads
+    r.P.dynamic_after.Rp_interp.Interp.loads
+
+(* Static counts get worse or stay near even while dynamic counts
+   improve — the paper's Table 1 vs Table 2 contrast. *)
+let test_static_vs_dynamic_contrast () =
+  let go = report_for (Option.get (R.find "go")) in
+  let s_imp =
+    Rp_core.Stats.improvement
+      ~before:
+        (go.P.static_before.Rp_core.Stats.loads
+        + go.P.static_before.Rp_core.Stats.stores)
+      ~after:
+        (go.P.static_after.Rp_core.Stats.loads
+        + go.P.static_after.Rp_core.Stats.stores)
+  in
+  let d_imp =
+    improvement
+      (go.P.dynamic_before.Rp_interp.Interp.loads
+      + go.P.dynamic_before.Rp_interp.Interp.stores)
+      (go.P.dynamic_after.Rp_interp.Interp.loads
+      + go.P.dynamic_after.Rp_interp.Interp.stores)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dynamic improvement (%.1f%%) beats static (%.1f%%)" d_imp
+       s_imp)
+    true (d_imp > s_imp)
+
+(* the derived training input must have an identical CFG (same block
+   ids per function) and still run correctly *)
+let test_train_source_same_shape () =
+  List.iter
+    (fun (w : R.workload) ->
+      let full = Rp_minic.Lower.compile w.R.source in
+      let train = Rp_minic.Lower.compile (R.train_source w ~factor:4) in
+      List.iter2
+        (fun (a : Rp_ir.Func.t) (b : Rp_ir.Func.t) ->
+          Alcotest.(check string) "same function" a.Rp_ir.Func.fname
+            b.Rp_ir.Func.fname;
+          Alcotest.(check int)
+            (w.R.name ^ "/" ^ a.Rp_ir.Func.fname ^ ": same block count")
+            (Rp_ir.Func.num_blocks a) (Rp_ir.Func.num_blocks b))
+        full.Rp_ir.Func.funcs train.Rp_ir.Func.funcs;
+      (* the training run executes strictly less *)
+      let rf = Rp_interp.Interp.run ~fuel:80_000_000 full in
+      let rt = Rp_interp.Interp.run ~fuel:80_000_000 train in
+      Alcotest.(check bool)
+        (w.R.name ^ ": training run is smaller")
+        true
+        (rt.Rp_interp.Interp.counters.Rp_interp.Interp.instrs
+        < rf.Rp_interp.Interp.counters.Rp_interp.Interp.instrs))
+    R.all
+
+let suite =
+  List.concat_map
+    (fun (w : R.workload) ->
+      [
+        Alcotest.test_case (w.R.name ^ " behaviour") `Slow (test_behaviour w);
+        Alcotest.test_case (w.R.name ^ " ssa valid") `Slow (test_ssa_valid w);
+        Alcotest.test_case (w.R.name ^ " load band") `Slow (test_load_band w);
+      ])
+    R.all
+  @ [
+      Alcotest.test_case "ijpeg stores flat" `Slow test_ijpeg_stores_flat;
+      Alcotest.test_case "vortex flat" `Slow test_vortex_flat;
+      Alcotest.test_case "static vs dynamic contrast" `Slow
+        test_static_vs_dynamic_contrast;
+      Alcotest.test_case "train input same shape" `Slow
+        test_train_source_same_shape;
+    ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "regpromo"
+    [
+      ("vec", Suite_vec.suite);
+      ("ir", Suite_ir.suite);
+      ("analysis", Suite_analysis.suite);
+      ("ssa", Suite_ssa.suite);
+      ("incremental", Suite_incremental.suite);
+      ("minic", Suite_minic.suite);
+      ("interp", Suite_interp.suite);
+      ("interp2", Suite_interp2.suite);
+      ("opt", Suite_opt.suite);
+      ("opt2", Suite_opt2.suite);
+      ("promote", Suite_promote.suite);
+      ("web_info", Suite_web_info.suite);
+      ("regalloc", Suite_regalloc.suite);
+      ("baseline", Suite_baseline.suite);
+      ("workloads", Suite_workloads.suite);
+      ("more", Suite_more.suite);
+      ("properties", Suite_qcheck.suite);
+    ]
