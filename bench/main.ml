@@ -7,7 +7,10 @@
      dune exec bench/main.exe -- quick       -- skip the Bechamel timings
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
-              ablation3 ablation4 ablation5 bechamel
+              ablation3 ablation4 ablation5 json bechamel
+
+   "json" writes BENCH_promotion.json: the Tables 1/2 data per
+   workload, machine-readable (schema v1, see DESIGN.md).
 
    Absolute numbers necessarily differ from the paper (the workloads
    are synthetic SPECInt95 stand-ins and the "hardware" is an
@@ -43,7 +46,9 @@ let report_for (w : R.workload) : P.report =
   match Hashtbl.find_opt reports w.R.name with
   | Some r -> r
   | None ->
-      let r = P.run ~fuel:80_000_000 w.R.source in
+      let r =
+        P.run ~options:{ P.default_options with fuel = 80_000_000 } w.R.source
+      in
       if not r.P.behaviour_ok then
         failwith (w.R.name ^ ": promotion changed behaviour!");
       Hashtbl.replace reports w.R.name r;
@@ -368,8 +373,11 @@ let ablation2 () =
   rule ();
   print_endline
     " rebuild    = reference point: constructing SSA from scratch";
-  Printf.printf "%8s %8s %12s %12s %12s %12s\n" "loops" "clones" "batch"
-    "batch(SG)" "per-def" "rebuild";
+  let ename = Rp_ssa.Incremental.engine_to_string in
+  Printf.printf "%8s %8s %12s %12s %12s %12s\n" "loops" "clones"
+    (ename Rp_ssa.Incremental.Cytron)
+    (ename Rp_ssa.Incremental.Sreedhar_gao)
+    "per-def" "rebuild";
   List.iter
     (fun k ->
       let m = ref 0 in
@@ -476,7 +484,16 @@ let ablation4 () =
   List.iter
     (fun (w : R.workload) ->
       let measured = report_for w in
-      let static = P.run ~profile:P.Static_estimate ~fuel:80_000_000 w.R.source in
+      let static =
+        P.run
+          ~options:
+            {
+              P.default_options with
+              profile = P.Static_estimate;
+              fuel = 80_000_000;
+            }
+          w.R.source
+      in
       if not static.P.behaviour_ok then
         failwith (w.R.name ^ ": static-profile variant changed behaviour!");
       let u =
@@ -533,6 +550,88 @@ let ablation5 () =
   print_endline
     "(dynamic loads+stores on the full input; a small training run is";
   print_endline " normally enough — relative hot/cold ratios are input-stable)"
+
+(* ------------------------------------------------------------------ *)
+(* JSON artifact: the per-workload table data of Tables 1/2, machine
+   readable — the file the repo's bench trajectory is built from. *)
+
+let json_file = "BENCH_promotion.json"
+
+let json_artifact () =
+  let module J = Rp_obs.Json in
+  let module S = Rp_core.Stats in
+  let workload_json (w : R.workload) : J.t =
+    let r = report_for w in
+    let _, pl, ps, dl, ds =
+      List.find (fun (n, _, _, _, _) -> n = w.R.name) paper_numbers
+    in
+    let counts (c : I.counters) =
+      J.Obj [ ("loads", J.Int c.I.loads); ("stores", J.Int c.I.stores) ]
+    in
+    let static (c : S.counts) =
+      J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (S.to_alist c))
+    in
+    J.Obj
+      [
+        ("name", J.Str w.R.name);
+        ("behaviour_ok", J.Bool r.P.behaviour_ok);
+        ( "static",
+          J.Obj
+            [
+              ("before", static r.P.static_before);
+              ("after", static r.P.static_after);
+            ] );
+        ( "dynamic",
+          J.Obj
+            [
+              ("before", counts r.P.dynamic_before);
+              ("after", counts r.P.dynamic_after);
+            ] );
+        ( "improvement_pct",
+          J.Obj
+            [
+              ( "static_loads",
+                J.Float (impro r.P.static_before.S.loads r.P.static_after.S.loads)
+              );
+              ( "static_stores",
+                J.Float
+                  (impro r.P.static_before.S.stores r.P.static_after.S.stores)
+              );
+              ( "dynamic_loads",
+                J.Float
+                  (impro r.P.dynamic_before.I.loads r.P.dynamic_after.I.loads)
+              );
+              ( "dynamic_stores",
+                J.Float
+                  (impro r.P.dynamic_before.I.stores r.P.dynamic_after.I.stores)
+              );
+            ] );
+        ( "paper_improvement_pct",
+          J.Obj
+            [
+              ("static_loads", J.Float pl);
+              ("static_stores", J.Float ps);
+              ("dynamic_loads", J.Float dl);
+              ("dynamic_stores", J.Float ds);
+            ] );
+        ( "promotion",
+          J.Obj
+            (List.map
+               (fun (k, v) -> (k, J.Int v))
+               (Rp_core.Promote.to_alist r.P.promote_stats)) );
+      ]
+  in
+  let doc =
+    Rp_obs.Report.make ~tool:"bench"
+      [
+        ("artifact", J.Str "promotion_tables");
+        ("workloads", J.Arr (List.map workload_json R.all));
+      ]
+  in
+  Out_channel.with_open_text json_file (fun oc ->
+      output_string oc (J.to_string doc));
+  rule ();
+  Printf.printf "wrote %s (%d workloads)\n" json_file (List.length R.all)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
@@ -615,6 +714,7 @@ let () =
   if want "ablation3" then ablation3 ();
   if want "ablation4" then ablation4 ();
   if want "ablation5" then ablation5 ();
+  if want "json" then json_artifact ();
   if want "bechamel" && not quick then bechamel ();
   rule ();
   print_endline "done; see EXPERIMENTS.md for the paper-vs-measured discussion"

@@ -39,10 +39,10 @@ let guarded f =
       Printf.eprintf "rpromote: %s\n" m;
       1
 
-let engine_of_string = function
-  | "cytron" -> Rp_ssa.Incremental.Cytron
-  | "sreedhar-gao" | "sg" -> Rp_ssa.Incremental.Sreedhar_gao
-  | s -> raise (Invalid_argument ("unknown IDF engine: " ^ s))
+let engine_of_string s =
+  match Rp_ssa.Incremental.engine_of_string s with
+  | Some e -> e
+  | None -> raise (Invalid_argument ("unknown IDF engine: " ^ s))
 
 (* ------------------------------------------------------------------ *)
 
@@ -58,8 +58,14 @@ let cmd_run path fuel =
     r.I.counters.I.aliased_stores r.I.counters.I.instrs;
   0
 
+(* write the JSON report; "-" means stdout *)
+let emit_json ~label ~dest report =
+  let doc = Rp_obs.Json.to_string (P.json_report ~label report) in
+  if dest = "-" then print_string doc
+  else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
+
 let cmd_promote path fuel static_profile no_store_removal singleton_deref
-    engine min_profit =
+    engine min_profit json trace checkpoints =
  guarded @@ fun () ->
   let src = read_source path in
   let cfg =
@@ -70,9 +76,29 @@ let cmd_promote path fuel static_profile no_store_removal singleton_deref
       insert_dummies = true;
     }
   in
-  let profile = if static_profile then P.Static_estimate else P.Measured in
-  let report = P.run ~cfg ~profile ~opt_singleton_deref:singleton_deref ~fuel src in
+  let options =
+    {
+      P.promote = cfg;
+      profile = (if static_profile then P.Static_estimate else P.Measured);
+      fuel;
+      singleton_deref;
+      checkpoints;
+      (* the JSON report carries the per-pass timings, so --json
+         implies collecting the trace *)
+      trace = trace || json <> None;
+    }
+  in
+  let report = P.run ~options src in
+  (match json with
+  | Some dest -> emit_json ~label:path ~dest report
+  | None -> ());
+  if trace then begin
+    prerr_endline "-- trace ----------------------------------------------";
+    Format.eprintf "%a@?" Rp_obs.Trace.pp_spans (Rp_obs.Trace.spans ())
+  end;
   let b = report.P.dynamic_before and a = report.P.dynamic_after in
+  (* with the JSON document on stdout, keep stdout parseable *)
+  if json <> Some "-" then begin
   Printf.printf "behaviour preserved : %b\n" report.P.behaviour_ok;
   Printf.printf "static loads        : %d -> %d\n"
     report.P.static_before.Rp_core.Stats.loads
@@ -98,7 +124,8 @@ let cmd_promote path fuel static_profile no_store_removal singleton_deref
     \                      %d stores deleted, %d register phis added\n"
     s.Rp_core.Promote.loads_replaced s.Rp_core.Promote.loads_inserted
     s.Rp_core.Promote.stores_inserted s.Rp_core.Promote.stores_deleted
-    s.Rp_core.Promote.reg_phis_added;
+    s.Rp_core.Promote.reg_phis_added
+  end;
   if report.P.behaviour_ok then 0 else 1
 
 let cmd_baseline path fuel =
@@ -203,11 +230,36 @@ let promote_cmd =
       & info [ "min-profit" ] ~docv:"X"
           ~doc:"Minimum profit (weighted operation count) to promote a web.")
   in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the versioned JSON report (counts, per-pass timings, \
+             metrics) to $(docv); '-' for stdout, which then suppresses the \
+             text table.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Collect per-pass spans and print the trace tree to stderr.")
+  in
+  let checkpoints =
+    Arg.(
+      value & flag
+      & info [ "checkpoints" ]
+          ~doc:
+            "Debug mode: run the IR validator and SSA verifier after every \
+             pipeline pass; checkpoint cost shows up in the trace.")
+  in
   Cmd.v
     (Cmd.info "promote" ~doc)
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ static_profile
-      $ no_store_removal $ singleton_deref $ engine $ min_profit)
+      $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
+      $ trace $ checkpoints)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in

@@ -35,7 +35,10 @@ int main() {
 let () =
   print_endline "=== paper Figure 1: the running example ===";
   print_endline source;
-  let report = P.run source in
+  (* one options record instead of per-call knobs; [trace = true]
+     collects a span per pipeline pass *)
+  let options = { P.default_options with trace = true } in
+  let report = P.run ~options source in
   let b = report.P.dynamic_before and a = report.P.dynamic_after in
   Printf.printf "program output        : %s (must be 120)\n"
     (String.concat ", " (List.map string_of_int report.P.final.I.output));
@@ -57,4 +60,6 @@ let () =
       (fun f -> f.Rp_ir.Func.fname = "main")
       report.P.prog.Rp_ir.Func.funcs
   in
-  print_string (Rp_ir.Pp.func_to_string report.P.prog.Rp_ir.Func.vartab main)
+  print_string (Rp_ir.Pp.func_to_string report.P.prog.Rp_ir.Func.vartab main);
+  print_endline "\n=== where the time went (Rp_obs trace) ===";
+  Format.printf "%a@?" Rp_obs.Trace.pp_spans (Rp_obs.Trace.spans ())

@@ -10,15 +10,46 @@
 
    Everything is measured on the same program object; the [report]
    captures before/after static and dynamic counts plus the behaviour
-   check (printed output and exit value must be unchanged). *)
+   check (printed output and exit value must be unchanged).
+
+   Every stage runs inside an [Rp_obs.Trace] span, absolute sizes and
+   before/after counts land in the [Rp_obs.Metrics] registry, and
+   [json_report] serialises the whole run as a versioned JSON document.
+   With [checkpoints = true] the structural validator (and, once the
+   program is in SSA form, the SSA verifier) runs after every
+   instrumented pass, each check recorded as its own span. *)
 
 open Rp_ir
 open Rp_analysis
 open Rp_ssa
 module Interp = Rp_interp.Interp
 module Lower = Rp_minic.Lower
+module Trace = Rp_obs.Trace
+module Metrics = Rp_obs.Metrics
+module J = Rp_obs.Json
 
 type profile_source = Measured | Static_estimate
+
+type options = {
+  promote : Promote.config;
+  profile : profile_source;
+  fuel : int;  (** interpreter instruction budget per run *)
+  singleton_deref : bool;
+      (** lower unambiguous pointer dereferences as singleton accesses *)
+  checkpoints : bool;
+      (** validate (and verify, once in SSA) after every pass *)
+  trace : bool;  (** collect spans even when the sink is [Off] *)
+}
+
+let default_options =
+  {
+    promote = Promote.default_config;
+    profile = Measured;
+    fuel = 50_000_000;
+    singleton_deref = false;
+    checkpoints = false;
+    trace = false;
+  }
 
 type report = {
   prog : Func.prog;
@@ -28,73 +59,167 @@ type report = {
   dynamic_before : Interp.counters;
   dynamic_after : Interp.counters;
   promote_stats : Promote.stats;
+  per_function : (string * Promote.stats) list;
   behaviour_ok : bool;
   baseline : Interp.result;
   final : Interp.result;
 }
 
+(* The promoter's engine choice also drives initial SSA construction;
+   the two modules declare structurally identical types. *)
+let construct_engine = function
+  | Incremental.Cytron -> Construct.Cytron
+  | Incremental.Sreedhar_gao -> Construct.Sreedhar_gao
+
+(* IR size gauges, refreshed after the phases that change them. *)
+let record_ir_size (prog : Func.prog) =
+  let blocks, instrs, phis =
+    List.fold_left
+      (fun acc f ->
+        Func.fold_blocks
+          (fun (bs, is, ps) b ->
+            ( bs + 1,
+              is + List.length b.Block.body,
+              ps + List.length b.Block.phis ))
+          acc f)
+      (0, 0, 0) prog.Func.funcs
+  in
+  Metrics.set_gauge "ir.blocks" (float_of_int blocks);
+  Metrics.set_gauge "ir.instrs" (float_of_int instrs);
+  Metrics.set_gauge "ir.phis" (float_of_int phis)
+
+(* A debug checkpoint after pass [after]: the structural validator
+   always, the SSA verifier once the program is in SSA form.  Cost is
+   visible in the trace as its own span. *)
+let checkpoint (options : options) ~(ssa : bool) (after : string)
+    (prog : Func.prog) : unit =
+  if options.checkpoints then
+    Trace.with_span "checkpoint" ~attrs:[ ("after", after) ] @@ fun () ->
+    List.iter
+      (fun f ->
+        Validate.assert_ok prog.Func.vartab f;
+        if ssa then Verify.assert_ok prog.Func.vartab f)
+      prog.Func.funcs
+
 (* Compile and normalise, build SSA, clean.  Returns the program and
    the interval tree per function. *)
-let prepare ?(opt_singleton_deref = false) ?(engine = Construct.Cytron)
-    (src : string) : Func.prog * (string * Intervals.tree) list =
-  let prog = Lower.compile ~opt_singleton_deref src in
-  let trees =
-    List.map
-      (fun (f : Func.t) -> (f.Func.fname, Intervals.normalise f))
-      prog.Func.funcs
+let prepare ?(options = default_options) (src : string) :
+    Func.prog * (string * Intervals.tree) list =
+  Trace.with_span "pipeline.prepare" @@ fun () ->
+  let prog =
+    Trace.with_span "frontend.compile" (fun () ->
+        Lower.compile ~opt_singleton_deref:options.singleton_deref src)
   in
-  List.iter (Construct.run ~engine) prog.Func.funcs;
-  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
-  Rp_opt.Cleanup.run_prog prog;
+  checkpoint options ~ssa:false "frontend.compile" prog;
+  let trees =
+    Trace.with_span "normalise" (fun () ->
+        List.map
+          (fun (f : Func.t) -> (f.Func.fname, Intervals.normalise f))
+          prog.Func.funcs)
+  in
+  checkpoint options ~ssa:false "normalise" prog;
+  Trace.with_span "construct_ssa" (fun () ->
+      List.iter
+        (Construct.run
+           ~engine:(construct_engine options.promote.Promote.engine))
+        prog.Func.funcs);
+  Trace.with_span "verify_ssa" (fun () ->
+      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  Trace.with_span "cleanup" (fun () -> Rp_opt.Cleanup.run_prog prog);
+  checkpoint options ~ssa:true "cleanup" prog;
+  record_ir_size prog;
   (prog, trees)
 
 (* Attach a profile: run the program and feed back measured counts, or
    fall back to the static estimator for functions never executed. *)
-let attach_profile ?(source = Measured) ?(fuel = 50_000_000)
-    (prog : Func.prog) (trees : (string * Intervals.tree) list) :
-    Interp.result =
-  let r = Interp.run ~fuel prog in
-  (match source with
-  | Measured ->
-      Interp.apply_profile prog r;
-      (* unexecuted functions keep a static estimate *)
-      List.iter
-        (fun (f : Func.t) ->
-          if not (Freq.has_profile f) then
-            match List.assoc_opt f.Func.fname trees with
-            | Some tree -> Freq.estimate f tree
-            | None -> ())
-        prog.Func.funcs
-  | Static_estimate ->
-      List.iter
-        (fun (f : Func.t) ->
-          match List.assoc_opt f.Func.fname trees with
-          | Some tree -> Freq.estimate f tree
-          | None -> ())
-        prog.Func.funcs);
+let attach_profile ?(options = default_options) (prog : Func.prog)
+    (trees : (string * Intervals.tree) list) : Interp.result =
+  Trace.with_span "pipeline.attach_profile" @@ fun () ->
+  let r =
+    Trace.with_span "profile.run" (fun () ->
+        Interp.run ~fuel:options.fuel prog)
+  in
+  Trace.with_span "profile.apply" (fun () ->
+      match options.profile with
+      | Measured ->
+          Interp.apply_profile prog r;
+          (* unexecuted functions keep a static estimate *)
+          List.iter
+            (fun (f : Func.t) ->
+              if not (Freq.has_profile f) then
+                match List.assoc_opt f.Func.fname trees with
+                | Some tree -> Freq.estimate f tree
+                | None -> ())
+            prog.Func.funcs
+      | Static_estimate ->
+          List.iter
+            (fun (f : Func.t) ->
+              match List.assoc_opt f.Func.fname trees with
+              | Some tree -> Freq.estimate f tree
+              | None -> ())
+            prog.Func.funcs);
   r
 
+let record_counts_metrics ~static_before ~static_after
+    ~(dynamic_before : Interp.counters) ~(dynamic_after : Interp.counters) =
+  List.iter
+    (fun (k, v) ->
+      Metrics.set_gauge ("static." ^ k ^ "_before") (float_of_int v))
+    (Stats.to_alist static_before);
+  List.iter
+    (fun (k, v) ->
+      Metrics.set_gauge ("static." ^ k ^ "_after") (float_of_int v))
+    (Stats.to_alist static_after);
+  Metrics.set_gauge "dynamic.loads_before"
+    (float_of_int dynamic_before.Interp.loads);
+  Metrics.set_gauge "dynamic.stores_before"
+    (float_of_int dynamic_before.Interp.stores);
+  Metrics.set_gauge "dynamic.loads_after"
+    (float_of_int dynamic_after.Interp.loads);
+  Metrics.set_gauge "dynamic.stores_after"
+    (float_of_int dynamic_after.Interp.stores)
+
 (* Full pipeline on a MiniC source string. *)
-let run ?(cfg = Promote.default_config) ?(profile = Measured)
-    ?(opt_singleton_deref = false) ?(fuel = 50_000_000) (src : string) :
-    report =
-  let prog, trees = prepare ~opt_singleton_deref src in
-  let baseline = attach_profile ~source:profile ~fuel prog trees in
+let run ?(options = default_options) (src : string) : report =
+  if options.trace && not (Trace.enabled ()) then
+    Trace.set_sink Trace.Collect;
+  Trace.with_span "pipeline.run" @@ fun () ->
+  let prog, trees = prepare ~options src in
+  let baseline = attach_profile ~options prog trees in
   let static_before = Stats.of_prog prog in
   let stats = Promote.empty_stats () in
-  List.iter
-    (fun (f : Func.t) ->
-      match List.assoc_opt f.Func.fname trees with
-      | Some tree ->
-          Promote.accumulate stats
-            (Promote.promote_function ~cfg f prog.Func.vartab tree)
-      | None -> ())
-    prog.Func.funcs;
-  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
-  Rp_opt.Cleanup.run_prog prog;
-  List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs;
+  let per_function =
+    Trace.with_span "promote" (fun () ->
+        List.filter_map
+          (fun (f : Func.t) ->
+            match List.assoc_opt f.Func.fname trees with
+            | Some tree ->
+                let s =
+                  Promote.promote_function ~cfg:options.promote f
+                    prog.Func.vartab tree
+                in
+                Promote.accumulate stats s;
+                checkpoint options ~ssa:true
+                  ("promote:" ^ f.Func.fname)
+                  prog;
+                Some (f.Func.fname, s)
+            | None -> None)
+          prog.Func.funcs)
+  in
+  Trace.with_span "verify_ssa" (fun () ->
+      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  Trace.with_span "cleanup" (fun () -> Rp_opt.Cleanup.run_prog prog);
+  Trace.with_span "verify_ssa" (fun () ->
+      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  record_ir_size prog;
   let static_after = Stats.of_prog prog in
-  let final = Interp.run ~fuel prog in
+  let final =
+    Trace.with_span "measure.run" (fun () ->
+        Interp.run ~fuel:options.fuel prog)
+  in
+  record_counts_metrics ~static_before ~static_after
+    ~dynamic_before:baseline.Interp.counters
+    ~dynamic_after:final.Interp.counters;
   {
     prog;
     trees;
@@ -103,7 +228,74 @@ let run ?(cfg = Promote.default_config) ?(profile = Measured)
     dynamic_before = baseline.Interp.counters;
     dynamic_after = final.Interp.counters;
     promote_stats = stats;
+    per_function;
     behaviour_ok = Interp.same_behaviour baseline final;
     baseline;
     final;
   }
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialisation (report schema v1; see DESIGN.md) *)
+
+let counts_json (c : Stats.counts) : J.t =
+  J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Stats.to_alist c))
+
+let counters_json (c : Interp.counters) : J.t =
+  J.Obj
+    [
+      ("loads", J.Int c.Interp.loads);
+      ("stores", J.Int c.Interp.stores);
+      ("aliased_loads", J.Int c.Interp.aliased_loads);
+      ("aliased_stores", J.Int c.Interp.aliased_stores);
+      ("instrs", J.Int c.Interp.instrs);
+    ]
+
+let stats_json (s : Promote.stats) : J.t =
+  J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Promote.to_alist s))
+
+let json_report ?label (r : report) : J.t =
+  let impro before after = J.Float (Stats.improvement ~before ~after) in
+  Rp_obs.Report.make ~tool:"rpromote"
+    ((match label with Some l -> [ ("source", J.Str l) ] | None -> [])
+    @ [
+        ("behaviour_ok", J.Bool r.behaviour_ok);
+        ( "static",
+          J.Obj
+            [
+              ("before", counts_json r.static_before);
+              ("after", counts_json r.static_after);
+              ( "improvement_pct",
+                J.Obj
+                  [
+                    ( "loads",
+                      impro r.static_before.Stats.loads
+                        r.static_after.Stats.loads );
+                    ( "stores",
+                      impro r.static_before.Stats.stores
+                        r.static_after.Stats.stores );
+                  ] );
+            ] );
+        ( "dynamic",
+          J.Obj
+            [
+              ("before", counters_json r.dynamic_before);
+              ("after", counters_json r.dynamic_after);
+              ( "improvement_pct",
+                J.Obj
+                  [
+                    ( "loads",
+                      impro r.dynamic_before.Interp.loads
+                        r.dynamic_after.Interp.loads );
+                    ( "stores",
+                      impro r.dynamic_before.Interp.stores
+                        r.dynamic_after.Interp.stores );
+                  ] );
+            ] );
+        ("promotion", stats_json r.promote_stats);
+        ( "functions",
+          J.Arr
+            (List.map
+               (fun (name, s) ->
+                 J.Obj [ ("name", J.Str name); ("promotion", stats_json s) ])
+               r.per_function) );
+      ])

@@ -1,7 +1,15 @@
 (** The end-to-end pipeline: MiniC → IR → normalisation → SSA →
     baseline cleanup → profiling run → promotion → cleanup → measuring
     run, with the before/after counts and the behaviour oracle in the
-    report. *)
+    report.
+
+    Every stage is traced with [Rp_obs.Trace], pass statistics land in
+    the [Rp_obs.Metrics] registry, and {!json_report} serialises a run
+    as a versioned JSON document (schema v1, documented in DESIGN.md).
+
+    Knobs travel in one {!options} record instead of per-call optional
+    arguments; build yours with record update on {!default_options}:
+    [{ default_options with fuel = 1_000_000; checkpoints = true }]. *)
 
 open Rp_ir
 open Rp_analysis
@@ -11,6 +19,27 @@ type profile_source =
   | Measured  (** run the interpreter and feed the counts back *)
   | Static_estimate  (** loop-depth heuristic, no execution *)
 
+type options = {
+  promote : Promote.config;
+      (** promotion knobs; [promote.engine] also selects the IDF engine
+          for initial SSA construction *)
+  profile : profile_source;
+  fuel : int;  (** interpreter instruction budget per run *)
+  singleton_deref : bool;
+      (** lower unambiguous pointer dereferences as singleton accesses *)
+  checkpoints : bool;
+      (** debug mode: run the structural validator (plus the SSA
+          verifier once in SSA form) after every instrumented pass;
+          each checkpoint's cost shows up in the trace *)
+  trace : bool;
+      (** switch the trace sink from [Off] to [Collect] at the start of
+          {!run} (an already-active sink is left alone) *)
+}
+
+val default_options : options
+(** [Measured] profile, 50M fuel, paper-default promotion config,
+    checkpoints and tracing off. *)
+
 type report = {
   prog : Func.prog;  (** the transformed program *)
   trees : (string * Intervals.tree) list;
@@ -18,7 +47,9 @@ type report = {
   static_after : Stats.counts;
   dynamic_before : Interp.counters;
   dynamic_after : Interp.counters;
-  promote_stats : Promote.stats;
+  promote_stats : Promote.stats;  (** program-wide totals *)
+  per_function : (string * Promote.stats) list;
+      (** per-function promotion stats, in program order *)
   behaviour_ok : bool;
       (** the print trace and exit value were unchanged *)
   baseline : Interp.result;
@@ -28,26 +59,21 @@ type report = {
 (** Compile, normalise, build SSA and clean; returns the program and
     the interval tree per function. *)
 val prepare :
-  ?opt_singleton_deref:bool ->
-  ?engine:Rp_ssa.Construct.idf_engine ->
-  string ->
-  Func.prog * (string * Intervals.tree) list
+  ?options:options -> string -> Func.prog * (string * Intervals.tree) list
 
 (** Attach a profile (measured or estimated) and return the profiling
     run's result. *)
 val attach_profile :
-  ?source:profile_source ->
-  ?fuel:int ->
+  ?options:options ->
   Func.prog ->
   (string * Intervals.tree) list ->
   Interp.result
 
 (** Full pipeline on a MiniC source string.
     @raise Interp.Runtime_error when the program itself traps. *)
-val run :
-  ?cfg:Promote.config ->
-  ?profile:profile_source ->
-  ?opt_singleton_deref:bool ->
-  ?fuel:int ->
-  string ->
-  report
+val run : ?options:options -> string -> report
+
+(** The versioned JSON document for a finished run: counts, promotion
+    stats (totals and per function), the collected trace and the
+    metrics snapshot. [label] names the source in the document. *)
+val json_report : ?label:string -> report -> Rp_obs.Json.t

@@ -74,22 +74,54 @@ let empty_stats () =
     reg_phis_added = 0;
   }
 
+(* Pure field-by-field sum. *)
+let add (a : stats) (b : stats) : stats =
+  {
+    webs_seen = a.webs_seen + b.webs_seen;
+    webs_promoted = a.webs_promoted + b.webs_promoted;
+    webs_promoted_no_defs = a.webs_promoted_no_defs + b.webs_promoted_no_defs;
+    webs_store_removal = a.webs_store_removal + b.webs_store_removal;
+    webs_skipped_profit = a.webs_skipped_profit + b.webs_skipped_profit;
+    webs_skipped_malformed = a.webs_skipped_malformed + b.webs_skipped_malformed;
+    loads_replaced = a.loads_replaced + b.loads_replaced;
+    loads_inserted = a.loads_inserted + b.loads_inserted;
+    stores_inserted = a.stores_inserted + b.stores_inserted;
+    stores_deleted = a.stores_deleted + b.stores_deleted;
+    dummies_added = a.dummies_added + b.dummies_added;
+    reg_phis_added = a.reg_phis_added + b.reg_phis_added;
+  }
+
+let to_alist (s : stats) : (string * int) list =
+  [
+    ("webs_seen", s.webs_seen);
+    ("webs_promoted", s.webs_promoted);
+    ("webs_promoted_no_defs", s.webs_promoted_no_defs);
+    ("webs_store_removal", s.webs_store_removal);
+    ("webs_skipped_profit", s.webs_skipped_profit);
+    ("webs_skipped_malformed", s.webs_skipped_malformed);
+    ("loads_replaced", s.loads_replaced);
+    ("loads_inserted", s.loads_inserted);
+    ("stores_inserted", s.stores_inserted);
+    ("stores_deleted", s.stores_deleted);
+    ("dummies_added", s.dummies_added);
+    ("reg_phis_added", s.reg_phis_added);
+  ]
+
 (* Fold [src] into [acc], field by field. *)
 let accumulate (acc : stats) (src : stats) : unit =
-  acc.webs_seen <- acc.webs_seen + src.webs_seen;
-  acc.webs_promoted <- acc.webs_promoted + src.webs_promoted;
-  acc.webs_promoted_no_defs <-
-    acc.webs_promoted_no_defs + src.webs_promoted_no_defs;
-  acc.webs_store_removal <- acc.webs_store_removal + src.webs_store_removal;
-  acc.webs_skipped_profit <- acc.webs_skipped_profit + src.webs_skipped_profit;
-  acc.webs_skipped_malformed <-
-    acc.webs_skipped_malformed + src.webs_skipped_malformed;
-  acc.loads_replaced <- acc.loads_replaced + src.loads_replaced;
-  acc.loads_inserted <- acc.loads_inserted + src.loads_inserted;
-  acc.stores_inserted <- acc.stores_inserted + src.stores_inserted;
-  acc.stores_deleted <- acc.stores_deleted + src.stores_deleted;
-  acc.dummies_added <- acc.dummies_added + src.dummies_added;
-  acc.reg_phis_added <- acc.reg_phis_added + src.reg_phis_added
+  let s = add acc src in
+  acc.webs_seen <- s.webs_seen;
+  acc.webs_promoted <- s.webs_promoted;
+  acc.webs_promoted_no_defs <- s.webs_promoted_no_defs;
+  acc.webs_store_removal <- s.webs_store_removal;
+  acc.webs_skipped_profit <- s.webs_skipped_profit;
+  acc.webs_skipped_malformed <- s.webs_skipped_malformed;
+  acc.loads_replaced <- s.loads_replaced;
+  acc.loads_inserted <- s.loads_inserted;
+  acc.stores_inserted <- s.stores_inserted;
+  acc.stores_deleted <- s.stores_deleted;
+  acc.dummies_added <- s.dummies_added;
+  acc.reg_phis_added <- s.reg_phis_added
 
 (* ------------------------------------------------------------------ *)
 (* loads_added / stores_added (section 4.3) *)
@@ -590,8 +622,18 @@ let cleanup_dummies (f : Func.t) (blocks : Ids.IntSet.t) =
 let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
     (stats : stats) (iv : Intervals.t) : unit =
   (* children were already processed (the traversal is bottom-up) *)
+  Rp_obs.Trace.with_span "promote.interval"
+    ~attrs:
+      [
+        ("func", f.Func.fname);
+        ("interval", string_of_int iv.Intervals.id);
+        ("depth", string_of_int iv.Intervals.depth);
+        ("blocks", string_of_int (Ids.IntSet.cardinal iv.Intervals.blocks));
+      ]
+  @@ fun () ->
   let dom = Dom.compute f in
   let webs = Webs.in_blocks tab f iv.Intervals.blocks in
+  Rp_obs.Trace.add_attr "webs" (string_of_int (List.length webs));
   List.iter
     (fun web ->
       let resources = Resource.ResSet.of_list web in
@@ -603,6 +645,8 @@ let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
    dedicated preheaders/tails) and in SSA form, with a profile. *)
 let promote_function ?(cfg = default_config) (f : Func.t)
     (tab : Resource.table) (tree : Intervals.tree) : stats =
+  Rp_obs.Trace.with_span "promote.function" ~attrs:[ ("func", f.Func.fname) ]
+  @@ fun () ->
   let stats = empty_stats () in
   List.iter (promote_in_interval cfg f tab stats) tree.Intervals.all;
   (* the root's own dummies sit in its preheader (the entry block),
@@ -613,4 +657,7 @@ let promote_function ?(cfg = default_config) (f : Func.t)
       b.body <-
         List.filter (fun (i : Instr.t) -> not (Instr.is_dummy i)) b.body)
     f;
+  List.iter
+    (fun (k, v) -> if v <> 0 then Rp_obs.Metrics.add ("promote." ^ k) v)
+    (to_alist stats);
   stats

@@ -35,7 +35,15 @@ type stats = {
 
 val empty_stats : unit -> stats
 
-(** Fold the second stats record into the first, field by field. *)
+(** Pure field-by-field sum; neither argument is mutated. *)
+val add : stats -> stats -> stats
+
+(** Field/value pairs in declaration order, for the metrics exporter
+    and the JSON report. *)
+val to_alist : stats -> (string * int) list
+
+(** Fold the second stats record into the first — a thin mutable
+    wrapper over {!add}. *)
 val accumulate : stats -> stats -> unit
 
 (** {2 The section 4.3 sets, exposed for tests and inspection} *)

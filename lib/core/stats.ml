@@ -28,3 +28,7 @@ let of_prog (p : Func.prog) : counts =
 let improvement ~before ~after =
   if before = 0 then 0.0
   else float_of_int (before - after) /. float_of_int before *. 100.0
+
+let to_alist c = [ ("loads", c.loads); ("stores", c.stores) ]
+
+let pp fmt c = Format.fprintf fmt "{loads=%d; stores=%d}" c.loads c.stores

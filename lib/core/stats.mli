@@ -15,3 +15,10 @@ val of_prog : Func.prog -> counts
 (** (before − after) / before × 100, the paper's improvement
     percentage; negative means the count got worse. *)
 val improvement : before:int -> after:int -> float
+
+(** Field/value pairs in declaration order, for the metrics exporter
+    and the JSON report. *)
+val to_alist : counts -> (string * int) list
+
+(** Pretty-printer, for test diffs ([Alcotest.testable pp (=)]). *)
+val pp : Format.formatter -> counts -> unit

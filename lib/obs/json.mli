@@ -1,0 +1,28 @@
+(** A minimal JSON tree, emitter and parser — hand-rolled so the
+    observability layer adds no dependencies. The emitter always
+    produces valid JSON (non-finite floats become [null]); the parser
+    accepts standard JSON and is used by the golden-shape tests to
+    check the reports we emit. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Render; [minify:false] (the default) pretty-prints with two-space
+    indentation and a trailing newline. *)
+val to_string : ?minify:bool -> t -> string
+
+(** Parse a complete JSON document; [Error msg] carries the byte
+    offset of the failure. *)
+val parse : string -> (t, string) result
+
+(** Field lookup on [Obj]; [None] on other constructors too. *)
+val member : t -> string -> t option
+
+(** Structural equality ([Int 1] and [Float 1.] are not equal). *)
+val equal : t -> t -> bool

@@ -1,0 +1,31 @@
+(* Two flat hash tables; the registry is tiny (tens of entries), so
+   sorting on snapshot is fine. *)
+
+let the_counters : (string, int) Hashtbl.t = Hashtbl.create 32
+let the_gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let add name n =
+  let cur =
+    match Hashtbl.find_opt the_counters name with Some c -> c | None -> 0
+  in
+  Hashtbl.replace the_counters name (cur + n)
+
+let incr name = add name 1
+
+let set_gauge name v = Hashtbl.replace the_gauges name v
+
+let counter_value name = Hashtbl.find_opt the_counters name
+
+let gauge_value name = Hashtbl.find_opt the_gauges name
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters () = sorted_bindings the_counters
+
+let gauges () = sorted_bindings the_gauges
+
+let reset () =
+  Hashtbl.reset the_counters;
+  Hashtbl.reset the_gauges

@@ -1,0 +1,33 @@
+(** A process-global metrics registry: named integer counters and
+    float gauges. Passes register what they did (phis placed, webs
+    promoted, stores deleted, ...) instead of plumbing ad-hoc record
+    types or [Printf] through every caller; the report serializer
+    snapshots the registry at the end.
+
+    Names are dotted paths by convention ("promote.webs_promoted",
+    "ssa.update.phis_placed"). Counters accumulate across calls;
+    gauges keep the last value set. *)
+
+(** Add 1 to a counter, creating it at 0 first. *)
+val incr : string -> unit
+
+(** Add [n] to a counter, creating it at 0 first. *)
+val add : string -> int -> unit
+
+(** Set a gauge to a value, creating it if needed. *)
+val set_gauge : string -> float -> unit
+
+(** Current value of a counter; [None] when never touched. *)
+val counter_value : string -> int option
+
+(** Current value of a gauge; [None] when never set. *)
+val gauge_value : string -> float option
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** All gauges, sorted by name. *)
+val gauges : unit -> (string * float) list
+
+(** Drop every counter and gauge. *)
+val reset : unit -> unit

@@ -1,0 +1,32 @@
+let schema_version = 1
+
+let span_to_json (s : Trace.span) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("depth", Json.Int s.Trace.depth);
+      ("start_ms", Json.Float (s.Trace.start_s *. 1000.0));
+      ("duration_ms", Json.Float s.Trace.duration_ms);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.attrs));
+    ]
+
+let trace_to_json () =
+  Json.Arr (List.map span_to_json (Trace.spans ()))
+
+let metrics_to_json () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (Metrics.counters ())) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Float v)) (Metrics.gauges ())) );
+    ]
+
+let make ~tool sections : Json.t =
+  Json.Obj
+    (("schema_version", Json.Int schema_version)
+    :: ("tool", Json.Str tool)
+    :: sections
+    @ [ ("passes", trace_to_json ()); ("metrics", metrics_to_json ()) ])

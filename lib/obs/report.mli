@@ -1,0 +1,25 @@
+(** Versioned JSON report assembly. The observability layer cannot see
+    compiler types (the core library depends on this one, not the other
+    way around), so this module provides the document frame — schema
+    version, tool name, trace and metrics sections — and the callers
+    contribute their own sections as {!Json.t} values.
+
+    Schema v1, top level: ["schema_version"] (int), ["tool"] (string),
+    then the caller's sections, then ["passes"] (array of span objects:
+    name, depth, start_ms, duration_ms, attrs) and ["metrics"]
+    (object with "counters" and "gauges"). *)
+
+(** Current report schema version: 1. *)
+val schema_version : int
+
+val span_to_json : Trace.span -> Json.t
+
+(** The collected trace, in start order. *)
+val trace_to_json : unit -> Json.t
+
+(** Snapshot of the metrics registry. *)
+val metrics_to_json : unit -> Json.t
+
+(** [make ~tool sections] frames a document: schema version and tool
+    first, the given sections in order, trace and metrics last. *)
+val make : tool:string -> (string * Json.t) list -> Json.t

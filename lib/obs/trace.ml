@@ -1,0 +1,129 @@
+(* Tracing spans: a global sink, a stack of open frames, a list of
+   finished spans.  When the sink is [Off] the only cost of an
+   instrumented call site is one branch (plus whatever the caller
+   spends building the [attrs] list, which is why hot-path sites keep
+   theirs to a couple of pairs). *)
+
+type sink = Off | Collect | Stream
+
+type span = {
+  name : string;
+  depth : int;
+  seq : int;
+  start_s : float;
+  duration_ms : float;
+  attrs : (string * string) list;
+}
+
+type frame = {
+  fname : string;
+  fdepth : int;
+  fseq : int;
+  fstart : float;  (* absolute gettimeofday *)
+  fattrs : (string * string) list;
+  mutable fextra : (string * string) list;  (* add_attr, reversed *)
+}
+
+let the_sink = ref Off
+let epoch = ref None  (* absolute time of the first span since reset *)
+let next_seq = ref 0
+let open_frames : frame list ref = ref []
+let finished : span list ref = ref []  (* reverse finish order *)
+
+let set_sink s = the_sink := s
+let sink () = !the_sink
+let enabled () = !the_sink <> Off
+
+let reset () =
+  epoch := None;
+  next_seq := 0;
+  open_frames := [];
+  finished := []
+
+let now () = Unix.gettimeofday ()
+
+let epoch_start t =
+  match !epoch with
+  | Some e -> e
+  | None ->
+      epoch := Some t;
+      t
+
+let stream_out (s : span) =
+  let b = Buffer.create 80 in
+  Buffer.add_string b (String.make (2 * s.depth) ' ');
+  Buffer.add_string b s.name;
+  Buffer.add_string b (Printf.sprintf " %.3fms" s.duration_ms);
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v))
+    s.attrs;
+  prerr_endline (Buffer.contents b)
+
+let close_frame fr =
+  let t1 = now () in
+  let s =
+    {
+      name = fr.fname;
+      depth = fr.fdepth;
+      seq = fr.fseq;
+      start_s = fr.fstart -. epoch_start fr.fstart;
+      duration_ms = (t1 -. fr.fstart) *. 1000.0;
+      attrs = fr.fattrs @ List.rev fr.fextra;
+    }
+  in
+  finished := s :: !finished;
+  if !the_sink = Stream then stream_out s
+
+let with_span ?(attrs = []) name f =
+  if !the_sink = Off then f ()
+  else begin
+    let t0 = now () in
+    ignore (epoch_start t0);
+    let fr =
+      {
+        fname = name;
+        fdepth = List.length !open_frames;
+        fseq =
+          (let s = !next_seq in
+           next_seq := s + 1;
+           s);
+        fstart = t0;
+        fattrs = attrs;
+        fextra = [];
+      }
+    in
+    open_frames := fr :: !open_frames;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !open_frames with
+        | top :: rest when top == fr -> open_frames := rest
+        | _ ->
+            (* unbalanced nesting can only happen if a callee messed
+               with the stack; drop frames down to ours *)
+            let rec drop = function
+              | top :: rest when top == fr -> rest
+              | _ :: rest -> drop rest
+              | [] -> []
+            in
+            open_frames := drop !open_frames);
+        close_frame fr)
+      f
+  end
+
+let add_attr k v =
+  match !open_frames with
+  | fr :: _ -> fr.fextra <- (k, v) :: fr.fextra
+  | [] -> ()
+
+let spans () =
+  List.sort (fun a b -> Int.compare a.seq b.seq) !finished
+
+let pp_spans fmt spans =
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "%s%s %.3fms"
+        (String.make (2 * s.depth) ' ')
+        s.name s.duration_ms;
+      List.iter (fun (k, v) -> Format.fprintf fmt " %s=%s" k v) s.attrs;
+      Format.pp_print_newline fmt ())
+    spans

@@ -1,0 +1,54 @@
+(** Lightweight tracing spans for the pipeline.
+
+    A span records a named region of execution: wall-clock start and
+    duration, nesting depth, and key/value attributes. The global sink
+    decides what happens to spans:
+
+    - [Off] (the default): {!with_span} runs the thunk with no
+      recording — one branch of overhead, so instrumentation can stay
+      in hot paths;
+    - [Collect]: finished spans accumulate in memory, {!spans} returns
+      them in start order;
+    - [Stream]: each span is printed to [stderr] as it closes, indented
+      by depth (and also collected).
+
+    The sink is global mutable state, like a logger: the pipeline is a
+    batch tool and its drivers (CLI, bench, tests) each own the
+    process. *)
+
+type sink = Off | Collect | Stream
+
+type span = {
+  name : string;
+  depth : int;  (** nesting depth at start; top level = 0 *)
+  seq : int;  (** start order, unique within a collection epoch *)
+  start_s : float;  (** seconds since {!reset} (or the first span) *)
+  duration_ms : float;
+  attrs : (string * string) list;
+}
+
+val set_sink : sink -> unit
+
+val sink : unit -> sink
+
+(** [true] when the sink is not [Off]. *)
+val enabled : unit -> bool
+
+(** Drop collected spans and restart the epoch clock. *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f ()] inside a span. The span is recorded
+    even when [f] raises. Attributes added by {!add_attr} during [f]
+    are appended after [attrs]. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span; ignored when no
+    span is open or the sink is [Off]. *)
+val add_attr : string -> string -> unit
+
+(** Finished spans in start order (empty when the sink was [Off]). *)
+val spans : unit -> span list
+
+(** Render spans as an indented tree, one line per span:
+    name, duration, attributes. *)
+val pp_spans : Format.formatter -> span list -> unit

@@ -41,6 +41,15 @@ open Rp_analysis
 
 type engine = Cytron | Sreedhar_gao
 
+let engine_to_string = function
+  | Cytron -> "cytron"
+  | Sreedhar_gao -> "sreedhar-gao"
+
+let engine_of_string = function
+  | "cytron" -> Some Cytron
+  | "sreedhar-gao" | "sg" -> Some Sreedhar_gao
+  | _ -> None
+
 (* Positions within a block: the entry definition of a variable is at
    -infinity (represented -max_int), phis occupy negative positions in
    list order so a later phi shadows an earlier one, body instructions
@@ -114,6 +123,17 @@ let update_for_cloned_resources ?(engine = Cytron)
     ?(protect = Resource.ResSet.empty) (f : Func.t)
     ~(cloned_res : Resource.ResSet.t) : unit =
   if not (Resource.ResSet.is_empty cloned_res) then begin
+    Rp_obs.Trace.with_span "ssa.incremental_update"
+      ~attrs:
+        [
+          ("func", f.Func.fname);
+          ("engine", engine_to_string engine);
+          ("cloned", string_of_int (Resource.ResSet.cardinal cloned_res));
+        ]
+    @@ fun () ->
+    Rp_obs.Metrics.incr "ssa.update.runs";
+    Rp_obs.Metrics.add "ssa.update.cloned_defs"
+      (Resource.ResSet.cardinal cloned_res);
     let dom = Dom.compute f in
     let base =
       match Resource.ResSet.choose_opt cloned_res with
@@ -181,6 +201,9 @@ let update_for_cloned_resources ?(engine = Cytron)
         Hashtbl.replace placed i.iid bid;
         phi_targets := Resource.ResSet.add dst !phi_targets)
       idf_set;
+    Rp_obs.Trace.add_attr "phis_placed"
+      (string_of_int (Ids.IntSet.cardinal idf_set));
+    Rp_obs.Metrics.add "ssa.update.phis_placed" (Ids.IntSet.cardinal idf_set);
     let all_def =
       Resource.ResSet.union
         (Resource.ResSet.union old_res cloned_res)
@@ -325,6 +348,7 @@ let update_for_cloned_resources ?(engine = Cytron)
       | Some c -> Hashtbl.replace counts r (c - 1)
       | None -> ()
     in
+    let deleted = ref 0 in
     let changed = ref true in
     while !changed do
       changed := false;
@@ -343,10 +367,13 @@ let update_for_cloned_resources ?(engine = Cytron)
             (fun (i : Instr.t) ->
               List.iter (fun (_, r) -> dec r) (Instr.mphi_srcs i.op);
               Block.remove_instr b ~iid:i.iid;
+              incr deleted;
               changed := true)
             doomed)
         f
-    done
+    done;
+    Rp_obs.Trace.add_attr "defs_deleted" (string_of_int !deleted);
+    Rp_obs.Metrics.add "ssa.update.defs_deleted" !deleted
   end
 
 (* The paper also positions the updater as a general tool "for

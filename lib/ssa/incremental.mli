@@ -15,6 +15,13 @@ open Rp_ir
 
 type engine = Cytron | Sreedhar_gao
 
+(** ["cytron"] / ["sreedhar-gao"], the names the CLI and bench use. *)
+val engine_to_string : engine -> string
+
+(** Inverse of {!engine_to_string}; also accepts the ["sg"]
+    abbreviation. [None] on unknown names. *)
+val engine_of_string : string -> engine option
+
 (** [update_for_cloned_resources f ~cloned_res] repairs SSA form after
     the definitions of [cloned_res] (all of one base variable) were
     inserted. The paper's oldResSet is completed internally to every

@@ -33,9 +33,18 @@ let run_source ?(fuel = 10_000_000) (src : string) : Rp_interp.Interp.result =
   let prog = Rp_minic.Lower.compile src in
   Rp_interp.Interp.run ~fuel prog
 
-(* Run the full pipeline on a source. *)
+(* Run the full pipeline on a source.  The optional arguments mirror
+   the fields of [Pipeline.options] the suites actually vary. *)
 let pipeline ?cfg ?profile (src : string) : Rp_core.Pipeline.report =
-  Rp_core.Pipeline.run ?cfg ?profile src
+  let d = Rp_core.Pipeline.default_options in
+  let options =
+    {
+      d with
+      Rp_core.Pipeline.promote = Option.value cfg ~default:d.Rp_core.Pipeline.promote;
+      profile = Option.value profile ~default:d.Rp_core.Pipeline.profile;
+    }
+  in
+  Rp_core.Pipeline.run ~options src
 
 let check_output msg expected (r : Rp_interp.Interp.result) =
   Alcotest.(check (list int)) msg expected r.Rp_interp.Interp.output

@@ -1,0 +1,241 @@
+(* The observability layer: span nesting and timing sanity, the
+   metrics registry, the JSON emitter/parser, and a golden-shape check
+   that the pipeline's JSON report contains the documented schema-v1
+   keys for every built-in workload — with checkpoints on, so the
+   validator and SSA verifier run after every instrumented pass. *)
+
+module T = Rp_obs.Trace
+module M = Rp_obs.Metrics
+module J = Rp_obs.Json
+module P = Rp_core.Pipeline
+module R = Rp_workloads.Registry
+
+(* run [f] with a fresh collecting sink, restoring [Off] after *)
+let with_collect f =
+  T.set_sink T.Collect;
+  T.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_sink T.Off;
+      T.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* spans *)
+
+let test_span_nesting () =
+  with_collect @@ fun () ->
+  T.with_span "outer" (fun () ->
+      T.with_span "inner1"
+        ~attrs:[ ("k", "v") ]
+        (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id)));
+      T.with_span "inner2" (fun () -> T.add_attr "late" "yes"));
+  let spans = T.spans () in
+  Alcotest.(check (list string))
+    "names in start order"
+    [ "outer"; "inner1"; "inner2" ]
+    (List.map (fun (s : T.span) -> s.T.name) spans);
+  Alcotest.(check (list int))
+    "depths" [ 0; 1; 1 ]
+    (List.map (fun (s : T.span) -> s.T.depth) spans);
+  List.iter
+    (fun (s : T.span) ->
+      Alcotest.(check bool)
+        (s.T.name ^ " duration non-negative")
+        true
+        (s.T.duration_ms >= 0.0))
+    spans;
+  let outer = List.hd spans and kids = List.tl spans in
+  let kid_sum =
+    List.fold_left (fun acc (s : T.span) -> acc +. s.T.duration_ms) 0.0 kids
+  in
+  Alcotest.(check bool)
+    "outer covers its children" true
+    (outer.T.duration_ms +. 0.001 >= kid_sum);
+  let inner1 = List.nth spans 1 and inner2 = List.nth spans 2 in
+  Alcotest.(check bool)
+    "explicit attrs recorded" true
+    (List.mem ("k", "v") inner1.T.attrs);
+  Alcotest.(check bool)
+    "add_attr lands on the open span" true
+    (List.mem ("late", "yes") inner2.T.attrs);
+  Alcotest.(check bool)
+    "children start after the parent" true
+    (inner1.T.start_s >= outer.T.start_s)
+
+let test_span_survives_exception () =
+  with_collect @@ fun () ->
+  (try T.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Alcotest.(check (list string))
+    "span recorded despite the raise" [ "boom" ]
+    (List.map (fun (s : T.span) -> s.T.name) (T.spans ()))
+
+let test_off_sink_records_nothing () =
+  T.set_sink T.Off;
+  T.reset ();
+  let v = T.with_span "ignored" (fun () -> 42) in
+  Alcotest.(check int) "thunk result passes through" 42 v;
+  Alcotest.(check int) "nothing collected" 0 (List.length (T.spans ()))
+
+(* ------------------------------------------------------------------ *)
+(* metrics *)
+
+let test_metrics_registry () =
+  M.reset ();
+  M.incr "obs.test.a";
+  M.add "obs.test.a" 4;
+  M.add "obs.test.b" 2;
+  M.set_gauge "obs.test.g" 2.5;
+  M.set_gauge "obs.test.g" 3.5;
+  Alcotest.(check (option int))
+    "counter accumulates" (Some 5)
+    (M.counter_value "obs.test.a");
+  Alcotest.(check (option int))
+    "untouched counter is None" None
+    (M.counter_value "obs.test.zzz");
+  Alcotest.(check bool)
+    "gauge keeps the last value" true
+    (M.gauge_value "obs.test.g" = Some 3.5);
+  Alcotest.(check (list (pair string int)))
+    "snapshot sorted by name"
+    [ ("obs.test.a", 5); ("obs.test.b", 2) ]
+    (M.counters ());
+  M.reset ();
+  Alcotest.(check (list (pair string int))) "reset clears" [] (M.counters ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let v =
+    J.Obj
+      [
+        ("null", J.Null);
+        ("bools", J.Arr [ J.Bool true; J.Bool false ]);
+        ("int", J.Int (-42));
+        ("float", J.Float 1.5);
+        ("whole_float", J.Float 3.0);
+        ("string", J.Str "line\n\ttab \"quoted\" back\\slash");
+        ("empty_arr", J.Arr []);
+        ("empty_obj", J.Obj []);
+        ("nested", J.Obj [ ("xs", J.Arr [ J.Int 1; J.Int 2; J.Int 3 ]) ]);
+      ]
+  in
+  List.iter
+    (fun minify ->
+      match J.parse (J.to_string ~minify v) with
+      | Ok parsed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip (minify=%b)" minify)
+            true (J.equal v parsed)
+      | Error m -> Alcotest.fail m)
+    [ true; false ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | Ok _ -> Alcotest.fail ("parser accepted: " ^ bad)
+      | Error _ -> ())
+    [ "{"; "[1,"; "\"unterminated"; "tru"; "1 2"; "{\"a\" 1}"; "" ]
+
+let test_json_escapes () =
+  match J.parse {|{"s": "aA\nb"}|} with
+  | Ok v ->
+      Alcotest.(check bool)
+        "\\u and \\n decode" true
+        (J.member v "s" = Some (J.Str "aA\nb"))
+  | Error m -> Alcotest.fail m
+
+(* ------------------------------------------------------------------ *)
+(* the pipeline report: golden shape on every workload, checkpoints on *)
+
+let required_keys =
+  [
+    "schema_version";
+    "tool";
+    "source";
+    "behaviour_ok";
+    "static";
+    "dynamic";
+    "promotion";
+    "functions";
+    "passes";
+    "metrics";
+  ]
+
+let test_report_shape (w : R.workload) () =
+  with_collect @@ fun () ->
+  M.reset ();
+  let options =
+    {
+      P.default_options with
+      fuel = 60_000_000;
+      checkpoints = true;
+      trace = true;
+    }
+  in
+  let r = P.run ~options w.R.source in
+  Alcotest.(check bool)
+    (w.R.name ^ ": behaviour preserved with checkpoints on")
+    true r.P.behaviour_ok;
+  let doc = P.json_report ~label:w.R.name r in
+  let parsed =
+    match J.parse (J.to_string doc) with
+    | Ok p -> p
+    | Error m -> Alcotest.fail m
+  in
+  Alcotest.(check bool)
+    "emitter output parses back to the same tree" true (J.equal doc parsed);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (w.R.name ^ ": report has key " ^ k)
+        true
+        (J.member parsed k <> None))
+    required_keys;
+  Alcotest.(check bool)
+    "schema version is 1" true
+    (J.member parsed "schema_version" = Some (J.Int 1));
+  (match J.member parsed "passes" with
+  | Some (J.Arr passes) ->
+      Alcotest.(check bool) "trace is non-empty" true (passes <> []);
+      let has name =
+        List.exists (fun s -> J.member s "name" = Some (J.Str name)) passes
+      in
+      List.iter
+        (fun name ->
+          Alcotest.(check bool) ("trace has span " ^ name) true (has name))
+        [
+          "pipeline.run";
+          "frontend.compile";
+          "construct_ssa";
+          "promote";
+          "measure.run";
+          "checkpoint";
+        ]
+  | _ -> Alcotest.fail "passes is not an array");
+  match J.member parsed "metrics" with
+  | Some metrics ->
+      Alcotest.(check bool)
+        "metrics has counters and gauges" true
+        (J.member metrics "counters" <> None && J.member metrics "gauges" <> None)
+  | None -> Alcotest.fail "no metrics section"
+
+let suite =
+  [
+    ("span nesting and timing", `Quick, test_span_nesting);
+    ("span survives exceptions", `Quick, test_span_survives_exception);
+    ("off sink records nothing", `Quick, test_off_sink_records_nothing);
+    ("metrics registry", `Quick, test_metrics_registry);
+    ("json round-trip", `Quick, test_json_roundtrip);
+    ("json parse errors", `Quick, test_json_parse_errors);
+    ("json escapes", `Quick, test_json_escapes);
+  ]
+  @ List.map
+      (fun (w : R.workload) ->
+        ( "report shape + checkpoints: " ^ w.R.name,
+          `Slow,
+          test_report_shape w ))
+      R.all

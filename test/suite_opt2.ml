@@ -336,7 +336,12 @@ int main() {
 let test_all_passes_after_promotion () =
   List.iter
     (fun (w : Rp_workloads.Registry.workload) ->
-      let report = Rp_core.Pipeline.run ~fuel:80_000_000 w.Rp_workloads.Registry.source in
+      let report =
+        Rp_core.Pipeline.run
+          ~options:
+            { Rp_core.Pipeline.default_options with fuel = 80_000_000 }
+          w.Rp_workloads.Registry.source
+      in
       let prog = report.Rp_core.Pipeline.prog in
       List.iter
         (fun f ->

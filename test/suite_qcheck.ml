@@ -321,9 +321,12 @@ let arb_program = QCheck.make gen_program ~print:(fun s -> s)
 
 (* run with a fuel bound; a fuel/recursion trap before AND after counts
    as agreeing behaviour *)
+let qcheck_options =
+  { Rp_core.Pipeline.default_options with fuel = 2_000_000 }
+
 let run_both src =
   let before =
-    try Some (Rp_core.Pipeline.run ~fuel:2_000_000 src) with
+    try Some (Rp_core.Pipeline.run ~options:qcheck_options src) with
     | Rp_interp.Interp.Runtime_error _ -> None
   in
   before
@@ -347,7 +350,11 @@ let prop_forced_promotion_preserves_behaviour =
   QCheck.Test.make ~name:"forced promotion preserves behaviour" ~count:150
     arb_program (fun src ->
       match
-        (try Some (Rp_core.Pipeline.run ~cfg ~fuel:2_000_000 src)
+        (try
+           Some
+             (Rp_core.Pipeline.run
+                ~options:{ qcheck_options with Rp_core.Pipeline.promote = cfg }
+                src)
          with Rp_interp.Interp.Runtime_error _ -> None)
       with
       | None -> true
@@ -360,8 +367,15 @@ let prop_variant_configs_preserve_behaviour =
         match
           (try
              Some
-               (Rp_core.Pipeline.run ~cfg ~profile
-                  ~opt_singleton_deref:singleton ~fuel:2_000_000 src)
+               (Rp_core.Pipeline.run
+                  ~options:
+                    {
+                      qcheck_options with
+                      Rp_core.Pipeline.promote = cfg;
+                      profile;
+                      singleton_deref = singleton;
+                    }
+                  src)
            with Rp_interp.Interp.Runtime_error _ -> None)
         with
         | None -> true

@@ -17,7 +17,10 @@ let report_for =
     match Hashtbl.find_opt cache w.R.name with
     | Some r -> r
     | None ->
-        let r = P.run ~fuel:60_000_000 w.R.source in
+        let r =
+          P.run ~options:{ P.default_options with fuel = 60_000_000 }
+            w.R.source
+        in
         Hashtbl.replace cache w.R.name r;
         r
 

@@ -16,6 +16,7 @@ let () =
       ("regalloc", Suite_regalloc.suite);
       ("baseline", Suite_baseline.suite);
       ("workloads", Suite_workloads.suite);
+      ("obs", Suite_obs.suite);
       ("more", Suite_more.suite);
       ("properties", Suite_qcheck.suite);
     ]
