@@ -7,10 +7,14 @@
      dune exec bench/main.exe -- quick       -- skip the Bechamel timings
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
-              ablation3 ablation4 ablation5 json bechamel
+              ablation3 ablation4 ablation5 scaling json bechamel
+
+   "scaling" times the compile-only pipeline (Pipeline.optimise)
+   serially and on 2 and 4 domains, per workload, with the speedup.
 
    "json" writes BENCH_promotion.json: the Tables 1/2 data per
-   workload, machine-readable (schema v1, see DESIGN.md).
+   workload plus wall-clock timings, machine-readable (schema v2, see
+   DESIGN.md).
 
    Absolute numbers necessarily differ from the paper (the workloads
    are synthetic SPECInt95 stand-ins and the "hardware" is an
@@ -552,6 +556,47 @@ let ablation5 () =
   print_endline " normally enough — relative hot/cold ratios are input-stable)"
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: the compile-only pipeline, serial vs parallel.  The
+   interpreter runs are excluded on purpose — they are the correctness
+   oracle and stay serial — so this times exactly the work that fans
+   out over the domain pool. *)
+
+let scaling () =
+  rule ();
+  print_endline
+    "Scaling: compile-only pipeline (Pipeline.optimise), serial vs parallel";
+  Printf.printf " (this host recommends %d domain(s); speedups need cores)\n"
+    (Domain.recommended_domain_count ());
+  rule ();
+  Printf.printf "%-8s %12s %12s %12s %10s\n" "bench" "jobs=1" "jobs=2"
+    "jobs=4" "speedup@4";
+  let log_sum = ref 0.0 in
+  List.iter
+    (fun (w : R.workload) ->
+      let time_jobs jobs =
+        let options = { P.default_options with jobs } in
+        (* one warm-up, then best of three to damp scheduler noise *)
+        ignore (P.optimise ~options w.R.source);
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t =
+            time_it (fun () -> ignore (P.optimise ~options w.R.source))
+          in
+          if t < !best then best := t
+        done;
+        !best
+      in
+      let t1 = time_jobs 1 and t2 = time_jobs 2 and t4 = time_jobs 4 in
+      let s = t1 /. t4 in
+      log_sum := !log_sum +. log s;
+      Printf.printf "%-8s %9.3f ms %9.3f ms %9.3f ms %9.2fx\n" w.R.name
+        (t1 *. 1000.) (t2 *. 1000.) (t4 *. 1000.) s)
+    R.all;
+  rule ();
+  Printf.printf "geometric-mean speedup, jobs=4 over jobs=1: %.2fx\n"
+    (exp (!log_sum /. float_of_int (List.length R.all)))
+
+(* ------------------------------------------------------------------ *)
 (* JSON artifact: the per-workload table data of Tables 1/2, machine
    readable — the file the repo's bench trajectory is built from. *)
 
@@ -619,13 +664,25 @@ let json_artifact () =
             (List.map
                (fun (k, v) -> (k, J.Int v))
                (Rp_core.Promote.to_alist r.P.promote_stats)) );
+        ( "timing",
+          J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.P.timing) );
       ]
+  in
+  let workloads = List.map workload_json R.all in
+  (* top-level timing: the pipeline wall-clock summed over workloads *)
+  let total_ms =
+    List.fold_left
+      (fun acc (w : R.workload) ->
+        acc +. (try List.assoc "total_ms" (report_for w).P.timing with
+                Not_found -> 0.0))
+      0.0 R.all
   in
   let doc =
     Rp_obs.Report.make ~tool:"bench"
+      ~timing:[ ("total_ms", total_ms) ]
       [
         ("artifact", J.Str "promotion_tables");
-        ("workloads", J.Arr (List.map workload_json R.all));
+        ("workloads", J.Arr workloads);
       ]
   in
   Out_channel.with_open_text json_file (fun oc ->
@@ -714,6 +771,7 @@ let () =
   if want "ablation3" then ablation3 ();
   if want "ablation4" then ablation4 ();
   if want "ablation5" then ablation5 ();
+  if want "scaling" then scaling ();
   if want "json" then json_artifact ();
   if want "bechamel" && not quick then bechamel ();
   rule ();

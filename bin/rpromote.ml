@@ -65,8 +65,10 @@ let emit_json ~label ~dest report =
   else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
 
 let cmd_promote path fuel static_profile no_store_removal singleton_deref
-    engine min_profit json trace checkpoints =
+    engine min_profit json trace checkpoints jobs deterministic =
  guarded @@ fun () ->
+  if jobs < 1 then raise (Invalid_argument "--jobs must be at least 1");
+  Rp_obs.Trace.set_deterministic deterministic;
   let src = read_source path in
   let cfg =
     {
@@ -86,6 +88,7 @@ let cmd_promote path fuel static_profile no_store_removal singleton_deref
       (* the JSON report carries the per-pass timings, so --json
          implies collecting the trace *)
       trace = trace || json <> None;
+      jobs;
     }
   in
   let report = P.run ~options src in
@@ -254,12 +257,32 @@ let promote_cmd =
             "Debug mode: run the IR validator and SSA verifier after every \
              pipeline pass; checkpoint cost shows up in the trace.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~env:(Cmd.Env.info "RPROMOTE_JOBS")
+          ~doc:
+            "Compile $(docv) functions concurrently on OCaml domains. The \
+             report is identical whatever $(docv) is; the interpreter runs \
+             stay serial.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~env:(Cmd.Env.info "RPROMOTE_DETERMINISTIC")
+          ~doc:
+            "Zero every clock read so traces and JSON reports are \
+             byte-identical across runs and $(b,--jobs) values (used by the \
+             CI golden comparison).")
+  in
   Cmd.v
     (Cmd.info "promote" ~doc)
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
-      $ trace $ checkpoints)
+      $ trace $ checkpoints $ jobs $ deterministic)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in

@@ -78,6 +78,26 @@ let compute (f : Func.t) : t =
   dfs f.entry;
   { idom; children; entry = f.entry; tin; tout; rpo_num; order }
 
+(* The cached variant lives on the function itself, stamped with the
+   CFG generation it was computed at, so repeated incremental SSA
+   update batches (and the per-interval walks of the promoter) stop
+   rebuilding an unchanged tree.  Storing the cache on [Func.t] rather
+   than in a global table keeps it safe under the domain pool — each
+   function is owned by exactly one task at a time — and makes hit
+   counts independent of scheduling. *)
+type Func.cache_entry += Dom_tree of t
+
+let compute_cached (f : Func.t) : t =
+  match f.Func.analysis_cache with
+  | Some (g, Dom_tree d) when g = f.Func.cfg_gen ->
+      Rp_obs.Metrics.incr "analysis.domcache.hits";
+      d
+  | _ ->
+      Rp_obs.Metrics.incr "analysis.domcache.misses";
+      let d = compute f in
+      f.Func.analysis_cache <- Some (f.Func.cfg_gen, Dom_tree d);
+      d
+
 let entry t = t.entry
 
 let idom t b = if b = t.entry then None else Some t.idom.(b)

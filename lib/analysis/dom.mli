@@ -7,6 +7,14 @@ type t
 
 val compute : Func.t -> t
 
+(** Like {!compute}, but reuses the tree cached on
+    [f.Func.analysis_cache] when the function's [cfg_gen] stamp is
+    unchanged since it was computed. Hits and misses are counted in
+    the ["analysis.domcache.hits"/"misses"] metrics. Safe under the
+    domain pool as long as each function is worked on by one task at a
+    time (the pipeline's invariant). *)
+val compute_cached : Func.t -> t
+
 (** The entry block the tree was computed from. *)
 val entry : t -> Ids.bid
 

@@ -17,7 +17,20 @@
    [json_report] serialises the whole run as a versioned JSON document.
    With [checkpoints = true] the structural validator (and, once the
    program is in SSA form, the SSA verifier) runs after every
-   instrumented pass, each check recorded as its own span. *)
+   instrumented pass, each check recorded as its own span.
+
+   Concurrency model.  The paper's algorithm is strictly per-function,
+   so with [jobs > 1] every per-function stage — normalisation, SSA
+   construction, verification, cleanup, promotion, checkpoints — fans
+   out over a [Rp_par.Pool] of OCaml domains, one task per function.
+   Tasks own their function outright and only read the shared variable
+   table; the observability layer is the one shared sink and is
+   thread-safe ([Metrics]) or per-domain with deterministic stitching
+   ([Trace.capture]/[graft] in [par_funcs]).  The interpreter runs
+   (profiling and the final measurement) stay serial: they execute the
+   whole program against global memory and are the correctness oracle
+   the parallel compile is judged against.  Output is bit-identical to
+   a serial run whatever [jobs] is. *)
 
 open Rp_ir
 open Rp_analysis
@@ -26,6 +39,7 @@ module Interp = Rp_interp.Interp
 module Lower = Rp_minic.Lower
 module Trace = Rp_obs.Trace
 module Metrics = Rp_obs.Metrics
+module Pool = Rp_par.Pool
 module J = Rp_obs.Json
 
 type profile_source = Measured | Static_estimate
@@ -39,6 +53,9 @@ type options = {
   checkpoints : bool;
       (** validate (and verify, once in SSA) after every pass *)
   trace : bool;  (** collect spans even when the sink is [Off] *)
+  jobs : int;
+      (** compile [jobs] functions concurrently on OCaml domains;
+          1 (the default) keeps everything on the calling domain *)
 }
 
 let default_options =
@@ -49,6 +66,7 @@ let default_options =
     singleton_deref = false;
     checkpoints = false;
     trace = false;
+    jobs = 1;
   }
 
 type report = {
@@ -63,6 +81,7 @@ type report = {
   behaviour_ok : bool;
   baseline : Interp.result;
   final : Interp.result;
+  timing : (string * float) list;
 }
 
 (* The promoter's engine choice also drives initial SSA construction;
@@ -70,6 +89,20 @@ type report = {
 let construct_engine = function
   | Incremental.Cytron -> Construct.Cytron
   | Incremental.Sreedhar_gao -> Construct.Sreedhar_gao
+
+(* Fan one task per function out through the pool.  Each task's spans
+   are captured on whichever domain executes it and grafted back in
+   program order once the batch joins, so the collected trace — and
+   hence the JSON report — has the same shape (and, under a
+   deterministic clock, the same bytes) for any [jobs]. *)
+let par_funcs pool (work : Func.t -> 'a) (fs : Func.t list) : 'a list =
+  Pool.map pool (fun f -> Trace.capture (fun () -> work f)) fs
+  |> List.map (fun (v, captured) ->
+         Trace.graft captured;
+         v)
+
+let par_iter_funcs pool (work : Func.t -> unit) (fs : Func.t list) : unit =
+  ignore (par_funcs pool work fs)
 
 (* IR size gauges, refreshed after the phases that change them. *)
 let record_ir_size (prog : Func.prog) =
@@ -88,50 +121,67 @@ let record_ir_size (prog : Func.prog) =
   Metrics.set_gauge "ir.instrs" (float_of_int instrs);
   Metrics.set_gauge "ir.phis" (float_of_int phis)
 
-(* A debug checkpoint after pass [after]: the structural validator
-   always, the SSA verifier once the program is in SSA form.  Cost is
-   visible in the trace as its own span. *)
-let checkpoint (options : options) ~(ssa : bool) (after : string)
+(* One function's debug check: the structural validator always, the
+   SSA verifier once the program is in SSA form. *)
+let check_func ~(ssa : bool) vartab (f : Func.t) =
+  Validate.assert_ok vartab f;
+  if ssa then Verify.assert_ok vartab f
+
+(* A whole-program checkpoint after pass [after], fanned out per
+   function (the checks emit no spans, so no capture is needed).  Cost
+   is visible in the trace as its own span. *)
+let checkpoint pool (options : options) ~(ssa : bool) (after : string)
     (prog : Func.prog) : unit =
   if options.checkpoints then
     Trace.with_span "checkpoint" ~attrs:[ ("after", after) ] @@ fun () ->
-    List.iter
-      (fun f ->
-        Validate.assert_ok prog.Func.vartab f;
-        if ssa then Verify.assert_ok prog.Func.vartab f)
-      prog.Func.funcs
+    Pool.iter pool (check_func ~ssa prog.Func.vartab) prog.Func.funcs
+
+(* The per-function variant, run inside a promotion task: only [f] is
+   in a consistent state while its siblings are mid-flight. *)
+let checkpoint_func (options : options) ~(ssa : bool) (after : string) vartab
+    (f : Func.t) : unit =
+  if options.checkpoints then
+    Trace.with_span "checkpoint" ~attrs:[ ("after", after) ] @@ fun () ->
+    check_func ~ssa vartab f
 
 (* Compile and normalise, build SSA, clean.  Returns the program and
    the interval tree per function. *)
-let prepare ?(options = default_options) (src : string) :
+let prepare_in pool ~(options : options) (src : string) :
     Func.prog * (string * Intervals.tree) list =
   Trace.with_span "pipeline.prepare" @@ fun () ->
   let prog =
     Trace.with_span "frontend.compile" (fun () ->
         Lower.compile ~opt_singleton_deref:options.singleton_deref src)
   in
-  checkpoint options ~ssa:false "frontend.compile" prog;
+  checkpoint pool options ~ssa:false "frontend.compile" prog;
   let trees =
     Trace.with_span "normalise" (fun () ->
-        List.map
+        par_funcs pool
           (fun (f : Func.t) -> (f.Func.fname, Intervals.normalise f))
           prog.Func.funcs)
   in
-  checkpoint options ~ssa:false "normalise" prog;
+  checkpoint pool options ~ssa:false "normalise" prog;
   Trace.with_span "construct_ssa" (fun () ->
-      List.iter
+      par_iter_funcs pool
         (Construct.run
            ~engine:(construct_engine options.promote.Promote.engine))
         prog.Func.funcs);
   Trace.with_span "verify_ssa" (fun () ->
-      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
-  Trace.with_span "cleanup" (fun () -> Rp_opt.Cleanup.run_prog prog);
-  checkpoint options ~ssa:true "cleanup" prog;
+      par_iter_funcs pool (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  Trace.with_span "cleanup" (fun () ->
+      par_iter_funcs pool Rp_opt.Cleanup.run prog.Func.funcs);
+  checkpoint pool options ~ssa:true "cleanup" prog;
   record_ir_size prog;
   (prog, trees)
 
+let prepare ?(options = default_options) (src : string) :
+    Func.prog * (string * Intervals.tree) list =
+  Pool.with_pool ~jobs:options.jobs @@ fun pool -> prepare_in pool ~options src
+
 (* Attach a profile: run the program and feed back measured counts, or
-   fall back to the static estimator for functions never executed. *)
+   fall back to the static estimator for functions never executed.
+   Serial on purpose: the interpreter executes the whole program
+   against global memory. *)
 let attach_profile ?(options = default_options) (prog : Func.prog)
     (trees : (string * Intervals.tree) list) : Interp.result =
   Trace.with_span "pipeline.attach_profile" @@ fun () ->
@@ -179,44 +229,64 @@ let record_counts_metrics ~static_before ~static_after
   Metrics.set_gauge "dynamic.stores_after"
     (float_of_int dynamic_after.Interp.stores)
 
+(* The promotion fan-out: one task per function, results in program
+   order.  Each task also runs its own checkpoint — only its function
+   is in a consistent state while siblings are mid-flight. *)
+let promote_prog_in pool ~(options : options) (prog : Func.prog)
+    (trees : (string * Intervals.tree) list) :
+    (string * Promote.stats) list =
+  Trace.with_span "promote" (fun () ->
+      par_funcs pool
+        (fun (f : Func.t) ->
+          match List.assoc_opt f.Func.fname trees with
+          | Some tree ->
+              let s =
+                Promote.promote_function ~cfg:options.promote f
+                  prog.Func.vartab tree
+              in
+              checkpoint_func options ~ssa:true
+                ("promote:" ^ f.Func.fname)
+                prog.Func.vartab f;
+              Some (f.Func.fname, s)
+          | None -> None)
+        prog.Func.funcs
+      |> List.filter_map Fun.id)
+
+(* Post-promotion finalisation: verify, clean, verify again. *)
+let finalise_in pool (prog : Func.prog) : unit =
+  Trace.with_span "verify_ssa" (fun () ->
+      par_iter_funcs pool (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  Trace.with_span "cleanup" (fun () ->
+      par_iter_funcs pool Rp_opt.Cleanup.run prog.Func.funcs);
+  Trace.with_span "verify_ssa" (fun () ->
+      par_iter_funcs pool (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
+  record_ir_size prog
+
 (* Full pipeline on a MiniC source string. *)
 let run ?(options = default_options) (src : string) : report =
   if options.trace && not (Trace.enabled ()) then
     Trace.set_sink Trace.Collect;
+  Pool.with_pool ~jobs:options.jobs @@ fun pool ->
   Trace.with_span "pipeline.run" @@ fun () ->
-  let prog, trees = prepare ~options src in
+  let ms t0 t1 = (t1 -. t0) *. 1000.0 in
+  let t0 = Trace.wall_s () in
+  let prog, trees = prepare_in pool ~options src in
+  let t_prepared = Trace.wall_s () in
   let baseline = attach_profile ~options prog trees in
+  let t_profiled = Trace.wall_s () in
   let static_before = Stats.of_prog prog in
+  let per_function = promote_prog_in pool ~options prog trees in
   let stats = Promote.empty_stats () in
-  let per_function =
-    Trace.with_span "promote" (fun () ->
-        List.filter_map
-          (fun (f : Func.t) ->
-            match List.assoc_opt f.Func.fname trees with
-            | Some tree ->
-                let s =
-                  Promote.promote_function ~cfg:options.promote f
-                    prog.Func.vartab tree
-                in
-                Promote.accumulate stats s;
-                checkpoint options ~ssa:true
-                  ("promote:" ^ f.Func.fname)
-                  prog;
-                Some (f.Func.fname, s)
-            | None -> None)
-          prog.Func.funcs)
-  in
-  Trace.with_span "verify_ssa" (fun () ->
-      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
-  Trace.with_span "cleanup" (fun () -> Rp_opt.Cleanup.run_prog prog);
-  Trace.with_span "verify_ssa" (fun () ->
-      List.iter (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
-  record_ir_size prog;
+  List.iter (fun (_, s) -> Promote.accumulate stats s) per_function;
+  let t_promoted = Trace.wall_s () in
+  finalise_in pool prog;
   let static_after = Stats.of_prog prog in
+  let t_finalised = Trace.wall_s () in
   let final =
     Trace.with_span "measure.run" (fun () ->
         Interp.run ~fuel:options.fuel prog)
   in
+  let t_measured = Trace.wall_s () in
   record_counts_metrics ~static_before ~static_after
     ~dynamic_before:baseline.Interp.counters
     ~dynamic_after:final.Interp.counters;
@@ -232,10 +302,39 @@ let run ?(options = default_options) (src : string) : report =
     behaviour_ok = Interp.same_behaviour baseline final;
     baseline;
     final;
+    timing =
+      [
+        ("prepare_ms", ms t0 t_prepared);
+        ("profile_ms", ms t_prepared t_profiled);
+        ("promote_ms", ms t_profiled t_promoted);
+        ("finalise_ms", ms t_promoted t_finalised);
+        ("measure_ms", ms t_finalised t_measured);
+        ("total_ms", ms t0 t_measured);
+      ];
   }
 
+(* Compile-only pipeline: everything [run] does except the interpreter
+   runs — the profile is the static loop-depth estimate, and there is
+   no baseline/measurement/oracle.  This is the path whose wall-clock
+   scales with [options.jobs]; the scaling benchmark times it. *)
+let optimise ?(options = default_options) (src : string) :
+    Func.prog * (string * Promote.stats) list =
+  Pool.with_pool ~jobs:options.jobs @@ fun pool ->
+  Trace.with_span "pipeline.optimise" @@ fun () ->
+  let prog, trees = prepare_in pool ~options src in
+  Trace.with_span "profile.estimate" (fun () ->
+      par_iter_funcs pool
+        (fun (f : Func.t) ->
+          match List.assoc_opt f.Func.fname trees with
+          | Some tree -> Freq.estimate f tree
+          | None -> ())
+        prog.Func.funcs);
+  let per_function = promote_prog_in pool ~options prog trees in
+  finalise_in pool prog;
+  (prog, per_function)
+
 (* ------------------------------------------------------------------ *)
-(* JSON serialisation (report schema v1; see DESIGN.md) *)
+(* JSON serialisation (report schema v2; see DESIGN.md) *)
 
 let counts_json (c : Stats.counts) : J.t =
   J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Stats.to_alist c))
@@ -255,7 +354,7 @@ let stats_json (s : Promote.stats) : J.t =
 
 let json_report ?label (r : report) : J.t =
   let impro before after = J.Float (Stats.improvement ~before ~after) in
-  Rp_obs.Report.make ~tool:"rpromote"
+  Rp_obs.Report.make ~tool:"rpromote" ~timing:r.timing
     ((match label with Some l -> [ ("source", J.Str l) ] | None -> [])
     @ [
         ("behaviour_ok", J.Bool r.behaviour_ok);

@@ -5,11 +5,19 @@
 
     Every stage is traced with [Rp_obs.Trace], pass statistics land in
     the [Rp_obs.Metrics] registry, and {!json_report} serialises a run
-    as a versioned JSON document (schema v1, documented in DESIGN.md).
+    as a versioned JSON document (schema v2, documented in DESIGN.md).
 
     Knobs travel in one {!options} record instead of per-call optional
     arguments; build yours with record update on {!default_options}:
-    [{ default_options with fuel = 1_000_000; checkpoints = true }]. *)
+    [{ default_options with fuel = 1_000_000; checkpoints = true }].
+
+    With [jobs > 1] the per-function stages (normalisation, SSA
+    construction, verification, cleanup, promotion, checkpoints) fan
+    out over a pool of OCaml domains ({!Rp_par.Pool}), one task per
+    function. The interpreter runs stay serial — they are the
+    correctness oracle. The report, trace, and JSON output are
+    identical to a serial run for any [jobs] value (bit-identical under
+    [Rp_obs.Trace.set_deterministic]). *)
 
 open Rp_ir
 open Rp_analysis
@@ -34,11 +42,14 @@ type options = {
   trace : bool;
       (** switch the trace sink from [Off] to [Collect] at the start of
           {!run} (an already-active sink is left alone) *)
+  jobs : int;
+      (** compile [jobs] functions concurrently on OCaml 5 domains;
+          1 (the default) keeps everything on the calling domain *)
 }
 
 val default_options : options
 (** [Measured] profile, 50M fuel, paper-default promotion config,
-    checkpoints and tracing off. *)
+    checkpoints and tracing off, [jobs = 1]. *)
 
 type report = {
   prog : Func.prog;  (** the transformed program *)
@@ -54,6 +65,10 @@ type report = {
       (** the print trace and exit value were unchanged *)
   baseline : Interp.result;
   final : Interp.result;
+  timing : (string * float) list;
+      (** wall-clock milliseconds per phase, in phase order:
+          [prepare_ms], [profile_ms], [promote_ms], [finalise_ms],
+          [measure_ms], [total_ms]. All zero in deterministic mode. *)
 }
 
 (** Compile, normalise, build SSA and clean; returns the program and
@@ -73,7 +88,17 @@ val attach_profile :
     @raise Interp.Runtime_error when the program itself traps. *)
 val run : ?options:options -> string -> report
 
+(** Compile-only pipeline: {!prepare}, a static ([Freq.estimate])
+    profile, promotion and post-promotion cleanup — no interpreter
+    runs, so its wall-clock is all compilation and scales with
+    [options.jobs]. Returns the transformed program and the
+    per-function promotion stats in program order. The scaling
+    benchmark times this entry point. *)
+val optimise :
+  ?options:options -> string -> Func.prog * (string * Promote.stats) list
+
 (** The versioned JSON document for a finished run: counts, promotion
-    stats (totals and per function), the collected trace and the
-    metrics snapshot. [label] names the source in the document. *)
+    stats (totals and per function), per-phase wall-clock timing, the
+    collected trace and the metrics snapshot. [label] names the source
+    in the document. *)
 val json_report : ?label:string -> report -> Rp_obs.Json.t

@@ -631,7 +631,7 @@ let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
         ("blocks", string_of_int (Ids.IntSet.cardinal iv.Intervals.blocks));
       ]
   @@ fun () ->
-  let dom = Dom.compute f in
+  let dom = Dom.compute_cached f in
   let webs = Webs.in_blocks tab f iv.Intervals.blocks in
   Rp_obs.Trace.add_attr "webs" (string_of_int (List.length webs));
   List.iter

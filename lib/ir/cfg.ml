@@ -8,15 +8,30 @@
 let succs = Block.succs
 
 let recompute_preds (f : Func.t) =
-  Func.iter_blocks (fun b -> b.preds <- []) f;
+  (* one pass over the edges: per-successor accumulator lists plus a
+     last-predecessor mark for deduping parallel edges (a Br whose two
+     targets coincide), instead of the old per-edge [List.mem] +
+     append, which was quadratic in the edge count.  Predecessors keep
+     their historical order — increasing block id, each predecessor
+     once — so SSA phi sources are unaffected.  Dead blocks get the
+     empty list rather than stale garbage. *)
+  let n = Func.num_blocks f in
+  let acc = Array.make n [] in
+  let last = Array.make n (-1) in
   Func.iter_blocks
     (fun b ->
       List.iter
         (fun s ->
-          let sb = Func.block f s in
-          if not (List.mem b.bid sb.preds) then sb.preds <- sb.preds @ [ b.bid ])
+          if last.(s) <> b.bid then begin
+            last.(s) <- b.bid;
+            acc.(s) <- b.bid :: acc.(s)
+          end)
         (succs b))
-    f
+    f;
+  for bid = 0 to n - 1 do
+    let b = Func.block f bid in
+    b.preds <- (if b.dead then [] else List.rev acc.(bid))
+  done
 
 (* Mark blocks not reachable from the entry as dead and drop their phi
    entries from still-live successors. *)
@@ -30,7 +45,17 @@ let remove_unreachable (f : Func.t) =
     end
   in
   dfs f.entry;
-  Func.iter_blocks (fun b -> if not seen.(b.bid) then b.dead <- true) f;
+  (* clear preds as blocks die: nothing may observe a dead block's
+     stale predecessor list between here and the rebuild below (which
+     itself raced ahead of phi pruning before this was eager) *)
+  Func.iter_blocks
+    (fun b ->
+      if not seen.(b.bid) then begin
+        b.dead <- true;
+        b.preds <- []
+      end)
+    f;
+  Func.touch_cfg f;
   (* prune phi sources coming from dead predecessors *)
   Func.iter_blocks
     (fun b ->

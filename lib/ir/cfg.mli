@@ -7,11 +7,15 @@
 
 val succs : Block.t -> Ids.bid list
 
-(** Rebuild every block's predecessor cache from the terminators. *)
+(** Rebuild every block's predecessor cache from the terminators, in
+    one pass over the edges. Predecessors are listed in increasing
+    block id, each one once (parallel edges collapse); dead blocks get
+    the empty list. *)
 val recompute_preds : Func.t -> unit
 
-(** Mark blocks unreachable from the entry as dead and drop their phi
-    entries from still-live successors. *)
+(** Mark blocks unreachable from the entry as dead — clearing their
+    predecessor lists eagerly — and drop their phi entries from
+    still-live successors. *)
 val remove_unreachable : Func.t -> unit
 
 (** Reverse postorder over live blocks, starting at the entry. *)

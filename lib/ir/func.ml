@@ -8,6 +8,8 @@
    functions: globals are visible everywhere, and address-exposed locals
    get their own entries tagged with the owning function. *)
 
+type cache_entry = ..
+
 type t = {
   fname : string;
   mutable params : Ids.reg list;
@@ -21,6 +23,12 @@ type t = {
       (** highest SSA version handed out per memory variable *)
   mutable freq : (Ids.bid, float) Hashtbl.t;  (** block execution frequency *)
   efreq : (Ids.bid * Ids.bid, float) Hashtbl.t;  (** edge frequency *)
+  mutable cfg_gen : int;
+      (** bumped whenever the CFG shape changes; analyses compare it to
+          decide whether a cached result is still valid *)
+  mutable analysis_cache : (int * cache_entry) option;
+      (** one cached analysis result, stamped with the [cfg_gen] it was
+          computed at (the dominator tree, in practice) *)
 }
 
 type prog = {
@@ -43,6 +51,8 @@ let create_func ~name =
     mver = Hashtbl.create 16;
     freq = Hashtbl.create 16;
     efreq = Hashtbl.create 16;
+    cfg_gen = 0;
+    analysis_cache = None;
   }
 
 let create_prog () = { funcs = []; vartab = Resource.create_table () }
@@ -84,7 +94,10 @@ let fresh_ver f vid =
 (* ------------------------------------------------------------------ *)
 (* Blocks *)
 
+let touch_cfg f = f.cfg_gen <- f.cfg_gen + 1
+
 let add_block f : Block.t =
+  touch_cfg f;
   let bid = Vec.length f.blocks in
   let b : Block.t =
     { bid; phis = []; body = []; term = Ret None; preds = []; dead = false }

@@ -5,6 +5,12 @@
     and an execution profile (block and edge frequencies). The program
     owns the memory-variable table, shared across functions. *)
 
+(** Per-function analysis results cached on the function itself; the
+    analyses extend this type with their own constructors (e.g. the
+    dominator tree in [Rp_analysis.Dom]), so the IR layer needs no
+    dependency on them. *)
+type cache_entry = ..
+
 type t = {
   fname : string;
   mutable params : Ids.reg list;
@@ -18,6 +24,12 @@ type t = {
       (** highest SSA version handed out per memory variable *)
   mutable freq : (Ids.bid, float) Hashtbl.t;  (** block execution frequency *)
   efreq : (Ids.bid * Ids.bid, float) Hashtbl.t;  (** edge frequency *)
+  mutable cfg_gen : int;
+      (** CFG generation stamp: bumped by {!add_block},
+          {!touch_cfg} and the CFG-rewriting passes *)
+  mutable analysis_cache : (int * cache_entry) option;
+      (** one cached analysis result with the [cfg_gen] it was
+          computed at; stale entries are simply overwritten *)
 }
 
 type prog = { mutable funcs : t list; vartab : Resource.table }
@@ -47,6 +59,12 @@ val mk_instr : t -> Instr.opcode -> Instr.t
 val fresh_ver : t -> Ids.vid -> Resource.t
 
 (** {2 Blocks} *)
+
+(** Bump the CFG generation stamp, invalidating cached analyses. Call
+    after mutating the CFG shape in a way the helpers here cannot see —
+    retargeting a terminator, marking blocks dead. {!add_block} calls
+    it automatically. *)
+val touch_cfg : t -> unit
 
 val add_block : t -> Block.t
 

@@ -1,10 +1,23 @@
-(* Two flat hash tables; the registry is tiny (tens of entries), so
-   sorting on snapshot is fine. *)
+(* Two flat hash tables behind one mutex; the registry is tiny (tens
+   of entries) and updates are rare next to the work they measure, so
+   a single lock beats per-domain shards in both simplicity and read
+   consistency.  Counter additions commute, which is what keeps the
+   totals deterministic when per-function passes run on a domain pool
+   in whatever order the scheduler picks.  Gauges are last-write-wins
+   and must therefore only be set from serial sections (the pipeline
+   sets them between parallel phases). *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
 let the_counters : (string, int) Hashtbl.t = Hashtbl.create 32
 let the_gauges : (string, float) Hashtbl.t = Hashtbl.create 16
 
 let add name n =
+  locked @@ fun () ->
   let cur =
     match Hashtbl.find_opt the_counters name with Some c -> c | None -> 0
   in
@@ -12,20 +25,22 @@ let add name n =
 
 let incr name = add name 1
 
-let set_gauge name v = Hashtbl.replace the_gauges name v
+let set_gauge name v = locked @@ fun () -> Hashtbl.replace the_gauges name v
 
-let counter_value name = Hashtbl.find_opt the_counters name
+let counter_value name =
+  locked @@ fun () -> Hashtbl.find_opt the_counters name
 
-let gauge_value name = Hashtbl.find_opt the_gauges name
+let gauge_value name = locked @@ fun () -> Hashtbl.find_opt the_gauges name
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let counters () = sorted_bindings the_counters
+let counters () = locked @@ fun () -> sorted_bindings the_counters
 
-let gauges () = sorted_bindings the_gauges
+let gauges () = locked @@ fun () -> sorted_bindings the_gauges
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.reset the_counters;
   Hashtbl.reset the_gauges

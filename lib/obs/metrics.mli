@@ -6,7 +6,13 @@
 
     Names are dotted paths by convention ("promote.webs_promoted",
     "ssa.update.phis_placed"). Counters accumulate across calls;
-    gauges keep the last value set. *)
+    gauges keep the last value set.
+
+    Every operation is thread-safe (one registry-wide mutex), so
+    per-function passes running on a domain pool can report freely.
+    Counter additions commute — totals do not depend on scheduling —
+    but gauges are last-write-wins and should only be set from serial
+    sections. *)
 
 (** Add 1 to a counter, creating it at 0 first. *)
 val incr : string -> unit

@@ -1,4 +1,10 @@
-let schema_version = 1
+(* Report document frame.  Schema v2 adds a "timing" section of
+   wall-clock milliseconds between the caller's sections and the
+   trace; [parse] still accepts v1 documents (which simply lack it). *)
+
+let schema_version = 2
+
+let min_supported_version = 1
 
 let span_to_json (s : Trace.span) : Json.t =
   Json.Obj
@@ -24,9 +30,45 @@ let metrics_to_json () =
           (List.map (fun (k, v) -> (k, Json.Float v)) (Metrics.gauges ())) );
     ]
 
-let make ~tool sections : Json.t =
+let make ~tool ?(timing = []) sections : Json.t =
   Json.Obj
     (("schema_version", Json.Int schema_version)
     :: ("tool", Json.Str tool)
     :: sections
-    @ [ ("passes", trace_to_json ()); ("metrics", metrics_to_json ()) ])
+    @ [
+        ( "timing",
+          Json.Obj (List.map (fun (k, ms) -> (k, Json.Float ms)) timing) );
+        ("passes", trace_to_json ());
+        ("metrics", metrics_to_json ());
+      ])
+
+(* ------------------------------------------------------------------ *)
+(* Reading reports back *)
+
+let timing (doc : Json.t) : (string * float) list =
+  match Json.member doc "timing" with
+  | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Float ms -> Some (k, ms)
+          | Json.Int ms -> Some (k, float_of_int ms)
+          | _ -> None)
+        kvs
+  | _ -> []  (* v1 documents have no timing section *)
+
+let parse (s : string) : (Json.t, string) result =
+  match Json.parse s with
+  | Error m -> Error m
+  | Ok doc -> (
+      match Json.member doc "schema_version" with
+      | Some (Json.Int v)
+        when v >= min_supported_version && v <= schema_version ->
+          Ok doc
+      | Some (Json.Int v) ->
+          Error
+            (Printf.sprintf
+               "unsupported schema_version %d (supported: %d..%d)" v
+               min_supported_version schema_version)
+      | Some _ -> Error "schema_version is not an integer"
+      | None -> Error "not a report: no schema_version field")

@@ -1,16 +1,22 @@
 (** Versioned JSON report assembly. The observability layer cannot see
     compiler types (the core library depends on this one, not the other
     way around), so this module provides the document frame — schema
-    version, tool name, trace and metrics sections — and the callers
-    contribute their own sections as {!Json.t} values.
+    version, tool name, timing, trace and metrics sections — and the
+    callers contribute their own sections as {!Json.t} values.
 
-    Schema v1, top level: ["schema_version"] (int), ["tool"] (string),
-    then the caller's sections, then ["passes"] (array of span objects:
-    name, depth, start_ms, duration_ms, attrs) and ["metrics"]
-    (object with "counters" and "gauges"). *)
+    Schema v2, top level: ["schema_version"] (int), ["tool"] (string),
+    then the caller's sections, then ["timing"] (object of wall-clock
+    milliseconds per phase — new in v2), ["passes"] (array of span
+    objects: name, depth, start_ms, duration_ms, attrs) and
+    ["metrics"] (object with "counters" and "gauges"). v1 documents
+    are identical minus the ["timing"] section; {!parse} accepts
+    both. *)
 
-(** Current report schema version: 1. *)
+(** Current report schema version: 2. *)
 val schema_version : int
+
+(** Oldest schema {!parse} still accepts: 1. *)
+val min_supported_version : int
 
 val span_to_json : Trace.span -> Json.t
 
@@ -20,6 +26,18 @@ val trace_to_json : unit -> Json.t
 (** Snapshot of the metrics registry. *)
 val metrics_to_json : unit -> Json.t
 
-(** [make ~tool sections] frames a document: schema version and tool
-    first, the given sections in order, trace and metrics last. *)
-val make : tool:string -> (string * Json.t) list -> Json.t
+(** [make ~tool ?timing sections] frames a document: schema version
+    and tool first, the given sections in order, then timing (an empty
+    object when not supplied), trace and metrics last. *)
+val make :
+  tool:string -> ?timing:(string * float) list -> (string * Json.t) list ->
+  Json.t
+
+(** The ["timing"] section of a parsed document as an alist; [[]] for
+    v1 documents (or a malformed section). *)
+val timing : Json.t -> (string * float) list
+
+(** Parse a report document and check its schema version is in
+    [min_supported_version..schema_version]; the document tree is
+    returned unchanged. *)
+val parse : string -> (Json.t, string) result

@@ -1,8 +1,18 @@
-(* Tracing spans: a global sink, a stack of open frames, a list of
-   finished spans.  When the sink is [Off] the only cost of an
+(* Tracing spans: a global sink, and per-domain collection state — a
+   stack of open frames plus a list of finished spans, held in
+   domain-local storage so instrumented code can run on pool workers
+   without locking.  When the sink is [Off] the only cost of an
    instrumented call site is one branch (plus whatever the caller
    spends building the [attrs] list, which is why hot-path sites keep
-   theirs to a couple of pairs). *)
+   theirs to a couple of pairs).
+
+   Parallel sections do not write into the submitting domain's state
+   directly: the task is wrapped in [capture], which collects its spans
+   into a fresh local buffer, and the submitter [graft]s each buffer
+   back — in task submission order — once the batch has joined.  Span
+   order, depth and sequence numbers therefore depend only on the
+   task order, never on the interleaving, which is what makes a trace
+   from a parallel run identical in shape to a serial one. *)
 
 type sink = Off | Collect | Stream
 
@@ -24,79 +34,98 @@ type frame = {
   mutable fextra : (string * string) list;  (* add_attr, reversed *)
 }
 
+(* Global configuration: set before any parallel section, read-only
+   inside one. *)
 let the_sink = ref Off
-let epoch = ref None  (* absolute time of the first span since reset *)
-let next_seq = ref 0
-let open_frames : frame list ref = ref []
-let finished : span list ref = ref []  (* reverse finish order *)
+let zero_clock = ref false
+
+(* Per-domain collection state. *)
+type state = {
+  mutable epoch : float option;  (* absolute time of the first span *)
+  mutable next_seq : int;
+  mutable open_frames : frame list;
+  mutable finished : span list;  (* reverse finish order *)
+}
+
+let fresh_state () =
+  { epoch = None; next_seq = 0; open_frames = []; finished = [] }
+
+let state_key : state Domain.DLS.key = Domain.DLS.new_key fresh_state
+let st () = Domain.DLS.get state_key
 
 let set_sink s = the_sink := s
 let sink () = !the_sink
 let enabled () = !the_sink <> Off
 
+let set_deterministic b = zero_clock := b
+let deterministic () = !zero_clock
+
 let reset () =
-  epoch := None;
-  next_seq := 0;
-  open_frames := [];
-  finished := []
+  let s = st () in
+  s.epoch <- None;
+  s.next_seq <- 0;
+  s.open_frames <- [];
+  s.finished <- []
 
-let now () = Unix.gettimeofday ()
+let now () = if !zero_clock then 0.0 else Unix.gettimeofday ()
+let wall_s = now
 
-let epoch_start t =
-  match !epoch with
+let epoch_start s t =
+  match s.epoch with
   | Some e -> e
   | None ->
-      epoch := Some t;
+      s.epoch <- Some t;
       t
 
-let stream_out (s : span) =
+let stream_out (sp : span) =
   let b = Buffer.create 80 in
-  Buffer.add_string b (String.make (2 * s.depth) ' ');
-  Buffer.add_string b s.name;
-  Buffer.add_string b (Printf.sprintf " %.3fms" s.duration_ms);
+  Buffer.add_string b (String.make (2 * sp.depth) ' ');
+  Buffer.add_string b sp.name;
+  Buffer.add_string b (Printf.sprintf " %.3fms" sp.duration_ms);
   List.iter
     (fun (k, v) -> Buffer.add_string b (Printf.sprintf " %s=%s" k v))
-    s.attrs;
+    sp.attrs;
   prerr_endline (Buffer.contents b)
 
-let close_frame fr =
+let close_frame s fr =
   let t1 = now () in
-  let s =
+  let sp =
     {
       name = fr.fname;
       depth = fr.fdepth;
       seq = fr.fseq;
-      start_s = fr.fstart -. epoch_start fr.fstart;
+      start_s = fr.fstart -. epoch_start s fr.fstart;
       duration_ms = (t1 -. fr.fstart) *. 1000.0;
       attrs = fr.fattrs @ List.rev fr.fextra;
     }
   in
-  finished := s :: !finished;
-  if !the_sink = Stream then stream_out s
+  s.finished <- sp :: s.finished;
+  if !the_sink = Stream then stream_out sp
 
 let with_span ?(attrs = []) name f =
   if !the_sink = Off then f ()
   else begin
+    let s = st () in
     let t0 = now () in
-    ignore (epoch_start t0);
+    ignore (epoch_start s t0);
     let fr =
       {
         fname = name;
-        fdepth = List.length !open_frames;
+        fdepth = List.length s.open_frames;
         fseq =
-          (let s = !next_seq in
-           next_seq := s + 1;
-           s);
+          (let q = s.next_seq in
+           s.next_seq <- q + 1;
+           q);
         fstart = t0;
         fattrs = attrs;
         fextra = [];
       }
     in
-    open_frames := fr :: !open_frames;
+    s.open_frames <- fr :: s.open_frames;
     Fun.protect
       ~finally:(fun () ->
-        (match !open_frames with
-        | top :: rest when top == fr -> open_frames := rest
+        (match s.open_frames with
+        | top :: rest when top == fr -> s.open_frames <- rest
         | _ ->
             (* unbalanced nesting can only happen if a callee messed
                with the stack; drop frames down to ours *)
@@ -105,18 +134,64 @@ let with_span ?(attrs = []) name f =
               | _ :: rest -> drop rest
               | [] -> []
             in
-            open_frames := drop !open_frames);
-        close_frame fr)
+            s.open_frames <- drop s.open_frames);
+        close_frame s fr)
       f
   end
 
 let add_attr k v =
-  match !open_frames with
+  match (st ()).open_frames with
   | fr :: _ -> fr.fextra <- (k, v) :: fr.fextra
   | [] -> ()
 
-let spans () =
-  List.sort (fun a b -> Int.compare a.seq b.seq) !finished
+let sorted_spans s =
+  List.sort (fun a b -> Int.compare a.seq b.seq) s.finished
+
+let spans () = sorted_spans (st ())
+
+(* ------------------------------------------------------------------ *)
+(* Capture and graft, for parallel sections *)
+
+type captured = { cspans : span list; cepoch : float option }
+
+let capture f =
+  let outer = Domain.DLS.get state_key in
+  let inner = fresh_state () in
+  Domain.DLS.set state_key inner;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set state_key outer)
+    (fun () ->
+      let v = f () in
+      (v, { cspans = sorted_spans inner; cepoch = inner.epoch }))
+
+let graft (c : captured) =
+  if !the_sink <> Off && c.cspans <> [] then begin
+    let s = st () in
+    let base_depth = List.length s.open_frames in
+    let offset =
+      match (c.cepoch, s.epoch) with
+      | Some ce, Some e -> ce -. e
+      | Some ce, None ->
+          s.epoch <- Some ce;
+          0.0
+      | None, _ -> 0.0
+    in
+    List.iter
+      (fun sp ->
+        let seq = s.next_seq in
+        s.next_seq <- seq + 1;
+        let sp' =
+          {
+            sp with
+            depth = sp.depth + base_depth;
+            seq;
+            start_s = sp.start_s +. offset;
+          }
+        in
+        s.finished <- sp' :: s.finished;
+        if !the_sink = Stream then stream_out sp')
+      c.cspans
+  end
 
 let pp_spans fmt spans =
   List.iter

@@ -14,7 +14,13 @@
 
     The sink is global mutable state, like a logger: the pipeline is a
     batch tool and its drivers (CLI, bench, tests) each own the
-    process. *)
+    process. Collection state (open frames, finished spans, sequence
+    numbers) is {e per domain}: instrumented code can run on pool
+    workers without locking, and a parallel section stitches its
+    workers' spans back into the submitting domain's trace with
+    {!capture} / {!graft} — in task order, so the resulting tree has
+    the same shape whatever the interleaving (and, with
+    {!set_deterministic}, the same bytes). *)
 
 type sink = Off | Collect | Stream
 
@@ -34,7 +40,22 @@ val sink : unit -> sink
 (** [true] when the sink is not [Off]. *)
 val enabled : unit -> bool
 
-(** Drop collected spans and restart the epoch clock. *)
+(** With deterministic mode on, every clock read returns 0: all span
+    starts and durations are zero, so two runs of the same work emit
+    byte-identical traces (and reports) regardless of timing or
+    parallelism. Used by the jobs=1-vs-jobs=N golden tests and CI. *)
+val set_deterministic : bool -> unit
+
+val deterministic : unit -> bool
+
+(** The wall clock ([Unix.gettimeofday]), or 0 in deterministic mode —
+    for callers reporting their own wall-clock timings (the pipeline's
+    schema-v2 timing section), so those also collapse to stable bytes
+    under {!set_deterministic}. *)
+val wall_s : unit -> float
+
+(** Drop the current domain's collected spans and restart its epoch
+    clock. *)
 val reset : unit -> unit
 
 (** [with_span name f] runs [f ()] inside a span. The span is recorded
@@ -48,6 +69,28 @@ val add_attr : string -> string -> unit
 
 (** Finished spans in start order (empty when the sink was [Off]). *)
 val spans : unit -> span list
+
+(** {2 Parallel sections} *)
+
+(** Spans collected by one {!capture}d task, not yet part of any
+    domain's trace. *)
+type captured
+
+(** [capture f] runs [f ()] with a fresh, isolated collection state on
+    the current domain (whichever domain that is — a pool worker or,
+    for inline execution, the submitter) and returns its result
+    together with the spans it produced. The previous state is
+    restored afterwards, also on exception (the exception then wins
+    and the captured spans are dropped with the task). *)
+val capture : (unit -> 'a) -> 'a * captured
+
+(** [graft c] appends the captured spans to the current domain's
+    trace, under the innermost open span: depths are shifted by the
+    current nesting, sequence numbers reassigned in graft order, and
+    start times rebased to this domain's epoch. Grafting each task of
+    a joined batch in submission order yields the same tree as running
+    the tasks inline. No-op when the sink is [Off]. *)
+val graft : captured -> unit
 
 (** Render spans as an indented tree, one line per span:
     name, duration, attributes. *)

@@ -1,0 +1,140 @@
+(* A fixed-size domain pool: one shared FIFO of thunks, [jobs - 1]
+   worker domains blocked on a condition variable, and the submitting
+   domain draining the same queue while its batch is outstanding.
+
+   Determinism contract (what the pipeline's byte-identical-trace
+   guarantee leans on): [map] preserves input order in its result, and
+   when tasks fail, the exception re-raised is the one of the earliest
+   failing *input*, not the first failure in wall-clock order. *)
+
+type task = unit -> unit
+
+type t = {
+  pool_jobs : int;
+  m : Mutex.t;
+  work : Condition.t;  (* signalled when a task is queued / at shutdown *)
+  queue : task Queue.t;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Set while the current domain is executing a pool task, so a nested
+   [map] runs inline instead of feeding the queue it is blocking. *)
+let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let run_task (t : task) =
+  let flag = Domain.DLS.get in_task in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) t
+
+let rec worker pool =
+  Mutex.lock pool.m;
+  let rec next () =
+    match Queue.take_opt pool.queue with
+    | Some t -> Some t
+    | None ->
+        if pool.stop then None
+        else begin
+          Condition.wait pool.work pool.m;
+          next ()
+        end
+  in
+  match next () with
+  | None -> Mutex.unlock pool.m
+  | Some t ->
+      Mutex.unlock pool.m;
+      run_task t;
+      worker pool
+
+let create ~jobs =
+  let jobs = max jobs 1 in
+  let pool =
+    {
+      pool_jobs = jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs pool = pool.pool_jobs
+
+let shutdown pool =
+  Mutex.lock pool.m;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.m;
+  let ds = pool.domains in
+  pool.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Tasks never let an exception escape into the worker loop: each
+   result cell records [Ok] or the exception with its backtrace. *)
+type 'b cell = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
+
+let map pool f xs =
+  if pool.pool_jobs = 1 || !(Domain.DLS.get in_task) then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let results = Array.make n Pending in
+      let remaining = ref n in
+      let task i () =
+        (results.(i) <-
+           (try Done (f arr.(i))
+            with e -> Failed (e, Printexc.get_raw_backtrace ())));
+        Mutex.lock pool.m;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast pool.work;
+        Mutex.unlock pool.m
+      in
+      Mutex.lock pool.m;
+      for i = 0 to n - 1 do
+        Queue.add (task i) pool.queue
+      done;
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.m;
+      (* the caller drains its own batch, then waits for the stragglers
+         the workers are still running *)
+      let rec drain () =
+        Mutex.lock pool.m;
+        match Queue.take_opt pool.queue with
+        | Some t ->
+            Mutex.unlock pool.m;
+            run_task t;
+            drain ()
+        | None ->
+            while !remaining > 0 do
+              Condition.wait pool.work pool.m
+            done;
+            Mutex.unlock pool.m
+      in
+      drain ();
+      (* all cells are filled now: the mutex hand-over on [remaining]
+         orders every worker's writes before our reads *)
+      Array.iter
+        (function
+          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+          | Done _ -> ()
+          | Pending -> assert false)
+        results;
+      Array.to_list
+        (Array.map
+           (function Done v -> v | Pending | Failed _ -> assert false)
+           results)
+    end
+  end
+
+let iter pool f xs = ignore (map pool (fun x -> f x) xs)

@@ -1,0 +1,44 @@
+(** A small fixed-size domain pool for per-function compiler work.
+
+    Stdlib only ([Domain] + [Mutex] + [Condition]); the pool owns
+    [jobs - 1] worker domains and the submitting domain participates in
+    draining the queue, so [jobs] tasks run concurrently. With
+    [jobs = 1] no domains are spawned and every {!map} degrades to
+    plain [List.map] — the serial and parallel paths execute the same
+    code on the same domain.
+
+    Tasks must confine their mutation to data they own (the pipeline
+    hands each task one function); anything shared must be
+    synchronised by the callee, as [Rp_obs] does.
+
+    One batch at a time: {!map} is meant to be called from the domain
+    that created the pool. A {!map} issued from inside a task (a
+    nested map) runs inline on the calling domain rather than
+    deadlocking on the queue. *)
+
+type t
+
+(** [create ~jobs] spawns [max jobs 1 - 1] worker domains. The pool
+    must be released with {!shutdown} (or use {!with_pool}). *)
+val create : jobs:int -> t
+
+(** The parallelism degree the pool was created with (≥ 1). *)
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element, preserving input
+    order in the result. If one or more applications raise, the
+    remaining tasks still run to completion and the exception of the
+    {e earliest input element} that failed is re-raised (with its
+    backtrace) — deterministic, unlike first-to-fail timing. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter pool f xs] is [ignore (map pool f xs)]. *)
+val iter : t -> ('a -> unit) -> 'a list -> unit
+
+(** Stop the workers and join their domains. Idempotent. Outstanding
+    queued tasks are drained before the workers exit. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

@@ -134,7 +134,10 @@ let update_for_cloned_resources ?(engine = Cytron)
     Rp_obs.Metrics.incr "ssa.update.runs";
     Rp_obs.Metrics.add "ssa.update.cloned_defs"
       (Resource.ResSet.cardinal cloned_res);
-    let dom = Dom.compute f in
+    (* promotion issues one update batch per promoted web, and none of
+       them changes the CFG shape — the generation-stamped cache makes
+       every batch after the first reuse the same tree *)
+    let dom = Dom.compute_cached f in
     let base =
       match Resource.ResSet.choose_opt cloned_res with
       | Some r -> r.Resource.base

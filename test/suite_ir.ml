@@ -169,6 +169,43 @@ let test_remove_unreachable () =
   Alcotest.(check bool) "3 dead" true (Func.block f 3).Block.dead;
   Alcotest.(check bool) "1 alive" false (Func.block f 1).Block.dead
 
+let test_recompute_preds_order () =
+  (* preds come back in predecessor-block order, whatever state the
+     lists were left in *)
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  (Func.block f 3).Block.preds <- [ 2; 1 ];
+  (Func.block f 1).Block.preds <- [ 9; 9; 9 ];
+  Cfg.recompute_preds f;
+  Alcotest.(check (list int)) "join preds in block order" [ 1; 2 ]
+    (Func.block f 3).Block.preds;
+  Alcotest.(check (list int)) "mangled preds rebuilt" [ 0 ]
+    (Func.block f 1).Block.preds;
+  (* a conditional branch with both arms on one target contributes a
+     single pred *)
+  let g = Helpers.func_of_edges ~n:2 [ (0, 1) ] in
+  let cond = List.hd g.Func.params in
+  (Func.block g 0).Block.term <-
+    Block.Br { cond = Instr.Reg cond; t = 1; f = 1 };
+  Cfg.recompute_preds g;
+  Alcotest.(check (list int)) "same-target branch dedups" [ 0 ]
+    (Func.block g 1).Block.preds
+
+let test_dead_preds_cleared () =
+  (* an unreachable cycle: 2 and 3 point at each other, so without the
+     eager clear their pred lists would keep naming dead blocks *)
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (2, 3); (3, 2) ] in
+  Cfg.remove_unreachable f;
+  Alcotest.(check (list int)) "dead 2 preds cleared" []
+    (Func.block f 2).Block.preds;
+  Alcotest.(check (list int)) "dead 3 preds cleared" []
+    (Func.block f 3).Block.preds;
+  Alcotest.(check (list int)) "live preds intact" [ 0 ]
+    (Func.block f 1).Block.preds;
+  (* and recompute keeps dead blocks out on both sides *)
+  Cfg.recompute_preds f;
+  Alcotest.(check (list int)) "recompute keeps dead preds empty" []
+    (Func.block f 2).Block.preds
+
 (* ------------------------------------------------------------------ *)
 (* Validate *)
 
@@ -213,6 +250,9 @@ let suite =
     Alcotest.test_case "split edge" `Quick test_split_edge;
     Alcotest.test_case "critical edges" `Quick test_critical_edges;
     Alcotest.test_case "remove unreachable" `Quick test_remove_unreachable;
+    Alcotest.test_case "recompute preds order" `Quick
+      test_recompute_preds_order;
+    Alcotest.test_case "dead preds cleared" `Quick test_dead_preds_cleared;
     Alcotest.test_case "validate ok" `Quick test_validate_ok;
     Alcotest.test_case "validate stale preds" `Quick test_validate_stale_preds;
     Alcotest.test_case "validate phi in body" `Quick test_validate_phi_in_body;

@@ -161,6 +161,7 @@ let required_keys =
     "dynamic";
     "promotion";
     "functions";
+    "timing";
     "passes";
     "metrics";
   ]
@@ -196,8 +197,17 @@ let test_report_shape (w : R.workload) () =
         (J.member parsed k <> None))
     required_keys;
   Alcotest.(check bool)
-    "schema version is 1" true
-    (J.member parsed "schema_version" = Some (J.Int 1));
+    "schema version is current" true
+    (J.member parsed "schema_version"
+    = Some (J.Int Rp_obs.Report.schema_version));
+  Alcotest.(check bool)
+    "report parses as a supported schema" true
+    (match Rp_obs.Report.parse (J.to_string doc) with
+    | Ok _ -> true
+    | Error _ -> false);
+  Alcotest.(check bool)
+    "wall-clock timing fields present" true
+    (List.mem_assoc "total_ms" (Rp_obs.Report.timing parsed));
   (match J.member parsed "passes" with
   | Some (J.Arr passes) ->
       Alcotest.(check bool) "trace is non-empty" true (passes <> []);
@@ -223,9 +233,34 @@ let test_report_shape (w : R.workload) () =
         (J.member metrics "counters" <> None && J.member metrics "gauges" <> None)
   | None -> Alcotest.fail "no metrics section"
 
+(* the v2 parser keeps accepting v1 documents (no timing section) and
+   rejects unknown versions *)
+let test_report_parse_versions () =
+  let ok s =
+    match Rp_obs.Report.parse s with Ok _ -> true | Error _ -> false
+  in
+  Alcotest.(check bool)
+    "v1 document accepted" true
+    (ok {|{"schema_version": 1, "tool": "rpromote", "passes": []}|});
+  Alcotest.(check bool)
+    "v2 document accepted" true
+    (ok {|{"schema_version": 2, "tool": "bench", "timing": {"total_ms": 1.5}}|});
+  Alcotest.(check bool)
+    "future version rejected" false
+    (ok {|{"schema_version": 99, "tool": "x"}|});
+  Alcotest.(check bool)
+    "non-report rejected" false (ok {|{"tool": "x"}|});
+  match Rp_obs.Json.parse {|{"timing": {"a_ms": 2.0, "b_ms": 3}}|} with
+  | Ok doc ->
+      Alcotest.(check bool)
+        "timing alist extraction (floats and ints)" true
+        (Rp_obs.Report.timing doc = [ ("a_ms", 2.0); ("b_ms", 3.0) ])
+  | Error m -> Alcotest.fail m
+
 let suite =
   [
     ("span nesting and timing", `Quick, test_span_nesting);
+    ("report schema versions", `Quick, test_report_parse_versions);
     ("span survives exceptions", `Quick, test_span_survives_exception);
     ("off sink records nothing", `Quick, test_off_sink_records_nothing);
     ("metrics registry", `Quick, test_metrics_registry);

@@ -1,0 +1,193 @@
+(* The domain pool and the parallel pipeline.  Pool unit tests
+   (ordering, exception choice, nested maps, the jobs=1 inline path);
+   the dominator-tree cache and its CFG generation stamp; the
+   determinism contract — JSON report and trace byte-identical between
+   jobs=1 and jobs=4 on every built-in workload; and a QCheck
+   differential oracle running random programs through the parallel
+   pipeline against the serial one. *)
+
+open Rp_ir
+module Pool = Rp_par.Pool
+module P = Rp_core.Pipeline
+module I = Rp_interp.Interp
+module T = Rp_obs.Trace
+module M = Rp_obs.Metrics
+module J = Rp_obs.Json
+module R = Rp_workloads.Registry
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* the pool *)
+
+let test_map_ordering () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let xs = List.init 200 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Pool.map pool (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "empty input" [] (Pool.map pool Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Pool.map pool Fun.id [ 7 ])
+
+let test_exception_propagation () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let ran = Atomic.make 0 in
+  let boom x =
+    Atomic.incr ran;
+    if x = 3 || x = 7 then failwith (string_of_int x) else x
+  in
+  (match Pool.map pool boom (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "expected the map to raise"
+  | exception Failure m ->
+      Alcotest.(check string) "earliest failing input wins" "3" m);
+  Alcotest.(check int) "every task still ran" 10 (Atomic.get ran)
+
+let test_nested_map () =
+  Pool.with_pool ~jobs:3 @@ fun pool ->
+  (* a map issued from inside a task runs inline instead of
+     deadlocking on the shared queue *)
+  let rows =
+    Pool.map pool
+      (fun i -> Pool.map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested results correct"
+    [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+    rows
+
+let test_jobs1_inline () =
+  let pool = Pool.create ~jobs:1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  Alcotest.(check int) "jobs is 1" 1 (Pool.jobs pool);
+  let d0 = (Domain.self () :> int) in
+  let doms = Pool.map pool (fun _ -> (Domain.self () :> int)) [ 1; 2; 3 ] in
+  Alcotest.(check (list int))
+    "everything runs on the calling domain" [ d0; d0; d0 ] doms;
+  Alcotest.(check int)
+    "jobs clamps to at least 1" 1
+    (Pool.jobs (Pool.create ~jobs:0))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~jobs:3 in
+  ignore (Pool.map pool succ [ 1; 2; 3 ]);
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* the dominator-tree cache and its CFG generation stamp *)
+
+let test_dom_cache () =
+  M.reset ();
+  let f =
+    Helpers.func_of_edges ~n:5 [ (0, 1); (1, 2); (1, 3); (2, 4); (3, 4) ]
+  in
+  let d1 = Rp_analysis.Dom.compute_cached f in
+  let d2 = Rp_analysis.Dom.compute_cached f in
+  Alcotest.(check bool) "second call hits the cache" true (d1 == d2);
+  Alcotest.(check (option int))
+    "one miss recorded" (Some 1)
+    (M.counter_value "analysis.domcache.misses");
+  Alcotest.(check (option int))
+    "one hit recorded" (Some 1)
+    (M.counter_value "analysis.domcache.hits");
+  Func.touch_cfg f;
+  let d3 = Rp_analysis.Dom.compute_cached f in
+  Alcotest.(check bool) "stamp bump invalidates" true (not (d3 == d2));
+  Alcotest.(check (option int))
+    "second miss recorded" (Some 2)
+    (M.counter_value "analysis.domcache.misses");
+  M.reset ()
+
+let test_cfg_gen_stamps () =
+  let f = Helpers.func_of_edges ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  let g0 = f.Func.cfg_gen in
+  ignore (Cfg.split_edge f ~src:0 ~dst:1);
+  Alcotest.(check bool) "split_edge bumps the stamp" true (f.Func.cfg_gen > g0);
+  let g1 = f.Func.cfg_gen in
+  let f2 = Helpers.func_of_edges ~n:3 [ (0, 1) ] in
+  let g2 = f2.Func.cfg_gen in
+  Cfg.remove_unreachable f2;
+  Alcotest.(check bool)
+    "remove_unreachable bumps the stamp" true
+    (f2.Func.cfg_gen > g2);
+  Alcotest.(check bool) "stamps are per function" true (f.Func.cfg_gen = g1)
+
+(* ------------------------------------------------------------------ *)
+(* determinism: report and trace bytes never depend on [jobs] *)
+
+(* run the full pipeline (checkpoints on, trace collected) with a
+   zeroed clock and return the serialised report and the rendered
+   trace *)
+let deterministic_run ~jobs (w : R.workload) : string * string =
+  T.set_sink T.Collect;
+  T.reset ();
+  M.reset ();
+  T.set_deterministic true;
+  Fun.protect
+    ~finally:(fun () ->
+      T.set_deterministic false;
+      T.set_sink T.Off;
+      T.reset ();
+      M.reset ())
+    (fun () ->
+      let options =
+        { P.default_options with jobs; checkpoints = true; trace = true }
+      in
+      let r = P.run ~options w.R.source in
+      Alcotest.(check bool) (w.R.name ^ ": behaviour ok") true r.P.behaviour_ok;
+      let json = J.to_string (P.json_report ~label:w.R.name r) in
+      let trace = Format.asprintf "%a" T.pp_spans (T.spans ()) in
+      (json, trace))
+
+let test_determinism (w : R.workload) () =
+  let json1, trace1 = deterministic_run ~jobs:1 w in
+  let json4, trace4 = deterministic_run ~jobs:4 w in
+  Alcotest.(check string)
+    (w.R.name ^ ": JSON report byte-identical jobs=1 vs jobs=4")
+    json1 json4;
+  Alcotest.(check string)
+    (w.R.name ^ ": trace byte-identical jobs=1 vs jobs=4")
+    trace1 trace4
+
+(* ------------------------------------------------------------------ *)
+(* differential oracle: random programs through the parallel pipeline
+   agree with the serial pipeline in every observable *)
+
+let prop_parallel_matches_serial =
+  QCheck.Test.make ~name:"parallel pipeline matches serial (random programs)"
+    ~count:60 Suite_qcheck.arb_program (fun src ->
+      let run jobs =
+        try Some (P.run ~options:{ Suite_qcheck.qcheck_options with P.jobs } src)
+        with I.Runtime_error _ -> None
+      in
+      match (run 1, run 3) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.P.behaviour_ok && b.P.behaviour_ok
+          && I.same_behaviour a.P.final b.P.final
+          && a.P.static_after = b.P.static_after
+          && a.P.dynamic_after = b.P.dynamic_after
+          && a.P.per_function = b.P.per_function
+      | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "pool map ordering" `Quick test_map_ordering;
+    Alcotest.test_case "pool exception choice" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "pool nested map" `Quick test_nested_map;
+    Alcotest.test_case "pool jobs=1 inline" `Quick test_jobs1_inline;
+    Alcotest.test_case "pool shutdown idempotent" `Quick
+      test_shutdown_idempotent;
+    Alcotest.test_case "dominator-tree cache" `Quick test_dom_cache;
+    Alcotest.test_case "cfg generation stamps" `Quick test_cfg_gen_stamps;
+    qtest prop_parallel_matches_serial;
+  ]
+  @ List.map
+      (fun (w : R.workload) ->
+        Alcotest.test_case
+          ("jobs=1 = jobs=4: " ^ w.R.name)
+          `Slow (test_determinism w))
+      R.all

@@ -19,4 +19,5 @@ let () =
       ("obs", Suite_obs.suite);
       ("more", Suite_more.suite);
       ("properties", Suite_qcheck.suite);
+      ("par", Suite_par.suite);
     ]
