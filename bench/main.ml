@@ -7,10 +7,19 @@
      dune exec bench/main.exe -- quick       -- skip the Bechamel timings
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
-              ablation3 ablation4 ablation5 scaling json bechamel
+              ablation3 ablation4 ablation5 scaling gen golden json
+              bechamel
 
    "scaling" times the compile-only pipeline (Pipeline.optimise)
    serially and on 2 and 4 domains, per workload, with the speedup.
+
+   "gen" times the compile-only pipeline on generated gen<n> scaling
+   workloads; bare numeric arguments select the sizes
+   (e.g. "gen 120 480").
+
+   "golden" re-checks the seed workloads' static load/store counts
+   against the values baked in below and exits non-zero on drift
+   (used by CI).
 
    "json" writes BENCH_promotion.json: the Tables 1/2 data per
    workload plus wall-clock timings, machine-readable (schema v2, see
@@ -597,6 +606,117 @@ let scaling () =
     (exp (!log_sum /. float_of_int (List.length R.all)))
 
 (* ------------------------------------------------------------------ *)
+(* Generated scaling workloads: "bench gen [n ...]" times the
+   compile-only pipeline on synthetic gen<n> programs (deep loop
+   nests, many address-taken scalars — see lib/workloads/gen.ml) so
+   the IR data-structure work shows up at sizes the eight seed
+   programs never reach. *)
+
+type gen_result = {
+  g_size : int;
+  g_funcs : int;
+  g_ms : float;
+  g_minor_mwords : float;  (** minor words allocated by one run, in M *)
+  g_loads : int;  (** static loads after promotion, a sanity anchor *)
+  g_stores : int;
+}
+
+let gen_results : gen_result list ref = ref []
+
+let default_gen_sizes = [ 60; 120; 240 ]
+
+let gen_one (size : int) : gen_result =
+  let w = R.generated size in
+  let options = { P.default_options with jobs = 1 } in
+  (* one warm-up, then best of three, like the scaling artifact *)
+  ignore (P.optimise ~options w.R.source);
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t = time_it (fun () -> ignore (P.optimise ~options w.R.source)) in
+    if t < !best then best := t
+  done;
+  let mw0 = Gc.minor_words () in
+  let prog, _ = P.optimise ~options w.R.source in
+  let mwords = (Gc.minor_words () -. mw0) /. 1e6 in
+  let s = Rp_core.Stats.of_prog prog in
+  {
+    g_size = size;
+    g_funcs = List.length prog.Func.funcs;
+    g_ms = !best *. 1000.;
+    g_minor_mwords = mwords;
+    g_loads = s.Rp_core.Stats.loads;
+    g_stores = s.Rp_core.Stats.stores;
+  }
+
+let gen sizes =
+  rule ();
+  print_endline
+    "Generated workloads: compile-only pipeline (Pipeline.optimise) on";
+  print_endline
+    " gen<n> — deep loop nests with many address-taken scalars; best-of-3";
+  print_endline " wall clock plus the minor-heap allocation of one run";
+  rule ();
+  Printf.printf "%-8s %6s %12s %14s %8s %8s\n" "bench" "funcs" "compile"
+    "minor alloc" "loads" "stores";
+  let rs = List.map gen_one sizes in
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %9.3f ms %11.2f Mw %8d %8d\n"
+        ("gen" ^ string_of_int r.g_size)
+        r.g_funcs r.g_ms r.g_minor_mwords r.g_loads r.g_stores)
+    rs;
+  gen_results := rs
+
+(* ------------------------------------------------------------------ *)
+(* Golden check: the seed workloads' static load/store counts.  These
+   are promotion *results* (Table 1 data), so any drift means the
+   optimiser changed behaviour — CI fails on it.  Update the table
+   deliberately when a PR intends to change promotion decisions. *)
+
+let golden_static =
+  (* name, (loads before, loads after, stores before, stores after) *)
+  [
+    ("go", (14, 15, 8, 8));
+    ("li", (17, 18, 13, 14));
+    ("ijpeg", (28, 21, 7, 7));
+    ("perl", (29, 31, 18, 18));
+    ("m88k", (12, 17, 7, 7));
+    ("sc", (13, 10, 11, 12));
+    ("compr", (10, 9, 4, 4));
+    ("vortex", (9, 9, 5, 5));
+  ]
+
+let golden () =
+  rule ();
+  print_endline
+    "Golden check: static load/store counts vs the values recorded in";
+  print_endline " bench/main.ml (CI fails this artifact on any drift)";
+  rule ();
+  let drift = ref false in
+  List.iter
+    (fun (w : R.workload) ->
+      let r = report_for w in
+      let sb = r.P.static_before and sa = r.P.static_after in
+      let module S = Rp_core.Stats in
+      let lb, la, stb, sta = List.assoc w.R.name golden_static in
+      let ok =
+        sb.S.loads = lb && sa.S.loads = la && sb.S.stores = stb
+        && sa.S.stores = sta
+      in
+      if not ok then drift := true;
+      Printf.printf
+        "%-8s loads %2d -> %2d (golden %2d -> %2d)  stores %2d -> %2d \
+         (golden %2d -> %2d)  %s\n"
+        w.R.name sb.S.loads sa.S.loads lb la sb.S.stores sa.S.stores stb sta
+        (if ok then "ok" else "DRIFT"))
+    R.all;
+  if !drift then begin
+    print_endline "golden check FAILED: static counts drifted";
+    exit 1
+  end
+  else print_endline "golden check passed"
+
+(* ------------------------------------------------------------------ *)
 (* JSON artifact: the per-workload table data of Tables 1/2, machine
    readable — the file the repo's bench trajectory is built from. *)
 
@@ -683,6 +803,22 @@ let json_artifact () =
       [
         ("artifact", J.Str "promotion_tables");
         ("workloads", J.Arr workloads);
+        ( "generated",
+          (* filled when the "gen" artifact ran in this invocation *)
+          J.Arr
+            (List.map
+               (fun g ->
+                 J.Obj
+                   [
+                     ("name", J.Str ("gen" ^ string_of_int g.g_size));
+                     ("size", J.Int g.g_size);
+                     ("funcs", J.Int g.g_funcs);
+                     ("optimise_ms", J.Float g.g_ms);
+                     ("minor_mwords", J.Float g.g_minor_mwords);
+                     ("static_loads_after", J.Int g.g_loads);
+                     ("static_stores_after", J.Int g.g_stores);
+                   ])
+               !gen_results) );
       ]
   in
   Out_channel.with_open_text json_file (fun oc ->
@@ -759,6 +895,9 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
+  (* bare numbers are sizes for the "gen" artifact *)
+  let gen_sizes = List.filter_map int_of_string_opt args in
+  let args = List.filter (fun a -> int_of_string_opt a = None) args in
   let want name = args = [] || List.mem name args in
   if want "table1" then table1 ();
   if want "table2" then table2 ();
@@ -772,7 +911,11 @@ let () =
   if want "ablation4" then ablation4 ();
   if want "ablation5" then ablation5 ();
   if want "scaling" then scaling ();
+  if want "gen" then
+    gen (if gen_sizes = [] then default_gen_sizes else gen_sizes);
   if want "json" then json_artifact ();
+  (* opt-in: the CI drift gate, not part of the default sweep *)
+  if List.mem "golden" args then golden ();
   if want "bechamel" && not quick then bechamel ();
   rule ();
   print_endline "done; see EXPERIMENTS.md for the paper-vs-measured discussion"

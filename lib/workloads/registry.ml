@@ -73,7 +73,21 @@ let all : workload list =
     };
   ]
 
-let find name = List.find_opt (fun w -> w.name = name) all
+(* Synthetic scaling workloads: "gen<n>" is generated on demand by
+   [Gen.source], alongside the fixed SPEC-named programs. *)
+let generated (n : int) : workload =
+  let n = max 1 n in
+  { name = Gen.name_of n; description = Gen.description n; source = Gen.source n }
+
+let find name =
+  match List.find_opt (fun w -> w.name = name) all with
+  | Some w -> Some w
+  | None ->
+      if String.length name > 3 && String.sub name 0 3 = "gen" then
+        match int_of_string_opt (String.sub name 3 (String.length name - 3)) with
+        | Some n when n > 0 -> Some (generated n)
+        | _ -> None
+      else None
 
 (* The same program with its main loop bound divided by [factor] — a
    smaller training input.  The CFG (and so every block id) is

@@ -9,6 +9,11 @@ val all : workload list
 
 val find : string -> workload option
 
+(** Synthetic scaling workload "gen<n>": deterministic deep loop nests
+    with many address-taken scalars (see [Gen]).  [find "gen<n>"]
+    resolves to the same workload. *)
+val generated : int -> workload
+
 (** The same program with its main loop bound divided by [factor] — a
     smaller "training input" with an identical CFG, for the classic
     profile-on-train / measure-on-ref methodology. *)
