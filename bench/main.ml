@@ -292,13 +292,13 @@ let fig9 () =
   Incremental.update_for_cloned_resources f
     ~cloned_res:(Resource.ResSet.of_list [ clone2; clone3 ]);
   Verify.assert_ok prog.Func.vartab f;
-  let phis_at bid = List.length (Func.block f bid).Block.phis in
+  let phis_at bid = Iseq.length (Func.block f bid).Block.phis in
   Printf.printf
     "after the update: phi at b5: %d (expected 1), phis at b1/b6: %d/%d\n\
      (expected 0/0 -- the paper's dead phis are deleted), original store\n\
      in b1 removed: %b\n"
     (phis_at 5) (phis_at 1) (phis_at 6)
-    ((Func.block f 1).Block.body = [])
+    (Iseq.is_empty (Func.block f 1).Block.body)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation 1: profile-driven SSA promotion vs the loop-based baseline *)
@@ -356,7 +356,7 @@ let prepare_update_problem k =
   Func.iter_blocks
     (fun b ->
       if
-        List.exists
+        Iseq.exists
           (fun (i : Instr.t) ->
             match i.Instr.op with Instr.Load _ -> true | _ -> false)
           b.Block.body
@@ -625,6 +625,13 @@ let gen_results : gen_result list ref = ref []
 
 let default_gen_sizes = [ 60; 120; 240 ]
 
+(* Reference numbers from the tree just before the Iseq/Bitset storage
+   work (list-backed blocks, IntSet dataflow), same container, same
+   best-of-3 protocol — the denominator of the speedup column in
+   EXPERIMENTS.md and BENCH_promotion.json. *)
+let gen_baseline = [ (60, (60.811, 9.87)); (120, (179.400, 27.94));
+                     (240, (595.215, 85.24)); (480, (1831.779, 277.82)) ]
+
 let gen_one (size : int) : gen_result =
   let w = R.generated size in
   let options = { P.default_options with jobs = 1 } in
@@ -809,15 +816,24 @@ let json_artifact () =
             (List.map
                (fun g ->
                  J.Obj
-                   [
-                     ("name", J.Str ("gen" ^ string_of_int g.g_size));
-                     ("size", J.Int g.g_size);
-                     ("funcs", J.Int g.g_funcs);
-                     ("optimise_ms", J.Float g.g_ms);
-                     ("minor_mwords", J.Float g.g_minor_mwords);
-                     ("static_loads_after", J.Int g.g_loads);
-                     ("static_stores_after", J.Int g.g_stores);
-                   ])
+                   ([
+                      ("name", J.Str ("gen" ^ string_of_int g.g_size));
+                      ("size", J.Int g.g_size);
+                      ("funcs", J.Int g.g_funcs);
+                      ("optimise_ms", J.Float g.g_ms);
+                      ("minor_mwords", J.Float g.g_minor_mwords);
+                      ("static_loads_after", J.Int g.g_loads);
+                      ("static_stores_after", J.Int g.g_stores);
+                    ]
+                   @
+                   match List.assoc_opt g.g_size gen_baseline with
+                   | Some (bms, bmw) ->
+                       [
+                         ("pre_iseq_optimise_ms", J.Float bms);
+                         ("pre_iseq_minor_mwords", J.Float bmw);
+                         ("speedup", J.Float (bms /. g.g_ms));
+                       ]
+                   | None -> []))
                !gen_results) );
       ]
   in

@@ -48,7 +48,7 @@ let build (f : Func.t) (dom : Dom.t) : t =
   { dom; level; jedges; max_level }
 
 (* Iterated dominance frontier of [init]. *)
-let idf (t : t) (init : Ids.IntSet.t) : Ids.IntSet.t =
+let idf (t : t) (init : Bitset.t) : Bitset.t =
   let n = Array.length t.level in
   let in_idf = Array.make n false in
   let visited = Array.make n false in
@@ -61,7 +61,7 @@ let idf (t : t) (init : Ids.IntSet.t) : Ids.IntSet.t =
       bank.(t.level.(b)) <- b :: bank.(t.level.(b))
     end
   in
-  Ids.IntSet.iter insert init;
+  Bitset.iter insert init;
   let current_level = ref t.max_level in
   let current_root_level = ref 0 in
   let rec visit y =
@@ -89,6 +89,6 @@ let idf (t : t) (init : Ids.IntSet.t) : Ids.IntSet.t =
         current_root_level := t.level.(x);
         visit x
   done;
-  let result = ref Ids.IntSet.empty in
-  Array.iteri (fun b v -> if v then result := Ids.IntSet.add b !result) in_idf;
-  !result
+  let result = Bitset.create n in
+  Array.iteri (fun b v -> if v then Bitset.add result b) in_idf;
+  result

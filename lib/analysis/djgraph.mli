@@ -9,4 +9,4 @@ type t
 
 val build : Func.t -> Dom.t -> t
 
-val idf : t -> Ids.IntSet.t -> Ids.IntSet.t
+val idf : t -> Bitset.t -> Bitset.t

@@ -8,11 +8,11 @@
 
 open Rp_ir
 
-type t = { df : Ids.IntSet.t array }
+type t = { df : Bitset.t array }
 
 let compute (f : Func.t) (dom : Dom.t) : t =
   let n = Func.num_blocks f in
-  let df = Array.make n Ids.IntSet.empty in
+  let df = Array.init (max n 1) (fun _ -> Bitset.create n) in
   Func.iter_blocks
     (fun b ->
       if Dom.reachable dom b.bid then
@@ -32,7 +32,7 @@ let compute (f : Func.t) (dom : Dom.t) : t =
               in
               let rec walk runner =
                 if runner <> stop then begin
-                  df.(runner) <- Ids.IntSet.add b.bid df.(runner);
+                  Bitset.add df.(runner) b.bid;
                   match Dom.idom dom runner with
                   | Some i -> walk i
                   | None -> ()
@@ -47,25 +47,25 @@ let frontier t b = t.df.(b)
 
 (* Iterated dominance frontier of a set of blocks: the limit of
    DF(S), DF(S ∪ DF(S)), ... *)
-let iterated t (init : Ids.IntSet.t) : Ids.IntSet.t =
-  let result = ref Ids.IntSet.empty in
+let iterated t (init : Bitset.t) : Bitset.t =
+  let result = Bitset.create (Array.length t.df) in
   let worklist = Queue.create () in
-  let enqueued = Hashtbl.create 16 in
+  let enqueued = Bitset.create (Array.length t.df) in
   let push b =
-    if not (Hashtbl.mem enqueued b) then begin
-      Hashtbl.add enqueued b ();
+    if not (Bitset.mem enqueued b) then begin
+      Bitset.add enqueued b;
       Queue.add b worklist
     end
   in
-  Ids.IntSet.iter push init;
+  Bitset.iter push init;
   while not (Queue.is_empty worklist) do
     let b = Queue.pop worklist in
-    Ids.IntSet.iter
+    Bitset.iter
       (fun d ->
-        if not (Ids.IntSet.mem d !result) then begin
-          result := Ids.IntSet.add d !result;
+        if not (Bitset.mem result d) then begin
+          Bitset.add result d;
           push d
         end)
       t.df.(b)
   done;
-  !result
+  result

@@ -8,7 +8,7 @@ type t
 
 val compute : Func.t -> Dom.t -> t
 
-val frontier : t -> Ids.bid -> Ids.IntSet.t
+val frontier : t -> Ids.bid -> Bitset.t
 
 (** Iterated dominance frontier: the limit of DF(S), DF(S ∪ DF(S)), … *)
-val iterated : t -> Ids.IntSet.t -> Ids.IntSet.t
+val iterated : t -> Bitset.t -> Bitset.t

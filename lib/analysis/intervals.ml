@@ -207,7 +207,7 @@ let collect_edits (f : Func.t) (tree : tree) : edit list =
   (* dedicated function entry: no body, no preds, single successor *)
   let e = Func.block f f.entry in
   let entry_ok =
-    e.body = [] && e.preds = []
+    Iseq.is_empty e.body && e.preds = []
     && match e.term with Jmp _ -> true | Br _ | Ret _ -> false
   in
   if not entry_ok then edits := Need_entry_block :: !edits;

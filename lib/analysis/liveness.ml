@@ -4,79 +4,96 @@
    defined at the top of its block, and a phi's source operand is a use
    at the end of the corresponding predecessor.  This is the liveness
    notion under which the SSA interference graph is chordal, which
-   {!Rp_regalloc} relies on. *)
+   {!Rp_regalloc} relies on.
+
+   All the sets here are {!Bitset}s over register ids: the fixpoint's
+   inner operation is in-place word-wise union/diff with the change
+   bit computed for free, instead of allocating [Ids.IntSet] trees per
+   visit. *)
 
 open Rp_ir
 
 type t = {
-  live_in : Ids.IntSet.t array;  (** per block: registers live on entry *)
-  live_out : Ids.IntSet.t array;  (** per block: registers live on exit *)
+  live_in : Bitset.t array;  (** per block: registers live on entry *)
+  live_out : Bitset.t array;  (** per block: registers live on exit *)
 }
 
 (* Registers defined anywhere in block [b], including phi targets. *)
-let block_defs (b : Block.t) : Ids.IntSet.t =
-  List.fold_left
-    (fun acc (i : Instr.t) ->
+let block_defs (b : Block.t) : Bitset.t =
+  let acc = Bitset.empty () in
+  Block.iter_instrs
+    (fun (i : Instr.t) ->
       match Instr.reg_def i.op with
-      | Some r -> Ids.IntSet.add r acc
-      | None -> acc)
-    Ids.IntSet.empty (Block.instrs b)
+      | Some r -> Bitset.add acc r
+      | None -> ())
+    b;
+  acc
 
 (* Upward-exposed register uses in [b]: used before any local def.
    Phi sources are not local uses (they belong to the predecessors). *)
-let upward_exposed (b : Block.t) : Ids.IntSet.t =
-  let defined = ref Ids.IntSet.empty in
-  let exposed = ref Ids.IntSet.empty in
-  List.iter
+let upward_exposed (b : Block.t) : Bitset.t =
+  let defined = Bitset.empty () in
+  let exposed = Bitset.empty () in
+  Iseq.iter
     (fun (i : Instr.t) ->
       List.iter
-        (fun r ->
-          if not (Ids.IntSet.mem r !defined) then
-            exposed := Ids.IntSet.add r !exposed)
+        (fun r -> if not (Bitset.mem defined r) then Bitset.add exposed r)
         (Instr.reg_uses i.op);
       match Instr.reg_def i.op with
-      | Some r -> defined := Ids.IntSet.add r !defined
+      | Some r -> Bitset.add defined r
       | None -> ())
     b.body;
   List.iter
-    (fun r ->
-      if not (Ids.IntSet.mem r !defined) then exposed := Ids.IntSet.add r !exposed)
+    (fun r -> if not (Bitset.mem defined r) then Bitset.add exposed r)
     (Block.term_uses b);
-  !exposed
+  exposed
 
 (* Phi targets of block [b]. *)
-let phi_defs (b : Block.t) : Ids.IntSet.t =
-  List.fold_left
-    (fun acc (i : Instr.t) ->
-      match i.op with
-      | Rphi { dst; _ } -> Ids.IntSet.add dst acc
-      | _ -> acc)
-    Ids.IntSet.empty b.phis
+let phi_defs (b : Block.t) : Bitset.t =
+  let acc = Bitset.empty () in
+  Iseq.iter
+    (fun (i : Instr.t) ->
+      match i.op with Rphi { dst; _ } -> Bitset.add acc dst | _ -> ())
+    b.phis;
+  acc
 
 (* Phi sources flowing along the edge [pred] -> [b]. *)
-let phi_uses_from (b : Block.t) ~(pred : Ids.bid) : Ids.IntSet.t =
-  List.fold_left
-    (fun acc (i : Instr.t) ->
+let phi_uses_from (b : Block.t) ~(pred : Ids.bid) : Bitset.t =
+  let acc = Bitset.empty () in
+  Iseq.iter
+    (fun (i : Instr.t) ->
       match i.op with
       | Rphi { srcs; _ } ->
-          List.fold_left
-            (fun acc (p, r) -> if p = pred then Ids.IntSet.add r acc else acc)
-            acc srcs
-      | _ -> acc)
-    Ids.IntSet.empty b.phis
+          List.iter (fun (p, r) -> if p = pred then Bitset.add acc r) srcs
+      | _ -> ())
+    b.phis;
+  acc
 
 let compute (f : Func.t) : t =
   Cfg.recompute_preds f;
   let n = Func.num_blocks f in
-  let live_in = Array.make n Ids.IntSet.empty in
-  let live_out = Array.make n Ids.IntSet.empty in
-  let gen = Array.make n Ids.IntSet.empty in
-  let kill = Array.make n Ids.IntSet.empty in
+  let nr = max f.Func.next_reg 1 in
+  let fresh () = Array.init n (fun _ -> Bitset.create nr) in
+  let live_in = fresh () and live_out = fresh () in
+  let gen = Array.make n (Bitset.empty ()) in
+  let kill = Array.make n (Bitset.empty ()) in
+  let pdefs = Array.make n (Bitset.empty ()) in
+  (* phi sources per edge, keyed by (pred, succ) *)
+  let puses : (Ids.bid * Ids.bid, Bitset.t) Hashtbl.t = Hashtbl.create 16 in
   Func.iter_blocks
     (fun b ->
       gen.(b.bid) <- upward_exposed b;
-      kill.(b.bid) <- block_defs b)
+      kill.(b.bid) <- block_defs b;
+      pdefs.(b.bid) <- phi_defs b;
+      List.iter
+        (fun p -> Hashtbl.replace puses (p, b.bid) (phi_uses_from b ~pred:p))
+        b.preds)
     f;
+  let no_uses = Bitset.empty () in
+  let scratch = Bitset.create nr in
+  let out_acc = Bitset.create nr in
+  let in_acc = Bitset.create nr in
+  let order = Cfg.postorder f in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -84,33 +101,39 @@ let compute (f : Func.t) : t =
     List.iter
       (fun bid ->
         let b = Func.block f bid in
-        let out =
-          List.fold_left
-            (fun acc s ->
-              let sb = Func.block f s in
-              let from_s =
-                Ids.IntSet.union
-                  (Ids.IntSet.diff live_in.(s) (phi_defs sb))
-                  (phi_uses_from sb ~pred:bid)
-              in
-              Ids.IntSet.union acc from_s)
-            Ids.IntSet.empty (Block.succs b)
-        in
+        Bitset.clear out_acc;
+        Block.iter_succs
+          (fun s ->
+            (* live-out gains (live_in(s) \ phi_defs(s)) ∪ phi_srcs
+               flowing along this edge *)
+            Bitset.clear scratch;
+            ignore (Bitset.union_into ~into:scratch live_in.(s));
+            ignore (Bitset.diff_into ~into:scratch pdefs.(s));
+            ignore (Bitset.union_into ~into:out_acc scratch);
+            let from_phis =
+              match Hashtbl.find_opt puses (bid, s) with
+              | Some ps -> ps
+              | None -> no_uses
+            in
+            ignore (Bitset.union_into ~into:out_acc from_phis))
+          b;
         (* a phi target is live-in of its own block *)
-        let inn =
-          Ids.IntSet.union
-            (phi_defs b)
-            (Ids.IntSet.union gen.(bid) (Ids.IntSet.diff out kill.(bid)))
-        in
+        Bitset.clear in_acc;
+        ignore (Bitset.union_into ~into:in_acc out_acc);
+        ignore (Bitset.diff_into ~into:in_acc kill.(bid));
+        ignore (Bitset.union_into ~into:in_acc gen.(bid));
+        ignore (Bitset.union_into ~into:in_acc pdefs.(bid));
         if
-          (not (Ids.IntSet.equal out live_out.(bid)))
-          || not (Ids.IntSet.equal inn live_in.(bid))
+          (not (Bitset.equal out_acc live_out.(bid)))
+          || not (Bitset.equal in_acc live_in.(bid))
         then begin
-          live_out.(bid) <- out;
-          live_in.(bid) <- inn;
+          Bitset.clear live_out.(bid);
+          ignore (Bitset.union_into ~into:live_out.(bid) out_acc);
+          Bitset.clear live_in.(bid);
+          ignore (Bitset.union_into ~into:live_in.(bid) in_acc);
           changed := true
         end)
-      (Cfg.postorder f)
+      order
   done;
   { live_in; live_out }
 

@@ -1,6 +1,9 @@
 (** Register liveness by backward dataflow, with the standard SSA phi
     treatment: a phi target is defined at the top of its block, a phi
-    source is a use at the end of the corresponding predecessor. *)
+    source is a use at the end of the corresponding predecessor.
+
+    All sets are {!Rp_ir.Bitset}s over register ids; the returned sets
+    are owned by the analysis result — copy before mutating. *)
 
 open Rp_ir
 
@@ -8,16 +11,16 @@ type t
 
 val compute : Func.t -> t
 
-val live_in : t -> Ids.bid -> Ids.IntSet.t
+val live_in : t -> Ids.bid -> Bitset.t
 
-val live_out : t -> Ids.bid -> Ids.IntSet.t
+val live_out : t -> Ids.bid -> Bitset.t
 
 (** {2 Helpers exposed for the interference builder} *)
 
-val block_defs : Block.t -> Ids.IntSet.t
+val block_defs : Block.t -> Bitset.t
 
-val upward_exposed : Block.t -> Ids.IntSet.t
+val upward_exposed : Block.t -> Bitset.t
 
-val phi_defs : Block.t -> Ids.IntSet.t
+val phi_defs : Block.t -> Bitset.t
 
-val phi_uses_from : Block.t -> pred:Ids.bid -> Ids.IntSet.t
+val phi_uses_from : Block.t -> pred:Ids.bid -> Bitset.t

@@ -112,8 +112,8 @@ let record_ir_size (prog : Func.prog) =
         Func.fold_blocks
           (fun (bs, is, ps) b ->
             ( bs + 1,
-              is + List.length b.Block.body,
-              ps + List.length b.Block.phis ))
+              is + Iseq.length b.Block.body,
+              ps + Iseq.length b.Block.phis ))
           acc f)
       (0, 0, 0) prog.Func.funcs
   in
@@ -269,24 +269,31 @@ let run ?(options = default_options) (src : string) : report =
   Pool.with_pool ~jobs:options.jobs @@ fun pool ->
   Trace.with_span "pipeline.run" @@ fun () ->
   let ms t0 t1 = (t1 -. t0) *. 1000.0 in
-  let t0 = Trace.wall_s () in
+  (* each phase boundary reads the wall clock and the main domain's
+     allocation clock; both zero out under the deterministic flag *)
+  let t0 = Trace.wall_s () and a0 = Trace.alloc_words () in
   let prog, trees = prepare_in pool ~options src in
-  let t_prepared = Trace.wall_s () in
+  let t_prepared = Trace.wall_s () and a_prepared = Trace.alloc_words () in
   let baseline = attach_profile ~options prog trees in
-  let t_profiled = Trace.wall_s () in
+  let t_profiled = Trace.wall_s () and a_profiled = Trace.alloc_words () in
   let static_before = Stats.of_prog prog in
   let per_function = promote_prog_in pool ~options prog trees in
   let stats = Promote.empty_stats () in
   List.iter (fun (_, s) -> Promote.accumulate stats s) per_function;
-  let t_promoted = Trace.wall_s () in
+  let t_promoted = Trace.wall_s () and a_promoted = Trace.alloc_words () in
   finalise_in pool prog;
   let static_after = Stats.of_prog prog in
-  let t_finalised = Trace.wall_s () in
+  let t_finalised = Trace.wall_s () and a_finalised = Trace.alloc_words () in
   let final =
     Trace.with_span "measure.run" (fun () ->
         Interp.run ~fuel:options.fuel prog)
   in
-  let t_measured = Trace.wall_s () in
+  let t_measured = Trace.wall_s () and a_measured = Trace.alloc_words () in
+  let alloc name a b =
+    let words = b -. a in
+    Metrics.set_gauge ("alloc." ^ name ^ ".minor_words") words;
+    (name ^ "_minor_words", words)
+  in
   record_counts_metrics ~static_before ~static_after
     ~dynamic_before:baseline.Interp.counters
     ~dynamic_after:final.Interp.counters;
@@ -310,6 +317,12 @@ let run ?(options = default_options) (src : string) : report =
         ("finalise_ms", ms t_promoted t_finalised);
         ("measure_ms", ms t_finalised t_measured);
         ("total_ms", ms t0 t_measured);
+        alloc "prepare" a0 a_prepared;
+        alloc "profile" a_prepared a_profiled;
+        alloc "promote" a_profiled a_promoted;
+        alloc "finalise" a_promoted a_finalised;
+        alloc "measure" a_finalised a_measured;
+        alloc "total" a0 a_measured;
       ];
   }
 

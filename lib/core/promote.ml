@@ -218,17 +218,22 @@ let stores_added (f : Func.t) (dom : Dom.t) (w : Web_info.t) :
           | Web_info.Before_instr _, Web_info.At_block_end _ -> 1)
       (set1 @ set2)
   in
-  (* positions for same-block comparisons *)
+  (* positions for same-block comparisons, indexed lazily: only the
+     handful of blocks that actually appear in [all] get scanned *)
   let pos_in_block : (Ids.iid, int) Hashtbl.t = Hashtbl.create 32 in
-  Func.iter_blocks
-    (fun b ->
-      List.iteri
+  let indexed_blocks : (Ids.bid, unit) Hashtbl.t = Hashtbl.create 8 in
+  let ensure_indexed bid =
+    if not (Hashtbl.mem indexed_blocks bid) then begin
+      Hashtbl.add indexed_blocks bid ();
+      Iseq.iteri
         (fun k (i : Instr.t) -> Hashtbl.replace pos_in_block i.iid k)
-        b.body)
-    f;
+        (Func.block f bid).Block.body
+    end
+  in
   let point_pos = function
     | Web_info.At_block_end _ -> max_int
-    | Web_info.Before_instr (_, i) -> (
+    | Web_info.Before_instr (bid, i) -> (
+        ensure_indexed bid;
         match Hashtbl.find_opt pos_in_block i.Instr.iid with
         | Some p -> p
         | None -> max_int)
@@ -448,12 +453,12 @@ let reaching_def_at_end (f : Func.t) (dom : Dom.t) ~(base : Ids.vid)
   let last_def_in b =
     let bl = Func.block f b in
     let found = ref None in
-    List.iter
+    Block.iter_instrs
       (fun (i : Instr.t) ->
         List.iter
           (fun (r : Resource.t) -> if r.base = base then found := Some r)
           (Instr.mem_defs i.op))
-      (Block.instrs bl);
+      bl;
     !found
   in
   let rec walk b =
@@ -470,7 +475,7 @@ let reaching_def_at_end (f : Func.t) (dom : Dom.t) ~(base : Ids.vid)
    block. *)
 let insert_stores_at_tails (ctx : web_ctx) (dom : Dom.t) (iv : Intervals.t) :
     Resource.ResSet.t =
-  let index = Ssa_index.build ctx.f in
+  let index = Ssa_index.build_for_base ctx.f ~base:ctx.w.Web_info.base in
   let live_outside (r : Resource.t) =
     List.exists
       (fun u ->
@@ -498,7 +503,7 @@ let insert_stores_at_tails (ctx : web_ctx) (dom : Dom.t) (iv : Intervals.t) :
 (* deleteStores: remove the web's original stores whose resource has no
    remaining uses (the incremental updater normally already did). *)
 let delete_dead_stores (ctx : web_ctx) =
-  let index = Ssa_index.build ctx.f in
+  let index = Ssa_index.build_for_base ctx.f ~base:ctx.w.Web_info.base in
   List.iter
     (fun ((site : Web_info.ref_site), dst) ->
       let b = Func.block ctx.f site.bid in
@@ -532,13 +537,19 @@ let add_dummy (ctx : web_ctx) (cfg : config) (iv : Intervals.t) =
 
 (* ------------------------------------------------------------------ *)
 
-let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
-    (iv : Intervals.t) (stats : stats) (resources : Resource.ResSet.t) : unit
-    =
-  let w = Web_info.compute f iv resources in
+(* Returns true when the store-removal path ran, i.e. when the
+   incremental updater rewrote the function.  That is the only web
+   transformation that can touch instructions of OTHER webs (the
+   updater renames uses and sweeps dead definitions across every
+   version of the variable), so the caller uses it to invalidate
+   precomputed web infos of the same base. *)
+let promote_web (cfg : config) (f : Func.t) (dom : Dom.t)
+    (iv : Intervals.t) (stats : stats) (w : Web_info.t) : bool =
   stats.webs_seen <- stats.webs_seen + 1;
-  if w.Web_info.multiple_live_in then
-    stats.webs_skipped_malformed <- stats.webs_skipped_malformed + 1
+  if w.Web_info.multiple_live_in then begin
+    stats.webs_skipped_malformed <- stats.webs_skipped_malformed + 1;
+    false
+  end
   else begin
     let d = decide cfg f dom iv w in
     let ctx =
@@ -564,7 +575,8 @@ let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
          loads/stores directly, so the dummy only matters (and only
          helps hoist compensation stores to the preheader) when the web
          contains aliased loads *)
-      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv;
+      false
     end
     else if not (Web_info.has_defs w) then begin
       (* no definitions: load once in the preheader *)
@@ -587,7 +599,8 @@ let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
         w.Web_info.loads;
       stats.webs_promoted <- stats.webs_promoted + 1;
       stats.webs_promoted_no_defs <- stats.webs_promoted_no_defs + 1;
-      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv;
+      false
     end
     else begin
       init_vr_map ctx;
@@ -595,19 +608,31 @@ let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
       replace_loads_by_copies ctx;
       if d.remove_stores then begin
         let cloned1 = insert_stores ctx d.sa in
-        let cloned2 = insert_stores_at_tails ctx dom iv in
+        let cloned2 =
+          Rp_obs.Trace.with_span "promote.tails" @@ fun () ->
+          insert_stores_at_tails ctx dom iv
+        in
         let cloned = Resource.ResSet.union cloned1 cloned2 in
         Incremental.update_for_cloned_resources ~engine:cfg.engine f
           ~cloned_res:cloned;
-        delete_dead_stores ctx;
+        (Rp_obs.Trace.with_span "promote.deadstores" @@ fun () ->
+         delete_dead_stores ctx);
         stats.webs_store_removal <- stats.webs_store_removal + 1
       end;
       stats.webs_promoted <- stats.webs_promoted + 1;
       (* "if there are aliased loads in web, add a dummy aliased load
          in the preheader that aliases the live-in resource" *)
-      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv
+      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv;
+      d.remove_stores
     end
   end
+
+(* One-web entry point for callers (the loop-based baseline) that carve
+   out their own web sets. *)
+let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
+    (iv : Intervals.t) (stats : stats) (resources : Resource.ResSet.t) : unit
+    =
+  ignore (promote_web cfg f dom iv stats (Web_info.compute f iv resources))
 
 (* cleanup (Figure 2): remove the dummy aliased loads inside the
    interval, i.e. the summaries its children left in their preheaders,
@@ -616,7 +641,9 @@ let cleanup_dummies (f : Func.t) (blocks : Ids.IntSet.t) =
   Ids.IntSet.iter
     (fun bid ->
       let b = Func.block f bid in
-      b.body <- List.filter (fun (i : Instr.t) -> not (Instr.is_dummy i)) b.body)
+      Iseq.filter_in_place
+        (fun (i : Instr.t) -> not (Instr.is_dummy i))
+        b.body)
     blocks
 
 let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
@@ -634,11 +661,28 @@ let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
   let dom = Dom.compute_cached f in
   let webs = Webs.in_blocks tab f iv.Intervals.blocks in
   Rp_obs.Trace.add_attr "webs" (string_of_int (List.length webs));
-  List.iter
-    (fun web ->
-      let resources = Resource.ResSet.of_list web in
-      promote_in_web cfg f dom iv stats resources)
-    webs;
+  (* One interval scan builds every web's reference sets.  Promoting a
+     web only touches its own resources (plus fresh clones outside any
+     web) — except when the store-removal path runs the incremental
+     updater, which renames uses and sweeps dead definitions across
+     every version of the variable.  Track those bases and give later
+     same-base webs a fresh scan instead of the stale precomputation. *)
+  let websets = List.map Resource.ResSet.of_list webs in
+  let infos =
+    Rp_obs.Trace.with_span "promote.webinfo" @@ fun () ->
+    Web_info.compute_all f iv websets
+  in
+  let rewritten_bases : (Ids.vid, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2
+    (fun resources (w : Web_info.t) ->
+      let w =
+        if Hashtbl.mem rewritten_bases w.Web_info.base then
+          Web_info.compute f iv resources
+        else w
+      in
+      if promote_web cfg f dom iv stats w then
+        Hashtbl.replace rewritten_bases w.Web_info.base ())
+    websets infos;
   cleanup_dummies f iv.Intervals.blocks
 
 (* Promote one function.  Expects [f] normalised (no critical edges,
@@ -654,8 +698,9 @@ let promote_function ?(cfg = default_config) (f : Func.t)
      every dummy; sweep defensively anyway *)
   Func.iter_blocks
     (fun b ->
-      b.body <-
-        List.filter (fun (i : Instr.t) -> not (Instr.is_dummy i)) b.body)
+      Iseq.filter_in_place
+        (fun (i : Instr.t) -> not (Instr.is_dummy i))
+        b.body)
     f;
   List.iter
     (fun (k, v) -> if v <> 0 then Rp_obs.Metrics.add ("promote." ^ k) v)

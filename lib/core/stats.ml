@@ -11,7 +11,7 @@ let add a b = { loads = a.loads + b.loads; stores = a.stores + b.stores }
 let of_func (f : Func.t) : counts =
   Func.fold_blocks
     (fun acc b ->
-      List.fold_left
+      Iseq.fold_left
         (fun acc (i : Instr.t) ->
           match i.Instr.op with
           | Instr.Load _ -> { acc with loads = acc.loads + 1 }

@@ -31,24 +31,70 @@ type t = {
   multiple_live_in : bool;  (** malformed web: promotion is skipped *)
 }
 
-(* Scan the interval blocks and build the reference sets for the web
-   holding [resources]. *)
-let compute (f : Func.t) (iv : Intervals.t) (resources : Resource.ResSet.t) :
-    t =
-  let base =
-    match Resource.ResSet.choose_opt resources with
-    | Some r -> r.Resource.base
-    | None -> invalid_arg "Web_info.compute: empty web"
+(* Mutable accumulator for one web during the interval scan. *)
+type acc = {
+  a_base : Ids.vid;
+  a_resources : Resource.ResSet.t;
+  mutable a_loads : (ref_site * Resource.t) list;
+  mutable a_stores : (ref_site * Resource.t) list;
+  mutable a_aliased : (ref_site * Resource.t) list;
+  mutable a_phis : (ref_site * Resource.t) list;
+  mutable a_def_res : Resource.ResSet.t;
+  mutable a_store_res : Resource.ResSet.t;
+  mutable a_phi_res : Resource.ResSet.t;
+  mutable a_used : Resource.ResSet.t;
+}
+
+let finish (a : acc) : t =
+  let outside = Resource.ResSet.diff a.a_used a.a_def_res in
+  let live_in = Resource.ResSet.choose_opt outside in
+  {
+    base = a.a_base;
+    resources = a.a_resources;
+    loads = a.a_loads;
+    stores = a.a_stores;
+    aliased_uses = a.a_aliased;
+    phis = a.a_phis;
+    def_res = a.a_def_res;
+    store_res = a.a_store_res;
+    phi_res = a.a_phi_res;
+    live_in;
+    multiple_live_in = Resource.ResSet.cardinal outside > 1;
+  }
+
+(* Scan the interval's blocks once and build the reference sets for
+   every web at the same time, dispatching each occurrence to the web
+   that owns the resource.  One web never references another web's
+   resources, so the per-web result is identical to a dedicated scan. *)
+let compute_all (f : Func.t) (iv : Intervals.t)
+    (webs : Resource.ResSet.t list) : t list =
+  let accs =
+    List.map
+      (fun resources ->
+        let base =
+          match Resource.ResSet.choose_opt resources with
+          | Some r -> r.Resource.base
+          | None -> invalid_arg "Web_info.compute: empty web"
+        in
+        {
+          a_base = base;
+          a_resources = resources;
+          a_loads = [];
+          a_stores = [];
+          a_aliased = [];
+          a_phis = [];
+          a_def_res = Resource.ResSet.empty;
+          a_store_res = Resource.ResSet.empty;
+          a_phi_res = Resource.ResSet.empty;
+          a_used = Resource.ResSet.empty;
+        })
+      webs
   in
-  let in_web r = Resource.ResSet.mem r resources in
-  let loads = ref [] in
-  let stores = ref [] in
-  let aliased = ref [] in
-  let phis = ref [] in
-  let def_res = ref Resource.ResSet.empty in
-  let store_res = ref Resource.ResSet.empty in
-  let phi_res = ref Resource.ResSet.empty in
-  let used = ref Resource.ResSet.empty in
+  let owner : (Resource.t, acc) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun a -> Resource.ResSet.iter (fun r -> Hashtbl.replace owner r a) a.a_resources)
+    accs;
+  let web_of r = Hashtbl.find_opt owner r in
   Ids.IntSet.iter
     (fun bid ->
       let b = Func.block f bid in
@@ -56,53 +102,62 @@ let compute (f : Func.t) (iv : Intervals.t) (resources : Resource.ResSet.t) :
         (fun (i : Instr.t) ->
           let site = { instr = i; bid } in
           (match i.op with
-          | Instr.Load { src; _ } when in_web src ->
-              loads := (site, src) :: !loads;
-              used := Resource.ResSet.add src !used
-          | Instr.Store { dst; _ } when in_web dst ->
-              stores := (site, dst) :: !stores;
-              def_res := Resource.ResSet.add dst !def_res;
-              store_res := Resource.ResSet.add dst !store_res
-          | Instr.Mphi { dst; srcs } when in_web dst ->
-              phis := (site, dst) :: !phis;
-              def_res := Resource.ResSet.add dst !def_res;
-              phi_res := Resource.ResSet.add dst !phi_res;
-              List.iter
-                (fun (_, r) ->
-                  if in_web r then used := Resource.ResSet.add r !used)
-                srcs
+          | Instr.Load { src; _ } -> (
+              match web_of src with
+              | Some a ->
+                  a.a_loads <- (site, src) :: a.a_loads;
+                  a.a_used <- Resource.ResSet.add src a.a_used
+              | None -> ())
+          | Instr.Store { dst; _ } -> (
+              match web_of dst with
+              | Some a ->
+                  a.a_stores <- (site, dst) :: a.a_stores;
+                  a.a_def_res <- Resource.ResSet.add dst a.a_def_res;
+                  a.a_store_res <- Resource.ResSet.add dst a.a_store_res
+              | None -> ())
+          | Instr.Mphi { dst; srcs } -> (
+              match web_of dst with
+              | Some a ->
+                  a.a_phis <- (site, dst) :: a.a_phis;
+                  a.a_def_res <- Resource.ResSet.add dst a.a_def_res;
+                  a.a_phi_res <- Resource.ResSet.add dst a.a_phi_res;
+                  (* phi sources always belong to the target's web: the
+                     phi is what unioned them together *)
+                  List.iter
+                    (fun (_, r) ->
+                      if Resource.ResSet.mem r a.a_resources then
+                        a.a_used <- Resource.ResSet.add r a.a_used)
+                    srcs
+              | None -> ())
           | _ -> ());
           (* aliased defs (calls, pointer stores) and aliased uses *)
           if Instr.is_aliased_store i.op then
             List.iter
               (fun r ->
-                if in_web r then def_res := Resource.ResSet.add r !def_res)
+                match web_of r with
+                | Some a -> a.a_def_res <- Resource.ResSet.add r a.a_def_res
+                | None -> ())
               (Instr.mem_defs i.op);
           if Instr.is_aliased_load i.op then
             List.iter
               (fun r ->
-                if in_web r then begin
-                  aliased := (site, r) :: !aliased;
-                  used := Resource.ResSet.add r !used
-                end)
+                match web_of r with
+                | Some a ->
+                    a.a_aliased <- (site, r) :: a.a_aliased;
+                    a.a_used <- Resource.ResSet.add r a.a_used
+                | None -> ())
               (Instr.mem_uses i.op))
         b)
     iv.Intervals.blocks;
-  let outside = Resource.ResSet.diff !used !def_res in
-  let live_in = Resource.ResSet.choose_opt outside in
-  {
-    base;
-    resources;
-    loads = !loads;
-    stores = !stores;
-    aliased_uses = !aliased;
-    phis = !phis;
-    def_res = !def_res;
-    store_res = !store_res;
-    phi_res = !phi_res;
-    live_in;
-    multiple_live_in = Resource.ResSet.cardinal outside > 1;
-  }
+  List.map finish accs
+
+(* Scan the interval blocks and build the reference sets for the web
+   holding [resources]. *)
+let compute (f : Func.t) (iv : Intervals.t) (resources : Resource.ResSet.t) :
+    t =
+  match compute_all f iv [ resources ] with
+  | [ w ] -> w
+  | _ -> assert false
 
 let has_defs w = not (Resource.ResSet.is_empty w.def_res)
 

@@ -35,6 +35,12 @@ type t = {
     @raise Invalid_argument on an empty web. *)
 val compute : Func.t -> Intervals.t -> Resource.ResSet.t -> t
 
+(** Build the sets for every web of the interval in one scan —
+    occurrence dispatch instead of a scan per web.  Results line up
+    with the input list.
+    @raise Invalid_argument if any web is empty. *)
+val compute_all : Func.t -> Intervals.t -> Resource.ResSet.t list -> t list
+
 val has_defs : t -> bool
 
 val store_defined : t -> Resource.t -> bool

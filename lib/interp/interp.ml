@@ -221,21 +221,21 @@ let rec call st (f : Func.t) (args : value list) : value option =
     (match prev with
     | Some p ->
         let updates =
-          List.filter_map
-            (fun (i : Instr.t) ->
+          Iseq.fold_left
+            (fun acc (i : Instr.t) ->
               match i.op with
               | Instr.Rphi { dst; srcs } -> (
                   match List.assoc_opt p srcs with
-                  | Some r -> Some (dst, get r)
+                  | Some r -> (dst, get r) :: acc
                   | None ->
                       fail "%s/b%d: phi has no source for pred b%d"
                         f.Func.fname bid p)
-              | _ -> None)
-            b.phis
+              | _ -> acc)
+            [] b.phis
         in
         List.iter (fun (d, v) -> set d v) updates
     | None -> ());
-    List.iter (exec_instr bid) b.body;
+    Iseq.iter (exec_instr bid) b.body;
     st.fuel <- st.fuel - 1;
     if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
     match b.term with

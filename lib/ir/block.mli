@@ -1,4 +1,6 @@
-(** Basic blocks: a phi section, a body, and one terminator.
+(** Basic blocks: a phi section, a body, and one terminator.  Both
+    instruction sections are {!Iseq} sequences, so every positional
+    edit here is O(1).
 
     "The last instruction of a basic block" in the paper is its branch,
     so inserting "before the last instruction of L" is
@@ -12,15 +14,23 @@ type term =
 
 type t = {
   bid : Ids.bid;
-  mutable phis : Instr.t list;  (** parallel assignments at block entry *)
-  mutable body : Instr.t list;
+  phis : Iseq.t;  (** parallel assignments at block entry *)
+  body : Iseq.t;
   mutable term : term;
   mutable preds : Ids.bid list;
       (** cache; maintained by {!Cfg.recompute_preds} *)
   mutable dead : bool;  (** unreachable blocks are marked, not removed *)
 }
 
+(** Fresh empty block on the given shared instruction index
+    ({!Func.add_block} is the normal entry point). *)
+val make : bid:Ids.bid -> index:Iseq.index -> t
+
 val succs : t -> Ids.bid list
+
+(** Allocation-free successor visit; duplicate [Br] targets are
+    visited once, like {!succs}. *)
+val iter_succs : (Ids.bid -> unit) -> t -> unit
 
 (** Registers read by the terminator. *)
 val term_uses : t -> Ids.reg list
@@ -28,7 +38,7 @@ val term_uses : t -> Ids.reg list
 (** Replace every branch target [old_t] with [new_t]. *)
 val retarget : t -> old_t:Ids.bid -> new_t:Ids.bid -> unit
 
-(** All instructions in order, phis first. *)
+(** All instructions in order, phis first (freshly consed). *)
 val instrs : t -> Instr.t list
 
 val iter_instrs : (Instr.t -> unit) -> t -> unit
@@ -48,7 +58,8 @@ val insert_at_end : t -> Instr.t -> unit
 (** Prepend to the body (after the phis). *)
 val insert_at_start : t -> Instr.t -> unit
 
-(** Prepend to the phi section. *)
+(** Prepend to the phi section (a freshly placed phi shadows older
+    entries during renaming walks; callers depend on that). *)
 val add_phi : t -> Instr.t -> unit
 
 (** Insert a phi immediately after the phi with id [iid]; used by
@@ -61,4 +72,5 @@ val insert_phi_after : t -> iid:Ids.iid -> Instr.t -> unit
     body; no-op when absent. *)
 val remove_instr : t -> iid:Ids.iid -> unit
 
+(** O(1) through the shared index. *)
 val find_instr : t -> iid:Ids.iid -> Instr.t option

@@ -7,6 +7,8 @@
 
 let succs = Block.succs
 
+let iter_succs = Block.iter_succs
+
 let recompute_preds (f : Func.t) =
   (* one pass over the edges: per-successor accumulator lists plus a
      last-predecessor mark for deduping parallel edges (a Br whose two
@@ -20,13 +22,13 @@ let recompute_preds (f : Func.t) =
   let last = Array.make n (-1) in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      iter_succs
         (fun s ->
           if last.(s) <> b.bid then begin
             last.(s) <- b.bid;
             acc.(s) <- b.bid :: acc.(s)
           end)
-        (succs b))
+        b)
     f;
   for bid = 0 to n - 1 do
     let b = Func.block f bid in
@@ -41,7 +43,7 @@ let remove_unreachable (f : Func.t) =
   let rec dfs bid =
     if not seen.(bid) then begin
       seen.(bid) <- true;
-      List.iter dfs (succs (Func.block f bid))
+      iter_succs dfs (Func.block f bid)
     end
   in
   dfs f.entry;
@@ -59,7 +61,7 @@ let remove_unreachable (f : Func.t) =
   (* prune phi sources coming from dead predecessors *)
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           match i.op with
           | Rphi { srcs; _ } ->
@@ -102,7 +104,7 @@ let split_edge (f : Func.t) ~(src : Ids.bid) ~(dst : Ids.bid) : Block.t =
   Block.retarget sb ~old_t:dst ~new_t:m.bid;
   m.term <- Jmp dst;
   (* phi sources of dst that named src now come through m *)
-  List.iter
+  Iseq.iter
     (fun (i : Instr.t) ->
       match i.op with
       | Rphi { srcs; _ } ->

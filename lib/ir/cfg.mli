@@ -7,6 +7,9 @@
 
 val succs : Block.t -> Ids.bid list
 
+(** Allocation-free successor visit (see {!Block.iter_succs}). *)
+val iter_succs : (Ids.bid -> unit) -> Block.t -> unit
+
 (** Rebuild every block's predecessor cache from the terminators, in
     one pass over the edges. Predecessors are listed in increasing
     block id, each one once (parallel edges collapse); dead blocks get

@@ -14,6 +14,9 @@ type t = {
   fname : string;
   mutable params : Ids.reg list;
   blocks : Block.t Vec.t;
+  iindex : Iseq.index;
+      (** shared iid→node index over every block's phi and body
+          sequences; makes {!find_instr} O(1) *)
   mutable entry : Ids.bid;
   mutable next_reg : int;
   mutable next_iid : int;
@@ -37,13 +40,16 @@ type prog = {
 }
 
 let dummy_block : Block.t =
-  { bid = -1; phis = []; body = []; term = Ret None; preds = []; dead = true }
+  let b = Block.make ~bid:(-1) ~index:(Iseq.create_index ()) in
+  b.Block.dead <- true;
+  b
 
 let create_func ~name =
   {
     fname = name;
     params = [];
     blocks = Vec.create ~dummy:dummy_block;
+    iindex = Iseq.create_index ();
     entry = 0;
     next_reg = 0;
     next_iid = 0;
@@ -99,9 +105,7 @@ let touch_cfg f = f.cfg_gen <- f.cfg_gen + 1
 let add_block f : Block.t =
   touch_cfg f;
   let bid = Vec.length f.blocks in
-  let b : Block.t =
-    { bid; phis = []; body = []; term = Ret None; preds = []; dead = false }
-  in
+  let b = Block.make ~bid ~index:f.iindex in
   Vec.push f.blocks b;
   b
 
@@ -121,17 +125,14 @@ let live_blocks f =
 let iter_instrs fn f =
   iter_blocks (fun b -> Block.iter_instrs (fun i -> fn b i) b) f
 
-(* Find the block and instruction for a given iid.  O(n); used by tests
-   and error reporting only. *)
+(* Find the block and instruction for a given iid — O(1) through the
+   shared instruction index. *)
 let find_instr f ~iid =
-  let found = ref None in
-  iter_blocks
-    (fun b ->
-      match Block.find_instr b ~iid with
-      | Some i -> found := Some (b, i)
-      | None -> ())
-    f;
-  !found
+  match Iseq.index_lookup f.iindex iid with
+  | Some (bid, i) when bid >= 0 && bid < num_blocks f ->
+      let b = block f bid in
+      if b.Block.dead then None else Some (b, i)
+  | Some _ | None -> None
 
 (* ------------------------------------------------------------------ *)
 (* Profile accessors *)

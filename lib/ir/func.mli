@@ -15,6 +15,9 @@ type t = {
   fname : string;
   mutable params : Ids.reg list;
   blocks : Block.t Vec.t;
+  iindex : Iseq.index;
+      (** shared iid→node index over every block's phi and body
+          sequences; makes {!find_instr} O(1) *)
   mutable entry : Ids.bid;
   mutable next_reg : int;
   mutable next_iid : int;
@@ -82,7 +85,8 @@ val live_blocks : t -> Block.t list
 
 val iter_instrs : (Block.t -> Instr.t -> unit) -> t -> unit
 
-(** Linear search; tests and error reporting only. *)
+(** O(1) through the shared instruction index; [None] for iids in dead
+    blocks. *)
 val find_instr : t -> iid:Ids.iid -> (Block.t * Instr.t) option
 
 (** {2 Profile accessors} *)

@@ -85,8 +85,8 @@ let pp_block tab (f : Func.t) fmt (b : Block.t) =
     b.bid
     (String.concat "," (List.map (fun p -> "b" ^ string_of_int p) b.preds))
     (Func.block_freq f b.bid);
-  List.iter (fun i -> fprintf fmt "%a@," (pp_instr tab f) i) b.phis;
-  List.iter (fun i -> fprintf fmt "%a@," (pp_instr tab f) i) b.body;
+  Iseq.iter (fun i -> fprintf fmt "%a@," (pp_instr tab f) i) b.phis;
+  Iseq.iter (fun i -> fprintf fmt "%a@," (pp_instr tab f) i) b.body;
   fprintf fmt "%a@]" (pp_term f) b.term
 
 let pp_func tab fmt (f : Func.t) =

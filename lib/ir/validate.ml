@@ -61,12 +61,12 @@ let check_func (tab : Resource.table) (f : Func.t) : error list =
              (String.concat "," (List.map string_of_int got))
              (String.concat "," (List.map string_of_int expect)));
       (* phi placement and arity *)
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           if not (Instr.is_phi i) then
             add (err where "non-phi instruction in phi section (iid %d)" i.iid))
         b.phis;
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           if Instr.is_phi i then
             add (err where "phi instruction in body (iid %d)" i.iid))
@@ -81,7 +81,7 @@ let check_func (tab : Resource.table) (f : Func.t) : error list =
                (String.concat "," (List.map string_of_int sorted))
                (String.concat "," (List.map string_of_int preds)))
       in
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           match i.op with
           | Rphi { srcs; _ } -> check_phi_srcs srcs

@@ -70,6 +70,10 @@ let reset () =
 let now () = if !zero_clock then 0.0 else Unix.gettimeofday ()
 let wall_s = now
 
+(* The allocation clock follows the wall clock's deterministic rule:
+   a zeroed reading makes every delta 0, so reports stay byte-stable. *)
+let alloc_words () = if !zero_clock then 0.0 else Gc.minor_words ()
+
 let epoch_start s t =
   match s.epoch with
   | Some e -> e

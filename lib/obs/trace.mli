@@ -54,6 +54,12 @@ val deterministic : unit -> bool
     under {!set_deterministic}. *)
 val wall_s : unit -> float
 
+(** Words allocated on this domain's minor heap so far
+    ([Gc.minor_words]), or 0 in deterministic mode so that allocation
+    deltas — like span durations — serialise to the same bytes on
+    every run. *)
+val alloc_words : unit -> float
+
 (** Drop the current domain's collected spans and restart its epoch
     clock. *)
 val reset : unit -> unit

@@ -68,7 +68,7 @@ let run (f : Func.t) : int =
         if not k then incr removed;
         k
       in
-      b.phis <- List.filter keep b.phis;
-      b.body <- List.filter keep b.body)
+      Iseq.filter_in_place keep b.phis;
+      Iseq.filter_in_place keep b.body)
     f;
   !removed

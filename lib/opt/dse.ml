@@ -21,21 +21,19 @@ let run (f : Func.t) : int =
     let index = Ssa_index.build f in
     Func.iter_blocks
       (fun b ->
-        let doomed =
-          List.filter
-            (fun (i : Instr.t) ->
-              match i.op with
-              | Instr.Store { dst; _ } | Instr.Mphi { dst; _ } ->
-                  not (Ssa_index.has_uses index dst)
-              | _ -> false)
-            (Block.instrs b)
-        in
-        List.iter
+        (* removing the current instruction during iteration is safe:
+           Iseq iteration captures the next node before the callback *)
+        Block.iter_instrs
           (fun (i : Instr.t) ->
-            Block.remove_instr b ~iid:i.iid;
-            incr removed;
-            changed := true)
-          doomed)
+            match i.op with
+            | Instr.Store { dst; _ } | Instr.Mphi { dst; _ } ->
+                if not (Ssa_index.has_uses index dst) then begin
+                  Block.remove_instr b ~iid:i.iid;
+                  incr removed;
+                  changed := true
+                end
+            | _ -> ())
+          b)
       f
   done;
   !removed

@@ -54,7 +54,7 @@ let run (f : Func.t) : int =
   let replaced = ref 0 in
   let rec visit bid (scope : key list ref) =
     let b = Func.block f bid in
-    List.iter
+    Block.iter_instrs
       (fun (i : Instr.t) ->
         let number dst key =
           match Hashtbl.find_opt table key with
@@ -111,7 +111,7 @@ let run (f : Func.t) : int =
                       srcs;
                 }
         | Instr.Mphi _ | Instr.Dummy_aload _ | Instr.Exit_use _ -> ())
-      (Block.instrs b);
+      b;
     (match b.term with
     | Block.Br { cond; t; f = fl } ->
         b.term <- Block.Br { cond = resolve cond; t; f = fl }

@@ -199,7 +199,7 @@ let analyse (f : Func.t) : state =
       end
       else
         (* re-evaluate the phis: a new incoming edge became executable *)
-        List.iter (eval_instr st) (Func.block f dst).Block.phis
+        Iseq.iter (eval_instr st) (Func.block f dst).Block.phis
     end
     else if not (Queue.is_empty st.ssa_wl) then begin
       let r = Queue.pop st.ssa_wl in
@@ -243,7 +243,7 @@ let run (f : Func.t) : int =
   Func.iter_blocks
     (fun b ->
       if Ids.IntSet.mem b.bid st.exec_blocks then begin
-        List.iter
+        Block.iter_instrs
           (fun (i : Instr.t) ->
             (* keep the defining instructions; rewrite their uses *)
             match i.op with
@@ -266,7 +266,7 @@ let run (f : Func.t) : int =
             | Instr.Rphi _ | Instr.Mphi _ | Instr.Load _
             | Instr.Dummy_aload _ | Instr.Exit_use _ ->
                 ())
-          (Block.instrs b);
+          b;
         (* fold branches decided by the analysis *)
         match b.term with
         | Block.Br { cond; t; f = fl } -> (
@@ -285,7 +285,7 @@ let run (f : Func.t) : int =
     Cfg.remove_unreachable f;
     Func.iter_blocks
       (fun b ->
-        List.iter
+        Iseq.iter
           (fun (i : Instr.t) ->
             match i.op with
             | Instr.Rphi { srcs; _ } ->

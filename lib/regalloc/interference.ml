@@ -59,38 +59,40 @@ let build (f : Func.t) : t =
       (* walk the block backwards keeping the live set; registers read
          by the terminator are live between the last instruction and
          the branch *)
-      let live_now =
-        ref
-          (List.fold_left
-             (fun acc r -> Ids.IntSet.add r acc)
-             (Liveness.live_out live b.bid)
-             (Block.term_uses b))
-      in
+      let live_now = Bitset.copy (Liveness.live_out live b.bid) in
+      List.iter (Bitset.add live_now) (Block.term_uses b);
       let step (i : Instr.t) =
         (match Instr.reg_def i.op with
         | Some d ->
-            let against =
+            (* copy slack: the source of a copy does not interfere with
+               its target just because of the copy; hide it while
+               drawing the edges *)
+            let hidden =
               match i.op with
-              | Instr.Copy { src = Instr.Reg s; _ } ->
-                  Ids.IntSet.remove s !live_now
-              | _ -> !live_now
+              | Instr.Copy { src = Instr.Reg s; _ } when Bitset.mem live_now s
+                ->
+                  Bitset.remove live_now s;
+                  Some s
+              | _ -> None
             in
-            Ids.IntSet.iter (fun l -> add_edge d l) against;
-            live_now := Ids.IntSet.remove d !live_now
+            Bitset.iter (fun l -> add_edge d l) live_now;
+            (match hidden with Some s -> Bitset.add live_now s | None -> ());
+            Bitset.remove live_now d
         | None -> ());
-        List.iter
-          (fun u -> live_now := Ids.IntSet.add u !live_now)
-          (Instr.reg_uses i.op)
+        List.iter (Bitset.add live_now) (Instr.reg_uses i.op)
       in
-      List.iter step (List.rev b.body);
+      Iseq.iter_rev step b.body;
       (* phi defs: all defined in parallel at block entry; they
          interfere with each other and with everything live there *)
       let phi_ds =
-        List.filter_map (fun (i : Instr.t) -> Instr.reg_def i.op) b.phis
+        Iseq.fold_left
+          (fun acc (i : Instr.t) ->
+            match Instr.reg_def i.op with Some d -> d :: acc | None -> acc)
+          [] b.phis
       in
       List.iter
         (fun d ->
-          Ids.IntSet.iter (fun l -> add_edge d l) !live_now;
+          Bitset.iter (fun l -> add_edge d l) live_now;
           List.iter (fun d' -> add_edge d d') phi_ds)
         phi_ds)
     f;
@@ -104,30 +106,23 @@ let max_live (f : Func.t) : int =
   let best = ref 0 in
   Func.iter_blocks
     (fun b ->
-      let live_now =
-        ref
-          (List.fold_left
-             (fun acc r -> Ids.IntSet.add r acc)
-             (Liveness.live_out live b.bid)
-             (Block.term_uses b))
-      in
-      best := max !best (Ids.IntSet.cardinal !live_now);
+      let live_now = Bitset.copy (Liveness.live_out live b.bid) in
+      List.iter (Bitset.add live_now) (Block.term_uses b);
+      best := max !best (Bitset.cardinal live_now);
       let step (i : Instr.t) =
         (match Instr.reg_def i.op with
-        | Some d -> live_now := Ids.IntSet.remove d !live_now
+        | Some d -> Bitset.remove live_now d
         | None -> ());
-        List.iter
-          (fun u -> live_now := Ids.IntSet.add u !live_now)
-          (Instr.reg_uses i.op);
-        best := max !best (Ids.IntSet.cardinal !live_now)
+        List.iter (Bitset.add live_now) (Instr.reg_uses i.op);
+        best := max !best (Bitset.cardinal live_now)
       in
-      List.iter step (List.rev b.body);
-      let phi_ds =
-        List.filter_map (fun (i : Instr.t) -> Instr.reg_def i.op) b.phis
-      in
-      let with_phis =
-        List.fold_left (fun acc d -> Ids.IntSet.add d acc) !live_now phi_ds
-      in
-      best := max !best (Ids.IntSet.cardinal with_phis))
+      Iseq.iter_rev step b.body;
+      Iseq.iter
+        (fun (i : Instr.t) ->
+          match Instr.reg_def i.op with
+          | Some d -> Bitset.add live_now d
+          | None -> ())
+        b.phis;
+      best := max !best (Bitset.cardinal live_now))
     f;
   !best

@@ -15,7 +15,11 @@
    resource it may touch: each gets a fresh version, exactly like the
    paper's "x4 = foo()".  Every memory variable receives an implicit
    entry definition (version 1) so uses before any store refer to the
-   value the function was entered with. *)
+   value the function was entered with.
+
+   The placement sets — location liveness, definition sites, the IDF —
+   are all {!Bitset}s; locations have no cheap upper bound before the
+   walk, so the sets rely on Bitset's auto-grow. *)
 
 open Rp_ir
 open Rp_analysis
@@ -31,14 +35,14 @@ let loc_of_var v = (2 * v) + 1
 
 let location_liveness (f : Func.t) =
   let n = Func.num_blocks f in
-  let gen = Array.make n Ids.IntSet.empty in
-  let kill = Array.make n Ids.IntSet.empty in
+  let gen = Array.init (max n 1) (fun _ -> Bitset.empty ()) in
+  let kill = Array.init (max n 1) (fun _ -> Bitset.empty ()) in
   Func.iter_blocks
     (fun b ->
-      let g = ref Ids.IntSet.empty and k = ref Ids.IntSet.empty in
-      let use l = if not (Ids.IntSet.mem l !k) then g := Ids.IntSet.add l !g in
-      let def l = k := Ids.IntSet.add l !k in
-      List.iter
+      let g = gen.(b.bid) and k = kill.(b.bid) in
+      let use l = if not (Bitset.mem k l) then Bitset.add g l in
+      let def l = Bitset.add k l in
+      Iseq.iter
         (fun (i : Instr.t) ->
           List.iter (fun r -> use (loc_of_reg r)) (Instr.reg_uses i.op);
           List.iter (fun r -> use (loc_of_var r.Resource.base)) (Instr.mem_uses i.op);
@@ -54,35 +58,38 @@ let location_liveness (f : Func.t) =
           | Mphi _ | Print _ ->
               ())
         b.body;
-      List.iter (fun r -> use (loc_of_reg r)) (Block.term_uses b);
-      gen.(b.bid) <- !g;
-      kill.(b.bid) <- !k)
+      List.iter (fun r -> use (loc_of_reg r)) (Block.term_uses b))
     f;
-  let live_in = Array.make n Ids.IntSet.empty in
-  let live_out = Array.make n Ids.IntSet.empty in
+  let live_in = Array.init (max n 1) (fun _ -> Bitset.empty ()) in
+  let live_out = Array.init (max n 1) (fun _ -> Bitset.empty ()) in
+  let out_acc = Bitset.empty () in
+  let in_acc = Bitset.empty () in
+  let order = Cfg.postorder f in
   let changed = ref true in
   while !changed do
     changed := false;
     List.iter
       (fun bid ->
         let b = Func.block f bid in
-        let out =
-          List.fold_left
-            (fun acc s -> Ids.IntSet.union acc live_in.(s))
-            Ids.IntSet.empty (Block.succs b)
-        in
-        let inn =
-          Ids.IntSet.union gen.(bid) (Ids.IntSet.diff out kill.(bid))
-        in
+        Bitset.clear out_acc;
+        Block.iter_succs
+          (fun s -> ignore (Bitset.union_into ~into:out_acc live_in.(s)))
+          b;
+        Bitset.clear in_acc;
+        ignore (Bitset.union_into ~into:in_acc out_acc);
+        ignore (Bitset.diff_into ~into:in_acc kill.(bid));
+        ignore (Bitset.union_into ~into:in_acc gen.(bid));
         if
-          (not (Ids.IntSet.equal out live_out.(bid)))
-          || not (Ids.IntSet.equal inn live_in.(bid))
+          (not (Bitset.equal out_acc live_out.(bid)))
+          || not (Bitset.equal in_acc live_in.(bid))
         then begin
-          live_out.(bid) <- out;
-          live_in.(bid) <- inn;
+          Bitset.clear live_out.(bid);
+          ignore (Bitset.union_into ~into:live_out.(bid) out_acc);
+          Bitset.clear live_in.(bid);
+          ignore (Bitset.union_into ~into:live_in.(bid) in_acc);
           changed := true
         end)
-      (Cfg.postorder f)
+      order
   done;
   live_in
 
@@ -99,18 +106,21 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
   Hashtbl.reset f.mver;
   let live_in = location_liveness f in
   (* 1. definition sites per location *)
-  let def_blocks : (int, Ids.IntSet.t) Hashtbl.t = Hashtbl.create 64 in
+  let def_blocks : (int, Bitset.t) Hashtbl.t = Hashtbl.create 64 in
   let add_def l bid =
     let cur =
       match Hashtbl.find_opt def_blocks l with
       | Some s -> s
-      | None -> Ids.IntSet.empty
+      | None ->
+          let s = Bitset.empty () in
+          Hashtbl.replace def_blocks l s;
+          s
     in
-    Hashtbl.replace def_blocks l (Ids.IntSet.add bid cur)
+    Bitset.add cur bid
   in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           (match Instr.reg_def i.op with
           | Some r -> add_def (loc_of_reg r) b.bid
@@ -136,12 +146,15 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
      target is renamed the original location is no longer recoverable
      from the instruction itself *)
   let phi_origin : (Ids.iid, int) Hashtbl.t = Hashtbl.create 64 in
+  (* every placed phi, so the source lists accumulated backwards during
+     renaming can be reversed once at the end *)
+  let placed_phis : Instr.t list ref = ref [] in
   Hashtbl.iter
     (fun l blocks ->
       let targets = idf blocks in
-      Ids.IntSet.iter
+      Bitset.iter
         (fun bid ->
-          if Ids.IntSet.mem l live_in.(bid) then begin
+          if Bitset.mem live_in.(bid) l then begin
             let b = Func.block f bid in
             let op =
               if l land 1 = 0 then
@@ -151,6 +164,7 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
             in
             let i = Func.mk_instr f op in
             Hashtbl.replace phi_origin i.iid l;
+            placed_phis := i :: !placed_phis;
             Block.add_phi b i
           end)
         targets)
@@ -216,7 +230,7 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
       fresh
     in
     (* phi targets *)
-    List.iter
+    Iseq.iter
       (fun (i : Instr.t) ->
         match i.op with
         | Rphi { dst; srcs } -> i.op <- Rphi { dst = def_reg dst; srcs }
@@ -225,7 +239,7 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
         | _ -> ())
       b.phis;
     (* body: uses then defs, in instruction order *)
-    List.iter
+    Iseq.iter
       (fun (i : Instr.t) ->
         let op = Instr.map_reg_uses top_reg i.op in
         let op = Instr.map_mem_uses (fun r -> top_mem r.Resource.base) op in
@@ -244,28 +258,39 @@ let run ?(engine = Cytron) (f : Func.t) : unit =
     | Ret (Some o) -> b.term <- Ret (Some (Instr.map_operand top_reg o))
     | Jmp _ | Ret None -> ());
     (* fill phi sources of successors with the names live at the end of
-       this block *)
-    List.iter
+       this block.  Sources are PREPENDED — O(1) instead of an append
+       that re-copies the list once per predecessor — and every placed
+       phi's list is reversed once after the walk, restoring the
+       visit order. *)
+    Block.iter_succs
       (fun s ->
         let sb = Func.block f s in
-        List.iter
+        Iseq.iter
           (fun (i : Instr.t) ->
             match Hashtbl.find_opt phi_origin i.iid with
             | None -> () (* pre-existing phi: none exist before SSA *)
             | Some l -> (
                 match i.op with
                 | Rphi { dst; srcs } ->
-                    i.op <- Rphi { dst; srcs = srcs @ [ (bid, top_reg (l / 2)) ] }
+                    i.op <- Rphi { dst; srcs = (bid, top_reg (l / 2)) :: srcs }
                 | Mphi { dst; srcs } ->
-                    i.op <- Mphi { dst; srcs = srcs @ [ (bid, top_mem (l / 2)) ] }
+                    i.op <- Mphi { dst; srcs = (bid, top_mem (l / 2)) :: srcs }
                 | _ -> ()))
           sb.phis)
-      (Block.succs b);
+      b;
     List.iter visit (Dom.children dom bid);
     List.iter pop_reg !pushed_regs;
     List.iter pop_mem !pushed_mems
   in
   visit f.entry;
+  (* restore predecessor-visit order in every placed phi's sources *)
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.op with
+      | Rphi { dst; srcs } -> i.op <- Rphi { dst; srcs = List.rev srcs }
+      | Mphi { dst; srcs } -> i.op <- Mphi { dst; srcs = List.rev srcs }
+      | _ -> ())
+    !placed_phis;
   (* entry versions for variables only ever used in unreachable-from-
      entry positions do not exist; nothing else to do *)
   Cfg.recompute_preds f

@@ -71,7 +71,7 @@ let run (f : Func.t) : unit =
   in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           match i.op with
           | Instr.Rphi { dst; srcs } ->
@@ -99,8 +99,8 @@ let run (f : Func.t) : unit =
   let unversion (r : Resource.t) = Resource.unversioned r.Resource.base in
   Func.iter_blocks
     (fun b ->
-      b.phis <- [];
-      List.iter
+      Iseq.clear b.phis;
+      Iseq.iter
         (fun (i : Instr.t) ->
           i.op <- Instr.map_mem_uses unversion i.op;
           i.op <- Instr.map_mem_defs unversion i.op)

@@ -164,18 +164,16 @@ let update_for_cloned_resources ?(engine = Cytron)
       f;
     let old_res = !old_res in
     (* --- Step 1: place phis at the IDF of all definition blocks --- *)
-    let index = Ssa_index.build f in
+    let index = Ssa_index.build_for_base f ~base in
     let def_bb r =
       match Ssa_index.def_of index r with
       | Ssa_index.Def_entry -> f.entry
       | Ssa_index.Def_at { bid; _ } -> bid
     in
-    let init_def_bbs =
-      Resource.ResSet.fold
-        (fun r acc -> Ids.IntSet.add (def_bb r) acc)
-        (Resource.ResSet.union old_res cloned_res)
-        Ids.IntSet.empty
-    in
+    let init_def_bbs = Bitset.empty () in
+    Resource.ResSet.iter
+      (fun r -> Bitset.add init_def_bbs (def_bb r))
+      (Resource.ResSet.union old_res cloned_res);
     let idf_set =
       match engine with
       | Cytron ->
@@ -191,7 +189,7 @@ let update_for_cloned_resources ?(engine = Cytron)
       Hashtbl.create 16
     in
     let placed : (Ids.iid, Ids.bid) Hashtbl.t = Hashtbl.create 16 in
-    Ids.IntSet.iter
+    Bitset.iter
       (fun bid ->
         let b = Func.block f bid in
         let dst = Func.fresh_ver f base in
@@ -205,8 +203,8 @@ let update_for_cloned_resources ?(engine = Cytron)
         phi_targets := Resource.ResSet.add dst !phi_targets)
       idf_set;
     Rp_obs.Trace.add_attr "phis_placed"
-      (string_of_int (Ids.IntSet.cardinal idf_set));
-    Rp_obs.Metrics.add "ssa.update.phis_placed" (Ids.IntSet.cardinal idf_set);
+      (string_of_int (Bitset.cardinal idf_set));
+    Rp_obs.Metrics.add "ssa.update.phis_placed" (Bitset.cardinal idf_set);
     let all_def =
       Resource.ResSet.union
         (Resource.ResSet.union old_res cloned_res)
@@ -217,11 +215,11 @@ let update_for_cloned_resources ?(engine = Cytron)
     let pos_of : (Ids.iid, int) Hashtbl.t = Hashtbl.create 64 in
     Func.iter_blocks
       (fun b ->
-        let nphis = List.length b.phis in
-        List.iteri
+        let nphis = Iseq.length b.phis in
+        Iseq.iteri
           (fun k (i : Instr.t) -> Hashtbl.replace pos_of i.iid (k - nphis))
           b.phis;
-        List.iteri
+        Iseq.iteri
           (fun k (i : Instr.t) -> Hashtbl.replace pos_of i.iid k)
           b.body)
       f;
@@ -280,7 +278,7 @@ let update_for_cloned_resources ?(engine = Cytron)
     in
     Func.iter_blocks
       (fun b ->
-        List.iter
+        Iseq.iter
           (fun (i : Instr.t) ->
             let p = Hashtbl.find pos_of i.iid in
             i.op <-
@@ -293,7 +291,7 @@ let update_for_cloned_resources ?(engine = Cytron)
           b.body;
         (* phi-source uses of pre-existing phis: virtual use at the end
            of the predecessor *)
-        List.iter
+        Iseq.iter
           (fun (i : Instr.t) ->
             match i.op with
             | Instr.Mphi { dst; srcs } when not (Hashtbl.mem placed i.iid) ->

@@ -24,7 +24,7 @@ type t = {
   uses : use_site list Resource.ResMap.t;
 }
 
-let build (f : Func.t) : t =
+let build_filtered (keep : Resource.t -> bool) (f : Func.t) : t =
   let defs = ref Resource.ResMap.empty in
   let uses = ref Resource.ResMap.empty in
   let add_use r u =
@@ -38,16 +38,29 @@ let build (f : Func.t) : t =
       Block.iter_instrs
         (fun i ->
           List.iter
-            (fun r -> defs := Resource.ResMap.add r (Def_at { bid = b.bid; instr = i }) !defs)
+            (fun r ->
+              if keep r then
+                defs := Resource.ResMap.add r (Def_at { bid = b.bid; instr = i }) !defs)
             (Instr.mem_defs i.op);
-          List.iter (fun r -> add_use r (Use_at { bid = b.bid; instr = i })) (Instr.mem_uses i.op);
+          List.iter
+            (fun r -> if keep r then add_use r (Use_at { bid = b.bid; instr = i }))
+            (Instr.mem_uses i.op);
           List.iter
             (fun (pred, r) ->
-              add_use r (Use_phi_src { phi_bid = b.bid; pred; instr = i }))
+              if keep r then
+                add_use r (Use_phi_src { phi_bid = b.bid; pred; instr = i }))
             (Instr.mphi_srcs i.op))
         b)
     f;
   { defs = !defs; uses = !uses }
+
+let build (f : Func.t) : t = build_filtered (fun _ -> true) f
+
+(* Promotion and the incremental updater only ever query resources of
+   one variable; indexing just that base skips nearly every map
+   operation of the full build. *)
+let build_for_base (f : Func.t) ~(base : Ids.vid) : t =
+  build_filtered (fun (r : Resource.t) -> r.Resource.base = base) f
 
 (* Definition site; a resource never stored to is defined at entry. *)
 let def_of t r =

@@ -16,6 +16,12 @@ type t
 
 val build : Func.t -> t
 
+(** Index only the resources of one variable.  Same scan, but skips the
+    map bookkeeping for every other base — promotion and the
+    incremental updater query a single web's variable, so this is the
+    version they want. *)
+val build_for_base : Func.t -> base:Ids.vid -> t
+
 (** A resource never stored to is defined at entry. *)
 val def_of : t -> Resource.t -> def_site
 

@@ -37,12 +37,12 @@ let check (tab : Resource.table) (f : Func.t) : error list =
   let block_of : (Ids.iid, Ids.bid) Hashtbl.t = Hashtbl.create 64 in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           Hashtbl.replace pos i.iid (-1);
           Hashtbl.replace block_of i.iid b.bid)
         b.phis;
-      List.iteri
+      Iseq.iteri
         (fun k (i : Instr.t) ->
           Hashtbl.replace pos i.iid k;
           Hashtbl.replace block_of i.iid b.bid)
@@ -123,7 +123,7 @@ let check (tab : Resource.table) (f : Func.t) : error list =
   Func.iter_blocks
     (fun b ->
       let where = Printf.sprintf "%s/b%d" f.fname b.bid in
-      List.iteri
+      Iseq.iteri
         (fun k (i : Instr.t) ->
           List.iter
             (fun r -> check_reg_use where r ~use_bid:b.bid ~use_pos:k)
@@ -136,7 +136,7 @@ let check (tab : Resource.table) (f : Func.t) : error list =
         (fun r -> check_reg_use where r ~use_bid:b.bid ~use_pos:max_pos)
         (Block.term_uses b);
       (* phi sources: uses at the end of the predecessor *)
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           List.iter
             (fun (p, r) -> check_reg_use where r ~use_bid:p ~use_pos:max_pos)

@@ -87,7 +87,7 @@ let test_example2 engine () =
   (* "the use at b5 renamed x3" — the target of a new phi at b5 joining
      the two clones *)
   let b5 = Func.block f 5 in
-  (match b5.Block.phis with
+  (match Iseq.to_list b5.Block.phis with
   | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
       Alcotest.(check bool) "b5 use is the phi target" true
         (Resource.equal (load_res u5) dst);
@@ -98,9 +98,13 @@ let test_example2 engine () =
   (* "the phi instruction at b6 is dead and can be eliminated"; same
      for the phi at b1 (x5), and x0's original definition *)
   Alcotest.(check (list int)) "no phi at b6" []
-    (List.map (fun (i : Instr.t) -> i.Instr.iid) (Func.block f 6).Block.phis);
+    (List.map
+       (fun (i : Instr.t) -> i.Instr.iid)
+       (Iseq.to_list (Func.block f 6).Block.phis));
   Alcotest.(check (list int)) "no phi at b1" []
-    (List.map (fun (i : Instr.t) -> i.Instr.iid) (Func.block f 1).Block.phis);
+    (List.map
+       (fun (i : Instr.t) -> i.Instr.iid)
+       (Iseq.to_list (Func.block f 1).Block.phis));
   Alcotest.(check bool) "dead x0 store deleted" true
     (Block.find_instr (Func.block f 1) ~iid:store_x0.Instr.iid = None);
   ignore x
@@ -123,7 +127,7 @@ let test_example2_store_stays_live () =
   Alcotest.(check bool) "b4 use renamed" true
     (Resource.equal (load_res u4) clone2);
   (* b5 joins x0 (via b3) and the clone (via b2) *)
-  match (Func.block f 5).Block.phis with
+  match Iseq.to_list (Func.block f 5).Block.phis with
   | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
       Alcotest.(check bool) "b5 use is phi target" true
         (Resource.equal (load_res u5) dst);
@@ -185,7 +189,7 @@ let test_straightline_clone () =
   Alcotest.(check bool) "use renamed to clone" true
     (Resource.equal (load_res u) clone);
   (* original store is dead now *)
-  Alcotest.(check int) "b0 store removed" 0 (List.length b0.Block.body)
+  Alcotest.(check int) "b0 store removed" 0 (Iseq.length b0.Block.body)
 
 let test_empty_cloned_set () =
   let prog, f, _, _, _ = build_example2 () in

@@ -88,24 +88,24 @@ let test_block_surgery () =
   Block.insert_at_end b i2;
   let i3 = Func.mk_instr f (Instr.Copy { dst = 2; src = Imm 3 }) in
   Block.insert_before b ~iid:i2.Instr.iid i3;
-  let order = List.map (fun (i : Instr.t) -> i.iid) b.Block.body in
+  let order = List.map (fun (i : Instr.t) -> i.iid) (Iseq.to_list b.Block.body) in
   Alcotest.(check (list int)) "insert_before order"
     [ i1.Instr.iid; i3.Instr.iid; i2.Instr.iid ]
     order;
   let i4 = Func.mk_instr f (Instr.Copy { dst = 3; src = Imm 4 }) in
   Block.insert_after b ~iid:i1.Instr.iid i4;
-  let order = List.map (fun (i : Instr.t) -> i.iid) b.Block.body in
+  let order = List.map (fun (i : Instr.t) -> i.iid) (Iseq.to_list b.Block.body) in
   Alcotest.(check (list int)) "insert_after order"
     [ i1.Instr.iid; i4.Instr.iid; i3.Instr.iid; i2.Instr.iid ]
     order;
   Block.remove_instr b ~iid:i3.Instr.iid;
-  Alcotest.(check int) "removed" 3 (List.length b.Block.body);
+  Alcotest.(check int) "removed" 3 (Iseq.length b.Block.body);
   Alcotest.(check bool) "find present" true (Block.find_instr b ~iid:i4.Instr.iid <> None);
   Alcotest.(check bool) "find absent" true (Block.find_instr b ~iid:i3.Instr.iid = None);
   let i5 = Func.mk_instr f (Instr.Copy { dst = 4; src = Imm 5 }) in
   Block.insert_at_start b i5;
   Alcotest.(check int) "insert_at_start position" i5.Instr.iid
-    (List.hd b.Block.body).Instr.iid;
+    (Option.get (Iseq.first b.Block.body)).Instr.iid;
   Alcotest.check_raises "insert before missing" Not_found (fun () ->
       Block.insert_before b ~iid:99999 i5)
 

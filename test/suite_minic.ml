@@ -237,7 +237,7 @@ let count_ops pred prog =
     (fun acc (f : Func.t) ->
       Func.fold_blocks
         (fun acc b ->
-          List.fold_left
+          Iseq.fold_left
             (fun acc (i : Instr.t) -> if pred i.Instr.op then acc + 1 else acc)
             acc b.Block.body)
         acc f)
@@ -293,7 +293,7 @@ int main() { touch(); return g1 + g2; }
   let found = ref false in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           match i.Instr.op with
           | Instr.Call { mdefs; muses; _ } ->

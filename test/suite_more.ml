@@ -44,7 +44,7 @@ let test_update_clone_in_loop () =
   Verify.assert_ok prog.Func.vartab f;
   (* a phi at the header must join the original and the clone, and the
      use must read it (or a phi derived from it) *)
-  (match (Func.block f 1).Block.phis with
+  (match Iseq.to_list (Func.block f 1).Block.phis with
   | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
       Alcotest.(check bool) "phi joins original and clone" true
         (List.sort compare (List.map snd srcs)
@@ -57,7 +57,7 @@ let test_update_clone_in_loop () =
   | _ -> Alcotest.fail "expected one phi at the loop header");
   (* the original store is still live (it reaches the phi via b0) *)
   Alcotest.(check int) "original store kept" 1
-    (List.length (Func.block f 0).Block.body)
+    (Iseq.length (Func.block f 0).Block.body)
 
 (* Two clones in the same block: the later one shadows the earlier for
    downstream uses. *)
@@ -91,7 +91,7 @@ let test_update_two_clones_same_block () =
         (Resource.equal src c2)
   | _ -> Alcotest.fail "use vanished");
   (* both x1's store and c1's store are dead and removed *)
-  Alcotest.(check int) "b0 emptied" 0 (List.length b0.Block.body);
+  Alcotest.(check int) "b0 emptied" 0 (Iseq.length b0.Block.body);
   Alcotest.(check bool) "c1 store removed" true
     (Block.find_instr b1 ~iid:s1.Instr.iid = None)
 
@@ -152,7 +152,7 @@ let test_convert_new_variable () =
   Verify.assert_ok prog.Func.vartab f;
   (* a phi at the join merges the two fresh store versions and the use
      reads it *)
-  match (Func.block f 3).Block.phis with
+  match Iseq.to_list (Func.block f 3).Block.phis with
   | [ { Instr.op = Instr.Mphi { dst; srcs }; _ } ] ->
       Alcotest.(check int) "two sources" 2 (List.length srcs);
       List.iter

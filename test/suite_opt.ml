@@ -68,7 +68,7 @@ let test_copyprop_chains () =
   Rp_opt.Cleanup.run f;
   (* everything should fold to print 5 *)
   Alcotest.(check int) "copies swept" 0 (count is_copy prog);
-  match b.Block.body with
+  match Iseq.to_list b.Block.body with
   | [ { Instr.op = Instr.Print { src = Imm 5 }; _ } ] -> ()
   | _ -> Alcotest.fail "expected a single print of the constant"
 

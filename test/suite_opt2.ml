@@ -64,7 +64,7 @@ int main() {
     (fun (f : Func.t) ->
       Func.iter_blocks
         (fun b ->
-          List.iter
+          Iseq.iter
             (fun (i : Instr.t) ->
               match i.Instr.op with
               | Instr.Print { src = Instr.Imm 14 } -> folded := true
@@ -131,7 +131,7 @@ int main() {
     (fun (f : Func.t) ->
       Func.iter_blocks
         (fun b ->
-          List.iter
+          Iseq.iter
             (fun (i : Instr.t) ->
               match i.Instr.op with
               | Instr.Print { src = Instr.Imm 7 } -> folded := true

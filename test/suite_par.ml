@@ -190,4 +190,7 @@ let suite =
         Alcotest.test_case
           ("jobs=1 = jobs=4: " ^ w.R.name)
           `Slow (test_determinism w))
-      R.all
+      (* the synthetic scaling workload rides along with the eight seed
+         programs: its many same-shaped functions are what actually
+         exercises work stealing across domains *)
+      (R.all @ [ R.generated 60 ])

@@ -123,7 +123,7 @@ int main() {
   let found = ref false in
   Func.iter_blocks
     (fun b ->
-      List.iter
+      Iseq.iter
         (fun (i : Instr.t) ->
           match i.Instr.op with
           | Instr.Call { mdefs; muses; _ } ->
@@ -252,8 +252,10 @@ int main() {
           Func.iter_blocks
             (fun b ->
               Alcotest.(check (list int)) "no phis" []
-                (List.map (fun (i : Instr.t) -> i.Instr.iid) b.Block.phis);
-              List.iter
+                (List.map
+                   (fun (i : Instr.t) -> i.Instr.iid)
+                   (Iseq.to_list b.Block.phis));
+              Iseq.iter
                 (fun (i : Instr.t) ->
                   List.iter
                     (fun (r : Resource.t) ->
