@@ -7,8 +7,13 @@
      dune exec bench/main.exe -- quick       -- skip the Bechamel timings
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
-              ablation3 ablation4 ablation5 scaling gen golden json
-              bechamel
+              ablation3 ablation4 ablation5 scaling gen serve golden
+              json bechamel
+
+   "serve" runs the compile daemon over the in-process loopback
+   transport: a cold round (all cache misses) against a warm round of
+   concurrent clients (all hits), reporting mean/p50/p99 latency,
+   request rate and hit ratios.
 
    "scaling" times the compile-only pipeline (Pipeline.optimise)
    serially and on 2 and 4 domains, per workload, with the speedup.
@@ -675,6 +680,138 @@ let gen sizes =
   gen_results := rs
 
 (* ------------------------------------------------------------------ *)
+(* Serve: throughput of the compile daemon over the loopback transport.
+   A cold round (every seed workload once, all cache misses) against a
+   warm round (concurrent clients replaying the same requests, all
+   cache hits) — the cache is the daemon's whole performance story, so
+   the artifact records both rounds' latency distributions, the warm
+   round's request rate and both hit ratios. *)
+
+type serve_result = {
+  sv_clients : int;
+  sv_cold_reqs : int;
+  sv_warm_reqs : int;
+  sv_cold_mean_ms : float;
+  sv_cold_p50_ms : float;
+  sv_cold_p99_ms : float;
+  sv_warm_mean_ms : float;
+  sv_warm_p50_ms : float;
+  sv_warm_p99_ms : float;
+  sv_warm_rps : float;
+  sv_cold_hit_ratio : float;
+  sv_warm_hit_ratio : float;
+}
+
+let serve_results : serve_result option ref = ref None
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let serve () =
+  rule ();
+  print_endline
+    "Serve: compile daemon over the in-process loopback transport";
+  print_endline
+    " (cold round = every workload once, misses; warm round = 4 concurrent";
+  print_endline "  clients replaying the same requests, hits)";
+  rule ();
+  let module Server = Rp_serve.Server in
+  let module Client = Rp_serve.Client in
+  let module Proto = Rp_serve.Protocol in
+  let clients = 4 in
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.max_inflight = clients * 2 }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let request (w : R.workload) =
+    {
+      Proto.target = `Workload w.R.name;
+      options = { P.default_options with fuel = 80_000_000; trace = true };
+      deterministic = true;
+    }
+  in
+  let timed_compile c w =
+    let t0 = Unix.gettimeofday () in
+    (match Client.compile c (request w) with
+    | Proto.Report _ -> ()
+    | Proto.Error { message; _ } -> failwith ("serve bench: " ^ message)
+    | _ -> failwith "serve bench: unexpected reply");
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  let hit_ratio (before : Rp_serve.Cache.stats) (after : Rp_serve.Cache.stats)
+      =
+    let h = after.Rp_serve.Cache.hits - before.Rp_serve.Cache.hits in
+    let m = after.Rp_serve.Cache.misses - before.Rp_serve.Cache.misses in
+    if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+  in
+  (* cold round: one client, every workload once *)
+  let s0 = Rp_serve.Cache.stats (Server.cache srv) in
+  let cold =
+    let c = Client.of_conn (Server.loopback srv) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    List.map (fun w -> timed_compile c w) R.all
+  in
+  let s1 = Rp_serve.Cache.stats (Server.cache srv) in
+  (* warm round: [clients] threads, each replaying the full list *)
+  let warm_t0 = Unix.gettimeofday () in
+  let warm =
+    let results = Array.make clients [] in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              let c = Client.of_conn (Server.loopback srv) in
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              results.(i) <- List.map (fun w -> timed_compile c w) R.all)
+            ())
+    in
+    List.iter Thread.join threads;
+    List.concat (Array.to_list results)
+  in
+  let warm_s = Unix.gettimeofday () -. warm_t0 in
+  let s2 = Rp_serve.Cache.stats (Server.cache srv) in
+  let summarise l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+    (mean, percentile a 0.50, percentile a 0.99)
+  in
+  let cold_mean, cold_p50, cold_p99 = summarise cold in
+  let warm_mean, warm_p50, warm_p99 = summarise warm in
+  let r =
+    {
+      sv_clients = clients;
+      sv_cold_reqs = List.length cold;
+      sv_warm_reqs = List.length warm;
+      sv_cold_mean_ms = cold_mean;
+      sv_cold_p50_ms = cold_p50;
+      sv_cold_p99_ms = cold_p99;
+      sv_warm_mean_ms = warm_mean;
+      sv_warm_p50_ms = warm_p50;
+      sv_warm_p99_ms = warm_p99;
+      sv_warm_rps = float_of_int (List.length warm) /. warm_s;
+      sv_cold_hit_ratio = hit_ratio s0 s1;
+      sv_warm_hit_ratio = hit_ratio s1 s2;
+    }
+  in
+  serve_results := Some r;
+  Printf.printf "%-6s %5s %12s %12s %12s %10s %6s\n" "round" "reqs" "mean"
+    "p50" "p99" "req/s" "hits";
+  Printf.printf "%-6s %5d %9.3f ms %9.3f ms %9.3f ms %10s %5.0f%%\n" "cold"
+    r.sv_cold_reqs r.sv_cold_mean_ms r.sv_cold_p50_ms r.sv_cold_p99_ms "-"
+    (r.sv_cold_hit_ratio *. 100.);
+  Printf.printf "%-6s %5d %9.3f ms %9.3f ms %9.3f ms %10.1f %5.0f%%\n" "warm"
+    r.sv_warm_reqs r.sv_warm_mean_ms r.sv_warm_p50_ms r.sv_warm_p99_ms
+    r.sv_warm_rps
+    (r.sv_warm_hit_ratio *. 100.);
+  Printf.printf "warm-over-cold mean speedup: %.1fx\n"
+    (r.sv_cold_mean_ms /. r.sv_warm_mean_ms)
+
+(* ------------------------------------------------------------------ *)
 (* Golden check: the seed workloads' static load/store counts.  These
    are promotion *results* (Table 1 data), so any drift means the
    optimiser changed behaviour — CI fails on it.  Update the table
@@ -835,6 +972,36 @@ let json_artifact () =
                        ]
                    | None -> []))
                !gen_results) );
+        ( "serve",
+          (* filled when the "serve" artifact ran in this invocation *)
+          match !serve_results with
+          | None -> J.Null
+          | Some r ->
+              J.Obj
+                [
+                  ("clients", J.Int r.sv_clients);
+                  ( "cold",
+                    J.Obj
+                      [
+                        ("requests", J.Int r.sv_cold_reqs);
+                        ("mean_ms", J.Float r.sv_cold_mean_ms);
+                        ("p50_ms", J.Float r.sv_cold_p50_ms);
+                        ("p99_ms", J.Float r.sv_cold_p99_ms);
+                        ("hit_ratio", J.Float r.sv_cold_hit_ratio);
+                      ] );
+                  ( "warm",
+                    J.Obj
+                      [
+                        ("requests", J.Int r.sv_warm_reqs);
+                        ("mean_ms", J.Float r.sv_warm_mean_ms);
+                        ("p50_ms", J.Float r.sv_warm_p50_ms);
+                        ("p99_ms", J.Float r.sv_warm_p99_ms);
+                        ("req_per_s", J.Float r.sv_warm_rps);
+                        ("hit_ratio", J.Float r.sv_warm_hit_ratio);
+                      ] );
+                  ( "warm_speedup",
+                    J.Float (r.sv_cold_mean_ms /. r.sv_warm_mean_ms) );
+                ] );
       ]
   in
   Out_channel.with_open_text json_file (fun oc ->
@@ -929,6 +1096,7 @@ let () =
   if want "scaling" then scaling ();
   if want "gen" then
     gen (if gen_sizes = [] then default_gen_sizes else gen_sizes);
+  if want "serve" then serve ();
   if want "json" then json_artifact ();
   (* opt-in: the CI drift gate, not part of the default sweep *)
   if List.mem "golden" args then golden ();

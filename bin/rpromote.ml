@@ -4,13 +4,22 @@
      rpromote promote FILE        run the full pipeline, report counts
      rpromote dump FILE           print the IR at each pipeline stage
      rpromote workloads           list the built-in benchmark programs
+     rpromote serve               run the compile daemon
+     rpromote client FILE        compile through a running daemon
 
    A FILE of "-" reads from stdin; built-in workload names (go, li,
-   ijpeg, ...) are accepted wherever a file is. *)
+   ijpeg, ...) are accepted wherever a file is.
+
+   Exit codes: 0 success, 1 input or runtime error (bad source, failed
+   run, unreachable daemon), 2 usage error (bad flags or arguments). *)
 
 module P = Rp_core.Pipeline
 module I = Rp_interp.Interp
 open Rp_ir
+
+(* a bad flag *value* discovered after cmdliner parsing (unknown
+   engine name, --jobs 0, ...): usage error, exit code 2 *)
+exception Usage_error of string
 
 let read_source path =
   match Rp_workloads.Registry.find path with
@@ -20,7 +29,8 @@ let read_source path =
       else In_channel.with_open_text path In_channel.input_all
 
 (* run a command body, mapping the pipeline's exceptions to clean
-   one-line diagnostics and exit code 1 *)
+   one-line diagnostics and the exit-code contract above.  A real
+   [Invalid_argument] is a bug and must propagate as one. *)
 let guarded f =
   try f () with
   | Rp_minic.Lexer.Error m
@@ -35,14 +45,42 @@ let guarded f =
   | Sys_error m ->
       Printf.eprintf "rpromote: %s\n" m;
       1
-  | Invalid_argument m ->
-      Printf.eprintf "rpromote: %s\n" m;
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "rpromote: %s: %s%s\n" fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
       1
+  | Rp_serve.Client.Transport_error m ->
+      Printf.eprintf "rpromote: transport error: %s\n" m;
+      1
+  | Usage_error m ->
+      Printf.eprintf "rpromote: %s\n" m;
+      2
 
 let engine_of_string s =
   match Rp_ssa.Incremental.engine_of_string s with
   | Some e -> e
-  | None -> raise (Invalid_argument ("unknown IDF engine: " ^ s))
+  | None -> raise (Usage_error ("unknown IDF engine: " ^ s))
+
+(* pipeline options from the promote/client flag set *)
+let mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
+    ~min_profit ~checkpoints ~trace ~jobs () =
+  {
+    P.promote =
+      {
+        Rp_core.Promote.engine = engine_of_string engine;
+        allow_store_removal = not no_store_removal;
+        min_profit;
+        insert_dummies = true;
+      };
+    profile = (if static_profile then P.Static_estimate else P.Measured);
+    fuel;
+    singleton_deref;
+    checkpoints;
+    (* the JSON report carries the per-pass timings, so --json
+       implies collecting the trace *)
+    trace;
+    jobs;
+  }
 
 (* ------------------------------------------------------------------ *)
 
@@ -67,29 +105,14 @@ let emit_json ~label ~dest report =
 let cmd_promote path fuel static_profile no_store_removal singleton_deref
     engine min_profit json trace checkpoints jobs deterministic =
  guarded @@ fun () ->
-  if jobs < 1 then raise (Invalid_argument "--jobs must be at least 1");
+  if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   Rp_obs.Trace.set_deterministic deterministic;
   let src = read_source path in
-  let cfg =
-    {
-      Rp_core.Promote.engine = engine_of_string engine;
-      allow_store_removal = not no_store_removal;
-      min_profit;
-      insert_dummies = true;
-    }
-  in
   let options =
-    {
-      P.promote = cfg;
-      profile = (if static_profile then P.Static_estimate else P.Measured);
-      fuel;
-      singleton_deref;
-      checkpoints;
-      (* the JSON report carries the per-pass timings, so --json
-         implies collecting the trace *)
-      trace = trace || json <> None;
-      jobs;
-    }
+    mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
+      ~min_profit ~checkpoints
+      ~trace:(trace || json <> None)
+      ~jobs ()
   in
   let report = P.run ~options src in
   (match json with
@@ -169,9 +192,9 @@ let cmd_dump path stage =
       let report = P.run src in
       dump report.P.prog
   | s ->
-      prerr_endline
-        ("unknown stage " ^ s ^ " (want lowered|normalised|ssa|promoted)");
-      2
+      raise
+        (Usage_error
+           ("unknown stage " ^ s ^ " (want lowered|normalised|ssa|promoted)"))
 
 let cmd_workloads () =
   List.iter
@@ -182,9 +205,117 @@ let cmd_workloads () =
   0
 
 (* ------------------------------------------------------------------ *)
+(* Compile service *)
+
+module Server = Rp_serve.Server
+module Client = Rp_serve.Client
+module Proto = Rp_serve.Protocol
+
+let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
+ guarded @@ fun () ->
+  if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
+  if max_inflight < 1 then
+    raise (Usage_error "--max-inflight must be at least 1");
+  if deadline < 0.0 then raise (Usage_error "--deadline must not be negative");
+  if cache_mb < 0 then raise (Usage_error "--cache-mb must not be negative");
+  if cache_entries < 0 then
+    raise (Usage_error "--cache-entries must not be negative");
+  let srv =
+    Server.create
+      ~config:
+        {
+          Server.jobs;
+          max_inflight;
+          deadline_s = deadline;
+          cache_max_bytes = cache_mb * 1024 * 1024;
+          cache_max_entries = cache_entries;
+        }
+      ()
+  in
+  Printf.eprintf "rpromote: serving on %s\n%!" socket;
+  Server.serve_unix srv ~path:socket;
+  Printf.eprintf "rpromote: daemon stopped\n%!";
+  0
+
+let cmd_client socket path op fuel static_profile no_store_removal
+    singleton_deref engine min_profit json deterministic =
+ guarded @@ fun () ->
+  let with_client f =
+    let c = Client.connect ~path:socket in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+  in
+  match op with
+  | `Conflict ->
+      raise (Usage_error "--ping, --stats and --shutdown are exclusive")
+  | `Ping ->
+      with_client @@ fun c ->
+      if Client.ping c then begin
+        print_endline "pong";
+        0
+      end
+      else begin
+        prerr_endline "rpromote: daemon did not answer ping";
+        1
+      end
+  | `Stats ->
+      with_client @@ fun c ->
+      print_string (Rp_obs.Json.to_string (Client.stats c));
+      0
+  | `Shutdown ->
+      with_client @@ fun c ->
+      if Client.shutdown c then 0
+      else begin
+        prerr_endline "rpromote: daemon did not acknowledge shutdown";
+        1
+      end
+  | `Compile -> (
+      let path =
+        match path with
+        | Some p -> p
+        | None -> raise (Usage_error "client: FILE required to compile")
+      in
+      let target =
+        match Rp_workloads.Registry.find path with
+        | Some w -> `Workload w.Rp_workloads.Registry.name
+        | None -> `Source (read_source path)
+      in
+      let options =
+        mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref
+          ~engine ~min_profit ~checkpoints:false ~trace:true ~jobs:1 ()
+      in
+      with_client @@ fun c ->
+      match Client.compile c { Proto.target; options; deterministic } with
+      | Proto.Report { cached; report } ->
+          (match json with
+          | "-" -> print_string report
+          | dest ->
+              Out_channel.with_open_text dest (fun oc -> output_string oc report));
+          Printf.eprintf "rpromote: %s\n" (if cached then "cache hit" else "compiled");
+          0
+      | Proto.Error { kind; message } ->
+          Printf.eprintf "rpromote: %s: %s\n"
+            (Proto.error_kind_to_string kind)
+            message;
+          1
+      | Proto.Pong | Proto.Stats_reply _ | Proto.Shutdown_ack ->
+          prerr_endline "rpromote: unexpected reply to compile request";
+          1)
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner plumbing *)
 
 open Cmdliner
+
+(* the exit-code contract, surfaced in every --help page *)
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1
+      ~doc:
+        "on input or runtime errors: unparseable source, a failed run, an \
+         unreachable daemon, a compile request the daemon refused.";
+    Cmd.Exit.info 2 ~doc:"on usage errors: unknown flags or bad argument values.";
+  ]
 
 let file_arg =
   Arg.(
@@ -200,7 +331,7 @@ let fuel_arg =
 
 let run_cmd =
   let doc = "interpret a MiniC program and print its output" in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const cmd_run $ file_arg $ fuel_arg)
+  Cmd.v (Cmd.info "run" ~doc ~exits) Term.(const cmd_run $ file_arg $ fuel_arg)
 
 let promote_cmd =
   let doc = "run the full register promotion pipeline and report counts" in
@@ -278,7 +409,7 @@ let promote_cmd =
              CI golden comparison).")
   in
   Cmd.v
-    (Cmd.info "promote" ~doc)
+    (Cmd.info "promote" ~doc ~exits)
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
@@ -292,19 +423,183 @@ let dump_cmd =
       & info [ "stage" ] ~docv:"STAGE"
           ~doc:"One of lowered, normalised, ssa, promoted.")
   in
-  Cmd.v (Cmd.info "dump" ~doc) Term.(const cmd_dump $ file_arg $ stage)
+  Cmd.v (Cmd.info "dump" ~doc ~exits) Term.(const cmd_dump $ file_arg $ stage)
 
 let baseline_cmd =
   let doc = "run the Lu-Cooper-style loop-based baseline instead" in
-  Cmd.v (Cmd.info "baseline" ~doc) Term.(const cmd_baseline $ file_arg $ fuel_arg)
+  Cmd.v (Cmd.info "baseline" ~doc ~exits) Term.(const cmd_baseline $ file_arg $ fuel_arg)
 
 let workloads_cmd =
   let doc = "list the built-in benchmark workloads" in
-  Cmd.v (Cmd.info "workloads" ~doc) Term.(const cmd_workloads $ const ())
+  Cmd.v (Cmd.info "workloads" ~doc ~exits) Term.(const cmd_workloads $ const ())
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/rpromote.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~env:(Cmd.Env.info "RPROMOTE_SOCKET")
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let doc = "run the compile daemon (Unix-domain socket, result cache)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Serves length-prefixed JSON compile requests over a Unix-domain \
+         socket, caching finished reports under a digest of (source, \
+         options, report schema). Responses under $(b,--deterministic) \
+         requests are byte-identical to one-shot $(b,rpromote promote \
+         --json -) runs. Stop it with SIGINT, SIGTERM or $(b,rpromote \
+         client --shutdown).";
+    ]
+  in
+  let jobs =
+    Arg.(
+      value & opt int Rp_serve.Server.default_config.Rp_serve.Server.jobs
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker-pool parallelism for compile requests.")
+  in
+  let max_inflight =
+    Arg.(
+      value
+      & opt int Rp_serve.Server.default_config.Rp_serve.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Shed compile requests (with a $(i,busy) error) beyond $(docv) \
+             in flight.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt float Rp_serve.Server.default_config.Rp_serve.Server.deadline_s
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request compile deadline; an expired request is answered \
+             with a $(i,timeout) error while the compile finishes into the \
+             cache. 0 disables.")
+  in
+  let cache_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "cache-mb" ] ~docv:"MIB" ~doc:"Result cache budget in MiB.")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt int Rp_serve.Server.default_config.Rp_serve.Server.cache_max_entries
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"Result cache entry bound.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man ~exits)
+    Term.(
+      const cmd_serve $ socket_arg $ jobs $ max_inflight $ deadline $ cache_mb
+      $ cache_entries)
+
+let client_cmd =
+  let doc = "compile through a running daemon" in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "MiniC source file, '-' for stdin, or a built-in workload name \
+             (resolved by the daemon). Required unless $(b,--ping), \
+             $(b,--stats) or $(b,--shutdown) is given.")
+  in
+  let op =
+    let ping =
+      Arg.(value & flag & info [ "ping" ] ~doc:"Only check the daemon is alive.")
+    in
+    let stats =
+      Arg.(
+        value & flag
+        & info [ "stats" ]
+            ~doc:"Print the daemon's stats report (JSON) and exit.")
+    in
+    let shutdown =
+      Arg.(
+        value & flag
+        & info [ "shutdown" ] ~doc:"Ask the daemon to shut down gracefully.")
+    in
+    let combine ping stats shutdown =
+      match (ping, stats, shutdown) with
+      | true, false, false -> `Ping
+      | false, true, false -> `Stats
+      | false, false, true -> `Shutdown
+      | false, false, false -> `Compile
+      | _ -> `Conflict
+    in
+    Term.(const combine $ ping $ stats $ shutdown)
+  in
+  let static_profile =
+    Arg.(
+      value & flag
+      & info [ "static-profile" ]
+          ~doc:"Use the static loop-depth frequency estimate instead of a profiling run.")
+  in
+  let no_store_removal =
+    Arg.(
+      value & flag
+      & info [ "no-store-removal" ] ~doc:"Disable store removal (ablation).")
+  in
+  let singleton_deref =
+    Arg.(
+      value & flag
+      & info [ "singleton-deref" ]
+          ~doc:"Lower unambiguous pointer dereferences as singleton accesses.")
+  in
+  let engine =
+    Arg.(
+      value & opt string "cytron"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"IDF engine for the SSA updater: cytron or sreedhar-gao.")
+  in
+  let min_profit =
+    Arg.(
+      value & opt float 0.0
+      & info [ "min-profit" ] ~docv:"X"
+          ~doc:"Minimum profit (weighted operation count) to promote a web.")
+  in
+  let json =
+    Arg.(
+      value & opt string "-"
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the daemon's JSON report to $(docv); '-' (default) for stdout.")
+  in
+  let deterministic =
+    Arg.(
+      value & flag
+      & info [ "deterministic" ]
+          ~env:(Cmd.Env.info "RPROMOTE_DETERMINISTIC")
+          ~doc:
+            "Ask for a deterministic report: byte-identical to a one-shot \
+             $(b,rpromote promote --deterministic --json -) run of the same \
+             input and flags.")
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc ~exits)
+    Term.(
+      const cmd_client $ socket_arg $ file $ op $ fuel_arg $ static_profile
+      $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
+      $ deterministic)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in
-  Cmd.group (Cmd.info "rpromote" ~doc)
-    [ run_cmd; promote_cmd; baseline_cmd; dump_cmd; workloads_cmd ]
+  Cmd.group (Cmd.info "rpromote" ~doc ~exits)
+    [
+      run_cmd;
+      promote_cmd;
+      baseline_cmd;
+      dump_cmd;
+      workloads_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* term_err 2: cmdliner's own flag-parsing failures land on the same
+   usage-error exit code as [Usage_error] *)
+let () = exit (Cmd.eval' ~term_err:2 main_cmd)

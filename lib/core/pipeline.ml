@@ -411,3 +411,25 @@ let json_report ?label (r : report) : J.t =
                  J.Obj [ ("name", J.Str name); ("promotion", stats_json s) ])
                r.per_function) );
       ])
+
+(* One-shot-equivalent run: what a fresh CLI process would produce.
+   The global observability state (trace sink and collection, metrics
+   registry, deterministic flag) is reset before and after, so a
+   long-lived caller gets the same bytes as [rpromote promote --json]
+   — provided it serialises calls, which the compile service does. *)
+let run_fresh_json ?label ?(deterministic = false) ~options (src : string) :
+    report * string =
+  let prev_sink = Trace.sink () and prev_det = Trace.deterministic () in
+  Trace.set_sink (if options.trace then Trace.Collect else Trace.Off);
+  Trace.reset ();
+  Metrics.reset ();
+  Trace.set_deterministic deterministic;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_deterministic prev_det;
+      Trace.set_sink prev_sink;
+      Trace.reset ();
+      Metrics.reset ())
+    (fun () ->
+      let r = run ~options src in
+      (r, J.to_string (json_report ?label r)))

@@ -102,3 +102,24 @@ val optimise :
     collected trace and the metrics snapshot. [label] names the source
     in the document. *)
 val json_report : ?label:string -> report -> Rp_obs.Json.t
+
+(** One-shot-equivalent run for long-lived processes (the compile
+    service): reset the global trace and metrics registries, set the
+    deterministic flag, run the pipeline and serialise {!json_report} —
+    exactly the bytes a fresh [rpromote promote --json -] process
+    would emit for the same source, options and flag. The trace sink
+    is switched to [Collect] when [options.trace] is set and restored
+    to its previous value (and the registries cleared again)
+    afterwards, also on exception.
+
+    The caller owns serialisation: the trace and metrics registries
+    are process-global, so two concurrent [run_fresh_json] calls (or
+    one racing any other instrumented work) would interleave their
+    observability state. The compile service holds one lock around
+    every call. *)
+val run_fresh_json :
+  ?label:string ->
+  ?deterministic:bool ->
+  options:options ->
+  string ->
+  report * string

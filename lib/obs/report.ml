@@ -1,8 +1,11 @@
 (* Report document frame.  Schema v2 adds a "timing" section of
    wall-clock milliseconds between the caller's sections and the
-   trace; [parse] still accepts v1 documents (which simply lack it). *)
+   trace; schema v3 admits an optional "serve" section (compile
+   service statistics — emitted by the daemon's stats documents and
+   the bench serve artifact, absent from ordinary pipeline reports).
+   [parse] still accepts v1 and v2 documents. *)
 
-let schema_version = 2
+let schema_version = 3
 
 let min_supported_version = 1
 

@@ -4,15 +4,17 @@
     version, tool name, timing, trace and metrics sections — and the
     callers contribute their own sections as {!Json.t} values.
 
-    Schema v2, top level: ["schema_version"] (int), ["tool"] (string),
+    Schema v3, top level: ["schema_version"] (int), ["tool"] (string),
     then the caller's sections, then ["timing"] (object of wall-clock
     milliseconds per phase — new in v2), ["passes"] (array of span
     objects: name, depth, start_ms, duration_ms, attrs) and
-    ["metrics"] (object with "counters" and "gauges"). v1 documents
-    are identical minus the ["timing"] section; {!parse} accepts
-    both. *)
+    ["metrics"] (object with "counters" and "gauges"). v3 additionally
+    admits an optional ["serve"] caller section (compile-service
+    statistics; see DESIGN.md "Service architecture"). v1 documents
+    are identical minus the ["timing"] section; {!parse} accepts v1,
+    v2 and v3. *)
 
-(** Current report schema version: 2. *)
+(** Current report schema version: 3. *)
 val schema_version : int
 
 (** Oldest schema {!parse} still accepts: 1. *)

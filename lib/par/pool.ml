@@ -22,7 +22,7 @@ type t = {
    [map] runs inline instead of feeding the queue it is blocking. *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
-let run_task (t : task) =
+let run_task t =
   let flag = Domain.DLS.get in_task in
   let saved = !flag in
   flag := true;
@@ -138,3 +138,65 @@ let map pool f xs =
   end
 
 let iter pool f xs = ignore (map pool (fun x -> f x) xs)
+
+(* ------------------------------------------------------------------ *)
+(* Futures: one-off tasks sharing the same queue as [map] batches.
+   The completion cell carries its own mutex/condition so a waiter
+   never contends with the pool lock while a compile runs. *)
+
+type 'a state = Fpending | Fdone of 'a | Ffailed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable fstate : 'a state;
+}
+
+let submit pool f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); fstate = Fpending } in
+  let run () =
+    let r =
+      try Fdone (run_task f)
+      with e -> Ffailed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fm;
+    fut.fstate <- r;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  if pool.pool_jobs = 1 || !(Domain.DLS.get in_task) then run ()
+  else begin
+    Mutex.lock pool.m;
+    if pool.stop then begin
+      (* the workers are gone; completing inline beats losing the task *)
+      Mutex.unlock pool.m;
+      run ()
+    end
+    else begin
+      Queue.add run pool.queue;
+      Condition.signal pool.work;
+      Mutex.unlock pool.m
+    end
+  end;
+  fut
+
+let poll fut =
+  Mutex.lock fut.fm;
+  let s = fut.fstate in
+  Mutex.unlock fut.fm;
+  match s with
+  | Fpending -> None
+  | Fdone v -> Some (Ok v)
+  | Ffailed (e, bt) -> Some (Error (e, bt))
+
+let await fut =
+  Mutex.lock fut.fm;
+  while match fut.fstate with Fpending -> true | _ -> false do
+    Condition.wait fut.fc fut.fm
+  done;
+  let s = fut.fstate in
+  Mutex.unlock fut.fm;
+  match s with
+  | Fdone v -> v
+  | Ffailed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Fpending -> assert false

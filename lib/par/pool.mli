@@ -35,6 +35,34 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [iter pool f xs] is [ignore (map pool f xs)]. *)
 val iter : t -> ('a -> unit) -> 'a list -> unit
 
+(** {2 Futures}
+
+    One-off asynchronous tasks for long-lived callers (the compile
+    service) that dispatch work as it arrives instead of in batches.
+    Futures share the pool's queue with {!map} batches; either side may
+    execute the other's tasks while draining. *)
+
+(** The pending/completed result of a {!submit}ted task. *)
+type 'a future
+
+(** [submit pool f] queues [f] for execution on a pool worker and
+    returns immediately. With no workers ([jobs = 1]) — or when called
+    from inside a pool task — [f] runs inline before [submit] returns,
+    so the future is already completed. A task submitted after
+    {!shutdown} also runs inline rather than being dropped. An
+    exception raised by [f] is captured in the future, never leaked
+    into a worker loop. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** Non-blocking completion check: [None] while the task is running,
+    otherwise the result or the captured exception with its
+    backtrace. *)
+val poll : 'a future -> ('a, exn * Printexc.raw_backtrace) result option
+
+(** Block until the task completes and return its result, re-raising a
+    captured exception with its original backtrace. *)
+val await : 'a future -> 'a
+
 (** Stop the workers and join their domains. Idempotent. Outstanding
     queued tasks are drained before the workers exit. *)
 val shutdown : t -> unit

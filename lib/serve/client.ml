@@ -1,0 +1,38 @@
+exception Transport_error of string
+
+type t = { conn : Protocol.conn }
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { conn = Protocol.conn_of_fd fd }
+
+let of_conn conn = { conn }
+let close c = c.conn.Protocol.close ()
+
+let roundtrip c (req : Protocol.request) : Protocol.response =
+  Protocol.send_request c.conn req;
+  match Protocol.recv_response c.conn with
+  | Protocol.Msg r -> r
+  | Protocol.End -> raise (Transport_error "connection closed by server")
+  | Protocol.Garbled m -> raise (Transport_error m)
+
+let compile c spec = roundtrip c (Protocol.Compile spec)
+
+let ping c = match roundtrip c Protocol.Ping with
+  | Protocol.Pong -> true
+  | _ -> false
+
+let stats c =
+  match roundtrip c Protocol.Stats with
+  | Protocol.Stats_reply doc -> doc
+  | Protocol.Error { message; _ } -> raise (Transport_error message)
+  | _ -> raise (Transport_error "unexpected reply to stats request")
+
+let shutdown c =
+  match roundtrip c Protocol.Shutdown with
+  | Protocol.Shutdown_ack -> true
+  | _ -> false

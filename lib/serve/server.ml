@@ -1,0 +1,529 @@
+(* The daemon.  Three kinds of execution context share a server value:
+   the accept loop (main thread of [serve_unix]), one systhread per
+   connection running [handle_conn], and the [Rp_par.Pool] worker
+   domains running compile futures.  Shared state is either atomic
+   (the shutdown flag), behind the server mutex (counters, inflight,
+   the connection registry), or behind [obs_lock] (the process-global
+   trace/metrics registries that [Pipeline.run_fresh_json] resets —
+   one compile or stats snapshot at a time, which is exactly the
+   condition under which responses are one-shot-identical). *)
+
+module J = Rp_obs.Json
+module P = Rp_core.Pipeline
+module Pool = Rp_par.Pool
+module Registry = Rp_workloads.Registry
+
+type config = {
+  jobs : int;
+  max_inflight : int;
+  deadline_s : float;
+  cache_max_bytes : int;
+  cache_max_entries : int;
+}
+
+let default_config =
+  {
+    jobs = 2;
+    max_inflight = 4;
+    deadline_s = 120.0;
+    cache_max_bytes = 64 * 1024 * 1024;
+    cache_max_entries = 1024;
+  }
+
+type counters = {
+  mutable req_compile : int;
+  mutable req_ping : int;
+  mutable req_stats : int;
+  mutable req_shutdown : int;
+  mutable resp_report : int;  (* compiled, not cached *)
+  mutable resp_cached : int;
+  mutable resp_error : int;  (* every error response, all kinds *)
+  mutable shed : int;  (* Busy responses *)
+  mutable timeouts : int;  (* Timeout responses *)
+  mutable protocol_errors : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Cache.t;
+  m : Mutex.t;
+  counters : counters;
+  mutable inflight : int;
+  stopping : bool Atomic.t;
+  obs_lock : Mutex.t;
+  conns : (int, unit -> unit) Hashtbl.t;  (* conn id -> close *)
+  mutable next_conn : int;
+  mutable threads : Thread.t list;  (* loopback + accept-loop handlers *)
+  mutable stopped : bool;  (* [stop] already ran to completion *)
+  started_at : float;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    pool = Pool.create ~jobs:(max config.jobs 1);
+    cache =
+      Cache.create ~max_bytes:config.cache_max_bytes
+        ~max_entries:config.cache_max_entries ();
+    m = Mutex.create ();
+    counters =
+      {
+        req_compile = 0;
+        req_ping = 0;
+        req_stats = 0;
+        req_shutdown = 0;
+        resp_report = 0;
+        resp_cached = 0;
+        resp_error = 0;
+        shed = 0;
+        timeouts = 0;
+        protocol_errors = 0;
+      };
+    inflight = 0;
+    stopping = Atomic.make false;
+    obs_lock = Mutex.create ();
+    conns = Hashtbl.create 16;
+    next_conn = 0;
+    threads = [];
+    stopped = false;
+    started_at = Unix.gettimeofday ();
+  }
+
+let config srv = srv.cfg
+let cache srv = srv.cache
+
+let locked srv f =
+  Mutex.lock srv.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.m) f
+
+let inflight srv = locked srv (fun () -> srv.inflight)
+let shutting_down srv = Atomic.get srv.stopping
+
+(* Only flips the atomic flag: safe from a signal handler; the accept
+   loop and the drain in [stop] observe it. *)
+let request_shutdown srv = Atomic.set srv.stopping true
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let stats_doc srv : J.t =
+  Mutex.lock srv.obs_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.obs_lock) @@ fun () ->
+  Cache.publish_metrics srv.cache;
+  let c = srv.counters in
+  let section =
+    locked srv @@ fun () ->
+    J.Obj
+      [
+        ("uptime_s", J.Float (Unix.gettimeofday () -. srv.started_at));
+        ("shutting_down", J.Bool (Atomic.get srv.stopping));
+        ("inflight", J.Int srv.inflight);
+        ( "limits",
+          J.Obj
+            [
+              ("jobs", J.Int srv.cfg.jobs);
+              ("max_inflight", J.Int srv.cfg.max_inflight);
+              ("deadline_s", J.Float srv.cfg.deadline_s);
+            ] );
+        ( "requests",
+          J.Obj
+            [
+              ("compile", J.Int c.req_compile);
+              ("ping", J.Int c.req_ping);
+              ("stats", J.Int c.req_stats);
+              ("shutdown", J.Int c.req_shutdown);
+            ] );
+        ( "responses",
+          J.Obj
+            [
+              ("report", J.Int c.resp_report);
+              ("cached", J.Int c.resp_cached);
+              ("error", J.Int c.resp_error);
+              ("shed", J.Int c.shed);
+              ("timeout", J.Int c.timeouts);
+              ("protocol_error", J.Int c.protocol_errors);
+            ] );
+        ("cache", Cache.stats_json srv.cache);
+      ]
+  in
+  Rp_obs.Report.make ~tool:"rpromote-serve" [ ("serve", section) ]
+
+(* ------------------------------------------------------------------ *)
+(* Compile requests *)
+
+let error_of_exn (e : exn) : Protocol.response =
+  match e with
+  | Rp_minic.Lexer.Error m
+  | Rp_minic.Parser.Error m
+  | Rp_minic.Sema.Error m
+  | Rp_minic.Lower.Error m ->
+      Protocol.Error { kind = Protocol.Bad_input; message = m }
+  | Rp_interp.Interp.Runtime_error m ->
+      Protocol.Error
+        { kind = Protocol.Bad_input; message = "runtime error: " ^ m }
+  | e ->
+      Protocol.Error
+        { kind = Protocol.Internal; message = Printexc.to_string e }
+
+(* The future body, executed on a pool worker domain.  The obs lock
+   serialises global trace/metrics state: with it held, the report is
+   byte-for-byte what a fresh one-shot process would emit.  The cache
+   is populated here — also after the requester's deadline has
+   expired, so abandoned work is still amortised. *)
+let compile_task srv ~label ~source ~deterministic (options : P.options) () =
+  Mutex.lock srv.obs_lock;
+  let s =
+    Fun.protect ~finally:(fun () -> Mutex.unlock srv.obs_lock) @@ fun () ->
+    (* jobs is forced to 1: the result is identical for every jobs
+       value (the determinism contract), nested pools degrade inline
+       on a worker domain anyway, and the cache key ignores jobs *)
+    let _, s =
+      P.run_fresh_json ~label ~deterministic ~options:{ options with P.jobs = 1 }
+        source
+    in
+    s
+  in
+  let key =
+    Cache.key ~source
+      ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
+      ~label ~deterministic
+  in
+  Cache.add srv.cache ~key s;
+  s
+
+(* Wait for a compile future: poll, because [Condition] has no timed
+   wait.  2 ms granularity against compiles that take tens of
+   milliseconds at the very least. *)
+let await_within (fut : string Pool.future) ~deadline_s ~t0 =
+  let rec wait () =
+    match Pool.poll fut with
+    | Some r -> `Finished r
+    | None ->
+        if deadline_s > 0.0 && Unix.gettimeofday () -. t0 > deadline_s then
+          `Deadline
+        else begin
+          Thread.delay 0.002;
+          wait ()
+        end
+  in
+  wait ()
+
+let handle_compile srv (c : Protocol.compile) : Protocol.response =
+  match
+    match c.Protocol.target with
+    | `Workload name -> (
+        match Registry.find name with
+        | Some w -> Ok (name, w.Registry.source)
+        | None -> Error ("unknown workload: " ^ name))
+    | `Source s -> Ok ("request", s)
+  with
+  | Error m -> Protocol.Error { kind = Protocol.Bad_input; message = m }
+  | Ok (label, source) -> (
+      let options = c.Protocol.options in
+      let deterministic = c.Protocol.deterministic in
+      let key =
+        Cache.key ~source
+          ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
+          ~label ~deterministic
+      in
+      match Cache.find srv.cache key with
+      | Some s ->
+          locked srv (fun () ->
+              srv.counters.resp_cached <- srv.counters.resp_cached + 1);
+          Protocol.Report { cached = true; report = s }
+      | None -> (
+          let admitted =
+            locked srv @@ fun () ->
+            if Atomic.get srv.stopping then `Stopping
+            else if srv.inflight >= srv.cfg.max_inflight then begin
+              srv.counters.shed <- srv.counters.shed + 1;
+              `Busy
+            end
+            else begin
+              srv.inflight <- srv.inflight + 1;
+              `Go
+            end
+          in
+          match admitted with
+          | `Stopping ->
+              Protocol.Error
+                {
+                  kind = Protocol.Shutting_down;
+                  message = "daemon is shutting down";
+                }
+          | `Busy ->
+              Protocol.Error
+                {
+                  kind = Protocol.Busy;
+                  message =
+                    Printf.sprintf "max inflight (%d) reached, request shed"
+                      srv.cfg.max_inflight;
+                }
+          | `Go -> (
+              let t0 = Unix.gettimeofday () in
+              let fut =
+                Pool.submit srv.pool (fun () ->
+                    Fun.protect
+                      ~finally:(fun () ->
+                        locked srv (fun () -> srv.inflight <- srv.inflight - 1))
+                      (compile_task srv ~label ~source ~deterministic options))
+              in
+              match await_within fut ~deadline_s:srv.cfg.deadline_s ~t0 with
+              | `Finished (Ok s) ->
+                  locked srv (fun () ->
+                      srv.counters.resp_report <- srv.counters.resp_report + 1);
+                  Protocol.Report { cached = false; report = s }
+              | `Finished (Error (e, _bt)) -> error_of_exn e
+              | `Deadline ->
+                  locked srv (fun () ->
+                      srv.counters.timeouts <- srv.counters.timeouts + 1);
+                  Protocol.Error
+                    {
+                      kind = Protocol.Timeout;
+                      message =
+                        Printf.sprintf
+                          "deadline of %.3f s expired; the compile continues \
+                           in the background and will populate the cache"
+                          srv.cfg.deadline_s;
+                    })))
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+let register_conn srv (conn : Protocol.conn) =
+  locked srv @@ fun () ->
+  let id = srv.next_conn in
+  srv.next_conn <- id + 1;
+  Hashtbl.replace srv.conns id conn.Protocol.close;
+  id
+
+let unregister_conn srv id = locked srv @@ fun () -> Hashtbl.remove srv.conns id
+
+let count_request srv (r : Protocol.request) =
+  locked srv @@ fun () ->
+  let c = srv.counters in
+  match r with
+  | Protocol.Compile _ -> c.req_compile <- c.req_compile + 1
+  | Protocol.Ping -> c.req_ping <- c.req_ping + 1
+  | Protocol.Stats -> c.req_stats <- c.req_stats + 1
+  | Protocol.Shutdown -> c.req_shutdown <- c.req_shutdown + 1
+
+let count_error srv ?(protocol = false) () =
+  locked srv @@ fun () ->
+  srv.counters.resp_error <- srv.counters.resp_error + 1;
+  if protocol then
+    srv.counters.protocol_errors <- srv.counters.protocol_errors + 1
+
+(* Serve one connection.  Transport failures (peer vanished, fd closed
+   by shutdown) end the session silently; everything else becomes a
+   response.  A framing violation desynchronises the length-prefixed
+   stream, so it is answered and then the connection is closed; a
+   well-framed but undecodable payload keeps the stream intact and the
+   session continues — one bad request must not cost a client its
+   connection, let alone the daemon its life. *)
+let handle_conn srv (conn : Protocol.conn) =
+  let id = register_conn srv conn in
+  let send r =
+    (match r with
+    | Protocol.Error { kind = Protocol.Protocol_error; _ } ->
+        count_error srv ~protocol:true ()
+    | Protocol.Error _ -> count_error srv ()
+    | _ -> ());
+    Protocol.send_response conn r
+  in
+  let rec loop () =
+    match Protocol.read_frame conn with
+    | Protocol.Eof -> ()
+    | Protocol.Bad m ->
+        send
+          (Protocol.Error
+             {
+               kind = Protocol.Protocol_error;
+               message = "closing connection: " ^ m;
+             })
+    | Protocol.Frame payload -> (
+        match J.parse payload with
+        | Error m ->
+            send (Protocol.Error { kind = Protocol.Protocol_error; message = m });
+            loop ()
+        | Ok doc -> (
+            match Protocol.request_of_json doc with
+            | Error m ->
+                send
+                  (Protocol.Error
+                     { kind = Protocol.Protocol_error; message = m });
+                loop ()
+            | Ok req -> (
+                count_request srv req;
+                match req with
+                | Protocol.Ping ->
+                    send Protocol.Pong;
+                    loop ()
+                | Protocol.Stats ->
+                    send (Protocol.Stats_reply (stats_doc srv));
+                    loop ()
+                | Protocol.Shutdown ->
+                    send Protocol.Shutdown_ack;
+                    request_shutdown srv
+                | Protocol.Compile c ->
+                    send (handle_compile srv c);
+                    loop ())))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      unregister_conn srv id;
+      conn.Protocol.close ())
+    (fun () -> try loop () with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Loopback transport: a pair of in-memory byte pipes *)
+
+module Pipe = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    buf : Buffer.t;
+    mutable pos : int;  (* bytes of [buf] already consumed *)
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      c = Condition.create ();
+      buf = Buffer.create 256;
+      pos = 0;
+      closed = false;
+    }
+
+  let close p =
+    Mutex.lock p.m;
+    p.closed <- true;
+    Condition.broadcast p.c;
+    Mutex.unlock p.m
+
+  (* writes to a closed pipe are dropped: the reader is gone, exactly
+     like a socket peer that hung up (minus the SIGPIPE) *)
+  let write p src off len =
+    Mutex.lock p.m;
+    if not p.closed then begin
+      Buffer.add_subbytes p.buf src off len;
+      Condition.broadcast p.c
+    end;
+    Mutex.unlock p.m
+
+  let read p dst off len =
+    Mutex.lock p.m;
+    while p.pos >= Buffer.length p.buf && not p.closed do
+      Condition.wait p.c p.m
+    done;
+    let available = Buffer.length p.buf - p.pos in
+    let n = min len available in
+    if n > 0 then begin
+      Buffer.blit p.buf p.pos dst off n;
+      p.pos <- p.pos + n;
+      if p.pos = Buffer.length p.buf then begin
+        Buffer.clear p.buf;
+        p.pos <- 0
+      end
+    end;
+    Mutex.unlock p.m;
+    n (* 0 = closed and drained *)
+end
+
+let add_thread srv t = locked srv (fun () -> srv.threads <- t :: srv.threads)
+
+let loopback srv : Protocol.conn =
+  let to_server = Pipe.create () and to_client = Pipe.create () in
+  let close_both () =
+    Pipe.close to_server;
+    Pipe.close to_client
+  in
+  let server_conn =
+    {
+      Protocol.input = Pipe.read to_server;
+      output = Pipe.write to_client;
+      close = close_both;
+    }
+  in
+  add_thread srv (Thread.create (fun () -> handle_conn srv server_conn) ());
+  {
+    Protocol.input = Pipe.read to_client;
+    output = Pipe.write to_server;
+    close = close_both;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Drain and teardown *)
+
+(* Wait (bounded) for the in-flight compiles to finish so their
+   responses get written, then close the remaining connections —
+   blocked reads return and the handler threads exit. *)
+let stop srv =
+  request_shutdown srv;
+  let already = locked srv (fun () -> srv.stopped) in
+  if not already then begin
+    let deadline = Unix.gettimeofday () +. 30.0 in
+    while inflight srv > 0 && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    let closers =
+      locked srv (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [])
+    in
+    List.iter (fun close -> try close () with _ -> ()) closers;
+    let threads = locked srv (fun () -> srv.threads) in
+    List.iter
+      (fun t -> if Thread.id t <> Thread.id (Thread.self ()) then Thread.join t)
+      threads;
+    locked srv (fun () ->
+        srv.threads <- [];
+        srv.stopped <- true);
+    Pool.shutdown srv.pool
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain socket accept loop *)
+
+let serve_unix srv ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let installed =
+    (* route Ctrl-C and kill(1) into a graceful drain; restore after *)
+    List.filter_map
+      (fun s ->
+        try
+          let prev =
+            Sys.signal s (Sys.Signal_handle (fun _ -> request_shutdown srv))
+          in
+          Some (s, prev)
+        with Invalid_argument _ | Sys_error _ -> None)
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun (s, prev) -> try Sys.set_signal s prev with _ -> ()) installed;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      stop srv;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  while not (Atomic.get srv.stopping) do
+    (* select with a tick instead of a bare accept: shutdown requests
+       (flag flips, signals) are observed within 0.2 s even when no
+       client ever connects *)
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept fd with
+        | cfd, _ ->
+            if Atomic.get srv.stopping then Unix.close cfd
+            else
+              add_thread srv
+                (Thread.create
+                   (fun () -> handle_conn srv (Protocol.conn_of_fd cfd))
+                   ())
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done

@@ -1,0 +1,89 @@
+(** The compile daemon: a long-lived process serving {!Protocol}
+    requests over Unix-domain-socket connections (or in-process
+    loopback pipes), with a content-addressed result {!Cache} in
+    front of the pipeline.
+
+    {2 Execution model}
+
+    Connections are handled by one systhread each (blocking reads);
+    compile requests are dispatched onto an {!Rp_par.Pool} of OCaml
+    domains as {!Rp_par.Pool.submit} futures. A request's pipeline
+    exception is captured in its future and answered as a structured
+    error response — worker isolation: no client input can kill the
+    daemon. Compile {e execution} is serialised by an internal lock
+    around the global observability registries
+    ({!Rp_core.Pipeline.run_fresh_json}), which is what makes every
+    response byte-identical to a one-shot CLI run; cross-request
+    throughput comes from the cache, not from overlapping compiles.
+
+    {2 Degradation under load}
+
+    - [max_inflight]: compile requests beyond this many submitted and
+      unfinished futures are shed immediately with a [Busy] error —
+      the daemon never queues unboundedly.
+    - [deadline_s]: a compile that has not produced its future's
+      result within the deadline is answered with a [Timeout] error;
+      the worker finishes in the background (a running domain cannot
+      be killed), still populates the cache, and only then releases
+      its inflight slot.
+    - Shutdown (SIGINT/SIGTERM on {!serve_unix}, a [Shutdown] request,
+      or {!request_shutdown}): the listener closes, in-flight work is
+      drained and answered, further compile requests get a
+      [Shutting_down] error, and idle connections are closed. *)
+
+type config = {
+  jobs : int;
+      (** pool parallelism ([jobs - 1] worker domains). With [jobs = 1]
+          there are no workers: compiles run inline on the connection
+          thread and deadlines cannot preempt them. *)
+  max_inflight : int;  (** shed compile requests beyond this many *)
+  deadline_s : float;  (** per-request compile deadline; 0 disables *)
+  cache_max_bytes : int;
+  cache_max_entries : int;
+}
+
+(** jobs 2, max_inflight 4, deadline 120 s, 64 MiB / 1024 entries. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val config : t -> config
+val cache : t -> Cache.t
+
+(** Compile futures submitted and not yet finished. *)
+val inflight : t -> int
+
+val shutting_down : t -> bool
+
+(** Begin graceful shutdown; idempotent, safe from any thread and
+    from a signal handler. *)
+val request_shutdown : t -> unit
+
+(** Serve one established connection until end of stream, a fatal
+    framing violation, or shutdown. Never raises: transport errors
+    end the connection, request errors become error responses. *)
+val handle_conn : t -> Protocol.conn -> unit
+
+(** An in-process client connection: the peer end is served by
+    {!handle_conn} on a fresh thread over a pair of in-memory byte
+    pipes — the whole server surface minus the socket. Close the
+    returned connection to end the session. *)
+val loopback : t -> Protocol.conn
+
+(** Bind [path], accept until shutdown (SIGINT/SIGTERM are hooked to
+    {!request_shutdown}), then drain and release everything
+    ({!stop}). The socket file is unlinked on the way out. *)
+val serve_unix : t -> path:string -> unit
+
+(** Drain and tear down a server that is not running {!serve_unix}
+    (tests, bench): request shutdown, wait for in-flight compiles,
+    close remaining connections, join handler threads, shut the pool
+    down. Idempotent. *)
+val stop : t -> unit
+
+(** The stats document answered to [Stats] requests: a schema-v3
+    report whose ["serve"] section carries request/response counters,
+    inflight depth, limits and {!Cache.stats_json}. *)
+val stats_doc : t -> Rp_obs.Json.t

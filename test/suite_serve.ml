@@ -1,0 +1,414 @@
+(* The compile service, below the server: Protocol framing and codec
+   round trips (QCheck over arbitrary bytes and generated option
+   records), and the Cache against a naive assoc-list LRU model. *)
+
+module Proto = Rp_serve.Protocol
+module Cache = Rp_serve.Cache
+module P = Rp_core.Pipeline
+module J = Rp_obs.Json
+module G = QCheck.Gen
+
+let qtest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5e14e |]) t
+
+(* ------------------------------------------------------------------ *)
+(* An in-memory conn: reads consume a fixed input string, writes
+   append to a buffer. *)
+
+let conn_of_string (input : string) : Proto.conn * Buffer.t =
+  let out = Buffer.create 64 in
+  let pos = ref 0 in
+  ( {
+      Proto.input =
+        (fun buf off len ->
+          let n = min len (String.length input - !pos) in
+          Bytes.blit_string input !pos buf off n;
+          pos := !pos + n;
+          n);
+      output = (fun buf off len -> Buffer.add_subbytes out buf off len);
+      close = (fun () -> ());
+    },
+    out )
+
+let written_by f =
+  let conn, out = conn_of_string "" in
+  f conn;
+  Buffer.contents out
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let frame_to_string = function
+  | Proto.Frame s -> Printf.sprintf "Frame %S" s
+  | Proto.Eof -> "Eof"
+  | Proto.Bad m -> Printf.sprintf "Bad %S" m
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      let wire = written_by (fun c -> Proto.write_frame c payload) in
+      let conn, _ = conn_of_string wire in
+      (match Proto.read_frame conn with
+      | Proto.Frame got -> Alcotest.(check string) "payload" payload got
+      | r -> Alcotest.failf "expected Frame, got %s" (frame_to_string r));
+      match Proto.read_frame conn with
+      | Proto.Eof -> ()
+      | r -> Alcotest.failf "expected Eof after frame, got %s" (frame_to_string r))
+    [ ""; "x"; "{\"a\":1}"; String.make 70_000 '\xff' ]
+
+let test_frame_oversized_write () =
+  match Proto.write_frame (fst (conn_of_string ""))
+          (String.make (Proto.max_frame + 1) 'a')
+  with
+  | () -> Alcotest.fail "oversized write accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_frame_oversized_length () =
+  (* a header announcing more than max_frame must be rejected before
+     any allocation-by-attacker *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Proto.max_frame + 1));
+  let conn, _ = conn_of_string (Bytes.to_string hdr ^ "xxxx") in
+  match Proto.read_frame conn with
+  | Proto.Bad _ -> ()
+  | r -> Alcotest.failf "expected Bad, got %s" (frame_to_string r)
+
+let test_frame_negative_length () =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (-1l);
+  let conn, _ = conn_of_string (Bytes.to_string hdr) in
+  match Proto.read_frame conn with
+  | Proto.Bad _ -> ()
+  | r -> Alcotest.failf "expected Bad, got %s" (frame_to_string r)
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame round trip (arbitrary bytes)" ~count:300
+    QCheck.(string_gen_of_size (G.int_bound 400) G.char)
+    (fun payload ->
+      let wire = written_by (fun c -> Proto.write_frame c payload) in
+      let conn, _ = conn_of_string wire in
+      match Proto.read_frame conn with
+      | Proto.Frame got -> got = payload && Proto.read_frame conn = Proto.Eof
+      | _ -> false)
+
+let prop_frame_truncated =
+  (* chopping any strict prefix of a frame yields Bad (inside header or
+     payload) or Eof (nothing at all) — never a Frame, never a crash *)
+  QCheck.Test.make ~name:"truncated frame never decodes" ~count:300
+    QCheck.(
+      pair
+        (string_gen_of_size (G.int_bound 60) G.char)
+        (float_bound_inclusive 1.0))
+    (fun (payload, cut) ->
+      let wire = written_by (fun c -> Proto.write_frame c payload) in
+      let keep = int_of_float (cut *. float_of_int (String.length wire)) in
+      let keep = min keep (String.length wire - 1) in
+      let conn, _ = conn_of_string (String.sub wire 0 (max keep 0)) in
+      match Proto.read_frame conn with
+      | Proto.Frame _ -> false
+      | Proto.Eof -> keep = 0
+      | Proto.Bad _ -> keep > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Request/response codecs *)
+
+let gen_options : P.options G.t =
+  let open G in
+  let* engine = oneofl [ Rp_ssa.Incremental.Cytron; Rp_ssa.Incremental.Sreedhar_gao ] in
+  let* allow_store_removal = bool and* insert_dummies = bool in
+  let* min_profit = float_bound_inclusive 10.0 in
+  let* static = bool in
+  let* fuel = int_range 0 100_000_000 in
+  let* singleton_deref = bool and* checkpoints = bool and* trace = bool in
+  let* jobs = int_range 1 8 in
+  return
+    {
+      P.promote =
+        { Rp_core.Promote.engine; allow_store_removal; min_profit; insert_dummies };
+      profile = (if static then P.Static_estimate else P.Measured);
+      fuel;
+      singleton_deref;
+      checkpoints;
+      trace;
+      jobs;
+    }
+
+let gen_request : Proto.request G.t =
+  let open G in
+  let gen_compile =
+    let* options = gen_options in
+    let* deterministic = bool in
+    let* target =
+      oneof
+        [
+          map (fun s -> `Source s) (string_size (int_bound 200));
+          map (fun s -> `Workload s) (oneofl [ "go"; "li"; "compr"; "nope" ]);
+        ]
+    in
+    return (Proto.Compile { Proto.target; options; deterministic })
+  in
+  oneof
+    [
+      gen_compile;
+      return Proto.Ping;
+      return Proto.Stats;
+      return Proto.Shutdown;
+    ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request codec round trip" ~count:300
+    (QCheck.make gen_request) (fun req ->
+      match Proto.request_of_json (Proto.request_to_json req) with
+      | Ok got -> got = req
+      | Error _ -> false)
+
+let gen_response : Proto.response G.t =
+  let open G in
+  oneof
+    [
+      (let* cached = bool in
+       let* report = string_size (int_bound 300) in
+       return (Proto.Report { cached; report }));
+      (let* kind =
+         oneofl
+           [
+             Proto.Bad_input;
+             Proto.Timeout;
+             Proto.Busy;
+             Proto.Protocol_error;
+             Proto.Shutting_down;
+             Proto.Internal;
+           ]
+       in
+       let* message = string_size (int_bound 100) in
+       return (Proto.Error { kind; message }));
+      return Proto.Pong;
+      return (Proto.Stats_reply (J.Obj [ ("x", J.Int 1); ("y", J.Str "z") ]));
+      return Proto.Shutdown_ack;
+    ]
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response codec round trip" ~count:300
+    (QCheck.make gen_response) (fun resp ->
+      match Proto.response_of_json (Proto.response_to_json resp) with
+      | Ok got -> got = resp
+      | Error _ -> false)
+
+let prop_decode_total =
+  (* any bytes: decoding yields Garbled/End/Msg, never an exception *)
+  QCheck.Test.make ~name:"recv_request total on arbitrary frames" ~count:300
+    QCheck.(string_gen_of_size (G.int_bound 200) G.char)
+    (fun payload ->
+      let wire = written_by (fun c -> Proto.write_frame c payload) in
+      let conn, _ = conn_of_string wire in
+      match Proto.recv_request conn with
+      | Proto.Msg _ | Proto.End | Proto.Garbled _ -> true)
+
+let test_fingerprint_jobs () =
+  let o = P.default_options in
+  let o2 = { o with P.jobs = o.P.jobs + 3 } in
+  Alcotest.(check bool)
+    "jobs split the plain fingerprint" true
+    (Proto.options_fingerprint o <> Proto.options_fingerprint o2);
+  Alcotest.(check string) "jobs dropped from the key fingerprint"
+    (Proto.options_fingerprint ~for_key:true o)
+    (Proto.options_fingerprint ~for_key:true o2)
+
+let test_bad_request_documents () =
+  List.iter
+    (fun doc ->
+      match Proto.request_of_json doc with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded %s" (J.to_string doc))
+    [
+      J.Null;
+      J.Int 3;
+      J.Obj [];
+      J.Obj [ ("v", J.Int Proto.version) ];
+      (* wrong version *)
+      J.Obj [ ("v", J.Int (Proto.version + 1)); ("req", J.Str "ping") ];
+      J.Obj [ ("v", J.Int Proto.version); ("req", J.Str "no-such") ];
+      (* compile without a target *)
+      J.Obj [ ("v", J.Int Proto.version); ("req", J.Str "compile") ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Cache: units *)
+
+let test_cache_basics () =
+  let c = Cache.create ~max_bytes:10_000 ~max_entries:8 () in
+  Alcotest.(check (option string)) "miss" None (Cache.find c "a");
+  Cache.add c ~key:"a" "1";
+  Cache.add c ~key:"b" "2";
+  Alcotest.(check (option string)) "hit" (Some "1") (Cache.find c "a");
+  (* the hit refreshed "a": MRU order is a, b *)
+  Alcotest.(check (list string)) "mru order" [ "a"; "b" ] (Cache.keys_mru c);
+  Cache.add c ~key:"a" "one";
+  Alcotest.(check (option string)) "replace" (Some "one") (Cache.find c "a");
+  let s = Cache.stats c in
+  Alcotest.(check int) "entries" 2 s.Cache.entries;
+  Alcotest.(check int) "hits" 2 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.stats c).Cache.entries;
+  Alcotest.(check int) "cleared bytes" 0 (Cache.stats c).Cache.bytes
+
+let test_cache_entry_eviction () =
+  let c = Cache.create ~max_bytes:1_000_000 ~max_entries:3 () in
+  List.iter (fun k -> Cache.add c ~key:k "v") [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check (list string)) "LRU evicted" [ "d"; "c"; "b" ]
+    (Cache.keys_mru c);
+  Alcotest.(check int) "eviction counted" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_byte_eviction () =
+  (* cost = |key| + |value| + 64; key "a" + 35-byte value = 100 *)
+  let c = Cache.create ~max_bytes:250 ~max_entries:100 () in
+  let v = String.make 35 'x' in
+  Cache.add c ~key:"a" v;
+  Cache.add c ~key:"b" v;
+  Cache.add c ~key:"c" v;
+  Alcotest.(check (list string)) "byte bound evicts LRU" [ "c"; "b" ]
+    (Cache.keys_mru c);
+  Alcotest.(check int) "bytes accounted" 200 (Cache.stats c).Cache.bytes
+
+let test_cache_oversized () =
+  let c = Cache.create ~max_bytes:100 ~max_entries:100 () in
+  Cache.add c ~key:"small" "v";
+  Cache.add c ~key:"big" (String.make 200 'x');
+  Alcotest.(check (option string)) "oversized not cached" None
+    (Cache.find c "big");
+  Alcotest.(check (option string)) "oversized did not flush others" (Some "v")
+    (Cache.find c "small")
+
+let test_cache_key_distinct () =
+  let fp o = Proto.options_fingerprint ~for_key:true o in
+  let o = P.default_options in
+  let k = Cache.key ~source:"s" ~options_fp:(fp o) ~label:"l" ~deterministic:true in
+  let distinct =
+    [
+      Cache.key ~source:"s2" ~options_fp:(fp o) ~label:"l" ~deterministic:true;
+      Cache.key ~source:"s" ~options_fp:(fp { o with P.fuel = 7 }) ~label:"l"
+        ~deterministic:true;
+      Cache.key ~source:"s" ~options_fp:(fp o) ~label:"l2" ~deterministic:true;
+      Cache.key ~source:"s" ~options_fp:(fp o) ~label:"l" ~deterministic:false;
+    ]
+  in
+  List.iter
+    (fun k' -> Alcotest.(check bool) "key differs" true (k <> k'))
+    distinct;
+  Alcotest.(check string) "key stable" k
+    (Cache.key ~source:"s" ~options_fp:(fp o) ~label:"l" ~deterministic:true)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: differential oracle against a naive assoc-list LRU *)
+
+module Model = struct
+  (* MRU-first assoc list, same cost accounting as the real cache *)
+  type t = {
+    mutable entries : (string * string) list;
+    max_bytes : int;
+    max_entries : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~max_bytes ~max_entries =
+    { entries = []; max_bytes; max_entries; hits = 0; misses = 0; evictions = 0 }
+
+  let cost (k, v) = String.length k + String.length v + 64
+  let bytes m = List.fold_left (fun a e -> a + cost e) 0 m.entries
+
+  let find m k =
+    match List.assoc_opt k m.entries with
+    | Some v ->
+        m.hits <- m.hits + 1;
+        m.entries <- (k, v) :: List.remove_assoc k m.entries;
+        Some v
+    | None ->
+        m.misses <- m.misses + 1;
+        None
+
+  let add m k v =
+    if cost (k, v) <= m.max_bytes && m.max_entries > 0 then begin
+      m.entries <- (k, v) :: List.remove_assoc k m.entries;
+      while bytes m > m.max_bytes || List.length m.entries > m.max_entries do
+        m.entries <- List.rev (List.tl (List.rev m.entries));
+        m.evictions <- m.evictions + 1
+      done
+    end
+end
+
+type cache_op = Find of string | Add of string * string
+
+let gen_ops : cache_op list G.t =
+  let open G in
+  let key = map (fun i -> "k" ^ string_of_int i) (int_bound 7) in
+  let op =
+    oneof
+      [
+        map (fun k -> Find k) key;
+        map2 (fun k n -> Add (k, String.make n 'v')) key (int_bound 120);
+      ]
+  in
+  list_size (int_bound 60) op
+
+let prop_cache_matches_model =
+  QCheck.Test.make ~name:"cache vs assoc-list LRU model" ~count:500
+    (QCheck.make gen_ops ~print:(fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | Find k -> "F" ^ k
+                | Add (k, v) -> Printf.sprintf "A%s/%d" k (String.length v))
+              ops)))
+    (fun ops ->
+      let max_bytes = 400 and max_entries = 4 in
+      let c = Cache.create ~max_bytes ~max_entries () in
+      let m = Model.create ~max_bytes ~max_entries in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Find k -> Cache.find c k = Model.find m k
+          | Add (k, v) ->
+              Cache.add c ~key:k v;
+              Model.add m k v;
+              true)
+          &&
+          let s = Cache.stats c in
+          Cache.keys_mru c = List.map fst m.Model.entries
+          && s.Cache.entries = List.length m.Model.entries
+          && s.Cache.bytes = Model.bytes m
+          && s.Cache.hits = m.Model.hits
+          && s.Cache.misses = m.Model.misses
+          && s.Cache.evictions = m.Model.evictions)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "frame round trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "oversized write refused" `Quick test_frame_oversized_write;
+    Alcotest.test_case "oversized length rejected" `Quick
+      test_frame_oversized_length;
+    Alcotest.test_case "negative length rejected" `Quick
+      test_frame_negative_length;
+    qtest prop_frame_roundtrip;
+    qtest prop_frame_truncated;
+    qtest prop_request_roundtrip;
+    qtest prop_response_roundtrip;
+    qtest prop_decode_total;
+    Alcotest.test_case "fingerprint drops jobs for keys" `Quick
+      test_fingerprint_jobs;
+    Alcotest.test_case "bad request documents rejected" `Quick
+      test_bad_request_documents;
+    Alcotest.test_case "cache basics" `Quick test_cache_basics;
+    Alcotest.test_case "cache entry-bound eviction" `Quick
+      test_cache_entry_eviction;
+    Alcotest.test_case "cache byte-bound eviction" `Quick
+      test_cache_byte_eviction;
+    Alcotest.test_case "cache oversized entry" `Quick test_cache_oversized;
+    Alcotest.test_case "cache keys distinct" `Quick test_cache_key_distinct;
+    qtest prop_cache_matches_model;
+  ]

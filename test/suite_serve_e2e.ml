@@ -1,0 +1,259 @@
+(* End-to-end tests of the compile daemon over the loopback transport:
+   the full server surface — concurrent clients, cache rounds,
+   byte-identity with direct pipeline runs, poisoned requests,
+   malformed frames, shedding, deadlines, shutdown — without a
+   socket. *)
+
+module Proto = Rp_serve.Protocol
+module Server = Rp_serve.Server
+module Client = Rp_serve.Client
+module Cache = Rp_serve.Cache
+module P = Rp_core.Pipeline
+module J = Rp_obs.Json
+module R = Rp_workloads.Registry
+
+let options = { P.default_options with trace = true }
+
+let request (w : R.workload) =
+  { Proto.target = `Workload w.R.name; options; deterministic = true }
+
+let with_server ?config f =
+  let srv = Server.create ?config () in
+  Fun.protect ~finally:(fun () -> Server.stop srv) (fun () -> f srv)
+
+let with_client srv f =
+  let c = Client.of_conn (Server.loopback srv) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let response_label = function
+  | Proto.Report { cached; _ } ->
+      if cached then "Report(cached)" else "Report(fresh)"
+  | Proto.Error { kind; message } ->
+      Printf.sprintf "Error(%s, %s)" (Proto.error_kind_to_string kind) message
+  | Proto.Pong -> "Pong"
+  | Proto.Stats_reply _ -> "Stats_reply"
+  | Proto.Shutdown_ack -> "Shutdown_ack"
+
+(* ------------------------------------------------------------------ *)
+(* The headline test: N concurrent clients over the 8 seed workloads.
+   Round 1 (cold) must return fresh reports byte-identical to direct
+   [Pipeline.run_fresh_json] runs; round 2 (warm) must serve the same
+   bytes from the cache. *)
+
+let test_rounds () =
+  (* the oracle: direct pipeline runs, computed sequentially up front
+     (run_fresh_json owns the process-global obs state) *)
+  let expected =
+    List.map
+      (fun (w : R.workload) ->
+        let _, s =
+          P.run_fresh_json ~label:w.R.name ~deterministic:true ~options
+            w.R.source
+        in
+        (w.R.name, s))
+      R.all
+  in
+  with_server @@ fun srv ->
+  let clients = 4 in
+  (* partition the workloads round-robin over the clients *)
+  let parts = Array.make clients [] in
+  List.iteri
+    (fun i w -> parts.(i mod clients) <- w :: parts.(i mod clients))
+    R.all;
+  let round () =
+    let results = Array.make clients [] in
+    let threads =
+      List.init clients (fun i ->
+          Thread.create
+            (fun () ->
+              with_client srv @@ fun c ->
+              results.(i) <-
+                List.map
+                  (fun (w : R.workload) ->
+                    ( w.R.name,
+                      try Ok (Client.compile c (request w)) with e -> Error e ))
+                  parts.(i))
+            ())
+    in
+    List.iter Thread.join threads;
+    List.concat (Array.to_list results)
+  in
+  let check_round ~name ~want_cached responses =
+    Alcotest.(check int) (name ^ ": all answered") (List.length R.all)
+      (List.length responses);
+    List.iter
+      (fun (wname, r) ->
+        match r with
+        | Error e -> Alcotest.failf "%s %s: %s" name wname (Printexc.to_string e)
+        | Ok (Proto.Report { cached; report }) ->
+            Alcotest.(check bool) (name ^ " " ^ wname ^ ": cached") want_cached
+              cached;
+            Alcotest.(check string)
+              (name ^ " " ^ wname ^ ": byte-identical to direct run")
+              (List.assoc wname expected) report
+        | Ok r -> Alcotest.failf "%s %s: %s" name wname (response_label r))
+      responses
+  in
+  check_round ~name:"round1" ~want_cached:false (round ());
+  check_round ~name:"round2" ~want_cached:true (round ());
+  let s = Cache.stats (Server.cache srv) in
+  Alcotest.(check int) "round2 all hits" (List.length R.all) s.Cache.hits;
+  Alcotest.(check int) "round1 all misses" (List.length R.all) s.Cache.misses
+
+(* ------------------------------------------------------------------ *)
+
+let test_poisoned () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  (* a lexer error must come back as a structured Bad_input response *)
+  (match
+     Client.compile c
+       { Proto.target = `Source "int main() { return $; }";
+         options; deterministic = true }
+   with
+  | Proto.Error { kind = Proto.Bad_input; _ } -> ()
+  | r -> Alcotest.failf "poisoned request: %s" (response_label r));
+  (* ... and the daemon (and this very connection) keeps serving *)
+  (match
+     Client.compile c
+       { Proto.target = `Source "int main() { return 0; }";
+         options; deterministic = true }
+   with
+  | Proto.Report { cached = false; _ } -> ()
+  | r -> Alcotest.failf "after poison: %s" (response_label r));
+  Alcotest.(check bool) "ping after poison" true (Client.ping c)
+
+let test_unknown_workload () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  match
+    Client.compile c
+      { Proto.target = `Workload "no-such-workload"; options;
+        deterministic = true }
+  with
+  | Proto.Error { kind = Proto.Bad_input; _ } -> ()
+  | r -> Alcotest.failf "unknown workload: %s" (response_label r)
+
+let test_malformed_frame () =
+  with_server @@ fun srv ->
+  let conn = Server.loopback srv in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  (* a length prefix beyond max_frame: answered with a protocol error,
+     then the connection is closed (the stream is desynchronised) *)
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Proto.max_frame + 1));
+  conn.Proto.output hdr 0 4;
+  (match Proto.recv_response conn with
+  | Proto.Msg (Proto.Error { kind = Proto.Protocol_error; _ }) -> ()
+  | Proto.Msg r -> Alcotest.failf "bad frame: %s" (response_label r)
+  | Proto.End -> Alcotest.fail "bad frame: closed without an error response"
+  | Proto.Garbled m -> Alcotest.failf "bad frame: garbled reply: %s" m);
+  (match Proto.recv_response conn with
+  | Proto.End -> ()
+  | _ -> Alcotest.fail "connection not closed after framing violation");
+  (* the daemon survived: a fresh connection works *)
+  with_client srv @@ fun c ->
+  Alcotest.(check bool) "ping after bad frame" true (Client.ping c)
+
+let test_garbled_json () =
+  with_server @@ fun srv ->
+  let conn = Server.loopback srv in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  (* well-framed garbage: an error response, and the same connection
+     keeps working *)
+  Proto.write_frame conn "this is not json";
+  (match Proto.recv_response conn with
+  | Proto.Msg (Proto.Error { kind = Proto.Protocol_error; _ }) -> ()
+  | r ->
+      Alcotest.failf "garbage payload: %s"
+        (match r with
+        | Proto.Msg m -> response_label m
+        | Proto.End -> "End"
+        | Proto.Garbled m -> "Garbled " ^ m));
+  Proto.send_request conn Proto.Ping;
+  match Proto.recv_response conn with
+  | Proto.Msg Proto.Pong -> ()
+  | _ -> Alcotest.fail "connection did not survive a garbled payload"
+
+let test_busy_shedding () =
+  (* max_inflight 0: every uncached compile is shed immediately *)
+  with_server
+    ~config:{ Server.default_config with Server.max_inflight = 0 }
+  @@ fun srv ->
+  with_client srv @@ fun c ->
+  (match Client.compile c (request (List.hd R.all)) with
+  | Proto.Error { kind = Proto.Busy; _ } -> ()
+  | r -> Alcotest.failf "expected Busy, got %s" (response_label r));
+  Alcotest.(check bool) "ping while shedding" true (Client.ping c)
+
+let test_deadline () =
+  with_server
+    ~config:{ Server.default_config with Server.deadline_s = 0.005 }
+  @@ fun srv ->
+  with_client srv @@ fun c ->
+  let w = List.hd R.all in
+  (* a full pipeline run takes far longer than 5 ms *)
+  (match Client.compile c (request w) with
+  | Proto.Error { kind = Proto.Timeout; _ } -> ()
+  | r -> Alcotest.failf "expected Timeout, got %s" (response_label r));
+  (* the daemon answers while the abandoned compile still runs *)
+  Alcotest.(check bool) "ping during background compile" true (Client.ping c);
+  (* the background worker finishes into the cache *)
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  while Server.inflight srv > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "background compile drained" 0 (Server.inflight srv);
+  match Client.compile c (request w) with
+  | Proto.Report { cached = true; _ } -> ()
+  | r -> Alcotest.failf "expected cached Report, got %s" (response_label r)
+
+let test_stats () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  Alcotest.(check bool) "ping" true (Client.ping c);
+  let doc = Client.stats c in
+  (match J.member doc "schema_version" with
+  | Some (J.Int v) ->
+      Alcotest.(check int) "stats schema version"
+        Rp_obs.Report.schema_version v
+  | _ -> Alcotest.fail "stats: no schema_version");
+  let serve =
+    match J.member doc "serve" with
+    | Some s -> s
+    | None -> Alcotest.fail "stats: no serve section"
+  in
+  match J.member serve "cache" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stats: no cache stats"
+
+let test_shutdown () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  Alcotest.(check bool) "shutdown acked" true (Client.shutdown c);
+  Alcotest.(check bool) "flag set" true (Server.shutting_down srv);
+  (* a connection opened during the drain is refused new compile work *)
+  with_client srv @@ fun c2 ->
+  match
+    Client.compile c2
+      { Proto.target = `Source "int main() { return 0; }";
+        options; deterministic = true }
+  with
+  | Proto.Error { kind = Proto.Shutting_down; _ } -> ()
+  | r -> Alcotest.failf "compile during drain: %s" (response_label r)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "concurrent rounds, byte-identity, cache" `Slow
+      test_rounds;
+    Alcotest.test_case "poisoned request" `Quick test_poisoned;
+    Alcotest.test_case "unknown workload" `Quick test_unknown_workload;
+    Alcotest.test_case "malformed frame" `Quick test_malformed_frame;
+    Alcotest.test_case "garbled json payload" `Quick test_garbled_json;
+    Alcotest.test_case "busy shedding" `Quick test_busy_shedding;
+    Alcotest.test_case "deadline timeout" `Slow test_deadline;
+    Alcotest.test_case "stats document" `Quick test_stats;
+    Alcotest.test_case "shutdown drain" `Quick test_shutdown;
+  ]

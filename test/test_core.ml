@@ -20,4 +20,6 @@ let () =
       ("more", Suite_more.suite);
       ("properties", Suite_qcheck.suite);
       ("par", Suite_par.suite);
+      ("serve", Suite_serve.suite);
+      ("serve_e2e", Suite_serve_e2e.suite);
     ]
