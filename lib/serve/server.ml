@@ -54,8 +54,12 @@ type t = {
   obs_lock : Mutex.t;
   conns : (int, unit -> unit) Hashtbl.t;  (* conn id -> close *)
   mutable next_conn : int;
-  mutable threads : Thread.t list;  (* loopback + accept-loop handlers *)
-  mutable stopped : bool;  (* [stop] already ran to completion *)
+  (* loopback + accept-loop handler threads; each entry removes itself
+     on exit so a long-lived daemon does not accumulate one Thread.t
+     per connection ever served *)
+  threads : (int, Thread.t) Hashtbl.t;
+  mutable next_thread : int;
+  mutable stopped : bool;  (* teardown in [stop] already claimed *)
   started_at : float;
 }
 
@@ -85,7 +89,8 @@ let create ?(config = default_config) () =
     obs_lock = Mutex.create ();
     conns = Hashtbl.create 16;
     next_conn = 0;
-    threads = [];
+    threads = Hashtbl.create 16;
+    next_thread = 0;
     stopped = false;
     started_at = Unix.gettimeofday ();
   }
@@ -170,7 +175,10 @@ let error_of_exn (e : exn) : Protocol.response =
    serialises global trace/metrics state: with it held, the report is
    byte-for-byte what a fresh one-shot process would emit.  The cache
    is populated here — also after the requester's deadline has
-   expired, so abandoned work is still amortised. *)
+   expired, so abandoned work is still amortised.  Only deterministic
+   reports are cached: a non-deterministic one carries wall-clock
+   timings, and replaying the first run's measurements to a client
+   that explicitly asked for timed output would be a lie. *)
 let compile_task srv ~label ~source ~deterministic (options : P.options) () =
   Mutex.lock srv.obs_lock;
   let s =
@@ -184,12 +192,14 @@ let compile_task srv ~label ~source ~deterministic (options : P.options) () =
     in
     s
   in
-  let key =
-    Cache.key ~source
-      ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
-      ~label ~deterministic
-  in
-  Cache.add srv.cache ~key s;
+  if deterministic then begin
+    let key =
+      Cache.key ~source
+        ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
+        ~label ~deterministic
+    in
+    Cache.add srv.cache ~key s
+  end;
   s
 
 (* Wait for a compile future: poll, because [Condition] has no timed
@@ -222,12 +232,17 @@ let handle_compile srv (c : Protocol.compile) : Protocol.response =
   | Ok (label, source) -> (
       let options = c.Protocol.options in
       let deterministic = c.Protocol.deterministic in
-      let key =
-        Cache.key ~source
-          ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
-          ~label ~deterministic
+      let cached =
+        (* non-deterministic requests bypass the cache entirely: they
+           ask for fresh wall-clock measurements *)
+        if not deterministic then None
+        else
+          Cache.find srv.cache
+            (Cache.key ~source
+               ~options_fp:(Protocol.options_fingerprint ~for_key:true options)
+               ~label ~deterministic)
       in
-      match Cache.find srv.cache key with
+      match cached with
       | Some s ->
           locked srv (fun () ->
               srv.counters.resp_cached <- srv.counters.resp_cached + 1);
@@ -325,12 +340,31 @@ let count_error srv ?(protocol = false) () =
 let handle_conn srv (conn : Protocol.conn) =
   let id = register_conn srv conn in
   let send r =
+    (* serialize first: a response too large to frame (a huge traced
+       report) is replaced by a structured error, so the client learns
+       why instead of [write_frame] raising and dropping the session *)
+    let r, payload =
+      let payload = J.to_string ~minify:true (Protocol.response_to_json r) in
+      if String.length payload <= Protocol.max_frame then (r, payload)
+      else
+        let r =
+          Protocol.Error
+            {
+              kind = Protocol.Internal;
+              message =
+                Printf.sprintf
+                  "report of %d bytes exceeds the %d-byte frame limit"
+                  (String.length payload) Protocol.max_frame;
+            }
+        in
+        (r, J.to_string ~minify:true (Protocol.response_to_json r))
+    in
     (match r with
     | Protocol.Error { kind = Protocol.Protocol_error; _ } ->
         count_error srv ~protocol:true ()
     | Protocol.Error _ -> count_error srv ()
     | _ -> ());
-    Protocol.send_response conn r
+    Protocol.write_frame conn payload
   in
   let rec loop () =
     match Protocol.read_frame conn with
@@ -432,7 +466,25 @@ module Pipe = struct
     n (* 0 = closed and drained *)
 end
 
-let add_thread srv t = locked srv (fun () -> srv.threads <- t :: srv.threads)
+(* Spawn a handler thread registered in [srv.threads].  The thread
+   deregisters itself on exit; [stop] joins whatever is still live.
+   Registration and creation happen under the server mutex, so the
+   thread's own removal (which takes the same mutex) cannot run before
+   the entry exists. *)
+let spawn srv body =
+  locked srv @@ fun () ->
+  let id = srv.next_thread in
+  srv.next_thread <- id + 1;
+  let t =
+    Thread.create
+      (fun () ->
+        Fun.protect
+          ~finally:(fun () ->
+            locked srv (fun () -> Hashtbl.remove srv.threads id))
+          body)
+      ()
+  in
+  Hashtbl.replace srv.threads id t
 
 let loopback srv : Protocol.conn =
   let to_server = Pipe.create () and to_client = Pipe.create () in
@@ -447,7 +499,7 @@ let loopback srv : Protocol.conn =
       close = close_both;
     }
   in
-  add_thread srv (Thread.create (fun () -> handle_conn srv server_conn) ());
+  spawn srv (fun () -> handle_conn srv server_conn);
   {
     Protocol.input = Pipe.read to_client;
     output = Pipe.write to_server;
@@ -462,8 +514,18 @@ let loopback srv : Protocol.conn =
    blocked reads return and the handler threads exit. *)
 let stop srv =
   request_shutdown srv;
-  let already = locked srv (fun () -> srv.stopped) in
-  if not already then begin
+  (* claim the teardown in the same critical section that checks it:
+     concurrent callers (explicit [stop] racing [serve_unix]'s finally
+     after a Shutdown request) must not drain twice *)
+  let claimed =
+    locked srv (fun () ->
+        if srv.stopped then false
+        else begin
+          srv.stopped <- true;
+          true
+        end)
+  in
+  if claimed then begin
     let deadline = Unix.gettimeofday () +. 30.0 in
     while inflight srv > 0 && Unix.gettimeofday () < deadline do
       Thread.delay 0.01
@@ -472,13 +534,13 @@ let stop srv =
       locked srv (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) srv.conns [])
     in
     List.iter (fun close -> try close () with _ -> ()) closers;
-    let threads = locked srv (fun () -> srv.threads) in
+    let threads =
+      locked srv (fun () ->
+          Hashtbl.fold (fun _ t acc -> t :: acc) srv.threads [])
+    in
     List.iter
       (fun t -> if Thread.id t <> Thread.id (Thread.self ()) then Thread.join t)
       threads;
-    locked srv (fun () ->
-        srv.threads <- [];
-        srv.stopped <- true);
     Pool.shutdown srv.pool
   end
 
@@ -489,16 +551,21 @@ let serve_unix srv ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let installed =
-    (* route Ctrl-C and kill(1) into a graceful drain; restore after *)
+    (* route Ctrl-C and kill(1) into a graceful drain, and ignore
+       SIGPIPE — a client that hangs up mid-response must surface as a
+       Unix_error EPIPE on the write (absorbed by the per-connection
+       handler), not as a signal whose default disposition kills the
+       daemon; restore everything after *)
+    let drain = Sys.Signal_handle (fun _ -> request_shutdown srv) in
     List.filter_map
-      (fun s ->
-        try
-          let prev =
-            Sys.signal s (Sys.Signal_handle (fun _ -> request_shutdown srv))
-          in
-          Some (s, prev)
+      (fun (s, behaviour) ->
+        try Some (s, Sys.signal s behaviour)
         with Invalid_argument _ | Sys_error _ -> None)
-      [ Sys.sigint; Sys.sigterm ]
+      [
+        (Sys.sigint, drain);
+        (Sys.sigterm, drain);
+        (Sys.sigpipe, Sys.Signal_ignore);
+      ]
   in
   Fun.protect
     ~finally:(fun () ->
@@ -520,10 +587,7 @@ let serve_unix srv ~path =
         | cfd, _ ->
             if Atomic.get srv.stopping then Unix.close cfd
             else
-              add_thread srv
-                (Thread.create
-                   (fun () -> handle_conn srv (Protocol.conn_of_fd cfd))
-                   ())
+              spawn srv (fun () -> handle_conn srv (Protocol.conn_of_fd cfd))
         | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done

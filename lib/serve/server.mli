@@ -15,6 +15,9 @@
     ({!Rp_core.Pipeline.run_fresh_json}), which is what makes every
     response byte-identical to a one-shot CLI run; cross-request
     throughput comes from the cache, not from overlapping compiles.
+    Only deterministic reports are cached: a non-deterministic request
+    asks for fresh wall-clock measurements, so it bypasses the cache
+    on both lookup and fill.
 
     {2 Degradation under load}
 
@@ -24,8 +27,8 @@
     - [deadline_s]: a compile that has not produced its future's
       result within the deadline is answered with a [Timeout] error;
       the worker finishes in the background (a running domain cannot
-      be killed), still populates the cache, and only then releases
-      its inflight slot.
+      be killed), still populates the cache (deterministic requests
+      only), and only then releases its inflight slot.
     - Shutdown (SIGINT/SIGTERM on {!serve_unix}, a [Shutdown] request,
       or {!request_shutdown}): the listener closes, in-flight work is
       drained and answered, further compile requests get a
@@ -73,8 +76,11 @@ val handle_conn : t -> Protocol.conn -> unit
 val loopback : t -> Protocol.conn
 
 (** Bind [path], accept until shutdown (SIGINT/SIGTERM are hooked to
-    {!request_shutdown}), then drain and release everything
-    ({!stop}). The socket file is unlinked on the way out. *)
+    {!request_shutdown}, SIGPIPE is ignored so a peer hanging up
+    mid-response surfaces as an [EPIPE] on the write instead of
+    killing the process), then drain and release everything
+    ({!stop}). Signal dispositions are restored and the socket file
+    unlinked on the way out. *)
 val serve_unix : t -> path:string -> unit
 
 (** Drain and tear down a server that is not running {!serve_unix}

@@ -208,6 +208,31 @@ let test_deadline () =
   | Proto.Report { cached = true; _ } -> ()
   | r -> Alcotest.failf "expected cached Report, got %s" (response_label r)
 
+let test_nondet_bypasses_cache () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  let req =
+    { Proto.target = `Source "int main() { return 0; }";
+      options; deterministic = false }
+  in
+  (* a non-deterministic report carries wall-clock timings, so neither
+     request may be answered from the cache, and neither may fill it *)
+  List.iter
+    (fun name ->
+      match Client.compile c req with
+      | Proto.Report { cached = false; _ } -> ()
+      | r -> Alcotest.failf "%s: %s" name (response_label r))
+    [ "first non-det compile"; "second non-det compile" ];
+  Alcotest.(check int) "cache untouched" 0
+    (Cache.stats (Server.cache srv)).Cache.entries;
+  (* the same source requested deterministically is cached as usual *)
+  (match Client.compile c { req with Proto.deterministic = true } with
+  | Proto.Report { cached = false; _ } -> ()
+  | r -> Alcotest.failf "det compile: %s" (response_label r));
+  match Client.compile c { req with Proto.deterministic = true } with
+  | Proto.Report { cached = true; _ } -> ()
+  | r -> Alcotest.failf "det recompile: %s" (response_label r)
+
 let test_stats () =
   with_server @@ fun srv ->
   with_client srv @@ fun c ->
@@ -242,6 +267,15 @@ let test_shutdown () =
   | Proto.Error { kind = Proto.Shutting_down; _ } -> ()
   | r -> Alcotest.failf "compile during drain: %s" (response_label r)
 
+let test_stop_idempotent () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  Alcotest.(check bool) "ping" true (Client.ping c);
+  (* explicit stop, then the with_server finally stops again: the
+     teardown must be claimed exactly once, never drained twice *)
+  Server.stop srv;
+  Server.stop srv
+
 (* ------------------------------------------------------------------ *)
 
 let suite =
@@ -254,6 +288,9 @@ let suite =
     Alcotest.test_case "garbled json payload" `Quick test_garbled_json;
     Alcotest.test_case "busy shedding" `Quick test_busy_shedding;
     Alcotest.test_case "deadline timeout" `Slow test_deadline;
+    Alcotest.test_case "non-deterministic bypasses cache" `Quick
+      test_nondet_bypasses_cache;
     Alcotest.test_case "stats document" `Quick test_stats;
     Alcotest.test_case "shutdown drain" `Quick test_shutdown;
+    Alcotest.test_case "stop idempotent" `Quick test_stop_idempotent;
   ]
