@@ -7,13 +7,23 @@
      dune exec bench/main.exe -- quick       -- skip the Bechamel timings
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
-              ablation3 ablation4 ablation5 scaling gen serve golden
-              json bechamel
+              ablation3 ablation4 ablation5 scaling gen interp serve
+              golden gate json bechamel
 
    "serve" runs the compile daemon over the in-process loopback
    transport: a cold round (all cache misses) against a warm round of
    concurrent clients (all hits), reporting mean/p50/p99 latency,
-   request rate and hit ratios.
+   request rate and hit ratios, plus the cold latency of one gen480
+   request (the largest single compile the suite exercises).
+
+   "interp" records the flat-decoded engine's throughput on the
+   pipeline's two dynamic runs per workload: decode vs execute split,
+   minor-heap allocation, executed instructions per second, and the
+   speedup over the tree-walking engine baseline baked in below.
+
+   "gate" (opt-in, used by CI) re-times gen240's profile+measure wall
+   clock and fails if it regressed more than 2x over the committed
+   BENCH_promotion.json; run it before "json" rewrites the file.
 
    "scaling" times the compile-only pipeline (Pipeline.optimise)
    serially and on 2 and 4 domains, per workload, with the speedup.
@@ -680,6 +690,112 @@ let gen sizes =
   gen_results := rs
 
 (* ------------------------------------------------------------------ *)
+(* Interp: throughput of the flat-decoded execution engine on the
+   pipeline's two dynamic runs (profile and measure) at fuel 80M.  Per
+   workload: the decode vs execute split inside each run, the
+   minor-heap allocation of each run, executed instructions per
+   second, and the speedup over the tree-walking engine recorded just
+   before the flat engine landed. *)
+
+type interp_result = {
+  i_name : string;
+  i_profile_ms : float;
+  i_profile_decode_ms : float;
+  i_profile_exec_ms : float;
+  i_measure_ms : float;
+  i_measure_decode_ms : float;
+  i_measure_exec_ms : float;
+  i_profile_mwords : float;  (** minor words of the profile run, in M *)
+  i_measure_mwords : float;
+  i_instrs : int;  (** executed instructions, profile + measure *)
+  i_instrs_per_sec : float;  (** over the two runs' execute time only *)
+}
+
+let interp_results : interp_result list ref = ref []
+
+(* Tree-walker numbers from the commit just before the flat-decoded
+   engine, same container, same fuel (80M), single pipeline run:
+   (profile_ms, measure_ms, profile minor Mwords, measure minor
+   Mwords).  The denominator of the speedup and alloc-drop columns
+   here, in EXPERIMENTS.md and in BENCH_promotion.json. *)
+let interp_baseline =
+  [
+    ("go", (129.62, 96.93, 14.71, 15.08));
+    ("li", (27.83, 28.30, 5.30, 5.35));
+    ("ijpeg", (112.72, 115.58, 18.72, 18.84));
+    ("perl", (76.79, 84.66, 13.36, 14.17));
+    ("m88k", (31.86, 31.90, 5.46, 5.88));
+    ("sc", (39.55, 32.80, 7.44, 7.46));
+    ("compr", (36.61, 36.48, 7.02, 7.14));
+    ("vortex", (38.13, 34.33, 7.12, 7.12));
+    ("gen240", (7.89, 12.33, 0.471, 1.09));
+    ("gen480", (12.08, 16.94, 0.795, 1.56));
+  ]
+
+let interp_one (w : R.workload) : interp_result =
+  (* warm-up (and fill the shared report cache), then record a second,
+     warm run — first-touch allocation would otherwise dominate the
+     decode column on the generated workloads *)
+  ignore (report_for w);
+  let r =
+    P.run ~options:{ P.default_options with fuel = 80_000_000 } w.R.source
+  in
+  let t k = try List.assoc k r.P.timing with Not_found -> 0.0 in
+  let instrs =
+    r.P.baseline.I.counters.I.instrs + r.P.final.I.counters.I.instrs
+  in
+  let exec_ms = t "profile_exec_ms" +. t "measure_exec_ms" in
+  {
+    i_name = w.R.name;
+    i_profile_ms = t "profile_ms";
+    i_profile_decode_ms = t "profile_decode_ms";
+    i_profile_exec_ms = t "profile_exec_ms";
+    i_measure_ms = t "measure_ms";
+    i_measure_decode_ms = t "measure_decode_ms";
+    i_measure_exec_ms = t "measure_exec_ms";
+    i_profile_mwords = t "profile_minor_words" /. 1e6;
+    i_measure_mwords = t "measure_minor_words" /. 1e6;
+    i_instrs = instrs;
+    i_instrs_per_sec =
+      (if exec_ms <= 0.0 then 0.0
+       else float_of_int instrs /. (exec_ms /. 1000.0));
+  }
+
+let interp () =
+  rule ();
+  print_endline
+    "Interp: flat-decoded engine, the pipeline's profile + measure runs";
+  print_endline
+    " (decode/exec split per run; speedup and alloc drop vs the tree-walker";
+  print_endline "  baseline recorded in bench/main.ml)";
+  rule ();
+  Printf.printf "%-8s %18s %18s %10s %9s %8s %7s\n" "bench"
+    "profile (dec+exec)" "measure (dec+exec)" "alloc" "Minstr/s" "speedup"
+    "alloc/";
+  let rs =
+    List.map interp_one (R.all @ [ R.generated 240; R.generated 480 ])
+  in
+  List.iter
+    (fun i ->
+      let speedup, adrop =
+        match List.assoc_opt i.i_name interp_baseline with
+        | Some (bp, bm, bpw, bmw) ->
+            ( (bp +. bm) /. (i.i_profile_ms +. i.i_measure_ms),
+              (bpw +. bmw) /. (i.i_profile_mwords +. i.i_measure_mwords) )
+        | None -> (0.0, 0.0)
+      in
+      Printf.printf
+        "%-8s %6.2f (%4.2f+%5.2f) %6.2f (%4.2f+%5.2f) %7.3f Mw %9.1f %7.1fx \
+         %5.0fx\n"
+        i.i_name i.i_profile_ms i.i_profile_decode_ms i.i_profile_exec_ms
+        i.i_measure_ms i.i_measure_decode_ms i.i_measure_exec_ms
+        (i.i_profile_mwords +. i.i_measure_mwords)
+        (i.i_instrs_per_sec /. 1e6)
+        speedup adrop)
+    rs;
+  interp_results := rs
+
+(* ------------------------------------------------------------------ *)
 (* Serve: throughput of the compile daemon over the loopback transport.
    A cold round (every seed workload once, all cache misses) against a
    warm round (concurrent clients replaying the same requests, all
@@ -700,6 +816,9 @@ type serve_result = {
   sv_warm_rps : float;
   sv_cold_hit_ratio : float;
   sv_warm_hit_ratio : float;
+  sv_cold_gen480_ms : float;
+      (** one cold gen480 request — the largest single compile the
+          suite exercises, kept out of the cold distribution above *)
 }
 
 let serve_results : serve_result option ref = ref None
@@ -748,12 +867,15 @@ let serve () =
     let m = after.Rp_serve.Cache.misses - before.Rp_serve.Cache.misses in
     if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
   in
-  (* cold round: one client, every workload once *)
+  (* cold round: one client, every seed workload once, then one gen480
+     request timed on its own (it would dominate the seed p99) *)
   let s0 = Rp_serve.Cache.stats (Server.cache srv) in
-  let cold =
+  let cold, cold_gen480 =
     let c = Client.of_conn (Server.loopback srv) in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-    List.map (fun w -> timed_compile c w) R.all
+    let seeds = List.map (fun w -> timed_compile c w) R.all in
+    let g = timed_compile c (R.generated 480) in
+    (seeds, g)
   in
   let s1 = Rp_serve.Cache.stats (Server.cache srv) in
   (* warm round: [clients] threads, each replaying the full list *)
@@ -796,6 +918,7 @@ let serve () =
       sv_warm_rps = float_of_int (List.length warm) /. warm_s;
       sv_cold_hit_ratio = hit_ratio s0 s1;
       sv_warm_hit_ratio = hit_ratio s1 s2;
+      sv_cold_gen480_ms = cold_gen480;
     }
   in
   serve_results := Some r;
@@ -809,7 +932,10 @@ let serve () =
     r.sv_warm_rps
     (r.sv_warm_hit_ratio *. 100.);
   Printf.printf "warm-over-cold mean speedup: %.1fx\n"
-    (r.sv_cold_mean_ms /. r.sv_warm_mean_ms)
+    (r.sv_cold_mean_ms /. r.sv_warm_mean_ms);
+  Printf.printf "cold gen480 request: %.3f ms (miss; excluded from the rows \
+                 above)\n"
+    r.sv_cold_gen480_ms
 
 (* ------------------------------------------------------------------ *)
 (* Golden check: the seed workloads' static load/store counts.  These
@@ -865,6 +991,78 @@ let golden () =
    readable — the file the repo's bench trajectory is built from. *)
 
 let json_file = "BENCH_promotion.json"
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: fresh gen240 profile+measure wall clock against
+   the committed BENCH_promotion.json.  CI runs this on the checked-in
+   artifact (so it must run BEFORE "json" rewrites the file) and fails
+   if the dynamic-measurement path got more than 2x slower.  The 2x
+   margin absorbs host noise; a real engine regression (the flat
+   engine is 5-10x faster than the tree-walker) blows straight
+   through it. *)
+
+let gate () =
+  rule ();
+  print_endline
+    "Gate: gen240 profile_ms+measure_ms vs the committed BENCH_promotion.json";
+  print_endline " (CI fails this artifact on a >2x regression)";
+  rule ();
+  let module J = Rp_obs.Json in
+  let fail msg =
+    Printf.printf "gate FAILED: %s\n" msg;
+    exit 1
+  in
+  let assoc k = function J.Obj l -> List.assoc_opt k l | _ -> None in
+  let num = function
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let committed_ms =
+    let text =
+      try In_channel.with_open_text json_file In_channel.input_all
+      with Sys_error e -> fail ("cannot read " ^ json_file ^ ": " ^ e)
+    in
+    match J.parse text with
+    | Error e -> fail (json_file ^ ": " ^ e)
+    | Ok doc -> (
+        let entry =
+          match assoc "interp" doc with
+          | Some (J.Arr entries) ->
+              List.find_opt
+                (fun e -> assoc "name" e = Some (J.Str "gen240"))
+                entries
+          | _ -> None
+        in
+        match entry with
+        | None -> fail (json_file ^ ": no interp entry for gen240")
+        | Some e -> (
+            match (num (assoc "profile_ms" e), num (assoc "measure_ms" e)) with
+            | Some p, Some m -> p +. m
+            | _ -> fail "gen240 interp entry lacks profile_ms/measure_ms"))
+  in
+  (* best of three fresh runs, so one scheduler hiccup can't fail CI *)
+  let src = (R.generated 240).R.source in
+  let options = { P.default_options with fuel = 80_000_000 } in
+  let one () =
+    let r = P.run ~options src in
+    List.assoc "profile_ms" r.P.timing +. List.assoc "measure_ms" r.P.timing
+  in
+  ignore (one ());
+  let fresh = ref infinity in
+  for _ = 1 to 3 do
+    let t = one () in
+    if t < !fresh then fresh := t
+  done;
+  Printf.printf
+    "gen240 profile+measure: committed %.3f ms, fresh (best of 3) %.3f ms \
+     (%.2fx)\n"
+    committed_ms !fresh (!fresh /. committed_ms);
+  if !fresh > 2.0 *. committed_ms then
+    fail
+      (Printf.sprintf "%.3f ms exceeds 2x the committed %.3f ms" !fresh
+         committed_ms)
+  else print_endline "gate passed"
 
 let json_artifact () =
   let module J = Rp_obs.Json in
@@ -972,6 +1170,44 @@ let json_artifact () =
                        ]
                    | None -> []))
                !gen_results) );
+        ( "interp",
+          (* filled when the "interp" artifact ran in this invocation *)
+          J.Arr
+            (List.map
+               (fun i ->
+                 J.Obj
+                   ([
+                      ("name", J.Str i.i_name);
+                      ("profile_ms", J.Float i.i_profile_ms);
+                      ("profile_decode_ms", J.Float i.i_profile_decode_ms);
+                      ("profile_exec_ms", J.Float i.i_profile_exec_ms);
+                      ("measure_ms", J.Float i.i_measure_ms);
+                      ("measure_decode_ms", J.Float i.i_measure_decode_ms);
+                      ("measure_exec_ms", J.Float i.i_measure_exec_ms);
+                      ("profile_minor_mwords", J.Float i.i_profile_mwords);
+                      ("measure_minor_mwords", J.Float i.i_measure_mwords);
+                      ("instrs", J.Int i.i_instrs);
+                      ("instrs_per_sec", J.Float i.i_instrs_per_sec);
+                    ]
+                   @
+                   match List.assoc_opt i.i_name interp_baseline with
+                   | Some (bp, bm, bpw, bmw) ->
+                       [
+                         ("tree_profile_ms", J.Float bp);
+                         ("tree_measure_ms", J.Float bm);
+                         ("tree_profile_minor_mwords", J.Float bpw);
+                         ("tree_measure_minor_mwords", J.Float bmw);
+                         ( "speedup",
+                           J.Float
+                             ((bp +. bm)
+                             /. (i.i_profile_ms +. i.i_measure_ms)) );
+                         ( "alloc_drop",
+                           J.Float
+                             ((bpw +. bmw)
+                             /. (i.i_profile_mwords +. i.i_measure_mwords)) );
+                       ]
+                   | None -> []))
+               !interp_results) );
         ( "serve",
           (* filled when the "serve" artifact ran in this invocation *)
           match !serve_results with
@@ -988,6 +1224,7 @@ let json_artifact () =
                         ("p50_ms", J.Float r.sv_cold_p50_ms);
                         ("p99_ms", J.Float r.sv_cold_p99_ms);
                         ("hit_ratio", J.Float r.sv_cold_hit_ratio);
+                        ("gen480_ms", J.Float r.sv_cold_gen480_ms);
                       ] );
                   ( "warm",
                     J.Obj
@@ -1096,9 +1333,12 @@ let () =
   if want "scaling" then scaling ();
   if want "gen" then
     gen (if gen_sizes = [] then default_gen_sizes else gen_sizes);
+  if want "interp" then interp ();
   if want "serve" then serve ();
+  (* opt-in CI gates, not part of the default sweep; "gate" reads the
+     committed artifact, so it must run before "json" rewrites it *)
+  if List.mem "gate" args then gate ();
   if want "json" then json_artifact ();
-  (* opt-in: the CI drift gate, not part of the default sweep *)
   if List.mem "golden" args then golden ();
   if want "bechamel" && not quick then bechamel ();
   rule ();

@@ -42,6 +42,11 @@ let guarded f =
   | Rp_interp.Interp.Runtime_error m ->
       Printf.eprintf "rpromote: runtime error: %s\n" m;
       1
+  | Rp_interp.Interp.Out_of_fuel budget ->
+      Printf.eprintf
+        "rpromote: interpreter fuel exhausted (budget %d); raise --fuel\n"
+        budget;
+      1
   | Sys_error m ->
       Printf.eprintf "rpromote: %s\n" m;
       1
@@ -61,9 +66,14 @@ let engine_of_string s =
   | Some e -> e
   | None -> raise (Usage_error ("unknown IDF engine: " ^ s))
 
+let interp_of_string s =
+  match P.interp_engine_of_string s with
+  | Some e -> e
+  | None -> raise (Usage_error ("unknown interpreter engine: " ^ s))
+
 (* pipeline options from the promote/client flag set *)
 let mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
-    ~min_profit ~checkpoints ~trace ~jobs () =
+    ~min_profit ~checkpoints ~trace ~jobs ~interp () =
   {
     P.promote =
       {
@@ -80,6 +90,7 @@ let mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
        implies collecting the trace *)
     trace;
     jobs;
+    interp = interp_of_string interp;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -103,7 +114,7 @@ let emit_json ~label ~dest report =
   else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
 
 let cmd_promote path fuel static_profile no_store_removal singleton_deref
-    engine min_profit json trace checkpoints jobs deterministic =
+    engine min_profit json trace checkpoints jobs deterministic interp =
  guarded @@ fun () ->
   if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   Rp_obs.Trace.set_deterministic deterministic;
@@ -112,7 +123,7 @@ let cmd_promote path fuel static_profile no_store_removal singleton_deref
     mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
       ~min_profit ~checkpoints
       ~trace:(trace || json <> None)
-      ~jobs ()
+      ~jobs ~interp ()
   in
   let report = P.run ~options src in
   (match json with
@@ -238,7 +249,7 @@ let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
   0
 
 let cmd_client socket path op fuel static_profile no_store_removal
-    singleton_deref engine min_profit json deterministic =
+    singleton_deref engine min_profit json deterministic interp =
  guarded @@ fun () ->
   let with_client f =
     let c = Client.connect ~path:socket in
@@ -281,7 +292,7 @@ let cmd_client socket path op fuel static_profile no_store_removal
       in
       let options =
         mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref
-          ~engine ~min_profit ~checkpoints:false ~trace:true ~jobs:1 ()
+          ~engine ~min_profit ~checkpoints:false ~trace:true ~jobs:1 ~interp ()
       in
       with_client @@ fun c ->
       match Client.compile c { Proto.target; options; deterministic } with
@@ -328,6 +339,17 @@ let fuel_arg =
     value
     & opt int 50_000_000
     & info [ "fuel" ] ~docv:"N" ~doc:"Interpreter instruction budget.")
+
+(* --engine is taken by the IDF engine choice, so the interpreter
+   selection travels under its own name *)
+let interp_arg =
+  Arg.(
+    value & opt string "flat"
+    & info [ "interp" ] ~docv:"ENGINE"
+        ~doc:
+          "Interpreter for the profiling and measuring runs: $(b,flat) (the \
+           decoded engine, default) or $(b,tree) (the reference walker). \
+           Both produce identical reports.")
 
 let run_cmd =
   let doc = "interpret a MiniC program and print its output" in
@@ -413,7 +435,7 @@ let promote_cmd =
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
-      $ trace $ checkpoints $ jobs $ deterministic)
+      $ trace $ checkpoints $ jobs $ deterministic $ interp_arg)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in
@@ -585,7 +607,7 @@ let client_cmd =
     Term.(
       const cmd_client $ socket_arg $ file $ op $ fuel_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
-      $ deterministic)
+      $ deterministic $ interp_arg)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in

@@ -36,6 +36,8 @@ open Rp_ir
 open Rp_analysis
 open Rp_ssa
 module Interp = Rp_interp.Interp
+module Decode = Rp_interp.Decode
+module Engine = Rp_interp.Engine
 module Lower = Rp_minic.Lower
 module Trace = Rp_obs.Trace
 module Metrics = Rp_obs.Metrics
@@ -43,6 +45,14 @@ module Pool = Rp_par.Pool
 module J = Rp_obs.Json
 
 type profile_source = Measured | Static_estimate
+type interp_engine = Flat | Tree
+
+let interp_engine_of_string = function
+  | "flat" -> Some Flat
+  | "tree" -> Some Tree
+  | _ -> None
+
+let interp_engine_to_string = function Flat -> "flat" | Tree -> "tree"
 
 type options = {
   promote : Promote.config;
@@ -56,6 +66,10 @@ type options = {
   jobs : int;
       (** compile [jobs] functions concurrently on OCaml domains;
           1 (the default) keeps everything on the calling domain *)
+  interp : interp_engine;
+      (** which interpreter runs the profiling and measurement passes:
+          the flat-decoded engine (default) or the tree-walking oracle;
+          both produce identical observable results *)
 }
 
 let default_options =
@@ -67,6 +81,7 @@ let default_options =
     checkpoints = false;
     trace = false;
     jobs = 1;
+    interp = Flat;
   }
 
 type report = {
@@ -181,13 +196,17 @@ let prepare ?(options = default_options) (src : string) :
 (* Attach a profile: run the program and feed back measured counts, or
    fall back to the static estimator for functions never executed.
    Serial on purpose: the interpreter executes the whole program
-   against global memory. *)
-let attach_profile ?(options = default_options) (prog : Func.prog)
+   against global memory.  With [?decoded] the run uses the flat
+   engine on the given decoded image (which must be current for
+   [prog]); otherwise the tree-walking oracle. *)
+let attach_profile ?(options = default_options) ?decoded (prog : Func.prog)
     (trees : (string * Intervals.tree) list) : Interp.result =
   Trace.with_span "pipeline.attach_profile" @@ fun () ->
   let r =
     Trace.with_span "profile.run" (fun () ->
-        Interp.run ~fuel:options.fuel prog)
+        match decoded with
+        | Some d -> Engine.run ~fuel:options.fuel d
+        | None -> Interp.run ~fuel:options.fuel prog)
   in
   Trace.with_span "profile.apply" (fun () ->
       match options.profile with
@@ -274,7 +293,19 @@ let run ?(options = default_options) (src : string) : report =
   let t0 = Trace.wall_s () and a0 = Trace.alloc_words () in
   let prog, trees = prepare_in pool ~options src in
   let t_prepared = Trace.wall_s () and a_prepared = Trace.alloc_words () in
-  let baseline = attach_profile ~options prog trees in
+  (* Decode once for the flat engine; the image is refreshed (in the
+     same buffers) after promotion rewrites the IR, so both runs share
+     one layout, one set of interned names and one activation pool.
+     The span is emitted under both engines — the trace must have the
+     same shape whichever interpreter runs. *)
+  let decoded =
+    Trace.with_span "profile.decode" (fun () ->
+        match options.interp with
+        | Flat -> Some (Decode.decode prog)
+        | Tree -> None)
+  in
+  let t_pdecoded = Trace.wall_s () in
+  let baseline = attach_profile ~options ?decoded prog trees in
   let t_profiled = Trace.wall_s () and a_profiled = Trace.alloc_words () in
   let static_before = Stats.of_prog prog in
   let per_function = promote_prog_in pool ~options prog trees in
@@ -284,9 +315,14 @@ let run ?(options = default_options) (src : string) : report =
   finalise_in pool prog;
   let static_after = Stats.of_prog prog in
   let t_finalised = Trace.wall_s () and a_finalised = Trace.alloc_words () in
+  Trace.with_span "measure.decode" (fun () ->
+      match decoded with Some d -> Decode.refresh d | None -> ());
+  let t_mdecoded = Trace.wall_s () in
   let final =
     Trace.with_span "measure.run" (fun () ->
-        Interp.run ~fuel:options.fuel prog)
+        match decoded with
+        | Some d -> Engine.run ~fuel:options.fuel d
+        | None -> Interp.run ~fuel:options.fuel prog)
   in
   let t_measured = Trace.wall_s () and a_measured = Trace.alloc_words () in
   let alloc name a b =
@@ -313,9 +349,15 @@ let run ?(options = default_options) (src : string) : report =
       [
         ("prepare_ms", ms t0 t_prepared);
         ("profile_ms", ms t_prepared t_profiled);
+        (* decode/execute split of the two interpreter phases; the
+           decode components are 0 under the tree-walking oracle *)
+        ("profile_decode_ms", ms t_prepared t_pdecoded);
+        ("profile_exec_ms", ms t_pdecoded t_profiled);
         ("promote_ms", ms t_profiled t_promoted);
         ("finalise_ms", ms t_promoted t_finalised);
         ("measure_ms", ms t_finalised t_measured);
+        ("measure_decode_ms", ms t_finalised t_mdecoded);
+        ("measure_exec_ms", ms t_mdecoded t_measured);
         ("total_ms", ms t0 t_measured);
         alloc "prepare" a0 a_prepared;
         alloc "profile" a_prepared a_profiled;

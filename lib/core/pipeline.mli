@@ -27,6 +27,17 @@ type profile_source =
   | Measured  (** run the interpreter and feed the counts back *)
   | Static_estimate  (** loop-depth heuristic, no execution *)
 
+type interp_engine =
+  | Flat
+      (** flat-decoded engine: one decode pass per run into packed code
+          arrays, then an allocation-free dispatch loop ([Rp_interp.Engine]) *)
+  | Tree  (** the tree-walking reference oracle ([Rp_interp.Interp]) *)
+
+val interp_engine_of_string : string -> interp_engine option
+(** ["flat"] / ["tree"]. *)
+
+val interp_engine_to_string : interp_engine -> string
+
 type options = {
   promote : Promote.config;
       (** promotion knobs; [promote.engine] also selects the IDF engine
@@ -45,11 +56,16 @@ type options = {
   jobs : int;
       (** compile [jobs] functions concurrently on OCaml 5 domains;
           1 (the default) keeps everything on the calling domain *)
+  interp : interp_engine;
+      (** which interpreter runs the profiling and measurement passes;
+          both produce identical observable results (reports are
+          byte-identical in deterministic mode), the flat engine is
+          roughly an order of magnitude faster *)
 }
 
 val default_options : options
 (** [Measured] profile, 50M fuel, paper-default promotion config,
-    checkpoints and tracing off, [jobs = 1]. *)
+    checkpoints and tracing off, [jobs = 1], [interp = Flat]. *)
 
 type report = {
   prog : Func.prog;  (** the transformed program *)
@@ -67,8 +83,12 @@ type report = {
   final : Interp.result;
   timing : (string * float) list;
       (** wall-clock milliseconds per phase, in phase order:
-          [prepare_ms], [profile_ms], [promote_ms], [finalise_ms],
-          [measure_ms], [total_ms]. All zero in deterministic mode. *)
+          [prepare_ms], [profile_ms] (with its [profile_decode_ms] /
+          [profile_exec_ms] split), [promote_ms], [finalise_ms],
+          [measure_ms] (with [measure_decode_ms] / [measure_exec_ms]),
+          [total_ms], then the [*_minor_words] allocation deltas. The
+          decode components are 0 under the [Tree] engine. All zero in
+          deterministic mode. *)
 }
 
 (** Compile, normalise, build SSA and clean; returns the program and
@@ -77,15 +97,19 @@ val prepare :
   ?options:options -> string -> Func.prog * (string * Intervals.tree) list
 
 (** Attach a profile (measured or estimated) and return the profiling
-    run's result. *)
+    run's result. With [?decoded] (a current {!Rp_interp.Decode.t} for
+    the program) the measured run uses the flat engine; otherwise the
+    tree-walking oracle. *)
 val attach_profile :
   ?options:options ->
+  ?decoded:Rp_interp.Decode.t ->
   Func.prog ->
   (string * Intervals.tree) list ->
   Interp.result
 
 (** Full pipeline on a MiniC source string.
-    @raise Interp.Runtime_error when the program itself traps. *)
+    @raise Interp.Runtime_error when the program itself traps.
+    @raise Interp.Out_of_fuel when [options.fuel] runs out. *)
 val run : ?options:options -> string -> report
 
 (** Compile-only pipeline: {!prepare}, a static ([Freq.estimate])

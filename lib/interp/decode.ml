@@ -1,0 +1,515 @@
+(* Flat decoder: compiles each [Func.t] into a dense packed code array
+   with pre-resolved operands, so the execution engine ([Engine]) can
+   dispatch on int opcodes without touching the IR, hashing a name or
+   allocating a value.
+
+   Representation
+   --------------
+   A decoded function is one [int array] code stream.  Each instruction
+   occupies [opcode :: operands] slots.  An operand slot [o] encodes
+   either a register index ([o >= 0]) or a literal-pool index
+   ([o < 0] -> [lits.(-o-1)]); register names were already dense ints
+   in the IR, literals carry arbitrary 63-bit ints.  Branch targets are
+   code offsets (backpatched after emission), and every control
+   transfer carries the precomputed dense ids of the destination block
+   counter, the edge counter and the parallel-copy plan for the phis of
+   the destination block along that edge.
+
+   Counters are dense [int array]s in the engine: every function gets a
+   contiguous span of block ids ([block_base + bid]) and edge ids
+   ([edge_base + k] in emission order), so profiling is two array
+   increments per transition instead of two hashtable updates keyed by
+   allocated tuples.
+
+   Sharing between the profile and the measure run
+   -----------------------------------------------
+   [decode] builds the whole program once; [refresh] re-decodes the
+   (promotion-mutated) function bodies *into the same buffers*, growing
+   them only when the code got bigger.  The variable layout, interned
+   names, activation pools and scratch areas survive, so the second
+   decode allocates almost nothing. *)
+
+open Rp_ir
+
+(* Opcodes. [Engine]'s dispatch matches on these literal values; a
+   sanity check there keeps the two files in sync. *)
+let op_bin = 0 (* op dst l r *)
+let op_un = 1 (* op dst s *)
+let op_copy = 2 (* dst s *)
+let op_load = 3 (* dst vid *)
+let op_store = 4 (* vid s *)
+let op_addr = 5 (* dst vid off *)
+let op_pload = 6 (* dst addr *)
+let op_pstore = 7 (* addr s *)
+let op_call = 8 (* dst|-1 fid nargs a0.. *)
+let op_xcall = 9 (* dst|-1 nargs a0.. *)
+let op_call_unknown = 10 (* dst|-1 name nargs a0.. *)
+let op_nop = 11 (* - *)
+let op_rphi_body = 12 (* - *)
+let op_print = 13 (* s *)
+let op_jmp = 14 (* off blk edge plan *)
+let op_br = 15 (* cond toff tblk tedge tplan foff fblk fedge fplan *)
+let op_ret = 16 (* has s *)
+
+let binop_code : Instr.binop -> int = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.Mul -> 2
+  | Instr.Div -> 3
+  | Instr.Rem -> 4
+  | Instr.Lt -> 5
+  | Instr.Le -> 6
+  | Instr.Gt -> 7
+  | Instr.Ge -> 8
+  | Instr.Eq -> 9
+  | Instr.Ne -> 10
+  | Instr.Band -> 11
+  | Instr.Bor -> 12
+  | Instr.Bxor -> 13
+  | Instr.Shl -> 14
+  | Instr.Shr -> 15
+
+let unop_code : Instr.unop -> int = function Instr.Neg -> 0 | Instr.Lnot -> 1
+
+(* Parallel-copy plan for the phis of one block along one incoming
+   edge.  [srcs]/[dsts] are in phi order; the engine reads sources
+   forward and writes destinations backward, reproducing the
+   tree-walker's read-all-then-write-in-reverse semantics (so on
+   duplicate destinations the first phi wins).  A negative source marks
+   a phi with no entry for this predecessor: the error fires during the
+   read pass, at the same position the tree-walker would raise. *)
+type plan = {
+  pdsts : int array;
+  psrcs : int array;
+  pbid : int;  (** destination block, for the error message *)
+  ppred : int;  (** predecessor, for the error message *)
+}
+
+(* Pooled per-activation storage: the register file (tag 0 = int,
+   1 = pointer, 2 = not yet written) and the save area for
+   address-taken locals.  Returned to the owning function's free list
+   on return, so steady-state calls allocate nothing. *)
+type activation = {
+  rtag : Bytes.t;
+  ra : int array;
+  rb : int array;
+  stag : Bytes.t;
+  sa : int array;
+  sb : int array;
+}
+
+type dfunc = {
+  fid : int;
+  name : string;
+  mutable params : int array;
+  mutable nregs : int;
+  locals : int array;  (** address-taken local vids, save/restore order *)
+  mutable code : int array;
+  mutable code_len : int;
+  mutable lits : int array;
+  mutable nlits : int;
+  mutable strs : string array;  (** unknown-callee names *)
+  mutable nstrs : int;
+  mutable plans : plan array;
+  mutable nplans : int;
+  mutable entry_off : int;
+  mutable entry_block : int;  (** global block-counter id of the entry *)
+  mutable nblocks : int;
+  mutable block_base : int;
+  mutable edge_base : int;
+  mutable nedges : int;
+  mutable edge_src : int array;  (** edge id -> source bid *)
+  mutable edge_dst : int array;
+  mutable scratch : int;  (** needed scratch cells: max(plan, call arity) *)
+  mutable stag_s : Bytes.t;  (** shared scratch: phi reads / call args *)
+  mutable sa_s : int array;
+  mutable sb_s : int array;
+  mutable pool : activation array;  (** free list as a stack: no consing *)
+  mutable npool : int;
+}
+
+let dummy_act =
+  {
+    rtag = Bytes.create 0;
+    ra = [||];
+    rb = [||];
+    stag = Bytes.create 0;
+    sa = [||];
+    sb = [||];
+  }
+
+type t = {
+  prog : Func.prog;
+  nvars : int;
+  array_len : int array;  (** vid -> length; -1 for scalars *)
+  mem_init : int array;  (** vid -> initial value *)
+  fnames : string array;
+  fids : (string, int) Hashtbl.t;
+  funcs : dfunc array;
+  main_fid : int;  (** -1 when the program has no [main] *)
+  mutable total_blocks : int;
+  mutable total_edges : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Growable-buffer helpers (manual: the buffers survive refreshes). *)
+
+let grow_int (a : int array) (len : int) (need : int) =
+  if need <= Array.length a then a
+  else begin
+    let a' = Array.make (max need (2 * max 1 (Array.length a))) 0 in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let emit (df : dfunc) (x : int) =
+  df.code <- grow_int df.code df.code_len (df.code_len + 1);
+  df.code.(df.code_len) <- x;
+  df.code_len <- df.code_len + 1
+
+let add_lit (df : dfunc) (n : int) : int =
+  df.lits <- grow_int df.lits df.nlits (df.nlits + 1);
+  df.lits.(df.nlits) <- n;
+  df.nlits <- df.nlits + 1;
+  -df.nlits (* slot encoding: -idx-1 *)
+
+let add_str (df : dfunc) (s : string) : int =
+  if Array.length df.strs <= df.nstrs then begin
+    let a = Array.make (max 4 (2 * df.nstrs)) "" in
+    Array.blit df.strs 0 a 0 df.nstrs;
+    df.strs <- a
+  end;
+  df.strs.(df.nstrs) <- s;
+  df.nstrs <- df.nstrs + 1;
+  df.nstrs - 1
+
+let add_plan (df : dfunc) (p : plan) : int =
+  if Array.length df.plans <= df.nplans then begin
+    let a =
+      Array.make (max 4 (2 * df.nplans))
+        { pdsts = [||]; psrcs = [||]; pbid = 0; ppred = 0 }
+    in
+    Array.blit df.plans 0 a 0 df.nplans;
+    df.plans <- a
+  end;
+  df.plans.(df.nplans) <- p;
+  df.nplans <- df.nplans + 1;
+  df.nplans - 1
+
+let operand_slot (df : dfunc) : Instr.operand -> int = function
+  | Instr.Reg r -> r
+  | Instr.Imm n -> add_lit df n
+
+(* ------------------------------------------------------------------ *)
+(* Per-function decode *)
+
+(* The parallel-copy plan for edge [pred -> b]; [-1] when [b] has no
+   register phis. *)
+let plan_for (df : dfunc) (b : Block.t) ~(pred : int) : int =
+  let n =
+    Iseq.fold_left
+      (fun acc (i : Instr.t) ->
+        match i.op with Instr.Rphi _ -> acc + 1 | _ -> acc)
+      0 b.Block.phis
+  in
+  if n = 0 then -1
+  else begin
+    let pdsts = Array.make n 0 and psrcs = Array.make n (-1) in
+    let k = ref 0 in
+    Iseq.iter
+      (fun (i : Instr.t) ->
+        match i.op with
+        | Instr.Rphi { dst; srcs } ->
+            pdsts.(!k) <- dst;
+            (match List.assoc_opt pred srcs with
+            | Some r -> psrcs.(!k) <- r
+            | None -> psrcs.(!k) <- -1);
+            incr k
+        | _ -> ())
+      b.Block.phis;
+    if !k > df.scratch then df.scratch <- !k;
+    add_plan df { pdsts; psrcs; pbid = b.Block.bid; ppred = pred }
+  end
+
+(* A control transfer [src -> dst]: allocate the edge counter and build
+   the phi plan; emits [off(=dst bid, patched later); block; edge;
+   plan]. *)
+let emit_edge (df : dfunc) (f : Func.t) ~(src : int) ~(dst : int) =
+  let e = df.nedges in
+  df.edge_src <- grow_int df.edge_src e (e + 1);
+  df.edge_dst <- grow_int df.edge_dst e (e + 1);
+  df.edge_src.(e) <- src;
+  df.edge_dst.(e) <- dst;
+  df.nedges <- e + 1;
+  let target = Func.block f dst in
+  emit df dst;
+  emit df (df.block_base + dst);
+  emit df (df.edge_base + e);
+  emit df (plan_for df target ~pred:src)
+
+let decode_instr (dec : t) (df : dfunc) (i : Instr.t) =
+  match i.op with
+  | Instr.Bin { dst; op; l; r } ->
+      emit df op_bin;
+      emit df (binop_code op);
+      emit df dst;
+      emit df (operand_slot df l);
+      emit df (operand_slot df r)
+  | Instr.Un { dst; op; src } ->
+      emit df op_un;
+      emit df (unop_code op);
+      emit df dst;
+      emit df (operand_slot df src)
+  | Instr.Copy { dst; src } ->
+      emit df op_copy;
+      emit df dst;
+      emit df (operand_slot df src)
+  | Instr.Load { dst; src } ->
+      emit df op_load;
+      emit df dst;
+      emit df src.Resource.base
+  | Instr.Store { dst; src } ->
+      emit df op_store;
+      emit df dst.Resource.base;
+      emit df (operand_slot df src)
+  | Instr.Addr_of { dst; var; off } ->
+      emit df op_addr;
+      emit df dst;
+      emit df var;
+      emit df (operand_slot df off)
+  | Instr.Ptr_load { dst; addr; muses = _ } ->
+      emit df op_pload;
+      emit df dst;
+      emit df (operand_slot df addr)
+  | Instr.Ptr_store { addr; src; mdefs = _; muses = _ } ->
+      emit df op_pstore;
+      emit df (operand_slot df addr);
+      emit df (operand_slot df src)
+  | Instr.Call { dst; callee; args; mdefs = _; muses = _ } -> (
+      let nargs = List.length args in
+      if nargs > df.scratch then df.scratch <- nargs;
+      let dst_slot = match dst with Some d -> d | None -> -1 in
+      match callee with
+      | Instr.User name -> (
+          match Hashtbl.find_opt dec.fids name with
+          | Some callee_fid ->
+              emit df op_call;
+              emit df dst_slot;
+              emit df callee_fid;
+              emit df nargs;
+              List.iter (fun a -> emit df (operand_slot df a)) args
+          | None ->
+              (* still an error only if executed, after evaluating the
+                 arguments — exactly like the tree-walker *)
+              emit df op_call_unknown;
+              emit df dst_slot;
+              emit df (add_str df name);
+              emit df nargs;
+              List.iter (fun a -> emit df (operand_slot df a)) args)
+      | Instr.Extern _ ->
+          emit df op_xcall;
+          emit df dst_slot;
+          emit df nargs;
+          List.iter (fun a -> emit df (operand_slot df a)) args)
+  | Instr.Dummy_aload _ | Instr.Exit_use _ | Instr.Mphi _ -> emit df op_nop
+  | Instr.Rphi _ -> emit df op_rphi_body
+  | Instr.Print { src } ->
+      emit df op_print;
+      emit df (operand_slot df src)
+
+(* Walk the emitted stream once more and turn branch-target block ids
+   into code offsets. *)
+let patch_targets (df : dfunc) (block_off : int array) =
+  let pc = ref 0 in
+  let code = df.code in
+  while !pc < df.code_len do
+    let op = code.(!pc) in
+    if op = op_bin then pc := !pc + 5
+    else if op = op_un then pc := !pc + 4
+    else if op = op_copy || op = op_load || op = op_store || op = op_pload
+            || op = op_pstore then pc := !pc + 3
+    else if op = op_addr then pc := !pc + 4
+    else if op = op_call || op = op_call_unknown then
+      pc := !pc + 4 + code.(!pc + 3)
+    else if op = op_xcall then pc := !pc + 3 + code.(!pc + 2)
+    else if op = op_nop || op = op_rphi_body then incr pc
+    else if op = op_print then pc := !pc + 2
+    else if op = op_jmp then begin
+      code.(!pc + 1) <- block_off.(code.(!pc + 1));
+      pc := !pc + 5
+    end
+    else if op = op_br then begin
+      code.(!pc + 2) <- block_off.(code.(!pc + 2));
+      code.(!pc + 6) <- block_off.(code.(!pc + 6));
+      pc := !pc + 10
+    end
+    else if op = op_ret then pc := !pc + 3
+    else assert false
+  done
+
+let decode_func (dec : t) (df : dfunc) (f : Func.t) =
+  df.code_len <- 0;
+  df.nlits <- 0;
+  df.nstrs <- 0;
+  df.nplans <- 0;
+  df.nedges <- 0;
+  df.nblocks <- Func.num_blocks f;
+  df.nregs <- f.Func.next_reg;
+  df.params <-
+    (let ps = f.Func.params in
+     let a = Array.make (List.length ps) 0 in
+     List.iteri (fun i r -> a.(i) <- r) ps;
+     a);
+  let block_off = Array.make (max df.nblocks 1) (-1) in
+  for bid = 0 to df.nblocks - 1 do
+    let b = Func.block f bid in
+    if not b.Block.dead then begin
+      block_off.(bid) <- df.code_len;
+      Iseq.iter (fun i -> decode_instr dec df i) b.Block.body;
+      match b.Block.term with
+      | Block.Jmp l ->
+          emit df op_jmp;
+          emit_edge df f ~src:bid ~dst:l
+      | Block.Br { cond; t; f = fl } ->
+          emit df op_br;
+          emit df (operand_slot df cond);
+          emit_edge df f ~src:bid ~dst:t;
+          emit_edge df f ~src:bid ~dst:fl
+      | Block.Ret op -> (
+          emit df op_ret;
+          match op with
+          | Some o ->
+              emit df 1;
+              emit df (operand_slot df o)
+          | None ->
+              emit df 0;
+              emit df 0)
+    end
+  done;
+  patch_targets df block_off;
+  df.entry_off <- block_off.(f.Func.entry);
+  df.entry_block <- df.block_base + f.Func.entry;
+  (* make sure the shared scratch and the pooled register files are
+     big enough for the (possibly promotion-grown) register count *)
+  if Bytes.length df.stag_s < df.scratch then begin
+    df.stag_s <- Bytes.make (max 8 (2 * df.scratch)) '\000';
+    df.sa_s <- Array.make (max 8 (2 * df.scratch)) 0;
+    df.sb_s <- Array.make (max 8 (2 * df.scratch)) 0
+  end;
+  if df.npool > 0 && Bytes.length df.pool.(0).rtag < df.nregs then begin
+    Array.fill df.pool 0 df.npool dummy_act;
+    df.npool <- 0
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let mk_dfunc ~fid ~name ~locals =
+  {
+    fid;
+    name;
+    params = [||];
+    nregs = 0;
+    locals;
+    code = [||];
+    code_len = 0;
+    lits = [||];
+    nlits = 0;
+    strs = [||];
+    nstrs = 0;
+    plans = [||];
+    nplans = 0;
+    entry_off = 0;
+    entry_block = 0;
+    nblocks = 0;
+    block_base = 0;
+    edge_base = 0;
+    nedges = 0;
+    edge_src = [||];
+    edge_dst = [||];
+    scratch = 0;
+    stag_s = Bytes.create 0;
+    sa_s = [||];
+    sb_s = [||];
+    pool = [||];
+    npool = 0;
+  }
+
+(* Decode every function, assigning the dense counter id spaces. *)
+let decode_all (dec : t) =
+  let blocks = ref 0 and edges = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let df = dec.funcs.(Hashtbl.find dec.fids f.Func.fname) in
+      df.block_base <- !blocks;
+      df.edge_base <- !edges;
+      decode_func dec df f;
+      blocks := !blocks + df.nblocks;
+      edges := !edges + df.nedges)
+    dec.prog.Func.funcs;
+  dec.total_blocks <- !blocks;
+  dec.total_edges <- !edges
+
+let decode (prog : Func.prog) : t =
+  let tab = prog.Func.vartab in
+  let nvars = Resource.num_vars tab in
+  let array_len = Array.make (max nvars 1) (-1) in
+  let mem_init = Array.make (max nvars 1) 0 in
+  let locals_tbl : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  Resource.iter_vars
+    (fun v ->
+      match v.Resource.vkind with
+      | Resource.Array len -> array_len.(v.Resource.vid) <- len
+      | Resource.Global | Resource.Struct_field _ ->
+          mem_init.(v.Resource.vid) <- v.Resource.vinit
+      | Resource.Addr_local fn ->
+          let cur =
+            match Hashtbl.find_opt locals_tbl fn with Some l -> l | None -> []
+          in
+          Hashtbl.replace locals_tbl fn (v.Resource.vid :: cur)
+      | Resource.Heap -> ())
+    tab;
+  let nfuncs = List.length prog.Func.funcs in
+  let fids = Hashtbl.create (2 * nfuncs) in
+  let fnames = Array.make (max nfuncs 1) "" in
+  List.iteri
+    (fun i (f : Func.t) ->
+      Hashtbl.replace fids f.Func.fname i;
+      fnames.(i) <- f.Func.fname)
+    prog.Func.funcs;
+  let funcs =
+    Array.of_list
+      (List.mapi
+         (fun i (f : Func.t) ->
+           let locals =
+             match Hashtbl.find_opt locals_tbl f.Func.fname with
+             | Some vids -> Array.of_list vids
+             | None -> [||]
+           in
+           mk_dfunc ~fid:i ~name:f.Func.fname ~locals)
+         prog.Func.funcs)
+  in
+  let main_fid =
+    match Hashtbl.find_opt fids "main" with Some i -> i | None -> -1
+  in
+  let dec =
+    {
+      prog;
+      nvars;
+      array_len;
+      mem_init;
+      fnames;
+      fids;
+      funcs;
+      main_fid;
+      total_blocks = 0;
+      total_edges = 0;
+    }
+  in
+  decode_all dec;
+  dec
+
+(* Re-decode after the IR was transformed (promotion rewrites bodies,
+   adds phis and registers).  The layout — variables, interned names,
+   buffers, activation pools — is reused; only code that grew
+   reallocates. *)
+let refresh (dec : t) = decode_all dec

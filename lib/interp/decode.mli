@@ -1,0 +1,110 @@
+(** Flat decoder: compiles each function into a dense packed [int
+    array] code stream with pre-resolved operands, code-offset branch
+    targets, per-edge parallel-copy plans for the phis, and dense
+    block/edge/call counter ids. [Engine] executes the result; the
+    representation is documented at the top of [decode.ml].
+
+    The types are concrete because the engine lives in the same
+    library and works directly on the arrays; treat them as read-only
+    outside [lib/interp]. *)
+
+open Rp_ir
+
+(** {2 Opcodes} (slot layouts in [decode.ml]) *)
+
+val op_bin : int
+val op_un : int
+val op_copy : int
+val op_load : int
+val op_store : int
+val op_addr : int
+val op_pload : int
+val op_pstore : int
+val op_call : int
+val op_xcall : int
+val op_call_unknown : int
+val op_nop : int
+val op_rphi_body : int
+val op_print : int
+val op_jmp : int
+val op_br : int
+val op_ret : int
+
+val binop_code : Instr.binop -> int
+val unop_code : Instr.unop -> int
+
+(** Parallel-copy plan for one (edge, phi block) pair; sources/
+    destinations in phi order, a negative source marks a phi with no
+    entry for this predecessor (the error fires when the edge runs). *)
+type plan = {
+  pdsts : int array;
+  psrcs : int array;
+  pbid : int;
+  ppred : int;
+}
+
+(** Pooled per-activation storage: register file (tag, payload,
+    pointer-offset) and the save area for address-taken locals. *)
+type activation = {
+  rtag : Bytes.t;
+  ra : int array;
+  rb : int array;
+  stag : Bytes.t;
+  sa : int array;
+  sb : int array;
+}
+
+val dummy_act : activation
+
+type dfunc = {
+  fid : int;
+  name : string;
+  mutable params : int array;
+  mutable nregs : int;
+  locals : int array;
+  mutable code : int array;
+  mutable code_len : int;
+  mutable lits : int array;
+  mutable nlits : int;
+  mutable strs : string array;
+  mutable nstrs : int;
+  mutable plans : plan array;
+  mutable nplans : int;
+  mutable entry_off : int;
+  mutable entry_block : int;
+  mutable nblocks : int;
+  mutable block_base : int;
+  mutable edge_base : int;
+  mutable nedges : int;
+  mutable edge_src : int array;
+  mutable edge_dst : int array;
+  mutable scratch : int;
+  mutable stag_s : Bytes.t;
+  mutable sa_s : int array;
+  mutable sb_s : int array;
+  mutable pool : activation array;
+  mutable npool : int;
+}
+
+type t = {
+  prog : Func.prog;
+  nvars : int;
+  array_len : int array;  (** vid -> length; -1 for scalars *)
+  mem_init : int array;
+  fnames : string array;
+  fids : (string, int) Hashtbl.t;
+  funcs : dfunc array;
+  main_fid : int;  (** -1 when the program has no [main] *)
+  mutable total_blocks : int;
+  mutable total_edges : int;
+}
+
+(** Decode the whole program once. *)
+val decode : Func.prog -> t
+
+(** Re-decode the function bodies after the IR was transformed
+    (promotion adds registers, phis and rewrites bodies) into the same
+    buffers: the variable layout, interned names, scratch areas and
+    activation pools are reused, so a refresh allocates almost
+    nothing. *)
+val refresh : t -> unit

@@ -1,0 +1,554 @@
+(* Flat-decoded execution engine.
+
+   Executes the packed code arrays produced by [Decode], with the exact
+   observable semantics of the tree-walking oracle in [Interp]: same
+   exit value, print trace, dynamic counters, block/edge/call counts,
+   and the same error messages raised at the same execution points
+   (differentially tested in the suite).
+
+   Value representation: parallel unboxed arrays instead of a boxed
+   [VInt | VPtr] variant.  Every storage location (register file,
+   scalar memory cells, array elements) is a (tag byte, payload int,
+   offset int) triple — tag 0 is an integer with the payload holding
+   the value, tag 1 a pointer with payload = base vid and offset in the
+   side array, and tag 2 (registers only) "not yet written".  The
+   dispatch loop therefore allocates nothing on the integer fast path:
+   operand reads, arithmetic, register writes, counter bumps and
+   control transfers are all int/byte array operations.  Calls draw
+   pooled activation records from the decoded function (a free-list
+   stack), so steady-state calls do not allocate either. *)
+
+let fail fmt = Format.kasprintf (fun m -> raise (Interp.Runtime_error m)) fmt
+
+(* Keep the literal opcode values the dispatch loop matches on in sync
+   with the decoder's emitters. *)
+let () =
+  assert (
+    Decode.(
+      op_bin = 0 && op_un = 1 && op_copy = 2 && op_load = 3 && op_store = 4
+      && op_addr = 5 && op_pload = 6 && op_pstore = 7 && op_call = 8
+      && op_xcall = 9 && op_call_unknown = 10 && op_nop = 11
+      && op_rphi_body = 12 && op_print = 13 && op_jmp = 14 && op_br = 15
+      && op_ret = 16))
+
+type rt = {
+  dec : Decode.t;
+  mtag : Bytes.t;  (** scalar memory cells: 0 = int, 1 = pointer *)
+  ma : int array;
+  mb : int array;
+  atag : Bytes.t array;  (** array elements, indexed by vid *)
+  aa : int array array;
+  ab : int array array;
+  mutable fuel : int;
+  budget : int;
+  counters : Interp.counters;
+  bcounts : int array;  (** dense block executions, [Decode] id space *)
+  ecounts : int array;
+  ccounts : int array;
+  mutable output_rev : int list;
+  mutable depth : int;
+  mutable extern_counter : int;
+  (* operand/result scratch: the current value, unboxed *)
+  mutable vtag : int;
+  mutable va : int;
+  mutable vb : int;
+  (* return-value channel: tag -1 = the callee returned nothing *)
+  mutable rtag : int;
+  mutable rva : int;
+  mutable rvb : int;
+}
+
+let tick rt =
+  rt.counters.Interp.instrs <- rt.counters.Interp.instrs + 1;
+  rt.fuel <- rt.fuel - 1;
+  if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+
+(* block-exit bookkeeping: the tree-walker burns one fuel per block on
+   top of its instructions *)
+let block_tick rt =
+  rt.fuel <- rt.fuel - 1;
+  if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+
+(* Read register [r] into the value scratch. *)
+let read_reg rt (df : Decode.dfunc) (act : Decode.activation) (r : int) =
+  let t = Char.code (Bytes.get act.rtag r) in
+  if t = 2 then fail "%s: register t%d read before it was written" df.name r;
+  rt.vtag <- t;
+  rt.va <- act.ra.(r);
+  rt.vb <- act.rb.(r)
+
+(* Read operand slot [o] into the value scratch: register if [o >= 0],
+   literal otherwise. *)
+let rd rt (df : Decode.dfunc) (act : Decode.activation) (o : int) =
+  if o >= 0 then read_reg rt df act o
+  else begin
+    rt.vtag <- 0;
+    rt.va <- df.lits.(-o - 1);
+    rt.vb <- 0
+  end
+
+let set_reg rt (act : Decode.activation) (d : int) =
+  Bytes.set act.rtag d (Char.chr rt.vtag);
+  act.ra.(d) <- rt.va;
+  act.rb.(d) <- rt.vb
+
+let set_int (act : Decode.activation) (d : int) (n : int) =
+  Bytes.set act.rtag d '\000';
+  act.ra.(d) <- n;
+  act.rb.(d) <- 0
+
+let as_int_v rt = if rt.vtag <> 0 then fail "pointer used as an integer" else rt.va
+
+(* Dereference the pointer in the value scratch, leaving the loaded
+   value there. *)
+let read_ptr_v rt =
+  if rt.vtag = 1 then begin
+    let v = rt.va and off = rt.vb in
+    let len = rt.dec.Decode.array_len.(v) in
+    if len >= 0 then begin
+      if off < 0 || off >= len then
+        fail "array index %d out of bounds for array of %d" off len;
+      rt.vtag <- Char.code (Bytes.get rt.atag.(v) off);
+      rt.va <- rt.aa.(v).(off);
+      rt.vb <- rt.ab.(v).(off)
+    end
+    else begin
+      if off <> 0 then fail "scalar pointer with non-zero offset";
+      rt.vtag <- Char.code (Bytes.get rt.mtag v);
+      rt.va <- rt.ma.(v);
+      rt.vb <- rt.mb.(v)
+    end
+  end
+  else if rt.va = 0 then fail "null pointer dereference"
+  else fail "integer used as a pointer"
+
+(* Store the value scratch through the pointer (ptag, pa, pb). *)
+let write_ptr rt ptag pa pb =
+  if ptag = 1 then begin
+    let len = rt.dec.Decode.array_len.(pa) in
+    if len >= 0 then begin
+      if pb < 0 || pb >= len then
+        fail "array index %d out of bounds for array of %d" pb len;
+      Bytes.set rt.atag.(pa) pb (Char.chr rt.vtag);
+      rt.aa.(pa).(pb) <- rt.va;
+      rt.ab.(pa).(pb) <- rt.vb
+    end
+    else begin
+      if pb <> 0 then fail "scalar pointer with non-zero offset";
+      Bytes.set rt.mtag pa (Char.chr rt.vtag);
+      rt.ma.(pa) <- rt.va;
+      rt.mb.(pa) <- rt.vb
+    end
+  end
+  else if pa = 0 then fail "null pointer dereference"
+  else fail "integer used as a pointer"
+
+(* The pointer cases of [Interp.eval_binop]; called when at least one
+   side is a pointer.  Leaves the result in the value scratch. *)
+let binop_slow rt bop ltag la lb rtag_ ra rb =
+  let ptr v off =
+    rt.vtag <- 1;
+    rt.va <- v;
+    rt.vb <- off
+  in
+  let int n =
+    rt.vtag <- 0;
+    rt.va <- n;
+    rt.vb <- 0
+  in
+  let bool_ p = int (if p then 1 else 0) in
+  if bop = 0 && ltag = 1 && rtag_ = 0 then ptr la (lb + ra)
+  else if bop = 0 && ltag = 0 && rtag_ = 1 then ptr ra (rb + la)
+  else if bop = 1 && ltag = 1 && rtag_ = 0 then ptr la (lb - ra)
+  else if ltag = 1 && rtag_ = 1 then
+    match bop with
+    | 9 (* Eq *) -> bool_ (la = ra && lb = rb)
+    | 10 (* Ne *) -> bool_ (not (la = ra && lb = rb))
+    | 5 (* Lt *) -> bool_ (la = ra && lb < rb)
+    | 6 (* Le *) -> bool_ (la = ra && lb <= rb)
+    | 7 (* Gt *) -> bool_ (la = ra && lb > rb)
+    | 8 (* Ge *) -> bool_ (la = ra && lb >= rb)
+    | _ -> fail "pointer used as an integer"
+  else fail "pointer used as an integer"
+
+(* Parallel copy for the phis along one edge: read all sources in phi
+   order into the function's scratch, then write destinations in
+   reverse (first phi wins on duplicates) — the oracle's exact
+   semantics, including which error fires first. *)
+let run_plan rt (df : Decode.dfunc) (act : Decode.activation)
+    (p : Decode.plan) =
+  let n = Array.length p.Decode.pdsts in
+  for i = 0 to n - 1 do
+    let s = p.Decode.psrcs.(i) in
+    if s < 0 then
+      fail "%s/b%d: phi has no source for pred b%d" df.name p.Decode.pbid
+        p.Decode.ppred;
+    read_reg rt df act s;
+    Bytes.set df.stag_s i (Char.chr rt.vtag);
+    df.sa_s.(i) <- rt.va;
+    df.sb_s.(i) <- rt.vb
+  done;
+  for i = n - 1 downto 0 do
+    let d = p.Decode.pdsts.(i) in
+    Bytes.set act.rtag d (Bytes.get df.stag_s i);
+    act.ra.(d) <- df.sa_s.(i);
+    act.rb.(d) <- df.sb_s.(i)
+  done
+
+let acquire (df : Decode.dfunc) : Decode.activation =
+  if df.npool > 0 then begin
+    df.npool <- df.npool - 1;
+    let act = df.pool.(df.npool) in
+    df.pool.(df.npool) <- Decode.dummy_act;
+    Bytes.fill act.rtag 0 (Bytes.length act.rtag) '\002';
+    act
+  end
+  else
+    {
+      Decode.rtag = Bytes.make (max df.nregs 1) '\002';
+      ra = Array.make (max df.nregs 1) 0;
+      rb = Array.make (max df.nregs 1) 0;
+      stag = Bytes.make (max (Array.length df.locals) 1) '\000';
+      sa = Array.make (max (Array.length df.locals) 1) 0;
+      sb = Array.make (max (Array.length df.locals) 1) 0;
+    }
+
+let release (df : Decode.dfunc) (act : Decode.activation) =
+  if df.npool >= Array.length df.pool then begin
+    let a =
+      Array.make (max 8 (2 * Array.length df.pool)) Decode.dummy_act
+    in
+    Array.blit df.pool 0 a 0 df.npool;
+    df.pool <- a
+  end;
+  df.pool.(df.npool) <- act;
+  df.npool <- df.npool + 1
+
+(* ------------------------------------------------------------------ *)
+
+let rec exec (rt : rt) (df : Decode.dfunc) (act : Decode.activation) =
+  let code = df.code in
+  let pc = ref df.entry_off in
+  let running = ref true in
+  while !running do
+    let base = !pc in
+    match code.(base) with
+    | 0 (* bin: op dst l r *) ->
+        tick rt;
+        rd rt df act code.(base + 4);
+        let rtag_ = rt.vtag and ra = rt.va and rb = rt.vb in
+        rd rt df act code.(base + 3);
+        let bop = code.(base + 1) in
+        if rt.vtag = 0 && rtag_ = 0 then begin
+          let x = rt.va and y = ra in
+          let z =
+            match bop with
+            | 0 -> x + y
+            | 1 -> x - y
+            | 2 -> x * y
+            | 3 -> if y = 0 then fail "division by zero" else x / y
+            | 4 -> if y = 0 then fail "division by zero" else x mod y
+            | 5 -> if x < y then 1 else 0
+            | 6 -> if x <= y then 1 else 0
+            | 7 -> if x > y then 1 else 0
+            | 8 -> if x >= y then 1 else 0
+            | 9 -> if x = y then 1 else 0
+            | 10 -> if x <> y then 1 else 0
+            | 11 -> x land y
+            | 12 -> x lor y
+            | 13 -> x lxor y
+            | 14 -> x lsl (y land 63)
+            | _ -> x asr (y land 63)
+          in
+          set_int act code.(base + 2) z
+        end
+        else begin
+          binop_slow rt bop rt.vtag rt.va rt.vb rtag_ ra rb;
+          set_reg rt act code.(base + 2)
+        end;
+        pc := base + 5
+    | 1 (* un: op dst s *) ->
+        tick rt;
+        rd rt df act code.(base + 3);
+        let x = as_int_v rt in
+        set_int act
+          code.(base + 2)
+          (if code.(base + 1) = 0 then -x else if x = 0 then 1 else 0);
+        pc := base + 4
+    | 2 (* copy: dst s *) ->
+        tick rt;
+        rd rt df act code.(base + 2);
+        set_reg rt act code.(base + 1);
+        pc := base + 3
+    | 3 (* load: dst vid *) ->
+        tick rt;
+        rt.counters.Interp.loads <- rt.counters.Interp.loads + 1;
+        let v = code.(base + 2) in
+        rt.vtag <- Char.code (Bytes.get rt.mtag v);
+        rt.va <- rt.ma.(v);
+        rt.vb <- rt.mb.(v);
+        set_reg rt act code.(base + 1);
+        pc := base + 3
+    | 4 (* store: vid s *) ->
+        tick rt;
+        rt.counters.Interp.stores <- rt.counters.Interp.stores + 1;
+        rd rt df act code.(base + 2);
+        let v = code.(base + 1) in
+        Bytes.set rt.mtag v (Char.chr rt.vtag);
+        rt.ma.(v) <- rt.va;
+        rt.mb.(v) <- rt.vb;
+        pc := base + 3
+    | 5 (* addr: dst vid off *) ->
+        tick rt;
+        rd rt df act code.(base + 3);
+        let off = as_int_v rt in
+        rt.vtag <- 1;
+        rt.va <- code.(base + 2);
+        rt.vb <- off;
+        set_reg rt act code.(base + 1);
+        pc := base + 4
+    | 6 (* pload: dst addr *) ->
+        tick rt;
+        rt.counters.Interp.aliased_loads <-
+          rt.counters.Interp.aliased_loads + 1;
+        rd rt df act code.(base + 2);
+        read_ptr_v rt;
+        set_reg rt act code.(base + 1);
+        pc := base + 3
+    | 7 (* pstore: addr s — source evaluated first, like the oracle *) ->
+        tick rt;
+        rt.counters.Interp.aliased_stores <-
+          rt.counters.Interp.aliased_stores + 1;
+        rd rt df act code.(base + 2);
+        let stag = rt.vtag and sa = rt.va and sb = rt.vb in
+        rd rt df act code.(base + 1);
+        let ptag = rt.vtag and pa = rt.va and pb = rt.vb in
+        rt.vtag <- stag;
+        rt.va <- sa;
+        rt.vb <- sb;
+        write_ptr rt ptag pa pb;
+        pc := base + 3
+    | 8 (* call: dst fid nargs a.. *) ->
+        tick rt;
+        rt.counters.Interp.aliased_loads <-
+          rt.counters.Interp.aliased_loads + 1;
+        rt.counters.Interp.aliased_stores <-
+          rt.counters.Interp.aliased_stores + 1;
+        let nargs = code.(base + 3) in
+        for k = 0 to nargs - 1 do
+          rd rt df act code.(base + 4 + k);
+          Bytes.set df.stag_s k (Char.chr rt.vtag);
+          df.sa_s.(k) <- rt.va;
+          df.sb_s.(k) <- rt.vb
+        done;
+        call_fn rt
+          rt.dec.Decode.funcs.(code.(base + 2))
+          df.stag_s df.sa_s df.sb_s nargs;
+        let dst = code.(base + 1) in
+        if dst >= 0 then
+          if rt.rtag < 0 then set_int act dst 0
+          else begin
+            Bytes.set act.rtag dst (Char.chr rt.rtag);
+            act.ra.(dst) <- rt.rva;
+            act.rb.(dst) <- rt.rvb
+          end;
+        pc := base + 4 + nargs
+    | 9 (* xcall: dst nargs a.. *) ->
+        tick rt;
+        rt.counters.Interp.aliased_loads <-
+          rt.counters.Interp.aliased_loads + 1;
+        rt.counters.Interp.aliased_stores <-
+          rt.counters.Interp.aliased_stores + 1;
+        let nargs = code.(base + 2) in
+        (* arguments are still evaluated (and may trap) *)
+        for k = 0 to nargs - 1 do
+          rd rt df act code.(base + 3 + k)
+        done;
+        rt.extern_counter <- rt.extern_counter + 1;
+        let dst = code.(base + 1) in
+        if dst >= 0 then set_int act dst (rt.extern_counter * 7919 mod 104729);
+        pc := base + 3 + nargs
+    | 10 (* call_unknown: dst name nargs a.. *) ->
+        tick rt;
+        rt.counters.Interp.aliased_loads <-
+          rt.counters.Interp.aliased_loads + 1;
+        rt.counters.Interp.aliased_stores <-
+          rt.counters.Interp.aliased_stores + 1;
+        let nargs = code.(base + 3) in
+        for k = 0 to nargs - 1 do
+          rd rt df act code.(base + 4 + k)
+        done;
+        fail "call to unknown function %s" df.strs.(code.(base + 2))
+    | 11 (* nop *) ->
+        tick rt;
+        pc := base + 1
+    | 12 (* rphi in body *) ->
+        tick rt;
+        fail "register phi outside the phi section"
+    | 13 (* print: s *) ->
+        tick rt;
+        rd rt df act code.(base + 1);
+        rt.output_rev <- as_int_v rt :: rt.output_rev;
+        pc := base + 2
+    | 14 (* jmp: off blk edge plan *) ->
+        block_tick rt;
+        rt.bcounts.(code.(base + 2)) <- rt.bcounts.(code.(base + 2)) + 1;
+        rt.ecounts.(code.(base + 3)) <- rt.ecounts.(code.(base + 3)) + 1;
+        let plan = code.(base + 4) in
+        if plan >= 0 then run_plan rt df act df.plans.(plan);
+        pc := code.(base + 1)
+    | 15 (* br: cond toff tblk tedge tplan foff fblk fedge fplan *) ->
+        block_tick rt;
+        rd rt df act code.(base + 1);
+        let side = if as_int_v rt <> 0 then base + 2 else base + 6 in
+        rt.bcounts.(code.(side + 1)) <- rt.bcounts.(code.(side + 1)) + 1;
+        rt.ecounts.(code.(side + 2)) <- rt.ecounts.(code.(side + 2)) + 1;
+        let plan = code.(side + 3) in
+        if plan >= 0 then run_plan rt df act df.plans.(plan);
+        pc := code.(side)
+    | 16 (* ret: has s *) ->
+        block_tick rt;
+        if code.(base + 1) = 1 then begin
+          rd rt df act code.(base + 2);
+          rt.rtag <- rt.vtag;
+          rt.rva <- rt.va;
+          rt.rvb <- rt.vb
+        end
+        else rt.rtag <- -1;
+        running := false
+    | _ -> assert false
+  done
+
+and call_fn (rt : rt) (df : Decode.dfunc) (stag : Bytes.t) (sa : int array)
+    (sb : int array) (nargs : int) =
+  if rt.depth > 500 then fail "call stack exhausted (depth 500)";
+  rt.depth <- rt.depth + 1;
+  rt.ccounts.(df.fid) <- rt.ccounts.(df.fid) + 1;
+  let act = acquire df in
+  (* fresh cells for this activation's address-taken locals *)
+  let nl = Array.length df.locals in
+  for i = 0 to nl - 1 do
+    let v = df.locals.(i) in
+    Bytes.set act.stag i (Bytes.get rt.mtag v);
+    act.sa.(i) <- rt.ma.(v);
+    act.sb.(i) <- rt.mb.(v);
+    Bytes.set rt.mtag v '\000';
+    rt.ma.(v) <- 0;
+    rt.mb.(v) <- 0
+  done;
+  if Array.length df.params <> nargs then
+    fail "arity mismatch calling %s" df.name;
+  for i = 0 to nargs - 1 do
+    let p = df.params.(i) in
+    Bytes.set act.rtag p (Bytes.get stag i);
+    act.ra.(p) <- sa.(i);
+    act.rb.(p) <- sb.(i)
+  done;
+  rt.bcounts.(df.entry_block) <- rt.bcounts.(df.entry_block) + 1;
+  exec rt df act;
+  for i = 0 to nl - 1 do
+    let v = df.locals.(i) in
+    Bytes.set rt.mtag v (Bytes.get act.stag i);
+    rt.ma.(v) <- act.sa.(i);
+    rt.mb.(v) <- act.sb.(i)
+  done;
+  release df act;
+  rt.depth <- rt.depth - 1
+
+(* ------------------------------------------------------------------ *)
+
+let empty_bytes = Bytes.create 0
+
+let empty_ints : int array = [||]
+
+(* Run the decoded program from [main], producing a result
+   indistinguishable from [Interp.run] on the same IR. *)
+let run ?(fuel = 50_000_000) (dec : Decode.t) : Interp.result =
+  if dec.Decode.main_fid < 0 then fail "program has no main function";
+  let nvars = dec.Decode.nvars in
+  let rt =
+    {
+      dec;
+      mtag = Bytes.make (max nvars 1) '\000';
+      ma = Array.copy dec.Decode.mem_init;
+      mb = Array.make (max nvars 1) 0;
+      atag =
+        Array.init nvars (fun v ->
+            let len = dec.Decode.array_len.(v) in
+            if len >= 0 then Bytes.make len '\000' else empty_bytes);
+      aa =
+        Array.init nvars (fun v ->
+            let len = dec.Decode.array_len.(v) in
+            if len >= 0 then Array.make len 0 else empty_ints);
+      ab =
+        Array.init nvars (fun v ->
+            let len = dec.Decode.array_len.(v) in
+            if len >= 0 then Array.make len 0 else empty_ints);
+      fuel;
+      budget = fuel;
+      counters =
+        {
+          Interp.loads = 0;
+          stores = 0;
+          aliased_loads = 0;
+          aliased_stores = 0;
+          instrs = 0;
+        };
+      bcounts = Array.make (max dec.Decode.total_blocks 1) 0;
+      ecounts = Array.make (max dec.Decode.total_edges 1) 0;
+      ccounts = Array.make (max (Array.length dec.Decode.funcs) 1) 0;
+      output_rev = [];
+      depth = 0;
+      extern_counter = 0;
+      vtag = 0;
+      va = 0;
+      vb = 0;
+      rtag = -1;
+      rva = 0;
+      rvb = 0;
+    }
+  in
+  call_fn rt dec.Decode.funcs.(dec.Decode.main_fid) empty_bytes empty_ints
+    empty_ints 0;
+  let exit_value =
+    if rt.rtag < 0 then 0
+    else if rt.rtag = 1 then fail "pointer used as an integer"
+    else rt.rva
+  in
+  (* rebuild the oracle-shaped tuple-keyed tables from the dense
+     counters: visited entries only, accumulating Br edges whose two
+     sides share a target *)
+  let block_counts = Hashtbl.create 64 in
+  let edge_counts = Hashtbl.create 64 in
+  let call_counts = Hashtbl.create 8 in
+  Array.iter
+    (fun (df : Decode.dfunc) ->
+      for bid = 0 to df.Decode.nblocks - 1 do
+        let c = rt.bcounts.(df.Decode.block_base + bid) in
+        if c > 0 then Hashtbl.replace block_counts (df.Decode.name, bid) c
+      done;
+      for e = 0 to df.Decode.nedges - 1 do
+        let c = rt.ecounts.(df.Decode.edge_base + e) in
+        if c > 0 then begin
+          let key =
+            (df.Decode.name, df.Decode.edge_src.(e), df.Decode.edge_dst.(e))
+          in
+          let prev =
+            match Hashtbl.find_opt edge_counts key with
+            | Some p -> p
+            | None -> 0
+          in
+          Hashtbl.replace edge_counts key (prev + c)
+        end
+      done;
+      let c = rt.ccounts.(df.Decode.fid) in
+      if c > 0 then Hashtbl.replace call_counts df.Decode.name c)
+    dec.Decode.funcs;
+  {
+    Interp.exit_value;
+    output = List.rev rt.output_rev;
+    counters = rt.counters;
+    block_counts;
+    edge_counts;
+    call_counts;
+  }

@@ -1,0 +1,12 @@
+(** Flat-decoded execution engine: runs [Decode]d programs with the
+    exact observable semantics of the tree-walking oracle ([Interp]) —
+    same exit value, print trace, dynamic counters, block/edge/call
+    counts, and the same error messages at the same execution points —
+    while keeping the dispatch loop allocation-free on the integer
+    fast path (unboxed tagged parallel arrays, pooled activations,
+    dense counter arrays).
+
+    @raise Interp.Runtime_error on the oracle's traps.
+    @raise Interp.Out_of_fuel when the instruction budget runs out. *)
+
+val run : ?fuel:int -> Decode.t -> Interp.result

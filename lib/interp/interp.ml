@@ -20,11 +20,21 @@
 
    Address-taken locals live in one cell per variable with saved/
    restored values across calls, giving proper stack semantics under
-   recursion. *)
+   recursion.
+
+   This tree-walker is the reference oracle; the production path is the
+   flat-decoded engine in [Decode]/[Engine].  Execution counts are kept
+   in dense per-function arrays and an open-addressed int-keyed table
+   (function names interned to ids once per run), so even the oracle
+   does not allocate per block transition; the public tuple-keyed
+   hashtables in [result] are built once at the end of the run. *)
 
 open Rp_ir
 
 exception Runtime_error of string
+
+exception Out_of_fuel of int
+(* carries the instruction budget that was exhausted *)
 
 let fail fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
 
@@ -51,25 +61,84 @@ type result = {
   call_counts : (string, int) Hashtbl.t;
 }
 
+(* Open-addressed int -> int counter table: linear probing over two
+   parallel arrays, no allocation on a bump that hits an existing key
+   (unlike [Hashtbl], whose buckets cons on insert and whose [find_opt]
+   boxes an option on every probe). Keys must be >= 0; -1 marks an
+   empty slot. *)
+module Icount = struct
+  type t = {
+    mutable keys : int array;
+    mutable vals : int array;
+    mutable size : int;
+    mutable mask : int;
+  }
+
+  let create () =
+    let cap = 256 in
+    { keys = Array.make cap (-1); vals = Array.make cap 0; size = 0; mask = cap - 1 }
+
+  (* Knuth multiplicative hash keeps clustered packed keys spread out. *)
+  let slot t k = (k * 0x9E3779B1) land max_int land t.mask
+
+  let rec grow t =
+    let old_keys = t.keys and old_vals = t.vals in
+    let cap = (t.mask + 1) * 2 in
+    t.keys <- Array.make cap (-1);
+    t.vals <- Array.make cap 0;
+    t.mask <- cap - 1;
+    t.size <- 0;
+    Array.iteri
+      (fun i k -> if k >= 0 then add t k old_vals.(i))
+      old_keys
+
+  and add t k v =
+    let rec probe i =
+      let k' = t.keys.(i) in
+      if k' = k then t.vals.(i) <- t.vals.(i) + v
+      else if k' < 0 then begin
+        t.keys.(i) <- k;
+        t.vals.(i) <- v;
+        t.size <- t.size + 1;
+        if t.size * 2 > t.mask then grow t
+      end
+      else probe ((i + 1) land t.mask)
+    in
+    probe (slot t k)
+
+  let bump t k = add t k 1
+
+  let iter f t =
+    Array.iteri (fun i k -> if k >= 0 then f k t.vals.(i)) t.keys
+end
+
+(* Packed edge key: function id, source bid, destination bid in one
+   non-negative int. 21 bits per block id and 20 for the function id
+   fit comfortably in OCaml's 63-bit ints. *)
+let bid_bits = 21
+let bid_limit = 1 lsl bid_bits
+
+let pack_edge ~fid ~src ~dst =
+  (((fid lsl bid_bits) lor src) lsl bid_bits) lor dst
+
 type state = {
   prog : Func.prog;
   mem : value array;  (** one cell per scalar memory variable *)
   arrays : (Ids.vid, value array) Hashtbl.t;
   mutable fuel : int;
+  budget : int;  (** the initial fuel, for {!Out_of_fuel} *)
   counters : counters;
-  block_counts : (string * Ids.bid, int) Hashtbl.t;
-  edge_counts : (string * Ids.bid * Ids.bid, int) Hashtbl.t;
-  call_counts : (string, int) Hashtbl.t;
+  fids : (string, int) Hashtbl.t;  (** interned function names *)
+  fnames : string array;
+  bcounts : int array array;  (** executions per block, [fid].[bid] *)
+  ecounts : Icount.t;  (** executions per edge, packed key *)
+  ccounts : int array;  (** calls per function, by fid *)
   mutable output_rev : int list;
   mutable depth : int;
   locals_of : (string, Ids.vid list) Hashtbl.t;
       (** address-taken locals per function, for save/restore *)
   mutable extern_counter : int;
 }
-
-let bump tbl key =
-  let c = match Hashtbl.find_opt tbl key with Some c -> c | None -> 0 in
-  Hashtbl.replace tbl key (c + 1)
 
 let init_state (prog : Func.prog) ~fuel : state =
   let tab = prog.Func.vartab in
@@ -91,16 +160,31 @@ let init_state (prog : Func.prog) ~fuel : state =
           Hashtbl.replace locals_of fn (v.Resource.vid :: cur)
       | Resource.Heap -> ())
     tab;
+  let nfuncs = List.length prog.Func.funcs in
+  let fids = Hashtbl.create (2 * nfuncs) in
+  let fnames = Array.make (max nfuncs 1) "" in
+  let bcounts = Array.make (max nfuncs 1) [||] in
+  List.iteri
+    (fun i (f : Func.t) ->
+      Hashtbl.replace fids f.Func.fname i;
+      fnames.(i) <- f.Func.fname;
+      let nb = Func.num_blocks f in
+      if nb >= bid_limit then fail "function %s has too many blocks" f.Func.fname;
+      bcounts.(i) <- Array.make (max nb 1) 0)
+    prog.Func.funcs;
   {
     prog;
     mem;
     arrays;
     fuel;
+    budget = fuel;
     counters =
       { loads = 0; stores = 0; aliased_loads = 0; aliased_stores = 0; instrs = 0 };
-    block_counts = Hashtbl.create 64;
-    edge_counts = Hashtbl.create 64;
-    call_counts = Hashtbl.create 8;
+    fids;
+    fnames;
+    bcounts;
+    ecounts = Icount.create ();
+    ccounts = Array.make (max nfuncs 1) 0;
     output_rev = [];
     depth = 0;
     locals_of;
@@ -187,10 +271,10 @@ let eval_unop op a =
 
 (* ------------------------------------------------------------------ *)
 
-let rec call st (f : Func.t) (args : value list) : value option =
+let rec call st (f : Func.t) (fid : int) (args : value list) : value option =
   if st.depth > 500 then fail "call stack exhausted (depth 500)";
   st.depth <- st.depth + 1;
-  bump st.call_counts f.Func.fname;
+  st.ccounts.(fid) <- st.ccounts.(fid) + 1;
   (* fresh storage for this activation's address-taken locals *)
   let saved =
     match Hashtbl.find_opt st.locals_of f.Func.fname with
@@ -210,11 +294,12 @@ let rec call st (f : Func.t) (args : value list) : value option =
   in
   let operand = function Instr.Reg r -> get r | Instr.Imm n -> VInt n in
   let set r v = Hashtbl.replace regs r v in
+  let bc = st.bcounts.(fid) in
   let ret_value = ref None in
   let rec exec_block (prev : Ids.bid option) (bid : Ids.bid) : unit =
-    bump st.block_counts (f.Func.fname, bid);
+    bc.(bid) <- bc.(bid) + 1;
     (match prev with
-    | Some p -> bump st.edge_counts (f.Func.fname, p, bid)
+    | Some p -> Icount.bump st.ecounts (pack_edge ~fid ~src:p ~dst:bid)
     | None -> ());
     let b = Func.block f bid in
     (* phis: parallel reads of the incoming values *)
@@ -237,7 +322,7 @@ let rec call st (f : Func.t) (args : value list) : value option =
     | None -> ());
     Iseq.iter (exec_instr bid) b.body;
     st.fuel <- st.fuel - 1;
-    if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
+    if st.fuel <= 0 then raise (Out_of_fuel st.budget);
     match b.term with
     | Block.Jmp l -> exec_block (Some bid) l
     | Block.Br { cond; t; f = fl } ->
@@ -248,7 +333,7 @@ let rec call st (f : Func.t) (args : value list) : value option =
     ignore bid;
     st.counters.instrs <- st.counters.instrs + 1;
     st.fuel <- st.fuel - 1;
-    if st.fuel <= 0 then fail "out of fuel (infinite loop?)";
+    if st.fuel <= 0 then raise (Out_of_fuel st.budget);
     match i.op with
     | Instr.Bin { dst; op; l; r } -> set dst (eval_binop op (operand l) (operand r))
     | Instr.Un { dst; op; src } -> set dst (eval_unop op (operand src))
@@ -275,7 +360,8 @@ let rec call st (f : Func.t) (args : value list) : value option =
         | Instr.User name -> (
             match Func.find_func st.prog name with
             | Some callee_f -> (
-                let r = call st callee_f argv in
+                let callee_fid = Hashtbl.find st.fids name in
+                let r = call st callee_f callee_fid argv in
                 match (dst, r) with
                 | Some d, Some v -> set d v
                 | Some d, None -> set d (VInt 0)
@@ -298,6 +384,32 @@ let rec call st (f : Func.t) (args : value list) : value option =
   st.depth <- st.depth - 1;
   !ret_value
 
+(* Rebuild the public tuple-keyed tables from the dense run counters:
+   exactly the visited keys (count >= 1), like the old per-step
+   hashtable updates produced. *)
+let publish_counts ~fnames ~(bcounts : int array array) ~ecounts ~(ccounts : int array) =
+  let block_counts = Hashtbl.create 64 in
+  let edge_counts = Hashtbl.create 64 in
+  let call_counts = Hashtbl.create 8 in
+  Array.iteri
+    (fun fid bc ->
+      let fname = fnames.(fid) in
+      Array.iteri
+        (fun bid c -> if c > 0 then Hashtbl.replace block_counts (fname, bid) c)
+        bc)
+    bcounts;
+  Icount.iter
+    (fun key c ->
+      let dst = key land (bid_limit - 1) in
+      let src = (key lsr bid_bits) land (bid_limit - 1) in
+      let fid = key lsr (2 * bid_bits) in
+      Hashtbl.replace edge_counts (fnames.(fid), src, dst) c)
+    ecounts;
+  Array.iteri
+    (fun fid c -> if c > 0 then Hashtbl.replace call_counts fnames.(fid) c)
+    ccounts;
+  (block_counts, edge_counts, call_counts)
+
 (* Run [prog] from its main function. *)
 let run ?(fuel = 50_000_000) (prog : Func.prog) : result =
   let st = init_state prog ~fuel in
@@ -306,14 +418,18 @@ let run ?(fuel = 50_000_000) (prog : Func.prog) : result =
     | Some f -> f
     | None -> fail "program has no main function"
   in
-  let r = call st main [] in
+  let r = call st main (Hashtbl.find st.fids "main") [] in
+  let block_counts, edge_counts, call_counts =
+    publish_counts ~fnames:st.fnames ~bcounts:st.bcounts ~ecounts:st.ecounts
+      ~ccounts:st.ccounts
+  in
   {
     exit_value = (match r with Some v -> as_int v | None -> 0);
     output = List.rev st.output_rev;
     counters = st.counters;
-    block_counts = st.block_counts;
-    edge_counts = st.edge_counts;
-    call_counts = st.call_counts;
+    block_counts;
+    edge_counts;
+    call_counts;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -13,6 +13,11 @@ open Rp_ir
 
 exception Runtime_error of string
 
+exception Out_of_fuel of int
+(** The interpreter's instruction budget ran out; carries the budget.
+    Distinct from {!Runtime_error} so callers can tell "program too big
+    for the configured fuel" from a genuine crash. *)
+
 type value = VInt of int | VPtr of { v : Ids.vid; off : int }
 
 type counters = {
@@ -34,7 +39,8 @@ type result = {
 
 (** Run from [main].
     @raise Runtime_error on traps (division by zero, null dereference,
-    out-of-bounds, stack or fuel exhaustion). *)
+    out-of-bounds, stack exhaustion).
+    @raise Out_of_fuel when the instruction budget runs out. *)
 val run : ?fuel:int -> Func.prog -> result
 
 (** Copy measured execution counts into the functions' profile fields;

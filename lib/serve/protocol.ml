@@ -92,6 +92,7 @@ type request = Compile of compile | Ping | Stats | Shutdown
 
 type error_kind =
   | Bad_input
+  | Fuel_exhausted
   | Timeout
   | Busy
   | Protocol_error
@@ -107,6 +108,7 @@ type response =
 
 let error_kind_to_string = function
   | Bad_input -> "bad_input"
+  | Fuel_exhausted -> "fuel_exhausted"
   | Timeout -> "timeout"
   | Busy -> "busy"
   | Protocol_error -> "protocol_error"
@@ -115,6 +117,7 @@ let error_kind_to_string = function
 
 let error_kind_of_string = function
   | "bad_input" -> Some Bad_input
+  | "fuel_exhausted" -> Some Fuel_exhausted
   | "timeout" -> Some Timeout
   | "busy" -> Some Busy
   | "protocol_error" -> Some Protocol_error
@@ -148,7 +151,16 @@ let options_to_json ?(for_key = false) (o : P.options) : J.t =
        ("checkpoints", J.Bool o.P.checkpoints);
        ("trace", J.Bool o.P.trace);
      ]
-    @ if for_key then [] else [ ("jobs", J.Int o.P.jobs) ])
+    @
+    (* jobs and interp are left out of the cache key on purpose: the
+       deterministic report bytes are identical for every jobs value
+       and for either interpreter engine *)
+    if for_key then []
+    else
+      [
+        ("jobs", J.Int o.P.jobs);
+        ("interp", J.Str (P.interp_engine_to_string o.P.interp));
+      ])
 
 (* Total decode with typed field accessors: a missing field takes the
    default-options value (forward compatibility), a wrongly-typed one
@@ -208,6 +220,11 @@ let options_of_json (v : J.t) : (P.options, string) result =
   let* checkpoints = take d.P.checkpoints (field v "checkpoints" as_bool) in
   let* trace = take d.P.trace (field v "trace" as_bool) in
   let* jobs = take d.P.jobs (field v "jobs" as_int) in
+  let* interp =
+    take d.P.interp
+      (field v "interp" (fun j ->
+           Option.bind (as_str j) P.interp_engine_of_string))
+  in
   if fuel < 0 then Error "field \"fuel\" must be non-negative"
   else if jobs < 1 then Error "field \"jobs\" must be at least 1"
   else
@@ -226,6 +243,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         checkpoints;
         trace;
         jobs;
+        interp;
       }
 
 let options_fingerprint ?for_key (o : P.options) : string =

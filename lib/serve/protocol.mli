@@ -71,6 +71,9 @@ type request = Compile of compile | Ping | Stats | Shutdown
     and expired deadlines ([Timeout]) from bad input. *)
 type error_kind =
   | Bad_input  (** lexer/parser/sema error, unknown workload, trap *)
+  | Fuel_exhausted
+      (** the interpreter's instruction budget ran out — the program is
+          too big for the request's [fuel], not necessarily broken *)
   | Timeout  (** the per-request deadline expired *)
   | Busy  (** max-inflight reached; the request was shed, not queued *)
   | Protocol_error  (** malformed frame, JSON or request document *)
@@ -99,9 +102,9 @@ val response_of_json : Rp_obs.Json.t -> (response, string) result
 
 (** The canonical minified encoding of an options record — the string
     the cache key digests. [for_key] (default [false]) drops the
-    [jobs] field: promotion output is byte-identical for every [jobs]
-    value (the PR 2 determinism contract), so parallelism must not
-    split the cache. *)
+    [jobs] and [interp] fields: promotion output is byte-identical for
+    every [jobs] value (the PR 2 determinism contract) and for either
+    interpreter engine, so neither must split the cache. *)
 val options_fingerprint : ?for_key:bool -> Rp_core.Pipeline.options -> string
 
 (** {1 Framed send/receive} *)

@@ -167,6 +167,13 @@ let error_of_exn (e : exn) : Protocol.response =
   | Rp_interp.Interp.Runtime_error m ->
       Protocol.Error
         { kind = Protocol.Bad_input; message = "runtime error: " ^ m }
+  | Rp_interp.Interp.Out_of_fuel budget ->
+      Protocol.Error
+        {
+          kind = Protocol.Fuel_exhausted;
+          message =
+            Printf.sprintf "interpreter fuel exhausted (budget %d)" budget;
+        }
   | e ->
       Protocol.Error
         { kind = Protocol.Internal; message = Printexc.to_string e }

@@ -1,0 +1,267 @@
+(* Differential tests: the flat-decoded engine ([Decode] + [Engine])
+   against the tree-walking oracle ([Interp]).  The contract under test
+   is total observable equality — exit value, print trace, dynamic
+   counters, block/edge/call frequencies, and the same trap (message
+   and kind) at the same point — on random programs, on the seed
+   workloads, and on the synthetic gen sweep, both before and after
+   promotion.  The deterministic-report checks additionally pin the
+   JSON bytes: a flat-engine pipeline run must be indistinguishable
+   from a tree-engine one.
+
+   [RPROMOTE_JOBS] (CI sets 1 and 4) feeds the pipeline's [jobs] so
+   the byte-identity check also covers the parallel compile. *)
+
+module I = Rp_interp.Interp
+module D = Rp_interp.Decode
+module E = Rp_interp.Engine
+module P = Rp_core.Pipeline
+module R = Rp_workloads.Registry
+
+let qtest = Suite_qcheck.qtest
+
+let jobs_from_env =
+  match Sys.getenv_opt "RPROMOTE_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 1)
+  | None -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Run outcomes: a result flattened to comparable (sorted) lists, or
+   the trap that ended the run. *)
+
+type outcome = {
+  o_exit : int;
+  o_output : int list;
+  o_counters : int * int * int * int * int;
+  o_blocks : ((string * Rp_ir.Ids.bid) * int) list;
+  o_edges : ((string * Rp_ir.Ids.bid * Rp_ir.Ids.bid) * int) list;
+  o_calls : (string * int) list;
+}
+
+type run = Finished of outcome | Trap of string | Fuel of int
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let outcome (r : I.result) : outcome =
+  let c = r.I.counters in
+  {
+    o_exit = r.I.exit_value;
+    o_output = r.I.output;
+    o_counters =
+      (c.I.loads, c.I.stores, c.I.aliased_loads, c.I.aliased_stores, c.I.instrs);
+    o_blocks = sorted_bindings r.I.block_counts;
+    o_edges = sorted_bindings r.I.edge_counts;
+    o_calls = sorted_bindings r.I.call_counts;
+  }
+
+let run_of f =
+  match f () with
+  | r -> Finished (outcome r)
+  | exception I.Runtime_error m -> Trap m
+  | exception I.Out_of_fuel budget -> Fuel budget
+
+let run_tree ~fuel prog = run_of (fun () -> I.run ~fuel prog)
+let run_flat ~fuel prog = run_of (fun () -> E.run ~fuel (D.decode prog))
+
+let describe = function
+  | Finished o ->
+      Printf.sprintf "exit %d, %d prints, instrs %d"
+        o.o_exit (List.length o.o_output)
+        (let _, _, _, _, i = o.o_counters in
+         i)
+  | Trap m -> "trap: " ^ m
+  | Fuel b -> Printf.sprintf "out of fuel (budget %d)" b
+
+(* where do two outcomes first disagree? *)
+let diff_field a b =
+  match (a, b) with
+  | Finished x, Finished y ->
+      if x.o_exit <> y.o_exit then "exit value"
+      else if x.o_output <> y.o_output then "print trace"
+      else if x.o_counters <> y.o_counters then "dynamic counters"
+      else if x.o_blocks <> y.o_blocks then "block counts"
+      else if x.o_edges <> y.o_edges then "edge counts"
+      else if x.o_calls <> y.o_calls then "call counts"
+      else "equal"
+  | _ -> "run kind"
+
+let check_same ctx tree flat =
+  if tree <> flat then
+    Alcotest.failf "%s: engine diverges from oracle on %s\n  tree: %s\n  flat: %s"
+      ctx (diff_field tree flat) (describe tree) (describe flat)
+
+(* ------------------------------------------------------------------ *)
+(* Random programs: engine vs oracle on the prepared (SSA) program and
+   on the promoted one. *)
+
+let prop_engine_matches_oracle =
+  QCheck.Test.make ~name:"flat engine matches oracle (random programs)"
+    ~count:250 Suite_qcheck.arb_program (fun src ->
+      let fuel = 2_000_000 in
+      let prog, _ = P.prepare src in
+      let tree = run_tree ~fuel prog and flat = run_flat ~fuel prog in
+      if tree <> flat then
+        QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.flat %s"
+          (diff_field tree flat) (describe tree) (describe flat)
+      else
+        (* the same comparison on the promoted program; the pipeline
+           (tree engine, so this property never depends on the code
+           under test) only finishes when the baseline run did *)
+        match
+          P.run
+            ~options:{ Suite_qcheck.qcheck_options with P.interp = P.Tree }
+            src
+        with
+        | report ->
+            let p = report.P.prog in
+            let tree = run_tree ~fuel p and flat = run_flat ~fuel p in
+            if tree <> flat then
+              QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.flat %s"
+                (diff_field tree flat) (describe tree) (describe flat)
+            else true
+        | exception (I.Runtime_error _ | I.Out_of_fuel _) -> true)
+
+(* The whole pipeline, flat vs tree: profiles feed promotion, so equal
+   reports here also prove the engine's profile drives the same
+   promotion decisions. *)
+let prop_pipeline_engines_agree =
+  QCheck.Test.make ~name:"pipeline agrees under flat and tree engines"
+    ~count:100 Suite_qcheck.arb_program (fun src ->
+      let go interp =
+        match
+          P.run ~options:{ Suite_qcheck.qcheck_options with P.interp } src
+        with
+        | r -> Some r
+        | exception (I.Runtime_error _ | I.Out_of_fuel _) -> None
+      in
+      match (go P.Tree, go P.Flat) with
+      | None, None -> true
+      | Some a, Some b ->
+          a.P.behaviour_ok && b.P.behaviour_ok
+          && outcome a.P.baseline = outcome b.P.baseline
+          && outcome a.P.final = outcome b.P.final
+          && a.P.static_after = b.P.static_after
+          && a.P.per_function = b.P.per_function
+      | Some _, None -> QCheck.Test.fail_report "flat trapped, tree finished"
+      | None, Some _ -> QCheck.Test.fail_report "tree trapped, flat finished")
+
+(* ------------------------------------------------------------------ *)
+(* Seed workloads and the gen sweep *)
+
+let workload_fuel = 80_000_000
+
+let differential_on_workload (w : R.workload) () =
+  let prog, _ = P.prepare w.R.source in
+  check_same (w.R.name ^ " pre-promotion")
+    (run_tree ~fuel:workload_fuel prog)
+    (run_flat ~fuel:workload_fuel prog);
+  let report =
+    P.run
+      ~options:{ P.default_options with fuel = workload_fuel; interp = P.Tree }
+      w.R.source
+  in
+  check_same (w.R.name ^ " post-promotion")
+    (run_tree ~fuel:workload_fuel report.P.prog)
+    (run_flat ~fuel:workload_fuel report.P.prog)
+
+(* refresh must be equivalent to a from-scratch decode: decode before
+   promotion, refresh after the IR was rewritten, compare against a
+   fresh image of the final program *)
+let test_refresh_matches_fresh_decode () =
+  (* drive one program object through profile → promote → refresh by
+     hand, so the decode image sees the same in-place IR rewrite the
+     pipeline performs *)
+  let w = Option.get (R.find "li") in
+  let options = { P.default_options with fuel = workload_fuel } in
+  let prog, trees = P.prepare ~options w.R.source in
+  let dec = D.decode prog in
+  let before_flat = run_of (fun () -> E.run ~fuel:workload_fuel dec) in
+  let before_tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li pre-promotion (shared image)" before_tree before_flat;
+  ignore (P.attach_profile ~options ~decoded:dec prog trees);
+  List.iter
+    (fun (f : Rp_ir.Func.t) ->
+      match List.assoc_opt f.Rp_ir.Func.fname trees with
+      | Some tree ->
+          ignore
+            (Rp_core.Promote.promote_function
+               ~cfg:Rp_core.Promote.default_config f prog.Rp_ir.Func.vartab
+               tree)
+      | None -> ())
+    prog.Rp_ir.Func.funcs;
+  Rp_opt.Cleanup.run_prog prog;
+  D.refresh dec;
+  let refreshed = run_of (fun () -> E.run ~fuel:workload_fuel dec) in
+  let fresh = run_flat ~fuel:workload_fuel prog in
+  let tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li post-promotion refresh vs fresh decode" fresh refreshed;
+  check_same "li post-promotion refresh vs oracle" tree refreshed
+
+(* deterministic JSON reports must be byte-identical across engines *)
+let report_bytes interp (w : R.workload) =
+  let options =
+    {
+      P.default_options with
+      fuel = workload_fuel;
+      trace = true;
+      jobs = jobs_from_env;
+      interp;
+    }
+  in
+  let _, s =
+    P.run_fresh_json ~label:w.R.name ~deterministic:true ~options w.R.source
+  in
+  s
+
+let byte_identity_on_workload (w : R.workload) () =
+  let tree = report_bytes P.Tree w and flat = report_bytes P.Flat w in
+  Alcotest.(check string)
+    (Printf.sprintf "%s: deterministic report bytes (jobs=%d)" w.R.name
+       jobs_from_env)
+    tree flat
+
+(* ------------------------------------------------------------------ *)
+(* Fuel exhaustion: both engines raise the distinct exception with the
+   budget attached, at the same instruction count. *)
+
+let test_fuel_exhaustion_parity () =
+  let src = "int main() { while (1) { } return 0; }" in
+  let prog, _ = P.prepare src in
+  let budget = 10_000 in
+  (match run_tree ~fuel:budget prog with
+  | Fuel b -> Alcotest.(check int) "tree budget" budget b
+  | o -> Alcotest.failf "tree: expected fuel exhaustion, got %s" (describe o));
+  (match run_flat ~fuel:budget prog with
+  | Fuel b -> Alcotest.(check int) "flat budget" budget b
+  | o -> Alcotest.failf "flat: expected fuel exhaustion, got %s" (describe o));
+  (* and through the full pipeline under the default (flat) engine *)
+  match P.run ~options:{ P.default_options with fuel = budget } src with
+  | _ -> Alcotest.fail "pipeline: expected Out_of_fuel"
+  | exception I.Out_of_fuel b -> Alcotest.(check int) "pipeline budget" budget b
+
+let suite =
+  let seed_cases name mk =
+    List.map
+      (fun (w : R.workload) ->
+        Alcotest.test_case (name ^ " " ^ w.R.name) `Quick (mk w))
+      R.all
+  in
+  let gen_cases name mk =
+    List.map
+      (fun n ->
+        let w = R.generated n in
+        Alcotest.test_case (name ^ " " ^ w.R.name) `Quick (mk w))
+      [ 60; 240 ]
+  in
+  seed_cases "differential" differential_on_workload
+  @ gen_cases "differential" differential_on_workload
+  @ seed_cases "report bytes" byte_identity_on_workload
+  @ gen_cases "report bytes" byte_identity_on_workload
+  @ [
+      Alcotest.test_case "refresh vs fresh decode" `Quick
+        test_refresh_matches_fresh_decode;
+      Alcotest.test_case "fuel exhaustion parity" `Quick
+        test_fuel_exhaustion_parity;
+      qtest prop_engine_matches_oracle;
+      qtest prop_pipeline_engines_agree;
+    ]

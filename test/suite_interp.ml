@@ -212,6 +212,14 @@ let expect_runtime_error src =
   | exception I.Runtime_error _ -> ()
   | _ -> Alcotest.fail ("no runtime error for: " ^ src)
 
+let expect_out_of_fuel src =
+  match Helpers.run_source ~fuel:200_000 src with
+  | exception I.Out_of_fuel budget ->
+      Alcotest.(check int) "Out_of_fuel carries the budget" 200_000 budget
+  | exception I.Runtime_error m ->
+      Alcotest.fail ("Runtime_error instead of Out_of_fuel: " ^ m)
+  | _ -> Alcotest.fail ("no fuel exhaustion for: " ^ src)
+
 let test_runtime_errors () =
   expect_runtime_error "int main() { return 1 / 0; }";
   expect_runtime_error "int main() { return 5 % 0; }";
@@ -220,7 +228,10 @@ let test_runtime_errors () =
   expect_runtime_error "int main() { int *p; return *p; }" (* null deref *);
   expect_runtime_error "int r(int n) { return r(n); } int main() { return r(1); }"
     (* unbounded recursion *);
-  expect_runtime_error "int main() { while (1) { } return 0; }" (* fuel *)
+  expect_out_of_fuel "int main() { while (1) { } return 0; }";
+  expect_out_of_fuel
+    "int main() { int i; int s; for (i = 0; i > 0 - 1; i++) { s = s + i; } \
+     return s; }"
 
 let test_extern_deterministic () =
   let src =

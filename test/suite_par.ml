@@ -160,7 +160,7 @@ let prop_parallel_matches_serial =
     ~count:60 Suite_qcheck.arb_program (fun src ->
       let run jobs =
         try Some (P.run ~options:{ Suite_qcheck.qcheck_options with P.jobs } src)
-        with I.Runtime_error _ -> None
+        with I.Runtime_error _ | I.Out_of_fuel _ -> None
       in
       match (run 1, run 3) with
       | None, None -> true

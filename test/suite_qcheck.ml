@@ -331,7 +331,7 @@ let qcheck_options =
 let run_both src =
   let before =
     try Some (Rp_core.Pipeline.run ~options:qcheck_options src) with
-    | Rp_interp.Interp.Runtime_error _ -> None
+    | Rp_interp.Interp.Runtime_error _ | Rp_interp.Interp.Out_of_fuel _ -> None
   in
   before
 
@@ -359,7 +359,7 @@ let prop_forced_promotion_preserves_behaviour =
              (Rp_core.Pipeline.run
                 ~options:{ qcheck_options with Rp_core.Pipeline.promote = cfg }
                 src)
-         with Rp_interp.Interp.Runtime_error _ -> None)
+         with Rp_interp.Interp.Runtime_error _ | Rp_interp.Interp.Out_of_fuel _ -> None)
       with
       | None -> true
       | Some r -> r.Rp_core.Pipeline.behaviour_ok)
@@ -380,7 +380,7 @@ let prop_variant_configs_preserve_behaviour =
                       singleton_deref = singleton;
                     }
                   src)
-           with Rp_interp.Interp.Runtime_error _ -> None)
+           with Rp_interp.Interp.Runtime_error _ | Rp_interp.Interp.Out_of_fuel _ -> None)
         with
         | None -> true
         | Some r -> r.Rp_core.Pipeline.behaviour_ok
@@ -448,7 +448,7 @@ let prop_baseline_preserves_behaviour =
            Rp_opt.Cleanup.run_prog prog;
            let after = Rp_interp.Interp.run ~fuel:2_000_000 prog in
            Some (before, after)
-         with Rp_interp.Interp.Runtime_error _ -> None)
+         with Rp_interp.Interp.Runtime_error _ | Rp_interp.Interp.Out_of_fuel _ -> None)
       with
       | None -> true
       | Some (before, after) -> Rp_interp.Interp.same_behaviour before after)

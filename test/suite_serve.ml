@@ -121,6 +121,7 @@ let gen_options : P.options G.t =
   let* fuel = int_range 0 100_000_000 in
   let* singleton_deref = bool and* checkpoints = bool and* trace = bool in
   let* jobs = int_range 1 8 in
+  let* flat = bool in
   return
     {
       P.promote =
@@ -131,6 +132,7 @@ let gen_options : P.options G.t =
       checkpoints;
       trace;
       jobs;
+      interp = (if flat then P.Flat else P.Tree);
     }
 
 let gen_request : Proto.request G.t =
@@ -173,6 +175,7 @@ let gen_response : Proto.response G.t =
          oneofl
            [
              Proto.Bad_input;
+             Proto.Fuel_exhausted;
              Proto.Timeout;
              Proto.Busy;
              Proto.Protocol_error;
@@ -212,7 +215,14 @@ let test_fingerprint_jobs () =
     (Proto.options_fingerprint o <> Proto.options_fingerprint o2);
   Alcotest.(check string) "jobs dropped from the key fingerprint"
     (Proto.options_fingerprint ~for_key:true o)
-    (Proto.options_fingerprint ~for_key:true o2)
+    (Proto.options_fingerprint ~for_key:true o2);
+  let o3 = { o with P.interp = P.Tree } in
+  Alcotest.(check bool)
+    "interp splits the plain fingerprint" true
+    (Proto.options_fingerprint o <> Proto.options_fingerprint o3);
+  Alcotest.(check string) "interp dropped from the key fingerprint"
+    (Proto.options_fingerprint ~for_key:true o)
+    (Proto.options_fingerprint ~for_key:true o3)
 
 let test_bad_request_documents () =
   List.iter

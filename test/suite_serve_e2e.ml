@@ -123,6 +123,34 @@ let test_poisoned () =
   | r -> Alcotest.failf "after poison: %s" (response_label r));
   Alcotest.(check bool) "ping after poison" true (Client.ping c)
 
+let test_fuel_exhausted () =
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  (* an infinite loop under a tiny budget: a structured fuel_exhausted
+     error, distinct from Bad_input, naming the budget *)
+  (match
+     Client.compile c
+       { Proto.target = `Source "int main() { while (1) { } return 0; }";
+         options = { options with P.fuel = 10_000 };
+         deterministic = true }
+   with
+  | Proto.Error { kind = Proto.Fuel_exhausted; message } ->
+      Alcotest.(check bool) "message names the budget" true
+        (let sub = "10000" in
+         let n = String.length message and m = String.length sub in
+         let rec at i = i + m <= n && (String.sub message i m = sub || at (i + 1)) in
+         at 0)
+  | r -> Alcotest.failf "fuel exhaustion: %s" (response_label r));
+  (* the same program with enough fuel on the same connection works *)
+  (match
+     Client.compile c
+       { Proto.target = `Source "int main() { return 0; }";
+         options; deterministic = true }
+   with
+  | Proto.Report _ -> ()
+  | r -> Alcotest.failf "after fuel exhaustion: %s" (response_label r));
+  Alcotest.(check bool) "ping after fuel exhaustion" true (Client.ping c)
+
 let test_unknown_workload () =
   with_server @@ fun srv ->
   with_client srv @@ fun c ->
@@ -283,6 +311,8 @@ let suite =
     Alcotest.test_case "concurrent rounds, byte-identity, cache" `Slow
       test_rounds;
     Alcotest.test_case "poisoned request" `Quick test_poisoned;
+    Alcotest.test_case "fuel-exhausted structured error" `Quick
+      test_fuel_exhausted;
     Alcotest.test_case "unknown workload" `Quick test_unknown_workload;
     Alcotest.test_case "malformed frame" `Quick test_malformed_frame;
     Alcotest.test_case "garbled json payload" `Quick test_garbled_json;

@@ -107,6 +107,71 @@ let test_static_vs_dynamic_contrast () =
        s_imp)
     true (d_imp > s_imp)
 
+(* The Freq static-estimate fallback vs a measured profile: per
+   function, which webs pass the profitability test.  On ijpeg, sc,
+   compr and vortex the loop-depth estimate reproduces the measured
+   promotion decisions exactly.  go, li, perl and m88k diverge — and
+   always in the conservative direction: their hot paths execute far
+   more often than loop depth alone predicts (e.g. go's scan_board
+   sweep, li's build lists), so the static estimate under-weights
+   those webs and promotes a subset of what the measured profile
+   promotes.  The test pins both halves: exact agreement where it
+   holds, and promoted(static) <= promoted(measured) per function on
+   the documented divergent workloads. *)
+let static_agree = [ "ijpeg"; "sc"; "compr"; "vortex" ]
+let static_diverge = [ "go"; "li"; "perl"; "m88k" ]
+
+let test_static_estimate_profitability () =
+  List.iter
+    (fun (w : R.workload) ->
+      let per_function profile =
+        (P.run
+           ~options:{ P.default_options with fuel = 60_000_000; profile }
+           w.R.source)
+          .P.per_function
+      in
+      let measured = per_function P.Measured in
+      let static = per_function P.Static_estimate in
+      List.iter2
+        (fun (fn, (m : Rp_core.Promote.stats)) (fn', (s : Rp_core.Promote.stats)) ->
+          Alcotest.(check string) "function order" fn fn';
+          let ctx = w.R.name ^ "/" ^ fn in
+          if List.mem w.R.name static_agree then begin
+            Alcotest.(check int)
+              (ctx ^ ": webs promoted agree")
+              m.Rp_core.Promote.webs_promoted s.Rp_core.Promote.webs_promoted;
+            Alcotest.(check int)
+              (ctx ^ ": webs skipped on profit agree")
+              m.Rp_core.Promote.webs_skipped_profit
+              s.Rp_core.Promote.webs_skipped_profit
+          end
+          else
+            Alcotest.(check bool)
+              (ctx ^ ": static estimate is conservative")
+              true
+              (s.Rp_core.Promote.webs_promoted
+              <= m.Rp_core.Promote.webs_promoted))
+        measured static;
+      (* the divergence list itself is pinned: a workload is in exactly
+         one of the two buckets *)
+      Alcotest.(check bool)
+        (w.R.name ^ " classified")
+        true
+        (List.mem w.R.name static_agree <> List.mem w.R.name static_diverge))
+    R.all;
+  (* and the divergence is real: at least one of the documented
+     workloads must actually promote fewer webs statically *)
+  let total profile w =
+    let r =
+      P.run
+        ~options:{ P.default_options with fuel = 60_000_000; profile }
+        ((Option.get (R.find w)).R.source)
+    in
+    r.P.promote_stats.Rp_core.Promote.webs_promoted
+  in
+  Alcotest.(check bool) "go diverges" true
+    (total P.Static_estimate "go" < total P.Measured "go")
+
 (* the derived training input must have an identical CFG (same block
    ids per function) and still run correctly *)
 let test_train_source_same_shape () =
@@ -146,6 +211,8 @@ let suite =
       Alcotest.test_case "vortex flat" `Slow test_vortex_flat;
       Alcotest.test_case "static vs dynamic contrast" `Slow
         test_static_vs_dynamic_contrast;
+      Alcotest.test_case "static-estimate profitability fallback" `Slow
+        test_static_estimate_profitability;
       Alcotest.test_case "train input same shape" `Slow
         test_train_source_same_shape;
     ]

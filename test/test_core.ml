@@ -9,6 +9,7 @@ let () =
       ("minic", Suite_minic.suite);
       ("interp", Suite_interp.suite);
       ("interp2", Suite_interp2.suite);
+      ("engine", Suite_engine.suite);
       ("opt", Suite_opt.suite);
       ("opt2", Suite_opt2.suite);
       ("promote", Suite_promote.suite);
