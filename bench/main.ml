@@ -8,7 +8,7 @@
 
    Artifacts: table1 table2 table3 fig1 fig7 fig9 ablation1 ablation2
               ablation3 ablation4 ablation5 scaling gen interp serve
-              golden gate json bechamel
+              golden pressure gate json bechamel
 
    "serve" runs the compile daemon over the in-process loopback
    transport: a cold round (all cache misses) against a warm round of
@@ -35,6 +35,10 @@
    "golden" re-checks the seed workloads' static load/store counts
    against the values baked in below and exits non-zero on drift
    (used by CI).
+
+   "pressure" (opt-in, used by CI) re-checks the Table 3 reproduction:
+   program-wide interference colors before/after promotion per seed
+   workload against the values baked in below, non-zero on drift.
 
    "json" writes BENCH_promotion.json: the Tables 1/2 data per
    workload plus wall-clock timings, machine-readable (schema v2, see
@@ -153,29 +157,28 @@ let table2 () =
 (* Table 3: register pressure *)
 
 let table3 () =
+  let module C = Rp_regalloc.Color in
   rule ();
   print_endline "Table 3: effect of register promotion on register pressure";
   print_endline
     " (colors needed for the interference graph, per routine; the paper";
-  print_endline "  reports pressure increases on promoted routines)";
+  print_endline "  reports pressure increases on promoted routines; the data";
+  print_endline "  is the pipeline report's schema-v4 \"pressure\" section)";
   rule ();
-  Printf.printf "%-8s %-18s %8s %8s\n" "bench" "routine" "before" "after";
+  Printf.printf "%-8s %-18s %15s %17s\n" "" "" "colors" "maxlive";
+  Printf.printf "%-8s %-18s %7s %7s %8s %8s\n" "bench" "routine" "before"
+    "after" "before" "after";
   List.iter
     (fun (w : R.workload) ->
-      (* fresh un-promoted compile for the "before" side *)
-      let before_prog, _ = P.prepare w.R.source in
-      let after_prog = (report_for w).P.prog in
+      let r = report_for w in
       List.iter
-        (fun (fb : Func.t) ->
-          match Func.find_func after_prog fb.Func.fname with
-          | Some fa ->
-              let cb = Rp_regalloc.Color.colors_for_func fb in
-              let ca = Rp_regalloc.Color.colors_for_func fa in
-              if cb <> ca then
-                Printf.printf "%-8s %-18s %8d %8d\n" w.R.name fb.Func.fname cb
-                  ca
-          | None -> ())
-        before_prog.Func.funcs)
+        (fun (fp : P.func_pressure) ->
+          let cb = fp.P.fp_before.C.s_colors
+          and ca = fp.P.fp_after.C.s_colors in
+          if cb <> ca then
+            Printf.printf "%-8s %-18s %7d %7d %8d %8d\n" w.R.name fp.P.fp_name
+              cb ca fp.P.fp_before.C.s_maxlive fp.P.fp_after.C.s_maxlive)
+        r.P.pressure)
     R.all;
   print_endline "(routines whose pressure is unchanged are omitted)";
   (* extension: the concrete cost on a small register file — potential
@@ -191,7 +194,9 @@ let table3 () =
       let after_prog = (report_for w).P.prog in
       let total prog k =
         List.fold_left
-          (fun acc f -> acc + Rp_regalloc.Color.spills_for_func f ~k)
+          (fun acc (f : Func.t) ->
+            acc
+            + Option.value ~default:0 (C.analyse f ~k:(Some k)).C.s_spills)
           0 prog.Func.funcs
       in
       Printf.printf "%-8s %5d -> %3d %5d -> %3d %5d -> %3d\n" w.R.name
@@ -634,6 +639,8 @@ type gen_result = {
   g_minor_mwords : float;  (** minor words allocated by one run, in M *)
   g_loads : int;  (** static loads after promotion, a sanity anchor *)
   g_stores : int;
+  g_colors : int;  (** interference colors after promotion, summed *)
+  g_maxlive : int;  (** MAXLIVE after promotion, max over functions *)
 }
 
 let gen_results : gen_result list ref = ref []
@@ -661,6 +668,14 @@ let gen_one (size : int) : gen_result =
   let prog, _ = P.optimise ~options w.R.source in
   let mwords = (Gc.minor_words () -. mw0) /. 1e6 in
   let s = Rp_core.Stats.of_prog prog in
+  let colors, maxlive =
+    let module C = Rp_regalloc.Color in
+    List.fold_left
+      (fun (c, m) (f : Func.t) ->
+        let s = C.analyse f ~k:None in
+        (c + s.C.s_colors, max m s.C.s_maxlive))
+      (0, 0) prog.Func.funcs
+  in
   {
     g_size = size;
     g_funcs = List.length prog.Func.funcs;
@@ -668,6 +683,8 @@ let gen_one (size : int) : gen_result =
     g_minor_mwords = mwords;
     g_loads = s.Rp_core.Stats.loads;
     g_stores = s.Rp_core.Stats.stores;
+    g_colors = colors;
+    g_maxlive = maxlive;
   }
 
 let gen sizes =
@@ -987,6 +1004,56 @@ let golden () =
   else print_endline "golden check passed"
 
 (* ------------------------------------------------------------------ *)
+(* Pressure golden check: Table 3's program-wide colors before/after
+   promotion per seed workload, against the values recorded here.
+   Colors are a promotion *result* (the interference graph changes
+   exactly when promotion decisions change), so CI fails on drift;
+   update the table deliberately when a PR intends to change them. *)
+
+let pressure_sums (r : P.report) : int * int =
+  let module C = Rp_regalloc.Color in
+  List.fold_left
+    (fun (b, a) (fp : P.func_pressure) ->
+      (b + fp.P.fp_before.C.s_colors, a + fp.P.fp_after.C.s_colors))
+    (0, 0) r.P.pressure
+
+let golden_pressure =
+  (* name, (colors before, colors after) — summed over functions *)
+  [
+    ("go", (20, 22));
+    ("li", (24, 25));
+    ("ijpeg", (24, 36));
+    ("perl", (21, 23));
+    ("m88k", (21, 25));
+    ("sc", (14, 17));
+    ("compr", (8, 9));
+    ("vortex", (14, 14));
+  ]
+
+let pressure_golden () =
+  rule ();
+  print_endline
+    "Pressure golden check: Table 3 program-wide interference colors vs the";
+  print_endline " values recorded in bench/main.ml (CI fails on any drift)";
+  rule ();
+  let drift = ref false in
+  List.iter
+    (fun (w : R.workload) ->
+      let cb, ca = pressure_sums (report_for w) in
+      let gb, ga = List.assoc w.R.name golden_pressure in
+      let ok = cb = gb && ca = ga in
+      if not ok then drift := true;
+      Printf.printf "%-8s colors %2d -> %2d (golden %2d -> %2d)  %s\n" w.R.name
+        cb ca gb ga
+        (if ok then "ok" else "DRIFT"))
+    R.all;
+  if !drift then begin
+    print_endline "pressure golden check FAILED: Table 3 colors drifted";
+    exit 1
+  end
+  else print_endline "pressure golden check passed"
+
+(* ------------------------------------------------------------------ *)
 (* JSON artifact: the per-workload table data of Tables 1/2, machine
    readable — the file the repo's bench trajectory is built from. *)
 
@@ -1126,6 +1193,36 @@ let json_artifact () =
             (List.map
                (fun (k, v) -> (k, J.Int v))
                (Rp_core.Promote.to_alist r.P.promote_stats)) );
+        ( "pressure",
+          (* the Table 3 reproduction: interference colors and MAXLIVE
+             before/after promotion, program-wide and per routine *)
+          let module C = Rp_regalloc.Color in
+          let cb, ca = pressure_sums r in
+          let maxlive sel =
+            List.fold_left
+              (fun m (fp : P.func_pressure) -> max m (sel fp).C.s_maxlive)
+              0 r.P.pressure
+          in
+          J.Obj
+            [
+              ("colors_before", J.Int cb);
+              ("colors_after", J.Int ca);
+              ("maxlive_before", J.Int (maxlive (fun fp -> fp.P.fp_before)));
+              ("maxlive_after", J.Int (maxlive (fun fp -> fp.P.fp_after)));
+              ( "functions",
+                J.Arr
+                  (List.map
+                     (fun (fp : P.func_pressure) ->
+                       J.Obj
+                         [
+                           ("name", J.Str fp.P.fp_name);
+                           ("colors_before", J.Int fp.P.fp_before.C.s_colors);
+                           ("colors_after", J.Int fp.P.fp_after.C.s_colors);
+                           ("maxlive_before", J.Int fp.P.fp_before.C.s_maxlive);
+                           ("maxlive_after", J.Int fp.P.fp_after.C.s_maxlive);
+                         ])
+                     r.P.pressure) );
+            ] );
         ( "timing",
           J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.P.timing) );
       ]
@@ -1159,6 +1256,8 @@ let json_artifact () =
                       ("minor_mwords", J.Float g.g_minor_mwords);
                       ("static_loads_after", J.Int g.g_loads);
                       ("static_stores_after", J.Int g.g_stores);
+                      ("colors_after", J.Int g.g_colors);
+                      ("maxlive_after", J.Int g.g_maxlive);
                     ]
                    @
                    match List.assoc_opt g.g_size gen_baseline with
@@ -1278,7 +1377,7 @@ let bechamel () =
         (Staged.stage (fun () ->
              let prog, _ = P.prepare (Option.get (R.find "go")).R.source in
              List.iter
-               (fun f -> ignore (Rp_regalloc.Color.colors_for_func f))
+               (fun f -> ignore (Rp_regalloc.Color.analyse f ~k:None))
                prog.Func.funcs));
       Test.make ~name:"fig1.promote"
         (Staged.stage (promote_once (Option.get (R.find "compr"))));
@@ -1340,6 +1439,7 @@ let () =
   if List.mem "gate" args then gate ();
   if want "json" then json_artifact ();
   if List.mem "golden" args then golden ();
+  if List.mem "pressure" args then pressure_golden ();
   if want "bechamel" && not quick then bechamel ();
   rule ();
   print_endline "done; see EXPERIMENTS.md for the paper-vs-measured discussion"

@@ -61,28 +61,43 @@ let guarded f =
       Printf.eprintf "rpromote: %s\n" m;
       2
 
-let engine_of_string s =
-  match Rp_ssa.Incremental.engine_of_string s with
-  | Some e -> e
-  | None -> raise (Usage_error ("unknown IDF engine: " ^ s))
+(* One parsing convention for every enum flag: each type supplies a
+   symmetric [of_string]/[to_string] pair, and the CLI maps a rejected
+   name to a usage error. *)
+let parse_enum ~what of_string s =
+  match of_string s with
+  | Some v -> v
+  | None -> raise (Usage_error (Printf.sprintf "unknown %s: %s" what s))
 
-let interp_of_string s =
-  match P.interp_engine_of_string s with
-  | Some e -> e
-  | None -> raise (Usage_error ("unknown interpreter engine: " ^ s))
+let engine_of_string =
+  parse_enum ~what:"IDF engine" Rp_ssa.Incremental.engine_of_string
+
+let interp_of_string =
+  parse_enum ~what:"interpreter engine" P.interp_engine_of_string
+
+let profile_of_string =
+  parse_enum ~what:"profile source" P.profile_source_of_string
 
 (* pipeline options from the promote/client flag set *)
-let mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
-    ~min_profit ~checkpoints ~trace ~jobs ~interp () =
+let mk_options ~fuel ~profile ~static_profile ~no_store_removal
+    ~singleton_deref ~engine ~min_profit ~regs ~checkpoints ~trace ~jobs
+    ~interp () =
+  (match regs with
+  | Some k when k < 1 -> raise (Usage_error "--regs must be at least 1")
+  | _ -> ());
   {
     P.promote =
       {
         Rp_core.Promote.engine = engine_of_string engine;
         allow_store_removal = not no_store_removal;
-        min_profit;
+        cost = { Rp_core.Cost_model.min_profit; regs = None };
         insert_dummies = true;
       };
-    profile = (if static_profile then P.Static_estimate else P.Measured);
+    profile =
+      (* --profile wins; --static-profile is the older spelling *)
+      (match profile with
+      | Some s -> profile_of_string s
+      | None -> if static_profile then P.Static_estimate else P.Measured);
     fuel;
     singleton_deref;
     checkpoints;
@@ -91,6 +106,7 @@ let mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
     trace;
     jobs;
     interp = interp_of_string interp;
+    regs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -113,15 +129,16 @@ let emit_json ~label ~dest report =
   if dest = "-" then print_string doc
   else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
 
-let cmd_promote path fuel static_profile no_store_removal singleton_deref
-    engine min_profit json trace checkpoints jobs deterministic interp =
+let cmd_promote path fuel profile static_profile no_store_removal
+    singleton_deref engine min_profit regs json trace checkpoints jobs
+    deterministic interp =
  guarded @@ fun () ->
   if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   Rp_obs.Trace.set_deterministic deterministic;
   let src = read_source path in
   let options =
-    mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref ~engine
-      ~min_profit ~checkpoints
+    mk_options ~fuel ~profile ~static_profile ~no_store_removal
+      ~singleton_deref ~engine ~min_profit ~regs ~checkpoints
       ~trace:(trace || json <> None)
       ~jobs ~interp ()
   in
@@ -149,12 +166,31 @@ let cmd_promote path fuel static_profile no_store_removal singleton_deref
   Printf.printf
     "webs                : %d seen, %d promoted (%d no-defs, %d with store \
      removal),\n\
-    \                      %d skipped on profit, %d malformed\n"
+    \                      %d skipped on profit, %d on pressure, %d malformed\n"
     s.Rp_core.Promote.webs_seen s.Rp_core.Promote.webs_promoted
     s.Rp_core.Promote.webs_promoted_no_defs
     s.Rp_core.Promote.webs_store_removal
     s.Rp_core.Promote.webs_skipped_profit
+    s.Rp_core.Promote.webs_skipped_pressure
     s.Rp_core.Promote.webs_skipped_malformed;
+  let sum get =
+    List.fold_left (fun acc fp -> acc + get fp) 0 report.P.pressure
+  in
+  let colors_b = sum (fun fp -> fp.P.fp_before.Rp_regalloc.Color.s_colors)
+  and colors_a = sum (fun fp -> fp.P.fp_after.Rp_regalloc.Color.s_colors) in
+  (match report.P.pressure_regs with
+  | Some k ->
+      Printf.printf
+        "pressure            : colors %d -> %d, predicted spills at %d regs \
+         %d -> %d\n"
+        colors_b colors_a k
+        (sum (fun fp ->
+             Option.value fp.P.fp_before.Rp_regalloc.Color.s_spills ~default:0))
+        (sum (fun fp ->
+             Option.value fp.P.fp_after.Rp_regalloc.Color.s_spills ~default:0))
+  | None ->
+      Printf.printf "pressure            : colors %d -> %d (unbounded)\n"
+        colors_b colors_a);
   Printf.printf
     "edits               : %d loads replaced, %d loads inserted, %d stores \
      inserted,\n\
@@ -248,8 +284,8 @@ let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
   Printf.eprintf "rpromote: daemon stopped\n%!";
   0
 
-let cmd_client socket path op fuel static_profile no_store_removal
-    singleton_deref engine min_profit json deterministic interp =
+let cmd_client socket path op fuel profile static_profile no_store_removal
+    singleton_deref engine min_profit regs json deterministic interp =
  guarded @@ fun () ->
   let with_client f =
     let c = Client.connect ~path:socket in
@@ -291,8 +327,9 @@ let cmd_client socket path op fuel static_profile no_store_removal
         | None -> `Source (read_source path)
       in
       let options =
-        mk_options ~fuel ~static_profile ~no_store_removal ~singleton_deref
-          ~engine ~min_profit ~checkpoints:false ~trace:true ~jobs:1 ~interp ()
+        mk_options ~fuel ~profile ~static_profile ~no_store_removal
+          ~singleton_deref ~engine ~min_profit ~regs ~checkpoints:false
+          ~trace:true ~jobs:1 ~interp ()
       in
       with_client @@ fun c ->
       match Client.compile c { Proto.target; options; deterministic } with
@@ -350,6 +387,28 @@ let interp_arg =
           "Interpreter for the profiling and measuring runs: $(b,flat) (the \
            decoded engine, default) or $(b,tree) (the reference walker). \
            Both produce identical reports.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"SOURCE"
+        ~doc:
+          "Profile source: $(b,measured) (run the interpreter, the default) \
+           or $(b,static) (the loop-depth estimate). Overrides \
+           $(b,--static-profile).")
+
+let regs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "regs" ] ~docv:"K"
+        ~doc:
+          "Register budget for pressure-aware promotion: per interval, webs \
+           are promoted in decreasing profit order only while the predicted \
+           register pressure stays within $(docv). Also the budget at which \
+           the report's predicted spill counts are computed. Without it \
+           promotion is unbounded (the paper's behaviour).")
 
 let run_cmd =
   let doc = "interpret a MiniC program and print its output" in
@@ -433,9 +492,9 @@ let promote_cmd =
   Cmd.v
     (Cmd.info "promote" ~doc ~exits)
     Term.(
-      const cmd_promote $ file_arg $ fuel_arg $ static_profile
-      $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
-      $ trace $ checkpoints $ jobs $ deterministic $ interp_arg)
+      const cmd_promote $ file_arg $ fuel_arg $ profile_arg $ static_profile
+      $ no_store_removal $ singleton_deref $ engine $ min_profit $ regs_arg
+      $ json $ trace $ checkpoints $ jobs $ deterministic $ interp_arg)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in
@@ -605,9 +664,9 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client" ~doc ~exits)
     Term.(
-      const cmd_client $ socket_arg $ file $ op $ fuel_arg $ static_profile
-      $ no_store_removal $ singleton_deref $ engine $ min_profit $ json
-      $ deterministic $ interp_arg)
+      const cmd_client $ socket_arg $ file $ op $ fuel_arg $ profile_arg
+      $ static_profile $ no_store_removal $ singleton_deref $ engine
+      $ min_profit $ regs_arg $ json $ deterministic $ interp_arg)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in

@@ -45,22 +45,16 @@ int main() {
 let () =
   print_endline "=== promotion across a loop nest ===";
   print_endline source;
-  (* register pressure before promotion *)
-  let before_prog, _ = P.prepare source in
-  let pressure_before =
-    RA.Color.colors_for_func
-      (List.find
-         (fun (f : Rp_ir.Func.t) -> f.Rp_ir.Func.fname = "main")
-         before_prog.Rp_ir.Func.funcs)
-  in
   let report = P.run source in
   let b = report.P.dynamic_before and a = report.P.dynamic_after in
-  let pressure_after =
-    RA.Color.colors_for_func
-      (List.find
-         (fun (f : Rp_ir.Func.t) -> f.Rp_ir.Func.fname = "main")
-         report.P.prog.Rp_ir.Func.funcs)
+  (* register pressure around promotion: the pipeline measures it for
+     every function (the report's schema-v4 "pressure" section) *)
+  let main_pressure =
+    List.find (fun (fp : P.func_pressure) -> fp.P.fp_name = "main")
+      report.P.pressure
   in
+  let pressure_before = main_pressure.P.fp_before.RA.Color.s_colors in
+  let pressure_after = main_pressure.P.fp_after.RA.Color.s_colors in
   Printf.printf "behaviour preserved : %b\n" report.P.behaviour_ok;
   Printf.printf "dynamic loads       : %d -> %d\n" b.I.loads a.I.loads;
   Printf.printf "dynamic stores      : %d -> %d\n" b.I.stores a.I.stores;

@@ -1,0 +1,50 @@
+(* Per-block register pressure from liveness.  One backward walk per
+   block, same discipline as the interference builder: start from
+   live-out plus the terminator's reads, kill the definition, add the
+   uses, and take the running maximum of the live-set cardinality.
+   The phi row counts once more with every phi target live — the
+   targets are defined in parallel at block entry. *)
+
+open Rp_ir
+
+type t = {
+  per_block : (Ids.bid, int) Hashtbl.t;
+  top : int;  (** function-wide maximum *)
+}
+
+let compute (f : Func.t) : t =
+  let live = Liveness.compute f in
+  let per_block = Hashtbl.create 64 in
+  let top = ref 0 in
+  Func.iter_blocks
+    (fun b ->
+      let live_now = Bitset.copy (Liveness.live_out live b.Block.bid) in
+      List.iter (Bitset.add live_now) (Block.term_uses b);
+      let best = ref (Bitset.cardinal live_now) in
+      let step (i : Instr.t) =
+        (match Instr.reg_def i.Instr.op with
+        | Some d -> Bitset.remove live_now d
+        | None -> ());
+        List.iter (Bitset.add live_now) (Instr.reg_uses i.Instr.op);
+        best := max !best (Bitset.cardinal live_now)
+      in
+      Iseq.iter_rev step b.Block.body;
+      Iseq.iter
+        (fun (i : Instr.t) ->
+          match Instr.reg_def i.Instr.op with
+          | Some d -> Bitset.add live_now d
+          | None -> ())
+        b.Block.phis;
+      best := max !best (Bitset.cardinal live_now);
+      Hashtbl.replace per_block b.Block.bid !best;
+      top := max !top !best)
+    f;
+  { per_block; top = !top }
+
+let block (t : t) (bid : Ids.bid) : int =
+  match Hashtbl.find_opt t.per_block bid with Some p -> p | None -> 0
+
+let max_over (t : t) (blocks : Ids.IntSet.t) : int =
+  Ids.IntSet.fold (fun bid acc -> max acc (block t bid)) blocks 0
+
+let maxlive (t : t) : int = t.top

@@ -1,0 +1,27 @@
+(** Per-block register pressure: the maximum number of simultaneously
+    live registers at any point inside each block. On SSA form this is
+    MAXLIVE, which equals the chromatic number of the (slack-free)
+    interference graph — pressure is exact and linear-time per program
+    point, so the promoter can afford to consult it per interval.
+
+    The walk mirrors the interference builder's backward scan: phi
+    targets are defined in parallel at block entry, phi sources are
+    uses at the end of the corresponding predecessor, and registers
+    read by the terminator are live between the last instruction and
+    the branch. *)
+
+open Rp_ir
+
+type t
+
+val compute : Func.t -> t
+
+(** Pressure inside one block; 0 for blocks the function does not
+    contain. *)
+val block : t -> Ids.bid -> int
+
+(** Maximum pressure over a set of blocks (an interval's body). *)
+val max_over : t -> Ids.IntSet.t -> int
+
+(** Function-wide MAXLIVE — the maximum over all blocks. *)
+val maxlive : t -> int

@@ -24,7 +24,7 @@ let baseline_config : Rp_core.Promote.config =
   {
     Rp_core.Promote.engine = Rp_ssa.Incremental.Cytron;
     allow_store_removal = true;
-    min_profit = neg_infinity;
+    cost = { Rp_core.Cost_model.min_profit = neg_infinity; regs = None };
     insert_dummies = false;
   }
 

@@ -47,12 +47,27 @@ module J = Rp_obs.Json
 type profile_source = Measured | Static_estimate
 type interp_engine = Flat | Tree
 
+(* Every enum option follows the same symmetric codec convention:
+   [x_to_string] names each constructor, [x_of_string] is total and
+   accepts exactly those names (plus documented abbreviations),
+   returning [None] otherwise.  [Incremental.engine_of_string] is the
+   third member of the family. *)
+
 let interp_engine_of_string = function
   | "flat" -> Some Flat
   | "tree" -> Some Tree
   | _ -> None
 
 let interp_engine_to_string = function Flat -> "flat" | Tree -> "tree"
+
+let profile_source_of_string = function
+  | "measured" -> Some Measured
+  | "static" -> Some Static_estimate
+  | _ -> None
+
+let profile_source_to_string = function
+  | Measured -> "measured"
+  | Static_estimate -> "static"
 
 type options = {
   promote : Promote.config;
@@ -70,6 +85,11 @@ type options = {
       (** which interpreter runs the profiling and measurement passes:
           the flat-decoded engine (default) or the tree-walking oracle;
           both produce identical observable results *)
+  regs : int option;
+      (** register budget for pressure-aware promotion; None (the
+          default) is the paper-faithful unbounded behaviour.  Unlike
+          [jobs]/[interp] this changes output, so the compile service
+          keys its cache on it. *)
 }
 
 let default_options =
@@ -82,7 +102,30 @@ let default_options =
     trace = false;
     jobs = 1;
     interp = Flat;
+    regs = None;
   }
+
+(* [options.regs] is authoritative when set; otherwise a budget placed
+   directly in the cost model (API users) still counts. *)
+let effective_regs (options : options) : int option =
+  match options.regs with
+  | Some _ as k -> k
+  | None -> options.promote.Promote.cost.Cost_model.regs
+
+let effective_promote (options : options) : Promote.config =
+  match options.regs with
+  | None -> options.promote
+  | Some _ as k ->
+      {
+        options.promote with
+        Promote.cost = { options.promote.Promote.cost with Cost_model.regs = k };
+      }
+
+type func_pressure = {
+  fp_name : string;
+  fp_before : Rp_regalloc.Color.summary;
+  fp_after : Rp_regalloc.Color.summary;
+}
 
 type report = {
   prog : Func.prog;
@@ -96,6 +139,8 @@ type report = {
   behaviour_ok : bool;
   baseline : Interp.result;
   final : Interp.result;
+  pressure : func_pressure list;
+  pressure_regs : int option;
   timing : (string * float) list;
 }
 
@@ -254,14 +299,14 @@ let record_counts_metrics ~static_before ~static_after
 let promote_prog_in pool ~(options : options) (prog : Func.prog)
     (trees : (string * Intervals.tree) list) :
     (string * Promote.stats) list =
+  let cfg = effective_promote options in
   Trace.with_span "promote" (fun () ->
       par_funcs pool
         (fun (f : Func.t) ->
           match List.assoc_opt f.Func.fname trees with
           | Some tree ->
               let s =
-                Promote.promote_function ~cfg:options.promote f
-                  prog.Func.vartab tree
+                Promote.promote_function ~cfg f prog.Func.vartab tree
               in
               checkpoint_func options ~ssa:true
                 ("promote:" ^ f.Func.fname)
@@ -270,6 +315,24 @@ let promote_prog_in pool ~(options : options) (prog : Func.prog)
           | None -> None)
         prog.Func.funcs
       |> List.filter_map Fun.id)
+
+(* The Table 3 measurement: colors / MAXLIVE / spills-at-budget per
+   function, from one interference build each, fanned out over the
+   pool.  Runs twice per pipeline (before promotion and after
+   finalisation); [k] is the effective register budget. *)
+let measure_pressure pool ~(when_ : string) ~(k : int option)
+    (prog : Func.prog) : (string * Rp_regalloc.Color.summary) list =
+  Trace.with_span "pressure" ~attrs:[ ("when", when_) ] @@ fun () ->
+  par_funcs pool
+    (fun (f : Func.t) -> (f.Func.fname, Rp_regalloc.Color.analyse f ~k))
+    prog.Func.funcs
+
+let zip_pressure before after : func_pressure list =
+  List.map2
+    (fun (n, b) (n', a) ->
+      assert (String.equal n n');
+      { fp_name = n; fp_before = b; fp_after = a })
+    before after
 
 (* Post-promotion finalisation: verify, clean, verify again. *)
 let finalise_in pool (prog : Func.prog) : unit =
@@ -308,6 +371,9 @@ let run ?(options = default_options) (src : string) : report =
   let baseline = attach_profile ~options ?decoded prog trees in
   let t_profiled = Trace.wall_s () and a_profiled = Trace.alloc_words () in
   let static_before = Stats.of_prog prog in
+  let k = effective_regs options in
+  let pressure_before = measure_pressure pool ~when_:"before" ~k prog in
+  let t_pressure_b = Trace.wall_s () in
   let per_function = promote_prog_in pool ~options prog trees in
   let stats = Promote.empty_stats () in
   List.iter (fun (_, s) -> Promote.accumulate stats s) per_function;
@@ -315,6 +381,8 @@ let run ?(options = default_options) (src : string) : report =
   finalise_in pool prog;
   let static_after = Stats.of_prog prog in
   let t_finalised = Trace.wall_s () and a_finalised = Trace.alloc_words () in
+  let pressure_after = measure_pressure pool ~when_:"after" ~k prog in
+  let t_pressure_a = Trace.wall_s () in
   Trace.with_span "measure.decode" (fun () ->
       match decoded with Some d -> Decode.refresh d | None -> ());
   let t_mdecoded = Trace.wall_s () in
@@ -345,6 +413,8 @@ let run ?(options = default_options) (src : string) : report =
     behaviour_ok = Interp.same_behaviour baseline final;
     baseline;
     final;
+    pressure = zip_pressure pressure_before pressure_after;
+    pressure_regs = k;
     timing =
       [
         ("prepare_ms", ms t0 t_prepared);
@@ -353,10 +423,13 @@ let run ?(options = default_options) (src : string) : report =
            decode components are 0 under the tree-walking oracle *)
         ("profile_decode_ms", ms t_prepared t_pdecoded);
         ("profile_exec_ms", ms t_pdecoded t_profiled);
-        ("promote_ms", ms t_profiled t_promoted);
+        (* both interference-analysis passes (before + after) *)
+        ( "pressure_ms",
+          ms t_profiled t_pressure_b +. ms t_finalised t_pressure_a );
+        ("promote_ms", ms t_pressure_b t_promoted);
         ("finalise_ms", ms t_promoted t_finalised);
-        ("measure_ms", ms t_finalised t_measured);
-        ("measure_decode_ms", ms t_finalised t_mdecoded);
+        ("measure_ms", ms t_pressure_a t_measured);
+        ("measure_decode_ms", ms t_pressure_a t_mdecoded);
         ("measure_exec_ms", ms t_mdecoded t_measured);
         ("total_ms", ms t0 t_measured);
         alloc "prepare" a0 a_prepared;
@@ -389,7 +462,7 @@ let optimise ?(options = default_options) (src : string) :
   (prog, per_function)
 
 (* ------------------------------------------------------------------ *)
-(* JSON serialisation (report schema v2; see DESIGN.md) *)
+(* JSON serialisation (report schema v4; see DESIGN.md) *)
 
 let counts_json (c : Stats.counts) : J.t =
   J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Stats.to_alist c))
@@ -406,6 +479,77 @@ let counters_json (c : Interp.counters) : J.t =
 
 let stats_json (s : Promote.stats) : J.t =
   J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Promote.to_alist s))
+
+(* The schema-v4 pressure section (the paper's Table 3): per function
+   and program-wide, colors / MAXLIVE / spills-at-budget before and
+   after promotion, plus the per-cause web admission counts.  Colors
+   and spills aggregate by sum (registers are per-function), MAXLIVE by
+   max. *)
+let pressure_json (r : report) : J.t =
+  let opt_int = function Some v -> J.Int v | None -> J.Null in
+  let summary_fields prefix (s : Rp_regalloc.Color.summary) =
+    [
+      ("colors_" ^ prefix, J.Int s.Rp_regalloc.Color.s_colors);
+      ("maxlive_" ^ prefix, J.Int s.Rp_regalloc.Color.s_maxlive);
+      ("spills_" ^ prefix, opt_int s.Rp_regalloc.Color.s_spills);
+    ]
+  in
+  let sum get = List.fold_left (fun acc fp -> acc + get fp) 0 r.pressure in
+  let top get = List.fold_left (fun acc fp -> max acc (get fp)) 0 r.pressure in
+  let spill_sum get =
+    Option.map
+      (fun _ -> sum (fun fp -> Option.value (get fp) ~default:0))
+      r.pressure_regs
+  in
+  let s = r.promote_stats in
+  J.Obj
+    [
+      ("regs", opt_int r.pressure_regs);
+      ( "program",
+        J.Obj
+          ([
+             ( "colors_before",
+               J.Int (sum (fun fp -> fp.fp_before.Rp_regalloc.Color.s_colors))
+             );
+             ( "colors_after",
+               J.Int (sum (fun fp -> fp.fp_after.Rp_regalloc.Color.s_colors))
+             );
+             ( "maxlive_before",
+               J.Int (top (fun fp -> fp.fp_before.Rp_regalloc.Color.s_maxlive))
+             );
+             ( "maxlive_after",
+               J.Int (top (fun fp -> fp.fp_after.Rp_regalloc.Color.s_maxlive))
+             );
+             ( "spills_before",
+               opt_int
+                 (spill_sum (fun fp -> fp.fp_before.Rp_regalloc.Color.s_spills))
+             );
+             ( "spills_after",
+               opt_int
+                 (spill_sum (fun fp -> fp.fp_after.Rp_regalloc.Color.s_spills))
+             );
+           ]
+          @ [
+              ( "webs",
+                J.Obj
+                  [
+                    ("promoted", J.Int s.Promote.webs_promoted);
+                    ("blocked_profit", J.Int s.Promote.webs_skipped_profit);
+                    ("blocked_pressure", J.Int s.Promote.webs_skipped_pressure);
+                    ( "blocked_malformed",
+                      J.Int s.Promote.webs_skipped_malformed );
+                  ] );
+            ]) );
+      ( "functions",
+        J.Arr
+          (List.map
+             (fun fp ->
+               J.Obj
+                 (("name", J.Str fp.fp_name)
+                 :: (summary_fields "before" fp.fp_before
+                    @ summary_fields "after" fp.fp_after)))
+             r.pressure) );
+    ]
 
 let json_report ?label (r : report) : J.t =
   let impro before after = J.Float (Stats.improvement ~before ~after) in
@@ -446,6 +590,7 @@ let json_report ?label (r : report) : J.t =
                   ] );
             ] );
         ("promotion", stats_json r.promote_stats);
+        ("pressure", pressure_json r);
         ( "functions",
           J.Arr
             (List.map

@@ -38,6 +38,11 @@ val interp_engine_of_string : string -> interp_engine option
 
 val interp_engine_to_string : interp_engine -> string
 
+val profile_source_of_string : string -> profile_source option
+(** ["measured"] / ["static"]. *)
+
+val profile_source_to_string : profile_source -> string
+
 type options = {
   promote : Promote.config;
       (** promotion knobs; [promote.engine] also selects the IDF engine
@@ -61,11 +66,33 @@ type options = {
           both produce identical observable results (reports are
           byte-identical in deterministic mode), the flat engine is
           roughly an order of magnitude faster *)
+  regs : int option;
+      (** register budget for pressure-aware promotion ([--regs K]);
+          [None] (the default) is the paper-faithful unbounded
+          behaviour. When set it overrides [promote.cost.regs]. Unlike
+          [jobs]/[interp] this changes output, so the compile service
+          includes it in its cache-key fingerprint. *)
 }
 
 val default_options : options
 (** [Measured] profile, 50M fuel, paper-default promotion config,
-    checkpoints and tracing off, [jobs = 1], [interp = Flat]. *)
+    checkpoints and tracing off, [jobs = 1], [interp = Flat],
+    [regs = None]. *)
+
+val effective_regs : options -> int option
+(** The budget promotion actually runs under: [options.regs] when set,
+    else the budget carried by the cost model. *)
+
+val effective_promote : options -> Promote.config
+(** [options.promote] with [options.regs] (when set) injected into the
+    cost model — the config the promotion stage runs with. *)
+
+type func_pressure = {
+  fp_name : string;
+  fp_before : Rp_regalloc.Color.summary;
+      (** colors / MAXLIVE / spills before promotion *)
+  fp_after : Rp_regalloc.Color.summary;  (** same, after finalisation *)
+}
 
 type report = {
   prog : Func.prog;  (** the transformed program *)
@@ -81,14 +108,23 @@ type report = {
       (** the print trace and exit value were unchanged *)
   baseline : Interp.result;
   final : Interp.result;
+  pressure : func_pressure list;
+      (** the Table 3 measurement, one entry per function in program
+          order: interference-graph colors, MAXLIVE and (when a budget
+          is set) the Chaitin spill estimate, before and after
+          promotion *)
+  pressure_regs : int option;
+      (** the effective register budget the run used (and at which
+          spills were estimated); [None] = unbounded *)
   timing : (string * float) list;
       (** wall-clock milliseconds per phase, in phase order:
           [prepare_ms], [profile_ms] (with its [profile_decode_ms] /
-          [profile_exec_ms] split), [promote_ms], [finalise_ms],
-          [measure_ms] (with [measure_decode_ms] / [measure_exec_ms]),
-          [total_ms], then the [*_minor_words] allocation deltas. The
-          decode components are 0 under the [Tree] engine. All zero in
-          deterministic mode. *)
+          [profile_exec_ms] split), [pressure_ms] (both interference
+          passes), [promote_ms], [finalise_ms], [measure_ms] (with
+          [measure_decode_ms] / [measure_exec_ms]), [total_ms], then
+          the [*_minor_words] allocation deltas. The decode components
+          are 0 under the [Tree] engine. All zero in deterministic
+          mode. *)
 }
 
 (** Compile, normalise, build SSA and clean; returns the program and

@@ -18,9 +18,13 @@
    - a dummy aliased load summarising the web is left in the interval
      preheader for the parent interval, and removed by cleanup.
 
-   Profitability (section 4.3) is evaluated against the block execution
-   frequencies stored on the function, which the pipeline fills from an
-   interpreter profile (or the static estimator). *)
+   Profitability (section 4.3) lives in {!Cost_model}: webs are priced
+   against the block execution frequencies stored on the function,
+   which the pipeline fills from an interpreter profile (or the static
+   estimator), and admitted or skipped with a structured reason.  When
+   the cost model carries a register budget, each interval's webs are
+   ordered by descending frequency-weighted profit and admitted
+   greedily until the predicted pressure saturates the budget. *)
 
 open Rp_ir
 open Rp_analysis
@@ -29,7 +33,7 @@ open Rp_ssa
 type config = {
   engine : Incremental.engine;  (** IDF engine for the SSA updater *)
   allow_store_removal : bool;  (** master switch, for the ablation *)
-  min_profit : float;  (** promote when profit >= min_profit; paper: 0 *)
+  cost : Cost_model.t;  (** profitability threshold + register budget *)
   insert_dummies : bool;
       (** leave dummy aliased loads for the parent interval; off for the
           loop-based baseline, which has no parent cooperation *)
@@ -39,7 +43,7 @@ let default_config =
   {
     engine = Incremental.Cytron;
     allow_store_removal = true;
-    min_profit = 0.0;
+    cost = Cost_model.paper;
     insert_dummies = true;
   }
 
@@ -49,6 +53,7 @@ type stats = {
   mutable webs_promoted_no_defs : int;
   mutable webs_store_removal : int;
   mutable webs_skipped_profit : int;
+  mutable webs_skipped_pressure : int;
   mutable webs_skipped_malformed : int;
   mutable loads_replaced : int;
   mutable loads_inserted : int;
@@ -65,6 +70,7 @@ let empty_stats () =
     webs_promoted_no_defs = 0;
     webs_store_removal = 0;
     webs_skipped_profit = 0;
+    webs_skipped_pressure = 0;
     webs_skipped_malformed = 0;
     loads_replaced = 0;
     loads_inserted = 0;
@@ -82,6 +88,7 @@ let add (a : stats) (b : stats) : stats =
     webs_promoted_no_defs = a.webs_promoted_no_defs + b.webs_promoted_no_defs;
     webs_store_removal = a.webs_store_removal + b.webs_store_removal;
     webs_skipped_profit = a.webs_skipped_profit + b.webs_skipped_profit;
+    webs_skipped_pressure = a.webs_skipped_pressure + b.webs_skipped_pressure;
     webs_skipped_malformed = a.webs_skipped_malformed + b.webs_skipped_malformed;
     loads_replaced = a.loads_replaced + b.loads_replaced;
     loads_inserted = a.loads_inserted + b.loads_inserted;
@@ -98,6 +105,7 @@ let to_alist (s : stats) : (string * int) list =
     ("webs_promoted_no_defs", s.webs_promoted_no_defs);
     ("webs_store_removal", s.webs_store_removal);
     ("webs_skipped_profit", s.webs_skipped_profit);
+    ("webs_skipped_pressure", s.webs_skipped_pressure);
     ("webs_skipped_malformed", s.webs_skipped_malformed);
     ("loads_replaced", s.loads_replaced);
     ("loads_inserted", s.loads_inserted);
@@ -115,6 +123,7 @@ let accumulate (acc : stats) (src : stats) : unit =
   acc.webs_promoted_no_defs <- s.webs_promoted_no_defs;
   acc.webs_store_removal <- s.webs_store_removal;
   acc.webs_skipped_profit <- s.webs_skipped_profit;
+  acc.webs_skipped_pressure <- s.webs_skipped_pressure;
   acc.webs_skipped_malformed <- s.webs_skipped_malformed;
   acc.loads_replaced <- s.loads_replaced;
   acc.loads_inserted <- s.loads_inserted;
@@ -122,213 +131,6 @@ let accumulate (acc : stats) (src : stats) : unit =
   acc.stores_deleted <- s.stores_deleted;
   acc.dummies_added <- s.dummies_added;
   acc.reg_phis_added <- s.reg_phis_added
-
-(* ------------------------------------------------------------------ *)
-(* loads_added / stores_added (section 4.3) *)
-
-module PointSet = Set.Make (struct
-  type t = Resource.t * Ids.bid
-
-  let compare (r1, b1) (r2, b2) =
-    let c = Resource.compare r1 r2 in
-    if c <> 0 then c else Int.compare b1 b2
-end)
-
-(* Leaves of the web's phis that are not defined by a store of the web:
-   a load of each must be inserted at the end of the corresponding
-   predecessor block. *)
-let loads_added (w : Web_info.t) : PointSet.t =
-  List.fold_left
-    (fun acc ((site : Web_info.ref_site), _) ->
-      List.fold_left
-        (fun acc (l, x) ->
-          if
-            Resource.ResSet.mem x w.Web_info.resources
-            && Web_info.is_leaf w x
-            && not (Web_info.store_defined w x)
-          then PointSet.add (x, l) acc
-          else acc)
-        acc
-        (Instr.mphi_srcs site.instr.Instr.op))
-    PointSet.empty w.Web_info.phis
-
-(* The phis an aliased load transitively depends on: backward closure
-   from the aliased loads' used resources through phi operands. *)
-let dependent_phis (w : Web_info.t) : Resource.ResSet.t =
-  let phi_of : (Resource.t, Instr.t) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun ((site : Web_info.ref_site), dst) ->
-      Hashtbl.replace phi_of dst site.instr)
-    w.Web_info.phis;
-  let needed = ref Resource.ResSet.empty in
-  let rec need r =
-    if Web_info.phi_defined w r && not (Resource.ResSet.mem r !needed) then begin
-      needed := Resource.ResSet.add r !needed;
-      match Hashtbl.find_opt phi_of r with
-      | Some phi -> List.iter (fun (_, x) -> need x) (Instr.mphi_srcs phi.Instr.op)
-      | None -> ()
-    end
-  in
-  List.iter (fun (_, r) -> need r) w.Web_info.aliased_uses;
-  !needed
-
-(* stores_added: a pair (x, point) means "insert a store of x before
-   point".  Set 1: store-defined operands of phis an aliased load
-   depends on, at the end of the operand's predecessor.  Set 2: stores
-   used directly by an aliased load, before that instruction.  Then the
-   dominance pruning from the paper. *)
-let stores_added (f : Func.t) (dom : Dom.t) (w : Web_info.t) :
-    (Resource.t * Web_info.point) list =
-  let needed = dependent_phis w in
-  let set1 =
-    List.fold_left
-      (fun acc ((site : Web_info.ref_site), dst) ->
-        if Resource.ResSet.mem dst needed then
-          List.fold_left
-            (fun acc (l, x) ->
-              if Web_info.store_defined w x then
-                (x, Web_info.At_block_end l) :: acc
-              else acc)
-            acc
-            (Instr.mphi_srcs site.instr.Instr.op)
-        else acc)
-      [] w.Web_info.phis
-  in
-  let set2 =
-    List.filter_map
-      (fun ((site : Web_info.ref_site), r) ->
-        if Web_info.store_defined w r then
-          Some (r, Web_info.Before_instr (site.bid, site.instr))
-        else None)
-      w.Web_info.aliased_uses
-  in
-  (* dedupe *)
-  let all =
-    List.sort_uniq
-      (fun (r1, p1) (r2, p2) ->
-        let c = Resource.compare r1 r2 in
-        if c <> 0 then c
-        else
-          match (p1, p2) with
-          | Web_info.At_block_end b1, Web_info.At_block_end b2 ->
-              Int.compare b1 b2
-          | Web_info.Before_instr (_, i1), Web_info.Before_instr (_, i2) ->
-              Int.compare i1.Instr.iid i2.Instr.iid
-          | Web_info.At_block_end _, Web_info.Before_instr _ -> -1
-          | Web_info.Before_instr _, Web_info.At_block_end _ -> 1)
-      (set1 @ set2)
-  in
-  (* positions for same-block comparisons, indexed lazily: only the
-     handful of blocks that actually appear in [all] get scanned *)
-  let pos_in_block : (Ids.iid, int) Hashtbl.t = Hashtbl.create 32 in
-  let indexed_blocks : (Ids.bid, unit) Hashtbl.t = Hashtbl.create 8 in
-  let ensure_indexed bid =
-    if not (Hashtbl.mem indexed_blocks bid) then begin
-      Hashtbl.add indexed_blocks bid ();
-      Iseq.iteri
-        (fun k (i : Instr.t) -> Hashtbl.replace pos_in_block i.iid k)
-        (Func.block f bid).Block.body
-    end
-  in
-  let point_pos = function
-    | Web_info.At_block_end _ -> max_int
-    | Web_info.Before_instr (bid, i) -> (
-        ensure_indexed bid;
-        match Hashtbl.find_opt pos_in_block i.Instr.iid with
-        | Some p -> p
-        | None -> max_int)
-  in
-  let dominates p1 p2 =
-    let b1 = Web_info.point_bid p1 and b2 = Web_info.point_bid p2 in
-    if b1 = b2 then point_pos p1 < point_pos p2
-    else Dom.strictly_dominates dom ~a:b1 ~b:b2
-  in
-  List.filter
-    (fun (x, p) ->
-      not
-        (List.exists
-           (fun (x', p') ->
-             Resource.equal x x' && p' <> p && dominates p' p)
-           all))
-    all
-
-(* ------------------------------------------------------------------ *)
-(* Profitability (section 4.3) *)
-
-type decision = {
-  promote : bool;
-  remove_stores : bool;
-  profit : float;
-  la : PointSet.t;
-  sa : (Resource.t * Web_info.point) list;
-}
-
-let decide (cfg : config) (f : Func.t) (dom : Dom.t) (iv : Intervals.t)
-    (w : Web_info.t) : decision =
-  let freq bid = Func.block_freq f bid in
-  if not (Web_info.has_defs w) then begin
-    (* one load in the preheader replaces every load of the web *)
-    let benefit =
-      List.fold_left
-        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
-        0.0 w.Web_info.loads
-    in
-    let cost = freq iv.Intervals.preheader in
-    let profit = benefit -. cost in
-    {
-      promote = profit >= cfg.min_profit && w.Web_info.loads <> [];
-      remove_stores = false;
-      profit;
-      la = PointSet.empty;
-      sa = [];
-    }
-  end
-  else begin
-    let la = loads_added w in
-    let sa = stores_added f dom w in
-    let removable_loads =
-      List.filter
-        (fun (_, r) -> Web_info.store_defined w r || Web_info.phi_defined w r)
-        w.Web_info.loads
-    in
-    let load_benefit =
-      List.fold_left
-        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
-        0.0 removable_loads
-    in
-    let load_cost =
-      PointSet.fold (fun (_, l) acc -> acc +. freq l) la 0.0
-    in
-    let store_benefit =
-      List.fold_left
-        (fun acc ((s : Web_info.ref_site), _) -> acc +. freq s.bid)
-        0.0 w.Web_info.stores
-    in
-    let store_cost =
-      List.fold_left
-        (fun acc (_, p) -> acc +. freq (Web_info.point_bid p))
-        0.0 sa
-    in
-    (* tail stores also cost; count them for honesty even though the
-       paper's formula omits them (they sit on cold exit edges) *)
-    let remove_stores =
-      cfg.allow_store_removal
-      && w.Web_info.stores <> []
-      && store_benefit -. store_cost > 0.0
-    in
-    let profit =
-      load_benefit -. load_cost
-      +. (if remove_stores then store_benefit -. store_cost else 0.0)
-    in
-    let any_effect = removable_loads <> [] || remove_stores in
-    {
-      promote = profit >= cfg.min_profit && any_effect;
-      remove_stores;
-      profit;
-      la;
-      sa;
-    }
-  end
 
 (* ------------------------------------------------------------------ *)
 (* Web promotion (section 4.4) *)
@@ -364,8 +166,8 @@ let init_vr_map (ctx : web_ctx) =
 
 (* insertLoadsAtPhiLeaves: a load of x at the end of block l for every
    (x, l) in loads_added. *)
-let insert_loads_at_phi_leaves (ctx : web_ctx) (la : PointSet.t) =
-  PointSet.iter
+let insert_loads_at_phi_leaves (ctx : web_ctx) (la : Cost_model.PointSet.t) =
+  Cost_model.PointSet.iter
     (fun (x, l) ->
       let t = Func.fresh_reg ctx.f in
       let load = Func.mk_instr ctx.f (Instr.Load { dst = t; src = x }) in
@@ -544,14 +346,18 @@ let add_dummy (ctx : web_ctx) (cfg : config) (iv : Intervals.t) =
    version of the variable), so the caller uses it to invalidate
    precomputed web infos of the same base. *)
 let promote_web (cfg : config) (f : Func.t) (dom : Dom.t)
-    (iv : Intervals.t) (stats : stats) (w : Web_info.t) : bool =
+    (iv : Intervals.t) (stats : stats)
+    (pctx : Cost_model.pressure_ctx option) (w : Web_info.t) : bool =
   stats.webs_seen <- stats.webs_seen + 1;
   if w.Web_info.multiple_live_in then begin
     stats.webs_skipped_malformed <- stats.webs_skipped_malformed + 1;
     false
   end
   else begin
-    let d = decide cfg f dom iv w in
+    let d =
+      Cost_model.evaluate ~allow_store_removal:cfg.allow_store_removal f dom
+        iv w
+    in
     let ctx =
       {
         f;
@@ -568,17 +374,23 @@ let promote_web (cfg : config) (f : Func.t) (dom : Dom.t)
            h);
       }
     in
-    if not d.promote then begin
-      stats.webs_skipped_profit <- stats.webs_skipped_profit + 1;
-      (* paper fig 4: unpromoted webs with references get a dummy; with
-         inclusive interval scanning the parent sees the remaining
-         loads/stores directly, so the dummy only matters (and only
-         helps hoist compensation stores to the preheader) when the web
-         contains aliased loads *)
-      if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv;
-      false
-    end
-    else if not (Web_info.has_defs w) then begin
+    match Cost_model.admit cfg.cost d pctx with
+    | Cost_model.Skip reason ->
+        (match reason with
+        | Cost_model.Not_profitable ->
+            stats.webs_skipped_profit <- stats.webs_skipped_profit + 1
+        | Cost_model.Pressure_saturated ->
+            stats.webs_skipped_pressure <- stats.webs_skipped_pressure + 1);
+        (* paper fig 4: unpromoted webs with references get a dummy; with
+           inclusive interval scanning the parent sees the remaining
+           loads/stores directly, so the dummy only matters (and only
+           helps hoist compensation stores to the preheader) when the web
+           contains aliased loads *)
+        if w.Web_info.aliased_uses <> [] then add_dummy ctx cfg iv;
+        false
+    | Cost_model.Admit ->
+        Cost_model.note_promoted pctx;
+        if not (Web_info.has_defs w) then begin
       (* no definitions: load once in the preheader *)
       let live_in =
         match w.Web_info.live_in with
@@ -632,7 +444,8 @@ let promote_web (cfg : config) (f : Func.t) (dom : Dom.t)
 let promote_in_web (cfg : config) (f : Func.t) (dom : Dom.t)
     (iv : Intervals.t) (stats : stats) (resources : Resource.ResSet.t) : unit
     =
-  ignore (promote_web cfg f dom iv stats (Web_info.compute f iv resources))
+  ignore
+    (promote_web cfg f dom iv stats None (Web_info.compute f iv resources))
 
 (* cleanup (Figure 2): remove the dummy aliased loads inside the
    interval, i.e. the summaries its children left in their preheaders,
@@ -672,17 +485,60 @@ let promote_in_interval (cfg : config) (f : Func.t) (tab : Resource.table)
     Rp_obs.Trace.with_span "promote.webinfo" @@ fun () ->
     Web_info.compute_all f iv websets
   in
+  (* With a register budget: measure the interval's pressure (preheader
+     included — that is where the promoted value's load lands) and
+     order the webs by descending frequency-weighted profit, so the
+     budget is spent on the best candidates.  The profit used as the
+     sort key comes from the initial web infos; a later same-base
+     rescan can shift it slightly, but the admission test below always
+     re-evaluates against the fresh info.  Without a budget the
+     original scan order is kept — the paper's behaviour, and zero
+     analysis overhead. *)
+  let pctx =
+    match cfg.cost.Cost_model.regs with
+    | None -> None
+    | Some budget ->
+        let p =
+          Rp_obs.Trace.with_span "promote.pressure" @@ fun () ->
+          Pressure.compute f
+        in
+        let scope =
+          Ids.IntSet.add iv.Intervals.preheader iv.Intervals.blocks
+        in
+        Some
+          (Cost_model.make_ctx ~budget
+             ~interval_pressure:(Pressure.max_over p scope))
+  in
+  let pairs = List.combine websets infos in
+  let pairs =
+    match pctx with
+    | None -> pairs
+    | Some _ ->
+        List.map
+          (fun ((_, (w : Web_info.t)) as pair) ->
+            let profit =
+              if w.Web_info.multiple_live_in then neg_infinity
+              else
+                (Cost_model.evaluate
+                   ~allow_store_removal:cfg.allow_store_removal f dom iv w)
+                  .Cost_model.profit
+            in
+            (pair, profit))
+          pairs
+        |> List.stable_sort (fun (_, a) (_, b) -> Float.compare b a)
+        |> List.map fst
+  in
   let rewritten_bases : (Ids.vid, unit) Hashtbl.t = Hashtbl.create 8 in
-  List.iter2
-    (fun resources (w : Web_info.t) ->
+  List.iter
+    (fun (resources, (w : Web_info.t)) ->
       let w =
         if Hashtbl.mem rewritten_bases w.Web_info.base then
           Web_info.compute f iv resources
         else w
       in
-      if promote_web cfg f dom iv stats w then
+      if promote_web cfg f dom iv stats pctx w then
         Hashtbl.replace rewritten_bases w.Web_info.base ())
-    websets infos;
+    pairs;
   cleanup_dummies f iv.Intervals.blocks
 
 (* Promote one function.  Expects [f] normalised (no critical edges,

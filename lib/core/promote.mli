@@ -1,7 +1,13 @@
 (** The register promotion algorithm (paper section 4): bottom-up over
     the interval tree, one SSA web at a time, profile-driven, with
     partial promotion around aliased references and the incremental SSA
-    updater repairing memory SSA form after stores are cloned. *)
+    updater repairing memory SSA form after stores are cloned.
+
+    Profitability and admission live in {!Cost_model}; the config
+    carries a cost-model value. With a register budget set
+    ([cost.regs = Some k]) each interval's webs are ordered by
+    descending frequency-weighted profit and admitted greedily until
+    the predicted pressure saturates the budget. *)
 
 open Rp_ir
 open Rp_analysis
@@ -10,13 +16,16 @@ open Rp_ssa
 type config = {
   engine : Incremental.engine;  (** IDF engine for the SSA updater *)
   allow_store_removal : bool;  (** master switch, for the ablation *)
-  min_profit : float;  (** promote when profit ≥ this; the paper uses 0 *)
+  cost : Cost_model.t;
+      (** profitability threshold and register budget; the paper's
+          behaviour is {!Cost_model.paper} *)
   insert_dummies : bool;
       (** leave dummy aliased loads for the parent interval; off for
           the loop-based baseline *)
 }
 
 val default_config : config
+(** [Cost_model.paper], Cytron engine, store removal on, dummies on. *)
 
 type stats = {
   mutable webs_seen : int;
@@ -24,6 +33,9 @@ type stats = {
   mutable webs_promoted_no_defs : int;
   mutable webs_store_removal : int;
   mutable webs_skipped_profit : int;
+  mutable webs_skipped_pressure : int;
+      (** skipped with {!Cost_model.Pressure_saturated}; always 0
+          without a register budget *)
   mutable webs_skipped_malformed : int;
   mutable loads_replaced : int;
   mutable loads_inserted : int;
@@ -46,27 +58,12 @@ val to_alist : stats -> (string * int) list
     wrapper over {!add}. *)
 val accumulate : stats -> stats -> unit
 
-(** {2 The section 4.3 sets, exposed for tests and inspection} *)
-
-module PointSet : Set.S with type elt = Resource.t * Ids.bid
-
-(** loads_added: for each pair (x, l), a load of x goes at the end of
-    block l — the phi leaves not defined by a store of the web. *)
-val loads_added : Web_info.t -> PointSet.t
-
-(** The phi targets an aliased load transitively depends on. *)
-val dependent_phis : Web_info.t -> Resource.ResSet.t
-
-(** stores_added after the dominance pruning: insert a store of the
-    resource before each point. *)
-val stores_added :
-  Func.t -> Dom.t -> Web_info.t -> (Resource.t * Web_info.point) list
-
 exception Promotion_bug of string
 (** An internal invariant of the transformation failed. *)
 
 (** Promote one web; exposed for the loop-based baseline, which drives
-    it with its own legality filter. *)
+    it with its own legality filter. Admission runs without a pressure
+    context — the baseline has no interval ordering to feed one. *)
 val promote_in_web :
   config ->
   Func.t ->

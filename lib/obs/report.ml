@@ -2,10 +2,13 @@
    wall-clock milliseconds between the caller's sections and the
    trace; schema v3 admits an optional "serve" section (compile
    service statistics — emitted by the daemon's stats documents and
-   the bench serve artifact, absent from ordinary pipeline reports).
-   [parse] still accepts v1 and v2 documents. *)
+   the bench serve artifact, absent from ordinary pipeline reports);
+   schema v4 adds the "pressure" section (the paper's Table 3:
+   interference-graph colors / MAXLIVE / spills-at-budget before and
+   after promotion, per function and program-wide) to pipeline
+   reports.  [parse] still accepts v1..v3 documents. *)
 
-let schema_version = 3
+let schema_version = 4
 
 let min_supported_version = 1
 

@@ -78,6 +78,12 @@ let colors_for_func (f : Func.t) : int =
   let g = Interference.build f in
   (color g (Interference.occurring f)).colors
 
+type summary = {
+  s_colors : int;
+  s_maxlive : int;
+  s_spills : int option;  (** at the given budget; [None] when unbounded *)
+}
+
 (* Chaitin-style spill estimation for a machine with [k] registers:
    simplify nodes with degree < k; when stuck, mark the highest-degree
    node as a potential spill and remove it.  The count of marked nodes
@@ -139,6 +145,18 @@ let count_spills (g : Interference.t) (nodes : Ids.IntSet.t) ~(k : int) : int
 let spills_for_func (f : Func.t) ~k : int =
   let g = Interference.build f in
   count_spills g (Interference.occurring f) ~k
+
+(* The whole Table 3 row for one function from a single graph build:
+   colors, MAXLIVE, and — when a register budget is given — the
+   Chaitin spill estimate at that budget. *)
+let analyse (f : Func.t) ~(k : int option) : summary =
+  let g = Interference.build f in
+  let nodes = Interference.occurring f in
+  {
+    s_colors = (color g nodes).colors;
+    s_maxlive = Interference.max_live f;
+    s_spills = Option.map (fun k -> count_spills g nodes ~k) k;
+  }
 
 (* Sanity: a coloring is proper when no interfering pair shares a
    color.  Exposed for the property tests. *)

@@ -17,6 +17,20 @@ val color : Interference.t -> Ids.IntSet.t -> result
 (** Convenience: build the graph and count colors for one function. *)
 val colors_for_func : Func.t -> int
 
+type summary = {
+  s_colors : int;  (** colors the simplification scheme needs *)
+  s_maxlive : int;  (** MAXLIVE, the slack-free chromatic number *)
+  s_spills : int option;
+      (** Chaitin spill estimate at the budget [k]; [None] when the
+          analysis ran unbounded *)
+}
+
+(** One function's Table 3 row from a single {!Interference.build}:
+    colors, MAXLIVE and (with [~k:(Some k)]) the spill estimate at that
+    budget. Prefer this over calling {!colors_for_func} and
+    {!spills_for_func} separately — each of those rebuilds the graph. *)
+val analyse : Func.t -> k:int option -> summary
+
 (** Chaitin-style spill estimation for a machine with [k] registers:
     the number of live ranges that cannot be simplified — the concrete
     cost of the pressure increase Table 3 reports. *)

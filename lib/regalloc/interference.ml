@@ -44,7 +44,7 @@ let occurring (f : Func.t) : Ids.IntSet.t =
     f;
   !s
 
-let build (f : Func.t) : t =
+let build ?(copy_slack = true) (f : Func.t) : t =
   let live = Liveness.compute f in
   let n = f.Func.next_reg in
   let adj = Array.make (max n 1) Ids.IntSet.empty in
@@ -66,11 +66,12 @@ let build (f : Func.t) : t =
         | Some d ->
             (* copy slack: the source of a copy does not interfere with
                its target just because of the copy; hide it while
-               drawing the edges *)
+               drawing the edges.  Disabled for the slack-free chordal
+               graph whose chromatic number is exactly MAXLIVE. *)
             let hidden =
               match i.op with
-              | Instr.Copy { src = Instr.Reg s; _ } when Bitset.mem live_now s
-                ->
+              | Instr.Copy { src = Instr.Reg s; _ }
+                when copy_slack && Bitset.mem live_now s ->
                   Bitset.remove live_now s;
                   Some s
               | _ -> None
@@ -100,29 +101,6 @@ let build (f : Func.t) : t =
 
 (* Maximum number of simultaneously live registers anywhere in the
    function — the lower bound any allocation needs, and on SSA form the
-   exact chromatic number. *)
-let max_live (f : Func.t) : int =
-  let live = Liveness.compute f in
-  let best = ref 0 in
-  Func.iter_blocks
-    (fun b ->
-      let live_now = Bitset.copy (Liveness.live_out live b.bid) in
-      List.iter (Bitset.add live_now) (Block.term_uses b);
-      best := max !best (Bitset.cardinal live_now);
-      let step (i : Instr.t) =
-        (match Instr.reg_def i.op with
-        | Some d -> Bitset.remove live_now d
-        | None -> ());
-        List.iter (Bitset.add live_now) (Instr.reg_uses i.op);
-        best := max !best (Bitset.cardinal live_now)
-      in
-      Iseq.iter_rev step b.body;
-      Iseq.iter
-        (fun (i : Instr.t) ->
-          match Instr.reg_def i.op with
-          | Some d -> Bitset.add live_now d
-          | None -> ())
-        b.phis;
-      best := max !best (Bitset.cardinal live_now))
-    f;
-  !best
+   exact chromatic number.  The walk itself lives in {!Pressure}, which
+   also serves the promoter's per-interval budget checks. *)
+let max_live (f : Func.t) : int = Pressure.maxlive (Pressure.compute f)

@@ -19,9 +19,13 @@ val num_nodes : t -> int
 (** Registers that actually occur in the function. *)
 val occurring : Func.t -> Ids.IntSet.t
 
-val build : Func.t -> t
+(** Build the graph from liveness. [copy_slack] (default true) gives
+    copies the usual slack; pass [~copy_slack:false] for the pure
+    Chaitin-condition graph, which on SSA form is chordal with
+    chromatic number exactly {!max_live}. *)
+val build : ?copy_slack:bool -> Func.t -> t
 
 (** Maximum number of simultaneously live registers — the lower bound
     any allocation needs; on SSA form (without copy slack) the exact
-    chromatic number. *)
+    chromatic number. Delegates to {!Rp_analysis.Pressure}. *)
 val max_live : Func.t -> int

@@ -128,14 +128,11 @@ let error_kind_of_string = function
 (* ------------------------------------------------------------------ *)
 (* Options codec *)
 
-let profile_to_string = function
-  | P.Measured -> "measured"
-  | P.Static_estimate -> "static"
-
-let profile_of_string = function
-  | "measured" -> Some P.Measured
-  | "static" -> Some P.Static_estimate
-  | _ -> None
+(* The enum codecs live with their types ({!Rp_core.Pipeline},
+   {!Rp_ssa.Incremental}); the protocol only re-exports the profile
+   pair for its own callers. *)
+let profile_to_string = P.profile_source_to_string
+let profile_of_string = P.profile_source_of_string
 
 let options_to_json ?(for_key = false) (o : P.options) : J.t =
   let c = o.P.promote in
@@ -143,13 +140,20 @@ let options_to_json ?(for_key = false) (o : P.options) : J.t =
     ([
        ("engine", J.Str (Rp_ssa.Incremental.engine_to_string c.Rp_core.Promote.engine));
        ("allow_store_removal", J.Bool c.Rp_core.Promote.allow_store_removal);
-       ("min_profit", J.Float c.Rp_core.Promote.min_profit);
+       ( "min_profit",
+         J.Float c.Rp_core.Promote.cost.Rp_core.Cost_model.min_profit );
        ("insert_dummies", J.Bool c.Rp_core.Promote.insert_dummies);
        ("profile", J.Str (profile_to_string o.P.profile));
        ("fuel", J.Int o.P.fuel);
        ("singleton_deref", J.Bool o.P.singleton_deref);
        ("checkpoints", J.Bool o.P.checkpoints);
        ("trace", J.Bool o.P.trace);
+       (* the register budget changes the report bytes, so unlike
+          jobs/interp it IS part of the cache key; encoded from the
+          effective budget so a budget placed in the cost model and one
+          placed in [options.regs] key identically *)
+       ( "regs",
+         match P.effective_regs o with Some k -> J.Int k | None -> J.Null );
      ]
     @
     (* jobs and interp are left out of the cache key on purpose: the
@@ -204,7 +208,15 @@ let options_of_json (v : J.t) : (P.options, string) result =
       (field v "allow_store_removal" as_bool)
   in
   let* min_profit =
-    take dc.Rp_core.Promote.min_profit (field v "min_profit" as_float)
+    take dc.Rp_core.Promote.cost.Rp_core.Cost_model.min_profit
+      (field v "min_profit" as_float)
+  in
+  let* regs =
+    take d.P.regs
+      (field v "regs" (function
+        | J.Null -> Some None
+        | J.Int k -> Some (Some k)
+        | _ -> None))
   in
   let* insert_dummies =
     take dc.Rp_core.Promote.insert_dummies (field v "insert_dummies" as_bool)
@@ -227,6 +239,8 @@ let options_of_json (v : J.t) : (P.options, string) result =
   in
   if fuel < 0 then Error "field \"fuel\" must be non-negative"
   else if jobs < 1 then Error "field \"jobs\" must be at least 1"
+  else if (match regs with Some k -> k < 1 | None -> false) then
+    Error "field \"regs\" must be at least 1"
   else
     Ok
       {
@@ -234,7 +248,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
           {
             Rp_core.Promote.engine;
             allow_store_removal;
-            min_profit;
+            cost = { Rp_core.Cost_model.min_profit; regs = None };
             insert_dummies;
           };
         profile;
@@ -244,6 +258,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         trace;
         jobs;
         interp;
+        regs;
       }
 
 let options_fingerprint ?for_key (o : P.options) : string =

@@ -104,7 +104,10 @@ val response_of_json : Rp_obs.Json.t -> (response, string) result
     the cache key digests. [for_key] (default [false]) drops the
     [jobs] and [interp] fields: promotion output is byte-identical for
     every [jobs] value (the PR 2 determinism contract) and for either
-    interpreter engine, so neither must split the cache. *)
+    interpreter engine, so neither must split the cache. The register
+    budget [regs] stays in the key in both modes — it changes the
+    report bytes, so two requests differing only in [regs] must miss
+    each other's cache entries. *)
 val options_fingerprint : ?for_key:bool -> Rp_core.Pipeline.options -> string
 
 (** {1 Framed send/receive} *)

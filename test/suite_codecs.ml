@@ -1,0 +1,82 @@
+(* Round-trip properties of the string codecs.  Every enum that
+   crosses a process boundary — the CLI (bin/rpromote) and the wire
+   protocol (lib/serve) — is encoded by a symmetric
+   [to_string]/[of_string] pair; these tests pin the symmetry so a
+   renamed constructor cannot silently split the two directions. *)
+
+module P = Rp_core.Pipeline
+module Inc = Rp_ssa.Incremental
+module Proto = Rp_serve.Protocol
+
+let qtest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t
+
+let prop_ssa_engine_roundtrip =
+  QCheck.Test.make ~name:"ssa engine codec round trip" ~count:50
+    (QCheck.oneofl [ Inc.Cytron; Inc.Sreedhar_gao ])
+    (fun e -> Inc.engine_of_string (Inc.engine_to_string e) = Some e)
+
+let prop_interp_engine_roundtrip =
+  QCheck.Test.make ~name:"interp engine codec round trip" ~count:50
+    (QCheck.oneofl [ P.Tree; P.Flat ])
+    (fun e -> P.interp_engine_of_string (P.interp_engine_to_string e) = Some e)
+
+let prop_profile_source_roundtrip =
+  QCheck.Test.make ~name:"profile source codec round trip" ~count:50
+    (QCheck.oneofl [ P.Measured; P.Static_estimate ])
+    (fun p ->
+      P.profile_source_of_string (P.profile_source_to_string p) = Some p)
+
+let prop_error_kind_roundtrip =
+  QCheck.Test.make ~name:"serve error kind codec round trip" ~count:50
+    (QCheck.oneofl
+       [
+         Proto.Bad_input;
+         Proto.Fuel_exhausted;
+         Proto.Timeout;
+         Proto.Busy;
+         Proto.Protocol_error;
+         Proto.Shutting_down;
+         Proto.Internal;
+       ])
+    (fun k ->
+      Proto.error_kind_of_string (Proto.error_kind_to_string k) = Some k)
+
+(* decoders are total: arbitrary strings come back [Some _] or [None],
+   and anything decodable re-encodes to a string that decodes the same
+   way (the codecs are closed under one round) *)
+let prop_decoders_total =
+  QCheck.Test.make ~name:"codec decoders total and idempotent" ~count:300
+    QCheck.(string_of_size (Gen.int_bound 12))
+    (fun s ->
+      let stable dec enc =
+        match dec s with None -> true | Some v -> dec (enc v) = Some v
+      in
+      stable Inc.engine_of_string Inc.engine_to_string
+      && stable P.interp_engine_of_string P.interp_engine_to_string
+      && stable P.profile_source_of_string P.profile_source_to_string
+      && stable Proto.error_kind_of_string Proto.error_kind_to_string)
+
+let test_aliases () =
+  (* "sg" is a documented CLI alias, not the canonical spelling *)
+  Alcotest.(check bool)
+    "sg decodes to Sreedhar_gao" true
+    (Inc.engine_of_string "sg" = Some Inc.Sreedhar_gao);
+  Alcotest.(check string)
+    "canonical spelling survives the alias" "sreedhar-gao"
+    (Inc.engine_to_string Inc.Sreedhar_gao);
+  Alcotest.(check bool)
+    "unknown strings rejected" true
+    (Inc.engine_of_string "chaitin" = None
+    && P.interp_engine_of_string "jit" = None
+    && P.profile_source_of_string "sampled" = None)
+
+let suite =
+  [
+    qtest prop_ssa_engine_roundtrip;
+    qtest prop_interp_engine_roundtrip;
+    qtest prop_profile_source_roundtrip;
+    qtest prop_error_kind_roundtrip;
+    qtest prop_decoders_total;
+    Alcotest.test_case "aliases and rejections" `Quick test_aliases;
+  ]

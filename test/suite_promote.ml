@@ -192,7 +192,12 @@ int main() {
 (* min_profit as a knob: with an impossibly high threshold nothing is
    promoted and counts do not change. *)
 let test_min_profit_disables () =
-  let cfg = { Pr.default_config with Pr.min_profit = 1e18 } in
+  let cfg =
+    {
+      Pr.default_config with
+      Pr.cost = { Rp_core.Cost_model.min_profit = 1e18; regs = None };
+    }
+  in
   let r = Helpers.check_pipeline ~cfg "min profit" fig1_src in
   Alcotest.(check int) "no webs promoted" 0 r.P.promote_stats.Pr.webs_promoted;
   Alcotest.(check int) "dynamic loads unchanged"

@@ -122,10 +122,16 @@ let gen_options : P.options G.t =
   let* singleton_deref = bool and* checkpoints = bool and* trace = bool in
   let* jobs = int_range 1 8 in
   let* flat = bool in
+  let* regs = opt (int_range 1 64) in
   return
     {
       P.promote =
-        { Rp_core.Promote.engine; allow_store_removal; min_profit; insert_dummies };
+        {
+          Rp_core.Promote.engine;
+          allow_store_removal;
+          cost = { Rp_core.Cost_model.min_profit; regs = None };
+          insert_dummies;
+        };
       profile = (if static then P.Static_estimate else P.Measured);
       fuel;
       singleton_deref;
@@ -133,6 +139,7 @@ let gen_options : P.options G.t =
       trace;
       jobs;
       interp = (if flat then P.Flat else P.Tree);
+      regs;
     }
 
 let gen_request : Proto.request G.t =

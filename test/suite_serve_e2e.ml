@@ -306,10 +306,60 @@ let test_stop_idempotent () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* The register budget is part of the cache key: requests differing
+   only in [regs] change the report bytes, so they must miss each
+   other's entries — and each budget's own entry must still hit. *)
+
+let test_regs_splits_cache () =
+  let w = Option.get (R.find "compr") in
+  (* oracle for the budgeted report, computed before the server owns
+     the process-global obs state *)
+  let _, direct6 =
+    P.run_fresh_json ~label:w.R.name ~deterministic:true
+      ~options:{ options with P.regs = Some 6 }
+      w.R.source
+  in
+  with_server @@ fun srv ->
+  with_client srv @@ fun c ->
+  let req regs =
+    {
+      Proto.target = `Workload w.R.name;
+      options = { options with P.regs };
+      deterministic = true;
+    }
+  in
+  let expect name want_cached r =
+    match r with
+    | Proto.Report { cached; report } ->
+        Alcotest.(check bool) (name ^ ": cached") want_cached cached;
+        report
+    | r -> Alcotest.failf "%s: %s" name (response_label r)
+  in
+  let unbounded = expect "unbounded fresh" false (Client.compile c (req None)) in
+  let budget6 =
+    expect "regs 6 fresh, not a cross-hit" false (Client.compile c (req (Some 6)))
+  in
+  let budget8 =
+    expect "regs 8 fresh, not a cross-hit" false (Client.compile c (req (Some 8)))
+  in
+  Alcotest.(check bool) "the budget changes the report bytes" true
+    (unbounded <> budget6);
+  Alcotest.(check string) "regs 6 byte-identical to the direct run" direct6
+    budget6;
+  (* warm round: every budget hits its own entry with stable bytes *)
+  Alcotest.(check string) "unbounded warm" unbounded
+    (expect "unbounded warm" true (Client.compile c (req None)));
+  Alcotest.(check string) "regs 6 warm" budget6
+    (expect "regs 6 warm" true (Client.compile c (req (Some 6))));
+  Alcotest.(check string) "regs 8 warm" budget8
+    (expect "regs 8 warm" true (Client.compile c (req (Some 8))))
+
 let suite =
   [
     Alcotest.test_case "concurrent rounds, byte-identity, cache" `Slow
       test_rounds;
+    Alcotest.test_case "regs splits the cache" `Quick test_regs_splits_cache;
     Alcotest.test_case "poisoned request" `Quick test_poisoned;
     Alcotest.test_case "fuel-exhausted structured error" `Quick
       test_fuel_exhausted;

@@ -5,6 +5,7 @@
 open Rp_ir
 open Rp_analysis
 module Pr = Rp_core.Promote
+module Cm = Rp_core.Cost_model
 module W = Rp_core.Web_info
 
 (* Compile the Figure 7 program and find the loop interval and the web
@@ -70,26 +71,26 @@ let test_web_sets () =
 
 let test_loads_added () =
   let _, _, loop, w = fig7_setup () in
-  let la = Pr.loads_added w in
+  let la = Cm.loads_added w in
   (* two leaves need loads: the live-in at the loop preheader and the
      call's may-def version after the call *)
-  Alcotest.(check int) "two loads added" 2 (Pr.PointSet.cardinal la);
+  Alcotest.(check int) "two loads added" 2 (Cm.PointSet.cardinal la);
   let live_in = Option.get w.W.live_in in
   Alcotest.(check bool) "live-in leaf load present" true
-    (Pr.PointSet.exists (fun (r, _) -> Resource.equal r live_in) la);
+    (Cm.PointSet.exists (fun (r, _) -> Resource.equal r live_in) la);
   (* one of the load points is the preheader *)
   Alcotest.(check bool) "one load at the preheader" true
-    (Pr.PointSet.exists (fun (_, l) -> l = loop.Intervals.preheader) la)
+    (Cm.PointSet.exists (fun (_, l) -> l = loop.Intervals.preheader) la)
 
 let test_dependent_phis_and_stores_added () =
   let _, f, _, w = fig7_setup () in
   let dom = Dom.compute f in
-  let needed = Pr.dependent_phis w in
+  let needed = Cm.dependent_phis w in
   (* the call reads the freshly stored version directly (the condition
      re-reads x after x++), so it is a set-2 point and no phi is on the
      dependence path *)
   Alcotest.(check int) "no dependent phi" 0 (Resource.ResSet.cardinal needed);
-  let sa = Pr.stores_added f dom w in
+  let sa = Cm.stores_added f dom w in
   (* exactly one compensation store, of the store-defined version *)
   Alcotest.(check int) "one store added" 1 (List.length sa);
   let r, point = List.hd sa in
@@ -146,10 +147,10 @@ int main() {
   in
   let w = W.compute f loop (Resource.ResSet.of_list x_web) in
   let dom = Dom.compute f in
-  let needed = Pr.dependent_phis w in
+  let needed = Cm.dependent_phis w in
   Alcotest.(check bool) "the if-join phi is depended on" true
     (Resource.ResSet.cardinal needed >= 1);
-  let sa = Pr.stores_added f dom w in
+  let sa = Cm.stores_added f dom w in
   Alcotest.(check int) "both store operands get a point" 2 (List.length sa);
   List.iter
     (fun (r, _) ->

@@ -15,6 +15,8 @@ let () =
       ("promote", Suite_promote.suite);
       ("web_info", Suite_web_info.suite);
       ("regalloc", Suite_regalloc.suite);
+      ("pressure", Suite_pressure.suite);
+      ("codecs", Suite_codecs.suite);
       ("baseline", Suite_baseline.suite);
       ("workloads", Suite_workloads.suite);
       ("obs", Suite_obs.suite);
