@@ -80,17 +80,19 @@ let profile_of_string =
 
 (* pipeline options from the promote/client flag set *)
 let mk_options ~fuel ~profile ~static_profile ~no_store_removal
-    ~singleton_deref ~engine ~min_profit ~regs ~checkpoints ~trace ~jobs
-    ~interp () =
+    ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~checkpoints
+    ~trace ~jobs ~interp () =
   (match regs with
   | Some k when k < 1 -> raise (Usage_error "--regs must be at least 1")
   | _ -> ());
+  if spill_order && regs = None then
+    raise (Usage_error "--spill-order needs a --regs budget");
   {
     P.promote =
       {
         Rp_core.Promote.engine = engine_of_string engine;
         allow_store_removal = not no_store_removal;
-        cost = { Rp_core.Cost_model.min_profit; regs = None };
+        cost = { Rp_core.Cost_model.min_profit; regs = None; spill_order = false };
         insert_dummies = true;
       };
     profile =
@@ -107,6 +109,7 @@ let mk_options ~fuel ~profile ~static_profile ~no_store_removal
     jobs;
     interp = interp_of_string interp;
     regs;
+    spill_order;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -130,15 +133,15 @@ let emit_json ~label ~dest report =
   else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
 
 let cmd_promote path fuel profile static_profile no_store_removal
-    singleton_deref engine min_profit regs json trace checkpoints jobs
-    deterministic interp =
+    singleton_deref engine min_profit regs spill_order json trace checkpoints
+    jobs deterministic interp =
  guarded @@ fun () ->
   if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   Rp_obs.Trace.set_deterministic deterministic;
   let src = read_source path in
   let options =
     mk_options ~fuel ~profile ~static_profile ~no_store_removal
-      ~singleton_deref ~engine ~min_profit ~regs ~checkpoints
+      ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~checkpoints
       ~trace:(trace || json <> None)
       ~jobs ~interp ()
   in
@@ -285,7 +288,8 @@ let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
   0
 
 let cmd_client socket path op fuel profile static_profile no_store_removal
-    singleton_deref engine min_profit regs json deterministic interp =
+    singleton_deref engine min_profit regs spill_order json deterministic
+    interp =
  guarded @@ fun () ->
   let with_client f =
     let c = Client.connect ~path:socket in
@@ -328,8 +332,8 @@ let cmd_client socket path op fuel profile static_profile no_store_removal
       in
       let options =
         mk_options ~fuel ~profile ~static_profile ~no_store_removal
-          ~singleton_deref ~engine ~min_profit ~regs ~checkpoints:false
-          ~trace:true ~jobs:1 ~interp ()
+          ~singleton_deref ~engine ~min_profit ~regs ~spill_order
+          ~checkpoints:false ~trace:true ~jobs:1 ~interp ()
       in
       with_client @@ fun c ->
       match Client.compile c { Proto.target; options; deterministic } with
@@ -385,8 +389,9 @@ let interp_arg =
     & info [ "interp" ] ~docv:"ENGINE"
         ~doc:
           "Interpreter for the profiling and measuring runs: $(b,flat) (the \
-           decoded engine, default) or $(b,tree) (the reference walker). \
-           Both produce identical reports.")
+           decoded engine, default), $(b,tree) (the reference walker) or \
+           $(b,reg) (the register-allocated bytecode backend). All three \
+           produce identical reports.")
 
 let profile_arg =
   Arg.(
@@ -409,6 +414,15 @@ let regs_arg =
            register pressure stays within $(docv). Also the budget at which \
            the report's predicted spill counts are computed. Without it \
            promotion is unbounded (the paper's behaviour).")
+
+let spill_order_arg =
+  Arg.(
+    value & flag
+    & info [ "spill-order" ]
+        ~doc:
+          "With $(b,--regs): order and admit webs by the allocator's \
+           predicted spill-count increase (spill-cost-weighted profit) \
+           instead of the unit live-range growth estimate.")
 
 let run_cmd =
   let doc = "interpret a MiniC program and print its output" in
@@ -494,7 +508,8 @@ let promote_cmd =
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ profile_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ regs_arg
-      $ json $ trace $ checkpoints $ jobs $ deterministic $ interp_arg)
+      $ spill_order_arg $ json $ trace $ checkpoints $ jobs $ deterministic
+      $ interp_arg)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in
@@ -666,7 +681,8 @@ let client_cmd =
     Term.(
       const cmd_client $ socket_arg $ file $ op $ fuel_arg $ profile_arg
       $ static_profile $ no_store_removal $ singleton_deref $ engine
-      $ min_profit $ regs_arg $ json $ deterministic $ interp_arg)
+      $ min_profit $ regs_arg $ spill_order_arg $ json $ deterministic
+      $ interp_arg)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in

@@ -91,49 +91,53 @@ let compute (f : Func.t) : t =
     f;
   let no_uses = Bitset.empty () in
   let scratch = Bitset.create nr in
-  let out_acc = Bitset.create nr in
   let in_acc = Bitset.create nr in
-  let order = Cfg.postorder f in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* postorder gives fastest convergence for a backward problem *)
-    List.iter
-      (fun bid ->
-        let b = Func.block f bid in
-        Bitset.clear out_acc;
-        Block.iter_succs
-          (fun s ->
-            (* live-out gains (live_in(s) \ phi_defs(s)) ∪ phi_srcs
-               flowing along this edge *)
-            Bitset.clear scratch;
-            ignore (Bitset.union_into ~into:scratch live_in.(s));
-            ignore (Bitset.diff_into ~into:scratch pdefs.(s));
-            ignore (Bitset.union_into ~into:out_acc scratch);
-            let from_phis =
-              match Hashtbl.find_opt puses (bid, s) with
-              | Some ps -> ps
-              | None -> no_uses
-            in
-            ignore (Bitset.union_into ~into:out_acc from_phis))
-          b;
-        (* a phi target is live-in of its own block *)
-        Bitset.clear in_acc;
-        ignore (Bitset.union_into ~into:in_acc out_acc);
-        ignore (Bitset.diff_into ~into:in_acc kill.(bid));
-        ignore (Bitset.union_into ~into:in_acc gen.(bid));
-        ignore (Bitset.union_into ~into:in_acc pdefs.(bid));
-        if
-          (not (Bitset.equal out_acc live_out.(bid)))
-          || not (Bitset.equal in_acc live_in.(bid))
-        then begin
-          Bitset.clear live_out.(bid);
-          ignore (Bitset.union_into ~into:live_out.(bid) out_acc);
-          Bitset.clear live_in.(bid);
-          ignore (Bitset.union_into ~into:live_in.(bid) in_acc);
-          changed := true
-        end)
-      order
+  (* Worklist fixpoint.  The equations are monotone and every set
+     starts empty, so the iterates only grow: in-place union with its
+     changed bit replaces the equality-check-and-copy, and a block is
+     revisited only when the live-in of a successor grew.  Seeded in
+     postorder — successors first, the fast order for a backward
+     problem. *)
+  let on_list = Array.make n false in
+  let queue = Queue.create () in
+  List.iter
+    (fun bid ->
+      Queue.add bid queue;
+      on_list.(bid) <- true)
+    (Cfg.postorder f);
+  while not (Queue.is_empty queue) do
+    let bid = Queue.take queue in
+    on_list.(bid) <- false;
+    let b = Func.block f bid in
+    Block.iter_succs
+      (fun s ->
+        (* live-out gains (live_in(s) \ phi_defs(s)) ∪ phi_srcs
+           flowing along this edge *)
+        Bitset.clear scratch;
+        ignore (Bitset.union_into ~into:scratch live_in.(s));
+        ignore (Bitset.diff_into ~into:scratch pdefs.(s));
+        ignore (Bitset.union_into ~into:live_out.(bid) scratch);
+        let from_phis =
+          match Hashtbl.find_opt puses (bid, s) with
+          | Some ps -> ps
+          | None -> no_uses
+        in
+        ignore (Bitset.union_into ~into:live_out.(bid) from_phis))
+      b;
+    (* a phi target is live-in of its own block *)
+    Bitset.clear in_acc;
+    ignore (Bitset.union_into ~into:in_acc live_out.(bid));
+    ignore (Bitset.diff_into ~into:in_acc kill.(bid));
+    ignore (Bitset.union_into ~into:in_acc gen.(bid));
+    ignore (Bitset.union_into ~into:in_acc pdefs.(bid));
+    if Bitset.union_into ~into:live_in.(bid) in_acc then
+      List.iter
+        (fun p ->
+          if not on_list.(p) then begin
+            on_list.(p) <- true;
+            Queue.add p queue
+          end)
+        b.preds
   done;
   { live_in; live_out }
 

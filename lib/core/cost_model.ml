@@ -17,9 +17,9 @@
 open Rp_ir
 open Rp_analysis
 
-type t = { min_profit : float; regs : int option }
+type t = { min_profit : float; regs : int option; spill_order : bool }
 
-let paper = { min_profit = 0.0; regs = None }
+let paper = { min_profit = 0.0; regs = None; spill_order = false }
 
 let needs_pressure t = t.regs <> None
 
@@ -233,10 +233,11 @@ type pressure_ctx = {
   budget : int;
   interval_pressure : int;
   mutable growth : int;
+  mutable spill_delta : int option;
 }
 
 let make_ctx ~budget ~interval_pressure =
-  { budget; interval_pressure; growth = 0 }
+  { budget; interval_pressure; growth = 0; spill_delta = None }
 
 type skip_reason = Not_profitable | Pressure_saturated
 
@@ -252,9 +253,16 @@ let admit (t : t) (e : eval) (ctx : pressure_ctx option) : verdict =
     match ctx with
     | None -> Admit
     | Some c ->
-        if c.interval_pressure + c.growth + 1 > c.budget then
-          Skip Pressure_saturated
-        else Admit
+        let unit_ok = c.interval_pressure + c.growth + 1 <= c.budget in
+        (* spill-order mode tightens the unit gate: a web whose
+           synthetic node raises the Chaitin estimate is skipped even
+           when the budget still has room — the growth bound itself is
+           kept, because the scratch-graph delta misses mid-block
+           ranges and cannot replace it as a safety net *)
+        let spill_ok =
+          match c.spill_delta with Some d -> d <= 0 | None -> true
+        in
+        if unit_ok && spill_ok then Admit else Skip Pressure_saturated
 
 let note_promoted (ctx : pressure_ctx option) : unit =
   match ctx with Some c -> c.growth <- c.growth + 1 | None -> ()

@@ -38,6 +38,8 @@ open Rp_ssa
 module Interp = Rp_interp.Interp
 module Decode = Rp_interp.Decode
 module Engine = Rp_interp.Engine
+module Rcompile = Rp_interp.Rcompile
+module Rengine = Rp_interp.Rengine
 module Lower = Rp_minic.Lower
 module Trace = Rp_obs.Trace
 module Metrics = Rp_obs.Metrics
@@ -45,7 +47,7 @@ module Pool = Rp_par.Pool
 module J = Rp_obs.Json
 
 type profile_source = Measured | Static_estimate
-type interp_engine = Flat | Tree
+type interp_engine = Flat | Tree | Reg
 
 (* Every enum option follows the same symmetric codec convention:
    [x_to_string] names each constructor, [x_of_string] is total and
@@ -56,9 +58,13 @@ type interp_engine = Flat | Tree
 let interp_engine_of_string = function
   | "flat" -> Some Flat
   | "tree" -> Some Tree
+  | "reg" -> Some Reg
   | _ -> None
 
-let interp_engine_to_string = function Flat -> "flat" | Tree -> "tree"
+let interp_engine_to_string = function
+  | Flat -> "flat"
+  | Tree -> "tree"
+  | Reg -> "reg"
 
 let profile_source_of_string = function
   | "measured" -> Some Measured
@@ -90,6 +96,11 @@ type options = {
           default) is the paper-faithful unbounded behaviour.  Unlike
           [jobs]/[interp] this changes output, so the compile service
           keys its cache on it. *)
+  spill_order : bool;
+      (** with a budget: order and gate webs by the allocator's
+          predicted spill-count delta (spill-cost-weighted profit)
+          instead of the unit growth estimate.  Changes output, so it
+          is part of the serve cache key. *)
 }
 
 let default_options =
@@ -103,6 +114,7 @@ let default_options =
     jobs = 1;
     interp = Flat;
     regs = None;
+    spill_order = false;
   }
 
 (* [options.regs] is authoritative when set; otherwise a budget placed
@@ -112,14 +124,23 @@ let effective_regs (options : options) : int option =
   | Some _ as k -> k
   | None -> options.promote.Promote.cost.Cost_model.regs
 
+let effective_spill_order (options : options) : bool =
+  options.spill_order
+  || options.promote.Promote.cost.Cost_model.spill_order
+
 let effective_promote (options : options) : Promote.config =
-  match options.regs with
-  | None -> options.promote
-  | Some _ as k ->
-      {
-        options.promote with
-        Promote.cost = { options.promote.Promote.cost with Cost_model.regs = k };
-      }
+  let cost = options.promote.Promote.cost in
+  let cost =
+    match options.regs with
+    | None -> cost
+    | Some _ as k -> { cost with Cost_model.regs = k }
+  in
+  let cost =
+    if options.spill_order then { cost with Cost_model.spill_order = true }
+    else cost
+  in
+  if cost == options.promote.Promote.cost then options.promote
+  else { options.promote with Promote.cost = cost }
 
 type func_pressure = {
   fp_name : string;
@@ -238,11 +259,15 @@ let prepare ?(options = default_options) (src : string) :
     Func.prog * (string * Intervals.tree) list =
   Pool.with_pool ~jobs:options.jobs @@ fun pool -> prepare_in pool ~options src
 
+(* A compiled execution image for one of the two bytecode engines; the
+   tree-walking oracle needs none. *)
+type image = Iflat of Decode.t | Ireg of Rcompile.t
+
 (* Attach a profile: run the program and feed back measured counts, or
    fall back to the static estimator for functions never executed.
    Serial on purpose: the interpreter executes the whole program
-   against global memory.  With [?decoded] the run uses the flat
-   engine on the given decoded image (which must be current for
+   against global memory.  With [?decoded] the run uses the matching
+   bytecode engine on the given image (which must be current for
    [prog]); otherwise the tree-walking oracle. *)
 let attach_profile ?(options = default_options) ?decoded (prog : Func.prog)
     (trees : (string * Intervals.tree) list) : Interp.result =
@@ -250,7 +275,8 @@ let attach_profile ?(options = default_options) ?decoded (prog : Func.prog)
   let r =
     Trace.with_span "profile.run" (fun () ->
         match decoded with
-        | Some d -> Engine.run ~fuel:options.fuel d
+        | Some (Iflat d) -> Engine.run ~fuel:options.fuel d
+        | Some (Ireg c) -> Rengine.run ~fuel:options.fuel c
         | None -> Interp.run ~fuel:options.fuel prog)
   in
   Trace.with_span "profile.apply" (fun () ->
@@ -364,7 +390,10 @@ let run ?(options = default_options) (src : string) : report =
   let decoded =
     Trace.with_span "profile.decode" (fun () ->
         match options.interp with
-        | Flat -> Some (Decode.decode prog)
+        | Flat -> Some (Iflat (Decode.decode prog))
+        | Reg ->
+            Some
+              (Ireg (Rcompile.compile ?budget:(effective_regs options) prog))
         | Tree -> None)
   in
   let t_pdecoded = Trace.wall_s () in
@@ -384,12 +413,16 @@ let run ?(options = default_options) (src : string) : report =
   let pressure_after = measure_pressure pool ~when_:"after" ~k prog in
   let t_pressure_a = Trace.wall_s () in
   Trace.with_span "measure.decode" (fun () ->
-      match decoded with Some d -> Decode.refresh d | None -> ());
+      match decoded with
+      | Some (Iflat d) -> Decode.refresh d
+      | Some (Ireg c) -> Rcompile.refresh c
+      | None -> ());
   let t_mdecoded = Trace.wall_s () in
   let final =
     Trace.with_span "measure.run" (fun () ->
         match decoded with
-        | Some d -> Engine.run ~fuel:options.fuel d
+        | Some (Iflat d) -> Engine.run ~fuel:options.fuel d
+        | Some (Ireg c) -> Rengine.run ~fuel:options.fuel c
         | None -> Interp.run ~fuel:options.fuel prog)
   in
   let t_measured = Trace.wall_s () and a_measured = Trace.alloc_words () in

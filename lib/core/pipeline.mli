@@ -32,9 +32,14 @@ type interp_engine =
       (** flat-decoded engine: one decode pass per run into packed code
           arrays, then an allocation-free dispatch loop ([Rp_interp.Engine]) *)
   | Tree  (** the tree-walking reference oracle ([Rp_interp.Interp]) *)
+  | Reg
+      (** register-allocated backend: out-of-SSA lowering, copy
+          coalescing and slot coloring per function, then a
+          physical-slot bytecode over contiguous activation frames
+          ([Rp_interp.Rcompile] / [Rp_interp.Rengine]) *)
 
 val interp_engine_of_string : string -> interp_engine option
-(** ["flat"] / ["tree"]. *)
+(** ["flat"] / ["tree"] / ["reg"]. *)
 
 val interp_engine_to_string : interp_engine -> string
 
@@ -72,6 +77,11 @@ type options = {
           behaviour. When set it overrides [promote.cost.regs]. Unlike
           [jobs]/[interp] this changes output, so the compile service
           includes it in its cache-key fingerprint. *)
+  spill_order : bool;
+      (** with a budget: order and gate webs by the allocator's
+          predicted spill-count delta (spill-cost-weighted profit,
+          [--spill-order]) instead of the unit growth estimate.
+          Changes output, so it joins [regs] in the cache key. *)
 }
 
 val default_options : options
@@ -83,9 +93,14 @@ val effective_regs : options -> int option
 (** The budget promotion actually runs under: [options.regs] when set,
     else the budget carried by the cost model. *)
 
+val effective_spill_order : options -> bool
+(** Spill-order mode is on: [options.spill_order], or the flag carried
+    by the cost model. *)
+
 val effective_promote : options -> Promote.config
-(** [options.promote] with [options.regs] (when set) injected into the
-    cost model — the config the promotion stage runs with. *)
+(** [options.promote] with [options.regs] and [options.spill_order]
+    (when set) injected into the cost model — the config the promotion
+    stage runs with. *)
 
 type func_pressure = {
   fp_name : string;
@@ -132,13 +147,18 @@ type report = {
 val prepare :
   ?options:options -> string -> Func.prog * (string * Intervals.tree) list
 
+(** A compiled execution image: flat-decoded or register-allocated. *)
+type image =
+  | Iflat of Rp_interp.Decode.t
+  | Ireg of Rp_interp.Rcompile.t
+
 (** Attach a profile (measured or estimated) and return the profiling
-    run's result. With [?decoded] (a current {!Rp_interp.Decode.t} for
-    the program) the measured run uses the flat engine; otherwise the
+    run's result. With [?decoded] (an image current for the program)
+    the measured run uses the matching bytecode engine; otherwise the
     tree-walking oracle. *)
 val attach_profile :
   ?options:options ->
-  ?decoded:Rp_interp.Decode.t ->
+  ?decoded:image ->
   Func.prog ->
   (string * Intervals.tree) list ->
   Interp.result

@@ -1,0 +1,726 @@
+(* Register-allocated backend compiler.
+
+   Compiles each [Func.t] to a bytecode over *physical slots*: the
+   function is cloned, critical edges are split, register phis are
+   lowered to sequentialised copies ([Rp_ssa.Destruct.lower]) and the
+   resulting virtual registers are coalesced and colored onto frame
+   slots ([Rp_regalloc.Slots]).  The execution engine ([Rengine]) then
+   runs one untagged [int array] frame per activation, carved from a
+   contiguous stack, instead of the flat engine's per-value parallel
+   tag/payload/offset arrays.
+
+   Value encoding
+   --------------
+   Every storage location is two adjacent words: a value word and a
+   kind word.  Kind [-1] is an integer (value word holds it); kind
+   [>= 0] is a pointer with the kind word holding the base vid and the
+   value word the element offset.  The integer fast path for a binop is
+   one test, [(kl land kr) < 0].  Operand slots are emitted
+   pre-doubled, so the engine indexes [stk.(fp + o)] directly.  There
+   is no "read before written" tag: the compiled engine only runs
+   frontend-produced programs, whose SSA form guarantees definitions
+   dominate uses.
+
+   Fuel and counter parity with the oracle
+   ---------------------------------------
+   The tree-walker charges one fuel per executed instruction plus one
+   per block, and raises [Out_of_fuel] at a precise point.  The
+   compiled code charges fuel in *segments*: every control transfer
+   carries the target block's entry-segment cost (its instruction
+   ticks up to and including the first call, plus the block tick when
+   call-free), and each call instruction carries an [after_cost]
+   operand for the ticks between its return and the next segment
+   boundary.  A deduction that would reach zero does not raise: it
+   sets a sticky slow flag *without deducting*, and from then on the
+   engine charges per instruction from a ticks side-table
+   ([rticks.(base)] = the instruction's own tick plus the ticks of any
+   omitted instructions since the previous emitted one), reproducing
+   the oracle's exact exhaustion point.  Phi-lowering copies are an
+   artefact of leaving SSA and carry zero ticks.
+
+   Dynamic counters are reconstructed, not maintained: on a successful
+   run every entered block ran to completion, so executed
+   instructions / singleton loads / stores / aliased accesses are
+   [sum over blocks of bcount(b) * static-per-block count].  Only
+   block, edge and call counters (plus the extern counter) are bumped
+   at run time, exactly as in the flat engine.
+
+   Synthetic blocks
+   ----------------
+   Splitting a critical edge on the clone adds a block the oracle does
+   not have.  Such blocks (bid >= the original block count) cost zero
+   fuel and own no counters: the jump *into* one carries the dense ids
+   of the logical edge (src, dst) it stands for, and its own jump
+   carries per-function sink counter slots (each function's block and
+   edge counter spans have one extra always-bumped slot) together with
+   the real entry cost of the destination. *)
+
+open Rp_ir
+module Slots = Rp_regalloc.Slots
+module Destruct = Rp_ssa.Destruct
+
+(* Opcodes ([Rengine] matches on the literal values; an assertion
+   there keeps the files in sync). *)
+let op_bin_rr = 0 (* bop dst l r *)
+let op_bin_ri = 1 (* bop dst l imm *)
+let op_bin_ir = 2 (* bop dst imm r *)
+let op_bin_ii = 3 (* bop dst imm imm *)
+let op_un_r = 4 (* uop dst s *)
+let op_un_i = 5 (* uop dst imm *)
+let op_copy_r = 6 (* dst s *)
+let op_copy_i = 7 (* dst imm *)
+let op_load = 8 (* dst v2 *)
+let op_store_r = 9 (* v2 s *)
+let op_store_i = 10 (* v2 imm *)
+let op_addr_r = 11 (* dst vid off *)
+let op_addr_i = 12 (* dst vid imm *)
+let op_pload_r = 13 (* dst a *)
+let op_pload_i = 14 (* dst imm *)
+let op_pstore = 15 (* ak a sk s *)
+let op_call = 16 (* dst|-1 fid nargs after_cost (k v)... *)
+let op_xcall = 17 (* dst|-1 *)
+let op_call_unknown = 18 (* strid *)
+let op_trap_rphi = 19 (* - *)
+let op_print_r = 20 (* s *)
+let op_print_i = 21 (* imm *)
+let op_jmp = 22 (* off blk edge cost *)
+let op_br = 23 (* cond toff tblk tedge tcost foff fblk fedge fcost *)
+let op_ret_r = 24 (* s *)
+let op_ret_i = 25 (* imm *)
+let op_ret_void = 26 (* - *)
+
+type rfunc = {
+  rfid : int;
+  rname : string;
+  mutable rparams : int array;
+      (** pre-doubled slot offsets in arg order; -1 = dead parameter
+          (never referenced; its argument is dropped) *)
+  rlocals : int array;  (** address-taken local vids, save order *)
+  mutable rnslots : int;  (** slots incl. the shared discard slot *)
+  mutable frame_words : int;  (** 2*rnslots + 2*|rlocals| *)
+  mutable rcode : int array;
+  mutable rcode_len : int;
+  mutable rticks : int array;
+      (** slow-path fuel per instruction base offset *)
+  mutable rstrs : string array;  (** unknown-callee names *)
+  mutable rnstrs : int;
+  mutable entry_off : int;
+  mutable entry_block : int;  (** global block-counter id of the entry *)
+  mutable entry_cost : int;  (** entry block's first-segment cost *)
+  mutable rnblocks : int;  (** original (pre-split) block count *)
+  mutable block_base : int;
+  mutable edge_base : int;
+  mutable rnedges : int;
+  mutable edge_src : int array;  (** logical edge id -> source bid *)
+  mutable edge_dst : int array;
+  (* static per-original-block execution counts, for reconstruction *)
+  mutable s_instrs : int array;
+  mutable s_loads : int array;
+  mutable s_stores : int array;
+  mutable s_aloads : int array;
+  mutable s_astores : int array;
+  (* allocation statistics, for the bench report *)
+  mutable rncoalesced : int;
+  mutable rnoverflow : int;
+  mutable rvregs : int;  (** virtual registers after lowering *)
+}
+
+type t = {
+  rprog : Func.prog;
+  budget : int option;
+  rnvars : int;
+  rarray_len : int array;  (** vid -> length; -1 for scalars *)
+  rmem_init : int array;  (** interleaved (value, kind) per vid *)
+  rfnames : string array;
+  rfids : (string, int) Hashtbl.t;
+  rfuncs : rfunc array;
+  rmain : int;  (** -1 when the program has no [main] *)
+  mutable rtotal_blocks : int;
+  mutable rtotal_edges : int;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let grow_int (a : int array) (len : int) (need : int) =
+  if need <= Array.length a then a
+  else begin
+    let a' = Array.make (max need (2 * max 1 (Array.length a))) 0 in
+    Array.blit a 0 a' 0 len;
+    a'
+  end
+
+let emit (rf : rfunc) (x : int) =
+  rf.rcode <- grow_int rf.rcode rf.rcode_len (rf.rcode_len + 1);
+  rf.rticks <- grow_int rf.rticks rf.rcode_len (rf.rcode_len + 1);
+  rf.rcode.(rf.rcode_len) <- x;
+  rf.rcode_len <- rf.rcode_len + 1
+
+let add_str (rf : rfunc) (s : string) : int =
+  if Array.length rf.rstrs <= rf.rnstrs then begin
+    let a = Array.make (max 4 (2 * rf.rnstrs)) "" in
+    Array.blit rf.rstrs 0 a 0 rf.rnstrs;
+    rf.rstrs <- a
+  end;
+  rf.rstrs.(rf.rnstrs) <- s;
+  rf.rnstrs <- rf.rnstrs + 1;
+  rf.rnstrs - 1
+
+let binop_code : Instr.binop -> int = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.Mul -> 2
+  | Instr.Div -> 3
+  | Instr.Rem -> 4
+  | Instr.Lt -> 5
+  | Instr.Le -> 6
+  | Instr.Gt -> 7
+  | Instr.Ge -> 8
+  | Instr.Eq -> 9
+  | Instr.Ne -> 10
+  | Instr.Band -> 11
+  | Instr.Bor -> 12
+  | Instr.Bxor -> 13
+  | Instr.Shl -> 14
+  | Instr.Shr -> 15
+
+let unop_code : Instr.unop -> int = function Instr.Neg -> 0 | Instr.Lnot -> 1
+
+(* ------------------------------------------------------------------ *)
+(* Per-function compilation *)
+
+(* Emission state threaded through one function. *)
+type emitter = {
+  rf : rfunc;
+  fids : (string, int) Hashtbl.t;
+  slot_of : int array;  (** vreg -> slot (not doubled); -1 = absent *)
+  discard : int;  (** pre-doubled shared write-only slot *)
+  orig_nblocks : int;
+  block_cost : int array;  (** clone bid -> entry-segment cost *)
+  block_off : int array;  (** clone bid -> code offset *)
+  mutable pending : int;  (** omitted ticks since the last emitted op *)
+  mutable seg : int;  (** ticks in the open fuel segment *)
+  mutable seg_site : int;
+      (** code index of the open segment's [after_cost] slot;
+          -1 = the block's entry segment *)
+  mutable cur_bid : int;
+}
+
+let slot (e : emitter) (r : Ids.reg) : int =
+  let s = if r < Array.length e.slot_of then e.slot_of.(r) else -1 in
+  if s >= 0 then 2 * s else e.discard
+
+(* Start an emitted instruction: record its slow-path ticks.  [tk]
+   already includes any pending omitted ticks. *)
+let start (e : emitter) (tk : int) =
+  let base = e.rf.rcode_len in
+  e.rf.rticks <- grow_int e.rf.rticks base (base + 1);
+  e.rf.rticks.(base) <- tk
+
+(* An ordinary (ticking) instruction. *)
+let start_tick (e : emitter) =
+  start e (e.pending + 1);
+  e.pending <- 0;
+  e.seg <- e.seg + 1
+
+(* An omitted ticking instruction: charged with the next emitted op. *)
+let omit_tick (e : emitter) =
+  e.pending <- e.pending + 1;
+  e.seg <- e.seg + 1
+
+(* Close the open fuel segment: the entry segment lands in
+   [block_cost], later ones patch their call's [after_cost] slot. *)
+let close_seg (e : emitter) =
+  if e.seg_site < 0 then e.block_cost.(e.cur_bid) <- e.seg
+  else e.rf.rcode.(e.seg_site) <- e.seg;
+  e.seg <- 0
+
+(* A control transfer [cur -> t] in the clone.  Emits
+   [off; blk; edge; cost]; [off] and [cost] hold the clone target bid
+   until the patch pass.  Jumps into a synthetic block stand for the
+   logical edge to its unique successor; jumps out of one bump the
+   per-function sink counters. *)
+let emit_edge (e : emitter) (g : Func.t) ~(t : Ids.bid) =
+  let rf = e.rf in
+  if e.cur_bid >= e.orig_nblocks then begin
+    (* synthetic source: counters were bumped on the way in *)
+    emit rf t;
+    emit rf (rf.block_base + rf.rnblocks);
+    emit rf (rf.edge_base + rf.rnedges);
+    emit rf t
+  end
+  else begin
+    let d =
+      if t < e.orig_nblocks then t
+      else
+        match (Func.block g t).Block.term with
+        | Block.Jmp d -> d
+        | _ -> assert false
+    in
+    let k = rf.rnedges in
+    rf.edge_src <- grow_int rf.edge_src k (k + 1);
+    rf.edge_dst <- grow_int rf.edge_dst k (k + 1);
+    rf.edge_src.(k) <- e.cur_bid;
+    rf.edge_dst.(k) <- d;
+    rf.rnedges <- k + 1;
+    emit rf t;
+    emit rf (rf.block_base + d);
+    emit rf (rf.edge_base + k);
+    emit rf t
+  end
+
+let compile_instr (e : emitter) (moves : Ids.IntSet.t) (i : Instr.t) =
+  let rf = e.rf in
+  match i.Instr.op with
+  | Instr.Copy { dst; src = Instr.Reg s } when Ids.IntSet.mem i.Instr.iid moves
+    ->
+      (* phi-lowering move: free; vanishes entirely when coalesced *)
+      let d = slot e dst and sl = slot e s in
+      if d <> sl then begin
+        start e e.pending;
+        e.pending <- 0;
+        emit rf op_copy_r;
+        emit rf d;
+        emit rf sl
+      end
+  | Instr.Copy { dst; src = Instr.Reg s } when slot e dst = slot e s ->
+      omit_tick e
+  | Instr.Copy { dst; src } -> (
+      start_tick e;
+      match src with
+      | Instr.Reg s ->
+          emit rf op_copy_r;
+          emit rf (slot e dst);
+          emit rf (slot e s)
+      | Instr.Imm n ->
+          emit rf op_copy_i;
+          emit rf (slot e dst);
+          emit rf n)
+  | Instr.Bin { dst; op; l; r } ->
+      start_tick e;
+      let bop = binop_code op in
+      (match (l, r) with
+      | Instr.Reg a, Instr.Reg b ->
+          emit rf op_bin_rr;
+          emit rf bop;
+          emit rf (slot e dst);
+          emit rf (slot e a);
+          emit rf (slot e b)
+      | Instr.Reg a, Instr.Imm n ->
+          emit rf op_bin_ri;
+          emit rf bop;
+          emit rf (slot e dst);
+          emit rf (slot e a);
+          emit rf n
+      | Instr.Imm n, Instr.Reg b ->
+          emit rf op_bin_ir;
+          emit rf bop;
+          emit rf (slot e dst);
+          emit rf n;
+          emit rf (slot e b)
+      | Instr.Imm n, Instr.Imm m ->
+          emit rf op_bin_ii;
+          emit rf bop;
+          emit rf (slot e dst);
+          emit rf n;
+          emit rf m)
+  | Instr.Un { dst; op; src } -> (
+      start_tick e;
+      let u = unop_code op in
+      match src with
+      | Instr.Reg a ->
+          emit rf op_un_r;
+          emit rf u;
+          emit rf (slot e dst);
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf op_un_i;
+          emit rf u;
+          emit rf (slot e dst);
+          emit rf n)
+  | Instr.Load { dst; src } ->
+      start_tick e;
+      emit rf op_load;
+      emit rf (slot e dst);
+      emit rf (2 * src.Resource.base)
+  | Instr.Store { dst; src } -> (
+      start_tick e;
+      match src with
+      | Instr.Reg a ->
+          emit rf op_store_r;
+          emit rf (2 * dst.Resource.base);
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf op_store_i;
+          emit rf (2 * dst.Resource.base);
+          emit rf n)
+  | Instr.Addr_of { dst; var; off } -> (
+      start_tick e;
+      match off with
+      | Instr.Reg a ->
+          emit rf op_addr_r;
+          emit rf (slot e dst);
+          emit rf var;
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf op_addr_i;
+          emit rf (slot e dst);
+          emit rf var;
+          emit rf n)
+  | Instr.Ptr_load { dst; addr; muses = _ } -> (
+      start_tick e;
+      match addr with
+      | Instr.Reg a ->
+          emit rf op_pload_r;
+          emit rf (slot e dst);
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf op_pload_i;
+          emit rf (slot e dst);
+          emit rf n)
+  | Instr.Ptr_store { addr; src; mdefs = _; muses = _ } ->
+      start_tick e;
+      emit rf op_pstore;
+      (match addr with
+      | Instr.Reg a ->
+          emit rf 0;
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf 1;
+          emit rf n);
+      (match src with
+      | Instr.Reg a ->
+          emit rf 0;
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf 1;
+          emit rf n)
+  | Instr.Call { dst; callee; args; mdefs = _; muses = _ } -> (
+      start_tick e;
+      let dst_slot = match dst with Some d -> slot e d | None -> -1 in
+      match callee with
+      | Instr.User name -> (
+          match Hashtbl.find_opt e.fids name with
+          | Some fid ->
+              emit rf op_call;
+              emit rf dst_slot;
+              emit rf fid;
+              emit rf (List.length args);
+              (* the call's own tick closes this fuel segment; the
+                 slot emitted here is patched with the next one *)
+              close_seg e;
+              emit rf 0;
+              e.seg_site <- rf.rcode_len - 1;
+              List.iter
+                (fun a ->
+                  match a with
+                  | Instr.Reg r ->
+                      emit rf 0;
+                      emit rf (slot e r)
+                  | Instr.Imm n ->
+                      emit rf 1;
+                      emit rf n)
+                args
+          | None ->
+              (* an error only if executed; argument reads cannot
+                 trap, so the arguments are dropped *)
+              emit rf op_call_unknown;
+              emit rf (add_str rf name))
+      | Instr.Extern _ ->
+          emit rf op_xcall;
+          emit rf dst_slot)
+  | Instr.Dummy_aload _ | Instr.Exit_use _ | Instr.Mphi _ -> omit_tick e
+  | Instr.Rphi _ ->
+      start_tick e;
+      emit rf op_trap_rphi
+  | Instr.Print { src } -> (
+      start_tick e;
+      match src with
+      | Instr.Reg a ->
+          emit rf op_print_r;
+          emit rf (slot e a)
+      | Instr.Imm n ->
+          emit rf op_print_i;
+          emit rf n)
+
+let compile_term (e : emitter) (g : Func.t) (b : Block.t) =
+  let rf = e.rf in
+  let synthetic = e.cur_bid >= e.orig_nblocks in
+  let tk = if synthetic then 0 else e.pending + 1 in
+  e.pending <- 0;
+  e.seg <- e.seg + tk;
+  start e tk;
+  (match b.Block.term with
+  | Block.Jmp t ->
+      emit rf op_jmp;
+      emit_edge e g ~t
+  | Block.Br { cond; t; f } -> (
+      match cond with
+      | Instr.Imm n ->
+          (* constant condition: a one-sided jump; the untaken edge is
+             never counted, matching a never-bumped flat edge id *)
+          emit rf op_jmp;
+          emit_edge e g ~t:(if n <> 0 then t else f)
+      | Instr.Reg c ->
+          emit rf op_br;
+          emit rf (slot e c);
+          emit_edge e g ~t;
+          emit_edge e g ~t:f)
+  | Block.Ret op -> (
+      match op with
+      | Some (Instr.Reg r) ->
+          emit rf op_ret_r;
+          emit rf (slot e r)
+      | Some (Instr.Imm n) ->
+          emit rf op_ret_i;
+          emit rf n
+      | None -> emit rf op_ret_void));
+  close_seg e
+
+(* Walk the emitted stream and turn the clone-bid placeholders in
+   transfer instructions into code offsets and entry-segment costs. *)
+let patch (rf : rfunc) (block_off : int array) (block_cost : int array) =
+  let code = rf.rcode in
+  let pc = ref 0 in
+  while !pc < rf.rcode_len do
+    let base = !pc in
+    match code.(base) with
+    | 0 | 1 | 2 | 3 (* bin *) -> pc := base + 5
+    | 4 | 5 (* un *) -> pc := base + 4
+    | 6 | 7 (* copy *) -> pc := base + 3
+    | 8 (* load *) -> pc := base + 3
+    | 9 | 10 (* store *) -> pc := base + 3
+    | 11 | 12 (* addr *) -> pc := base + 4
+    | 13 | 14 (* pload *) -> pc := base + 3
+    | 15 (* pstore *) -> pc := base + 5
+    | 16 (* call *) -> pc := base + 5 + (2 * code.(base + 3))
+    | 17 (* xcall *) -> pc := base + 2
+    | 18 (* call_unknown *) -> pc := base + 2
+    | 19 (* trap_rphi *) -> pc := base + 1
+    | 20 | 21 (* print *) -> pc := base + 2
+    | 22 (* jmp *) ->
+        code.(base + 4) <- block_cost.(code.(base + 4));
+        code.(base + 1) <- block_off.(code.(base + 1));
+        pc := base + 5
+    | 23 (* br *) ->
+        code.(base + 5) <- block_cost.(code.(base + 5));
+        code.(base + 2) <- block_off.(code.(base + 2));
+        code.(base + 9) <- block_cost.(code.(base + 9));
+        code.(base + 6) <- block_off.(code.(base + 6));
+        pc := base + 10
+    | 24 | 25 (* ret *) -> pc := base + 2
+    | 26 (* ret_void *) -> pc := base + 1
+    | _ -> assert false
+  done
+
+(* Static per-block counts from the *original* function: the clone's
+   synthetic blocks and phi-lowering copies must not count. *)
+let statics (rf : rfunc) (f : Func.t) =
+  let n = rf.rnblocks in
+  let fresh a = if Array.length a >= n then a else Array.make (max n 1) 0 in
+  rf.s_instrs <- fresh rf.s_instrs;
+  rf.s_loads <- fresh rf.s_loads;
+  rf.s_stores <- fresh rf.s_stores;
+  rf.s_aloads <- fresh rf.s_aloads;
+  rf.s_astores <- fresh rf.s_astores;
+  Array.fill rf.s_instrs 0 (Array.length rf.s_instrs) 0;
+  Array.fill rf.s_loads 0 (Array.length rf.s_loads) 0;
+  Array.fill rf.s_stores 0 (Array.length rf.s_stores) 0;
+  Array.fill rf.s_aloads 0 (Array.length rf.s_aloads) 0;
+  Array.fill rf.s_astores 0 (Array.length rf.s_astores) 0;
+  Func.iter_blocks
+    (fun b ->
+      let bid = b.Block.bid in
+      Iseq.iter
+        (fun (i : Instr.t) ->
+          rf.s_instrs.(bid) <- rf.s_instrs.(bid) + 1;
+          match i.Instr.op with
+          | Instr.Load _ -> rf.s_loads.(bid) <- rf.s_loads.(bid) + 1
+          | Instr.Store _ -> rf.s_stores.(bid) <- rf.s_stores.(bid) + 1
+          | Instr.Ptr_load _ -> rf.s_aloads.(bid) <- rf.s_aloads.(bid) + 1
+          | Instr.Ptr_store _ -> rf.s_astores.(bid) <- rf.s_astores.(bid) + 1
+          | Instr.Call _ ->
+              rf.s_aloads.(bid) <- rf.s_aloads.(bid) + 1;
+              rf.s_astores.(bid) <- rf.s_astores.(bid) + 1
+          | _ -> ())
+        b.Block.body)
+    f
+
+let compile_func (dec : t) (rf : rfunc) (f : Func.t) =
+  rf.rcode_len <- 0;
+  rf.rnstrs <- 0;
+  rf.rnedges <- 0;
+  rf.rnblocks <- Func.num_blocks f;
+  let g = Func.clone f in
+  Cfg.split_critical_edges g;
+  let moves = Destruct.lower g in
+  let sl = Slots.assign ?budget:dec.budget g in
+  rf.rncoalesced <- sl.Slots.ncoalesced;
+  rf.rnoverflow <- sl.Slots.noverflow;
+  rf.rvregs <- g.Func.next_reg;
+  (* one extra write-only slot absorbs defs of never-read registers *)
+  let nslots = sl.Slots.nslots + 1 in
+  rf.rnslots <- nslots;
+  rf.frame_words <- (2 * nslots) + (2 * Array.length rf.rlocals);
+  let nblocks_g = Func.num_blocks g in
+  let e =
+    {
+      rf;
+      fids = dec.rfids;
+      slot_of = sl.Slots.slot_of;
+      discard = 2 * (nslots - 1);
+      orig_nblocks = rf.rnblocks;
+      block_cost = Array.make (max nblocks_g 1) 0;
+      block_off = Array.make (max nblocks_g 1) (-1);
+      pending = 0;
+      seg = 0;
+      seg_site = -1;
+      cur_bid = 0;
+    }
+  in
+  rf.rparams <-
+    (let ps = f.Func.params in
+     let a = Array.make (List.length ps) (-1) in
+     List.iteri
+       (fun i r ->
+         let s =
+           if r < Array.length e.slot_of then e.slot_of.(r) else -1
+         in
+         a.(i) <- (if s >= 0 then 2 * s else -1))
+       ps;
+     a);
+  for bid = 0 to nblocks_g - 1 do
+    let b = Func.block g bid in
+    if not b.Block.dead then begin
+      e.block_off.(bid) <- rf.rcode_len;
+      e.cur_bid <- bid;
+      e.pending <- 0;
+      e.seg <- 0;
+      e.seg_site <- -1;
+      Iseq.iter (fun i -> compile_instr e moves i) b.Block.body;
+      compile_term e g b
+    end
+  done;
+  patch rf e.block_off e.block_cost;
+  rf.entry_off <- e.block_off.(f.Func.entry);
+  rf.entry_block <- rf.block_base + f.Func.entry;
+  rf.entry_cost <- e.block_cost.(f.Func.entry);
+  statics rf f
+
+(* ------------------------------------------------------------------ *)
+
+let mk_rfunc ~rfid ~rname ~rlocals =
+  {
+    rfid;
+    rname;
+    rparams = [||];
+    rlocals;
+    rnslots = 0;
+    frame_words = 0;
+    rcode = [||];
+    rcode_len = 0;
+    rticks = [||];
+    rstrs = [||];
+    rnstrs = 0;
+    entry_off = 0;
+    entry_block = 0;
+    entry_cost = 0;
+    rnblocks = 0;
+    block_base = 0;
+    edge_base = 0;
+    rnedges = 0;
+    edge_src = [||];
+    edge_dst = [||];
+    s_instrs = [||];
+    s_loads = [||];
+    s_stores = [||];
+    s_aloads = [||];
+    s_astores = [||];
+    rncoalesced = 0;
+    rnoverflow = 0;
+    rvregs = 0;
+  }
+
+(* Compile every function, assigning the dense counter id spaces; each
+   function's spans get one sink slot for its synthetic blocks. *)
+let compile_all (dec : t) =
+  let blocks = ref 0 and edges = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let rf = dec.rfuncs.(Hashtbl.find dec.rfids f.Func.fname) in
+      rf.block_base <- !blocks;
+      rf.edge_base <- !edges;
+      compile_func dec rf f;
+      blocks := !blocks + rf.rnblocks + 1;
+      edges := !edges + rf.rnedges + 1)
+    dec.rprog.Func.funcs;
+  dec.rtotal_blocks <- !blocks;
+  dec.rtotal_edges <- !edges
+
+let compile ?budget (prog : Func.prog) : t =
+  let tab = prog.Func.vartab in
+  let nvars = Resource.num_vars tab in
+  let array_len = Array.make (max nvars 1) (-1) in
+  let mem_init = Array.make (max (2 * nvars) 1) 0 in
+  (* all cells start as integer 0 *)
+  for v = 0 to nvars - 1 do
+    mem_init.((2 * v) + 1) <- -1
+  done;
+  let locals_tbl : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  Resource.iter_vars
+    (fun v ->
+      match v.Resource.vkind with
+      | Resource.Array len -> array_len.(v.Resource.vid) <- len
+      | Resource.Global | Resource.Struct_field _ ->
+          mem_init.(2 * v.Resource.vid) <- v.Resource.vinit
+      | Resource.Addr_local fn ->
+          let cur =
+            match Hashtbl.find_opt locals_tbl fn with Some l -> l | None -> []
+          in
+          Hashtbl.replace locals_tbl fn (v.Resource.vid :: cur)
+      | Resource.Heap -> ())
+    tab;
+  let nfuncs = List.length prog.Func.funcs in
+  let fids = Hashtbl.create (2 * nfuncs) in
+  let fnames = Array.make (max nfuncs 1) "" in
+  List.iteri
+    (fun i (f : Func.t) ->
+      Hashtbl.replace fids f.Func.fname i;
+      fnames.(i) <- f.Func.fname)
+    prog.Func.funcs;
+  let funcs =
+    Array.of_list
+      (List.mapi
+         (fun i (f : Func.t) ->
+           let rlocals =
+             match Hashtbl.find_opt locals_tbl f.Func.fname with
+             | Some vids -> Array.of_list vids
+             | None -> [||]
+           in
+           mk_rfunc ~rfid:i ~rname:f.Func.fname ~rlocals)
+         prog.Func.funcs)
+  in
+  let rmain =
+    match Hashtbl.find_opt fids "main" with Some i -> i | None -> -1
+  in
+  let dec =
+    {
+      rprog = prog;
+      budget;
+      rnvars = nvars;
+      rarray_len = array_len;
+      rmem_init = mem_init;
+      rfnames = fnames;
+      rfids = fids;
+      rfuncs = funcs;
+      rmain;
+      rtotal_blocks = 0;
+      rtotal_edges = 0;
+    }
+  in
+  compile_all dec;
+  dec
+
+(* Recompile after the IR was transformed (promotion rewrites bodies,
+   adds phis and registers) into the same buffers; only code that grew
+   reallocates. *)
+let refresh (dec : t) = compile_all dec

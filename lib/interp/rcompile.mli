@@ -1,0 +1,93 @@
+(** Register-allocated backend compiler: clones each function, splits
+    critical edges, lowers out of SSA ([Rp_ssa.Destruct.lower]),
+    coalesces and colors the virtual registers onto physical frame
+    slots ([Rp_regalloc.Slots]), and emits a slot-addressed bytecode
+    for {!Rengine}.  The source program is never mutated.
+
+    Like [Decode], the image is built once and {!refresh} re-compiles
+    the (promotion-mutated) bodies into the same buffers. *)
+
+open Rp_ir
+
+(** {2 Opcodes} ([Rengine] asserts the literal values) *)
+
+val op_bin_rr : int
+val op_bin_ri : int
+val op_bin_ir : int
+val op_bin_ii : int
+val op_un_r : int
+val op_un_i : int
+val op_copy_r : int
+val op_copy_i : int
+val op_load : int
+val op_store_r : int
+val op_store_i : int
+val op_addr_r : int
+val op_addr_i : int
+val op_pload_r : int
+val op_pload_i : int
+val op_pstore : int
+val op_call : int
+val op_xcall : int
+val op_call_unknown : int
+val op_trap_rphi : int
+val op_print_r : int
+val op_print_i : int
+val op_jmp : int
+val op_br : int
+val op_ret_r : int
+val op_ret_i : int
+val op_ret_void : int
+
+type rfunc = {
+  rfid : int;
+  rname : string;
+  mutable rparams : int array;
+  rlocals : int array;
+  mutable rnslots : int;
+  mutable frame_words : int;
+  mutable rcode : int array;
+  mutable rcode_len : int;
+  mutable rticks : int array;
+  mutable rstrs : string array;
+  mutable rnstrs : int;
+  mutable entry_off : int;
+  mutable entry_block : int;
+  mutable entry_cost : int;
+  mutable rnblocks : int;
+  mutable block_base : int;
+  mutable edge_base : int;
+  mutable rnedges : int;
+  mutable edge_src : int array;
+  mutable edge_dst : int array;
+  mutable s_instrs : int array;
+  mutable s_loads : int array;
+  mutable s_stores : int array;
+  mutable s_aloads : int array;
+  mutable s_astores : int array;
+  mutable rncoalesced : int;
+  mutable rnoverflow : int;
+  mutable rvregs : int;
+}
+
+type t = {
+  rprog : Func.prog;
+  budget : int option;
+  rnvars : int;
+  rarray_len : int array;
+  rmem_init : int array;
+  rfnames : string array;
+  rfids : (string, int) Hashtbl.t;
+  rfuncs : rfunc array;
+  rmain : int;
+  mutable rtotal_blocks : int;
+  mutable rtotal_edges : int;
+}
+
+(** Compile the whole program.  [budget] is the machine register
+    budget forwarded to the slot allocator (reporting only: overflow
+    slots live in the same frame). *)
+val compile : ?budget:int -> Func.prog -> t
+
+(** Re-compile after the IR was transformed, reusing the buffers. *)
+val refresh : t -> unit

@@ -1,0 +1,9 @@
+(** Register-file execution engine for the {!Rcompile} bytecode.
+    Observationally identical to {!Interp.run} and {!Engine.run} on
+    the same program: same results, counters, block/edge/call counts,
+    same error messages and fuel-exhaustion points. *)
+
+(** Run the compiled program from [main].
+    @raise Interp.Runtime_error on traps.
+    @raise Interp.Out_of_fuel when the instruction budget runs out. *)
+val run : ?fuel:int -> Rcompile.t -> Interp.result

@@ -68,6 +68,38 @@ let add_func prog f = prog.funcs <- prog.funcs @ [ f ]
 let find_func prog name =
   List.find_opt (fun f -> f.fname = name) prog.funcs
 
+(* Deep copy for backend lowering: the caller gets a function it may
+   destroy (out-of-SSA rewriting, edge splitting) without disturbing
+   the original, which analyses and the differential oracles keep
+   using.  Block ids, instruction ids and register ids are preserved;
+   instruction cells are fresh (they are mutable), opcode values are
+   shared (they are replaced wholesale, never mutated in place). *)
+let clone (f : t) : t =
+  let g = create_func ~name:f.fname in
+  g.params <- f.params;
+  g.entry <- f.entry;
+  g.next_reg <- f.next_reg;
+  g.next_iid <- f.next_iid;
+  Hashtbl.iter (fun r n -> Hashtbl.replace g.reg_names r n) f.reg_names;
+  Hashtbl.iter (fun v n -> Hashtbl.replace g.mver v n) f.mver;
+  Hashtbl.iter (fun b x -> Hashtbl.replace g.freq b x) f.freq;
+  Hashtbl.iter (fun e x -> Hashtbl.replace g.efreq e x) f.efreq;
+  for bid = 0 to Vec.length f.blocks - 1 do
+    let b = Vec.get f.blocks bid in
+    let nb = Block.make ~bid ~index:g.iindex in
+    nb.dead <- b.Block.dead;
+    nb.term <- b.Block.term;
+    nb.preds <- b.Block.preds;
+    Iseq.iter
+      (fun (i : Instr.t) -> Iseq.push_back nb.phis { Instr.iid = i.iid; op = i.op })
+      b.Block.phis;
+    Iseq.iter
+      (fun (i : Instr.t) -> Iseq.push_back nb.body { Instr.iid = i.iid; op = i.op })
+      b.Block.body;
+    Vec.push g.blocks nb
+  done;
+  g
+
 (* ------------------------------------------------------------------ *)
 (* Fresh ids *)
 

@@ -47,6 +47,12 @@ val add_func : prog -> t -> unit
 
 val find_func : prog -> string -> t option
 
+(** Deep copy for destructive backend lowering: preserved block /
+    instruction / register ids, fresh instruction cells and sequence
+    index, copied profile.  The clone shares nothing mutable with the
+    original. *)
+val clone : t -> t
+
 (** {2 Fresh ids} *)
 
 val fresh_reg : ?name:string -> t -> Ids.reg

@@ -18,58 +18,79 @@ type result = {
   assignment : (Ids.reg, int) Hashtbl.t;
 }
 
-let color (g : Interference.t) (nodes : Ids.IntSet.t) : result =
-  (* simplification order: repeatedly take the minimum-degree node of
-     the remaining subgraph *)
-  let remaining = ref nodes in
-  let degree = Hashtbl.create 64 in
+(* Shared simplification machinery: bucketized min-degree selection.
+   Nodes live in degree-indexed LIFO buckets with lazy deletion — a
+   node is re-pushed every time its degree drops, and a popped entry
+   counts only when it carries the node's current degree.  Degrees only
+   decrease, so the scan pointer moves monotonically except for the
+   one-step-back reset on decrement; total work is O(V + E) instead of
+   the O(V^2) of rescanning for the minimum. *)
+
+let subgraph_degrees (g : Interference.t) (nodes : Ids.IntSet.t) =
+  let n = max (Interference.num_nodes g) 1 in
+  let in_graph = Array.make n false in
+  Ids.IntSet.iter (fun r -> in_graph.(r) <- true) nodes;
+  let degree = Array.make n 0 in
   Ids.IntSet.iter
     (fun r ->
-      Hashtbl.replace degree r
-        (Ids.IntSet.cardinal (Ids.IntSet.inter g.Interference.adj.(r) nodes)))
+      let d = ref 0 in
+      Interference.iter_adj g r (fun x -> if in_graph.(x) then incr d);
+      degree.(r) <- !d)
+    nodes;
+  (in_graph, degree)
+
+let color (g : Interference.t) (nodes : Ids.IntSet.t) : result =
+  (* simplification order: repeatedly take a minimum-degree node of
+     the remaining subgraph *)
+  let remaining, degree = subgraph_degrees g nodes in
+  let nn = Ids.IntSet.cardinal nodes in
+  let buckets = Array.make (nn + 1) [] in
+  Ids.IntSet.iter
+    (fun r -> buckets.(degree.(r)) <- r :: buckets.(degree.(r)))
     nodes;
   let stack = ref [] in
-  while not (Ids.IntSet.is_empty !remaining) do
-    let best =
-      Ids.IntSet.fold
-        (fun r acc ->
-          match acc with
-          | None -> Some r
-          | Some b ->
-              if Hashtbl.find degree r < Hashtbl.find degree b then Some r
-              else acc)
-        !remaining None
-    in
-    match best with
-    | None -> ()
-    | Some r ->
-        stack := r :: !stack;
-        remaining := Ids.IntSet.remove r !remaining;
-        Ids.IntSet.iter
-          (fun n ->
-            if Ids.IntSet.mem n !remaining then
-              Hashtbl.replace degree n (Hashtbl.find degree n - 1))
-          g.Interference.adj.(r)
+  let removed = ref 0 in
+  let d = ref 0 in
+  while !removed < nn do
+    match buckets.(!d) with
+    | [] -> incr d
+    | r :: rest ->
+        buckets.(!d) <- rest;
+        (* a live entry carries the node's current degree; anything
+           else is a stale higher-degree copy *)
+        if remaining.(r) && degree.(r) = !d then begin
+          stack := r :: !stack;
+          remaining.(r) <- false;
+          incr removed;
+          Interference.iter_adj g r (fun x ->
+              if remaining.(x) then begin
+                let dx = degree.(x) - 1 in
+                degree.(x) <- dx;
+                buckets.(dx) <- x :: buckets.(dx);
+                if dx < !d then d := dx
+              end)
+        end
   done;
-  (* assign colors popping the stack (last removed = first colored) *)
+  (* assign colors popping the stack (last removed = first colored);
+     [mark.(c) = r] records that color [c] is taken by a neighbour of
+     the node [r] being colored, so the scan for the smallest free
+     color is allocation-free *)
   let assignment = Hashtbl.create 64 in
+  let color_of = Array.make (max (Interference.num_nodes g) 1) (-1) in
+  let mark = Array.make (nn + 1) (-1) in
   let max_color = ref (-1) in
   List.iter
     (fun r ->
-      let taken =
-        Ids.IntSet.fold
-          (fun n acc ->
-            match Hashtbl.find_opt assignment n with
-            | Some c -> Ids.IntSet.add c acc
-            | None -> acc)
-          g.Interference.adj.(r) Ids.IntSet.empty
-      in
-      let rec first_free c =
-        if Ids.IntSet.mem c taken then first_free (c + 1) else c
-      in
-      let c = first_free 0 in
-      Hashtbl.replace assignment r c;
-      if c > !max_color then max_color := c)
+      Interference.iter_adj g r (fun x ->
+          let c = color_of.(x) in
+          if c >= 0 then mark.(c) <- r);
+      let c = ref 0 in
+      while mark.(!c) = r do
+        incr c
+      done;
+      color_of.(r) <- !c;
+      Hashtbl.replace assignment r !c;
+      if !c > !max_color then max_color := !c)
     !stack;
   { colors = !max_color + 1; assignment }
 
@@ -91,54 +112,49 @@ type summary = {
    of the paper's Table 3 pressure observation, made concrete. *)
 let count_spills (g : Interference.t) (nodes : Ids.IntSet.t) ~(k : int) : int
     =
-  let remaining = ref nodes in
-  let degree = Hashtbl.create 64 in
+  let remaining, degree = subgraph_degrees g nodes in
+  let nn = Ids.IntSet.cardinal nodes in
+  let buckets = Array.make (nn + 1) [] in
   Ids.IntSet.iter
-    (fun r ->
-      Hashtbl.replace degree r
-        (Ids.IntSet.cardinal (Ids.IntSet.inter g.Interference.adj.(r) nodes)))
+    (fun r -> buckets.(degree.(r)) <- r :: buckets.(degree.(r)))
     nodes;
   let spills = ref 0 in
+  let removed = ref 0 in
+  let d = ref 0 in
   let remove r =
-    remaining := Ids.IntSet.remove r !remaining;
-    Ids.IntSet.iter
-      (fun n ->
-        if Ids.IntSet.mem n !remaining then
-          Hashtbl.replace degree n (Hashtbl.find degree n - 1))
-      g.Interference.adj.(r)
+    remaining.(r) <- false;
+    incr removed;
+    Interference.iter_adj g r (fun x ->
+        if remaining.(x) then begin
+          let dx = degree.(x) - 1 in
+          degree.(x) <- dx;
+          buckets.(dx) <- x :: buckets.(dx);
+          if dx < !d then d := dx
+        end)
   in
-  while not (Ids.IntSet.is_empty !remaining) do
-    let low =
-      Ids.IntSet.fold
-        (fun r acc ->
-          if Hashtbl.find degree r < k then
-            match acc with
-            | None -> Some r
-            | Some b ->
-                if Hashtbl.find degree r < Hashtbl.find degree b then Some r
-                else acc
-          else acc)
-        !remaining None
-    in
-    match low with
-    | Some r -> remove r
-    | None ->
-        (* everything has degree >= k: spill the busiest node *)
-        let victim =
-          Ids.IntSet.fold
-            (fun r acc ->
-              match acc with
-              | None -> Some r
-              | Some b ->
-                  if Hashtbl.find degree r > Hashtbl.find degree b then Some r
-                  else acc)
-            !remaining None
-        in
-        (match victim with
-        | Some r ->
-            incr spills;
-            remove r
-        | None -> ())
+  while !removed < nn do
+    if !d < k then begin
+      match buckets.(!d) with
+      | [] -> incr d
+      | r :: rest ->
+          buckets.(!d) <- rest;
+          if remaining.(r) && degree.(r) = !d then remove r
+    end
+    else begin
+      (* everything left has degree >= k: spill the busiest node,
+         scanning from the top with the same lazy-deletion rule *)
+      let hi = ref nn in
+      let victim = ref (-1) in
+      while !victim < 0 do
+        match buckets.(!hi) with
+        | [] -> decr hi
+        | r :: rest ->
+            buckets.(!hi) <- rest;
+            if remaining.(r) && degree.(r) = !hi then victim := r
+      done;
+      incr spills;
+      remove !victim
+    end
   done;
   !spills
 
@@ -162,16 +178,13 @@ let analyse (f : Func.t) ~(k : int option) : summary =
    color.  Exposed for the property tests. *)
 let proper (g : Interference.t) (r : result) : bool =
   let ok = ref true in
-  Array.iteri
-    (fun a neigh ->
-      match Hashtbl.find_opt r.assignment a with
-      | None -> ()
-      | Some ca ->
-          Ids.IntSet.iter
-            (fun b ->
-              match Hashtbl.find_opt r.assignment b with
-              | Some cb -> if a <> b && ca = cb then ok := false
-              | None -> ())
-            neigh)
-    g.Interference.adj;
+  for a = 0 to Interference.num_nodes g - 1 do
+    match Hashtbl.find_opt r.assignment a with
+    | None -> ()
+    | Some ca ->
+        Interference.iter_adj g a (fun b ->
+            match Hashtbl.find_opt r.assignment b with
+            | Some cb -> if a <> b && ca = cb then ok := false
+            | None -> ())
+  done;
   !ok

@@ -5,6 +5,14 @@
    Copies get the usual slack: the source of a copy does not interfere
    with its target just because of the copy itself.
 
+   The graph is a packed bitset matrix: row [r] holds one bit per
+   potential neighbour, so edge insertion and membership are O(1) and
+   iterating a row costs [nregs/63] words plus one count-trailing-zeros
+   per neighbour.  Register counts per function are small (hundreds),
+   so the n^2-bit matrix is a few KB and the whole build is dominated
+   by the liveness walk — the list-of-sets representation this
+   replaces spent more time allocating than computing.
+
    On SSA form the graph is chordal, which {!Color} exploits: the
    number of colors a simplicial elimination scheme needs equals the
    chromatic number, and both equal the maximum number of
@@ -15,14 +23,100 @@
 open Rp_ir
 open Rp_analysis
 
+(* 63 usable bits per OCaml int *)
+let bits = 63
+
 type t = {
   nregs : int;
-  adj : Ids.IntSet.t array;  (** adjacency; indexed by register id *)
+  words : int;  (** words per row *)
+  m : int array;  (** row-major adjacency bitmap, [nregs * words] *)
 }
 
-let interfere t a b = a <> b && Ids.IntSet.mem b t.adj.(a)
+let create (nregs : int) : t =
+  let words = (max nregs 1 + bits - 1) / bits in
+  { nregs; words; m = Array.make (max nregs 1 * words) 0 }
 
-let degree t r = Ids.IntSet.cardinal t.adj.(r)
+let add_edge t a b =
+  if a <> b then begin
+    t.m.((a * t.words) + (b / bits)) <-
+      t.m.((a * t.words) + (b / bits)) lor (1 lsl (b mod bits));
+    t.m.((b * t.words) + (a / bits)) <-
+      t.m.((b * t.words) + (a / bits)) lor (1 lsl (a mod bits))
+  end
+
+let interfere t a b =
+  a <> b
+  && a < t.nregs && b < t.nregs
+  && t.m.((a * t.words) + (b / bits)) land (1 lsl (b mod bits)) <> 0
+
+(* trailing zeros of a non-zero word *)
+let ntz v =
+  let n = ref 0 and v = ref v in
+  if !v land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    v := !v lsr 32
+  end;
+  if !v land 0xFFFF = 0 then begin
+    n := !n + 16;
+    v := !v lsr 16
+  end;
+  if !v land 0xFF = 0 then begin
+    n := !n + 8;
+    v := !v lsr 8
+  end;
+  if !v land 0xF = 0 then begin
+    n := !n + 4;
+    v := !v lsr 4
+  end;
+  if !v land 0x3 = 0 then begin
+    n := !n + 2;
+    v := !v lsr 2
+  end;
+  if !v land 0x1 = 0 then incr n;
+  !n
+
+(* Iterate the neighbours of [r] in increasing order. *)
+let iter_adj t r f =
+  let base = r * t.words in
+  for wi = 0 to t.words - 1 do
+    let x = ref t.m.(base + wi) in
+    let b0 = wi * bits in
+    while !x <> 0 do
+      let low = !x land - !x in
+      f (b0 + ntz low);
+      x := !x lxor low
+    done
+  done
+
+(* Remove every edge incident to [r]: clear bit [r] in each
+   neighbour's row, then zero [r]'s own row.  Used by the promoter's
+   spill-order mode to retract a tentative node. *)
+let clear_node t r =
+  let base = r * t.words in
+  let rw = r / bits and rb = 1 lsl (r mod bits) in
+  for wi = 0 to t.words - 1 do
+    let x = ref t.m.(base + wi) in
+    let b0 = wi * bits in
+    while !x <> 0 do
+      let low = !x land - !x in
+      let b = b0 + ntz low in
+      t.m.((b * t.words) + rw) <- t.m.((b * t.words) + rw) land lnot rb;
+      x := !x lxor low
+    done;
+    t.m.(base + wi) <- 0
+  done
+
+let degree t r =
+  let base = r * t.words in
+  let d = ref 0 in
+  for wi = 0 to t.words - 1 do
+    let x = ref t.m.(base + wi) in
+    while !x <> 0 do
+      incr d;
+      x := !x land (!x - 1)
+    done
+  done;
+  !d
 
 let num_nodes t = t.nregs
 
@@ -47,13 +141,8 @@ let occurring (f : Func.t) : Ids.IntSet.t =
 let build ?(copy_slack = true) (f : Func.t) : t =
   let live = Liveness.compute f in
   let n = f.Func.next_reg in
-  let adj = Array.make (max n 1) Ids.IntSet.empty in
-  let add_edge a b =
-    if a <> b then begin
-      adj.(a) <- Ids.IntSet.add b adj.(a);
-      adj.(b) <- Ids.IntSet.add a adj.(b)
-    end
-  in
+  let t = create n in
+  let add_edge a b = add_edge t a b in
   Func.iter_blocks
     (fun b ->
       (* walk the block backwards keeping the live set; registers read
@@ -97,7 +186,14 @@ let build ?(copy_slack = true) (f : Func.t) : t =
           List.iter (fun d' -> add_edge d d') phi_ds)
         phi_ds)
     f;
-  { nregs = n; adj }
+  (* parameters: all defined in parallel at function entry, before the
+     entry block runs — each interferes with everything live into the
+     entry block (which includes every other live param) *)
+  let entry_live = Liveness.live_in live f.Func.entry in
+  List.iter
+    (fun p -> Bitset.iter (fun l -> add_edge p l) entry_live)
+    f.Func.params;
+  t
 
 (* Maximum number of simultaneously live registers anywhere in the
    function — the lower bound any allocation needs, and on SSA form the

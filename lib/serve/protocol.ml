@@ -154,6 +154,10 @@ let options_to_json ?(for_key = false) (o : P.options) : J.t =
           placed in [options.regs] key identically *)
        ( "regs",
          match P.effective_regs o with Some k -> J.Int k | None -> J.Null );
+       (* spill-order changes which webs a budgeted run admits, hence
+          the report bytes: part of the key, encoded from the effective
+          value like [regs] *)
+       ("spill_order", J.Bool (P.effective_spill_order o));
      ]
     @
     (* jobs and interp are left out of the cache key on purpose: the
@@ -218,6 +222,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         | J.Int k -> Some (Some k)
         | _ -> None))
   in
+  let* spill_order = take d.P.spill_order (field v "spill_order" as_bool) in
   let* insert_dummies =
     take dc.Rp_core.Promote.insert_dummies (field v "insert_dummies" as_bool)
   in
@@ -248,7 +253,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
           {
             Rp_core.Promote.engine;
             allow_store_removal;
-            cost = { Rp_core.Cost_model.min_profit; regs = None };
+            cost = { Rp_core.Cost_model.min_profit; regs = None; spill_order = false };
             insert_dummies;
           };
         profile;
@@ -259,6 +264,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         jobs;
         interp;
         regs;
+        spill_order;
       }
 
 let options_fingerprint ?for_key (o : P.options) : string =

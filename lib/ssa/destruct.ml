@@ -63,7 +63,12 @@ let sequentialise (f : Func.t) (moves : (Ids.reg * Instr.operand) list) :
   done;
   List.rev !out
 
-let run (f : Func.t) : unit =
+(* Lower [f] out of SSA and return the iids of the copies inserted for
+   the phi moves.  The backend needs the set: phi-lowering moves are an
+   artefact of leaving SSA — the oracle engines evaluate phis as
+   parallel assignments that consume neither fuel nor instruction
+   counts, so the compiled engine must not charge for them either. *)
+let lower (f : Func.t) : Ids.IntSet.t =
   Cfg.recompute_preds f;
   (* collect per-pred copy groups from register phis *)
   let copies : (Ids.bid, (Ids.reg * Instr.operand) list) Hashtbl.t =
@@ -87,12 +92,15 @@ let run (f : Func.t) : unit =
           | _ -> ())
         b.phis)
     f;
+  let inserted = ref Ids.IntSet.empty in
   Hashtbl.iter
     (fun pred moves ->
       let b = Func.block f pred in
       List.iter
         (fun (d, s) ->
-          Block.insert_at_end b (Func.mk_instr f (Instr.Copy { dst = d; src = s })))
+          let i = Func.mk_instr f (Instr.Copy { dst = d; src = s }) in
+          inserted := Ids.IntSet.add i.Instr.iid !inserted;
+          Block.insert_at_end b i)
         (sequentialise f moves))
     copies;
   (* drop all phis, unversion all resources *)
@@ -105,4 +113,7 @@ let run (f : Func.t) : unit =
           i.op <- Instr.map_mem_uses unversion i.op;
           i.op <- Instr.map_mem_defs unversion i.op)
         b.body)
-    f
+    f;
+  !inserted
+
+let run (f : Func.t) : unit = ignore (lower f)

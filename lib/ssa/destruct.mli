@@ -12,4 +12,10 @@ open Rp_ir
 val sequentialise :
   Func.t -> (Ids.reg * Instr.operand) list -> (Ids.reg * Instr.operand) list
 
+(** Lower out of SSA and return the iids of the copies inserted for the
+    phi moves — the backend excludes them from fuel and instruction
+    accounting, since the oracle engines execute phis as free parallel
+    assignments. *)
+val lower : Func.t -> Ids.IntSet.t
+
 val run : Func.t -> unit

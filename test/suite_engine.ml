@@ -14,6 +14,8 @@
 module I = Rp_interp.Interp
 module D = Rp_interp.Decode
 module E = Rp_interp.Engine
+module RC = Rp_interp.Rcompile
+module RE = Rp_interp.Rengine
 module P = Rp_core.Pipeline
 module R = Rp_workloads.Registry
 
@@ -62,6 +64,7 @@ let run_of f =
 
 let run_tree ~fuel prog = run_of (fun () -> I.run ~fuel prog)
 let run_flat ~fuel prog = run_of (fun () -> E.run ~fuel (D.decode prog))
+let run_reg ~fuel prog = run_of (fun () -> RE.run ~fuel (RC.compile prog))
 
 let describe = function
   | Finished o ->
@@ -90,6 +93,13 @@ let check_same ctx tree flat =
     Alcotest.failf "%s: engine diverges from oracle on %s\n  tree: %s\n  flat: %s"
       ctx (diff_field tree flat) (describe tree) (describe flat)
 
+(* the full two-deep oracle stack: flat vs tree, then reg vs tree *)
+let check_same3 ctx tree flat reg =
+  check_same (ctx ^ " [flat]") tree flat;
+  if tree <> reg then
+    Alcotest.failf "%s: reg engine diverges from oracle on %s\n  tree: %s\n  reg: %s"
+      ctx (diff_field tree reg) (describe tree) (describe reg)
+
 (* ------------------------------------------------------------------ *)
 (* Random programs: engine vs oracle on the prepared (SSA) program and
    on the promoted one. *)
@@ -99,10 +109,15 @@ let prop_engine_matches_oracle =
     ~count:250 Suite_qcheck.arb_program (fun src ->
       let fuel = 2_000_000 in
       let prog, _ = P.prepare src in
-      let tree = run_tree ~fuel prog and flat = run_flat ~fuel prog in
+      let tree = run_tree ~fuel prog
+      and flat = run_flat ~fuel prog
+      and reg = run_reg ~fuel prog in
       if tree <> flat then
         QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.flat %s"
           (diff_field tree flat) (describe tree) (describe flat)
+      else if tree <> reg then
+        QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.reg %s"
+          (diff_field tree reg) (describe tree) (describe reg)
       else
         (* the same comparison on the promoted program; the pipeline
            (tree engine, so this property never depends on the code
@@ -114,10 +129,15 @@ let prop_engine_matches_oracle =
         with
         | report ->
             let p = report.P.prog in
-            let tree = run_tree ~fuel p and flat = run_flat ~fuel p in
+            let tree = run_tree ~fuel p
+            and flat = run_flat ~fuel p
+            and reg = run_reg ~fuel p in
             if tree <> flat then
               QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.flat %s"
                 (diff_field tree flat) (describe tree) (describe flat)
+            else if tree <> reg then
+              QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.reg %s"
+                (diff_field tree reg) (describe tree) (describe reg)
             else true
         | exception (I.Runtime_error _ | I.Out_of_fuel _) -> true)
 
@@ -134,16 +154,19 @@ let prop_pipeline_engines_agree =
         | r -> Some r
         | exception (I.Runtime_error _ | I.Out_of_fuel _) -> None
       in
-      match (go P.Tree, go P.Flat) with
-      | None, None -> true
-      | Some a, Some b ->
-          a.P.behaviour_ok && b.P.behaviour_ok
-          && outcome a.P.baseline = outcome b.P.baseline
-          && outcome a.P.final = outcome b.P.final
-          && a.P.static_after = b.P.static_after
-          && a.P.per_function = b.P.per_function
-      | Some _, None -> QCheck.Test.fail_report "flat trapped, tree finished"
-      | None, Some _ -> QCheck.Test.fail_report "tree trapped, flat finished")
+      let agree (a : P.report) (b : P.report) =
+        a.P.behaviour_ok && b.P.behaviour_ok
+        && outcome a.P.baseline = outcome b.P.baseline
+        && outcome a.P.final = outcome b.P.final
+        && a.P.static_after = b.P.static_after
+        && a.P.per_function = b.P.per_function
+      in
+      match (go P.Tree, go P.Flat, go P.Reg) with
+      | None, None, None -> true
+      | Some a, Some b, Some c -> agree a b && agree a c
+      | Some _, None, _ -> QCheck.Test.fail_report "flat trapped, tree finished"
+      | Some _, _, None -> QCheck.Test.fail_report "reg trapped, tree finished"
+      | None, _, _ -> QCheck.Test.fail_report "tree trapped, another finished")
 
 (* ------------------------------------------------------------------ *)
 (* Seed workloads and the gen sweep *)
@@ -152,17 +175,19 @@ let workload_fuel = 80_000_000
 
 let differential_on_workload (w : R.workload) () =
   let prog, _ = P.prepare w.R.source in
-  check_same (w.R.name ^ " pre-promotion")
+  check_same3 (w.R.name ^ " pre-promotion")
     (run_tree ~fuel:workload_fuel prog)
-    (run_flat ~fuel:workload_fuel prog);
+    (run_flat ~fuel:workload_fuel prog)
+    (run_reg ~fuel:workload_fuel prog);
   let report =
     P.run
       ~options:{ P.default_options with fuel = workload_fuel; interp = P.Tree }
       w.R.source
   in
-  check_same (w.R.name ^ " post-promotion")
+  check_same3 (w.R.name ^ " post-promotion")
     (run_tree ~fuel:workload_fuel report.P.prog)
     (run_flat ~fuel:workload_fuel report.P.prog)
+    (run_reg ~fuel:workload_fuel report.P.prog)
 
 (* refresh must be equivalent to a from-scratch decode: decode before
    promotion, refresh after the IR was rewritten, compare against a
@@ -178,7 +203,7 @@ let test_refresh_matches_fresh_decode () =
   let before_flat = run_of (fun () -> E.run ~fuel:workload_fuel dec) in
   let before_tree = run_tree ~fuel:workload_fuel prog in
   check_same "li pre-promotion (shared image)" before_tree before_flat;
-  ignore (P.attach_profile ~options ~decoded:dec prog trees);
+  ignore (P.attach_profile ~options ~decoded:(P.Iflat dec) prog trees);
   List.iter
     (fun (f : Rp_ir.Func.t) ->
       match List.assoc_opt f.Rp_ir.Func.fname trees with
@@ -197,6 +222,35 @@ let test_refresh_matches_fresh_decode () =
   check_same "li post-promotion refresh vs fresh decode" fresh refreshed;
   check_same "li post-promotion refresh vs oracle" tree refreshed
 
+(* the same contract for the register backend: [Rcompile.refresh] after
+   an in-place IR rewrite must match a from-scratch compile *)
+let test_reg_refresh_matches_fresh_compile () =
+  let w = Option.get (R.find "li") in
+  let options = { P.default_options with fuel = workload_fuel } in
+  let prog, trees = P.prepare ~options w.R.source in
+  let cp = RC.compile prog in
+  let before_reg = run_of (fun () -> RE.run ~fuel:workload_fuel cp) in
+  let before_tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li pre-promotion (shared reg image)" before_tree before_reg;
+  ignore (P.attach_profile ~options ~decoded:(P.Ireg cp) prog trees);
+  List.iter
+    (fun (f : Rp_ir.Func.t) ->
+      match List.assoc_opt f.Rp_ir.Func.fname trees with
+      | Some tree ->
+          ignore
+            (Rp_core.Promote.promote_function
+               ~cfg:Rp_core.Promote.default_config f prog.Rp_ir.Func.vartab
+               tree)
+      | None -> ())
+    prog.Rp_ir.Func.funcs;
+  Rp_opt.Cleanup.run_prog prog;
+  RC.refresh cp;
+  let refreshed = run_of (fun () -> RE.run ~fuel:workload_fuel cp) in
+  let fresh = run_reg ~fuel:workload_fuel prog in
+  let tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li post-promotion reg refresh vs fresh compile" fresh refreshed;
+  check_same "li post-promotion reg refresh vs oracle" tree refreshed
+
 (* deterministic JSON reports must be byte-identical across engines *)
 let report_bytes interp (w : R.workload) =
   let options =
@@ -214,11 +268,17 @@ let report_bytes interp (w : R.workload) =
   s
 
 let byte_identity_on_workload (w : R.workload) () =
-  let tree = report_bytes P.Tree w and flat = report_bytes P.Flat w in
+  let tree = report_bytes P.Tree w
+  and flat = report_bytes P.Flat w
+  and reg = report_bytes P.Reg w in
   Alcotest.(check string)
-    (Printf.sprintf "%s: deterministic report bytes (jobs=%d)" w.R.name
-       jobs_from_env)
-    tree flat
+    (Printf.sprintf "%s: deterministic report bytes, tree vs flat (jobs=%d)"
+       w.R.name jobs_from_env)
+    tree flat;
+  Alcotest.(check string)
+    (Printf.sprintf "%s: deterministic report bytes, tree vs reg (jobs=%d)"
+       w.R.name jobs_from_env)
+    tree reg
 
 (* ------------------------------------------------------------------ *)
 (* Fuel exhaustion: both engines raise the distinct exception with the
@@ -234,10 +294,22 @@ let test_fuel_exhaustion_parity () =
   (match run_flat ~fuel:budget prog with
   | Fuel b -> Alcotest.(check int) "flat budget" budget b
   | o -> Alcotest.failf "flat: expected fuel exhaustion, got %s" (describe o));
+  (match run_reg ~fuel:budget prog with
+  | Fuel b -> Alcotest.(check int) "reg budget" budget b
+  | o -> Alcotest.failf "reg: expected fuel exhaustion, got %s" (describe o));
   (* and through the full pipeline under the default (flat) engine *)
-  match P.run ~options:{ P.default_options with fuel = budget } src with
+  (match P.run ~options:{ P.default_options with fuel = budget } src with
   | _ -> Alcotest.fail "pipeline: expected Out_of_fuel"
-  | exception I.Out_of_fuel b -> Alcotest.(check int) "pipeline budget" budget b
+  | exception I.Out_of_fuel b -> Alcotest.(check int) "pipeline budget" budget b);
+  (* and under the register backend *)
+  match
+    P.run
+      ~options:{ P.default_options with fuel = budget; interp = P.Reg }
+      src
+  with
+  | _ -> Alcotest.fail "reg pipeline: expected Out_of_fuel"
+  | exception I.Out_of_fuel b ->
+      Alcotest.(check int) "reg pipeline budget" budget b
 
 let suite =
   let seed_cases name mk =
@@ -260,6 +332,8 @@ let suite =
   @ [
       Alcotest.test_case "refresh vs fresh decode" `Quick
         test_refresh_matches_fresh_decode;
+      Alcotest.test_case "reg refresh vs fresh compile" `Quick
+        test_reg_refresh_matches_fresh_compile;
       Alcotest.test_case "fuel exhaustion parity" `Quick
         test_fuel_exhaustion_parity;
       qtest prop_engine_matches_oracle;

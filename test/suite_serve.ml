@@ -123,13 +123,14 @@ let gen_options : P.options G.t =
   let* jobs = int_range 1 8 in
   let* flat = bool in
   let* regs = opt (int_range 1 64) in
+  let* spill_order = bool in
   return
     {
       P.promote =
         {
           Rp_core.Promote.engine;
           allow_store_removal;
-          cost = { Rp_core.Cost_model.min_profit; regs = None };
+          cost = { Rp_core.Cost_model.min_profit; regs = None; spill_order = false };
           insert_dummies;
         };
       profile = (if static then P.Static_estimate else P.Measured);
@@ -140,6 +141,7 @@ let gen_options : P.options G.t =
       jobs;
       interp = (if flat then P.Flat else P.Tree);
       regs;
+      spill_order;
     }
 
 let gen_request : Proto.request G.t =

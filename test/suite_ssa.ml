@@ -311,6 +311,71 @@ let test_parallel_move_chain () =
   Alcotest.(check int) "r1 = old r0" 7 (Hashtbl.find env 1);
   Alcotest.(check int) "r2 = old r1" 8 (Hashtbl.find env 2)
 
+(* The lost-copy/swap oracle.  A parallel copy's meaning is
+   simultaneous: every source is read in the OLD state, then every
+   target written.  [sequentialise] must implement exactly that with
+   ordinary sequential copies, breaking cycles (the swap problem) with
+   fresh temporaries and never clobbering a value before its last read
+   (the lost-copy problem).  Random parallel assignments with distinct
+   targets and arbitrary register/immediate sources cover both. *)
+let prop_sequentialise_oracle =
+  let gen =
+    QCheck.Gen.(
+      let* k = int_range 1 8 in
+      let* ndst = int_range 1 k in
+      let* perm = shuffle_l (List.init k Fun.id) in
+      let dsts = List.filteri (fun i _ -> i < ndst) perm in
+      let* srcs =
+        flatten_l
+          (List.map
+             (fun _ ->
+               oneof
+                 [
+                   map (fun r -> Instr.Reg r) (int_range 0 (k - 1));
+                   map (fun n -> Instr.Imm n) (int_range (-50) 50);
+                 ])
+             dsts)
+      in
+      return (k, List.combine dsts srcs))
+  in
+  QCheck.Test.make ~name:"sequentialise matches the parallel-copy oracle"
+    ~count:500 (QCheck.make gen) (fun (k, moves) ->
+      let f = Func.create_func ~name:"pc" in
+      f.Func.next_reg <- k;
+      let seq = Destruct.sequentialise f moves in
+      let init r = 1000 + r in
+      (* the oracle: all sources evaluated in the initial state *)
+      let par = Array.init k init in
+      List.iter
+        (fun (d, s) ->
+          par.(d) <-
+            (match s with Instr.Reg r -> init r | Instr.Imm n -> n))
+        moves;
+      (* the sequentialised copies, executed in order (temps included) *)
+      let env = Hashtbl.create 16 in
+      for r = 0 to k - 1 do
+        Hashtbl.replace env r (init r)
+      done;
+      List.iter
+        (fun (d, s) ->
+          let v =
+            match s with
+            | Instr.Reg r -> (
+                match Hashtbl.find_opt env r with
+                | Some v -> v
+                | None ->
+                    QCheck.Test.fail_reportf
+                      "sequentialised copy reads uninitialised r%d" r)
+            | Instr.Imm n -> n
+          in
+          Hashtbl.replace env d v)
+        seq;
+      List.for_all
+        (fun r ->
+          if List.mem_assoc r moves then Hashtbl.find env r = par.(r)
+          else Hashtbl.find env r = init r)
+        (List.init k Fun.id))
+
 let suite =
   [
     Alcotest.test_case "construct verifies" `Quick test_construct_verifies;
@@ -326,4 +391,7 @@ let suite =
     Alcotest.test_case "destruct behaviour" `Quick test_destruct_preserves_behaviour;
     Alcotest.test_case "parallel move cycle" `Quick test_parallel_move_cycle;
     Alcotest.test_case "parallel move chain" `Quick test_parallel_move_chain;
+    QCheck_alcotest.to_alcotest
+      ~rand:(Random.State.make [| 0x5eed |])
+      prop_sequentialise_oracle;
   ]
