@@ -910,6 +910,22 @@ let percentile sorted p =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
 
+(* the one request-corpus builder shared by "serve" and "serve-storm":
+   every benched compile request goes through here *)
+let compile_request ?deadline_s ?(trace = true) ?(fuel = 80_000_000) target =
+  let module Proto = Rp_serve.Protocol in
+  {
+    Proto.target;
+    options = { P.default_options with P.fuel; trace };
+    deterministic = true;
+    deadline_s;
+  }
+
+let seed_corpus () =
+  List.map
+    (fun (w : R.workload) -> (w, compile_request (`Workload w.R.name)))
+    R.all
+
 let serve () =
   (* earlier sections (the interpreter sweeps especially) leave a large
      major heap behind; compact so the daemon's latency numbers measure
@@ -932,16 +948,10 @@ let serve () =
       ()
   in
   Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
-  let request (w : R.workload) =
-    {
-      Proto.target = `Workload w.R.name;
-      options = { P.default_options with fuel = 80_000_000; trace = true };
-      deterministic = true;
-    }
-  in
-  let timed_compile c w =
+  let corpus = seed_corpus () in
+  let timed_compile c req =
     let t0 = Unix.gettimeofday () in
-    (match Client.compile c (request w) with
+    (match Client.compile c req with
     | Proto.Report _ -> ()
     | Proto.Error { message; _ } -> failwith ("serve bench: " ^ message)
     | _ -> failwith "serve bench: unexpected reply");
@@ -959,8 +969,8 @@ let serve () =
   let cold, cold_gen480 =
     let c = Client.of_conn (Server.loopback srv) in
     Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-    let seeds = List.map (fun w -> timed_compile c w) R.all in
-    let g = timed_compile c (R.generated 480) in
+    let seeds = List.map (fun (_, req) -> timed_compile c req) corpus in
+    let g = timed_compile c (compile_request (`Workload (R.generated 480).R.name)) in
     (seeds, g)
   in
   let s1 = Rp_serve.Cache.stats (Server.cache srv) in
@@ -974,7 +984,7 @@ let serve () =
             (fun () ->
               let c = Client.of_conn (Server.loopback srv) in
               Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
-              results.(i) <- List.map (fun w -> timed_compile c w) R.all)
+              results.(i) <- List.map (fun (_, req) -> timed_compile c req) corpus)
             ())
     in
     List.iter Thread.join threads;
@@ -1022,6 +1032,506 @@ let serve () =
   Printf.printf "cold gen480 request: %.3f ms (miss; excluded from the rows \
                  above)\n"
     r.sv_cold_gen480_ms
+
+(* ------------------------------------------------------------------ *)
+(* Serve-storm: production-shaped traffic against the event-driven mux
+   daemon.  A ~100k-request mix — repeated warm sources, a unique cold
+   tail, duplicate bursts (single-flight dedup), oversized frames
+   (stream poisoning + reconnect) and sub-millisecond deadlines — is
+   shuffled deterministically and driven over 64 pipelined connections.
+   The summary records the latency distribution, outcome counts, the
+   cache-hit ratio per completion-time decile, and a warm head-to-head
+   against the PR 4 thread-per-connection server on the identical
+   client harness (the mux must win by >=2x at 64 connections). *)
+
+let json_file = "BENCH_promotion.json"
+
+type storm_outcome = O_report | O_cached | O_timeout | O_busy | O_protocol | O_other
+
+type storm_summary = {
+  st_reqs : int;
+  st_duration_s : float;
+  st_rps : float;
+  st_mean_ms : float;
+  st_p50_ms : float;
+  st_p99_ms : float;
+  st_reports : int;
+  st_cached : int;
+  st_timeouts : int;
+  st_busy : int;
+  st_protocol_errors : int;
+  st_other : int;
+  st_dedup_joins : int;
+  st_hit_curve : float array;
+      (** cached share of report-class responses per completion-time
+          decile — the warming trajectory of the cache under load *)
+  st_warm_conns : int;
+  st_warm_reqs : int;
+  st_mux_rps : float;
+  st_threads_rps : float;
+  st_speedup : float;
+}
+
+let storm_results : storm_summary option ref = ref None
+
+(* a tiny distinct MiniC program per index: a global accumulator kept
+   live across a call inside a loop, so promotion has real work, with
+   index-dependent constants so every variant owns a distinct cache key *)
+let tiny_source i =
+  Printf.sprintf
+    "int acc;\n\
+     int step(int a, int b) { int t; t = a * b + %d; acc = acc + t; return t; }\n\
+     int main() { int i; int s = 0;\n\
+    \  for (i = 0; i < 48; i++) { s = s + step(i, %d); }\n\
+    \  print(s + acc); return 0; }\n"
+    i
+    ((i mod 7) + 1)
+
+(* deterministic Fisher-Yates over a seeded LCG: the storm's request
+   interleaving is reproducible run to run *)
+let shuffle seed a =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let rand n =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod n
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let classify_response payload =
+  let has sub = contains_sub payload sub in
+  if has "\"resp\":\"report\"" then
+    if has "\"cached\":true" then O_cached else O_report
+  else if has "\"kind\":\"timeout\"" then O_timeout
+  else if has "\"kind\":\"busy\"" then O_busy
+  else if has "\"kind\":\"protocol_error\"" then O_protocol
+  else O_other
+
+type storm_item =
+  | Req of string * string  (** class label, pre-serialised request payload *)
+  | Overs  (** an oversized length prefix: protocol error, then EOF *)
+
+(* Wrap a conn with a read buffer and a write accumulator (flushed
+   before every buffer refill, so a blocking read never strands queued
+   requests): the client harness then costs ~1 syscall per pipelined
+   burst instead of ~4 per request.  Both engines are driven through
+   the same wrapper — it sharpens the head-to-head, it cannot tilt it. *)
+let buffered_conn (c : Rp_serve.Protocol.conn) : Rp_serve.Protocol.conn =
+  let module Proto = Rp_serve.Protocol in
+  let rbuf = Bytes.create 65536 in
+  let rlen = ref 0 and rpos = ref 0 in
+  let wbuf = Buffer.create 65536 in
+  let flush () =
+    if Buffer.length wbuf > 0 then begin
+      let s = Buffer.to_bytes wbuf in
+      Buffer.clear wbuf;
+      c.Proto.output s 0 (Bytes.length s)
+    end
+  in
+  let input b off want =
+    if !rpos >= !rlen then begin
+      flush ();
+      rlen := c.Proto.input rbuf 0 (Bytes.length rbuf);
+      rpos := 0
+    end;
+    if !rlen = 0 then 0
+    else begin
+      let n = min want (!rlen - !rpos) in
+      Bytes.blit rbuf !rpos b off n;
+      rpos := !rpos + n;
+      n
+    end
+  in
+  let output b off len =
+    Buffer.add_subbytes wbuf b off len;
+    if Buffer.length wbuf >= 32768 then flush ()
+  in
+  {
+    Proto.input;
+    output;
+    close =
+      (fun () ->
+        (try flush () with _ -> ());
+        c.Proto.close ());
+  }
+
+(* Drive one connection through [items], keeping up to [window]
+   requests on the wire and matching responses strictly in order (the
+   mux's per-connection ordering guarantee).  Oversized probes go out
+   only on an empty window: the daemon answers, poisons the stream and
+   closes, so the driver reads the error, sees EOF and reconnects. *)
+let drive_conn ~connect ~items ~record ~window =
+  let module Proto = Rp_serve.Protocol in
+  let connect () = buffered_conn (connect ()) in
+  let conn = ref (connect ()) in
+  let outstanding : (string * float) Queue.t = Queue.create () in
+  let recv_one () =
+    match Proto.read_frame !conn with
+    | Proto.Frame payload ->
+        let cls, t0 = Queue.pop outstanding in
+        record cls payload ((Unix.gettimeofday () -. t0) *. 1000.0)
+    | Proto.Eof | Proto.Bad _ -> failwith "storm: connection died mid-stream"
+  in
+  let drain () =
+    while not (Queue.is_empty outstanding) do
+      recv_one ()
+    done
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Req (cls, payload) ->
+          if Queue.length outstanding >= window then recv_one ();
+          Queue.push (cls, Unix.gettimeofday ()) outstanding;
+          Proto.write_frame !conn payload
+      | Overs ->
+          drain ();
+          let t0 = Unix.gettimeofday () in
+          let hdr = Bytes.create 4 in
+          Bytes.set_int32_be hdr 0 (Int32.of_int (Proto.max_frame + 1));
+          (!conn).Proto.output hdr 0 4;
+          (match Proto.read_frame !conn with
+          | Proto.Frame payload ->
+              record "oversized" payload
+                ((Unix.gettimeofday () -. t0) *. 1000.0)
+          | Proto.Eof | Proto.Bad _ ->
+              failwith "storm: no reply to the oversized frame");
+          (match Proto.read_frame !conn with
+          | Proto.Eof -> ()
+          | Proto.Frame _ | Proto.Bad _ ->
+              failwith "storm: oversized frame did not poison the stream");
+          (!conn).Proto.close ();
+          conn := connect ())
+    items;
+  drain ();
+  (!conn).Proto.close ()
+
+let serve_storm ?(n = 100_000) () =
+  Gc.compact ();
+  rule ();
+  Printf.printf
+    "Serve-storm: %d mixed requests against the event-driven mux daemon\n" n;
+  print_endline
+    " (64 pipelined connections; warm / cold / duplicate / oversized /";
+  print_endline
+    "  deadline classes; then a warm 64-conn mux-vs-threads head-to-head)";
+  rule ();
+  let module Mux = Rp_serve.Mux in
+  let module Server = Rp_serve.Server in
+  let module Proto = Rp_serve.Protocol in
+  let module Client = Rp_serve.Client in
+  let module J = Rp_obs.Json in
+  let getenv_int k dflt =
+    match int_of_string_opt (try Sys.getenv k with Not_found -> "") with
+    | Some v when v > 0 -> v
+    | _ -> dflt
+  in
+  (* env overrides for harness experiments; the defaults are the
+     recorded configuration *)
+  let conns = getenv_int "STORM_CONNS" 64
+  and window = getenv_int "STORM_WINDOW" 16 in
+  (* the byte-identity oracle: a direct pipeline run, computed before
+     any daemon owns the process-global obs state *)
+  let oracle_w = List.hd R.all in
+  let oracle_req = compile_request (`Workload oracle_w.R.name) in
+  let oracle =
+    let _, s =
+      P.run_fresh_json ~label:oracle_w.R.name ~deterministic:true
+        ~options:oracle_req.Rp_serve.Protocol.options oracle_w.R.source
+    in
+    s
+  in
+  (* the traffic mix *)
+  let serialize req =
+    J.to_string ~minify:true (Proto.request_to_json (Proto.Compile req))
+  in
+  let tiny_req i =
+    compile_request ~trace:false ~fuel:10_000_000 (`Source (tiny_source i))
+  in
+  let n_overs = 16 and n_dead = 16 and n_dup = 64 in
+  let n_cold = min 512 (max 32 (n / 16)) in
+  let n_warm = max 0 (n - n_cold - n_dup - n_overs - n_dead) in
+  let warm_payloads =
+    Array.init 24 (fun i -> serialize (tiny_req i))
+  in
+  let dead_payload =
+    serialize
+      (compile_request ~deadline_s:0.001 (`Workload (R.generated 60).R.name))
+  in
+  let items =
+    Array.concat
+      [
+        Array.init n_warm (fun i ->
+            Req ("warm", warm_payloads.(i mod Array.length warm_payloads)));
+        Array.init n_cold (fun i -> Req ("cold", serialize (tiny_req (1000 + i))));
+        Array.init n_dup (fun i -> Req ("dup", serialize (tiny_req (5000 + (i mod 8)))));
+        Array.init n_dead (fun _ -> Req ("deadline", dead_payload));
+        Array.init n_overs (fun _ -> Overs);
+      ]
+  in
+  shuffle 0x5EED1 items;
+  let parts = Array.make conns [] in
+  Array.iteri (fun i it -> parts.(i mod conns) <- it :: parts.(i mod conns)) items;
+  let parts = Array.map List.rev parts in
+  (* the storm proper *)
+  let mux =
+    Mux.create
+      ~config:{ Mux.default_config with Mux.max_inflight = 128 }
+      ()
+  in
+  Mux.start mux;
+  let records = Array.make conns [] in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init conns (fun i ->
+        Thread.create
+          (fun () ->
+            let local = ref [] in
+            drive_conn
+              ~connect:(fun () -> Mux.loopback mux)
+              ~items:parts.(i)
+              ~record:(fun cls payload lat ->
+                local :=
+                  (Unix.gettimeofday (), lat, classify_response payload, cls)
+                  :: !local)
+              ~window;
+            records.(i) <- !local)
+          ())
+  in
+  List.iter Thread.join threads;
+  let duration = Unix.gettimeofday () -. t0 in
+  (* byte identity through the storm-hammered daemon: a fresh miss and
+     a cache hit must both return the oracle's exact bytes *)
+  let oc = Client.of_conn (Mux.loopback mux) in
+  (match Client.compile oc oracle_req with
+  | Proto.Report { cached = false; report } when String.equal report oracle ->
+      ()
+  | Proto.Report { cached; report } ->
+      failwith
+        (Printf.sprintf
+           "storm: fresh report diverged (cached=%b, %d vs %d oracle bytes)"
+           cached (String.length report) (String.length oracle))
+  | _ -> failwith "storm: fresh oracle request failed");
+  (match Client.compile oc oracle_req with
+  | Proto.Report { cached = true; report } when String.equal report oracle ->
+      ()
+  | _ -> failwith "storm: cached oracle reply not byte-identical");
+  Client.close oc;
+  let dedup_joins =
+    let doc = Mux.stats_doc mux in
+    let rec jfind key = function
+      | J.Obj kvs -> (
+          match List.assoc_opt key kvs with
+          | Some v -> Some v
+          | None -> List.find_map (fun (_, v) -> jfind key v) kvs)
+      | J.Arr vs -> List.find_map (jfind key) vs
+      | _ -> None
+    in
+    match jfind "dedup_joins" doc with Some (J.Int i) -> i | _ -> 0
+  in
+  Mux.stop mux;
+  let merged =
+    Array.to_list records |> List.concat
+    |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+  in
+  let lats = Array.of_list (List.map (fun (_, l, _, _) -> l) merged) in
+  Array.sort compare lats;
+  let mean =
+    Array.fold_left ( +. ) 0.0 lats /. float_of_int (max 1 (Array.length lats))
+  in
+  let count o = List.length (List.filter (fun (_, _, x, _) -> x = o) merged) in
+  let hit_curve =
+    let total = List.length merged in
+    let arr = Array.of_list merged in
+    Array.init 10 (fun d ->
+        let lo = d * total / 10 and hi = (d + 1) * total / 10 in
+        let hits = ref 0 and reports = ref 0 in
+        for i = lo to hi - 1 do
+          let _, _, o, _ = arr.(i) in
+          match o with
+          | O_cached ->
+              incr hits;
+              incr reports
+          | O_report -> incr reports
+          | _ -> ()
+        done;
+        if !reports = 0 then 0.0 else float_of_int !hits /. float_of_int !reports)
+  in
+  (* per-class outcome table *)
+  let classes = [ "warm"; "cold"; "dup"; "deadline"; "oversized" ] in
+  Printf.printf "%-10s %8s %8s %8s %8s %8s %8s\n" "class" "reqs" "fresh"
+    "cached" "timeout" "busy" "proto";
+  List.iter
+    (fun cls ->
+      let rows = List.filter (fun (_, _, _, c) -> c = cls) merged in
+      let c o = List.length (List.filter (fun (_, _, x, _) -> x = o) rows) in
+      Printf.printf "%-10s %8d %8d %8d %8d %8d %8d\n" cls (List.length rows)
+        (c O_report) (c O_cached) (c O_timeout) (c O_busy) (c O_protocol))
+    classes;
+  Printf.printf
+    "storm: %d responses in %.2f s (%.0f req/s), p50 %.3f ms, p99 %.3f ms, \
+     %d dedup joins\n"
+    (List.length merged) duration
+    (float_of_int (List.length merged) /. duration)
+    (percentile lats 0.50) (percentile lats 0.99) dedup_joins;
+  Printf.printf "hit curve (cached share per completion decile): %s\n"
+    (String.concat " "
+       (Array.to_list (Array.map (Printf.sprintf "%.2f") hit_curve)));
+  (* warm head-to-head on the identical client harness: prewarmed
+     cache, [conns] connections, window-16 pipelining — the mux versus
+     the PR 4 thread-per-connection server *)
+  let per_conn = max 50 (n / 400) in
+  let warm_reqs =
+    List.init per_conn (fun i ->
+        Req ("warm", warm_payloads.(i mod Array.length warm_payloads)))
+  in
+  let head_to_head connect =
+    (* prewarm: every warm source once, sequentially *)
+    drive_conn ~connect
+      ~items:
+        (Array.to_list (Array.map (fun p -> Req ("warm", p)) warm_payloads))
+      ~record:(fun _ _ _ -> ())
+      ~window:1;
+    let t0 = Unix.gettimeofday () in
+    let threads =
+      List.init conns (fun _ ->
+          Thread.create
+            (fun () ->
+              drive_conn ~connect ~items:warm_reqs
+                ~record:(fun _ payload _ ->
+                  match classify_response payload with
+                  | O_cached -> ()
+                  | _ -> failwith "storm warm64: expected a cached report")
+                ~window)
+            ())
+    in
+    List.iter Thread.join threads;
+    float_of_int (conns * per_conn) /. (Unix.gettimeofday () -. t0)
+  in
+  let mux_rps =
+    let m =
+      Mux.create
+        ~config:{ Mux.default_config with Mux.max_inflight = 128 }
+        ()
+    in
+    Mux.start m;
+    Fun.protect ~finally:(fun () -> Mux.stop m) @@ fun () ->
+    head_to_head (fun () -> Mux.loopback m)
+  in
+  let threads_rps =
+    let srv =
+      Server.create
+        ~config:{ Server.default_config with Server.max_inflight = 128 }
+        ()
+    in
+    Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+    (* same wire transport as the mux — a socketpair per connection,
+       handled the PR 4 way: one dedicated server thread per conn *)
+    let threaded_loopback () =
+      let server_fd, client_fd =
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+      in
+      ignore
+        (Thread.create
+           (fun () -> Server.handle_conn srv (Proto.conn_of_fd server_fd))
+           ());
+      Proto.conn_of_fd client_fd
+    in
+    head_to_head threaded_loopback
+  in
+  let speedup = if threads_rps <= 0.0 then 0.0 else mux_rps /. threads_rps in
+  Printf.printf
+    "warm64 head-to-head (%d conns x %d reqs): mux %.0f req/s, threads %.0f \
+     req/s — %.2fx\n"
+    conns per_conn mux_rps threads_rps speedup;
+  storm_results :=
+    Some
+      {
+        st_reqs = List.length merged;
+        st_duration_s = duration;
+        st_rps = float_of_int (List.length merged) /. duration;
+        st_mean_ms = mean;
+        st_p50_ms = percentile lats 0.50;
+        st_p99_ms = percentile lats 0.99;
+        st_reports = count O_report;
+        st_cached = count O_cached;
+        st_timeouts = count O_timeout;
+        st_busy = count O_busy;
+        st_protocol_errors = count O_protocol;
+        st_other = count O_other;
+        st_dedup_joins = dedup_joins;
+        st_hit_curve = hit_curve;
+        st_warm_conns = conns;
+        st_warm_reqs = conns * per_conn;
+        st_mux_rps = mux_rps;
+        st_threads_rps = threads_rps;
+        st_speedup = speedup;
+      }
+
+(* Storm regression gate (CI, opt-in): the warm 64-connection
+   head-to-head just measured must keep the mux ahead of the threaded
+   server by >=1.5x (the committed artifact shows >=2x; 1.5 absorbs CI
+   runner noise) and within 3x of the committed artifact's absolute
+   mux throughput.  Reads the committed BENCH_promotion.json, so it
+   must run before "json" rewrites it. *)
+let storm_gate () =
+  rule ();
+  print_endline
+    "Storm-gate: warm64 mux-vs-threads throughput vs the committed artifact";
+  rule ();
+  let module J = Rp_obs.Json in
+  let fail msg =
+    Printf.printf "storm-gate FAILED: %s\n" msg;
+    exit 1
+  in
+  let r =
+    match !storm_results with
+    | Some r -> r
+    | None -> fail "serve-storm did not run in this invocation"
+  in
+  let assoc k = function J.Obj l -> List.assoc_opt k l | _ -> None in
+  let num = function
+    | Some (J.Float f) -> Some f
+    | Some (J.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let committed_rps =
+    let text =
+      try In_channel.with_open_text json_file In_channel.input_all
+      with Sys_error e -> fail ("cannot read " ^ json_file ^ ": " ^ e)
+    in
+    match J.parse text with
+    | Error e -> fail (json_file ^ ": " ^ e)
+    | Ok doc -> (
+        match assoc "serve_storm" doc with
+        | Some (J.Obj _ as storm) -> (
+            match num (assoc "mux_req_per_s" (Option.value ~default:J.Null (assoc "warm64" storm))) with
+            | Some v -> v
+            | None -> fail (json_file ^ ": serve_storm.warm64 lacks mux_req_per_s"))
+        | _ -> fail (json_file ^ ": no serve_storm section"))
+  in
+  Printf.printf
+    "warm64: fresh mux %.0f req/s vs threads %.0f req/s (%.2fx); committed \
+     mux %.0f req/s\n"
+    r.st_mux_rps r.st_threads_rps r.st_speedup committed_rps;
+  if r.st_speedup < 1.5 then
+    fail
+      (Printf.sprintf "mux speedup %.2fx over the threaded server is below 1.5x"
+         r.st_speedup);
+  if r.st_mux_rps < committed_rps /. 3.0 then
+    fail
+      (Printf.sprintf "mux %.0f req/s is below a third of the committed %.0f"
+         r.st_mux_rps committed_rps);
+  print_endline "storm-gate passed"
 
 (* ------------------------------------------------------------------ *)
 (* Golden check: the seed workloads' static load/store counts.  These
@@ -1128,8 +1638,6 @@ let pressure_golden () =
 (* ------------------------------------------------------------------ *)
 (* JSON artifact: the per-workload table data of Tables 1/2, machine
    readable — the file the repo's bench trajectory is built from. *)
-
-let json_file = "BENCH_promotion.json"
 
 (* ------------------------------------------------------------------ *)
 (* Regression gate: fresh gen240 profile+measure wall clock against
@@ -1480,6 +1988,44 @@ let json_artifact () =
                   ( "warm_speedup",
                     J.Float (r.sv_cold_mean_ms /. r.sv_warm_mean_ms) );
                 ] );
+        ( "serve_storm",
+          (* filled when the "serve-storm" artifact ran in this invocation *)
+          match !storm_results with
+          | None -> J.Null
+          | Some r ->
+              J.Obj
+                [
+                  ("requests", J.Int r.st_reqs);
+                  ("duration_s", J.Float r.st_duration_s);
+                  ("req_per_s", J.Float r.st_rps);
+                  ("mean_ms", J.Float r.st_mean_ms);
+                  ("p50_ms", J.Float r.st_p50_ms);
+                  ("p99_ms", J.Float r.st_p99_ms);
+                  ( "outcomes",
+                    J.Obj
+                      [
+                        ("report", J.Int r.st_reports);
+                        ("cached", J.Int r.st_cached);
+                        ("timeout", J.Int r.st_timeouts);
+                        ("busy", J.Int r.st_busy);
+                        ("protocol_error", J.Int r.st_protocol_errors);
+                        ("other", J.Int r.st_other);
+                        ("dedup_joins", J.Int r.st_dedup_joins);
+                      ] );
+                  ( "hit_curve",
+                    J.Arr
+                      (Array.to_list
+                         (Array.map (fun x -> J.Float x) r.st_hit_curve)) );
+                  ( "warm64",
+                    J.Obj
+                      [
+                        ("conns", J.Int r.st_warm_conns);
+                        ("requests", J.Int r.st_warm_reqs);
+                        ("mux_req_per_s", J.Float r.st_mux_rps);
+                        ("threads_req_per_s", J.Float r.st_threads_rps);
+                        ("speedup", J.Float r.st_speedup);
+                      ] );
+                ] );
       ]
   in
   Out_channel.with_open_text json_file (fun oc ->
@@ -1576,10 +2122,21 @@ let () =
     gen (if gen_sizes = [] then default_gen_sizes else gen_sizes);
   if want "interp" then interp ();
   if want "serve" then serve ();
-  (* opt-in CI gates, not part of the default sweep; "gate" reads the
-     committed artifact, so it must run before "json" rewrites it *)
+  (* serve-storm is opt-in (it pushes ~100k requests); a bare number
+     names the request count when "gen" is not also requested *)
+  if List.mem "serve-storm" args then
+    serve_storm
+      ~n:
+        (match gen_sizes with
+        | n :: _ when not (List.mem "gen" args) -> n
+        | _ -> 100_000)
+      ();
+  (* opt-in CI gates, not part of the default sweep; "gate" and
+     "storm-gate" read the committed artifact, so they must run before
+     "json" rewrites it *)
   if List.mem "gate" args then gate ();
   if List.mem "rgate" args then rgate ();
+  if List.mem "storm-gate" args then storm_gate ();
   if want "json" then json_artifact ();
   if List.mem "golden" args then golden ();
   if List.mem "pressure" args then pressure_golden ();

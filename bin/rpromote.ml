@@ -259,9 +259,11 @@ let cmd_workloads () =
 
 module Server = Rp_serve.Server
 module Client = Rp_serve.Client
+module Mux = Rp_serve.Mux
 module Proto = Rp_serve.Protocol
 
-let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
+let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries
+    cache_dir store_mb shards =
  guarded @@ fun () ->
   if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   if max_inflight < 1 then
@@ -270,26 +272,69 @@ let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries =
   if cache_mb < 0 then raise (Usage_error "--cache-mb must not be negative");
   if cache_entries < 0 then
     raise (Usage_error "--cache-entries must not be negative");
-  let srv =
-    Server.create
-      ~config:
-        {
-          Server.jobs;
-          max_inflight;
-          deadline_s = deadline;
-          cache_max_bytes = cache_mb * 1024 * 1024;
-          cache_max_entries = cache_entries;
-        }
-      ()
+  if store_mb < 0 then raise (Usage_error "--store-mb must not be negative");
+  if shards < 1 then raise (Usage_error "--shards must be at least 1");
+  let mk_config ~cache_dir =
+    {
+      Mux.jobs;
+      max_inflight;
+      deadline_s = deadline;
+      cache_max_bytes = cache_mb * 1024 * 1024;
+      cache_max_entries = cache_entries;
+      cache_dir;
+      store_max_bytes = store_mb * 1024 * 1024;
+      wq_high_water = Mux.default_config.Mux.wq_high_water;
+      max_pipeline = Mux.default_config.Mux.max_pipeline;
+    }
   in
-  Printf.eprintf "rpromote: serving on %s\n%!" socket;
-  Server.serve_unix srv ~path:socket;
-  Printf.eprintf "rpromote: daemon stopped\n%!";
-  0
+  if shards = 1 then begin
+    let m = Mux.create ~config:(mk_config ~cache_dir) () in
+    Printf.eprintf "rpromote: serving on %s\n%!" socket;
+    Mux.serve_unix m ~path:socket;
+    Printf.eprintf "rpromote: daemon stopped\n%!";
+    0
+  end
+  else begin
+    let shard_path i = Printf.sprintf "%s.shard%d" socket i in
+    (* shard children must fork before this process creates any domain
+       (forking a multi-domain OCaml runtime is unsupported), so the
+       router's own Mux is created only after every fork *)
+    let pids =
+      List.init shards (fun i ->
+          match Unix.fork () with
+          | 0 ->
+              let cache_dir =
+                Option.map
+                  (fun d -> Filename.concat d (Printf.sprintf "shard%d" i))
+                  cache_dir
+              in
+              let m = Mux.create ~config:(mk_config ~cache_dir) () in
+              Mux.serve_unix m ~path:(shard_path i);
+              Stdlib.exit 0
+          | pid -> pid)
+    in
+    let router =
+      Mux.create
+        ~shards:(Array.init shards shard_path)
+        ~config:
+          {
+            (mk_config ~cache_dir:None) with
+            Mux.max_inflight = max_inflight * shards;
+          }
+        ()
+    in
+    Printf.eprintf "rpromote: serving on %s (%d shards)\n%!" socket shards;
+    Mux.serve_unix router ~path:socket;
+    List.iter
+      (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      pids;
+    Printf.eprintf "rpromote: daemon stopped\n%!";
+    0
+  end
 
 let cmd_client socket path op fuel profile static_profile no_store_removal
     singleton_deref engine min_profit regs spill_order json deterministic
-    interp =
+    interp deadline =
  guarded @@ fun () ->
   let with_client f =
     let c = Client.connect ~path:socket in
@@ -336,7 +381,7 @@ let cmd_client socket path op fuel profile static_profile no_store_removal
           ~checkpoints:false ~trace:true ~jobs:1 ~interp ()
       in
       with_client @@ fun c ->
-      match Client.compile c { Proto.target; options; deterministic } with
+      match Client.compile c { Proto.target; options; deterministic; deadline_s = deadline } with
       | Proto.Report { cached; report } ->
           (match json with
           | "-" -> print_string report
@@ -553,14 +598,14 @@ let serve_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int Rp_serve.Server.default_config.Rp_serve.Server.jobs
+      value & opt int Rp_serve.Mux.default_config.Rp_serve.Mux.jobs
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:"Worker-pool parallelism for compile requests.")
   in
   let max_inflight =
     Arg.(
       value
-      & opt int Rp_serve.Server.default_config.Rp_serve.Server.max_inflight
+      & opt int Rp_serve.Mux.default_config.Rp_serve.Mux.max_inflight
       & info [ "max-inflight" ] ~docv:"N"
           ~doc:
             "Shed compile requests (with a $(i,busy) error) beyond $(docv) \
@@ -569,7 +614,7 @@ let serve_cmd =
   let deadline =
     Arg.(
       value
-      & opt float Rp_serve.Server.default_config.Rp_serve.Server.deadline_s
+      & opt float Rp_serve.Mux.default_config.Rp_serve.Mux.deadline_s
       & info [ "deadline" ] ~docv:"SECONDS"
           ~doc:
             "Per-request compile deadline; an expired request is answered \
@@ -584,15 +629,44 @@ let serve_cmd =
   let cache_entries =
     Arg.(
       value
-      & opt int Rp_serve.Server.default_config.Rp_serve.Server.cache_max_entries
+      & opt int Rp_serve.Mux.default_config.Rp_serve.Mux.cache_max_entries
       & info [ "cache-entries" ] ~docv:"N"
           ~doc:"Result cache entry bound.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info "RPROMOTE_CACHE_DIR")
+          ~doc:
+            "Persistent result-cache directory (created if missing): \
+             deterministic reports are written through to digest-keyed \
+             files, so warm hits survive a daemon restart. Off by default \
+             (pure in-memory cache). With $(b,--shards), each shard keeps \
+             its own subdirectory.")
+  in
+  let store_mb =
+    Arg.(
+      value & opt int 256
+      & info [ "store-mb" ] ~docv:"MIB"
+          ~doc:"Persistent store budget in MiB (with $(b,--cache-dir)).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Fork $(docv) shard daemons and route each compile by its \
+             content digest, so cache residency partitions cleanly. The \
+             main socket becomes a router; shard $(i,i) listens on \
+             $(i,SOCKET).shard$(i,i).")
   in
   Cmd.v
     (Cmd.info "serve" ~doc ~man ~exits)
     Term.(
       const cmd_serve $ socket_arg $ jobs $ max_inflight $ deadline $ cache_mb
-      $ cache_entries)
+      $ cache_entries $ cache_dir $ store_mb $ shards)
 
 let client_cmd =
   let doc = "compile through a running daemon" in
@@ -676,13 +750,23 @@ let client_cmd =
              $(b,rpromote promote --deterministic --json -) run of the same \
              input and flags.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request deadline override; the daemon answers $(i,timeout) \
+             if the compile is not done in time. Defaults to the daemon's \
+             own deadline; 0 waits forever.")
+  in
   Cmd.v
     (Cmd.info "client" ~doc ~exits)
     Term.(
       const cmd_client $ socket_arg $ file $ op $ fuel_arg $ profile_arg
       $ static_profile $ no_store_removal $ singleton_deref $ engine
       $ min_profit $ regs_arg $ spill_order_arg $ json $ deterministic
-      $ interp_arg)
+      $ interp_arg $ deadline)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in

@@ -1,7 +1,13 @@
 (* Bounded LRU keyed by content digest: a hash table from key to an
    intrusive doubly-linked node, with the list kept in recency order
    (head = most recent).  Every operation is O(1); eviction pops the
-   tail until the byte and entry bounds hold. *)
+   tail until the byte and entry bounds hold.
+
+   An optional persistent Store tier sits underneath: memory misses
+   fall through to the store, store hits are promoted back into the
+   memory LRU, and inserts write through so warm entries survive a
+   restart.  Without a store the behaviour is exactly the historical
+   in-memory cache. *)
 
 module J = Rp_obs.Json
 
@@ -24,6 +30,8 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  store : Store.t option;
+  mutable store_hits : int;
 }
 
 (* hashtable + list-node bookkeeping, amortised per entry *)
@@ -31,7 +39,7 @@ let overhead = 64
 
 let cost ~key ~value = String.length key + String.length value + overhead
 
-let create ?(max_bytes = 64 * 1024 * 1024) ?(max_entries = 4096) () =
+let create ?(max_bytes = 64 * 1024 * 1024) ?(max_entries = 4096) ?store () =
   {
     m = Mutex.create ();
     tbl = Hashtbl.create 64;
@@ -44,7 +52,11 @@ let create ?(max_bytes = 64 * 1024 * 1024) ?(max_entries = 4096) () =
     hits = 0;
     misses = 0;
     evictions = 0;
+    store;
+    store_hits = 0;
   }
+
+let store c = c.store
 
 let locked c f =
   Mutex.lock c.m;
@@ -97,22 +109,9 @@ let evict_to_bounds c =
 
 (* ---- public operations ---- *)
 
-let find c k =
-  locked c @@ fun () ->
-  match Hashtbl.find_opt c.tbl k with
-  | Some n ->
-      c.hits <- c.hits + 1;
-      unlink c n;
-      push_front c n;
-      Some n.value
-  | None ->
-      c.misses <- c.misses + 1;
-      None
-
-let add c ~key:k value =
-  locked c @@ fun () ->
-  (* an entry no budget can hold is not cached (and cannot be allowed
-     to flush the whole cache on the way through) *)
+(* insert without counting a miss/hit: promotion of a store hit into
+   the memory tier (call with the lock held) *)
+let insert c k value =
   if cost ~key:k ~value <= c.max_bytes && c.max_entries > 0 then begin
     (match Hashtbl.find_opt c.tbl k with Some old -> drop c old | None -> ());
     let n = { nkey = k; value; prev = None; next = None } in
@@ -122,6 +121,39 @@ let add c ~key:k value =
     c.entries <- c.entries + 1;
     evict_to_bounds c
   end
+
+let find c k =
+  locked c @@ fun () ->
+  match Hashtbl.find_opt c.tbl k with
+  | Some n ->
+      c.hits <- c.hits + 1;
+      unlink c n;
+      push_front c n;
+      Some n.value
+  | None -> (
+      match c.store with
+      | None ->
+          c.misses <- c.misses + 1;
+          None
+      | Some st -> (
+          match Store.find st k with
+          | Some value ->
+              (* persistent hit: promote into the memory LRU so the
+                 next lookup is pure memory *)
+              c.store_hits <- c.store_hits + 1;
+              insert c k value;
+              Some value
+          | None ->
+              c.misses <- c.misses + 1;
+              None))
+
+let add c ~key:k value =
+  locked c @@ fun () ->
+  (* an entry no budget can hold is not cached (and cannot be allowed
+     to flush the whole cache on the way through) *)
+  insert c k value;
+  (* write through: the store applies its own budget rule *)
+  match c.store with None -> () | Some st -> Store.add st ~key:k value
 
 let clear c =
   locked c @@ fun () ->
@@ -139,6 +171,7 @@ type stats = {
   bytes : int;
   max_bytes : int;
   max_entries : int;
+  store_hits : int;
 }
 
 let stats c =
@@ -151,6 +184,7 @@ let stats c =
     bytes = c.bytes;
     max_bytes = c.max_bytes;
     max_entries = c.max_entries;
+    store_hits = c.store_hits;
   }
 
 let keys_mru c =
@@ -170,17 +204,23 @@ let publish_metrics c =
 
 let stats_json c =
   let s = stats c in
+  let lookups = s.hits + s.store_hits + s.misses in
   J.Obj
-    [
-      ("hits", J.Int s.hits);
-      ("misses", J.Int s.misses);
-      ("evictions", J.Int s.evictions);
-      ("entries", J.Int s.entries);
-      ("bytes", J.Int s.bytes);
-      ("max_bytes", J.Int s.max_bytes);
-      ("max_entries", J.Int s.max_entries);
-      ( "hit_ratio",
-        if s.hits + s.misses = 0 then J.Null
-        else J.Float (float_of_int s.hits /. float_of_int (s.hits + s.misses))
-      );
-    ]
+    ([
+       ("hits", J.Int s.hits);
+       ("misses", J.Int s.misses);
+       ("evictions", J.Int s.evictions);
+       ("entries", J.Int s.entries);
+       ("bytes", J.Int s.bytes);
+       ("max_bytes", J.Int s.max_bytes);
+       ("max_entries", J.Int s.max_entries);
+       ("store_hits", J.Int s.store_hits);
+       ( "hit_ratio",
+         if lookups = 0 then J.Null
+         else
+           J.Float
+             (float_of_int (s.hits + s.store_hits) /. float_of_int lookups) );
+     ]
+    @ match c.store with
+      | None -> []
+      | Some st -> [ ("store", Store.stats_json st) ])

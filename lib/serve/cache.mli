@@ -26,8 +26,14 @@ type t
 
 (** [create ~max_bytes ~max_entries ()] — defaults: 64 MiB, 4096
     entries. [max_bytes] is clamped to at least 0; a cache created
-    with [max_bytes = 0] caches nothing. *)
-val create : ?max_bytes:int -> ?max_entries:int -> unit -> t
+    with [max_bytes = 0] caches nothing.  An optional [store] layers a
+    persistent tier underneath: memory misses fall through to it,
+    store hits are promoted back into the memory LRU, and {!add}
+    writes through, so warm entries survive a restart.  Without a
+    store, behaviour is the historical pure in-memory cache. *)
+val create : ?max_bytes:int -> ?max_entries:int -> ?store:Store.t -> unit -> t
+
+val store : t -> Store.t option
 
 (** Digest of (source, option fingerprint, report schema version,
     label, deterministic flag): the content address of one compile
@@ -48,13 +54,14 @@ val add : t -> key:string -> string -> unit
 val clear : t -> unit
 
 type stats = {
-  hits : int;
-  misses : int;
+  hits : int;  (** memory-tier hits *)
+  misses : int;  (** both tiers missed *)
   evictions : int;
   entries : int;
   bytes : int;  (** current accounted size *)
   max_bytes : int;
   max_entries : int;
+  store_hits : int;  (** memory missed, persistent tier hit *)
 }
 
 val stats : t -> stats

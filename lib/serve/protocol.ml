@@ -86,6 +86,11 @@ type compile = {
   target : [ `Source of string | `Workload of string ];
   options : P.options;
   deterministic : bool;
+  deadline_s : float option;
+      (* per-request deadline override; None means the server default.
+         Deliberately not part of options: it must never enter the
+         cache key (the same inputs produce the same report no matter
+         how long the client was willing to wait). *)
 }
 
 type request = Compile of compile | Ping | Stats | Shutdown
@@ -287,7 +292,11 @@ let request_to_json (r : request) : J.t =
         @ [
             ("options", options_to_json c.options);
             ("deterministic", J.Bool c.deterministic);
-          ])
+          ]
+        @
+        match c.deadline_s with
+        | None -> []
+        | Some d -> [ ("deadline_s", J.Float d) ])
 
 let check_version v =
   match J.member v "v" with
@@ -318,9 +327,11 @@ let request_of_json (v : J.t) : (request, string) result =
         | None -> Ok P.default_options
         | Some o -> options_of_json o
       in
-      match take false (field v "deterministic" as_bool) with
+      let* deterministic = take false (field v "deterministic" as_bool) in
+      match take None (field v "deadline_s" (fun j -> Option.map Option.some (as_float j))) with
       | Error m -> Error m
-      | Ok deterministic -> Ok (Compile { target; options; deterministic }))
+      | Ok deadline_s ->
+          Ok (Compile { target; options; deterministic; deadline_s }))
   | Some (J.Str other) -> Error (Printf.sprintf "unknown request %S" other)
   | Some _ -> Error "field \"req\" is not a string"
   | None -> Error "missing request field \"req\""

@@ -61,6 +61,12 @@ type compile = {
           resolved by the server *)
   options : Rp_core.Pipeline.options;  (** the full pipeline options record *)
   deterministic : bool;  (** zero every clock in the report *)
+  deadline_s : float option;
+      (** per-request deadline override ([None] = server default;
+          [Some 0.] = wait forever).  Not part of [options] and never
+          part of the cache key: identical inputs yield identical
+          reports regardless of how long the client would wait.
+          Optional on the wire, so older clients remain valid. *)
 }
 
 type request = Compile of compile | Ping | Stats | Shutdown

@@ -86,7 +86,7 @@ let create ?(config = default_config) () =
       };
     inflight = 0;
     stopping = Atomic.make false;
-    obs_lock = Mutex.create ();
+    obs_lock = Obs_guard.lock;
     conns = Hashtbl.create 16;
     next_conn = 0;
     threads = Hashtbl.create 16;
@@ -284,6 +284,12 @@ let handle_compile srv (c : Protocol.compile) : Protocol.response =
                 }
           | `Go -> (
               let t0 = Unix.gettimeofday () in
+              let deadline_s =
+                (* per-request override beats the server default *)
+                match c.Protocol.deadline_s with
+                | Some d -> d
+                | None -> srv.cfg.deadline_s
+              in
               let fut =
                 Pool.submit srv.pool (fun () ->
                     Fun.protect
@@ -291,7 +297,7 @@ let handle_compile srv (c : Protocol.compile) : Protocol.response =
                         locked srv (fun () -> srv.inflight <- srv.inflight - 1))
                       (compile_task srv ~label ~source ~deterministic options))
               in
-              match await_within fut ~deadline_s:srv.cfg.deadline_s ~t0 with
+              match await_within fut ~deadline_s ~t0 with
               | `Finished (Ok s) ->
                   locked srv (fun () ->
                       srv.counters.resp_report <- srv.counters.resp_report + 1);
@@ -307,7 +313,7 @@ let handle_compile srv (c : Protocol.compile) : Protocol.response =
                         Printf.sprintf
                           "deadline of %.3f s expired; the compile continues \
                            in the background and will populate the cache"
-                          srv.cfg.deadline_s;
+                          deadline_s;
                     })))
 
 (* ------------------------------------------------------------------ *)

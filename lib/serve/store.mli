@@ -1,0 +1,55 @@
+(** Persistent content-addressed cache tier: one file per report under
+    a cache directory, layered beneath the in-memory {!Cache} LRU so
+    warm hits survive daemon restarts.
+
+    Layout: a value for key [k] (a hex digest from {!Cache.key}) lives
+    at [<dir>/<k>.rpc].  Writes land in a unique [<k>.tmp.<pid>.<n>]
+    first and are renamed into place — rename is atomic on POSIX, so a
+    crash mid-write never leaves a torn value under a live name.
+    {!open_dir} sweeps leftover temporaries (counted in [swept]),
+    rebuilds the index from surviving files, and seeds the recency
+    order from file mtimes, oldest first.
+
+    Byte accounting charges value bytes plus filename (key) bytes plus
+    a fixed per-file overhead estimate, mirroring the in-memory
+    cache's honesty rule; exceeding [max_bytes] unlinks
+    least-recently-used files.  A single mutex guards every operation;
+    file reads and writes happen under it (values are single reports,
+    so the critical sections stay short). *)
+
+type t
+
+(** Create or reopen a store rooted at [dir] (created, with parents,
+    if missing).  Default [max_bytes]: 256 MiB. *)
+val open_dir : ?max_bytes:int -> string -> t
+
+val dir : t -> string
+
+(** Lookup; a hit reads the file and refreshes recency.  A file that
+    vanished or tore underneath the index is dropped and counted in
+    [errors] (the lookup then misses). *)
+val find : t -> string -> string option
+
+(** Write-through insert.  Same key implies same content (the key is a
+    digest of the inputs), so re-adding only refreshes recency.  Keys
+    must be lowercase hex; anything else is ignored, as is a value
+    whose cost exceeds the whole budget. *)
+val add : t -> key:string -> string -> unit
+
+(** Most- to least-recently-used, i.e. reverse eviction order. *)
+val keys_mru : t -> string list
+
+type stats = {
+  entries : int;
+  bytes : int;  (** accounted, including key and overhead charges *)
+  max_bytes : int;
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  errors : int;  (** vanished/torn files dropped, failed writes *)
+  swept : int;  (** stale temporaries removed at {!open_dir} *)
+}
+
+val stats : t -> stats
+val stats_json : t -> Rp_obs.Json.t

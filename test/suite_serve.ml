@@ -156,7 +156,7 @@ let gen_request : Proto.request G.t =
           map (fun s -> `Workload s) (oneofl [ "go"; "li"; "compr"; "nope" ]);
         ]
     in
-    return (Proto.Compile { Proto.target; options; deterministic })
+    return (Proto.Compile { Proto.target; options; deterministic; deadline_s = None })
   in
   oneof
     [
@@ -318,6 +318,153 @@ let test_cache_key_distinct () =
   Alcotest.(check string) "key stable" k
     (Cache.key ~source:"s" ~options_fp:(fp o) ~label:"l" ~deterministic:true)
 
+let test_cache_key_bytes_bounded () =
+  (* key bytes are part of every entry's cost: long keys with tiny
+     values must still respect the byte budget.  cost = 100 + 1 + 64 =
+     165, so a 1000-byte budget holds at most 6 entries no matter how
+     small the values are. *)
+  let c = Cache.create ~max_bytes:1000 ~max_entries:1000 () in
+  for i = 0 to 49 do
+    let key = Printf.sprintf "%0100d" i in
+    Cache.add c ~key "v"
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check bool)
+    (Printf.sprintf "accounted bytes %d within budget" s.Cache.bytes)
+    true
+    (s.Cache.bytes <= 1000);
+  Alcotest.(check int) "key bytes keep the entry count down" 6 s.Cache.entries;
+  Alcotest.(check int) "everything beyond the budget was evicted" 44
+    s.Cache.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Store: the persistent tier, against real temp directories *)
+
+module Store = Rp_serve.Store
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp_store_test_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* lowercase-hex keys, as Cache.key produces *)
+let hkey i = Printf.sprintf "%032x" i
+
+let test_store_roundtrip_restart () =
+  with_tmp_dir @@ fun dir ->
+  let st = Store.open_dir dir in
+  Alcotest.(check (option string)) "cold miss" None (Store.find st (hkey 1));
+  Store.add st ~key:(hkey 1) "one";
+  Store.add st ~key:(hkey 2) "two";
+  Alcotest.(check (option string)) "hit" (Some "one") (Store.find st (hkey 1));
+  Store.add st ~key:(hkey 1) "one";
+  Alcotest.(check int) "same-key re-add refreshes, not rewrites" 2
+    (Store.stats st).Store.entries;
+  (* a second open of the same directory must see both values: this is
+     the restart-persistence contract *)
+  let st2 = Store.open_dir dir in
+  Alcotest.(check (option string)) "survives reopen" (Some "one")
+    (Store.find st2 (hkey 1));
+  Alcotest.(check (option string)) "survives reopen (2)" (Some "two")
+    (Store.find st2 (hkey 2));
+  Alcotest.(check int) "index rebuilt" 2 (Store.stats st2).Store.entries
+
+let test_store_sweeps_temporaries () =
+  with_tmp_dir @@ fun dir ->
+  let st = Store.open_dir dir in
+  Store.add st ~key:(hkey 7) "kept";
+  (* a crash mid-write leaves a temporary behind; reopening must
+     remove it and keep the committed value *)
+  let tmp = Filename.concat dir (hkey 8 ^ ".tmp.12345.0") in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc "junk");
+  let st2 = Store.open_dir dir in
+  Alcotest.(check int) "temporary swept" 1 (Store.stats st2).Store.swept;
+  Alcotest.(check bool) "temporary gone" false (Sys.file_exists tmp);
+  Alcotest.(check (option string)) "committed value kept" (Some "kept")
+    (Store.find st2 (hkey 7))
+
+let test_store_eviction () =
+  with_tmp_dir @@ fun dir ->
+  (* per-entry cost: 64 value + 32 key + 4 ext + 256 overhead = 356 *)
+  let st = Store.open_dir ~max_bytes:(3 * 356) dir in
+  let v = String.make 64 'x' in
+  List.iter (fun i -> Store.add st ~key:(hkey i) v) [ 1; 2; 3; 4 ];
+  let s = Store.stats st in
+  Alcotest.(check int) "evicted to bound" 3 s.Store.entries;
+  Alcotest.(check int) "eviction counted" 1 s.Store.evictions;
+  Alcotest.(check (list string)) "LRU file went first"
+    [ hkey 4; hkey 3; hkey 2 ]
+    (Store.keys_mru st);
+  Alcotest.(check bool) "evicted file unlinked" false
+    (Sys.file_exists (Filename.concat dir (hkey 1 ^ ".rpc")))
+
+let test_store_torn_file () =
+  with_tmp_dir @@ fun dir ->
+  let st = Store.open_dir dir in
+  Store.add st ~key:(hkey 5) "full value";
+  (* truncate the file behind the index's back: the read must detect
+     the size mismatch, drop the entry and miss — never serve a torn
+     value *)
+  Out_channel.with_open_bin
+    (Filename.concat dir (hkey 5 ^ ".rpc"))
+    (fun oc -> Out_channel.output_string oc "torn");
+  Alcotest.(check (option string)) "torn value not served" None
+    (Store.find st (hkey 5));
+  let s = Store.stats st in
+  Alcotest.(check int) "error counted" 1 s.Store.errors;
+  Alcotest.(check int) "entry dropped" 0 s.Store.entries
+
+let test_store_rejects_bad_keys () =
+  with_tmp_dir @@ fun dir ->
+  let st = Store.open_dir dir in
+  (* non-hex keys could escape the directory; they must be ignored *)
+  Store.add st ~key:"../../etc/passwd" "evil";
+  Store.add st ~key:"UPPER" "evil";
+  Store.add st ~key:"" "evil";
+  Alcotest.(check int) "nothing stored" 0 (Store.stats st).Store.entries;
+  Alcotest.(check (option string)) "nothing served" None
+    (Store.find st "../../etc/passwd")
+
+let test_cache_store_layering () =
+  with_tmp_dir @@ fun dir ->
+  (* write-through: an add lands in both tiers *)
+  let st = Store.open_dir dir in
+  let c = Cache.create ~max_bytes:10_000 ~max_entries:8 ~store:st () in
+  Cache.add c ~key:(hkey 1) "report-bytes";
+  Alcotest.(check (option string)) "write-through to disk"
+    (Some "report-bytes")
+    (Store.find st (hkey 1));
+  (* a fresh in-memory cache over the same directory starts cold but
+     promotes from the persistent tier: memory misses, store hits *)
+  let st2 = Store.open_dir dir in
+  let c2 = Cache.create ~max_bytes:10_000 ~max_entries:8 ~store:st2 () in
+  Alcotest.(check (option string)) "promoted from the store"
+    (Some "report-bytes")
+    (Cache.find c2 (hkey 1));
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "counted as a store hit" 1 s.Cache.store_hits;
+  Alcotest.(check int) "not a memory hit" 0 s.Cache.hits;
+  (* now resident: the second lookup is a pure memory hit *)
+  Alcotest.(check (option string)) "second lookup from memory"
+    (Some "report-bytes")
+    (Cache.find c2 (hkey 1));
+  Alcotest.(check int) "memory hit counted" 1 (Cache.stats c2).Cache.hits;
+  (* a store-less cache keeps the historical counting exactly *)
+  Alcotest.(check int) "store absent by default" 0
+    (Cache.stats (Cache.create ())).Cache.store_hits
+
 (* ------------------------------------------------------------------ *)
 (* Cache: differential oracle against a naive assoc-list LRU *)
 
@@ -429,5 +576,16 @@ let suite =
       test_cache_byte_eviction;
     Alcotest.test_case "cache oversized entry" `Quick test_cache_oversized;
     Alcotest.test_case "cache keys distinct" `Quick test_cache_key_distinct;
+    Alcotest.test_case "cache key bytes bounded" `Quick
+      test_cache_key_bytes_bounded;
+    Alcotest.test_case "store round trip and restart" `Quick
+      test_store_roundtrip_restart;
+    Alcotest.test_case "store sweeps temporaries" `Quick
+      test_store_sweeps_temporaries;
+    Alcotest.test_case "store eviction" `Quick test_store_eviction;
+    Alcotest.test_case "store torn file" `Quick test_store_torn_file;
+    Alcotest.test_case "store rejects bad keys" `Quick
+      test_store_rejects_bad_keys;
+    Alcotest.test_case "cache-store layering" `Quick test_cache_store_layering;
     qtest prop_cache_matches_model;
   ]

@@ -15,7 +15,7 @@ module R = Rp_workloads.Registry
 let options = { P.default_options with trace = true }
 
 let request (w : R.workload) =
-  { Proto.target = `Workload w.R.name; options; deterministic = true }
+  { Proto.target = `Workload w.R.name; options; deterministic = true; deadline_s = None }
 
 let with_server ?config f =
   let srv = Server.create ?config () in
@@ -109,7 +109,7 @@ let test_poisoned () =
   (match
      Client.compile c
        { Proto.target = `Source "int main() { return $; }";
-         options; deterministic = true }
+         options; deterministic = true; deadline_s = None }
    with
   | Proto.Error { kind = Proto.Bad_input; _ } -> ()
   | r -> Alcotest.failf "poisoned request: %s" (response_label r));
@@ -117,7 +117,7 @@ let test_poisoned () =
   (match
      Client.compile c
        { Proto.target = `Source "int main() { return 0; }";
-         options; deterministic = true }
+         options; deterministic = true; deadline_s = None }
    with
   | Proto.Report { cached = false; _ } -> ()
   | r -> Alcotest.failf "after poison: %s" (response_label r));
@@ -132,7 +132,7 @@ let test_fuel_exhausted () =
      Client.compile c
        { Proto.target = `Source "int main() { while (1) { } return 0; }";
          options = { options with P.fuel = 10_000 };
-         deterministic = true }
+         deterministic = true; deadline_s = None }
    with
   | Proto.Error { kind = Proto.Fuel_exhausted; message } ->
       Alcotest.(check bool) "message names the budget" true
@@ -145,7 +145,7 @@ let test_fuel_exhausted () =
   (match
      Client.compile c
        { Proto.target = `Source "int main() { return 0; }";
-         options; deterministic = true }
+         options; deterministic = true; deadline_s = None }
    with
   | Proto.Report _ -> ()
   | r -> Alcotest.failf "after fuel exhaustion: %s" (response_label r));
@@ -157,7 +157,7 @@ let test_unknown_workload () =
   match
     Client.compile c
       { Proto.target = `Workload "no-such-workload"; options;
-        deterministic = true }
+        deterministic = true; deadline_s = None }
   with
   | Proto.Error { kind = Proto.Bad_input; _ } -> ()
   | r -> Alcotest.failf "unknown workload: %s" (response_label r)
@@ -241,7 +241,7 @@ let test_nondet_bypasses_cache () =
   with_client srv @@ fun c ->
   let req =
     { Proto.target = `Source "int main() { return 0; }";
-      options; deterministic = false }
+      options; deterministic = false; deadline_s = None }
   in
   (* a non-deterministic report carries wall-clock timings, so neither
      request may be answered from the cache, and neither may fill it *)
@@ -254,10 +254,10 @@ let test_nondet_bypasses_cache () =
   Alcotest.(check int) "cache untouched" 0
     (Cache.stats (Server.cache srv)).Cache.entries;
   (* the same source requested deterministically is cached as usual *)
-  (match Client.compile c { req with Proto.deterministic = true } with
+  (match Client.compile c { req with Proto.deterministic = true; deadline_s = None } with
   | Proto.Report { cached = false; _ } -> ()
   | r -> Alcotest.failf "det compile: %s" (response_label r));
-  match Client.compile c { req with Proto.deterministic = true } with
+  match Client.compile c { req with Proto.deterministic = true; deadline_s = None } with
   | Proto.Report { cached = true; _ } -> ()
   | r -> Alcotest.failf "det recompile: %s" (response_label r)
 
@@ -290,7 +290,7 @@ let test_shutdown () =
   match
     Client.compile c2
       { Proto.target = `Source "int main() { return 0; }";
-        options; deterministic = true }
+        options; deterministic = true; deadline_s = None }
   with
   | Proto.Error { kind = Proto.Shutting_down; _ } -> ()
   | r -> Alcotest.failf "compile during drain: %s" (response_label r)
@@ -327,6 +327,7 @@ let test_regs_splits_cache () =
       Proto.target = `Workload w.R.name;
       options = { options with P.regs };
       deterministic = true;
+      deadline_s = None;
     }
   in
   let expect name want_cached r =
@@ -355,6 +356,320 @@ let test_regs_splits_cache () =
   Alcotest.(check string) "regs 8 warm" budget8
     (expect "regs 8 warm" true (Client.compile c (req (Some 8))))
 
+(* ------------------------------------------------------------------ *)
+(* The event-driven mux daemon: the same loopback discipline over a
+   real socketpair into the select loop — frame reassembly, pipelining
+   order, deadlines, single-flight dedup, stream poisoning, the
+   persistent store across restarts, and the shard router. *)
+
+module Mux = Rp_serve.Mux
+
+let with_mux ?config ?shards f =
+  let mx = Mux.create ?config ?shards () in
+  Mux.start mx;
+  Fun.protect ~finally:(fun () -> Mux.stop mx) (fun () -> f mx)
+
+let with_mux_client mx f =
+  let c = Client.of_conn (Mux.loopback mx) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rp_mux_test_%d_%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm p =
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Unix.rmdir p
+        end
+        else Sys.remove p
+      in
+      try rm dir with Sys_error _ | Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* small deterministic compile requests for the mux tests; [options]
+   (trace on) is reserved for the byte-identity checks *)
+let mux_options = { P.default_options with P.trace = false; fuel = 10_000_000 }
+
+let mk_compile ?deadline_s ?(options = mux_options) target =
+  { Proto.target; options; deterministic = true; deadline_s }
+
+let test_mux_rounds () =
+  let ws = [ Option.get (R.find "compr"); Option.get (R.find "go") ] in
+  (* oracle first: direct runs own the process-global obs state *)
+  let expected =
+    List.map
+      (fun (w : R.workload) ->
+        let _, s =
+          P.run_fresh_json ~label:w.R.name ~deterministic:true ~options
+            w.R.source
+        in
+        (w.R.name, s))
+      ws
+  in
+  with_mux @@ fun mx ->
+  with_mux_client mx @@ fun c ->
+  List.iter
+    (fun (w : R.workload) ->
+      match Client.compile c (request w) with
+      | Proto.Report { cached = false; report } ->
+          Alcotest.(check string)
+            (w.R.name ^ ": cold byte-identical to direct run")
+            (List.assoc w.R.name expected)
+            report
+      | r -> Alcotest.failf "%s cold: %s" w.R.name (response_label r))
+    ws;
+  List.iter
+    (fun (w : R.workload) ->
+      match Client.compile c (request w) with
+      | Proto.Report { cached = true; report } ->
+          Alcotest.(check string)
+            (w.R.name ^ ": warm bytes stable")
+            (List.assoc w.R.name expected)
+            report
+      | r -> Alcotest.failf "%s warm: %s" w.R.name (response_label r))
+    ws
+
+let test_mux_pipelined_order () =
+  with_mux @@ fun mx ->
+  let conn = Mux.loopback mx in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  (* a slow compile followed by a ping on the same connection: the
+     ping's answer is ready instantly, but responses are strictly
+     request-ordered, so Pong must arrive after the Report *)
+  Proto.send_request conn
+    (Proto.Compile (mk_compile (`Workload (R.generated 60).R.name)));
+  Proto.send_request conn Proto.Ping;
+  (match Proto.recv_response conn with
+  | Proto.Msg (Proto.Report { cached = false; _ }) -> ()
+  | Proto.Msg r -> Alcotest.failf "first response: %s" (response_label r)
+  | _ -> Alcotest.fail "first response: stream ended");
+  match Proto.recv_response conn with
+  | Proto.Msg Proto.Pong -> ()
+  | Proto.Msg r -> Alcotest.failf "second response: %s" (response_label r)
+  | _ -> Alcotest.fail "second response: stream ended"
+
+let test_mux_slow_loris () =
+  with_mux @@ fun mx ->
+  let conn = Mux.loopback mx in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  let payload = J.to_string ~minify:true (Proto.request_to_json Proto.Ping) in
+  let frame = Bytes.create (4 + String.length payload) in
+  Bytes.set_int32_be frame 0 (Int32.of_int (String.length payload));
+  Bytes.blit_string payload 0 frame 4 (String.length payload);
+  (* dribble half the frame a byte at a time; the daemon must buffer
+     the fragments without blocking anyone else *)
+  let half = Bytes.length frame / 2 in
+  for i = 0 to half - 1 do
+    conn.Proto.output frame i 1;
+    if i mod 5 = 0 then Thread.delay 0.001
+  done;
+  (* other clients are served while the loris holds its half-frame *)
+  with_mux_client mx (fun c ->
+      Alcotest.(check bool) "ping during partial frame" true (Client.ping c));
+  for i = half to Bytes.length frame - 1 do
+    conn.Proto.output frame i 1
+  done;
+  match Proto.recv_response conn with
+  | Proto.Msg Proto.Pong -> ()
+  | Proto.Msg r -> Alcotest.failf "loris reply: %s" (response_label r)
+  | _ -> Alcotest.fail "loris reply: stream ended"
+
+let test_mux_hangup_mid_response () =
+  with_mux @@ fun mx ->
+  (* enqueue a compile, then vanish before reading the answer: the
+     daemon's write hits a dead peer and must shrug it off *)
+  let conn = Mux.loopback mx in
+  Proto.send_request conn
+    (Proto.Compile (mk_compile (`Source "int main() { return 41; }")));
+  conn.Proto.close ();
+  (* give the abandoned response time to be computed and written *)
+  Thread.delay 0.3;
+  with_mux_client mx @@ fun c ->
+  Alcotest.(check bool) "ping after hangup" true (Client.ping c);
+  match
+    Client.compile c (mk_compile (`Source "int main() { return 42; }"))
+  with
+  | Proto.Report _ -> ()
+  | r -> Alcotest.failf "compile after hangup: %s" (response_label r)
+
+let test_mux_per_request_deadline () =
+  with_mux @@ fun mx ->
+  with_mux_client mx @@ fun c ->
+  (* a 1 ms budget on a generated workload: expired long before the
+     compile lands, overriding the (huge) server default *)
+  (match
+     Client.compile c
+       (mk_compile ~deadline_s:0.001 (`Workload (R.generated 120).R.name))
+   with
+  | Proto.Error { kind = Proto.Timeout; _ } -> ()
+  | r -> Alcotest.failf "tiny deadline: %s" (response_label r));
+  (* deadline_s = 0 means wait forever *)
+  match
+    Client.compile c
+      (mk_compile ~deadline_s:0.0 (`Source "int main() { return 7; }"))
+  with
+  | Proto.Report { cached = false; _ } -> ()
+  | r -> Alcotest.failf "wait-forever deadline: %s" (response_label r)
+
+let test_mux_deadline_while_queued () =
+  (* jobs = 2 gives the pool a single worker domain: the first compile
+     occupies it, so the second expires without ever starting *)
+  with_mux ~config:{ Mux.default_config with Mux.jobs = 2 } @@ fun mx ->
+  let slow = Mux.loopback mx and fast = Mux.loopback mx in
+  Fun.protect
+    ~finally:(fun () ->
+      slow.Proto.close ();
+      fast.Proto.close ())
+  @@ fun () ->
+  Proto.send_request slow
+    (Proto.Compile (mk_compile (`Workload (R.generated 240).R.name)));
+  Thread.delay 0.05 (* let the worker pick it up *);
+  Proto.send_request fast
+    (Proto.Compile
+       (mk_compile ~deadline_s:0.05 (`Source "int main() { return 9; }")));
+  (match Proto.recv_response fast with
+  | Proto.Msg (Proto.Error { kind = Proto.Timeout; _ }) -> ()
+  | Proto.Msg r -> Alcotest.failf "queued request: %s" (response_label r)
+  | _ -> Alcotest.fail "queued request: stream ended");
+  match Proto.recv_response slow with
+  | Proto.Msg (Proto.Report _) -> ()
+  | Proto.Msg r -> Alcotest.failf "occupying compile: %s" (response_label r)
+  | _ -> Alcotest.fail "occupying compile: stream ended"
+
+let test_mux_dedup_single_flight () =
+  with_mux @@ fun mx ->
+  let conn = Mux.loopback mx in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  (* two identical deterministic requests back to back: the second is
+     scanned while the first compiles, so it must join the in-flight
+     future instead of burning a second worker *)
+  let req = Proto.Compile (mk_compile (`Workload (R.generated 120).R.name)) in
+  Proto.send_request conn req;
+  Proto.send_request conn req;
+  let report_of name =
+    match Proto.recv_response conn with
+    | Proto.Msg (Proto.Report { report; _ }) -> report
+    | Proto.Msg r -> Alcotest.failf "%s: %s" name (response_label r)
+    | _ -> Alcotest.failf "%s: stream ended" name
+  in
+  let r1 = report_of "first" in
+  let r2 = report_of "second" in
+  Alcotest.(check string) "joined twin serves identical bytes" r1 r2;
+  let joins =
+    match J.member (Mux.stats_doc mx) "serve" with
+    | Some serve -> (
+        match J.member serve "responses" with
+        | Some responses -> (
+            match J.member responses "dedup_joins" with
+            | Some (J.Int n) -> n
+            | _ -> Alcotest.fail "stats: no dedup_joins")
+        | None -> Alcotest.fail "stats: no responses section")
+    | None -> Alcotest.fail "stats: no serve section"
+  in
+  Alcotest.(check int) "exactly one dedup join" 1 joins
+
+let test_mux_oversized_poisons () =
+  with_mux @@ fun mx ->
+  let conn = Mux.loopback mx in
+  Fun.protect ~finally:(fun () -> conn.Proto.close ()) @@ fun () ->
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_be hdr 0 (Int32.of_int (Proto.max_frame + 1));
+  conn.Proto.output hdr 0 4;
+  (match Proto.recv_response conn with
+  | Proto.Msg (Proto.Error { kind = Proto.Protocol_error; _ }) -> ()
+  | Proto.Msg r -> Alcotest.failf "oversized frame: %s" (response_label r)
+  | Proto.End -> Alcotest.fail "oversized frame: closed without an error"
+  | Proto.Garbled m -> Alcotest.failf "oversized frame: garbled: %s" m);
+  (match Proto.recv_response conn with
+  | Proto.End -> ()
+  | _ -> Alcotest.fail "stream not poisoned after oversized frame");
+  with_mux_client mx @@ fun c ->
+  Alcotest.(check bool) "daemon survives" true (Client.ping c)
+
+let test_mux_store_restart () =
+  with_tmp_dir @@ fun dir ->
+  let config = { Mux.default_config with Mux.cache_dir = Some dir } in
+  let req = mk_compile (`Source "int main() { return 40 + 2; }") in
+  let report1 =
+    with_mux ~config @@ fun mx ->
+    with_mux_client mx @@ fun c ->
+    match Client.compile c req with
+    | Proto.Report { cached = false; report } -> report
+    | r -> Alcotest.failf "first daemon: %s" (response_label r)
+  in
+  (* a fresh daemon over the same directory: warm from request one,
+     byte-identical across the restart *)
+  with_mux ~config @@ fun mx ->
+  with_mux_client mx @@ fun c ->
+  match Client.compile c req with
+  | Proto.Report { cached = true; report } ->
+      Alcotest.(check string) "bytes survive the restart" report1 report
+  | r -> Alcotest.failf "after restart: %s" (response_label r)
+
+let test_mux_shard_router () =
+  with_tmp_dir @@ fun dir ->
+  let w = Option.get (R.find "compr") in
+  (* oracle before any daemon owns the obs state *)
+  let _, direct =
+    P.run_fresh_json ~label:w.R.name ~deterministic:true ~options w.R.source
+  in
+  let spath i = Filename.concat dir (Printf.sprintf "shard%d.sock" i) in
+  let shard_muxes = Array.init 2 (fun _ -> Mux.create ()) in
+  let shard_threads =
+    Array.mapi
+      (fun i mx ->
+        Thread.create (fun () -> Mux.serve_unix mx ~path:(spath i)) ())
+      shard_muxes
+  in
+  let router = Mux.create ~shards:(Array.init 2 spath) () in
+  Mux.start router;
+  Fun.protect
+    ~finally:(fun () ->
+      (* stopping the router relays Shutdown to the fleet, so the
+         shard serve loops drain and their threads join *)
+      Mux.stop router;
+      Array.iter Thread.join shard_threads)
+  @@ fun () ->
+  with_mux_client router @@ fun c ->
+  let srcs =
+    List.init 6 (fun i -> Printf.sprintf "int main() { return %d; }" i)
+  in
+  let fresh =
+    List.map
+      (fun s ->
+        match Client.compile c (mk_compile (`Source s)) with
+        | Proto.Report { cached = false; report } -> report
+        | r -> Alcotest.failf "router fresh %s: %s" s (response_label r))
+      srcs
+  in
+  (* replay: every request hits the cache of the shard that owns its
+     key, with stable bytes relayed verbatim *)
+  List.iter2
+    (fun s want ->
+      match Client.compile c (mk_compile (`Source s)) with
+      | Proto.Report { cached = true; report } ->
+          Alcotest.(check string) ("router warm " ^ s) want report
+      | r -> Alcotest.failf "router warm %s: %s" s (response_label r))
+    srcs fresh;
+  (* byte identity holds through the relay *)
+  (match Client.compile c { (request w) with Proto.deadline_s = None } with
+  | Proto.Report { cached = false; report } ->
+      Alcotest.(check string) "relayed report byte-identical" direct report
+  | r -> Alcotest.failf "relayed workload: %s" (response_label r));
+  (* the stats document names the fleet *)
+  match J.member (Mux.stats_doc router) "serve" with
+  | Some serve -> (
+      match J.member serve "shards" with
+      | Some (J.Int 2) -> ()
+      | _ -> Alcotest.fail "router stats: no shards = 2")
+  | None -> Alcotest.fail "router stats: no serve section"
+
 let suite =
   [
     Alcotest.test_case "concurrent rounds, byte-identity, cache" `Slow
@@ -373,4 +688,22 @@ let suite =
     Alcotest.test_case "stats document" `Quick test_stats;
     Alcotest.test_case "shutdown drain" `Quick test_shutdown;
     Alcotest.test_case "stop idempotent" `Quick test_stop_idempotent;
+    Alcotest.test_case "mux rounds byte-identical" `Slow test_mux_rounds;
+    Alcotest.test_case "mux pipelined responses ordered" `Slow
+      test_mux_pipelined_order;
+    Alcotest.test_case "mux slow-loris partial frames" `Quick
+      test_mux_slow_loris;
+    Alcotest.test_case "mux hangup mid-response" `Quick
+      test_mux_hangup_mid_response;
+    Alcotest.test_case "mux per-request deadline" `Slow
+      test_mux_per_request_deadline;
+    Alcotest.test_case "mux deadline while queued" `Slow
+      test_mux_deadline_while_queued;
+    Alcotest.test_case "mux single-flight dedup" `Slow
+      test_mux_dedup_single_flight;
+    Alcotest.test_case "mux oversized frame poisons stream" `Quick
+      test_mux_oversized_poisons;
+    Alcotest.test_case "mux store survives restart" `Quick
+      test_mux_store_restart;
+    Alcotest.test_case "mux shard router" `Slow test_mux_shard_router;
   ]
