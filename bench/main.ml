@@ -79,6 +79,12 @@ let paper_numbers =
     ("vortex", -5.0, 0.9, -0.4, 0.9);
   ]
 
+(* The stencil/DSP family (blur/dot/lpc) postdates the paper, so it has
+   no Table 1/2 column; lookups are optional and the printers show a
+   blank. *)
+let paper_numbers_for name =
+  List.find_opt (fun (n, _, _, _, _) -> n = name) paper_numbers
+
 let reports : (string, P.report) Hashtbl.t = Hashtbl.create 8
 
 let report_for (w : R.workload) : P.report =
@@ -114,15 +120,17 @@ let table1 () =
     (fun (w : R.workload) ->
       let r = report_for w in
       let sb = r.P.static_before and sa = r.P.static_after in
-      let _, pl, ps, _, _ =
-        List.find (fun (n, _, _, _, _) -> n = w.R.name) paper_numbers
+      let paper =
+        match paper_numbers_for w.R.name with
+        | Some (_, pl, ps, _, _) -> Printf.sprintf "%+5.1f/%+5.1f" pl ps
+        | None -> "    --/--"
       in
-      Printf.printf "%-8s %6d %6d %+6.1f%% %6d %6d %+6.1f%%  %+5.1f/%+5.1f\n"
+      Printf.printf "%-8s %6d %6d %+6.1f%% %6d %6d %+6.1f%%  %s\n"
         w.R.name sb.Rp_core.Stats.loads sa.Rp_core.Stats.loads
         (impro sb.Rp_core.Stats.loads sa.Rp_core.Stats.loads)
         sb.Rp_core.Stats.stores sa.Rp_core.Stats.stores
         (impro sb.Rp_core.Stats.stores sa.Rp_core.Stats.stores)
-        pl ps)
+        paper)
     R.all
 
 (* ------------------------------------------------------------------ *)
@@ -143,17 +151,19 @@ let table2 () =
     (fun (w : R.workload) ->
       let r = report_for w in
       let b = r.P.dynamic_before and a = r.P.dynamic_after in
-      let _, _, _, pl, ps =
-        List.find (fun (n, _, _, _, _) -> n = w.R.name) paper_numbers
+      let paper =
+        match paper_numbers_for w.R.name with
+        | Some (_, _, _, pl, ps) -> Printf.sprintf "%+5.1f/%+5.1f" pl ps
+        | None -> "    --/--"
       in
       tb := !tb + b.I.loads + b.I.stores;
       ta := !ta + a.I.loads + a.I.stores;
-      Printf.printf "%-8s %8d %8d %+5.1f%% %8d %8d %+5.1f%%  %+5.1f/%+5.1f\n"
+      Printf.printf "%-8s %8d %8d %+5.1f%% %8d %8d %+5.1f%%  %s\n"
         w.R.name b.I.loads a.I.loads
         (impro b.I.loads a.I.loads)
         b.I.stores a.I.stores
         (impro b.I.stores a.I.stores)
-        pl ps)
+        paper)
     R.all;
   rule ();
   Printf.printf
@@ -1550,6 +1560,12 @@ let golden_static =
     ("sc", (13, 10, 11, 12));
     ("compr", (10, 9, 4, 4));
     ("vortex", (9, 9, 5, 5));
+    (* the stencil family: scalar-only static counts barely move by
+       design (all the traffic is aliased array ops; the --scalrep
+       numbers live in the "scalrep" artifact section) *)
+    ("blur", (3, 3, 1, 1));
+    ("dot", (0, 0, 0, 0));
+    ("lpc", (3, 3, 1, 1));
   ]
 
 let golden () =
@@ -1610,6 +1626,9 @@ let golden_pressure =
     ("sc", (14, 17));
     ("compr", (8, 9));
     ("vortex", (15, 15));
+    ("blur", (10, 11));
+    ("dot", (12, 12));
+    ("lpc", (11, 12));
   ]
 
 let pressure_golden () =
@@ -1762,14 +1781,64 @@ let rgate () =
   end
   else print_endline "rgate passed"
 
+(* ------------------------------------------------------------------ *)
+(* The scalar-replacement measurement: the stencil/DSP family with
+   --scalrep on vs off.  Unlike Tables 1/2 the interesting traffic is
+   aliased (array elements), so the numbers below count loads +
+   aliased_loads and stores + aliased_stores of the finished program. *)
+
+let scalrep_family = [ "blur"; "dot"; "lpc" ]
+
+let scalrep_on_reports : (string, P.report) Hashtbl.t = Hashtbl.create 4
+
+let scalrep_on_report name =
+  match Hashtbl.find_opt scalrep_on_reports name with
+  | Some r -> r
+  | None ->
+      let w = Option.get (R.find name) in
+      let r =
+        P.run
+          ~options:
+            { P.default_options with fuel = 80_000_000; P.scalrep = true }
+          w.R.source
+      in
+      if not r.P.behaviour_ok then
+        failwith (name ^ ": scalrep changed behaviour!");
+      Hashtbl.replace scalrep_on_reports name r;
+      r
+
+let total_loads (c : I.counters) = c.I.loads + c.I.aliased_loads
+let total_stores (c : I.counters) = c.I.stores + c.I.aliased_stores
+
+let scalrep_table () =
+  rule ();
+  print_endline
+    "Scalar replacement: the stencil/DSP family with --scalrep off vs on";
+  print_endline
+    " (loads/stores include aliased array traffic; off = scalar-only";
+  print_endline "  promotion, which cannot touch these workloads by design)";
+  rule ();
+  Printf.printf "%-8s %21s %21s %6s %6s\n" "" "loads (off -> on)"
+    "stores (off -> on)" "ld cut" "st cut";
+  List.iter
+    (fun name ->
+      let off = report_for (Option.get (R.find name)) in
+      let on = scalrep_on_report name in
+      let lb = total_loads off.P.dynamic_after
+      and la = total_loads on.P.dynamic_after
+      and sb = total_stores off.P.dynamic_after
+      and sa = total_stores on.P.dynamic_after in
+      let cut b a = if a = 0 then 0.0 else float_of_int b /. float_of_int a in
+      Printf.printf "%-8s %10d %10d %10d %10d %5.1fx %5.1fx\n" name lb la sb
+        sa (cut lb la) (cut sb sa))
+    scalrep_family
+
 let json_artifact () =
   let module J = Rp_obs.Json in
   let module S = Rp_core.Stats in
   let workload_json (w : R.workload) : J.t =
     let r = report_for w in
-    let _, pl, ps, dl, ds =
-      List.find (fun (n, _, _, _, _) -> n = w.R.name) paper_numbers
-    in
+    let paper = paper_numbers_for w.R.name in
     let counts (c : I.counters) =
       J.Obj [ ("loads", J.Int c.I.loads); ("stores", J.Int c.I.stores) ]
     in
@@ -1812,13 +1881,16 @@ let json_artifact () =
               );
             ] );
         ( "paper_improvement_pct",
-          J.Obj
-            [
-              ("static_loads", J.Float pl);
-              ("static_stores", J.Float ps);
-              ("dynamic_loads", J.Float dl);
-              ("dynamic_stores", J.Float ds);
-            ] );
+          match paper with
+          | None -> J.Null
+          | Some (_, pl, ps, dl, ds) ->
+              J.Obj
+                [
+                  ("static_loads", J.Float pl);
+                  ("static_stores", J.Float ps);
+                  ("dynamic_loads", J.Float dl);
+                  ("dynamic_stores", J.Float ds);
+                ] );
         ( "promotion",
           J.Obj
             (List.map
@@ -1873,6 +1945,60 @@ let json_artifact () =
       [
         ("artifact", J.Str "promotion_tables");
         ("workloads", J.Arr workloads);
+        ( "scalrep",
+          (* the stencil/DSP family with --scalrep off vs on; counts
+             include aliased array traffic, which scalar-only promotion
+             cannot touch by design *)
+          let module T = Rp_scalrep.Transform in
+          J.Arr
+            (List.map
+               (fun name ->
+                 let off = report_for (Option.get (R.find name)) in
+                 let on = scalrep_on_report name in
+                 let counts (c : I.counters) =
+                   J.Obj
+                     [
+                       ("loads", J.Int c.I.loads);
+                       ("aliased_loads", J.Int c.I.aliased_loads);
+                       ("stores", J.Int c.I.stores);
+                       ("aliased_stores", J.Int c.I.aliased_stores);
+                     ]
+                 in
+                 let cut b a =
+                   if a = 0 then 0.0 else float_of_int b /. float_of_int a
+                 in
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("off", counts off.P.dynamic_after);
+                     ("on", counts on.P.dynamic_after);
+                     ( "load_cut",
+                       J.Float
+                         (cut
+                            (total_loads off.P.dynamic_after)
+                            (total_loads on.P.dynamic_after)) );
+                     ( "store_cut",
+                       J.Float
+                         (cut
+                            (total_stores off.P.dynamic_after)
+                            (total_stores on.P.dynamic_after)) );
+                     ( "transform",
+                       match on.P.scalrep_stats with
+                       | None -> J.Null
+                       | Some st ->
+                           J.Obj
+                             [
+                               ("loops_seen", J.Int st.T.loops_seen);
+                               ( "loops_transformed",
+                                 J.Int st.T.loops_transformed );
+                               ( "groups_induction",
+                                 J.Int st.T.groups_induction );
+                               ( "groups_invariant",
+                                 J.Int st.T.groups_invariant );
+                               ("cells_carved", J.Int st.T.cells_carved);
+                             ] );
+                   ])
+               scalrep_family) );
         ( "generated",
           (* filled when the "gen" artifact ran in this invocation *)
           J.Arr
@@ -2118,6 +2244,7 @@ let () =
   if want "ablation4" then ablation4 ();
   if want "ablation5" then ablation5 ();
   if want "scaling" then scaling ();
+  if want "scalrep" then scalrep_table ();
   if want "gen" then
     gen (if gen_sizes = [] then default_gen_sizes else gen_sizes);
   if want "interp" then interp ();

@@ -21,11 +21,30 @@ open Rp_ir
    engine name, --jobs 0, ...): usage error, exit code 2 *)
 exception Usage_error of string
 
+(* A FILE argument that names no registered workload falls back to the
+   filesystem.  A bare lowercase name that also names no file was
+   almost certainly a misspelt workload, so it gets the usage-error
+   exit (2) and a pointer at the registry instead of a bare ENOENT. *)
+let looks_like_workload s =
+  s <> ""
+  && (s.[0] >= 'a' && s.[0] <= 'z')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       s
+
 let read_source path =
   match Rp_workloads.Registry.find path with
   | Some w -> w.Rp_workloads.Registry.source
   | None ->
       if path = "-" then In_channel.input_all stdin
+      else if looks_like_workload path && not (Sys.file_exists path) then
+        raise
+          (Usage_error
+             (Printf.sprintf
+                "unknown workload '%s' (rpromote --list-workloads prints \
+                 the registry)"
+                path))
       else In_channel.with_open_text path In_channel.input_all
 
 (* run a command body, mapping the pipeline's exceptions to clean
@@ -80,8 +99,8 @@ let profile_of_string =
 
 (* pipeline options from the promote/client flag set *)
 let mk_options ~fuel ~profile ~static_profile ~no_store_removal
-    ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~checkpoints
-    ~trace ~jobs ~interp () =
+    ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~scalrep
+    ~checkpoints ~trace ~jobs ~interp () =
   (match regs with
   | Some k when k < 1 -> raise (Usage_error "--regs must be at least 1")
   | _ -> ());
@@ -110,6 +129,7 @@ let mk_options ~fuel ~profile ~static_profile ~no_store_removal
     interp = interp_of_string interp;
     regs;
     spill_order;
+    scalrep;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -133,15 +153,16 @@ let emit_json ~label ~dest report =
   else Out_channel.with_open_text dest (fun oc -> output_string oc doc)
 
 let cmd_promote path fuel profile static_profile no_store_removal
-    singleton_deref engine min_profit regs spill_order json trace checkpoints
-    jobs deterministic interp =
+    singleton_deref engine min_profit regs spill_order scalrep json trace
+    checkpoints jobs deterministic interp =
  guarded @@ fun () ->
   if jobs < 1 then raise (Usage_error "--jobs must be at least 1");
   Rp_obs.Trace.set_deterministic deterministic;
   let src = read_source path in
   let options =
     mk_options ~fuel ~profile ~static_profile ~no_store_removal
-      ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~checkpoints
+      ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~scalrep
+      ~checkpoints
       ~trace:(trace || json <> None)
       ~jobs ~interp ()
   in
@@ -220,26 +241,27 @@ let cmd_baseline path fuel =
     after.I.counters.I.stores;
   if I.same_behaviour before after then 0 else 1
 
-let cmd_dump path stage =
+let cmd_dump path stage scalrep =
  guarded @@ fun () ->
   let src = read_source path in
+  let options = { P.default_options with P.scalrep } in
   let dump prog =
     print_string (Pp.prog_to_string prog);
     0
   in
   match stage with
-  | "lowered" -> dump (Rp_minic.Lower.compile src)
+  | "lowered" -> dump (fst (P.frontend ~options src))
   | "normalised" ->
-      let prog = Rp_minic.Lower.compile src in
+      let prog = fst (P.frontend ~options src) in
       List.iter
         (fun f -> ignore (Rp_analysis.Intervals.normalise f))
         prog.Func.funcs;
       dump prog
   | "ssa" ->
-      let prog, _ = P.prepare src in
+      let prog, _ = P.prepare ~options src in
       dump prog
   | "promoted" ->
-      let report = P.run src in
+      let report = P.run ~options src in
       dump report.P.prog
   | s ->
       raise
@@ -333,8 +355,8 @@ let cmd_serve socket jobs max_inflight deadline cache_mb cache_entries
   end
 
 let cmd_client socket path op fuel profile static_profile no_store_removal
-    singleton_deref engine min_profit regs spill_order json deterministic
-    interp deadline =
+    singleton_deref engine min_profit regs spill_order scalrep json
+    deterministic interp deadline =
  guarded @@ fun () ->
   let with_client f =
     let c = Client.connect ~path:socket in
@@ -377,7 +399,7 @@ let cmd_client socket path op fuel profile static_profile no_store_removal
       in
       let options =
         mk_options ~fuel ~profile ~static_profile ~no_store_removal
-          ~singleton_deref ~engine ~min_profit ~regs ~spill_order
+          ~singleton_deref ~engine ~min_profit ~regs ~spill_order ~scalrep
           ~checkpoints:false ~trace:true ~jobs:1 ~interp ()
       in
       with_client @@ fun c ->
@@ -469,6 +491,19 @@ let spill_order_arg =
            predicted spill-count increase (spill-cost-weighted profit) \
            instead of the unit live-range growth estimate.")
 
+let scalrep_arg =
+  Arg.(
+    value & flag
+    & info [ "scalrep" ]
+        ~doc:
+          "Scalar replacement of affine array references: before lowering, \
+           rewrite eligible $(b,for) loops so array elements addressed at \
+           constant offsets from the induction variable (or loop-invariant \
+           subscripts) live in scalar cells, with rotation at the latch \
+           carrying cross-iteration reuse. The cells are singleton \
+           resources, so the ordinary promotion machinery keeps them in \
+           registers.")
+
 let run_cmd =
   let doc = "interpret a MiniC program and print its output" in
   Cmd.v (Cmd.info "run" ~doc ~exits) Term.(const cmd_run $ file_arg $ fuel_arg)
@@ -553,8 +588,8 @@ let promote_cmd =
     Term.(
       const cmd_promote $ file_arg $ fuel_arg $ profile_arg $ static_profile
       $ no_store_removal $ singleton_deref $ engine $ min_profit $ regs_arg
-      $ spill_order_arg $ json $ trace $ checkpoints $ jobs $ deterministic
-      $ interp_arg)
+      $ spill_order_arg $ scalrep_arg $ json $ trace $ checkpoints $ jobs
+      $ deterministic $ interp_arg)
 
 let dump_cmd =
   let doc = "print the IR at a pipeline stage" in
@@ -564,7 +599,8 @@ let dump_cmd =
       & info [ "stage" ] ~docv:"STAGE"
           ~doc:"One of lowered, normalised, ssa, promoted.")
   in
-  Cmd.v (Cmd.info "dump" ~doc ~exits) Term.(const cmd_dump $ file_arg $ stage)
+  Cmd.v (Cmd.info "dump" ~doc ~exits)
+    Term.(const cmd_dump $ file_arg $ stage $ scalrep_arg)
 
 let baseline_cmd =
   let doc = "run the Lu-Cooper-style loop-based baseline instead" in
@@ -765,12 +801,29 @@ let client_cmd =
     Term.(
       const cmd_client $ socket_arg $ file $ op $ fuel_arg $ profile_arg
       $ static_profile $ no_store_removal $ singleton_deref $ engine
-      $ min_profit $ regs_arg $ spill_order_arg $ json $ deterministic
-      $ interp_arg $ deadline)
+      $ min_profit $ regs_arg $ spill_order_arg $ scalrep_arg $ json
+      $ deterministic $ interp_arg $ deadline)
 
 let main_cmd =
   let doc = "SSA-based scalar register promotion (Sastry & Ju, PLDI 1998)" in
-  Cmd.group (Cmd.info "rpromote" ~doc ~exits)
+  (* rpromote --list-workloads: registry discovery without picking a
+     subcommand; bare `rpromote` still shows the help page *)
+  let list_workloads =
+    Arg.(
+      value & flag
+      & info [ "list-workloads" ]
+          ~doc:
+            "Print the built-in workload registry (names and one-line \
+             descriptions) and exit.")
+  in
+  let default =
+    Term.(
+      ret
+        (const (fun list ->
+             if list then `Ok (cmd_workloads ()) else `Help (`Pager, None))
+        $ list_workloads))
+  in
+  Cmd.group ~default (Cmd.info "rpromote" ~doc ~exits)
     [
       run_cmd;
       promote_cmd;

@@ -101,6 +101,12 @@ type options = {
           predicted spill-count delta (spill-cost-weighted profit)
           instead of the unit growth estimate.  Changes output, so it
           is part of the serve cache key. *)
+  scalrep : bool;
+      (** scalar replacement of affine array references: rewrite
+          eligible [for] loops before lowering so array elements with
+          constant reuse distance become promotable scalar cells
+          ([Rp_scalrep]).  Changes output, so it is part of the serve
+          cache key. *)
 }
 
 let default_options =
@@ -115,6 +121,7 @@ let default_options =
     interp = Flat;
     regs = None;
     spill_order = false;
+    scalrep = false;
   }
 
 (* [options.regs] is authoritative when set; otherwise a budget placed
@@ -162,6 +169,8 @@ type report = {
   final : Interp.result;
   pressure : func_pressure list;
   pressure_regs : int option;
+  scalrep_stats : Rp_scalrep.Transform.stats option;
+      (** [Some] iff [options.scalrep] ran *)
   timing : (string * float) list;
 }
 
@@ -225,15 +234,38 @@ let checkpoint_func (options : options) ~(ssa : bool) (after : string) vartab
     Trace.with_span "checkpoint" ~attrs:[ ("after", after) ] @@ fun () ->
     check_func ~ssa vartab f
 
+(* The MiniC frontend: parse, (optionally) scalar-replace affine array
+   references, analyse, lower.  The scalrep rewrite is AST-to-AST and
+   introduces new names/statements, so semantic analysis reruns on the
+   rewritten program before aliasing and lowering. *)
+let frontend ~(options : options) (src : string) :
+    Func.prog * Rp_scalrep.Transform.stats option =
+  let module Parser = Rp_minic.Parser in
+  let module Sema = Rp_minic.Sema in
+  let module Alias = Rp_minic.Alias in
+  Trace.with_span "frontend.compile" @@ fun () ->
+  if not options.scalrep then
+    (Lower.compile ~opt_singleton_deref:options.singleton_deref src, None)
+  else
+    let ast = Parser.parse_program src in
+    let sema0 = Sema.analyse ast in
+    let ast', st =
+      Trace.with_span "frontend.scalrep" (fun () ->
+          Rp_scalrep.Transform.program sema0)
+    in
+    let sema = Sema.analyse ast' in
+    let alias = Alias.analyse sema in
+    ( Lower.lower ~opt_singleton_deref:options.singleton_deref sema alias,
+      Some st )
+
 (* Compile and normalise, build SSA, clean.  Returns the program and
    the interval tree per function. *)
 let prepare_in pool ~(options : options) (src : string) :
-    Func.prog * (string * Intervals.tree) list =
+    Func.prog
+    * (string * Intervals.tree) list
+    * Rp_scalrep.Transform.stats option =
   Trace.with_span "pipeline.prepare" @@ fun () ->
-  let prog =
-    Trace.with_span "frontend.compile" (fun () ->
-        Lower.compile ~opt_singleton_deref:options.singleton_deref src)
-  in
+  let prog, srstats = frontend ~options src in
   checkpoint pool options ~ssa:false "frontend.compile" prog;
   let trees =
     Trace.with_span "normalise" (fun () ->
@@ -253,11 +285,13 @@ let prepare_in pool ~(options : options) (src : string) :
       par_iter_funcs pool Rp_opt.Cleanup.run prog.Func.funcs);
   checkpoint pool options ~ssa:true "cleanup" prog;
   record_ir_size prog;
-  (prog, trees)
+  (prog, trees, srstats)
 
 let prepare ?(options = default_options) (src : string) :
     Func.prog * (string * Intervals.tree) list =
-  Pool.with_pool ~jobs:options.jobs @@ fun pool -> prepare_in pool ~options src
+  Pool.with_pool ~jobs:options.jobs @@ fun pool ->
+  let prog, trees, _ = prepare_in pool ~options src in
+  (prog, trees)
 
 (* A compiled execution image for one of the two bytecode engines; the
    tree-walking oracle needs none. *)
@@ -360,12 +394,25 @@ let zip_pressure before after : func_pressure list =
       { fp_name = n; fp_before = b; fp_after = a })
     before after
 
-(* Post-promotion finalisation: verify, clean, verify again. *)
-let finalise_in pool (prog : Func.prog) : unit =
+(* Post-promotion finalisation: verify, clean, verify again.  Under
+   [options.scalrep] the cleanup bundle gains memory-SSA dead-store
+   elimination: once promotion has replaced every cell load with a
+   register read, the rotation stores at the loop latch feed nothing
+   but their own memory phis, and the DSE cascade erases the whole
+   chain.  It stays off otherwise so default-flag reports are
+   byte-identical with earlier schema versions' output. *)
+let finalise_in pool ~(options : options) (prog : Func.prog) : unit =
   Trace.with_span "verify_ssa" (fun () ->
       par_iter_funcs pool (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
   Trace.with_span "cleanup" (fun () ->
-      par_iter_funcs pool Rp_opt.Cleanup.run prog.Func.funcs);
+      par_iter_funcs pool
+        (fun f ->
+          Rp_opt.Cleanup.run f;
+          if options.scalrep then begin
+            ignore (Rp_opt.Dse.run f);
+            Rp_opt.Cleanup.run f
+          end)
+        prog.Func.funcs);
   Trace.with_span "verify_ssa" (fun () ->
       par_iter_funcs pool (Verify.assert_ok prog.Func.vartab) prog.Func.funcs);
   record_ir_size prog
@@ -380,7 +427,7 @@ let run ?(options = default_options) (src : string) : report =
   (* each phase boundary reads the wall clock and the main domain's
      allocation clock; both zero out under the deterministic flag *)
   let t0 = Trace.wall_s () and a0 = Trace.alloc_words () in
-  let prog, trees = prepare_in pool ~options src in
+  let prog, trees, scalrep_stats = prepare_in pool ~options src in
   let t_prepared = Trace.wall_s () and a_prepared = Trace.alloc_words () in
   (* Decode once for the flat engine; the image is refreshed (in the
      same buffers) after promotion rewrites the IR, so both runs share
@@ -407,7 +454,7 @@ let run ?(options = default_options) (src : string) : report =
   let stats = Promote.empty_stats () in
   List.iter (fun (_, s) -> Promote.accumulate stats s) per_function;
   let t_promoted = Trace.wall_s () and a_promoted = Trace.alloc_words () in
-  finalise_in pool prog;
+  finalise_in pool ~options prog;
   let static_after = Stats.of_prog prog in
   let t_finalised = Trace.wall_s () and a_finalised = Trace.alloc_words () in
   let pressure_after = measure_pressure pool ~when_:"after" ~k prog in
@@ -448,6 +495,7 @@ let run ?(options = default_options) (src : string) : report =
     final;
     pressure = zip_pressure pressure_before pressure_after;
     pressure_regs = k;
+    scalrep_stats;
     timing =
       [
         ("prepare_ms", ms t0 t_prepared);
@@ -482,7 +530,7 @@ let optimise ?(options = default_options) (src : string) :
     Func.prog * (string * Promote.stats) list =
   Pool.with_pool ~jobs:options.jobs @@ fun pool ->
   Trace.with_span "pipeline.optimise" @@ fun () ->
-  let prog, trees = prepare_in pool ~options src in
+  let prog, trees, _ = prepare_in pool ~options src in
   Trace.with_span "profile.estimate" (fun () ->
       par_iter_funcs pool
         (fun (f : Func.t) ->
@@ -491,11 +539,11 @@ let optimise ?(options = default_options) (src : string) :
           | None -> ())
         prog.Func.funcs);
   let per_function = promote_prog_in pool ~options prog trees in
-  finalise_in pool prog;
+  finalise_in pool ~options prog;
   (prog, per_function)
 
 (* ------------------------------------------------------------------ *)
-(* JSON serialisation (report schema v4; see DESIGN.md) *)
+(* JSON serialisation (report schema v5; see DESIGN.md) *)
 
 let counts_json (c : Stats.counts) : J.t =
   J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Stats.to_alist c))
@@ -584,6 +632,31 @@ let pressure_json (r : report) : J.t =
              r.pressure) );
     ]
 
+(* The schema-v5 scalrep section: whether the pre-lowering scalar
+   replacement of array references ran, and what it did. *)
+let scalrep_json (r : report) : J.t =
+  match r.scalrep_stats with
+  | None -> J.Obj [ ("enabled", J.Bool false) ]
+  | Some s ->
+      let module T = Rp_scalrep.Transform in
+      J.Obj
+        [
+          ("enabled", J.Bool true);
+          ("loops_seen", J.Int s.T.loops_seen);
+          ("loops_transformed", J.Int s.T.loops_transformed);
+          ("groups_induction", J.Int s.T.groups_induction);
+          ("groups_invariant", J.Int s.T.groups_invariant);
+          ("cells_carved", J.Int s.T.cells_carved);
+          ( "skipped",
+            J.Obj
+              [
+                ("loop_shape", J.Int s.T.skip_loop_shape);
+                ("body_unsafe", J.Int s.T.skip_body_unsafe);
+                ("no_candidates", J.Int s.T.skip_no_candidates);
+                ("arrays_dropped", J.Int s.T.arrays_dropped);
+              ] );
+        ]
+
 let json_report ?label (r : report) : J.t =
   let impro before after = J.Float (Stats.improvement ~before ~after) in
   Rp_obs.Report.make ~tool:"rpromote" ~timing:r.timing
@@ -624,6 +697,7 @@ let json_report ?label (r : report) : J.t =
             ] );
         ("promotion", stats_json r.promote_stats);
         ("pressure", pressure_json r);
+        ("scalrep", scalrep_json r);
         ( "functions",
           J.Arr
             (List.map

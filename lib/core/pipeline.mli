@@ -82,6 +82,12 @@ type options = {
           predicted spill-count delta (spill-cost-weighted profit,
           [--spill-order]) instead of the unit growth estimate.
           Changes output, so it joins [regs] in the cache key. *)
+  scalrep : bool;
+      (** scalar replacement of affine array references ([--scalrep]):
+          rewrite eligible [for] loops before lowering so array
+          elements with constant reuse distance become promotable
+          scalar cells ({!Rp_scalrep.Transform}). Changes output, so
+          it joins [regs] in the cache key. *)
 }
 
 val default_options : options
@@ -131,6 +137,9 @@ type report = {
   pressure_regs : int option;
       (** the effective register budget the run used (and at which
           spills were estimated); [None] = unbounded *)
+  scalrep_stats : Rp_scalrep.Transform.stats option;
+      (** what the scalar-replacement rewrite did; [Some] iff
+          [options.scalrep] was set *)
   timing : (string * float) list;
       (** wall-clock milliseconds per phase, in phase order:
           [prepare_ms], [profile_ms] (with its [profile_decode_ms] /
@@ -141,6 +150,13 @@ type report = {
           are 0 under the [Tree] engine. All zero in deterministic
           mode. *)
 }
+
+(** The MiniC frontend alone: parse, run the scalar-replacement
+    rewrite when [options.scalrep] is set (and return its statistics),
+    analyse and lower — the program as the IR pipeline first sees it,
+    before normalisation and SSA construction. *)
+val frontend :
+  options:options -> string -> Func.prog * Rp_scalrep.Transform.stats option
 
 (** Compile, normalise, build SSA and clean; returns the program and
     the interval tree per function. *)

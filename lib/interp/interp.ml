@@ -153,7 +153,7 @@ let init_state (prog : Func.prog) ~fuel : state =
           Hashtbl.replace arrays v.Resource.vid (Array.make len (VInt 0))
       | Resource.Global | Resource.Struct_field _ ->
           mem.(v.Resource.vid) <- VInt v.Resource.vinit
-      | Resource.Addr_local fn ->
+      | Resource.Addr_local fn | Resource.Elem fn ->
           let cur =
             match Hashtbl.find_opt locals_of fn with Some l -> l | None -> []
           in

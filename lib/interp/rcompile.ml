@@ -672,7 +672,7 @@ let compile ?budget (prog : Func.prog) : t =
       | Resource.Array len -> array_len.(v.Resource.vid) <- len
       | Resource.Global | Resource.Struct_field _ ->
           mem_init.(2 * v.Resource.vid) <- v.Resource.vinit
-      | Resource.Addr_local fn ->
+      | Resource.Addr_local fn | Resource.Elem fn ->
           let cur =
             match Hashtbl.find_opt locals_tbl fn with Some l -> l | None -> []
           in

@@ -22,6 +22,10 @@ type var_kind =
       (** scalar field of a global struct: (struct var name, field name) *)
   | Array of int  (** aggregate array variable of given length; never promoted *)
   | Heap  (** the anonymous heap; never promoted *)
+  | Elem of string
+      (** scalar-replacement cell carved out of an array element by the
+          scalrep pass; owner function. Behaves like an address-exposed
+          local scalar and is promotable. *)
 
 type var = {
   vid : Ids.vid;
@@ -45,7 +49,7 @@ let unversioned base = { base; ver = 0 }
    promotes global scalars, address-exposed local scalars, and scalar
    components of structure variables. *)
 let promotable_kind = function
-  | Global | Addr_local _ | Struct_field _ -> true
+  | Global | Addr_local _ | Struct_field _ | Elem _ -> true
   | Array _ | Heap -> false
 
 module ResMap = Map.Make (struct

@@ -14,6 +14,10 @@ type var_kind =
       (** scalar field of a global struct: (struct var name, field name) *)
   | Array of int  (** aggregate array variable; never promoted *)
   | Heap  (** the anonymous heap; never promoted *)
+  | Elem of string
+      (** scalar-replacement cell carved from an array element (scalrep
+          pass); owner function. Promotable like an address-exposed
+          local. *)
 
 type var = {
   vid : Ids.vid;

@@ -200,6 +200,7 @@ let rec gen_stmt sema cs ~fn ~lp (s : Ast.stmt) : unit =
   | Ast.Return None | Ast.Break | Ast.Continue -> ()
   | Ast.Print e -> gen_expr sema cs ~fn ~lp e
   | Ast.Block stmts -> List.iter (gen_stmt sema cs ~fn ~lp) stmts
+  | Ast.Cell_decl _ -> () (* scalrep cells are int scalars; no pointers *)
 
 (* pointer-typed locals and parameters of a function *)
 let ptr_locals (sema : Sema.t) (f : Ast.func) : StrSet.t =

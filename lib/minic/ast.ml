@@ -66,6 +66,10 @@ and stmt_kind =
   | Continue
   | Print of expr
   | Block of stmt list
+  | Cell_decl of { name : string; arr : string }
+      (** internal: scalar-replacement cell carved from array [arr] by the
+          scalrep pass. Never produced by the parser; lowers to a
+          promotable [Resource.Elem] memory variable. *)
 
 type param = { pname : string; pis_ptr : bool }
 

@@ -234,7 +234,7 @@ and lower_lval_read (fe : fenv) pos (lv : Ast.lvalue) : Instr.operand =
                   (* array name decays to its address *)
                   Builder.addr_of b vid (Instr.Imm 0)
               | Resource.Global | Resource.Addr_local _
-              | Resource.Struct_field _ | Resource.Heap ->
+              | Resource.Struct_field _ | Resource.Heap | Resource.Elem _ ->
                   Builder.load b ~name vid)
           | None -> error pos "unknown variable %s" name))
   | Ast.Lfield (s, f) -> (
@@ -425,6 +425,15 @@ let rec lower_stmt (fe : fenv) (s : Ast.stmt) : unit =
       let op = lower_expr fe e in
       Builder.print b op
   | Ast.Block stmts -> List.iter (lower_stmt fe) stmts
+  | Ast.Cell_decl { name; arr = _ } ->
+      (* scalrep cell: its own promotable memory variable. The transform
+         guarantees def-before-use, so no initialising store is needed. *)
+      let vid =
+        Resource.add_var fe.g.prog.Func.vartab
+          ~name:(fe.fn ^ ":" ^ name)
+          ~kind:(Resource.Elem fe.fn) ~init:0
+      in
+      fe.slots <- StrMap.add name (Smem vid) fe.slots
 
 (* ------------------------------------------------------------------ *)
 (* Program *)

@@ -34,6 +34,12 @@ let expect st tok =
   if peek st = tok then advance st
   else error st "expected '%s'" (Token.to_string tok)
 
+(* [expect] with the enclosing construct named, so errors deep inside
+   a subscript or a [for] header say what they were parsing *)
+let expect_in st ctx tok =
+  if peek st = tok then advance st
+  else error st "%s: expected '%s'" ctx (Token.to_string tok)
+
 let expect_ident st =
   match peek st with
   | Token.IDENT s ->
@@ -201,9 +207,16 @@ and parse_postfix st : Ast.expr =
   while !continue do
     match peek st with
     | Token.LBRACKET ->
+        let opened = cur_pos st in
         advance st;
+        if peek st = Token.RBRACKET then
+          error st "array subscript needs an index expression";
         let idx = parse_expr st in
-        expect st Token.RBRACKET;
+        if peek st = Token.RBRACKET then advance st
+        else
+          error st
+            "array subscript opened at %d:%d is not closed: expected ']'"
+            opened.Ast.line opened.Ast.col;
         e := mk (Ast.Lval (Ast.Lindex (!e, idx)))
     | Token.DOT ->
         advance st;
@@ -306,19 +319,19 @@ let rec parse_stmt st : Ast.stmt =
       mk (Ast.Do_while (body, cond))
   | Token.KW_FOR ->
       advance st;
-      expect st Token.LPAREN;
+      expect_in st "'for' header" Token.LPAREN;
       let init =
         if peek st = Token.SEMI then None else Some (parse_expr st)
       in
-      expect st Token.SEMI;
+      expect_in st "'for' header, after the initialiser" Token.SEMI;
       let cond =
         if peek st = Token.SEMI then None else Some (parse_expr st)
       in
-      expect st Token.SEMI;
+      expect_in st "'for' header, after the condition" Token.SEMI;
       let step =
         if peek st = Token.RPAREN then None else Some (parse_expr st)
       in
-      expect st Token.RPAREN;
+      expect_in st "'for' header, after the step" Token.RPAREN;
       mk (Ast.For (init, cond, step, parse_stmt st))
   | Token.KW_RETURN ->
       advance st;

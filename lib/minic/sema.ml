@@ -246,6 +246,11 @@ let rec check_stmt env (s : Ast.stmt) : unit =
   | Ast.Print e ->
       if check_expr env e <> Tint then error s.spos "print takes an int"
   | Ast.Block stmts -> List.iter (check_stmt env) stmts
+  | Ast.Cell_decl { name; arr = _ } ->
+      (* internal scalrep cell: an int-typed name visible to later
+         statements, but deliberately not a register local — lowering
+         gives it its own memory variable *)
+      env.local_tys <- StrMap.add name Tint env.local_tys
 
 (* ------------------------------------------------------------------ *)
 

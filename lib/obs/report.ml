@@ -6,9 +6,12 @@
    schema v4 adds the "pressure" section (the paper's Table 3:
    interference-graph colors / MAXLIVE / spills-at-budget before and
    after promotion, per function and program-wide) to pipeline
-   reports.  [parse] still accepts v1..v3 documents. *)
+   reports; schema v5 adds the "scalrep" section (whether the
+   pre-lowering scalar replacement of array references ran, and its
+   loop/group/cell counts) to pipeline reports.  [parse]
+   accepts the full v1..v5 range. *)
 
-let schema_version = 4
+let schema_version = 5
 
 let min_supported_version = 1
 

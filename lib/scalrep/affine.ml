@@ -1,0 +1,52 @@
+(* Affine subscript classification.
+
+   Inside a candidate [for] loop with induction variable [i] (step
+   exactly +1), an array subscript is useful to scalar replacement when
+   it is either
+
+   - {e induction-affine}: [i + c] for a compile-time constant [c]
+     (written [i], [i+2], [i-1], [2+i], ...), so consecutive iterations
+     touch elements a constant {e reuse distance} apart, or
+   - {e loop-invariant}: a literal index or a scalar variable that is
+     never assigned inside the loop, so every iteration touches the
+     same element.
+
+   Anything else ([i*2], [a[i]], [i+j], ...) is [Unknown] and disables
+   replacement for the array it subscripts. *)
+
+open Rp_minic
+
+type t =
+  | Ind of int  (** induction-affine: [i + c] with constant offset [c] *)
+  | Inv_const of int  (** loop-invariant literal index *)
+  | Inv_var of string
+      (** loop-invariant scalar variable index (validity — int-typed,
+          not assigned in the loop — is the caller's to check) *)
+  | Unknown
+
+let rec classify ~(ind : string) (e : Ast.expr) : t =
+  match e.e with
+  | Ast.Int n -> Inv_const n
+  | Ast.Lval (Ast.Lid x) -> if String.equal x ind then Ind 0 else Inv_var x
+  | Ast.Bin (Ast.Add, a, b) -> (
+      match (classify ~ind a, classify ~ind b) with
+      | Ind c, Inv_const k | Inv_const k, Ind c -> Ind (c + k)
+      | Inv_const a, Inv_const b -> Inv_const (a + b)
+      | _ -> Unknown)
+  | Ast.Bin (Ast.Sub, a, b) -> (
+      match (classify ~ind a, classify ~ind b) with
+      | Ind c, Inv_const k -> Ind (c - k)
+      | Inv_const a, Inv_const b -> Inv_const (a - b)
+      | _ -> Unknown)
+  | Ast.Un (Ast.Neg, a) -> (
+      match classify ~ind a with
+      | Inv_const n -> Inv_const (-n)
+      | _ -> Unknown)
+  | _ -> Unknown
+
+let equal a b =
+  match (a, b) with
+  | Ind x, Ind y | Inv_const x, Inv_const y -> x = y
+  | Inv_var x, Inv_var y -> String.equal x y
+  | Unknown, Unknown -> true
+  | _ -> false

@@ -1,0 +1,20 @@
+(** Affine subscript classification for scalar replacement.
+
+    Relative to the induction variable of a candidate loop (unit
+    step), a subscript either walks the array at a constant reuse
+    distance ([Ind c] = [i + c]), names one fixed element ([Inv_const]
+    / [Inv_var]), or is unusable ([Unknown]). *)
+
+open Rp_minic
+
+type t =
+  | Ind of int  (** induction-affine: [i + c] with constant offset [c] *)
+  | Inv_const of int  (** loop-invariant literal index *)
+  | Inv_var of string
+      (** loop-invariant scalar variable index (validity — int-typed,
+          not assigned in the loop — is the caller's to check) *)
+  | Unknown
+
+val classify : ind:string -> Ast.expr -> t
+
+val equal : t -> t -> bool

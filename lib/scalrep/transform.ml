@@ -1,0 +1,830 @@
+(* Scalar replacement of array references (Baradaran & Diniz; Domagała
+   et al. — see PAPERS.md).
+
+   The paper's promoter only touches scalars: every [a[i]] is lowered
+   to an aliased pointer load/store against the aggregate [Array]
+   resource and stays a memory access forever. This pass runs before
+   lowering, as an AST-to-AST rewrite, and carves the array elements a
+   [for] loop actually touches into fresh scalar cells
+   ([Ast.Cell_decl], lowered to promotable [Resource.Elem] variables)
+   so the existing interval/web/cost-model machinery promotes them
+   unchanged.
+
+   Two reuse shapes are exploited, per array, inside an eligible
+   [for (init; cond; i++) body]:
+
+   - An {e induction group} covers all references [a[i+c]] for
+     constant offsets [c] in a contiguous window [cmin..cmax]. One
+     cell per window slot; slots [cmin..cmax-1] are pre-loaded before
+     the first iteration, slot [cmax] is filled by a single "leading
+     edge" load at the top of each iteration (only if offset [cmax] is
+     ever read), and at the loop latch the window rotates by one
+     ([cell_c = cell_{c+1}]) to realise the cross-iteration reuse.
+     Writes store through to memory (so memory is always current) and
+     update the matching cell in the same expression.
+
+   - An {e invariant group} covers all references [a[k]] for one
+     loop-invariant index [k] (a literal or an unassigned scalar).
+     One cell, pre-loaded before the loop; writes retarget the cell
+     and a single write-back store runs after the loop exits.
+
+   The loop itself is inverted ([if (cond) do body' while (cond)]) so
+   the pre-loads only execute when the loop runs at least once; the
+   condition is required to be pure and scalar-only, and is evaluated
+   exactly as often as in the original loop.
+
+   Safety is established syntactically and conservatively: inside the
+   loop body there must be no calls, no control-flow escapes, no
+   nested loops, no address-taking and no pointer dereferences (so no
+   access can alias a replaced array behind the pass's back), and
+   every induction-group reference must be unconditional (so the
+   pre-loads of the window never touch an element the original
+   program would not have touched — no new out-of-bounds faults).
+   Arrays with an unclassifiable subscript, or with writes spread
+   over more than one group, are left untouched. *)
+
+open Rp_minic
+module StrMap = Sema.StrMap
+module StrSet = Sema.StrSet
+
+type stats = {
+  mutable loops_seen : int;  (** [for] loops inspected *)
+  mutable loops_transformed : int;
+  mutable groups_induction : int;
+  mutable groups_invariant : int;
+  mutable cells_carved : int;
+  mutable skip_loop_shape : int;
+      (** missing cond/step, non-unit step, impure condition, or an
+          unsuitable induction variable *)
+  mutable skip_body_unsafe : int;
+      (** calls, break/continue/return, nested loops, address-taking,
+          pointer dereferences, or assignment to the induction var *)
+  mutable skip_no_candidates : int;
+      (** eligible loop, but no array survived grouping with a
+          profitable group *)
+  mutable arrays_dropped : int;
+      (** arrays left untouched inside otherwise-transformed loops:
+          non-affine subscripts, multi-group writes, window too wide,
+          conditional window refs, or no profit *)
+}
+
+let empty_stats () =
+  {
+    loops_seen = 0;
+    loops_transformed = 0;
+    groups_induction = 0;
+    groups_invariant = 0;
+    cells_carved = 0;
+    skip_loop_shape = 0;
+    skip_body_unsafe = 0;
+    skip_no_candidates = 0;
+    arrays_dropped = 0;
+  }
+
+(* widest induction window we are willing to carve: 8 cells *)
+let max_window = 8
+
+(* ------------------------------------------------------------------ *)
+(* Loop-shape recognition *)
+
+(* the induction variable of a unit step: i++, ++i, i += 1, i = i + 1 *)
+let induction_of_step (step : Ast.expr) : string option =
+  match step.e with
+  | Ast.Post_incr (Ast.Lid i) | Ast.Pre_incr (Ast.Lid i) -> Some i
+  | Ast.Op_assign (Ast.Add, Ast.Lid i, { e = Ast.Int 1; _ }) -> Some i
+  | Ast.Assign
+      ( Ast.Lid i,
+        {
+          e =
+            Ast.Bin
+              (Ast.Add, { e = Ast.Lval (Ast.Lid j); _ }, { e = Ast.Int 1; _ });
+          _;
+        } )
+  | Ast.Assign
+      ( Ast.Lid i,
+        {
+          e =
+            Ast.Bin
+              (Ast.Add, { e = Ast.Int 1; _ }, { e = Ast.Lval (Ast.Lid j); _ });
+          _;
+        } )
+    when String.equal i j ->
+      Some i
+  | _ -> None
+
+(* pure, scalar-only condition: safe to duplicate into the guard and
+   re-evaluate at the same program points as the original header *)
+let rec pure_scalar_cond (e : Ast.expr) : bool =
+  match e.e with
+  | Ast.Int _ | Ast.Lval (Ast.Lid _) -> true
+  | Ast.Bin (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+      pure_scalar_cond a && pure_scalar_cond b
+  | Ast.Un (_, a) -> pure_scalar_cond a
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Body scan: safety + reference collection *)
+
+type ref_info = {
+  r_cls : Affine.t;
+  r_reads : int;  (** dynamic reads this reference performs (0 or 1) *)
+  r_writes : int;  (** dynamic writes (0 or 1) *)
+  r_cond : bool;  (** under an [if] branch or a short-circuit rhs *)
+}
+
+type scan = {
+  mutable unsafe : bool;
+  mutable refs : ref_info list StrMap.t;  (** per array, reverse order *)
+  mutable assigned : StrSet.t;  (** scalars assigned anywhere in the body *)
+  mutable decayed : StrSet.t;  (** arrays used as bare values *)
+}
+
+let add_ref acc arr r =
+  let cur = Option.value ~default:[] (StrMap.find_opt arr acc.refs) in
+  acc.refs <- StrMap.add arr (r :: cur) acc.refs
+
+type ctx = {
+  sema : Sema.t;
+  fname : string;
+  array_sizes : int StrMap.t;  (** global arrays only *)
+  int_scalars : StrSet.t;
+      (** names usable as invariant keys: int-typed locals, params and
+          global scalars of this function *)
+  addr_taken : StrSet.t;
+  prefix : string;  (** collision-free cell-name prefix *)
+  counter : int ref;  (** per-function loop id for fresh names *)
+  stats : stats;
+}
+
+let is_array ctx name = StrMap.mem name ctx.array_sizes
+
+let rec scan_expr ctx acc ~ind ~cond (e : Ast.expr) : unit =
+  match e.e with
+  | Ast.Int _ -> ()
+  | Ast.Lval lv -> scan_lval ctx acc ~ind ~cond ~reads:1 ~writes:0 lv
+  | Ast.Addr _ -> acc.unsafe <- true
+  | Ast.Bin (_, a, b) ->
+      scan_expr ctx acc ~ind ~cond a;
+      scan_expr ctx acc ~ind ~cond b
+  | Ast.Un (_, a) -> scan_expr ctx acc ~ind ~cond a
+  | Ast.And (a, b) | Ast.Or (a, b) ->
+      scan_expr ctx acc ~ind ~cond a;
+      (* the rhs only evaluates when the lhs doesn't short-circuit *)
+      scan_expr ctx acc ~ind ~cond:true b
+  | Ast.Call _ -> acc.unsafe <- true
+  | Ast.Assign (lv, rhs) ->
+      scan_lval ctx acc ~ind ~cond ~reads:0 ~writes:1 lv;
+      scan_expr ctx acc ~ind ~cond rhs
+  | Ast.Op_assign (_, lv, rhs) ->
+      scan_lval ctx acc ~ind ~cond ~reads:1 ~writes:1 lv;
+      scan_expr ctx acc ~ind ~cond rhs
+  | Ast.Pre_incr lv | Ast.Pre_decr lv | Ast.Post_incr lv | Ast.Post_decr lv
+    ->
+      scan_lval ctx acc ~ind ~cond ~reads:1 ~writes:1 lv
+
+and scan_lval ctx acc ~ind ~cond ~reads ~writes (lv : Ast.lvalue) : unit =
+  match lv with
+  | Ast.Lid x ->
+      if writes > 0 then begin
+        if String.equal x ind then acc.unsafe <- true
+        else acc.assigned <- StrSet.add x acc.assigned
+      end;
+      if is_array ctx x then
+        (* bare array value (pointer decay): leave this array alone *)
+        acc.decayed <- StrSet.add x acc.decayed
+  | Ast.Lfield _ -> () (* struct fields cannot alias arrays *)
+  | Ast.Lderef _ -> acc.unsafe <- true
+  | Ast.Lindex ({ e = Ast.Lval (Ast.Lid a); _ }, sub) when is_array ctx a ->
+      add_ref acc a
+        {
+          r_cls = Affine.classify ~ind sub;
+          r_reads = reads;
+          r_writes = writes;
+          r_cond = cond;
+        };
+      scan_expr ctx acc ~ind ~cond sub
+  | Ast.Lindex (base, sub) ->
+      (* pointer-based indexing may alias a replaced array *)
+      acc.unsafe <- true;
+      scan_expr ctx acc ~ind ~cond base;
+      scan_expr ctx acc ~ind ~cond sub
+
+let rec scan_stmt ctx acc ~ind ~cond (s : Ast.stmt) : unit =
+  match s.s with
+  | Ast.Expr e -> scan_expr ctx acc ~ind ~cond e
+  | Ast.Decl { name; init; _ } ->
+      acc.assigned <- StrSet.add name acc.assigned;
+      Option.iter (scan_expr ctx acc ~ind ~cond) init
+  | Ast.If (c, t, e) ->
+      scan_expr ctx acc ~ind ~cond c;
+      scan_stmt ctx acc ~ind ~cond:true t;
+      Option.iter (scan_stmt ctx acc ~ind ~cond:true) e
+  | Ast.Print e -> scan_expr ctx acc ~ind ~cond e
+  | Ast.Block ss -> List.iter (scan_stmt ctx acc ~ind ~cond) ss
+  | Ast.While _ | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
+  | Ast.Continue | Ast.Cell_decl _ ->
+      acc.unsafe <- true
+
+(* ------------------------------------------------------------------ *)
+(* Grouping and profitability *)
+
+type inv_key = Kint of int | Kvar of string
+
+type group =
+  | Ginduction of {
+      arr : string;
+      cmin : int;
+      cmax : int;
+      fill : bool;  (** offset [cmax] is read: needs the leading load *)
+      cells : string array;  (** one per offset, index [c - cmin] *)
+    }
+  | Ginvariant of {
+      arr : string;
+      key : inv_key;
+      cell : string;
+      has_write : bool;
+    }
+
+(* a valid invariant key variable: int scalar, untouched by the loop,
+   and not the induction variable itself *)
+let valid_inv_var ctx acc ~ind x =
+  (not (String.equal x ind))
+  && StrSet.mem x ctx.int_scalars
+  && not (StrSet.mem x acc.assigned)
+
+(* groups for one array, or None when the array must be left alone *)
+let groups_of_array ctx acc ~ind ~loop_id arr (refs : ref_info list) :
+    group list option =
+  let size = StrMap.find arr ctx.array_sizes in
+  let drop () =
+    ctx.stats.arrays_dropped <- ctx.stats.arrays_dropped + 1;
+    None
+  in
+  if StrSet.mem arr acc.decayed then drop ()
+  else if
+    List.exists
+      (fun r ->
+        match r.r_cls with
+        | Affine.Unknown -> true
+        | Affine.Inv_var x -> not (valid_inv_var ctx acc ~ind x)
+        | Affine.Ind _ | Affine.Inv_const _ -> false)
+      refs
+    (* an invalid key variable is a varying subscript in disguise *)
+  then drop ()
+  else begin
+    let ind_refs =
+      List.filter (fun r -> match r.r_cls with Affine.Ind _ -> true | _ -> false) refs
+    in
+    let inv_keys =
+      List.fold_left
+        (fun ks r ->
+          match r.r_cls with
+          | Affine.Inv_const n ->
+              if List.mem (Kint n) ks then ks else Kint n :: ks
+          | Affine.Inv_var x ->
+              if List.mem (Kvar x) ks then ks else Kvar x :: ks
+          | _ -> ks)
+        [] refs
+      |> List.rev
+    in
+    let n_groups = (if ind_refs = [] then 0 else 1) + List.length inv_keys in
+    let any_write = List.exists (fun r -> r.r_writes > 0) refs in
+    (* writes spilling across groups would leave some cells stale *)
+    if n_groups > 1 && any_write then drop ()
+    else begin
+      let cell ~suffix =
+        Printf.sprintf "%s%d_%s_%s" ctx.prefix loop_id arr suffix
+      in
+      let induction =
+        if ind_refs = [] then []
+        else begin
+          let offs =
+            List.filter_map
+              (fun r ->
+                match r.r_cls with Affine.Ind c -> Some c | _ -> None)
+              ind_refs
+          in
+          let cmin = List.fold_left min max_int offs in
+          let cmax = List.fold_left max min_int offs in
+          let read_offs =
+            List.filter_map
+              (fun r ->
+                match r.r_cls with
+                | Affine.Ind c when r.r_reads > 0 -> Some c
+                | _ -> None)
+              ind_refs
+          in
+          let fill = List.mem cmax read_offs in
+          let dyn_reads =
+            List.fold_left (fun n r -> n + r.r_reads) 0 ind_refs
+          in
+          if cmax - cmin + 1 > max_window then []
+          else if List.exists (fun r -> r.r_cond) ind_refs then
+            (* conditional window refs: the pre-loads could fault where
+               the original program would not have *)
+            []
+          else if dyn_reads - (if fill then 1 else 0) <= 0 then
+            (* no loads saved: leave the stores as they are *)
+            []
+          else
+            [
+              Ginduction
+                {
+                  arr;
+                  cmin;
+                  cmax;
+                  fill;
+                  cells =
+                    Array.init
+                      (cmax - cmin + 1)
+                      (fun k ->
+                        let c = cmin + k in
+                        cell
+                          ~suffix:
+                            (if c < 0 then Printf.sprintf "m%d" (-c)
+                             else string_of_int c));
+                };
+            ]
+        end
+      in
+      let ind_dropped_writes =
+        induction = []
+        && List.exists (fun r -> r.r_writes > 0) ind_refs
+        && ind_refs <> []
+      in
+      let invariant =
+        List.filter_map
+          (fun key ->
+            let key_refs =
+              List.filter
+                (fun r ->
+                  match (r.r_cls, key) with
+                  | Affine.Inv_const n, Kint m -> n = m
+                  | Affine.Inv_var x, Kvar y -> String.equal x y
+                  | _ -> false)
+                refs
+            in
+            let has_write = List.exists (fun r -> r.r_writes > 0) key_refs in
+            let safe =
+              match key with
+              | Kint n -> n >= 0 && n < size
+              | Kvar _ -> List.exists (fun r -> not r.r_cond) key_refs
+            in
+            if not safe then None
+            else
+              let suffix =
+                match key with
+                | Kint n -> Printf.sprintf "k%d" n
+                | Kvar x -> "v_" ^ x
+              in
+              Some (Ginvariant { arr; key; cell = cell ~suffix; has_write }))
+          inv_keys
+      in
+      let inv_dropped_writes =
+        List.length invariant < List.length inv_keys && any_write
+      in
+      (* a dropped group that wrote memory would leave the kept cells
+         stale; with the multi-group rule above this can only trigger
+         when the write-bearing group was the sole group, but keep the
+         check explicit *)
+      if
+        (ind_dropped_writes || inv_dropped_writes)
+        && (induction <> [] || invariant <> [])
+      then drop ()
+      else
+        match induction @ invariant with
+        | [] -> drop ()
+        | gs -> Some gs
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite *)
+
+let mk ~pos e : Ast.expr = { Ast.e; epos = pos }
+
+let mks ~pos s : Ast.stmt = { Ast.s; spos = pos }
+
+let lval ~pos lv = mk ~pos (Ast.Lval lv)
+
+let id_e ~pos x = lval ~pos (Ast.Lid x)
+
+(* [i + c] in the natural spelling *)
+let idx_expr ~pos ind c =
+  if c = 0 then id_e ~pos ind
+  else if c > 0 then mk ~pos (Ast.Bin (Ast.Add, id_e ~pos ind, mk ~pos (Ast.Int c)))
+  else mk ~pos (Ast.Bin (Ast.Sub, id_e ~pos ind, mk ~pos (Ast.Int (-c))))
+
+let key_expr ~pos = function
+  | Kint n -> mk ~pos (Ast.Int n)
+  | Kvar x -> id_e ~pos x
+
+let arr_index ~pos arr sub = Ast.Lindex (id_e ~pos arr, sub)
+
+(* what a replaced reference maps to *)
+type target =
+  | Tind of string (* cell; writes store through *)
+  | Tinv of string (* cell; writes retarget the cell *)
+
+let target_of groups ~ind arr (sub : Ast.expr) : target option =
+  match Affine.classify ~ind sub with
+  | Affine.Ind c ->
+      List.find_map
+        (function
+          | Ginduction g
+            when String.equal g.arr arr && c >= g.cmin && c <= g.cmax ->
+              Some (Tind g.cells.(c - g.cmin))
+          | _ -> None)
+        groups
+  | Affine.Inv_const n ->
+      List.find_map
+        (function
+          | Ginvariant g when String.equal g.arr arr && g.key = Kint n ->
+              Some (Tinv g.cell)
+          | _ -> None)
+        groups
+  | Affine.Inv_var x ->
+      List.find_map
+        (function
+          | Ginvariant g when String.equal g.arr arr && g.key = Kvar x ->
+              Some (Tinv g.cell)
+          | _ -> None)
+        groups
+  | Affine.Unknown -> None
+
+let rec rw_expr groups ~ind (e : Ast.expr) : Ast.expr =
+  let pos = e.Ast.epos in
+  let rw = rw_expr groups ~ind in
+  let retarget lv = rw_lval_target groups ~ind ~pos lv in
+  match e.Ast.e with
+  | Ast.Int _ -> e
+  | Ast.Lval lv -> (
+      match retarget lv with
+      | Some (Tind cell | Tinv cell) -> id_e ~pos cell
+      | None -> lval ~pos (rw_lval groups ~ind lv))
+  | Ast.Addr lv -> mk ~pos (Ast.Addr (rw_lval groups ~ind lv))
+  | Ast.Bin (op, a, b) -> mk ~pos (Ast.Bin (op, rw a, rw b))
+  | Ast.Un (op, a) -> mk ~pos (Ast.Un (op, rw a))
+  | Ast.And (a, b) -> mk ~pos (Ast.And (rw a, rw b))
+  | Ast.Or (a, b) -> mk ~pos (Ast.Or (rw a, rw b))
+  | Ast.Call (f, args) -> mk ~pos (Ast.Call (f, List.map rw args))
+  | Ast.Assign (lv, rhs) -> (
+      match retarget lv with
+      | Some (Tind cell) ->
+          (* store through, then latch the value into the cell; the
+             whole expression still evaluates to the stored value *)
+          mk ~pos
+            (Ast.Assign (Ast.Lid cell, mk ~pos (Ast.Assign (lv, rw rhs))))
+      | Some (Tinv cell) -> mk ~pos (Ast.Assign (Ast.Lid cell, rw rhs))
+      | None -> mk ~pos (Ast.Assign (rw_lval groups ~ind lv, rw rhs)))
+  | Ast.Op_assign (op, lv, rhs) -> (
+      match retarget lv with
+      | Some (Tind cell) ->
+          (* the old value comes from the cell, the store goes through *)
+          mk ~pos
+            (Ast.Assign
+               ( Ast.Lid cell,
+                 mk ~pos
+                   (Ast.Assign
+                      (lv, mk ~pos (Ast.Bin (op, id_e ~pos cell, rw rhs)))) ))
+      | Some (Tinv cell) -> mk ~pos (Ast.Op_assign (op, Ast.Lid cell, rw rhs))
+      | None -> mk ~pos (Ast.Op_assign (op, rw_lval groups ~ind lv, rw rhs)))
+  | Ast.Pre_incr lv -> rw_incr groups ~ind ~pos ~post:false Ast.Add lv e
+  | Ast.Pre_decr lv -> rw_incr groups ~ind ~pos ~post:false Ast.Sub lv e
+  | Ast.Post_incr lv -> rw_incr groups ~ind ~pos ~post:true Ast.Add lv e
+  | Ast.Post_decr lv -> rw_incr groups ~ind ~pos ~post:true Ast.Sub lv e
+
+and rw_incr groups ~ind ~pos ~post op lv (orig : Ast.expr) : Ast.expr =
+  match rw_lval_target groups ~ind ~pos lv with
+  | Some (Tind cell) ->
+      (* cell = (a[s] = cell op 1): evaluates to the new value; a
+         post-form recovers the old value by undoing the op *)
+      let stored =
+        mk ~pos
+          (Ast.Assign
+             ( Ast.Lid cell,
+               mk ~pos
+                 (Ast.Assign
+                    ( lv,
+                      mk ~pos (Ast.Bin (op, id_e ~pos cell, mk ~pos (Ast.Int 1)))
+                    )) ))
+      in
+      if post then
+        let undo = match op with Ast.Add -> Ast.Sub | _ -> Ast.Add in
+        mk ~pos (Ast.Bin (undo, stored, mk ~pos (Ast.Int 1)))
+      else stored
+  | Some (Tinv cell) ->
+      let k =
+        match (post, op) with
+        | false, Ast.Add -> Ast.Pre_incr (Ast.Lid cell)
+        | false, _ -> Ast.Pre_decr (Ast.Lid cell)
+        | true, Ast.Add -> Ast.Post_incr (Ast.Lid cell)
+        | true, _ -> Ast.Post_decr (Ast.Lid cell)
+      in
+      mk ~pos k
+  | None -> (
+      let lv' = rw_lval groups ~ind lv in
+      match orig.Ast.e with
+      | Ast.Pre_incr _ -> mk ~pos (Ast.Pre_incr lv')
+      | Ast.Pre_decr _ -> mk ~pos (Ast.Pre_decr lv')
+      | Ast.Post_incr _ -> mk ~pos (Ast.Post_incr lv')
+      | _ -> mk ~pos (Ast.Post_decr lv'))
+
+(* the replacement target of a reference, if any; the subscript of a
+   replaced reference is affine, hence side-effect free *)
+and rw_lval_target groups ~ind ~pos:_ (lv : Ast.lvalue) : target option =
+  match lv with
+  | Ast.Lindex ({ e = Ast.Lval (Ast.Lid a); _ }, sub) ->
+      target_of groups ~ind a sub
+  | _ -> None
+
+and rw_lval groups ~ind (lv : Ast.lvalue) : Ast.lvalue =
+  match lv with
+  | Ast.Lid _ | Ast.Lfield _ -> lv
+  | Ast.Lindex (b, s) ->
+      Ast.Lindex (rw_expr groups ~ind b, rw_expr groups ~ind s)
+  | Ast.Lderef e -> Ast.Lderef (rw_expr groups ~ind e)
+
+let rec rw_stmt groups ~ind (s : Ast.stmt) : Ast.stmt =
+  let pos = s.Ast.spos in
+  match s.Ast.s with
+  | Ast.Expr e -> mks ~pos (Ast.Expr (rw_expr groups ~ind e))
+  | Ast.Decl d ->
+      mks ~pos
+        (Ast.Decl { d with init = Option.map (rw_expr groups ~ind) d.init })
+  | Ast.If (c, t, e) ->
+      mks ~pos
+        (Ast.If
+           ( rw_expr groups ~ind c,
+             rw_stmt groups ~ind t,
+             Option.map (rw_stmt groups ~ind) e ))
+  | Ast.Print e -> mks ~pos (Ast.Print (rw_expr groups ~ind e))
+  | Ast.Block ss -> mks ~pos (Ast.Block (List.map (rw_stmt groups ~ind) ss))
+  | Ast.While _ | Ast.Do_while _ | Ast.For _ | Ast.Return _ | Ast.Break
+  | Ast.Continue | Ast.Cell_decl _ ->
+      (* excluded by the safety scan *)
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Loop assembly *)
+
+let build_loop ~pos ~ind ~init ~cond ~step ~body groups : Ast.stmt =
+  let expr_stmt e = mks ~pos (Ast.Expr e) in
+  let assign_cell cell e = expr_stmt (mk ~pos (Ast.Assign (Ast.Lid cell, e))) in
+  let decls =
+    List.concat_map
+      (function
+        | Ginduction g ->
+            Array.to_list g.cells
+            |> List.map (fun name ->
+                   mks ~pos (Ast.Cell_decl { name; arr = g.arr }))
+        | Ginvariant g -> [ mks ~pos (Ast.Cell_decl { name = g.cell; arr = g.arr }) ])
+      groups
+  in
+  let preludes =
+    List.concat_map
+      (function
+        | Ginduction g ->
+            (* trailing window slots; the leading slot comes from the
+               per-iteration fill load (or the store-through) *)
+            List.init
+              (g.cmax - g.cmin)
+              (fun k ->
+                let c = g.cmin + k in
+                assign_cell g.cells.(k)
+                  (lval ~pos (arr_index ~pos g.arr (idx_expr ~pos ind c))))
+        | Ginvariant g ->
+            [
+              assign_cell g.cell
+                (lval ~pos (arr_index ~pos g.arr (key_expr ~pos g.key)));
+            ])
+      groups
+  in
+  let fills =
+    List.concat_map
+      (function
+        | Ginduction g when g.fill ->
+            [
+              assign_cell
+                g.cells.(g.cmax - g.cmin)
+                (lval ~pos (arr_index ~pos g.arr (idx_expr ~pos ind g.cmax)));
+            ]
+        | _ -> [])
+      groups
+  in
+  let rotations =
+    List.concat_map
+      (function
+        | Ginduction g ->
+            List.init
+              (g.cmax - g.cmin)
+              (fun k -> assign_cell g.cells.(k) (id_e ~pos g.cells.(k + 1)))
+        | Ginvariant _ -> [])
+      groups
+  in
+  let writebacks =
+    List.concat_map
+      (function
+        | Ginvariant g when g.has_write ->
+            [
+              expr_stmt
+                (mk ~pos
+                   (Ast.Assign
+                      ( arr_index ~pos g.arr (key_expr ~pos g.key),
+                        id_e ~pos g.cell )));
+            ]
+        | _ -> [])
+      groups
+  in
+  let body' = rw_stmt groups ~ind body in
+  let latch =
+    mks ~pos
+      (Ast.Block (fills @ [ body' ] @ rotations @ [ expr_stmt step ]))
+  in
+  let inverted = mks ~pos (Ast.Do_while (latch, cond)) in
+  let guarded =
+    mks ~pos
+      (Ast.If
+         ( cond,
+           mks ~pos (Ast.Block (decls @ preludes @ [ inverted ] @ writebacks)),
+           None ))
+  in
+  match init with
+  | Some e -> mks ~pos (Ast.Block [ expr_stmt e; guarded ])
+  | None -> guarded
+
+(* ------------------------------------------------------------------ *)
+(* Per-loop driver *)
+
+let try_loop ctx ~pos init cond step body : Ast.stmt option =
+  let shape_skip () =
+    ctx.stats.skip_loop_shape <- ctx.stats.skip_loop_shape + 1;
+    None
+  in
+  match induction_of_step step with
+  | None -> shape_skip ()
+  | Some ind ->
+      if
+        (not (StrSet.mem ind ctx.int_scalars))
+        || StrSet.mem ind ctx.addr_taken
+        || StrMap.mem ind ctx.sema.Sema.global_kinds
+        || not (pure_scalar_cond cond)
+      then shape_skip ()
+      else begin
+        let acc =
+          {
+            unsafe = false;
+            refs = StrMap.empty;
+            assigned = StrSet.empty;
+            decayed = StrSet.empty;
+          }
+        in
+        (* [init] runs once before the loop and needs no vetting *)
+        scan_stmt ctx acc ~ind ~cond:false body;
+        if acc.unsafe then begin
+          ctx.stats.skip_body_unsafe <- ctx.stats.skip_body_unsafe + 1;
+          None
+        end
+        else begin
+          let loop_id = !(ctx.counter) in
+          incr ctx.counter;
+          let groups =
+            StrMap.fold
+              (fun arr refs gs ->
+                match
+                  groups_of_array ctx acc ~ind ~loop_id arr (List.rev refs)
+                with
+                | Some g -> gs @ g
+                | None -> gs)
+              acc.refs []
+          in
+          if groups = [] then begin
+            ctx.stats.skip_no_candidates <- ctx.stats.skip_no_candidates + 1;
+            None
+          end
+          else begin
+            List.iter
+              (function
+                | Ginduction g ->
+                    ctx.stats.groups_induction <-
+                      ctx.stats.groups_induction + 1;
+                    ctx.stats.cells_carved <-
+                      ctx.stats.cells_carved + Array.length g.cells
+                | Ginvariant _ ->
+                    ctx.stats.groups_invariant <-
+                      ctx.stats.groups_invariant + 1;
+                    ctx.stats.cells_carved <- ctx.stats.cells_carved + 1)
+              groups;
+            Some (build_loop ~pos ~ind ~init ~cond ~step ~body groups)
+          end
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Function / program walk *)
+
+let rec tr_stmt ctx (s : Ast.stmt) : Ast.stmt =
+  match s.Ast.s with
+  | Ast.For (init, Some cond, Some step, body) -> (
+      ctx.stats.loops_seen <- ctx.stats.loops_seen + 1;
+      match try_loop ctx ~pos:s.Ast.spos init cond step body with
+      | Some s' ->
+          ctx.stats.loops_transformed <- ctx.stats.loops_transformed + 1;
+          s'
+      | None ->
+          {
+            s with
+            Ast.s = Ast.For (init, Some cond, Some step, tr_stmt ctx body);
+          })
+  | Ast.For (init, cond, step, body) ->
+      ctx.stats.loops_seen <- ctx.stats.loops_seen + 1;
+      ctx.stats.skip_loop_shape <- ctx.stats.skip_loop_shape + 1;
+      { s with Ast.s = Ast.For (init, cond, step, tr_stmt ctx body) }
+  | Ast.If (c, t, e) ->
+      { s with Ast.s = Ast.If (c, tr_stmt ctx t, Option.map (tr_stmt ctx) e) }
+  | Ast.While (c, b) -> { s with Ast.s = Ast.While (c, tr_stmt ctx b) }
+  | Ast.Do_while (b, c) -> { s with Ast.s = Ast.Do_while (tr_stmt ctx b, c) }
+  | Ast.Block ss -> { s with Ast.s = Ast.Block (List.map (tr_stmt ctx) ss) }
+  | Ast.Expr _ | Ast.Decl _ | Ast.Return _ | Ast.Break | Ast.Continue
+  | Ast.Print _ | Ast.Cell_decl _ ->
+      s
+
+(* a cell-name prefix no existing identifier shares *)
+let fresh_prefix (prog : Ast.program) : string =
+  let rec names_of_stmt (s : Ast.stmt) acc =
+    match s.Ast.s with
+    | Ast.Decl { name; _ } -> name :: acc
+    | Ast.If (_, t, e) ->
+        let acc = names_of_stmt t acc in
+        Option.fold ~none:acc ~some:(fun e -> names_of_stmt e acc) e
+    | Ast.While (_, b) | Ast.Do_while (b, _) | Ast.For (_, _, _, b) ->
+        names_of_stmt b acc
+    | Ast.Block ss -> List.fold_left (fun a s -> names_of_stmt s a) acc ss
+    | _ -> acc
+  in
+  let names =
+    List.concat_map
+      (fun (f : Ast.func) ->
+        List.map (fun (p : Ast.param) -> p.Ast.pname) f.Ast.fparams
+        @ List.fold_left (fun a s -> names_of_stmt s a) [] f.Ast.fbody)
+      prog.Ast.funcs
+  in
+  let rec pick p =
+    if List.exists (fun n -> String.length n >= String.length p
+                             && String.equal (String.sub n 0 (String.length p)) p)
+         names
+    then pick (p ^ "z")
+    else p
+  in
+  pick "__sr"
+
+let program (sema : Sema.t) : Ast.program * stats =
+  let stats = empty_stats () in
+  let prog = sema.Sema.prog in
+  let array_sizes =
+    List.fold_left
+      (fun m (g : Ast.global) ->
+        match g with
+        | Ast.Garray { gname; gsize } -> StrMap.add gname gsize m
+        | _ -> m)
+      StrMap.empty prog.Ast.globals
+  in
+  let global_scalars =
+    StrMap.fold
+      (fun name k acc ->
+        match k with Sema.Gk_scalar -> StrSet.add name acc | _ -> acc)
+      sema.Sema.global_kinds StrSet.empty
+  in
+  let prefix = fresh_prefix prog in
+  let funcs =
+    List.map
+      (fun (f : Ast.func) ->
+        let info = Sema.func_info sema f.Ast.fname in
+        let int_scalars =
+          List.fold_left
+            (fun acc (name, is_ptr) ->
+              if is_ptr then acc else StrSet.add name acc)
+            global_scalars info.Sema.locals
+        in
+        let int_scalars =
+          List.fold_left
+            (fun acc (p : Ast.param) ->
+              if p.Ast.pis_ptr then acc else StrSet.add p.Ast.pname acc)
+            int_scalars f.Ast.fparams
+        in
+        let ctx =
+          {
+            sema;
+            fname = f.Ast.fname;
+            array_sizes;
+            int_scalars;
+            addr_taken = info.Sema.addr_taken;
+            prefix;
+            counter = ref 0;
+            stats;
+          }
+        in
+        { f with Ast.fbody = List.map (tr_stmt ctx) f.Ast.fbody })
+      prog.Ast.funcs
+  in
+  ({ prog with Ast.funcs }, stats)

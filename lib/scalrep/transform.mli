@@ -1,0 +1,45 @@
+(** Scalar replacement of array references.
+
+    An AST-to-AST rewrite that runs between parsing and semantic
+    re-analysis: eligible [for] loops have their affine array
+    references ([a[i+c]] windows, loop-invariant [a[k]]) carved into
+    fresh scalar cells ({!Rp_minic.Ast.Cell_decl}, lowered to
+    promotable [Resource.Elem] variables), with rotating copies at the
+    loop latch realising cross-iteration reuse. The existing
+    interval/web/cost-model promotion machinery then promotes the
+    cells like any other scalar.
+
+    The rewrite preserves behaviour for programs that stay in bounds;
+    like classical scalar replacement it may surface an out-of-bounds
+    fault slightly earlier (at the pre-loads) than the original
+    program would have. *)
+
+open Rp_minic
+
+type stats = {
+  mutable loops_seen : int;  (** [for] loops inspected *)
+  mutable loops_transformed : int;
+  mutable groups_induction : int;
+  mutable groups_invariant : int;
+  mutable cells_carved : int;
+  mutable skip_loop_shape : int;
+      (** missing cond/step, non-unit step, impure condition, or an
+          unsuitable induction variable *)
+  mutable skip_body_unsafe : int;
+      (** calls, break/continue/return, nested loops, address-taking,
+          pointer dereferences, or assignment to the induction var *)
+  mutable skip_no_candidates : int;
+      (** eligible loop, but no array survived grouping with a
+          profitable group *)
+  mutable arrays_dropped : int;
+      (** arrays left untouched inside inspected loops: non-affine
+          subscripts, multi-group writes, window too wide, conditional
+          window refs, or no profit *)
+}
+
+val empty_stats : unit -> stats
+
+(** Rewrite every function of the analysed program. The result must be
+    re-analysed ({!Rp_minic.Sema.analyse}) before aliasing/lowering:
+    the rewrite introduces new statements and names. *)
+val program : Sema.t -> Ast.program * stats

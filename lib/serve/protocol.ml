@@ -163,6 +163,9 @@ let options_to_json ?(for_key = false) (o : P.options) : J.t =
           the report bytes: part of the key, encoded from the effective
           value like [regs] *)
        ("spill_order", J.Bool (P.effective_spill_order o));
+       (* scalar replacement rewrites the program before lowering,
+          hence the report bytes: part of the key *)
+       ("scalrep", J.Bool o.P.scalrep);
      ]
     @
     (* jobs and interp are left out of the cache key on purpose: the
@@ -228,6 +231,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         | _ -> None))
   in
   let* spill_order = take d.P.spill_order (field v "spill_order" as_bool) in
+  let* scalrep = take d.P.scalrep (field v "scalrep" as_bool) in
   let* insert_dummies =
     take dc.Rp_core.Promote.insert_dummies (field v "insert_dummies" as_bool)
   in
@@ -270,6 +274,7 @@ let options_of_json (v : J.t) : (P.options, string) result =
         interp;
         regs;
         spill_order;
+        scalrep;
       }
 
 let options_fingerprint ?for_key (o : P.options) : string =

@@ -1,7 +1,9 @@
 (* The benchmark suite: eight MiniC programs named after the SPECInt95
    benchmarks of the paper's evaluation, each engineered to echo the
    published opportunity profile (see each module's header and
-   DESIGN.md for the correspondence). *)
+   DESIGN.md for the correspondence), plus the stencil/DSP family
+   (blur, dot, lpc) built around affine array reuse that only the
+   --scalrep pre-pass can promote. *)
 
 type workload = {
   name : string;
@@ -22,6 +24,9 @@ let scale_patterns =
     ("sc", "round < 30");
     ("compr", "n < 12000");
     ("vortex", "n < 2500");
+    ("blur", "round < 200");
+    ("dot", "round < 150");
+    ("lpc", "round < 120");
   ]
 
 (* Replace the first occurrence of [pat] in [s] with [rep]. *)
@@ -70,6 +75,21 @@ let all : workload list =
       name = W_vortex.name;
       description = W_vortex.description;
       source = W_vortex.source;
+    };
+    {
+      name = W_blur.name;
+      description = W_blur.description;
+      source = W_blur.source;
+    };
+    {
+      name = W_dot.name;
+      description = W_dot.description;
+      source = W_dot.source;
+    };
+    {
+      name = W_lpc.name;
+      description = W_lpc.description;
+      source = W_lpc.source;
     };
   ]
 

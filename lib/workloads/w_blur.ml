@@ -1,0 +1,57 @@
+(* "blur" — 1-D 7-tap stencil, the flagship scalar-replacement shape.
+
+   Each iteration reads sig[i-3] .. sig[i+3]: seven array loads of
+   which six were already loaded by earlier iterations (reuse distance
+   1..6).  With --scalrep the window lives in seven rotating scalar
+   cells, so steady state costs one fill load per iteration — a ~7x
+   cut in dynamic array loads.  Without it the subscripted reads are
+   aliased accesses the interval promoter cannot touch, so the
+   workload isolates exactly what the affine-reuse subsystem adds. *)
+
+let name = "blur"
+
+let description =
+  "1-D 7-tap box blur over a signal buffer; every output reads a \
+   7-element sliding window, so --scalrep trades ~7 array loads per \
+   iteration for one fill plus register-resident rotation"
+
+let source =
+  {|
+// blur: sliding-window stencil, repeated over rounds.
+int sig[256];
+int out[256];
+int checksum = 0;
+
+void fill() {
+  int i;
+  int v = 7;
+  for (i = 0; i < 256; i++) {
+    v = (v * 29 + 13) % 211;
+    sig[i] = v;              // writes only: nothing to replace here
+  }
+}
+
+// the hot loop: 7 affine reads of sig per iteration, one aliased
+// store to out (write-only, stays in memory), scalar accumulation
+void blur_pass() {
+  int i;
+  int acc = 0;
+  for (i = 3; i < 253; i++) {
+    int t = sig[i - 3] + sig[i - 2] + sig[i - 1] + sig[i]
+          + sig[i + 1] + sig[i + 2] + sig[i + 3];
+    out[i] = t / 7;
+    acc = acc + t;
+  }
+  checksum = (checksum + acc) % 65536;
+}
+
+int main() {
+  int round;
+  fill();
+  for (round = 0; round < 200; round++) {
+    blur_pass();
+  }
+  print(checksum);
+  return checksum % 251;
+}
+|}

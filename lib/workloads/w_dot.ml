@@ -1,0 +1,58 @@
+(* "dot" — banked dot products with a loop-invariant accumulator.
+
+   The inner loop accumulates into acc[c] where c is fixed for the
+   whole loop: a loop-invariant subscript.  --scalrep carves one cell
+   for acc[c], turning n read-modify-write round trips into register
+   arithmetic plus a single writeback store — the invariant-group half
+   of the subsystem (the blur/lpc workloads exercise the induction
+   windows).  x[i]/w[i] are single-use streams with no reuse, so they
+   correctly stay in memory. *)
+
+let name = "dot"
+
+let description =
+  "dot products accumulated into a bank cell acc[c] with loop-invariant \
+   c; --scalrep keeps the accumulator in a register and stores it back \
+   once, collapsing n stores to 1"
+
+let source =
+  {|
+// dot: streaming reduction into an invariant-subscript accumulator.
+int x[512];
+int w[512];
+int acc[8];
+
+void setup() {
+  int i;
+  int v = 3;
+  for (i = 0; i < 512; i++) {
+    v = (v * 17 + 7) % 97;
+    x[i] = v;
+    w[i] = (v * 5 + 1) % 89;
+  }
+}
+
+// acc[c] is read and written every iteration but c never moves:
+// the invariant cell absorbs all of it except one final store
+void dot_into(int c) {
+  int i;
+  for (i = 0; i < 512; i++) {
+    acc[c] = acc[c] + x[i] * w[i];
+  }
+}
+
+int main() {
+  int round;
+  int s = 0;
+  int b;
+  setup();
+  for (round = 0; round < 150; round++) {
+    dot_into(round % 8);
+  }
+  for (b = 0; b < 8; b++) {
+    s = (s + acc[b]) % 65536;
+  }
+  print(s);
+  return s % 251;
+}
+|}

@@ -1,0 +1,61 @@
+(* "lpc" — second-order linear recurrence (LPC synthesis filter).
+
+   y[i] depends on y[i-1] and y[i-2]: the values the loop just
+   computed.  --scalrep keeps the two-deep history window in rotating
+   cells, so each iteration's store writes through its cell and the
+   next iteration's two reads come from registers — array loads drop
+   to the x[i] excitation stream alone (~3x).  This is the
+   read-after-write flavour of reuse: the window spans a write, so
+   store-through (not a fill load) feeds the rotation. *)
+
+let name = "lpc"
+
+let description =
+  "second-order IIR synthesis y[i] = f(y[i-1], y[i-2], x[i]); \
+   --scalrep carries the recurrence history in rotating cells so only \
+   the excitation stream is still loaded from memory"
+
+let source =
+  {|
+// lpc: all-pole synthesis driven by a pseudorandom excitation.
+int x[300];
+int y[300];
+int checksum = 0;
+
+void excite() {
+  int i;
+  int v = 11;
+  for (i = 0; i < 300; i++) {
+    v = (v * 23 + 5) % 127;
+    x[i] = v - 63;
+  }
+}
+
+// the recurrence: reads at i-1/i-2 hit the cells written one and two
+// iterations ago; only x[i] remains an array load.  The checksum
+// accumulates the freshly computed sample (not a re-read of y[i]),
+// so the window's newest cell is write-only and needs no fill load.
+void synth() {
+  int i;
+  int s;
+  y[0] = x[0];
+  y[1] = x[1];
+  s = y[0] + y[1];
+  for (i = 2; i < 300; i++) {
+    int t = (y[i - 1] * 3 - y[i - 2]) / 2 + x[i];
+    y[i] = t;
+    s = s + t;
+  }
+  checksum = (checksum + s) % 65536;
+}
+
+int main() {
+  int round;
+  excite();
+  for (round = 0; round < 120; round++) {
+    synth();
+  }
+  print(checksum);
+  return checksum % 251;
+}
+|}

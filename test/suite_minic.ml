@@ -103,6 +103,42 @@ let test_parse_errors () =
       | _ -> Alcotest.fail ("parser accepted: " ^ src))
     bad
 
+(* malformed subscripts and [for] headers must say what was being
+   parsed and where: every message starts with line:column and names
+   the construct *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_parse_error src substrings =
+  match parse src with
+  | exception Parser.Error m ->
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool)
+            (Printf.sprintf "error %S mentions %S" m sub)
+            true (contains m sub))
+        substrings
+  | _ -> Alcotest.fail ("parser accepted: " ^ src)
+
+let test_parse_error_locations () =
+  expect_parse_error "int a[4];\nint main() { return a[1; }"
+    [ "2:"; "array subscript opened at 2:"; "expected ']'" ];
+  expect_parse_error "int a[4];\nint main() { return a[]; }"
+    [ "2:"; "array subscript needs an index expression" ];
+  expect_parse_error
+    "int main() {\n  int i;\n  for (i = 0 i < 4; i++) { }\n  return 0;\n}"
+    [ "3:"; "'for' header, after the initialiser"; "expected ';'" ];
+  expect_parse_error
+    "int main() {\n  int i;\n  for (i = 0; i < 4 i++) { }\n  return 0;\n}"
+    [ "3:"; "'for' header, after the condition"; "expected ';'" ];
+  expect_parse_error
+    "int main() {\n  int i;\n  for (i = 0; i < 4; i++ { }\n  return 0;\n}"
+    [ "3:"; "'for' header, after the step"; "expected ')'" ];
+  expect_parse_error "int main() {\n  int i;\n  for i = 0; ; i++ { }\n}"
+    [ "3:"; "'for' header"; "expected '('" ]
+
 (* ------------------------------------------------------------------ *)
 (* Sema *)
 
@@ -355,6 +391,8 @@ let suite =
     Alcotest.test_case "parser dangling else" `Quick test_parse_dangling_else;
     Alcotest.test_case "parser top level" `Quick test_parse_toplevel;
     Alcotest.test_case "parser errors" `Quick test_parse_errors;
+    Alcotest.test_case "parser error locations" `Quick
+      test_parse_error_locations;
     Alcotest.test_case "sema errors" `Quick test_sema_errors;
     Alcotest.test_case "sema addr-taken" `Quick test_sema_addr_taken;
     Alcotest.test_case "alias points-to" `Quick test_alias_points_to;

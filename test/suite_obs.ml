@@ -233,8 +233,9 @@ let test_report_shape (w : R.workload) () =
         (J.member metrics "counters" <> None && J.member metrics "gauges" <> None)
   | None -> Alcotest.fail "no metrics section"
 
-(* the v2 parser keeps accepting v1 documents (no timing section) and
-   rejects unknown versions *)
+(* the v5 parser keeps accepting every historical version — v1 (no
+   timing), v2 (timing), v3 (serve), v4 (pressure), v5 (scalrep) —
+   and rejects unknown versions *)
 let test_report_parse_versions () =
   let ok s =
     match Rp_obs.Report.parse s with Ok _ -> true | Error _ -> false
@@ -245,6 +246,15 @@ let test_report_parse_versions () =
   Alcotest.(check bool)
     "v2 document accepted" true
     (ok {|{"schema_version": 2, "tool": "bench", "timing": {"total_ms": 1.5}}|});
+  Alcotest.(check bool)
+    "v3 document accepted" true
+    (ok {|{"schema_version": 3, "tool": "rpromote-serve", "serve": {}}|});
+  Alcotest.(check bool)
+    "v4 document accepted" true
+    (ok {|{"schema_version": 4, "tool": "rpromote", "pressure": {}}|});
+  Alcotest.(check bool)
+    "v5 document accepted" true
+    (ok {|{"schema_version": 5, "tool": "rpromote", "scalrep": {"enabled": false}}|});
   Alcotest.(check bool)
     "future version rejected" false
     (ok {|{"schema_version": 99, "tool": "x"}|});

@@ -124,6 +124,7 @@ let gen_options : P.options G.t =
   let* flat = bool in
   let* regs = opt (int_range 1 64) in
   let* spill_order = bool in
+  let* scalrep = bool in
   return
     {
       P.promote =
@@ -142,6 +143,7 @@ let gen_options : P.options G.t =
       interp = (if flat then P.Flat else P.Tree);
       regs;
       spill_order;
+      scalrep;
     }
 
 let gen_request : Proto.request G.t =

@@ -24,5 +24,6 @@ let () =
       ("properties", Suite_qcheck.suite);
       ("par", Suite_par.suite);
       ("serve", Suite_serve.suite);
+      ("scalrep", Suite_scalrep.suite);
       ("serve_e2e", Suite_serve_e2e.suite);
     ]
