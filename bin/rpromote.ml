@@ -456,8 +456,9 @@ let interp_arg =
     & info [ "interp" ] ~docv:"ENGINE"
         ~doc:
           "Interpreter for the profiling and measuring runs: $(b,flat) (the \
-           decoded engine, default), $(b,tree) (the reference walker) or \
-           $(b,reg) (the register-allocated bytecode backend). All three \
+           decoded engine, default), $(b,tree) (the reference walker), \
+           $(b,reg) (the register-allocated bytecode backend) or $(b,fused) \
+           (the register backend with superinstruction fusion). All four \
            produce identical reports.")
 
 let profile_arg =

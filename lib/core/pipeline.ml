@@ -47,7 +47,7 @@ module Pool = Rp_par.Pool
 module J = Rp_obs.Json
 
 type profile_source = Measured | Static_estimate
-type interp_engine = Flat | Tree | Reg
+type interp_engine = Flat | Tree | Reg | Fused
 
 (* Every enum option follows the same symmetric codec convention:
    [x_to_string] names each constructor, [x_of_string] is total and
@@ -59,12 +59,14 @@ let interp_engine_of_string = function
   | "flat" -> Some Flat
   | "tree" -> Some Tree
   | "reg" -> Some Reg
+  | "fused" -> Some Fused
   | _ -> None
 
 let interp_engine_to_string = function
   | Flat -> "flat"
   | Tree -> "tree"
   | Reg -> "reg"
+  | Fused -> "fused"
 
 let profile_source_of_string = function
   | "measured" -> Some Measured
@@ -303,8 +305,9 @@ type image = Iflat of Decode.t | Ireg of Rcompile.t
    against global memory.  With [?decoded] the run uses the matching
    bytecode engine on the given image (which must be current for
    [prog]); otherwise the tree-walking oracle. *)
-let attach_profile ?(options = default_options) ?decoded (prog : Func.prog)
-    (trees : (string * Intervals.tree) list) : Interp.result =
+let attach_profile ?(options = default_options) ?decoded ?run_done
+    (prog : Func.prog) (trees : (string * Intervals.tree) list) : Interp.result
+    =
   Trace.with_span "pipeline.attach_profile" @@ fun () ->
   let r =
     Trace.with_span "profile.run" (fun () ->
@@ -313,6 +316,7 @@ let attach_profile ?(options = default_options) ?decoded (prog : Func.prog)
         | Some (Ireg c) -> Rengine.run ~fuel:options.fuel c
         | None -> Interp.run ~fuel:options.fuel prog)
   in
+  (match run_done with Some t -> t := Trace.wall_s () | None -> ());
   Trace.with_span "profile.apply" (fun () ->
       match options.profile with
       | Measured ->
@@ -441,10 +445,17 @@ let run ?(options = default_options) (src : string) : report =
         | Reg ->
             Some
               (Ireg (Rcompile.compile ?budget:(effective_regs options) prog))
+        | Fused ->
+            Some
+              (Ireg
+                 (Rcompile.compile
+                    ?budget:(effective_regs options)
+                    ~fuse:true prog))
         | Tree -> None)
   in
   let t_pdecoded = Trace.wall_s () in
-  let baseline = attach_profile ~options ?decoded prog trees in
+  let t_prun = ref 0.0 in
+  let baseline = attach_profile ~options ?decoded ~run_done:t_prun prog trees in
   let t_profiled = Trace.wall_s () and a_profiled = Trace.alloc_words () in
   let static_before = Stats.of_prog prog in
   let k = effective_regs options in
@@ -481,6 +492,19 @@ let run ?(options = default_options) (src : string) : report =
   record_counts_metrics ~static_before ~static_after
     ~dynamic_before:baseline.Interp.counters
     ~dynamic_after:final.Interp.counters;
+  (* peephole-fusion statistics of the post-promotion image.  Emitted
+     under every engine (0 when fusion is off or inapplicable) and
+     zeroed under the deterministic flag, like the wall-clock and
+     allocation entries, so report bytes stay engine-independent. *)
+  let fused_ops, ops_eliminated =
+    if Trace.deterministic () then (0.0, 0.0)
+    else
+      match decoded with
+      | Some (Ireg c) when c.Rcompile.fuse ->
+          ( float_of_int c.Rcompile.rfused_ops,
+            float_of_int c.Rcompile.rops_eliminated )
+      | _ -> (0.0, 0.0)
+  in
   {
     prog;
     trees;
@@ -501,9 +525,15 @@ let run ?(options = default_options) (src : string) : report =
         ("prepare_ms", ms t0 t_prepared);
         ("profile_ms", ms t_prepared t_profiled);
         (* decode/execute split of the two interpreter phases; the
-           decode components are 0 under the tree-walking oracle *)
+           decode components are 0 under the tree-walking oracle.
+           [profile_exec_ms] is the engine run alone — the profile
+           feedback ([profile.apply]: count attachment plus static
+           estimation of unexecuted functions) is engine-independent
+           bookkeeping and reports separately, so the exec numbers
+           compare engines and nothing else. *)
         ("profile_decode_ms", ms t_prepared t_pdecoded);
-        ("profile_exec_ms", ms t_pdecoded t_profiled);
+        ("profile_exec_ms", ms t_pdecoded !t_prun);
+        ("profile_apply_ms", ms !t_prun t_profiled);
         (* both interference-analysis passes (before + after) *)
         ( "pressure_ms",
           ms t_profiled t_pressure_b +. ms t_finalised t_pressure_a );
@@ -513,6 +543,8 @@ let run ?(options = default_options) (src : string) : report =
         ("measure_decode_ms", ms t_pressure_a t_mdecoded);
         ("measure_exec_ms", ms t_mdecoded t_measured);
         ("total_ms", ms t0 t_measured);
+        ("fused_ops", fused_ops);
+        ("ops_eliminated", ops_eliminated);
         alloc "prepare" a0 a_prepared;
         alloc "profile" a_prepared a_profiled;
         alloc "promote" a_profiled a_promoted;

@@ -37,9 +37,15 @@ type interp_engine =
           coalescing and slot coloring per function, then a
           physical-slot bytecode over contiguous activation frames
           ([Rp_interp.Rcompile] / [Rp_interp.Rengine]) *)
+  | Fused
+      (** the register backend with its peephole superinstruction
+          layer: fused compare-and-branch, binop pair fusion,
+          single-use copy folding, compile-time constant folding and
+          reverse-postorder block layout
+          ([Rp_interp.Rcompile.compile ~fuse:true]) *)
 
 val interp_engine_of_string : string -> interp_engine option
-(** ["flat"] / ["tree"] / ["reg"]. *)
+(** ["flat"] / ["tree"] / ["reg"] / ["fused"]. *)
 
 val interp_engine_to_string : interp_engine -> string
 
@@ -143,7 +149,10 @@ type report = {
   timing : (string * float) list;
       (** wall-clock milliseconds per phase, in phase order:
           [prepare_ms], [profile_ms] (with its [profile_decode_ms] /
-          [profile_exec_ms] split), [pressure_ms] (both interference
+          [profile_exec_ms] / [profile_apply_ms] split —
+          [profile_exec_ms] is the engine run alone, the
+          engine-independent profile feedback reports as
+          [profile_apply_ms]), [pressure_ms] (both interference
           passes), [promote_ms], [finalise_ms], [measure_ms] (with
           [measure_decode_ms] / [measure_exec_ms]), [total_ms], then
           the [*_minor_words] allocation deltas. The decode components
@@ -171,10 +180,14 @@ type image =
 (** Attach a profile (measured or estimated) and return the profiling
     run's result. With [?decoded] (an image current for the program)
     the measured run uses the matching bytecode engine; otherwise the
-    tree-walking oracle. *)
+    tree-walking oracle. [?run_done] receives the wall-clock instant
+    the engine run finished, before the engine-independent profile
+    feedback — {!run} uses it to split [profile_exec_ms] from
+    [profile_apply_ms]. *)
 val attach_profile :
   ?options:options ->
   ?decoded:image ->
+  ?run_done:float ref ->
   Func.prog ->
   (string * Intervals.tree) list ->
   Interp.result

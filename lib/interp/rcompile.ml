@@ -89,6 +89,80 @@ let op_ret_r = 24 (* s *)
 let op_ret_i = 25 (* imm *)
 let op_ret_void = 26 (* - *)
 
+(* Superinstructions, emitted only by the fused compiler
+   ([compile ~fuse:true]).  A fused opcode stands for two source
+   instructions; its slow-path fuel is charged in two stages:
+   [rticks.(base)] for the first half in the ordinary dispatch
+   prologue, [rticks.(base + 1)] for the second half mid-instruction,
+   after the first half executed and before the second can trap —
+   preserving the oracle's exact trap and [Out_of_fuel] points. *)
+let op_cbr_rr = 27 (* bop l r dst|-1 toff tblk tedge tcost foff fblk fedge fcost *)
+let op_cbr_ri = 28 (* bop l imm dst|-1 <same 8 transfer words> *)
+let op_cbr_ir = 29 (* bop imm r dst|-1 <same 8 transfer words> *)
+let op_trap_div = 30 (* - : a folded literal division by zero *)
+let op_bin2 = 31 (* shape bop1 a1 b1 tslot|-1 bop2 dst c2 *)
+let op_load2 = 32 (* d1 v2a d2 v2b : two adjacent scalar loads *)
+let op_bin_store = 33 (* shape bop a b dst|-1 v2 : binop into a store *)
+
+(* Whole-statement memory superinstructions: [x = a ⊕ b] over
+   address-taken scalars is load; load; bin(; store) — four oracle
+   instructions whose intermediates the allocator cannot promote.  The
+   fused forms keep both loaded values and the result in engine
+   locals, never touching the frame slots; their slow-path fuel is
+   staged through [rticks.(base)] … [rticks.(base + 3)], one charge
+   per source instruction at the oracle's exact point. *)
+let op_mm_bin = 34 (* shape bop v2a v2b dst : dst <- mem[a] op mem[b] *)
+let op_mm_bin_store = 35 (* shape bop v2a v2b v2d : mem[d] <- mem[a] op mem[b] *)
+
+(* [a[i] = v] with a constant index is addr; pstore — the pointer
+   temporary never touches its slot.  Two fuel stages: the addr's in
+   the prologue, the pstore's at [rticks.(base + 1)]. *)
+let op_astore = 36 (* vid off sk s : *(addr vid off) <- s *)
+
+(* A variable-index store's address is computed by a binop (pointer
+   arithmetic), so the companion of [op_bin_store] writes through the
+   computed pointer instead: [*(a bop b) <- s].  Same shape bits and
+   staging as [op_bin_store]. *)
+let op_bin_pstore = 37 (* shape bop a b tslot|-1 sk s *)
+
+(* The accumulate chain [x = (a ⊕ b) ⊕ z(; store x)] — the dominant
+   stencil shape — extends [op_mm_bin] with a second binop whose
+   other operand is a slot or an immediate; the intermediate never
+   touches its slot.  The first five words are the [op_mm_bin]
+   image; [sh2] bit 1 = the chained value is the right operand of
+   the second binop, bit 2 = [z] is an immediate.  The second
+   binop's fuel stage follows the first's, and the store form's
+   follows that. *)
+let op_mm_bin2 = 38 (* shape bop x y sh2 bop2 z dst *)
+let op_mm_bin2_store = 39 (* shape bop x y sh2 bop2 z v2d *)
+
+(* The variable-index store in full: [addr; bin; pstore] — the sunk
+   constant address flows into the pointer arithmetic, whose result
+   flows into the store, and neither temporary touches its slot.
+   The address is an immediate (value [off], kind [vid]); [sh] bit 1
+   = the address is the binop's right operand, bit 2 = [y] is an
+   immediate.  Three fuel stages: the addr's in the prologue, the
+   binop's and the pstore's at [rticks.(base + 1)]/[(base + 2)]. *)
+let op_abin_pstore = 40 (* shape bop vid off y sk s *)
+
+(* Phi-lowering leaves bursts of 8–13 adjacent copies at block heads
+   (loop-carried scalars re-seeded on every back edge).  A copy
+   cannot trap and its slot write is unobservable mid-run, so a whole
+   run executes under one dispatch with every tick — free phi moves
+   and ticking copies alike — charged in the prologue.  Each entry is
+   a (flag, dst, src) triple; flag 1 = immediate source. *)
+let op_copy_n = 41 (* n (fl d s)×n *)
+
+(* Post-promotion blocks are dominated by statement chains of the form
+   [bin; store; bin; bin] — a scalar update into a promoted cell
+   followed by the next expression pair.  When an [op_bin2] forms
+   right behind an [op_bin_store], the two superinstructions merge
+   into one dispatch: the store payload keeps its word offsets, the
+   pair payload follows at +7.  Stage ticks sit at +1 (store), +2
+   (first bin of the pair) and +3 (second), so every oracle abort
+   point is preserved. *)
+let op_bst_bin2 = 42 (* sh1 bop1 a b dslot|-1 v sh2 bop1' a1 b1 tslot|-1 bop2 dst c2 *)
+
 type rfunc = {
   rfid : int;
   rname : string;
@@ -128,6 +202,7 @@ type rfunc = {
 type t = {
   rprog : Func.prog;
   budget : int option;
+  fuse : bool;  (** peephole superinstruction fusion enabled *)
   rnvars : int;
   rarray_len : int array;  (** vid -> length; -1 for scalars *)
   rmem_init : int array;  (** interleaved (value, kind) per vid *)
@@ -137,6 +212,8 @@ type t = {
   rmain : int;  (** -1 when the program has no [main] *)
   mutable rtotal_blocks : int;
   mutable rtotal_edges : int;
+  mutable rfused_ops : int;  (** superinstructions emitted (2 ops each) *)
+  mutable rops_eliminated : int;  (** copies folded away by the peephole *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -185,6 +262,28 @@ let binop_code : Instr.binop -> int = function
 
 let unop_code : Instr.unop -> int = function Instr.Neg -> 0 | Instr.Lnot -> 1
 
+(* Fold a literal-literal binop at compile time, mirroring the
+   engine's integer fast path exactly.  Callers must rule out the
+   trapping [Div]/[Rem] by zero first. *)
+let binop_eval (op : Instr.binop) (a : int) (b : int) : int =
+  match op with
+  | Instr.Add -> a + b
+  | Instr.Sub -> a - b
+  | Instr.Mul -> a * b
+  | Instr.Div -> a / b
+  | Instr.Rem -> a mod b
+  | Instr.Lt -> if a < b then 1 else 0
+  | Instr.Le -> if a <= b then 1 else 0
+  | Instr.Gt -> if a > b then 1 else 0
+  | Instr.Ge -> if a >= b then 1 else 0
+  | Instr.Eq -> if a = b then 1 else 0
+  | Instr.Ne -> if a <> b then 1 else 0
+  | Instr.Band -> a land b
+  | Instr.Bor -> a lor b
+  | Instr.Bxor -> a lxor b
+  | Instr.Shl -> a lsl (b land 63)
+  | Instr.Shr -> a asr (b land 63)
+
 (* ------------------------------------------------------------------ *)
 (* Per-function compilation *)
 
@@ -203,6 +302,74 @@ type emitter = {
       (** code index of the open segment's [after_cost] slot;
           -1 = the block's entry segment *)
   mutable cur_bid : int;
+  edge_ids : (int, int) Hashtbl.t;
+      (** logical (src, dst) pair -> dense edge id: every transfer over
+          the same logical edge shares one interned counter slot *)
+  (* peephole state, active only under [fuse] *)
+  fuse : bool;
+  use_cnt : int array;  (** vreg -> number of (live) operand uses *)
+  mutable pend : Instr.t option;
+      (** a single-use copy held back one instruction, waiting to fold
+          into its consumer; flushed unchanged if the consumer is not
+          the immediately next instruction *)
+  mutable last_bin : int;
+      (** code base of the last emitted plain binop, a fusion
+          candidate iff [last_bin + 5 = rcode_len] (nothing emitted
+          since); -1 = none *)
+  mutable last_bin_dst : int;  (** its IR destination register *)
+  mutable last_load : int;
+      (** code base of the last emitted plain load, a [op_load2]
+          candidate iff [last_load + 3 = rcode_len]; -1 = none *)
+  mutable last_load_dst : int;  (** its IR destination register *)
+  mutable last_load2 : int;
+      (** code base of the last emitted [op_load2], an [op_mm_bin]
+          candidate iff [last_load2 + 5 = rcode_len]; -1 = none *)
+  mutable last_l2a : int;  (** IR dst of its first load *)
+  mutable last_l2b : int;  (** IR dst of its second load *)
+  mutable last_mm : int;
+      (** code base of the last emitted [op_mm_bin], an
+          [op_mm_bin_store] candidate iff [last_mm + 6 = rcode_len] *)
+  mutable last_mm_dst : int;  (** its IR destination register *)
+  mutable last_mm2 : int;
+      (** code base of the last emitted [op_mm_bin2], an
+          [op_mm_bin2_store] candidate iff [last_mm2 + 9 = rcode_len] *)
+  mutable last_mm2_dst : int;  (** its IR destination register *)
+  mutable haddr : int;
+      (** a held (sunk) constant address: the dst vreg of a
+          single-use [addr_i] whose emission is delayed to its sole
+          consumer — fused into [op_astore] when that is a pointer
+          store, flushed as a plain [op_addr_i] otherwise.  The
+          computation is pure, so only its fuel tick is position
+          sensitive, and that rides [pending].  -1 = none *)
+  mutable haddr_vid : int;
+  mutable haddr_off : int;
+  mutable hpb : int;
+      (** a held pointer binop over a sunk address, the [addr; bin]
+          prefix of a candidate [op_abin_pstore]: -1 = none.  Held at
+          most one instruction; flushed as a plain [op_addr_i] plus a
+          plain binop if the next instruction is not the consuming
+          pointer store.  Only the two temporaries' fuel ticks are
+          position sensitive: the addr's rides [pending], the bin's
+          is re-staged at flush or fuse time. *)
+  mutable hpb_dst : int;  (** the binop's IR destination register *)
+  mutable hpb_vid : int;
+  mutable hpb_off : int;
+  mutable hpb_bop : int;
+  mutable hpb_sh : int;
+  mutable hpb_y : int;
+  mutable hpb_dslot : int;  (** [slot hpb_dst], for the flush path *)
+  mutable hpb_aslot : int;  (** the sunk address's slot, ditto *)
+  mutable last_bst : int;
+      (** code base of the last emitted [op_bin_store], a merge
+          candidate iff [last_bst + 7 = rcode_len]; -1 = none *)
+  mutable last_cpy : int;
+      (** code base of the last emitted [op_copy_n], extendable iff
+          [last_cpy + 2 + 3*n = rcode_len]; -1 = none *)
+  mutable last_c1 : int;
+      (** code base of the last emitted single copy, the seed of a
+          run iff [last_c1 + 3 = rcode_len]; -1 = none *)
+  mutable n_fused : int;
+  mutable n_elim : int;
 }
 
 let slot (e : emitter) (r : Ids.reg) : int =
@@ -227,6 +394,58 @@ let omit_tick (e : emitter) =
   e.pending <- e.pending + 1;
   e.seg <- e.seg + 1
 
+(* Materialise a held constant address as a plain [op_addr_i]: its
+   tick was omitted at the hold point, so the op carries only the
+   accumulated pending ticks (possibly zero).  Delaying the slot
+   write is invisible — the slot's only reader is the consumer this
+   flush precedes. *)
+let flush_haddr (e : emitter) =
+  if e.haddr >= 0 then begin
+    let rf = e.rf in
+    start e e.pending;
+    e.pending <- 0;
+    emit rf op_addr_i;
+    emit rf (slot e e.haddr);
+    emit rf e.haddr_vid;
+    emit rf e.haddr_off;
+    e.haddr <- -1
+  end
+
+(* The pointer store did not follow: re-emit the held [addr; bin]
+   prefix plain.  The addr carries every omitted tick so far; the
+   bin, whose segment slot was counted when it was held, carries its
+   own tick at its own position, and becomes an ordinary fusion
+   candidate again. *)
+let flush_hpb (e : emitter) =
+  if e.hpb >= 0 then begin
+    let rf = e.rf in
+    start e e.pending;
+    e.pending <- 0;
+    emit rf op_addr_i;
+    emit rf e.hpb_aslot;
+    emit rf e.hpb_vid;
+    emit rf e.hpb_off;
+    let bbase = rf.rcode_len in
+    start e 1;
+    emit rf
+      (if e.hpb_sh land 2 <> 0 then
+         if e.hpb_sh land 1 <> 0 then op_bin_ir else op_bin_ri
+       else op_bin_rr);
+    emit rf e.hpb_bop;
+    emit rf e.hpb_dslot;
+    if e.hpb_sh land 1 <> 0 then begin
+      emit rf e.hpb_y;
+      emit rf e.hpb_aslot
+    end
+    else begin
+      emit rf e.hpb_aslot;
+      emit rf e.hpb_y
+    end;
+    e.last_bin <- bbase;
+    e.last_bin_dst <- e.hpb_dst;
+    e.hpb <- -1
+  end
+
 (* Close the open fuel segment: the entry segment lands in
    [block_cost], later ones patch their call's [after_cost] slot. *)
 let close_seg (e : emitter) =
@@ -238,14 +457,19 @@ let close_seg (e : emitter) =
    [off; blk; edge; cost]; [off] and [cost] hold the clone target bid
    until the patch pass.  Jumps into a synthetic block stand for the
    logical edge to its unique successor; jumps out of one bump the
-   per-function sink counters. *)
+   per-function sink counters.  Logical edges are interned: the sink
+   occupies slot 0 of the function's edge-counter span and real edge
+   [k] lives at [edge_base + 1 + k], so every transfer over the same
+   (src, dst) pair — including the two sides of a branch to one
+   target — shares a single dense counter, independent of block
+   emission order. *)
 let emit_edge (e : emitter) (g : Func.t) ~(t : Ids.bid) =
   let rf = e.rf in
   if e.cur_bid >= e.orig_nblocks then begin
     (* synthetic source: counters were bumped on the way in *)
     emit rf t;
     emit rf (rf.block_base + rf.rnblocks);
-    emit rf (rf.edge_base + rf.rnedges);
+    emit rf rf.edge_base;
     emit rf t
   end
   else begin
@@ -256,32 +480,49 @@ let emit_edge (e : emitter) (g : Func.t) ~(t : Ids.bid) =
         | Block.Jmp d -> d
         | _ -> assert false
     in
-    let k = rf.rnedges in
-    rf.edge_src <- grow_int rf.edge_src k (k + 1);
-    rf.edge_dst <- grow_int rf.edge_dst k (k + 1);
-    rf.edge_src.(k) <- e.cur_bid;
-    rf.edge_dst.(k) <- d;
-    rf.rnedges <- k + 1;
+    let key = (e.cur_bid * e.orig_nblocks) + d in
+    let k =
+      match Hashtbl.find_opt e.edge_ids key with
+      | Some k -> k
+      | None ->
+          let k = rf.rnedges in
+          rf.edge_src <- grow_int rf.edge_src k (k + 1);
+          rf.edge_dst <- grow_int rf.edge_dst k (k + 1);
+          rf.edge_src.(k) <- e.cur_bid;
+          rf.edge_dst.(k) <- d;
+          rf.rnedges <- k + 1;
+          Hashtbl.add e.edge_ids key k;
+          k
+    in
     emit rf t;
     emit rf (rf.block_base + d);
-    emit rf (rf.edge_base + k);
+    emit rf (rf.edge_base + 1 + k);
     emit rf t
   end
 
 let compile_instr (e : emitter) (moves : Ids.IntSet.t) (i : Instr.t) =
   let rf = e.rf in
   match i.Instr.op with
-  | Instr.Copy { dst; src = Instr.Reg s } when Ids.IntSet.mem i.Instr.iid moves
-    ->
-      (* phi-lowering move: free; vanishes entirely when coalesced *)
-      let d = slot e dst and sl = slot e s in
-      if d <> sl then begin
-        start e e.pending;
-        e.pending <- 0;
-        emit rf op_copy_r;
-        emit rf d;
-        emit rf sl
-      end
+  | Instr.Copy { dst; src } when Ids.IntSet.mem i.Instr.iid moves -> (
+      (* phi-lowering move: free; vanishes entirely when coalesced.
+         An immediate source only appears when the peephole folded a
+         literal copy into the move. *)
+      match src with
+      | Instr.Reg s ->
+          let d = slot e dst and sl = slot e s in
+          if d <> sl then begin
+            start e e.pending;
+            e.pending <- 0;
+            emit rf op_copy_r;
+            emit rf d;
+            emit rf sl
+          end
+      | Instr.Imm n ->
+          start e e.pending;
+          e.pending <- 0;
+          emit rf op_copy_i;
+          emit rf (slot e dst);
+          emit rf n)
   | Instr.Copy { dst; src = Instr.Reg s } when slot e dst = slot e s ->
       omit_tick e
   | Instr.Copy { dst; src } -> (
@@ -442,38 +683,661 @@ let compile_instr (e : emitter) (moves : Ids.IntSet.t) (i : Instr.t) =
           emit rf op_print_i;
           emit rf n)
 
+(* ------------------------------------------------------------------ *)
+(* Peephole fusion layer ([compile ~fuse:true]).
+
+   A thin wrapper between slot assignment and emission.  It never
+   changes observable behaviour: ticks of folded instructions ride the
+   existing [pending] machinery (charged with the next emitted op, a
+   span that contains no observable event), trapping shapes are never
+   folded, and every transformation is local to one emitted-op
+   window — a held copy is resolved at the very next instruction, and
+   a superinstruction only forms from the immediately preceding
+   emitted op, so no slot can be clobbered in between. *)
+
+(* Does [op] read register [r]?  (Terminator uses are handled
+   separately in [compile_term].) *)
+let uses_reg (op : Instr.opcode) (r : Ids.reg) : bool =
+  List.exists (fun u -> u = r) (Instr.reg_uses op)
+
+(* Rewrite every operand [Reg from_] in [i] (a scratch clone
+   instruction) to [to_]. *)
+let subst_reg (i : Instr.t) (from_ : Ids.reg) (to_ : Instr.operand) =
+  let sb (o : Instr.operand) =
+    match o with Instr.Reg r when r = from_ -> to_ | _ -> o
+  in
+  match i.Instr.op with
+  | Instr.Bin { dst; op; l; r } ->
+      i.Instr.op <- Instr.Bin { dst; op; l = sb l; r = sb r }
+  | Instr.Un { dst; op; src } -> i.Instr.op <- Instr.Un { dst; op; src = sb src }
+  | Instr.Copy { dst; src } -> i.Instr.op <- Instr.Copy { dst; src = sb src }
+  | Instr.Print { src } -> i.Instr.op <- Instr.Print { src = sb src }
+  | Instr.Store { dst; src } -> i.Instr.op <- Instr.Store { dst; src = sb src }
+  | Instr.Addr_of { dst; var; off } ->
+      i.Instr.op <- Instr.Addr_of { dst; var; off = sb off }
+  | Instr.Ptr_load { dst; addr; muses } ->
+      i.Instr.op <- Instr.Ptr_load { dst; addr = sb addr; muses }
+  | Instr.Ptr_store { addr; src; mdefs; muses } ->
+      i.Instr.op <- Instr.Ptr_store { addr = sb addr; src = sb src; mdefs; muses }
+  | Instr.Call { dst; callee; args; mdefs; muses } ->
+      i.Instr.op <- Instr.Call { dst; callee; args = List.map sb args; mdefs; muses }
+  | Instr.Load _ | Instr.Dummy_aload _ | Instr.Exit_use _ | Instr.Rphi _
+  | Instr.Mphi _ ->
+      ()
+
+(* Fused mode: coalesce the copy just emitted at [b] (3 words) into a
+   run.  Adjacent copies glue into one [op_copy_n] whose prologue
+   charges the whole run's ticks at once — sound because a copy never
+   traps and its slot write is unobservable mid-run, so no abort can
+   tell the batched charge from the staged one.  Free phi moves (tick
+   0) and ticking copies mix freely; [rticks] entries simply add. *)
+let merge_copy (e : emitter) (b : int) =
+  let rf = e.rf in
+  let fl = if rf.rcode.(b) = op_copy_i then 1 else 0 in
+  if
+    e.last_cpy >= 0
+    && e.last_cpy + 2 + (3 * rf.rcode.(e.last_cpy + 1)) = b
+  then begin
+    (* extend the open run in place *)
+    rf.rcode.(b) <- fl;
+    rf.rcode.(e.last_cpy + 1) <- rf.rcode.(e.last_cpy + 1) + 1;
+    rf.rticks.(e.last_cpy) <- rf.rticks.(e.last_cpy) + rf.rticks.(b);
+    e.n_fused <- e.n_fused + 1
+  end
+  else if e.last_c1 >= 0 && e.last_c1 + 3 = b then begin
+    (* two adjacent copies seed a run: rewind and re-emit as a pair *)
+    let p = e.last_c1 in
+    let f1 = if rf.rcode.(p) = op_copy_i then 1 else 0 in
+    let d1 = rf.rcode.(p + 1) and s1 = rf.rcode.(p + 2) in
+    let d2 = rf.rcode.(b + 1) and s2 = rf.rcode.(b + 2) in
+    let t2 = rf.rticks.(b) in
+    rf.rcode_len <- p;
+    emit rf op_copy_n;
+    emit rf 2;
+    emit rf f1;
+    emit rf d1;
+    emit rf s1;
+    emit rf fl;
+    emit rf d2;
+    emit rf s2;
+    rf.rticks.(p) <- rf.rticks.(p) + t2;
+    e.last_cpy <- p;
+    e.last_c1 <- -1;
+    e.n_fused <- e.n_fused + 1
+  end
+  else e.last_c1 <- b
+
+let compile_instr_fused (e : emitter) (moves : Ids.IntSet.t) (i : Instr.t) =
+  let rf = e.rf in
+  (* 0. a held pointer binop survives exactly one instruction: either
+     this is the consuming pointer store (fused below) or the prefix
+     is re-emitted plain *)
+  (if e.hpb >= 0 then
+     let consumed =
+       match i.Instr.op with
+       | Instr.Ptr_store { addr = Instr.Reg a; _ } -> a = e.hpb_dst
+       | _ -> false
+     in
+     if not consumed then flush_hpb e);
+  (* 1. resolve the held single-use copy against this instruction:
+     fold it in when this is its consumer, emit it unchanged
+     otherwise *)
+  (match e.pend with
+  | Some p ->
+      let pd, psrc =
+        match p.Instr.op with
+        | Instr.Copy { dst; src } -> (dst, src)
+        | _ -> assert false
+      in
+      e.pend <- None;
+      if uses_reg i.Instr.op pd then begin
+        subst_reg i pd psrc;
+        omit_tick e;
+        e.n_elim <- e.n_elim + 1
+      end
+      else begin
+        let before = rf.rcode_len in
+        compile_instr e moves p;
+        if
+          rf.rcode_len = before + 3
+          && (rf.rcode.(before) = op_copy_r || rf.rcode.(before) = op_copy_i)
+        then merge_copy e before
+      end
+  | None -> ());
+  (* 2. constant folding and identity canonicalisation (pointer-safe
+     shapes only: Add/Sub with a zero immediate never trap, a literal
+     division by zero must keep trapping) *)
+  (match i.Instr.op with
+  | Instr.Bin { dst; op; l = Instr.Imm a; r = Instr.Imm b } -> (
+      match op with
+      | (Instr.Div | Instr.Rem) when b = 0 -> ()
+      | _ -> i.Instr.op <- Instr.Copy { dst; src = Instr.Imm (binop_eval op a b) })
+  | Instr.Bin { dst; op = Instr.Add; l; r = Instr.Imm 0 }
+  | Instr.Bin { dst; op = Instr.Sub; l; r = Instr.Imm 0 } ->
+      i.Instr.op <- Instr.Copy { dst; src = l }
+  | Instr.Bin { dst; op = Instr.Add; l = Instr.Imm 0; r } ->
+      i.Instr.op <- Instr.Copy { dst; src = r }
+  | _ -> ());
+  (* 3. a held address must be materialised before any instruction
+     that touches its register — unless that instruction is the
+     consuming pointer store, which fuses it below *)
+  (if e.haddr >= 0 then
+     let consumed =
+       match i.Instr.op with
+       | Instr.Ptr_store { addr = Instr.Reg a; _ } -> a = e.haddr
+       | Instr.Bin { dst; l; r; _ } ->
+           (* the pointer-binop hold below absorbs the address *)
+           dst <> e.haddr
+           && e.use_cnt.(dst) = 1
+           && (l = Instr.Reg e.haddr) <> (r = Instr.Reg e.haddr)
+       | _ -> false
+     in
+     if
+       (not consumed)
+       && (uses_reg i.Instr.op e.haddr
+          || Instr.reg_def i.Instr.op = Some e.haddr)
+     then flush_haddr e);
+  match i.Instr.op with
+  | Instr.Bin { dst; op; l; r }
+    when e.haddr >= 0 && dst <> e.haddr
+         && e.use_cnt.(dst) = 1
+         && (l = Instr.Reg e.haddr) <> (r = Instr.Reg e.haddr) ->
+      (* the pointer arithmetic over a sunk address: hold the whole
+         [addr; bin] prefix one more instruction, hoping a pointer
+         store consumes it.  Nothing is emitted; only the bin's
+         segment slot is counted here. *)
+      let swapped = r = Instr.Reg e.haddr in
+      let sh = ref (if swapped then 1 else 0) in
+      let y =
+        match if swapped then l else r with
+        | Instr.Imm n ->
+            sh := !sh lor 2;
+            n
+        | Instr.Reg o -> slot e o
+      in
+      e.hpb <- 1;
+      e.hpb_dst <- dst;
+      e.hpb_vid <- e.haddr_vid;
+      e.hpb_off <- e.haddr_off;
+      e.hpb_bop <- binop_code op;
+      e.hpb_sh <- !sh;
+      e.hpb_y <- y;
+      e.hpb_dslot <- slot e dst;
+      e.hpb_aslot <- slot e e.haddr;
+      e.seg <- e.seg + 1;
+      e.haddr <- -1
+  | Instr.Bin { op = Instr.Div | Instr.Rem; l = Instr.Imm _; r = Instr.Imm 0; _ }
+    ->
+      (* the only literal-literal binop left: it always traps, so
+         [op_bin_ii] never reaches the dispatch loop *)
+      start_tick e;
+      emit rf op_trap_div
+  | Instr.Copy { dst; _ }
+    when (not (Ids.IntSet.mem i.Instr.iid moves)) && e.use_cnt.(dst) = 0 ->
+      (* dead copy: no reader anywhere, and a copy cannot trap *)
+      omit_tick e;
+      e.n_elim <- e.n_elim + 1
+  | Instr.Copy { dst; _ }
+    when (not (Ids.IntSet.mem i.Instr.iid moves)) && e.use_cnt.(dst) = 1 ->
+      e.pend <- Some i
+  | Instr.Bin { dst; op; l; r }
+    when e.last_bin >= 0
+         && e.last_bin + 5 = rf.rcode_len
+         && (l = Instr.Reg e.last_bin_dst) <> (r = Instr.Reg e.last_bin_dst) ->
+      (* fuse the producing binop and this consumer into [op_bin2];
+         the intermediate flows through the engine's scratch and its
+         slot write is skipped when this was its only use *)
+      let t = e.last_bin_dst in
+      let bbase = e.last_bin in
+      let op1 = rf.rcode.(bbase) in
+      let bop1 = rf.rcode.(bbase + 1) in
+      let tslot = rf.rcode.(bbase + 2) in
+      let a1 = rf.rcode.(bbase + 3) in
+      let b1 = rf.rcode.(bbase + 4) in
+      let tr = r = Instr.Reg t in
+      let sh = ref 0 in
+      if op1 = op_bin_ir then sh := !sh lor 1;
+      if op1 = op_bin_ri then sh := !sh lor 2;
+      if tr then sh := !sh lor 4;
+      let c2 =
+        match if tr then l else r with
+        | Instr.Reg s -> slot e s
+        | Instr.Imm n ->
+            sh := !sh lor 8;
+            n
+      in
+      rf.rcode_len <- bbase;
+      emit rf op_bin2;
+      emit rf !sh;
+      emit rf bop1;
+      emit rf a1;
+      emit rf b1;
+      emit rf (if e.use_cnt.(t) > 1 then tslot else -1);
+      emit rf (binop_code op);
+      emit rf (slot e dst);
+      emit rf c2;
+      rf.rticks.(bbase + 1) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_bin <- -1;
+      if e.last_bst >= 0 && e.last_bst + 7 = bbase then begin
+        (* the pair formed right behind an adjacent bin_store: merge
+           both superinstructions into [op_bst_bin2].  The store
+           payload keeps its offsets; the pair payload shifts down
+           over the absorbed opcode word, and its two stage ticks
+           move to the +2/+3 positions. *)
+        let p = e.last_bst in
+        rf.rcode.(p) <- op_bst_bin2;
+        rf.rticks.(p + 2) <- rf.rticks.(bbase);
+        rf.rticks.(p + 3) <- rf.rticks.(bbase + 1);
+        for k = 7 to 14 do
+          rf.rcode.(p + k) <- rf.rcode.(p + k + 1)
+        done;
+        rf.rcode_len <- p + 15;
+        e.last_bst <- -1;
+        e.n_fused <- e.n_fused + 1
+      end
+  | Instr.Load { dst; src }
+    when e.last_load >= 0 && e.last_load + 3 = rf.rcode_len ->
+      (* two adjacent scalar loads share one dispatch; nothing is
+         reordered or elided, so aliasing cannot be disturbed *)
+      let bbase = e.last_load in
+      let d1 = rf.rcode.(bbase + 1) in
+      let v1 = rf.rcode.(bbase + 2) in
+      rf.rcode_len <- bbase;
+      emit rf op_load2;
+      emit rf d1;
+      emit rf v1;
+      emit rf (slot e dst);
+      emit rf (2 * src.Resource.base);
+      rf.rticks.(bbase + 1) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_load2 <- bbase;
+      e.last_l2a <- e.last_load_dst;
+      e.last_l2b <- dst;
+      e.last_load <- -1;
+      e.last_bin <- -1
+  | Instr.Bin { dst; op; l; r }
+    when e.last_load2 >= 0
+         && e.last_load2 + 5 = rf.rcode_len
+         && e.last_l2a <> e.last_l2b
+         && e.use_cnt.(e.last_l2a) = 1
+         && e.use_cnt.(e.last_l2b) = 1
+         && ((l = Instr.Reg e.last_l2a && r = Instr.Reg e.last_l2b)
+            || (l = Instr.Reg e.last_l2b && r = Instr.Reg e.last_l2a)) ->
+      (* the whole [x <- mem[a] op mem[b]] statement: both loaded
+         values stay in engine locals, their slot writes vanish
+         (single use each) *)
+      let bbase = e.last_load2 in
+      let va = rf.rcode.(bbase + 2) in
+      let vb = rf.rcode.(bbase + 4) in
+      let swapped = l = Instr.Reg e.last_l2b in
+      rf.rcode_len <- bbase;
+      emit rf op_mm_bin;
+      emit rf (if swapped then 1 else 0);
+      emit rf (binop_code op);
+      emit rf va;
+      emit rf vb;
+      emit rf (slot e dst);
+      rf.rticks.(bbase + 2) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_mm <- bbase;
+      e.last_mm_dst <- dst;
+      e.last_load2 <- -1;
+      e.last_bin <- -1;
+      e.last_load <- -1
+  | Instr.Bin { dst; op; l; r }
+    when e.last_load >= 0
+         && e.last_load + 3 = rf.rcode_len
+         && e.use_cnt.(e.last_load_dst) = 1
+         && (l = Instr.Reg e.last_load_dst) <> (r = Instr.Reg e.last_load_dst)
+    ->
+      (* one-memory-operand statement head: [t <- mem[a] op y] with
+         [y] an immediate or a register; the loaded value never
+         touches its slot (single use), and the binop's tick moves up
+         to [rticks.(bbase + 1)] *)
+      let ld = e.last_load_dst in
+      let bbase = e.last_load in
+      let va = rf.rcode.(bbase + 2) in
+      let swapped = r = Instr.Reg ld in
+      let sh = ref (if swapped then 1 else 0) in
+      let y =
+        match if swapped then l else r with
+        | Instr.Imm n ->
+            sh := !sh lor 2;
+            n
+        | Instr.Reg o ->
+            sh := !sh lor 4;
+            slot e o
+      in
+      rf.rcode_len <- bbase;
+      emit rf op_mm_bin;
+      emit rf !sh;
+      emit rf (binop_code op);
+      emit rf va;
+      emit rf y;
+      emit rf (slot e dst);
+      rf.rticks.(bbase + 1) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_mm <- bbase;
+      e.last_mm_dst <- dst;
+      e.last_load <- -1;
+      e.last_bin <- -1
+  | Instr.Bin { dst; op; l; r }
+    when e.last_mm >= 0
+         && e.last_mm + 6 = rf.rcode_len
+         && e.use_cnt.(e.last_mm_dst) = 1
+         && (l = Instr.Reg e.last_mm_dst) <> (r = Instr.Reg e.last_mm_dst)
+    ->
+      (* accumulate chain [x <- (mem[a] op y) op2 z]: the whole
+         statement head stays in engine locals; the intermediate's
+         slot write vanishes (single use) *)
+      let t = e.last_mm_dst in
+      let bbase = e.last_mm in
+      let sh = rf.rcode.(bbase + 1) in
+      let bop = rf.rcode.(bbase + 2) in
+      let x = rf.rcode.(bbase + 3) in
+      let y = rf.rcode.(bbase + 4) in
+      let swapped = r = Instr.Reg t in
+      let sh2 = ref (if swapped then 1 else 0) in
+      let z =
+        match if swapped then l else r with
+        | Instr.Imm n ->
+            sh2 := !sh2 lor 2;
+            n
+        | Instr.Reg o -> slot e o
+      in
+      rf.rcode_len <- bbase;
+      emit rf op_mm_bin2;
+      emit rf sh;
+      emit rf bop;
+      emit rf x;
+      emit rf y;
+      emit rf !sh2;
+      emit rf (binop_code op);
+      emit rf z;
+      emit rf (slot e dst);
+      rf.rticks.(bbase + (if sh land 6 = 0 then 3 else 2)) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_mm <- -1;
+      e.last_mm2 <- bbase;
+      e.last_mm2_dst <- dst;
+      e.last_load <- -1;
+      e.last_bin <- -1
+  | Instr.Store { dst; src = Instr.Reg s }
+    when e.last_mm2 >= 0 && e.last_mm2 + 9 = rf.rcode_len
+         && s = e.last_mm2_dst && e.use_cnt.(s) = 1 ->
+      (* … and the chain ends in memory: the opcode and destination
+         are rewritten in place, the store tick landing one stage
+         past the second binop's *)
+      let bbase = e.last_mm2 in
+      rf.rcode.(bbase) <- op_mm_bin2_store;
+      rf.rcode.(bbase + 8) <- 2 * dst.Resource.base;
+      let st = if rf.rcode.(bbase + 1) land 6 = 0 then 4 else 3 in
+      rf.rticks.(bbase + st) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_mm2 <- -1
+  | Instr.Store { dst; src = Instr.Reg s }
+    when e.last_mm >= 0 && e.last_mm + 6 = rf.rcode_len && s = e.last_mm_dst
+         && e.use_cnt.(s) = 1 ->
+      (* … and on into memory: [mem[d] <- mem[a] op mem[b]] in one
+         dispatch, same length, so the opcode and destination are
+         rewritten in place; the store tick lands after the binop's
+         stage, whose index depends on the operand shape *)
+      let bbase = e.last_mm in
+      rf.rcode.(bbase) <- op_mm_bin_store;
+      rf.rcode.(bbase + 5) <- 2 * dst.Resource.base;
+      let st = if rf.rcode.(bbase + 1) land 6 = 0 then 3 else 2 in
+      rf.rticks.(bbase + st) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_mm <- -1
+  | Instr.Store { dst; src = Instr.Reg s }
+    when e.last_bin >= 0 && e.last_bin + 5 = rf.rcode_len
+         && s = e.last_bin_dst ->
+      (* the binop's value flows straight into memory; its slot write
+         is skipped when the store was its only reader *)
+      let bbase = e.last_bin in
+      let op1 = rf.rcode.(bbase) in
+      let bop = rf.rcode.(bbase + 1) in
+      let dslot = rf.rcode.(bbase + 2) in
+      let a = rf.rcode.(bbase + 3) in
+      let b = rf.rcode.(bbase + 4) in
+      let sh =
+        (if op1 = op_bin_ir then 1 else 0)
+        lor if op1 = op_bin_ri then 2 else 0
+      in
+      rf.rcode_len <- bbase;
+      emit rf op_bin_store;
+      emit rf sh;
+      emit rf bop;
+      emit rf a;
+      emit rf b;
+      emit rf (if e.use_cnt.(s) > 1 then dslot else -1);
+      emit rf (2 * dst.Resource.base);
+      rf.rticks.(bbase + 1) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_bin <- -1;
+      e.last_load <- -1;
+      e.last_bst <- bbase
+  | Instr.Addr_of { dst; var; off = Instr.Imm n } when e.use_cnt.(dst) = 1 ->
+      (* sink the pure constant address to its sole consumer; only
+         its tick is position sensitive, and that rides [pending] *)
+      flush_haddr e;
+      omit_tick e;
+      e.haddr <- dst;
+      e.haddr_vid <- var;
+      e.haddr_off <- n
+  | Instr.Ptr_store { addr = Instr.Reg a; src; _ }
+    when e.hpb >= 0 && a = e.hpb_dst ->
+      (* the full variable-index store chain in one dispatch: the
+         address is an operand immediate, the computed pointer never
+         touches a slot.  The prologue carries the ticks still
+         pending (the sunk addr's, unless an earlier prologue already
+         charged it); the binop's and the store's ticks are staged. *)
+      let bbase = rf.rcode_len in
+      start e e.pending;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      emit rf op_abin_pstore;
+      emit rf e.hpb_sh;
+      emit rf e.hpb_bop;
+      emit rf e.hpb_vid;
+      emit rf e.hpb_off;
+      emit rf e.hpb_y;
+      (match src with
+      | Instr.Reg s2 ->
+          emit rf 0;
+          emit rf (slot e s2)
+      | Instr.Imm n ->
+          emit rf 1;
+          emit rf n);
+      rf.rticks.(bbase + 1) <- 1;
+      rf.rticks.(bbase + 2) <- 1;
+      e.n_fused <- e.n_fused + 1;
+      e.hpb <- -1
+  | Instr.Ptr_store { addr = Instr.Reg a; src; _ }
+    when e.haddr >= 0 && a = e.haddr ->
+      (* constant-index array store: the sunk address flows straight
+         into the pointer write, never touching its slot.  The
+         prologue stage carries whatever omitted ticks are pending;
+         the pstore's own tick is the second stage. *)
+      let bbase = rf.rcode_len in
+      start e e.pending;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      emit rf op_astore;
+      emit rf e.haddr_vid;
+      emit rf e.haddr_off;
+      (match src with
+      | Instr.Reg s ->
+          emit rf 0;
+          emit rf (slot e s)
+      | Instr.Imm n ->
+          emit rf 1;
+          emit rf n);
+      rf.rticks.(bbase + 1) <- 1;
+      e.n_fused <- e.n_fused + 1;
+      e.haddr <- -1
+  | Instr.Ptr_store { addr = Instr.Reg a; src; _ }
+    when e.last_bin >= 0 && e.last_bin + 5 = rf.rcode_len
+         && a = e.last_bin_dst ->
+      (* the computed address flows straight into the pointer write;
+         its slot write is skipped when the store was its only reader *)
+      let bbase = e.last_bin in
+      let op1 = rf.rcode.(bbase) in
+      let bop = rf.rcode.(bbase + 1) in
+      let tslot = rf.rcode.(bbase + 2) in
+      let pa = rf.rcode.(bbase + 3) in
+      let pb = rf.rcode.(bbase + 4) in
+      let sh =
+        (if op1 = op_bin_ir then 1 else 0)
+        lor if op1 = op_bin_ri then 2 else 0
+      in
+      rf.rcode_len <- bbase;
+      emit rf op_bin_pstore;
+      emit rf sh;
+      emit rf bop;
+      emit rf pa;
+      emit rf pb;
+      emit rf (if e.use_cnt.(a) > 1 then tslot else -1);
+      (match src with
+      | Instr.Reg s2 ->
+          emit rf 0;
+          emit rf (slot e s2)
+      | Instr.Imm n ->
+          emit rf 1;
+          emit rf n);
+      rf.rticks.(bbase + 1) <- e.pending + 1;
+      e.pending <- 0;
+      e.seg <- e.seg + 1;
+      e.n_fused <- e.n_fused + 1;
+      e.last_bin <- -1;
+      e.last_load <- -1
+  | _ -> (
+      let before = rf.rcode_len in
+      compile_instr e moves i;
+      match i.Instr.op with
+      | Instr.Bin { dst; _ }
+        when rf.rcode_len = before + 5 && rf.rcode.(before) < op_bin_ii ->
+          e.last_bin <- before;
+          e.last_bin_dst <- dst
+      | Instr.Load { dst; _ } when rf.rcode_len = before + 3 ->
+          e.last_load <- before;
+          e.last_load_dst <- dst
+      | Instr.Copy _
+        when rf.rcode_len = before + 3
+             && (rf.rcode.(before) = op_copy_r
+                || rf.rcode.(before) = op_copy_i) ->
+          merge_copy e before
+      | _ -> ())
+
 let compile_term (e : emitter) (g : Func.t) (b : Block.t) =
   let rf = e.rf in
+  (* held state cannot cross the block boundary: the terminator may
+     read the held registers, and the next block compiles fresh *)
+  flush_hpb e;
+  flush_haddr e;
   let synthetic = e.cur_bid >= e.orig_nblocks in
+  (* fused mode: resolve the held copy against the terminator *)
+  let term =
+    match e.pend with
+    | None -> b.Block.term
+    | Some p -> (
+        let pd, psrc =
+          match p.Instr.op with
+          | Instr.Copy { dst; src } -> (dst, src)
+          | _ -> assert false
+        in
+        e.pend <- None;
+        match b.Block.term with
+        | Block.Br { cond = Instr.Reg c; t; f } when c = pd ->
+            omit_tick e;
+            e.n_elim <- e.n_elim + 1;
+            Block.Br { cond = psrc; t; f }
+        | Block.Ret (Some (Instr.Reg r)) when r = pd ->
+            omit_tick e;
+            e.n_elim <- e.n_elim + 1;
+            Block.Ret (Some psrc)
+        | t0 ->
+            compile_instr e Ids.IntSet.empty p;
+            t0)
+  in
   let tk = if synthetic then 0 else e.pending + 1 in
   e.pending <- 0;
   e.seg <- e.seg + tk;
-  start e tk;
-  (match b.Block.term with
-  | Block.Jmp t ->
-      emit rf op_jmp;
-      emit_edge e g ~t
-  | Block.Br { cond; t; f } -> (
-      match cond with
-      | Instr.Imm n ->
-          (* constant condition: a one-sided jump; the untaken edge is
-             never counted, matching a never-bumped flat edge id *)
+  (match term with
+  | Block.Br { cond = Instr.Reg c; t; f }
+    when e.last_bin >= 0
+         && e.last_bin + 5 = rf.rcode_len
+         && e.last_bin_dst = c ->
+      (* fused compare-and-branch: rewind the just-emitted binop and
+         re-emit it with both transfer quadruples inline.
+         [rticks.(base)] keeps the binop's tick; the terminator tick
+         (plus any folded-copy ticks) charges mid-instruction from
+         [rticks.(base + 1)], after the binop executed. *)
+      let bbase = e.last_bin in
+      let op1 = rf.rcode.(bbase) in
+      let bop = rf.rcode.(bbase + 1) in
+      let dslot = rf.rcode.(bbase + 2) in
+      let x = rf.rcode.(bbase + 3) in
+      let y = rf.rcode.(bbase + 4) in
+      rf.rcode_len <- bbase;
+      emit rf
+        (if op1 = op_bin_rr then op_cbr_rr
+         else if op1 = op_bin_ri then op_cbr_ri
+         else op_cbr_ir);
+      emit rf bop;
+      emit rf x;
+      emit rf y;
+      emit rf (if e.use_cnt.(c) = 1 then -1 else dslot);
+      rf.rticks.(bbase + 1) <- tk;
+      emit_edge e g ~t;
+      emit_edge e g ~t:f;
+      e.n_fused <- e.n_fused + 1;
+      e.last_bin <- -1
+  | _ -> (
+      start e tk;
+      match term with
+      | Block.Jmp t ->
           emit rf op_jmp;
-          emit_edge e g ~t:(if n <> 0 then t else f)
-      | Instr.Reg c ->
-          emit rf op_br;
-          emit rf (slot e c);
-          emit_edge e g ~t;
-          emit_edge e g ~t:f)
-  | Block.Ret op -> (
-      match op with
-      | Some (Instr.Reg r) ->
-          emit rf op_ret_r;
-          emit rf (slot e r)
-      | Some (Instr.Imm n) ->
-          emit rf op_ret_i;
-          emit rf n
-      | None -> emit rf op_ret_void));
+          emit_edge e g ~t
+      | Block.Br { cond; t; f } -> (
+          match cond with
+          | Instr.Imm n ->
+              (* constant condition: a one-sided jump; the untaken edge
+                 is never counted, matching a never-bumped flat edge
+                 id *)
+              emit rf op_jmp;
+              emit_edge e g ~t:(if n <> 0 then t else f)
+          | Instr.Reg c ->
+              emit rf op_br;
+              emit rf (slot e c);
+              emit_edge e g ~t;
+              emit_edge e g ~t:f)
+      | Block.Ret op -> (
+          match op with
+          | Some (Instr.Reg r) ->
+              emit rf op_ret_r;
+              emit rf (slot e r)
+          | Some (Instr.Imm n) ->
+              emit rf op_ret_i;
+              emit rf n
+          | None -> emit rf op_ret_void)));
   close_seg e
 
 (* Walk the emitted stream and turn the clone-bid placeholders in
@@ -509,6 +1373,23 @@ let patch (rf : rfunc) (block_off : int array) (block_cost : int array) =
         pc := base + 10
     | 24 | 25 (* ret *) -> pc := base + 2
     | 26 (* ret_void *) -> pc := base + 1
+    | 27 | 28 | 29 (* cbr *) ->
+        code.(base + 8) <- block_cost.(code.(base + 8));
+        code.(base + 5) <- block_off.(code.(base + 5));
+        code.(base + 12) <- block_cost.(code.(base + 12));
+        code.(base + 9) <- block_off.(code.(base + 9));
+        pc := base + 13
+    | 30 (* trap_div *) -> pc := base + 1
+    | 31 (* bin2 *) -> pc := base + 9
+    | 32 (* load2 *) -> pc := base + 5
+    | 33 (* bin_store *) -> pc := base + 7
+    | 34 | 35 (* mm_bin / mm_bin_store *) -> pc := base + 6
+    | 36 (* astore *) -> pc := base + 5
+    | 37 (* bin_pstore *) -> pc := base + 8
+    | 38 | 39 (* mm_bin2 / mm_bin2_store *) -> pc := base + 9
+    | 40 (* abin_pstore *) -> pc := base + 8
+    | 41 (* copy_n *) -> pc := base + 2 + (3 * code.(base + 1))
+    | 42 (* bst_bin2 *) -> pc := base + 15
     | _ -> assert false
   done
 
@@ -545,6 +1426,55 @@ let statics (rf : rfunc) (f : Func.t) =
         b.Block.body)
     f
 
+(* Count every live operand read of each vreg (body instructions plus
+   terminator uses); drives the peephole's single-use folding
+   decisions.  Dead blocks never execute and are never emitted, so
+   their uses do not pin values. *)
+let count_uses (g : Func.t) : int array =
+  let uc = Array.make (max g.Func.next_reg 1) 0 in
+  Func.iter_blocks
+    (fun (b : Block.t) ->
+      if not b.Block.dead then begin
+        Iseq.iter
+          (fun (i : Instr.t) ->
+            List.iter
+              (fun r -> uc.(r) <- uc.(r) + 1)
+              (Instr.reg_uses i.Instr.op))
+          b.Block.body;
+        match b.Block.term with
+        | Block.Br { cond = Instr.Reg c; _ } -> uc.(c) <- uc.(c) + 1
+        | Block.Ret (Some (Instr.Reg r)) -> uc.(r) <- uc.(r) + 1
+        | _ -> ()
+      end)
+    g;
+  uc
+
+(* Hot-path block schedule: reverse postorder from the entry, taken
+   side first, following only the sides a constant branch can take.
+   Keeps loop bodies contiguous in the code buffer; unreachable blocks
+   are simply not emitted.  Correct for any emission order because
+   logical edge ids are interned and the counter sinks are fixed
+   slots. *)
+let rpo_schedule (g : Func.t) : int list =
+  let n = Func.num_blocks g in
+  let seen = Array.make (max n 1) false in
+  let order = ref [] in
+  let rec go bid =
+    if (not seen.(bid)) && not (Func.block g bid).Block.dead then begin
+      seen.(bid) <- true;
+      (match (Func.block g bid).Block.term with
+      | Block.Jmp t -> go t
+      | Block.Br { cond = Instr.Imm n; t; f } -> go (if n <> 0 then t else f)
+      | Block.Br { t; f; _ } ->
+          go t;
+          go f
+      | Block.Ret _ -> ());
+      order := bid :: !order
+    end
+  in
+  go g.Func.entry;
+  !order
+
 let compile_func (dec : t) (rf : rfunc) (f : Func.t) =
   rf.rcode_len <- 0;
   rf.rnstrs <- 0;
@@ -575,6 +1505,38 @@ let compile_func (dec : t) (rf : rfunc) (f : Func.t) =
       seg = 0;
       seg_site = -1;
       cur_bid = 0;
+      edge_ids = Hashtbl.create 32;
+      fuse = dec.fuse;
+      use_cnt = (if dec.fuse then count_uses g else [||]);
+      pend = None;
+      last_bin = -1;
+      last_bin_dst = -1;
+      last_load = -1;
+      last_load_dst = -1;
+      last_load2 = -1;
+      last_l2a = -1;
+      last_l2b = -1;
+      last_mm = -1;
+      last_mm_dst = -1;
+      last_mm2 = -1;
+      last_mm2_dst = -1;
+      haddr = -1;
+      hpb = -1;
+      hpb_dst = -1;
+      hpb_vid = 0;
+      hpb_off = 0;
+      hpb_bop = 0;
+      hpb_sh = 0;
+      hpb_y = 0;
+      hpb_dslot = 0;
+      hpb_aslot = 0;
+      last_bst = -1;
+      last_cpy = -1;
+      last_c1 = -1;
+      haddr_vid = 0;
+      haddr_off = 0;
+      n_fused = 0;
+      n_elim = 0;
     }
   in
   rf.rparams <-
@@ -588,23 +1550,33 @@ let compile_func (dec : t) (rf : rfunc) (f : Func.t) =
          a.(i) <- (if s >= 0 then 2 * s else -1))
        ps;
      a);
-  for bid = 0 to nblocks_g - 1 do
-    let b = Func.block g bid in
-    if not b.Block.dead then begin
-      e.block_off.(bid) <- rf.rcode_len;
-      e.cur_bid <- bid;
-      e.pending <- 0;
-      e.seg <- 0;
-      e.seg_site <- -1;
-      Iseq.iter (fun i -> compile_instr e moves i) b.Block.body;
-      compile_term e g b
-    end
-  done;
+  let schedule =
+    if dec.fuse then rpo_schedule g else List.init nblocks_g Fun.id
+  in
+  List.iter
+    (fun bid ->
+      let b = Func.block g bid in
+      if not b.Block.dead then begin
+        e.block_off.(bid) <- rf.rcode_len;
+        e.cur_bid <- bid;
+        e.pending <- 0;
+        e.seg <- 0;
+        e.seg_site <- -1;
+        Iseq.iter
+          (fun i ->
+            if e.fuse then compile_instr_fused e moves i
+            else compile_instr e moves i)
+          b.Block.body;
+        compile_term e g b
+      end)
+    schedule;
   patch rf e.block_off e.block_cost;
   rf.entry_off <- e.block_off.(f.Func.entry);
   rf.entry_block <- rf.block_base + f.Func.entry;
   rf.entry_cost <- e.block_cost.(f.Func.entry);
-  statics rf f
+  statics rf f;
+  dec.rfused_ops <- dec.rfused_ops + e.n_fused;
+  dec.rops_eliminated <- dec.rops_eliminated + e.n_elim
 
 (* ------------------------------------------------------------------ *)
 
@@ -643,6 +1615,8 @@ let mk_rfunc ~rfid ~rname ~rlocals =
 (* Compile every function, assigning the dense counter id spaces; each
    function's spans get one sink slot for its synthetic blocks. *)
 let compile_all (dec : t) =
+  dec.rfused_ops <- 0;
+  dec.rops_eliminated <- 0;
   let blocks = ref 0 and edges = ref 0 in
   List.iter
     (fun (f : Func.t) ->
@@ -656,7 +1630,7 @@ let compile_all (dec : t) =
   dec.rtotal_blocks <- !blocks;
   dec.rtotal_edges <- !edges
 
-let compile ?budget (prog : Func.prog) : t =
+let compile ?budget ?(fuse = false) (prog : Func.prog) : t =
   let tab = prog.Func.vartab in
   let nvars = Resource.num_vars tab in
   let array_len = Array.make (max nvars 1) (-1) in
@@ -706,6 +1680,7 @@ let compile ?budget (prog : Func.prog) : t =
     {
       rprog = prog;
       budget;
+      fuse;
       rnvars = nvars;
       rarray_len = array_len;
       rmem_init = mem_init;
@@ -715,6 +1690,8 @@ let compile ?budget (prog : Func.prog) : t =
       rmain;
       rtotal_blocks = 0;
       rtotal_edges = 0;
+      rfused_ops = 0;
+      rops_eliminated = 0;
     }
   in
   compile_all dec;

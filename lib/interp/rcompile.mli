@@ -39,6 +39,25 @@ val op_ret_r : int
 val op_ret_i : int
 val op_ret_void : int
 
+(** Superinstructions, emitted only under [compile ~fuse:true]. *)
+
+val op_cbr_rr : int
+val op_cbr_ri : int
+val op_cbr_ir : int
+val op_trap_div : int
+val op_bin2 : int
+val op_load2 : int
+val op_bin_store : int
+val op_mm_bin : int
+val op_mm_bin_store : int
+val op_astore : int
+val op_bin_pstore : int
+val op_mm_bin2 : int
+val op_mm_bin2_store : int
+val op_abin_pstore : int
+val op_copy_n : int
+val op_bst_bin2 : int
+
 type rfunc = {
   rfid : int;
   rname : string;
@@ -73,6 +92,7 @@ type rfunc = {
 type t = {
   rprog : Func.prog;
   budget : int option;
+  fuse : bool;
   rnvars : int;
   rarray_len : int array;
   rmem_init : int array;
@@ -82,12 +102,18 @@ type t = {
   rmain : int;
   mutable rtotal_blocks : int;
   mutable rtotal_edges : int;
+  mutable rfused_ops : int;
+  mutable rops_eliminated : int;
 }
 
 (** Compile the whole program.  [budget] is the machine register
     budget forwarded to the slot allocator (reporting only: overflow
-    slots live in the same frame). *)
-val compile : ?budget:int -> Func.prog -> t
+    slots live in the same frame).  [fuse] (default false) enables the
+    peephole superinstruction layer: compare-and-branch fusion, binop
+    pair fusion, single-use copy folding, literal constant folding and
+    reverse-postorder block layout — observationally invisible, and
+    re-applied by {!refresh}. *)
+val compile : ?budget:int -> ?fuse:bool -> Func.prog -> t
 
 (** Re-compile after the IR was transformed, reusing the buffers. *)
 val refresh : t -> unit

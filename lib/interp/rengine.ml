@@ -36,7 +36,12 @@ let () =
       && op_pstore = 15 && op_call = 16 && op_xcall = 17
       && op_call_unknown = 18 && op_trap_rphi = 19 && op_print_r = 20
       && op_print_i = 21 && op_jmp = 22 && op_br = 23 && op_ret_r = 24
-      && op_ret_i = 25 && op_ret_void = 26))
+      && op_ret_i = 25 && op_ret_void = 26 && op_cbr_rr = 27 && op_cbr_ri = 28
+      && op_cbr_ir = 29 && op_trap_div = 30 && op_bin2 = 31 && op_load2 = 32
+      && op_bin_store = 33 && op_mm_bin = 34 && op_mm_bin_store = 35
+      && op_astore = 36 && op_bin_pstore = 37 && op_mm_bin2 = 38
+      && op_mm_bin2_store = 39 && op_abin_pstore = 40 && op_copy_n = 41
+      && op_bst_bin2 = 42))
 
 type rt = {
   cp : Rcompile.t;
@@ -127,6 +132,34 @@ let write_ptr rt pv pk sv sk =
   end
   else if pv = 0 then fail "null pointer dereference"
   else fail "integer used as a pointer"
+
+(* The superinstruction arms index [code], the value stack and [mem]
+   with emitter-generated operands whose bounds are established when
+   the image is packed (frame sizing, memory layout), so they use
+   unchecked accesses; the baseline arms keep the checked idiom. *)
+let[@inline] ug (a : int array) (i : int) = Array.unsafe_get a i
+let[@inline] us (a : int array) (i : int) (v : int) = Array.unsafe_set a i v
+
+(* Integer fast path of a binop, shared by the fused arms (the plain
+   arms keep their inlined copies). *)
+let[@inline] binop_int (bop : int) (lv : int) (rv : int) : int =
+  match bop with
+  | 0 -> lv + rv
+  | 1 -> lv - rv
+  | 2 -> lv * rv
+  | 3 -> if rv = 0 then fail "division by zero" else lv / rv
+  | 4 -> if rv = 0 then fail "division by zero" else lv mod rv
+  | 5 -> if lv < rv then 1 else 0
+  | 6 -> if lv <= rv then 1 else 0
+  | 7 -> if lv > rv then 1 else 0
+  | 8 -> if lv >= rv then 1 else 0
+  | 9 -> if lv = rv then 1 else 0
+  | 10 -> if lv <> rv then 1 else 0
+  | 11 -> lv land rv
+  | 12 -> lv lor rv
+  | 13 -> lv lxor rv
+  | 14 -> lv lsl (rv land 63)
+  | _ -> lv asr (rv land 63)
 
 (* Deduct a fuel segment: never raises — when the budget would be
    exhausted the engine flips to exact per-instruction accounting
@@ -450,6 +483,587 @@ let rec exec (rt : rt) (rf : Rcompile.rfunc) (fp : int) =
     | 26 (* ret_void *) ->
         rt.rk <- -2;
         running := false
+    | 27 (* cbr_rr: bop l r dst|-1 t-quad f-quad *) ->
+        let s = !stk in
+        let l = fp + ug code (base + 2) and r = fp + ug code (base + 3) in
+        let lv = ug s l and lk = ug s (l + 1) in
+        let rv = ug s r and rk = ug s (r + 1) in
+        if lk land rk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 1)) lv rv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 1)) lv lk rv rk;
+        let z = rt.vv and zk = rt.vk in
+        let dst = ug code (base + 4) in
+        if dst >= 0 then begin
+          let d = fp + dst in
+          us s d z;
+          us s (d + 1) zk
+        end;
+        (* second fuel stage: the terminator tick, charged after the
+           binop executed and before the branch *)
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        if zk >= 0 then fail "pointer used as an integer";
+        let side = if z <> 0 then base + 5 else base + 9 in
+        rt.bcounts.(ug code (side + 1)) <- rt.bcounts.(ug code (side + 1)) + 1;
+        rt.ecounts.(ug code (side + 2)) <- rt.ecounts.(ug code (side + 2)) + 1;
+        deduct rt (ug code (side + 3));
+        pc := ug code side
+    | 28 (* cbr_ri: bop l imm dst|-1 t-quad f-quad *) ->
+        let s = !stk in
+        let l = fp + ug code (base + 2) in
+        let lv = ug s l and lk = ug s (l + 1) in
+        let rv = ug code (base + 3) in
+        if lk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 1)) lv rv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 1)) lv lk rv (-1);
+        let z = rt.vv and zk = rt.vk in
+        let dst = ug code (base + 4) in
+        if dst >= 0 then begin
+          let d = fp + dst in
+          us s d z;
+          us s (d + 1) zk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        if zk >= 0 then fail "pointer used as an integer";
+        let side = if z <> 0 then base + 5 else base + 9 in
+        rt.bcounts.(ug code (side + 1)) <- rt.bcounts.(ug code (side + 1)) + 1;
+        rt.ecounts.(ug code (side + 2)) <- rt.ecounts.(ug code (side + 2)) + 1;
+        deduct rt (ug code (side + 3));
+        pc := ug code side
+    | 29 (* cbr_ir: bop imm r dst|-1 t-quad f-quad *) ->
+        let s = !stk in
+        let r = fp + ug code (base + 3) in
+        let lv = ug code (base + 2) in
+        let rv = ug s r and rk = ug s (r + 1) in
+        if rk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 1)) lv rv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 1)) lv (-1) rv rk;
+        let z = rt.vv and zk = rt.vk in
+        let dst = ug code (base + 4) in
+        if dst >= 0 then begin
+          let d = fp + dst in
+          us s d z;
+          us s (d + 1) zk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        if zk >= 0 then fail "pointer used as an integer";
+        let side = if z <> 0 then base + 5 else base + 9 in
+        rt.bcounts.(ug code (side + 1)) <- rt.bcounts.(ug code (side + 1)) + 1;
+        rt.ecounts.(ug code (side + 2)) <- rt.ecounts.(ug code (side + 2)) + 1;
+        deduct rt (ug code (side + 3));
+        pc := ug code side
+    | 30 (* trap_div: a folded literal division by zero *) ->
+        fail "division by zero"
+    | 31 (* bin2: shape bop1 a1 b1 tslot|-1 bop2 dst c2 *) ->
+        let s = !stk in
+        let sh = ug code (base + 1) in
+        let a1 = ug code (base + 3) in
+        let av = if sh land 1 <> 0 then a1 else ug s (fp + a1) in
+        let ak = if sh land 1 <> 0 then -1 else ug s (fp + a1 + 1) in
+        let b1 = ug code (base + 4) in
+        let bv = if sh land 2 <> 0 then b1 else ug s (fp + b1) in
+        let bk = if sh land 2 <> 0 then -1 else ug s (fp + b1 + 1) in
+        if ak land bk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 2)) av bv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 2)) av ak bv bk;
+        let tv = rt.vv and tkk = rt.vk in
+        let tslot = ug code (base + 5) in
+        if tslot >= 0 then begin
+          let d = fp + tslot in
+          us s d tv;
+          us s (d + 1) tkk
+        end;
+        (* second fuel stage: the consumer's tick, charged between the
+           two halves so either half traps at the oracle's point *)
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let c2 = ug code (base + 8) in
+        let cv = if sh land 8 <> 0 then c2 else ug s (fp + c2) in
+        let ck = if sh land 8 <> 0 then -1 else ug s (fp + c2 + 1) in
+        let bop2 = ug code (base + 6) in
+        let d = fp + ug code (base + 7) in
+        if ck land tkk < 0 then begin
+          us s d
+            (if sh land 4 <> 0 then binop_int bop2 cv tv
+             else binop_int bop2 tv cv);
+          us s (d + 1) (-1)
+        end
+        else begin
+          if sh land 4 <> 0 then binop_slow rt bop2 cv ck tv tkk
+          else binop_slow rt bop2 tv tkk cv ck;
+          us s d rt.vv;
+          us s (d + 1) rt.vk
+        end;
+        pc := base + 9
+    | 32 (* load2: d1 v2a d2 v2b — two adjacent scalar loads *) ->
+        let s = !stk in
+        let v = ug code (base + 2) in
+        let d = fp + ug code (base + 1) in
+        us s d (ug rt.mem v);
+        us s (d + 1) (ug rt.mem (v + 1));
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let v2 = ug code (base + 4) in
+        let d2 = fp + ug code (base + 3) in
+        us s d2 (ug rt.mem v2);
+        us s (d2 + 1) (ug rt.mem (v2 + 1));
+        pc := base + 5
+    | 33 (* bin_store: shape bop a b dst|-1 v2 *) ->
+        let s = !stk in
+        let sh = ug code (base + 1) in
+        let a = ug code (base + 3) in
+        let av = if sh land 1 <> 0 then a else ug s (fp + a) in
+        let ak = if sh land 1 <> 0 then -1 else ug s (fp + a + 1) in
+        let b = ug code (base + 4) in
+        let bv = if sh land 2 <> 0 then b else ug s (fp + b) in
+        let bk = if sh land 2 <> 0 then -1 else ug s (fp + b + 1) in
+        if ak land bk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 2)) av bv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 2)) av ak bv bk;
+        let zv = rt.vv and zk = rt.vk in
+        let dslot = ug code (base + 5) in
+        if dslot >= 0 then begin
+          let d = fp + dslot in
+          us s d zv;
+          us s (d + 1) zk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let v = ug code (base + 6) in
+        us rt.mem v zv;
+        us rt.mem (v + 1) zk;
+        pc := base + 7
+    | 34 (* mm_bin: sh bop x y dst — dst <- mem/slot/imm binop.
+            sh bit 1 = left operand is the second source; bit 2 =
+            second source is an immediate; bit 4 = second source is a
+            slot; neither 2 nor 4 = second source is a second memory
+            load with its own fuel stage at [ticks.(base + 1)], and
+            the binop tick moves to [ticks.(base + 2)]. *) ->
+        let sh = ug code (base + 1) in
+        let x = ug code (base + 3) in
+        let av = ug rt.mem x and ak = ug rt.mem (x + 1) in
+        let bv, bk =
+          if sh land 6 = 0 then begin
+            if rt.slow then begin
+              rt.fuel <- rt.fuel - ticks.(base + 1);
+              if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+            end;
+            let y = ug code (base + 4) in
+            (ug rt.mem y, ug rt.mem (y + 1))
+          end
+          else if sh land 2 <> 0 then (ug code (base + 4), -1)
+          else begin
+            let s = !stk in
+            let o = fp + ug code (base + 4) in
+            (ug s o, ug s (o + 1))
+          end
+        in
+        if rt.slow then begin
+          let bt = if sh land 6 = 0 then base + 2 else base + 1 in
+          rt.fuel <- rt.fuel - ticks.(bt);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let lv, lk, rv, rk =
+          if sh land 1 <> 0 then (bv, bk, av, ak) else (av, ak, bv, bk)
+        in
+        let s = !stk in
+        let d = fp + ug code (base + 5) in
+        if lk land rk < 0 then begin
+          us s d (binop_int (ug code (base + 2)) lv rv);
+          us s (d + 1) (-1)
+        end
+        else begin
+          binop_slow rt (ug code (base + 2)) lv lk rv rk;
+          us s d rt.vv;
+          us s (d + 1) rt.vk
+        end;
+        pc := base + 6
+    | 35 (* mm_bin_store: sh bop x y v2d — same operand shapes as
+            [mm_bin], but the result goes straight to memory; the
+            store's fuel stage follows the binop's. *) ->
+        let sh = ug code (base + 1) in
+        let x = ug code (base + 3) in
+        let av = ug rt.mem x and ak = ug rt.mem (x + 1) in
+        let bv, bk =
+          if sh land 6 = 0 then begin
+            if rt.slow then begin
+              rt.fuel <- rt.fuel - ticks.(base + 1);
+              if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+            end;
+            let y = ug code (base + 4) in
+            (ug rt.mem y, ug rt.mem (y + 1))
+          end
+          else if sh land 2 <> 0 then (ug code (base + 4), -1)
+          else begin
+            let s = !stk in
+            let o = fp + ug code (base + 4) in
+            (ug s o, ug s (o + 1))
+          end
+        in
+        let two = sh land 6 = 0 in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 2 else base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let lv, lk, rv, rk =
+          if sh land 1 <> 0 then (bv, bk, av, ak) else (av, ak, bv, bk)
+        in
+        let zv, zk =
+          if lk land rk < 0 then (binop_int (ug code (base + 2)) lv rv, -1)
+          else begin
+            binop_slow rt (ug code (base + 2)) lv lk rv rk;
+            (rt.vv, rt.vk)
+          end
+        in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 3 else base + 2);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let vd = ug code (base + 5) in
+        us rt.mem vd zv;
+        us rt.mem (vd + 1) zk;
+        pc := base + 6
+    | 36 (* astore: vid off sk s — *(addr vid off) <- s.  The addr's
+            tick was charged in the prologue; the pstore's is staged
+            before its operand read and the write can trap. *) ->
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let sv, sk =
+          if ug code (base + 3) = 0 then begin
+            let s = !stk in
+            let o = fp + ug code (base + 4) in
+            (ug s o, ug s (o + 1))
+          end
+          else (ug code (base + 4), -1)
+        in
+        write_ptr rt (ug code (base + 2)) (ug code (base + 1)) sv sk;
+        pc := base + 5
+    | 37 (* bin_pstore: sh bop a b tslot|-1 sk s — *(a bop b) <- s *) ->
+        let s = !stk in
+        let sh = ug code (base + 1) in
+        let a = ug code (base + 3) in
+        let av = if sh land 1 <> 0 then a else ug s (fp + a) in
+        let ak = if sh land 1 <> 0 then -1 else ug s (fp + a + 1) in
+        let b = ug code (base + 4) in
+        let bv = if sh land 2 <> 0 then b else ug s (fp + b) in
+        let bk = if sh land 2 <> 0 then -1 else ug s (fp + b + 1) in
+        if ak land bk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 2)) av bv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 2)) av ak bv bk;
+        let zv = rt.vv and zk = rt.vk in
+        let tslot = ug code (base + 5) in
+        if tslot >= 0 then begin
+          let d = fp + tslot in
+          us s d zv;
+          us s (d + 1) zk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let sv, sk =
+          if ug code (base + 6) = 0 then begin
+            let o = fp + ug code (base + 7) in
+            (ug s o, ug s (o + 1))
+          end
+          else (ug code (base + 7), -1)
+        in
+        write_ptr rt zv zk sv sk;
+        pc := base + 8
+    | 38 (* mm_bin2: sh bop x y sh2 bop2 z dst — the mm_bin chain
+            value feeds a second binop; sh2 bit 1 = chained value is
+            the right operand, bit 2 = z is an immediate.  The first
+            stages are mm_bin's; the second binop's tick is one past
+            the first's. *) ->
+        let sh = ug code (base + 1) in
+        let x = ug code (base + 3) in
+        let av = ug rt.mem x and ak = ug rt.mem (x + 1) in
+        let bv, bk =
+          if sh land 6 = 0 then begin
+            if rt.slow then begin
+              rt.fuel <- rt.fuel - ticks.(base + 1);
+              if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+            end;
+            let y = ug code (base + 4) in
+            (ug rt.mem y, ug rt.mem (y + 1))
+          end
+          else if sh land 2 <> 0 then (ug code (base + 4), -1)
+          else begin
+            let s = !stk in
+            let o = fp + ug code (base + 4) in
+            (ug s o, ug s (o + 1))
+          end
+        in
+        let two = sh land 6 = 0 in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 2 else base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let lv, lk, rv, rk =
+          if sh land 1 <> 0 then (bv, bk, av, ak) else (av, ak, bv, bk)
+        in
+        let tv, tk =
+          if lk land rk < 0 then (binop_int (ug code (base + 2)) lv rv, -1)
+          else begin
+            binop_slow rt (ug code (base + 2)) lv lk rv rk;
+            (rt.vv, rt.vk)
+          end
+        in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 3 else base + 2);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let s = !stk in
+        let sh2 = ug code (base + 5) in
+        let z = ug code (base + 7) in
+        let zv = if sh2 land 2 <> 0 then z else ug s (fp + z) in
+        let zk = if sh2 land 2 <> 0 then -1 else ug s (fp + z + 1) in
+        let lv2, lk2, rv2, rk2 =
+          if sh2 land 1 <> 0 then (zv, zk, tv, tk) else (tv, tk, zv, zk)
+        in
+        let d = fp + ug code (base + 8) in
+        if lk2 land rk2 < 0 then begin
+          us s d (binop_int (ug code (base + 6)) lv2 rv2);
+          us s (d + 1) (-1)
+        end
+        else begin
+          binop_slow rt (ug code (base + 6)) lv2 lk2 rv2 rk2;
+          us s d rt.vv;
+          us s (d + 1) rt.vk
+        end;
+        pc := base + 9
+    | 39 (* mm_bin2_store: sh bop x y sh2 bop2 z v2d — the chain's
+            value goes straight to memory; the store's fuel stage
+            follows the second binop's. *) ->
+        let sh = ug code (base + 1) in
+        let x = ug code (base + 3) in
+        let av = ug rt.mem x and ak = ug rt.mem (x + 1) in
+        let bv, bk =
+          if sh land 6 = 0 then begin
+            if rt.slow then begin
+              rt.fuel <- rt.fuel - ticks.(base + 1);
+              if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+            end;
+            let y = ug code (base + 4) in
+            (ug rt.mem y, ug rt.mem (y + 1))
+          end
+          else if sh land 2 <> 0 then (ug code (base + 4), -1)
+          else begin
+            let s = !stk in
+            let o = fp + ug code (base + 4) in
+            (ug s o, ug s (o + 1))
+          end
+        in
+        let two = sh land 6 = 0 in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 2 else base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let lv, lk, rv, rk =
+          if sh land 1 <> 0 then (bv, bk, av, ak) else (av, ak, bv, bk)
+        in
+        let tv, tk =
+          if lk land rk < 0 then (binop_int (ug code (base + 2)) lv rv, -1)
+          else begin
+            binop_slow rt (ug code (base + 2)) lv lk rv rk;
+            (rt.vv, rt.vk)
+          end
+        in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 3 else base + 2);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let s = !stk in
+        let sh2 = ug code (base + 5) in
+        let z = ug code (base + 7) in
+        let zv = if sh2 land 2 <> 0 then z else ug s (fp + z) in
+        let zk = if sh2 land 2 <> 0 then -1 else ug s (fp + z + 1) in
+        let lv2, lk2, rv2, rk2 =
+          if sh2 land 1 <> 0 then (zv, zk, tv, tk) else (tv, tk, zv, zk)
+        in
+        let wv, wk =
+          if lk2 land rk2 < 0 then (binop_int (ug code (base + 6)) lv2 rv2, -1)
+          else begin
+            binop_slow rt (ug code (base + 6)) lv2 lk2 rv2 rk2;
+            (rt.vv, rt.vk)
+          end
+        in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(if two then base + 4 else base + 3);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let vd = ug code (base + 8) in
+        us rt.mem vd wv;
+        us rt.mem (vd + 1) wk;
+        pc := base + 9
+    | 40 (* abin_pstore: sh bop vid off y sk s — the full
+            [addr; bin; pstore] chain: *((addr vid off) bop y) <- s.
+            The sunk address is an operand immediate (value [off],
+            kind [vid]); its tick rides the prologue, the binop's and
+            the store's are staged.  One operand is always a pointer,
+            so the binop takes the slow path directly. *) ->
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let sh = ug code (base + 1) in
+        let av = ug code (base + 4) and ak = ug code (base + 3) in
+        let y = ug code (base + 5) in
+        let bv, bk =
+          if sh land 2 <> 0 then (y, -1)
+          else begin
+            let s = !stk in
+            let o = fp + y in
+            (ug s o, ug s (o + 1))
+          end
+        in
+        let lv, lk, rv, rk =
+          if sh land 1 <> 0 then (bv, bk, av, ak) else (av, ak, bv, bk)
+        in
+        binop_slow rt (ug code (base + 2)) lv lk rv rk;
+        let zv = rt.vv and zk = rt.vk in
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 2);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let sv, sk =
+          if ug code (base + 6) = 0 then begin
+            let s = !stk in
+            let o = fp + ug code (base + 7) in
+            (ug s o, ug s (o + 1))
+          end
+          else (ug code (base + 7), -1)
+        in
+        write_ptr rt zv zk sv sk;
+        pc := base + 8
+    | 41 (* copy_n: n (fl d s)×n — a run of adjacent copies under one
+            dispatch.  Copies cannot trap and their slot writes are
+            unobservable mid-run, so the whole run's ticks were
+            batched into the prologue by the emitter. *) ->
+        let s = !stk in
+        let n = ug code (base + 1) in
+        let p = ref (base + 2) in
+        for _ = 1 to n do
+          let d = fp + ug code (!p + 1) in
+          let src = ug code (!p + 2) in
+          if ug code !p <> 0 then begin
+            us s d src;
+            us s (d + 1) (-1)
+          end
+          else begin
+            let o = fp + src in
+            us s d (ug s o);
+            us s (d + 1) (ug s (o + 1))
+          end;
+          p := !p + 3
+        done;
+        pc := !p
+    | 42 (* bst_bin2: the bin_store payload followed by the bin2
+            payload — a four-instruction statement chain in one
+            dispatch.  Stage ticks: store at +1, the pair's first bin
+            at +2, its second at +3, so every oracle abort point
+            lands exactly where the two separate dispatches put it. *)
+      ->
+        let s = !stk in
+        let sh = ug code (base + 1) in
+        let a = ug code (base + 3) in
+        let av = if sh land 1 <> 0 then a else ug s (fp + a) in
+        let ak = if sh land 1 <> 0 then -1 else ug s (fp + a + 1) in
+        let b = ug code (base + 4) in
+        let bv = if sh land 2 <> 0 then b else ug s (fp + b) in
+        let bk = if sh land 2 <> 0 then -1 else ug s (fp + b + 1) in
+        if ak land bk < 0 then begin
+          rt.vv <- binop_int (ug code (base + 2)) av bv;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 2)) av ak bv bk;
+        let zv = rt.vv and zk = rt.vk in
+        let dslot = ug code (base + 5) in
+        if dslot >= 0 then begin
+          let d = fp + dslot in
+          us s d zv;
+          us s (d + 1) zk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 1);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let v = ug code (base + 6) in
+        us rt.mem v zv;
+        us rt.mem (v + 1) zk;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 2);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let sh2 = ug code (base + 7) in
+        let a1 = ug code (base + 9) in
+        let av1 = if sh2 land 1 <> 0 then a1 else ug s (fp + a1) in
+        let ak1 = if sh2 land 1 <> 0 then -1 else ug s (fp + a1 + 1) in
+        let b1 = ug code (base + 10) in
+        let bv1 = if sh2 land 2 <> 0 then b1 else ug s (fp + b1) in
+        let bk1 = if sh2 land 2 <> 0 then -1 else ug s (fp + b1 + 1) in
+        if ak1 land bk1 < 0 then begin
+          rt.vv <- binop_int (ug code (base + 8)) av1 bv1;
+          rt.vk <- -1
+        end
+        else binop_slow rt (ug code (base + 8)) av1 ak1 bv1 bk1;
+        let tv = rt.vv and tkk = rt.vk in
+        let tslot = ug code (base + 11) in
+        if tslot >= 0 then begin
+          let d = fp + tslot in
+          us s d tv;
+          us s (d + 1) tkk
+        end;
+        if rt.slow then begin
+          rt.fuel <- rt.fuel - ticks.(base + 3);
+          if rt.fuel <= 0 then raise (Interp.Out_of_fuel rt.budget)
+        end;
+        let c2 = ug code (base + 14) in
+        let cv = if sh2 land 8 <> 0 then c2 else ug s (fp + c2) in
+        let ck = if sh2 land 8 <> 0 then -1 else ug s (fp + c2 + 1) in
+        let bop2 = ug code (base + 12) in
+        let d = fp + ug code (base + 13) in
+        if ck land tkk < 0 then begin
+          us s d
+            (if sh2 land 4 <> 0 then binop_int bop2 cv tv
+             else binop_int bop2 tv cv);
+          us s (d + 1) (-1)
+        end
+        else begin
+          if sh2 land 4 <> 0 then binop_slow rt bop2 cv ck tv tkk
+          else binop_slow rt bop2 tv tkk cv ck;
+          us s d rt.vv;
+          us s (d + 1) rt.vk
+        end;
+        pc := base + 15
     | _ -> assert false
   done
 
@@ -553,9 +1167,12 @@ let run ?(fuel = 50_000_000) (cp : Rcompile.t) : Interp.result =
     else rt.rv
   in
   (* reconstruct the dynamic counters from block execution counts and
-     rebuild the oracle-shaped tuple-keyed tables, exactly like the
-     flat engine (edges accumulate when a Br's two sides share a
-     target; sink slots fall outside the loop bounds) *)
+     rebuild the oracle-shaped tuple-keyed tables.  Logical edges are
+     interned at compile time (a Br's two sides to one target share a
+     dense id), so each table entry is a single direct write from its
+     dense counter — no lookup-and-accumulate on the result path.  The
+     sink slots (block span end, edge span slot 0) fall outside the
+     loops. *)
   let counters =
     {
       Interp.loads = 0;
@@ -587,20 +1204,13 @@ let run ?(fuel = 50_000_000) (cp : Rcompile.t) : Interp.result =
         end
       done;
       for e = 0 to rf.Rcompile.rnedges - 1 do
-        let c = rt.ecounts.(rf.Rcompile.edge_base + e) in
-        if c > 0 then begin
-          let key =
+        let c = rt.ecounts.(rf.Rcompile.edge_base + 1 + e) in
+        if c > 0 then
+          Hashtbl.replace edge_counts
             ( rf.Rcompile.rname,
               rf.Rcompile.edge_src.(e),
               rf.Rcompile.edge_dst.(e) )
-          in
-          let prev =
-            match Hashtbl.find_opt edge_counts key with
-            | Some p -> p
-            | None -> 0
-          in
-          Hashtbl.replace edge_counts key (prev + c)
-        end
+            c
       done;
       let c = rt.ccounts.(rf.Rcompile.rfid) in
       if c > 0 then Hashtbl.replace call_counts rf.Rcompile.rname c)

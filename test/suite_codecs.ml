@@ -18,7 +18,7 @@ let prop_ssa_engine_roundtrip =
 
 let prop_interp_engine_roundtrip =
   QCheck.Test.make ~name:"interp engine codec round trip" ~count:50
-    (QCheck.oneofl [ P.Tree; P.Flat; P.Reg ])
+    (QCheck.oneofl [ P.Tree; P.Flat; P.Reg; P.Fused ])
     (fun e -> P.interp_engine_of_string (P.interp_engine_to_string e) = Some e)
 
 let prop_profile_source_roundtrip =

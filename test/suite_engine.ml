@@ -66,6 +66,9 @@ let run_tree ~fuel prog = run_of (fun () -> I.run ~fuel prog)
 let run_flat ~fuel prog = run_of (fun () -> E.run ~fuel (D.decode prog))
 let run_reg ~fuel prog = run_of (fun () -> RE.run ~fuel (RC.compile prog))
 
+let run_fused ~fuel prog =
+  run_of (fun () -> RE.run ~fuel (RC.compile ~fuse:true prog))
+
 let describe = function
   | Finished o ->
       Printf.sprintf "exit %d, %d prints, instrs %d"
@@ -93,12 +96,17 @@ let check_same ctx tree flat =
     Alcotest.failf "%s: engine diverges from oracle on %s\n  tree: %s\n  flat: %s"
       ctx (diff_field tree flat) (describe tree) (describe flat)
 
-(* the full two-deep oracle stack: flat vs tree, then reg vs tree *)
-let check_same3 ctx tree flat reg =
+(* the full two-deep oracle stack: flat vs tree, then reg vs tree,
+   then the fused reg variant vs tree *)
+let check_same4 ctx tree flat reg fused =
   check_same (ctx ^ " [flat]") tree flat;
   if tree <> reg then
     Alcotest.failf "%s: reg engine diverges from oracle on %s\n  tree: %s\n  reg: %s"
-      ctx (diff_field tree reg) (describe tree) (describe reg)
+      ctx (diff_field tree reg) (describe tree) (describe reg);
+  if tree <> fused then
+    Alcotest.failf
+      "%s: fused engine diverges from oracle on %s\n  tree: %s\n  fused: %s"
+      ctx (diff_field tree fused) (describe tree) (describe fused)
 
 (* ------------------------------------------------------------------ *)
 (* Random programs: engine vs oracle on the prepared (SSA) program and
@@ -111,13 +119,17 @@ let prop_engine_matches_oracle =
       let prog, _ = P.prepare src in
       let tree = run_tree ~fuel prog
       and flat = run_flat ~fuel prog
-      and reg = run_reg ~fuel prog in
+      and reg = run_reg ~fuel prog
+      and fused = run_fused ~fuel prog in
       if tree <> flat then
         QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.flat %s"
           (diff_field tree flat) (describe tree) (describe flat)
       else if tree <> reg then
         QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.reg %s"
           (diff_field tree reg) (describe tree) (describe reg)
+      else if tree <> fused then
+        QCheck.Test.fail_reportf "pre-promotion %s:@.tree %s@.fused %s"
+          (diff_field tree fused) (describe tree) (describe fused)
       else
         (* the same comparison on the promoted program; the pipeline
            (tree engine, so this property never depends on the code
@@ -131,13 +143,17 @@ let prop_engine_matches_oracle =
             let p = report.P.prog in
             let tree = run_tree ~fuel p
             and flat = run_flat ~fuel p
-            and reg = run_reg ~fuel p in
+            and reg = run_reg ~fuel p
+            and fused = run_fused ~fuel p in
             if tree <> flat then
               QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.flat %s"
                 (diff_field tree flat) (describe tree) (describe flat)
             else if tree <> reg then
               QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.reg %s"
                 (diff_field tree reg) (describe tree) (describe reg)
+            else if tree <> fused then
+              QCheck.Test.fail_reportf "post-promotion %s:@.tree %s@.fused %s"
+                (diff_field tree fused) (describe tree) (describe fused)
             else true
         | exception (I.Runtime_error _ | I.Out_of_fuel _) -> true)
 
@@ -161,12 +177,17 @@ let prop_pipeline_engines_agree =
         && a.P.static_after = b.P.static_after
         && a.P.per_function = b.P.per_function
       in
-      match (go P.Tree, go P.Flat, go P.Reg) with
-      | None, None, None -> true
-      | Some a, Some b, Some c -> agree a b && agree a c
-      | Some _, None, _ -> QCheck.Test.fail_report "flat trapped, tree finished"
-      | Some _, _, None -> QCheck.Test.fail_report "reg trapped, tree finished"
-      | None, _, _ -> QCheck.Test.fail_report "tree trapped, another finished")
+      match (go P.Tree, go P.Flat, go P.Reg, go P.Fused) with
+      | None, None, None, None -> true
+      | Some a, Some b, Some c, Some d -> agree a b && agree a c && agree a d
+      | Some _, None, _, _ ->
+          QCheck.Test.fail_report "flat trapped, tree finished"
+      | Some _, _, None, _ ->
+          QCheck.Test.fail_report "reg trapped, tree finished"
+      | Some _, _, _, None ->
+          QCheck.Test.fail_report "fused trapped, tree finished"
+      | None, _, _, _ ->
+          QCheck.Test.fail_report "tree trapped, another finished")
 
 (* ------------------------------------------------------------------ *)
 (* Seed workloads and the gen sweep *)
@@ -175,19 +196,21 @@ let workload_fuel = 80_000_000
 
 let differential_on_workload (w : R.workload) () =
   let prog, _ = P.prepare w.R.source in
-  check_same3 (w.R.name ^ " pre-promotion")
+  check_same4 (w.R.name ^ " pre-promotion")
     (run_tree ~fuel:workload_fuel prog)
     (run_flat ~fuel:workload_fuel prog)
-    (run_reg ~fuel:workload_fuel prog);
+    (run_reg ~fuel:workload_fuel prog)
+    (run_fused ~fuel:workload_fuel prog);
   let report =
     P.run
       ~options:{ P.default_options with fuel = workload_fuel; interp = P.Tree }
       w.R.source
   in
-  check_same3 (w.R.name ^ " post-promotion")
+  check_same4 (w.R.name ^ " post-promotion")
     (run_tree ~fuel:workload_fuel report.P.prog)
     (run_flat ~fuel:workload_fuel report.P.prog)
     (run_reg ~fuel:workload_fuel report.P.prog)
+    (run_fused ~fuel:workload_fuel report.P.prog)
 
 (* refresh must be equivalent to a from-scratch decode: decode before
    promotion, refresh after the IR was rewritten, compare against a
@@ -251,6 +274,36 @@ let test_reg_refresh_matches_fresh_compile () =
   check_same "li post-promotion reg refresh vs fresh compile" fresh refreshed;
   check_same "li post-promotion reg refresh vs oracle" tree refreshed
 
+(* and once more with the superinstruction layer on: [Rcompile.refresh]
+   re-runs the peephole emitter, so a refreshed fused image must match
+   both a from-scratch fused compile and the oracle *)
+let test_fused_refresh_matches_fresh_compile () =
+  let w = Option.get (R.find "li") in
+  let options = { P.default_options with fuel = workload_fuel } in
+  let prog, trees = P.prepare ~options w.R.source in
+  let cp = RC.compile ~fuse:true prog in
+  let before_fused = run_of (fun () -> RE.run ~fuel:workload_fuel cp) in
+  let before_tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li pre-promotion (shared fused image)" before_tree before_fused;
+  ignore (P.attach_profile ~options ~decoded:(P.Ireg cp) prog trees);
+  List.iter
+    (fun (f : Rp_ir.Func.t) ->
+      match List.assoc_opt f.Rp_ir.Func.fname trees with
+      | Some tree ->
+          ignore
+            (Rp_core.Promote.promote_function
+               ~cfg:Rp_core.Promote.default_config f prog.Rp_ir.Func.vartab
+               tree)
+      | None -> ())
+    prog.Rp_ir.Func.funcs;
+  Rp_opt.Cleanup.run_prog prog;
+  RC.refresh cp;
+  let refreshed = run_of (fun () -> RE.run ~fuel:workload_fuel cp) in
+  let fresh = run_fused ~fuel:workload_fuel prog in
+  let tree = run_tree ~fuel:workload_fuel prog in
+  check_same "li post-promotion fused refresh vs fresh compile" fresh refreshed;
+  check_same "li post-promotion fused refresh vs oracle" tree refreshed
+
 (* deterministic JSON reports must be byte-identical across engines *)
 let report_bytes interp (w : R.workload) =
   let options =
@@ -270,7 +323,8 @@ let report_bytes interp (w : R.workload) =
 let byte_identity_on_workload (w : R.workload) () =
   let tree = report_bytes P.Tree w
   and flat = report_bytes P.Flat w
-  and reg = report_bytes P.Reg w in
+  and reg = report_bytes P.Reg w
+  and fused = report_bytes P.Fused w in
   Alcotest.(check string)
     (Printf.sprintf "%s: deterministic report bytes, tree vs flat (jobs=%d)"
        w.R.name jobs_from_env)
@@ -278,7 +332,11 @@ let byte_identity_on_workload (w : R.workload) () =
   Alcotest.(check string)
     (Printf.sprintf "%s: deterministic report bytes, tree vs reg (jobs=%d)"
        w.R.name jobs_from_env)
-    tree reg
+    tree reg;
+  Alcotest.(check string)
+    (Printf.sprintf "%s: deterministic report bytes, tree vs fused (jobs=%d)"
+       w.R.name jobs_from_env)
+    tree fused
 
 (* ------------------------------------------------------------------ *)
 (* Fuel exhaustion: both engines raise the distinct exception with the
@@ -297,19 +355,144 @@ let test_fuel_exhaustion_parity () =
   (match run_reg ~fuel:budget prog with
   | Fuel b -> Alcotest.(check int) "reg budget" budget b
   | o -> Alcotest.failf "reg: expected fuel exhaustion, got %s" (describe o));
+  (match run_fused ~fuel:budget prog with
+  | Fuel b -> Alcotest.(check int) "fused budget" budget b
+  | o -> Alcotest.failf "fused: expected fuel exhaustion, got %s" (describe o));
   (* and through the full pipeline under the default (flat) engine *)
   (match P.run ~options:{ P.default_options with fuel = budget } src with
   | _ -> Alcotest.fail "pipeline: expected Out_of_fuel"
   | exception I.Out_of_fuel b -> Alcotest.(check int) "pipeline budget" budget b);
   (* and under the register backend *)
-  match
-    P.run
-      ~options:{ P.default_options with fuel = budget; interp = P.Reg }
-      src
-  with
+  (match
+     P.run
+       ~options:{ P.default_options with fuel = budget; interp = P.Reg }
+       src
+   with
   | _ -> Alcotest.fail "reg pipeline: expected Out_of_fuel"
   | exception I.Out_of_fuel b ->
-      Alcotest.(check int) "reg pipeline budget" budget b
+      Alcotest.(check int) "reg pipeline budget" budget b);
+  (* and with superinstruction fusion on *)
+  match
+    P.run
+      ~options:{ P.default_options with fuel = budget; interp = P.Fused }
+      src
+  with
+  | _ -> Alcotest.fail "fused pipeline: expected Out_of_fuel"
+  | exception I.Out_of_fuel b ->
+      Alcotest.(check int) "fused pipeline budget" budget b
+
+(* Adversarial budgets: sweep every fuel value over a window so
+   exhaustion lands on every possible instruction of a fusible loop —
+   including mid-block and between the two halves of a superinstruction.
+   The block-batched fuel accounting must reproduce the oracle's exact
+   stopping point (same Finished outcome or Fuel at the same budget)
+   for each one. *)
+let test_adversarial_budget_sweep () =
+  (* dependent binop chain (bin2 fodder) feeding a compare-and-branch
+     latch (cbr fodder), plus a print so mid-iteration stops would be
+     observable if an engine overran its budget *)
+  let src =
+    "int main() {\n\
+    \  int i; int a; int b;\n\
+    \  i = 0; a = 1; b = 2;\n\
+    \  while (i < 9) {\n\
+    \    a = a + b;\n\
+    \    b = a * 2;\n\
+    \    a = b - i;\n\
+    \    print(a);\n\
+    \    i = i + 1;\n\
+    \  }\n\
+    \  return a;\n\
+    }"
+  in
+  let prog, _ = P.prepare src in
+  for budget = 1 to 400 do
+    let tree = run_tree ~fuel:budget prog
+    and reg = run_reg ~fuel:budget prog
+    and fused = run_fused ~fuel:budget prog in
+    if tree <> reg then
+      Alcotest.failf "budget %d: reg diverges on %s\n  tree: %s\n  reg: %s"
+        budget (diff_field tree reg) (describe tree) (describe reg);
+    if tree <> fused then
+      Alcotest.failf "budget %d: fused diverges on %s\n  tree: %s\n  fused: %s"
+        budget (diff_field tree fused) (describe tree) (describe fused)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The constant folder must keep [op_bin_ii] out of every fused image:
+   a binop whose operands are both immediates is folded at compile
+   time (or pinned as [op_trap_div]), so the opcode never reaches the
+   dispatch loop.  Walk the packed code of every seed workload and the
+   gen sweep and assert it is absent — and that the fusion actually
+   fired somewhere, so the scan is not vacuous. *)
+
+(* instruction length per opcode, mirroring [Rcompile.patch]'s walk *)
+let fused_op_len code base =
+  match code.(base) with
+  | 0 | 1 | 2 | 3 -> 5 (* bin rr/ri/ir/ii *)
+  | 4 | 5 -> 4 (* un *)
+  | 6 | 7 -> 3 (* copy *)
+  | 8 -> 3 (* load *)
+  | 9 | 10 -> 3 (* store *)
+  | 11 | 12 -> 4 (* addr *)
+  | 13 | 14 -> 3 (* pload *)
+  | 15 -> 5 (* pstore *)
+  | 16 -> 5 + (2 * code.(base + 3)) (* call: nargs pairs *)
+  | 17 | 18 -> 2 (* xcall / call_unknown *)
+  | 19 -> 1 (* trap_rphi *)
+  | 20 | 21 -> 2 (* print *)
+  | 22 -> 5 (* jmp *)
+  | 23 -> 10 (* br *)
+  | 24 | 25 -> 2 (* ret *)
+  | 26 -> 1 (* ret_void *)
+  | 27 | 28 | 29 -> 13 (* cbr *)
+  | 30 -> 1 (* trap div *)
+  | 31 -> 9 (* bin2 *)
+  | 32 -> 5 (* load2 *)
+  | 33 -> 7 (* bin_store *)
+  | 34 | 35 -> 6 (* mm_bin / mm_bin_store *)
+  | 36 -> 5 (* astore *)
+  | 37 -> 8 (* bin_pstore *)
+  | 38 | 39 -> 9 (* mm_bin2 / mm_bin2_store *)
+  | 40 -> 8 (* abin_pstore *)
+  | 41 -> 2 + (3 * code.(base + 1)) (* copy_n *)
+  | 42 -> 15 (* bst_bin2 *)
+  | op -> Alcotest.failf "unknown opcode %d at %d" op base
+
+let test_no_bin_ii_in_fused_images () =
+  let scan src =
+    let prog, _ = P.prepare src in
+    let cp = RC.compile ~fuse:true prog in
+    let saw_fused = ref false in
+    Array.iter
+      (fun (rf : RC.rfunc) ->
+        let pc = ref 0 in
+        while !pc < rf.RC.rcode_len do
+          let op = rf.RC.rcode.(!pc) in
+          if op = RC.op_bin_ii then
+            Alcotest.failf "%s: op_bin_ii survived fusion at pc %d"
+              rf.RC.rname !pc;
+          if op = RC.op_cbr_rr || op = RC.op_cbr_ri || op = RC.op_cbr_ir
+             || op = RC.op_bin2 || op = RC.op_load2 || op = RC.op_bin_store
+             || op = RC.op_mm_bin || op = RC.op_mm_bin_store
+             || op = RC.op_astore || op = RC.op_bin_pstore
+             || op = RC.op_mm_bin2 || op = RC.op_mm_bin2_store
+             || op = RC.op_abin_pstore || op = RC.op_copy_n
+             || op = RC.op_bst_bin2
+          then saw_fused := true;
+          pc := !pc + fused_op_len rf.RC.rcode !pc
+        done)
+      cp.RC.rfuncs;
+    !saw_fused
+  in
+  let any_fused = ref false in
+  List.iter
+    (fun (w : R.workload) -> if scan w.R.source then any_fused := true)
+    R.all;
+  let g = R.generated 60 in
+  if scan g.R.source then any_fused := true;
+  Alcotest.(check bool)
+    "at least one workload contains a fused superinstruction" true !any_fused
 
 let suite =
   let seed_cases name mk =
@@ -334,8 +517,14 @@ let suite =
         test_refresh_matches_fresh_decode;
       Alcotest.test_case "reg refresh vs fresh compile" `Quick
         test_reg_refresh_matches_fresh_compile;
+      Alcotest.test_case "fused refresh vs fresh compile" `Quick
+        test_fused_refresh_matches_fresh_compile;
       Alcotest.test_case "fuel exhaustion parity" `Quick
         test_fuel_exhaustion_parity;
+      Alcotest.test_case "adversarial budget sweep" `Quick
+        test_adversarial_budget_sweep;
+      Alcotest.test_case "no op_bin_ii in fused images" `Quick
+        test_no_bin_ii_in_fused_images;
       qtest prop_engine_matches_oracle;
       qtest prop_pipeline_engines_agree;
     ]
